@@ -1,0 +1,31 @@
+//! Figure 2 harness: one training epoch of BP-FP32 versus naive BP-INT8 on a
+//! small residual network (the configuration whose INT8 variant diverges in
+//! the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_bench::{bench_cifar10, bench_options};
+use ff_core::{train, Algorithm};
+use ff_models::{small_resnet, SmallModelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (train_set, test_set) = bench_cifar10();
+    let options = bench_options();
+    let config = SmallModelConfig::default().with_base_channels(4).with_stages(1);
+    let mut group = c.benchmark_group("fig2_bp_epoch_resnet");
+    group.sample_size(10);
+    for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {
+        group.bench_function(algorithm.label(), |bencher| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut net = small_resnet(&config, &mut rng);
+                train(&mut net, &train_set, &test_set, algorithm, &options).expect("train")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

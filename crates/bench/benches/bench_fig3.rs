@@ -1,0 +1,34 @@
+//! Figure 3 harness: computing the first-layer gradient distribution
+//! statistics (histogram, kurtosis, INT8 underflow fraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_quant::stats::{DistributionStats, GradientHistogram};
+use ff_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sharp_gradient(len: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut data = init::randn(&[len - 2], 0.0, 1e-3, &mut rng).into_vec();
+    data.push(0.5);
+    data.push(-0.5);
+    Tensor::from_vec(&[len], data).expect("shape")
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_gradient_stats");
+    group.sample_size(20);
+    for &len in &[1 << 14, 1 << 17] {
+        let grad = sharp_gradient(len);
+        group.bench_with_input(BenchmarkId::new("histogram", len), &len, |bencher, _| {
+            bencher.iter(|| GradientHistogram::from_tensor(&grad, 41));
+        });
+        group.bench_with_input(BenchmarkId::new("stats", len), &len, |bencher, _| {
+            bencher.iter(|| DistributionStats::from_tensor(&grad));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6 harness: one FF-INT8 training epoch with and without the
+//! look-ahead scheme (MLP), measuring the per-epoch cost of the scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_bench::{bench_mnist, bench_options};
+use ff_core::{train, Algorithm};
+use ff_models::small_mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig6(c: &mut Criterion) {
+    let (train_set, test_set) = bench_mnist();
+    let options = bench_options();
+    let mut group = c.benchmark_group("fig6_ff_epoch_mlp");
+    group.sample_size(10);
+    for lookahead in [false, true] {
+        let name = if lookahead { "with_lookahead" } else { "without_lookahead" };
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+                train(
+                    &mut net,
+                    &train_set,
+                    &test_set,
+                    Algorithm::FfInt8 { lookahead },
+                    &options,
+                )
+                .expect("train")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

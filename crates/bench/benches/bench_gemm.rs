@@ -1,0 +1,33 @@
+//! Micro-benchmark: INT8 GEMM (i32 accumulation) versus FP32 GEMM.
+//!
+//! This is the arithmetic primitive whose hardware speed difference underlies
+//! the paper's time/energy savings (Section V-C: "INT8 arithmetic is also 4x
+//! faster than FP32 in hardware").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_quant::{int8_matmul, QuantConfig, QuantTensor, Rounding};
+use ff_tensor::{init, linalg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &n in &[64usize, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = init::uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let qa = QuantTensor::quantize_with_rng(&a, QuantConfig::new(Rounding::Nearest), &mut rng);
+        let qb = QuantTensor::quantize_with_rng(&b, QuantConfig::new(Rounding::Nearest), &mut rng);
+        group.bench_with_input(BenchmarkId::new("fp32", n), &n, |bencher, _| {
+            bencher.iter(|| linalg::matmul(&a, &b).expect("matmul"));
+        });
+        group.bench_with_input(BenchmarkId::new("int8_i32acc", n), &n, |bencher, _| {
+            bencher.iter(|| int8_matmul(&qa, &qb).expect("int8 matmul"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

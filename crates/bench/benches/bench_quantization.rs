@@ -1,0 +1,35 @@
+//! Micro-benchmark: symmetric uniform quantization throughput (nearest and
+//! stochastic rounding) — the "quantization phase" of the paper's Table IV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_quant::{QuantConfig, QuantTensor, Rounding};
+use ff_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantization");
+    group.sample_size(20);
+    for &len in &[1 << 12, 1 << 16] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = init::randn(&[len], 0.0, 0.1, &mut rng);
+        group.bench_with_input(BenchmarkId::new("nearest", len), &len, |bencher, _| {
+            bencher.iter(|| {
+                QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Nearest), &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stochastic", len), &len, |bencher, _| {
+            bencher.iter(|| {
+                QuantTensor::quantize_with_rng(
+                    &t,
+                    QuantConfig::new(Rounding::Stochastic),
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantization);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table I harness: one training epoch of FP32 versus direct-INT8
+//! backpropagation for MLPs of increasing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_bench::{bench_mnist, bench_options};
+use ff_core::{train, Algorithm};
+use ff_models::small_mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table1(c: &mut Criterion) {
+    let (train_set, test_set) = bench_mnist();
+    let options = bench_options();
+    let mut group = c.benchmark_group("table1_bp_epoch_mlp");
+    group.sample_size(10);
+    for hidden_layers in [1usize, 3] {
+        for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {
+            let id = BenchmarkId::new(algorithm.label(), hidden_layers);
+            group.bench_with_input(id, &hidden_layers, |bencher, &depth| {
+                bencher.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    let mut net = small_mlp(784, &vec![64; depth], 10, &mut rng);
+                    train(&mut net, &train_set, &test_set, algorithm, &options).expect("train")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table IV harness: analytic operation counting for FF-INT8, BP-FP32 and
+//! GDAI8 on the 4-layer MLP, plus a measured comparison of the real per-batch
+//! work each algorithm performs in this implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_bench::{bench_mnist, bench_options};
+use ff_core::{train, Algorithm};
+use ff_edge::{AlgorithmKind, CostModel};
+use ff_models::{small_mlp, specs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table4(c: &mut Criterion) {
+    let model = CostModel::jetson_orin_nano();
+    let spec = specs::mlp_depth_spec(2);
+    let mut group = c.benchmark_group("table4_op_counts");
+    group.sample_size(20);
+    group.bench_function("analytic_counting", |bencher| {
+        bencher.iter(|| {
+            AlgorithmKind::table5_lineup()
+                .iter()
+                .map(|&a| model.batch_ops(a, &spec, 10).mac_ops())
+                .sum::<u64>()
+        });
+    });
+
+    // Measured stand-in: one epoch of each algorithm on the same (scaled)
+    // MLP, so the relative per-update cost can be compared with the analytic
+    // counts.
+    let (train_set, test_set) = bench_mnist();
+    let options = bench_options();
+    for algorithm in [
+        Algorithm::FfInt8 { lookahead: true },
+        Algorithm::BpFp32,
+        Algorithm::BpGdai8,
+    ] {
+        group.sample_size(10);
+        group.bench_function(format!("measured_epoch/{}", algorithm.label()), |bencher| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+                train(&mut net, &train_set, &test_set, algorithm, &options).expect("train")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table V harness: full-run cost estimation (time/energy/memory) for every
+//! benchmark architecture under every training algorithm, plus a measured
+//! per-epoch comparison of FF-INT8 against BP-GDAI8 on the scaled MLP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_bench::{bench_mnist, bench_options};
+use ff_core::{train, Algorithm};
+use ff_edge::{AlgorithmKind, CostModel, TrainingRun};
+use ff_models::{small_mlp, specs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table5(c: &mut Criterion) {
+    let model = CostModel::jetson_orin_nano();
+    let run = TrainingRun {
+        batch_size: 32,
+        batches_per_epoch: 1563,
+        epochs: 200,
+    };
+    let mut group = c.benchmark_group("table5_summary");
+    group.sample_size(20);
+    group.bench_function("analytic_cost_sweep", |bencher| {
+        bencher.iter(|| {
+            let mut total_time = 0.0f64;
+            for spec in specs::table2_specs() {
+                for algorithm in AlgorithmKind::table5_lineup() {
+                    total_time += model.estimate(algorithm, &spec, &run).time_s;
+                }
+            }
+            total_time
+        });
+    });
+
+    let (train_set, test_set) = bench_mnist();
+    let options = bench_options();
+    for algorithm in [Algorithm::FfInt8 { lookahead: true }, Algorithm::BpGdai8] {
+        group.sample_size(10);
+        group.bench_function(format!("measured_epoch/{}", algorithm.label()), |bencher| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+                train(&mut net, &train_set, &test_set, algorithm, &options).expect("train")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Unified training entry point dispatching over all five algorithms.
+
+use crate::baselines::{BpTrainer, GradientPolicy};
+use crate::config::{Algorithm, Precision, TrainOptions};
+use crate::ff_trainer::FfTrainer;
+use crate::Result;
+use ff_data::Dataset;
+use ff_metrics::TrainingHistory;
+use ff_nn::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Trains `net` on `train_set` with the requested algorithm and returns the
+/// per-epoch history (the same network is used for evaluation on `test_set`).
+///
+/// This is the entry point used by the experiment binaries that regenerate
+/// the paper's tables and figures.
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty or incompatible with the
+/// network, or when a layer operation fails.
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::{train, Algorithm, TrainOptions};
+/// use ff_data::{synthetic_mnist, SyntheticConfig};
+/// use ff_models::small_mlp;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_core::CoreError> {
+/// let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = small_mlp(784, &[32], 10, &mut rng);
+/// let history = train(&mut net, &train_set, &test_set, Algorithm::BpFp32, &TrainOptions::fast_test())?;
+/// assert!(!history.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn train(
+    net: &mut Sequential,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algorithm: Algorithm,
+    options: &TrainOptions,
+) -> Result<TrainingHistory> {
+    match algorithm {
+        Algorithm::BpFp32 => {
+            BpTrainer::new(GradientPolicy::Fp32, options.clone()).train(net, train_set, test_set)
+        }
+        Algorithm::BpInt8 => BpTrainer::new(GradientPolicy::DirectInt8, options.clone())
+            .train(net, train_set, test_set),
+        Algorithm::BpUi8 => {
+            BpTrainer::new(GradientPolicy::Ui8, options.clone()).train(net, train_set, test_set)
+        }
+        Algorithm::BpGdai8 => {
+            BpTrainer::new(GradientPolicy::Gdai8, options.clone()).train(net, train_set, test_set)
+        }
+        Algorithm::FfInt8 { lookahead } => FfTrainer::new(Precision::Int8, lookahead, options.clone())
+            .train(net, train_set, test_set),
+        Algorithm::FfFp32 { lookahead } => FfTrainer::new(Precision::Fp32, lookahead, options.clone())
+            .train(net, train_set, test_set),
+    }
+}
+
+/// A training run bundled with the algorithm that produced it — the unit the
+/// experiment harness aggregates into the paper's tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Label of the training algorithm (e.g. `"FF-INT8"`).
+    pub algorithm: String,
+    /// Name of the model that was trained.
+    pub model: String,
+    /// Per-epoch history.
+    pub history: TrainingHistory,
+}
+
+impl TrainingReport {
+    /// Bundles a history with its provenance.
+    pub fn new(algorithm: Algorithm, model: impl Into<String>, history: TrainingHistory) -> Self {
+        TrainingReport {
+            algorithm: algorithm.label(),
+            model: model.into(),
+            history,
+        }
+    }
+
+    /// Final accuracy as a percentage (0–100), the unit used in the paper's
+    /// tables.
+    pub fn accuracy_percent(&self) -> f32 {
+        self.history.final_accuracy().unwrap_or(0.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_data::{synthetic_mnist, SyntheticConfig};
+    use ff_models::small_mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dispatch_covers_all_algorithms() {
+        let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+            train_size: 80,
+            test_size: 40,
+            noise_std: 0.2,
+            max_shift: 0,
+            seed: 1,
+        });
+        let options = TrainOptions {
+            epochs: 1,
+            max_eval_samples: 20,
+            ..TrainOptions::fast_test()
+        };
+        for algorithm in [
+            Algorithm::BpFp32,
+            Algorithm::BpInt8,
+            Algorithm::BpUi8,
+            Algorithm::BpGdai8,
+            Algorithm::FfInt8 { lookahead: true },
+            Algorithm::FfFp32 { lookahead: false },
+        ] {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut net = small_mlp(784, &[16], 10, &mut rng);
+            let history = train(&mut net, &train_set, &test_set, algorithm, &options).unwrap();
+            assert_eq!(history.len(), 1, "{}", algorithm.label());
+        }
+    }
+
+    #[test]
+    fn report_exposes_percentage() {
+        let mut history = TrainingHistory::new("x");
+        history.record(0, 1.0, 0.5, Some(0.43));
+        let report = TrainingReport::new(Algorithm::BpFp32, "MLP", history);
+        assert_eq!(report.algorithm, "BP-FP32");
+        assert_eq!(report.model, "MLP");
+        assert!((report.accuracy_percent() - 43.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,422 @@
+//! Backpropagation baselines: BP-FP32, naive BP-INT8, BP-UI8 and BP-GDAI8.
+//!
+//! All four share the same training loop (full forward, softmax cross-entropy,
+//! full backward); they differ only in the [`GradientPolicy`] applied to the
+//! weight gradients right before the optimizer step, which is exactly how the
+//! paper frames the INT8-training landscape (Section II).
+
+use crate::config::TrainOptions;
+use crate::{CoreError, Result};
+use ff_data::Dataset;
+use ff_metrics::{accuracy, TrainingHistory};
+use ff_nn::{softmax_cross_entropy, ForwardMode, Optimizer, ParamRefMut, Sequential, Sgd};
+use ff_quant::{QuantConfig, QuantTensor, Rounding};
+use ff_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How weight gradients are treated before the optimizer step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradientPolicy {
+    /// Keep gradients in FP32 (the BP-FP32 baseline).
+    Fp32,
+    /// Quantize every gradient tensor directly to INT8 with a per-tensor
+    /// max-abs scale (naive BP-INT8) — the configuration the paper shows
+    /// diverging in Fig. 2 and Table I.
+    DirectInt8,
+    /// UI8 (Zhu et al., 2020): direction-sensitive gradient clipping — the
+    /// clip threshold is chosen to keep the quantized gradient aligned with
+    /// the raw gradient — plus deviation-counteractive learning-rate scaling.
+    Ui8,
+    /// GDAI8 (Wang & Kang, 2023): gradient-distribution-aware clipping — the
+    /// clip threshold is chosen per tensor to minimise quantization MSE.
+    Gdai8,
+}
+
+impl GradientPolicy {
+    /// Short identifier used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GradientPolicy::Fp32 => "BP-FP32",
+            GradientPolicy::DirectInt8 => "BP-INT8",
+            GradientPolicy::Ui8 => "BP-UI8",
+            GradientPolicy::Gdai8 => "BP-GDAI8",
+        }
+    }
+
+    /// Candidate clipping thresholds: the |g| percentiles scanned by the
+    /// clipping-based policies.
+    fn candidate_clips(values: &Tensor) -> Vec<f32> {
+        let mut magnitudes: Vec<f32> = values.data().iter().map(|v| v.abs()).collect();
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN gradients"));
+        let n = magnitudes.len();
+        if n == 0 {
+            return vec![1e-8];
+        }
+        [1.0f32, 0.999, 0.995, 0.99, 0.97, 0.95]
+            .iter()
+            .map(|&p| {
+                let idx = (((n as f32) * p).ceil() as usize).clamp(1, n) - 1;
+                magnitudes[idx].max(1e-12)
+            })
+            .collect()
+    }
+
+    /// Applies the policy to every gradient in place and returns the
+    /// learning-rate scale factor to use for this step (1.0 for all policies
+    /// except UI8's deviation-counteractive scaling).
+    pub fn apply(&self, params: &mut [ParamRefMut<'_>], rng: &mut StdRng) -> f32 {
+        match self {
+            GradientPolicy::Fp32 => 1.0,
+            GradientPolicy::DirectInt8 => {
+                // Naive direct quantization: per-tensor max-abs scale with
+                // nearest rounding. Sharp gradient distributions (paper
+                // Fig. 3) make most gradient entries round to zero, which is
+                // what collapses deep-network training in Fig. 2 / Table I.
+                for p in params.iter_mut() {
+                    let q = QuantTensor::quantize_with_rng(
+                        p.grad,
+                        QuantConfig::new(Rounding::Nearest),
+                        rng,
+                    );
+                    *p.grad = q.dequantize();
+                }
+                1.0
+            }
+            GradientPolicy::Gdai8 => {
+                for p in params.iter_mut() {
+                    let clips = Self::candidate_clips(p.grad);
+                    let mut best: Option<(f32, Tensor)> = None;
+                    for clip in clips {
+                        let q = QuantTensor::quantize_with_rng(
+                            p.grad,
+                            QuantConfig::new(Rounding::Stochastic).with_clip(Some(clip)),
+                            rng,
+                        );
+                        let mse = q.quantization_mse(p.grad).unwrap_or(f32::INFINITY);
+                        if best.as_ref().map(|(m, _)| mse < *m).unwrap_or(true) {
+                            best = Some((mse, q.dequantize()));
+                        }
+                    }
+                    if let Some((_, deq)) = best {
+                        *p.grad = deq;
+                    }
+                }
+                1.0
+            }
+            GradientPolicy::Ui8 => {
+                let mut total_deviation = 0.0f32;
+                let mut counted = 0usize;
+                for p in params.iter_mut() {
+                    let clips = Self::candidate_clips(p.grad);
+                    let norm = p.grad.frobenius_norm();
+                    let mut best: Option<(f32, Tensor)> = None;
+                    for clip in clips {
+                        let q = QuantTensor::quantize_with_rng(
+                            p.grad,
+                            QuantConfig::new(Rounding::Stochastic).with_clip(Some(clip)),
+                            rng,
+                        );
+                        let deq = q.dequantize();
+                        let cosine = cosine_similarity(p.grad, &deq);
+                        if best.as_ref().map(|(c, _)| cosine > *c).unwrap_or(true) {
+                            best = Some((cosine, deq));
+                        }
+                    }
+                    if let Some((cosine, deq)) = best {
+                        if norm > 0.0 {
+                            total_deviation += (1.0 - cosine).max(0.0);
+                            counted += 1;
+                        }
+                        *p.grad = deq;
+                    }
+                }
+                let mean_deviation = if counted > 0 {
+                    total_deviation / counted as f32
+                } else {
+                    0.0
+                };
+                // Deviation-counteractive learning-rate scaling: larger
+                // quantization deviation → smaller effective step.
+                1.0 / (1.0 + 10.0 * mean_deviation)
+            }
+        }
+    }
+}
+
+fn cosine_similarity(a: &Tensor, b: &Tensor) -> f32 {
+    let dot: f32 = a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum();
+    let na = a.frobenius_norm();
+    let nb = b.frobenius_norm();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Trains a [`Sequential`] network with backpropagation and a configurable
+/// gradient-quantization policy.
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::{BpTrainer, GradientPolicy, TrainOptions};
+/// use ff_data::{synthetic_mnist, SyntheticConfig};
+/// use ff_models::small_mlp;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_core::CoreError> {
+/// let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = small_mlp(784, &[32], 10, &mut rng);
+/// let mut trainer = BpTrainer::new(GradientPolicy::Fp32, TrainOptions::fast_test());
+/// let history = trainer.train(&mut net, &train_set, &test_set)?;
+/// assert_eq!(history.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BpTrainer {
+    options: TrainOptions,
+    policy: GradientPolicy,
+    optimizer: Sgd,
+    rng: StdRng,
+}
+
+impl BpTrainer {
+    /// Creates a backpropagation trainer with the given gradient policy.
+    pub fn new(policy: GradientPolicy, options: TrainOptions) -> Self {
+        let optimizer = Sgd::new(options.learning_rate, options.momentum);
+        let rng = StdRng::seed_from_u64(options.seed);
+        BpTrainer {
+            options,
+            policy,
+            optimizer,
+            rng,
+        }
+    }
+
+    /// The gradient policy in use.
+    pub fn policy(&self) -> GradientPolicy {
+        self.policy
+    }
+
+    /// Trains `net` with softmax cross-entropy and returns the per-epoch
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset is empty or incompatible with the
+    /// network.
+    pub fn train(
+        &mut self,
+        net: &mut Sequential,
+        train_set: &Dataset,
+        test_set: &Dataset,
+    ) -> Result<TrainingHistory> {
+        if train_set.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                message: "training set is empty".to_string(),
+            });
+        }
+        let mut history = TrainingHistory::new(self.policy.label());
+        let base_lr = self.options.learning_rate;
+        for epoch in 0..self.options.epochs {
+            let batches = train_set.batches(self.options.batch_size, true, &mut self.rng);
+            let mut epoch_loss = 0.0f32;
+            let mut correct = 0usize;
+            let mut seen = 0usize;
+            for batch in &batches {
+                let input = input_for_net(&batch.images, net)?;
+                let logits = net.forward(&input, ForwardMode::Fp32)?;
+                let out = softmax_cross_entropy(&logits, &batch.labels)?;
+                epoch_loss += out.loss;
+                correct += out
+                    .predictions
+                    .iter()
+                    .zip(&batch.labels)
+                    .filter(|(p, l)| p == l)
+                    .count();
+                seen += batch.labels.len();
+                net.zero_grad();
+                net.backward(&out.grad)?;
+                let mut params = net.params_mut();
+                let lr_scale = self.policy.apply(&mut params, &mut self.rng);
+                self.optimizer.set_learning_rate(base_lr * lr_scale);
+                self.optimizer.step(&mut params);
+            }
+            let mean_loss = epoch_loss / batches.len().max(1) as f32;
+            let train_acc = correct as f32 / seen.max(1) as f32;
+            let evaluate = epoch % self.options.eval_every.max(1) == 0
+                || epoch + 1 == self.options.epochs;
+            let test_acc = if evaluate {
+                Some(self.evaluate(net, test_set)?)
+            } else {
+                None
+            };
+            history.record(epoch, mean_loss, train_acc, test_acc);
+        }
+        Ok(history)
+    }
+
+    /// Classification accuracy (argmax of the logits) on a capped prefix of a
+    /// dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> Result<f32> {
+        let count = dataset.len().min(self.options.max_eval_samples);
+        if count == 0 {
+            return Ok(0.0);
+        }
+        let subset = dataset.take(count)?;
+        let input = input_for_net(subset.images(), net)?;
+        let predictions = net.predict(&input, ForwardMode::Fp32)?;
+        Ok(accuracy(&predictions, subset.labels()))
+    }
+}
+
+/// Flattens image batches when the network starts with a dense layer.
+fn input_for_net(images: &Tensor, net: &mut Sequential) -> Result<Tensor> {
+    let first_is_dense = net
+        .layers()
+        .first()
+        .map(|l| l.name() == "dense")
+        .unwrap_or(true);
+    if first_is_dense {
+        Ok(images.reshape(&[images.rows(), images.cols()])?)
+    } else {
+        Ok(images.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_data::{synthetic_mnist, SyntheticConfig};
+    use ff_models::small_mlp;
+
+    fn tiny_mnist() -> (Dataset, Dataset) {
+        synthetic_mnist(&SyntheticConfig {
+            train_size: 300,
+            test_size: 100,
+            noise_std: 0.15,
+            max_shift: 0,
+            seed: 5,
+        })
+    }
+
+    fn options(epochs: usize) -> TrainOptions {
+        TrainOptions {
+            epochs,
+            learning_rate: 0.05,
+            max_eval_samples: 100,
+            ..TrainOptions::default()
+        }
+    }
+
+    #[test]
+    fn bp_fp32_learns_mlp() {
+        let (train_set, test_set) = tiny_mnist();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = small_mlp(784, &[64], 10, &mut rng);
+        let mut trainer = BpTrainer::new(GradientPolicy::Fp32, options(6));
+        let history = trainer.train(&mut net, &train_set, &test_set).unwrap();
+        assert!(history.final_accuracy().unwrap() > 0.7);
+        assert_eq!(trainer.policy(), GradientPolicy::Fp32);
+    }
+
+    #[test]
+    fn gdai8_tracks_fp32_better_than_direct_int8_on_deep_mlp() {
+        // The core claim of Section IV-A / Table I: direct gradient
+        // quantization degrades with depth, distribution-aware quantization
+        // does not (as much).
+        let (train_set, test_set) = tiny_mnist();
+        let run = |policy: GradientPolicy| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+            let mut trainer = BpTrainer::new(policy, options(6));
+            trainer
+                .train(&mut net, &train_set, &test_set)
+                .unwrap()
+                .final_accuracy()
+                .unwrap()
+        };
+        let direct = run(GradientPolicy::DirectInt8);
+        let gdai8 = run(GradientPolicy::Gdai8);
+        assert!(
+            gdai8 >= direct,
+            "GDAI8 ({gdai8}) should not underperform direct INT8 ({direct})"
+        );
+    }
+
+    #[test]
+    fn ui8_policy_scales_learning_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut value = Tensor::ones(&[64]);
+        // A sharp gradient distribution with an outlier → noticeable deviation.
+        let mut grad_data = vec![1e-4f32; 63];
+        grad_data.push(1.0);
+        let mut grad = Tensor::from_vec(&[64], grad_data).unwrap();
+        let mut params = vec![ParamRefMut {
+            value: &mut value,
+            grad: &mut grad,
+        }];
+        let scale = GradientPolicy::Ui8.apply(&mut params, &mut rng);
+        assert!(scale <= 1.0);
+        assert!(scale > 0.0);
+    }
+
+    #[test]
+    fn direct_int8_policy_quantizes_gradients() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut value = Tensor::ones(&[8]);
+        let mut grad =
+            Tensor::from_vec(&[8], vec![0.9, -0.5, 0.1, -0.01, 0.77, -0.33, 0.0, 0.25]).unwrap();
+        let original = grad.clone();
+        let mut params = vec![ParamRefMut {
+            value: &mut value,
+            grad: &mut grad,
+        }];
+        let scale = GradientPolicy::DirectInt8.apply(&mut params, &mut rng);
+        assert_eq!(scale, 1.0);
+        // the quantized-dequantized gradient is close to, but generally not
+        // identical to, the original
+        let diff = original.sub(&grad).unwrap().max_abs();
+        assert!(diff <= original.max_abs() / 127.0 + 1e-6);
+    }
+
+    #[test]
+    fn fp32_policy_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut value = Tensor::ones(&[4]);
+        let mut grad = Tensor::from_slice(&[4], &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let original = grad.clone();
+        let mut params = vec![ParamRefMut {
+            value: &mut value,
+            grad: &mut grad,
+        }];
+        assert_eq!(GradientPolicy::Fp32.apply(&mut params, &mut rng), 1.0);
+        assert_eq!(grad.data(), original.data());
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(GradientPolicy::Fp32.label(), "BP-FP32");
+        assert_eq!(GradientPolicy::DirectInt8.label(), "BP-INT8");
+        assert_eq!(GradientPolicy::Ui8.label(), "BP-UI8");
+        assert_eq!(GradientPolicy::Gdai8.label(), "BP-GDAI8");
+    }
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        let (train_set, test_set) = tiny_mnist();
+        let empty = train_set.take(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = small_mlp(784, &[16], 10, &mut rng);
+        let mut trainer = BpTrainer::new(GradientPolicy::Fp32, options(1));
+        assert!(trainer.train(&mut net, &empty, &test_set).is_err());
+    }
+}

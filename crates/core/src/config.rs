@@ -1,0 +1,236 @@
+//! Training configuration shared by all algorithms.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of the training arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// 32-bit floating point.
+    #[default]
+    Fp32,
+    /// Symmetric INT8 with stochastic gradient rounding.
+    Int8,
+}
+
+/// The training algorithms evaluated in the paper's Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Standard backpropagation in FP32 (baseline).
+    BpFp32,
+    /// Backpropagation with gradients directly quantized to INT8.
+    BpInt8,
+    /// Unified INT8 training (UI8, Zhu et al. 2020): direction-sensitive
+    /// gradient clipping plus deviation-counteractive learning-rate scaling.
+    BpUi8,
+    /// Gradient-distribution-aware INT8 training (GDAI8, Wang & Kang 2023).
+    BpGdai8,
+    /// The paper's contribution: Forward-Forward training with INT8 MACs.
+    FfInt8 {
+        /// Enables the look-ahead scheme (Section IV-C, Algorithm 1).
+        lookahead: bool,
+    },
+    /// Forward-Forward training in FP32 (ablation of the quantization).
+    FfFp32 {
+        /// Enables the look-ahead scheme.
+        lookahead: bool,
+    },
+}
+
+impl Algorithm {
+    /// Short identifier used in reports (`"FF-INT8"`, `"BP-GDAI8"`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::BpFp32 => "BP-FP32".to_string(),
+            Algorithm::BpInt8 => "BP-INT8".to_string(),
+            Algorithm::BpUi8 => "BP-UI8".to_string(),
+            Algorithm::BpGdai8 => "BP-GDAI8".to_string(),
+            Algorithm::FfInt8 { lookahead } => {
+                if *lookahead {
+                    "FF-INT8".to_string()
+                } else {
+                    "FF-INT8 (no look-ahead)".to_string()
+                }
+            }
+            Algorithm::FfFp32 { lookahead } => {
+                if *lookahead {
+                    "FF-FP32".to_string()
+                } else {
+                    "FF-FP32 (no look-ahead)".to_string()
+                }
+            }
+        }
+    }
+
+    /// `true` for the Forward-Forward family.
+    pub fn is_forward_forward(&self) -> bool {
+        matches!(self, Algorithm::FfInt8 { .. } | Algorithm::FfFp32 { .. })
+    }
+
+    /// `true` when weight gradients (and, for FF, activations) are INT8.
+    pub fn is_int8(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::BpInt8 | Algorithm::BpUi8 | Algorithm::BpGdai8 | Algorithm::FfInt8 { .. }
+        )
+    }
+
+    /// The five algorithms compared in the paper's Table V, in table order.
+    pub fn table5_lineup() -> Vec<Algorithm> {
+        vec![
+            Algorithm::BpFp32,
+            Algorithm::BpInt8,
+            Algorithm::BpUi8,
+            Algorithm::BpGdai8,
+            Algorithm::FfInt8 { lookahead: true },
+        ]
+    }
+}
+
+/// Hyperparameters shared by every trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 32).
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Goodness threshold θ in the FF losses (paper: 2.0).
+    pub theta: f32,
+    /// Initial λ of the look-ahead loss (paper: 0.0).
+    pub lambda_init: f32,
+    /// Per-epoch increment of λ (paper: 0.001).
+    pub lambda_step: f32,
+    /// Upper bound on λ.
+    pub lambda_max: f32,
+    /// Evaluate test accuracy every `eval_every` epochs (1 = every epoch).
+    pub eval_every: usize,
+    /// Cap on the number of test samples scored per evaluation (goodness
+    /// scoring runs one forward pass per candidate label).
+    pub max_eval_samples: usize,
+    /// RNG seed controlling shuffling, negative-label sampling and stochastic
+    /// rounding.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 30,
+            batch_size: 32,
+            learning_rate: 0.02,
+            momentum: 0.9,
+            theta: 2.0,
+            lambda_init: 0.0,
+            lambda_step: 0.001,
+            lambda_max: 0.05,
+            eval_every: 1,
+            max_eval_samples: 512,
+            seed: 42,
+        }
+    }
+}
+
+impl TrainOptions {
+    /// A very small configuration for unit tests and doc examples.
+    pub fn fast_test() -> Self {
+        TrainOptions {
+            epochs: 3,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            eval_every: 1,
+            max_eval_samples: 64,
+            ..TrainOptions::default()
+        }
+    }
+
+    /// Overrides the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Overrides the learning rate.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Overrides the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The look-ahead coefficient λ at a given epoch: starts at
+    /// `lambda_init` and grows by `lambda_step` per epoch, capped at
+    /// `lambda_max` (paper Section V-A3).
+    pub fn lambda_at_epoch(&self, epoch: usize) -> f32 {
+        (self.lambda_init + self.lambda_step * epoch as f32).min(self.lambda_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = Algorithm::table5_lineup()
+            .iter()
+            .map(|a| a.label())
+            .collect();
+        assert_eq!(labels.len(), 5);
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), 5);
+        assert_eq!(labels[0], "BP-FP32");
+        assert_eq!(labels[4], "FF-INT8");
+    }
+
+    #[test]
+    fn algorithm_queries() {
+        assert!(Algorithm::FfInt8 { lookahead: true }.is_forward_forward());
+        assert!(!Algorithm::BpGdai8.is_forward_forward());
+        assert!(Algorithm::BpInt8.is_int8());
+        assert!(!Algorithm::BpFp32.is_int8());
+        assert!(Algorithm::FfInt8 { lookahead: false }
+            .label()
+            .contains("no look-ahead"));
+        assert_eq!(Algorithm::FfFp32 { lookahead: true }.label(), "FF-FP32");
+        assert!(Algorithm::FfFp32 { lookahead: false }
+            .label()
+            .contains("no look-ahead"));
+    }
+
+    #[test]
+    fn lambda_schedule_matches_paper() {
+        let opt = TrainOptions::default();
+        assert_eq!(opt.lambda_at_epoch(0), 0.0);
+        assert!((opt.lambda_at_epoch(10) - 0.01).abs() < 1e-6);
+        // capped
+        assert_eq!(opt.lambda_at_epoch(1000), opt.lambda_max);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let opt = TrainOptions::default()
+            .with_epochs(5)
+            .with_learning_rate(0.1)
+            .with_batch_size(8)
+            .with_seed(7);
+        assert_eq!(opt.epochs, 5);
+        assert_eq!(opt.learning_rate, 0.1);
+        assert_eq!(opt.batch_size, 8);
+        assert_eq!(opt.seed, 7);
+        assert_eq!(TrainOptions::default().batch_size, 32);
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+use ff_nn::NnError;
+use ff_tensor::TensorError;
+
+/// Error type for training operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A layer/loss/optimizer operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The training configuration or dataset is inconsistent with the model.
+    InvalidConfig {
+        /// Human-readable description of the violated expectation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: CoreError = TensorError::InvalidParameter {
+            message: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let n: CoreError = NnError::MissingForwardState { layer: "dense" }.into();
+        assert!(n.to_string().contains("network error"));
+        let c = CoreError::InvalidConfig {
+            message: "bad".into(),
+        };
+        assert!(c.to_string().contains("bad"));
+        assert!(c.source().is_none());
+    }
+}

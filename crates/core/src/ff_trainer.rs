@@ -1,0 +1,501 @@
+//! The Forward-Forward trainer (FP32 and INT8) with the look-ahead scheme.
+
+use crate::config::{Precision, TrainOptions};
+use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind};
+use crate::{CoreError, Result};
+use ff_data::{positive_negative_sets, Dataset};
+use ff_metrics::{accuracy, TrainingHistory};
+use ff_nn::{ForwardMode, Optimizer, Sequential, Sgd};
+use ff_quant::Rounding;
+use ff_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trains a [`Sequential`] network with the Forward-Forward algorithm.
+///
+/// Every layer with trainable parameters is treated as one FF unit: its
+/// goodness is the per-sample sum of squared activations of its output, and
+/// it is optimised with the losses of paper Eq. 1–2. With `lookahead`
+/// enabled, each unit's update additionally receives `λ ·
+/// ∂L_j/∂W_i` contributions from all later units `j > i` (Eq. 3–4,
+/// Algorithm 1), where λ follows the schedule in [`TrainOptions`].
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::{FfTrainer, Precision, TrainOptions};
+/// use ff_data::{synthetic_mnist, SyntheticConfig};
+/// use ff_models::small_mlp;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_core::CoreError> {
+/// let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = small_mlp(784, &[32], 10, &mut rng);
+/// let mut trainer = FfTrainer::new(Precision::Int8, true, TrainOptions::fast_test());
+/// let history = trainer.train(&mut net, &train_set, &test_set)?;
+/// assert_eq!(history.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FfTrainer {
+    options: TrainOptions,
+    precision: Precision,
+    lookahead: bool,
+    optimizers: Vec<Sgd>,
+    rng: StdRng,
+}
+
+impl FfTrainer {
+    /// Creates a trainer with the given precision, look-ahead flag and
+    /// hyperparameters.
+    pub fn new(precision: Precision, lookahead: bool, options: TrainOptions) -> Self {
+        let rng = StdRng::seed_from_u64(options.seed);
+        FfTrainer {
+            options,
+            precision,
+            lookahead,
+            optimizers: Vec::new(),
+            rng,
+        }
+    }
+
+    /// The numeric mode used for forward passes and gradient GEMMs.
+    pub fn forward_mode(&self) -> ForwardMode {
+        match self.precision {
+            Precision::Fp32 => ForwardMode::Fp32,
+            Precision::Int8 => ForwardMode::Int8(Rounding::Stochastic),
+        }
+    }
+
+    /// `true` when the look-ahead scheme is enabled.
+    pub fn has_lookahead(&self) -> bool {
+        self.lookahead
+    }
+
+    /// Trains `net` and returns the per-epoch history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset geometry is incompatible with the
+    /// network or a layer operation fails.
+    pub fn train(
+        &mut self,
+        net: &mut Sequential,
+        train_set: &Dataset,
+        test_set: &Dataset,
+    ) -> Result<TrainingHistory> {
+        if train_set.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                message: "training set is empty".to_string(),
+            });
+        }
+        let mut history = TrainingHistory::new(match (self.precision, self.lookahead) {
+            (Precision::Int8, true) => "FF-INT8",
+            (Precision::Int8, false) => "FF-INT8 (no look-ahead)",
+            (Precision::Fp32, true) => "FF-FP32",
+            (Precision::Fp32, false) => "FF-FP32 (no look-ahead)",
+        });
+        for epoch in 0..self.options.epochs {
+            let lambda = if self.lookahead {
+                self.options.lambda_at_epoch(epoch)
+            } else {
+                0.0
+            };
+            let batches =
+                train_set.batches(self.options.batch_size, true, &mut self.rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batch_count = 0usize;
+            for batch in &batches {
+                let loss = self.train_batch(net, &batch.images, &batch.labels, train_set.num_classes(), lambda)?;
+                epoch_loss += loss;
+                batch_count += 1;
+            }
+            let mean_loss = epoch_loss / batch_count.max(1) as f32;
+            let evaluate = epoch % self.options.eval_every.max(1) == 0
+                || epoch + 1 == self.options.epochs;
+            let (train_acc, test_acc) = if evaluate {
+                let train_acc = self.evaluate(net, train_set)?;
+                let test_acc = self.evaluate(net, test_set)?;
+                (train_acc, Some(test_acc))
+            } else {
+                (0.0, None)
+            };
+            history.record(epoch, mean_loss, train_acc, test_acc);
+        }
+        Ok(history)
+    }
+
+    /// Runs one mini-batch (positive pass + negative pass + optimizer step)
+    /// and returns the summed FF loss.
+    fn train_batch(
+        &mut self,
+        net: &mut Sequential,
+        images: &Tensor,
+        labels: &[usize],
+        num_classes: usize,
+        lambda: f32,
+    ) -> Result<f32> {
+        let flat = images.reshape(&[images.rows(), images.cols()])?;
+        let (pos, neg) = positive_negative_sets(&flat, labels, num_classes, &mut self.rng)?;
+        let pos = reshape_for_net(&pos, images, net)?;
+        let neg = reshape_for_net(&neg, images, net)?;
+
+        net.zero_grad();
+        let loss_pos = self.accumulate_pass(net, &pos, FfLossKind::Positive, lambda)?;
+        let loss_neg = self.accumulate_pass(net, &neg, FfLossKind::Negative, lambda)?;
+        self.step(net);
+        Ok(loss_pos + loss_neg)
+    }
+
+    /// One forward pass plus per-unit gradient accumulation for one side
+    /// (positive or negative) of the FF objective.
+    fn accumulate_pass(
+        &mut self,
+        net: &mut Sequential,
+        input: &Tensor,
+        kind: FfLossKind,
+        lambda: f32,
+    ) -> Result<f32> {
+        let mode = self.forward_mode();
+        let layer_count = net.len();
+        // Forward pass, collecting the raw output of every layer. The input
+        // of the next layer is the row-normalised output of the previous
+        // trainable layer (Hinton's layer normalisation) so goodness cannot
+        // be trivially copied forward.
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(layer_count);
+        let mut x = input.clone();
+        {
+            let layers = net.layers_mut();
+            for layer in layers.iter_mut() {
+                let y = layer.forward(&x, mode)?;
+                x = if layer.param_count() > 0 {
+                    normalize_activations(&y)?
+                } else {
+                    y.clone()
+                };
+                outputs.push(y);
+            }
+        }
+        // Per-unit FF losses and gradients w.r.t. each unit's own output.
+        let mut total_loss = 0.0f32;
+        let mut own_grads: Vec<Option<Tensor>> = Vec::with_capacity(layer_count);
+        {
+            let layers = net.layers_mut();
+            for (layer, output) in layers.iter_mut().zip(&outputs) {
+                if layer.param_count() == 0 {
+                    own_grads.push(None);
+                    continue;
+                }
+                let rows = output.rows();
+                let flat = output.reshape(&[rows, output.cols()])?;
+                let g = goodness(&flat);
+                let (loss, dg) = ff_loss(&g, self.options.theta, kind);
+                total_loss += loss;
+                let grad_flat = goodness_gradient(&flat, &dg);
+                own_grads.push(Some(grad_flat.reshape(output.shape())?));
+            }
+        }
+        // Backward sweep from the last unit to the first. `relay` carries
+        // λ-weighted gradients of *later* units' losses w.r.t. the current
+        // layer's output (Eq. 4); it is empty in vanilla FF mode (λ = 0).
+        let mut relay: Option<Tensor> = None;
+        let layers = net.layers_mut();
+        for i in (0..layer_count).rev() {
+            let own = own_grads[i].take();
+            let incoming_relay = relay.take();
+            match (own, incoming_relay) {
+                (Some(own_grad), maybe_relay) => {
+                    let d_own = layers[i].backward(&own_grad)?;
+                    let d_relay = match maybe_relay {
+                        Some(r) => Some(layers[i].backward(&r)?),
+                        None => None,
+                    };
+                    relay = if lambda > 0.0 && i > 0 {
+                        let mut r = d_own.scale(lambda);
+                        if let Some(dr) = d_relay {
+                            r.add_assign(&dr)?;
+                        }
+                        Some(r)
+                    } else {
+                        None
+                    };
+                }
+                (None, Some(r)) => {
+                    // Parameter-free layer: relay the gradient through its
+                    // backward pass unchanged.
+                    let d = layers[i].backward(&r)?;
+                    relay = if i > 0 { Some(d) } else { None };
+                }
+                (None, None) => {
+                    relay = None;
+                }
+            }
+        }
+        Ok(total_loss)
+    }
+
+    /// Applies one optimizer step per layer and clears the gradients.
+    fn step(&mut self, net: &mut Sequential) {
+        let lr = self.options.learning_rate;
+        let momentum = self.options.momentum;
+        let layer_count = net.len();
+        while self.optimizers.len() < layer_count {
+            self.optimizers.push(Sgd::new(lr, momentum));
+        }
+        for (layer, optimizer) in net.layers_mut().iter_mut().zip(&mut self.optimizers) {
+            let mut params = layer.params_mut();
+            if !params.is_empty() {
+                optimizer.step(&mut params);
+            }
+            layer.zero_grad();
+        }
+    }
+
+    /// Goodness-based classification accuracy on (a capped prefix of) a
+    /// dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> Result<f32> {
+        let count = dataset.len().min(self.options.max_eval_samples);
+        if count == 0 {
+            return Ok(0.0);
+        }
+        let subset = dataset.take(count)?;
+        let predictions = self.predict(net, subset.images(), subset.num_classes())?;
+        Ok(accuracy(&predictions, subset.labels()))
+    }
+
+    /// Predicts labels by trying every candidate label embedding and picking
+    /// the one with the highest goodness accumulated across all FF units.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn predict(
+        &mut self,
+        net: &mut Sequential,
+        images: &Tensor,
+        num_classes: usize,
+    ) -> Result<Vec<usize>> {
+        let mode = self.forward_mode();
+        let rows = images.rows();
+        let flat = images.reshape(&[rows, images.cols()])?;
+        let mut scores = vec![vec![f32::NEG_INFINITY; num_classes]; rows];
+        let trainable: Vec<bool> = net
+            .layers_mut()
+            .iter_mut()
+            .map(|l| l.param_count() > 0)
+            .collect();
+        for candidate in 0..num_classes {
+            let labels = vec![candidate; rows];
+            let embedded = ff_data::embed_label(&flat, &labels, num_classes)?;
+            let shaped = reshape_for_net(&embedded, images, net)?;
+            let mut x = shaped;
+            let mut per_sample = vec![0.0f32; rows];
+            let layers = net.layers_mut();
+            for (i, layer) in layers.iter_mut().enumerate() {
+                let y = layer.forward(&x, mode)?;
+                if trainable[i] {
+                    let flat_y = y.reshape(&[rows, y.cols()])?;
+                    for (s, g) in per_sample.iter_mut().zip(goodness(&flat_y)) {
+                        *s += g;
+                    }
+                    x = normalize_activations(&y)?;
+                } else {
+                    x = y;
+                }
+            }
+            for (row_scores, s) in scores.iter_mut().zip(per_sample) {
+                row_scores[candidate] = s;
+            }
+        }
+        Ok(scores
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect())
+    }
+}
+
+/// Row-normalises activations (flattened per sample) before they feed the
+/// next FF unit.
+fn normalize_activations(output: &Tensor) -> Result<Tensor> {
+    let rows = output.rows();
+    let flat = output.reshape(&[rows, output.cols()])?;
+    Ok(flat.normalize_rows(1e-6).reshape(output.shape())?)
+}
+
+/// Reshapes a flattened (label-embedded) batch back to the input shape the
+/// network expects: flat `[batch, features]` when the first layer is dense,
+/// the original image shape otherwise.
+fn reshape_for_net(flat: &Tensor, original: &Tensor, net: &mut Sequential) -> Result<Tensor> {
+    let first_is_dense = net
+        .layers()
+        .first()
+        .map(|l| l.name() == "dense")
+        .unwrap_or(true);
+    if first_is_dense {
+        Ok(flat.clone())
+    } else {
+        Ok(flat.reshape(original.shape())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_data::{synthetic_mnist, SyntheticConfig};
+    use ff_models::{small_mlp, small_resnet, SmallModelConfig};
+
+    fn tiny_mnist() -> (Dataset, Dataset) {
+        synthetic_mnist(&SyntheticConfig {
+            train_size: 300,
+            test_size: 100,
+            noise_std: 0.15,
+            max_shift: 0,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn ff_fp32_learns_on_mlp() {
+        let (train_set, test_set) = tiny_mnist();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+        let options = TrainOptions {
+            epochs: 10,
+            learning_rate: 0.2,
+            max_eval_samples: 100,
+            ..TrainOptions::default()
+        };
+        let mut trainer = FfTrainer::new(Precision::Fp32, false, options);
+        let history = trainer.train(&mut net, &train_set, &test_set).unwrap();
+        let acc = history.final_accuracy().unwrap();
+        assert!(acc > 0.5, "FF-FP32 accuracy {acc}");
+    }
+
+    #[test]
+    fn ff_int8_learns_on_mlp() {
+        let (train_set, test_set) = tiny_mnist();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+        let options = TrainOptions {
+            epochs: 10,
+            learning_rate: 0.2,
+            max_eval_samples: 100,
+            ..TrainOptions::default()
+        };
+        let mut trainer = FfTrainer::new(Precision::Int8, true, options);
+        let history = trainer.train(&mut net, &train_set, &test_set).unwrap();
+        let acc = history.final_accuracy().unwrap();
+        assert!(acc > 0.5, "FF-INT8 accuracy {acc}");
+    }
+
+    #[test]
+    fn lookahead_relay_changes_early_layer_gradients() {
+        // With look-ahead, the first layer's update must receive contributions
+        // from later layers' losses; verify the relay path is exercised by
+        // comparing gradients with and without λ.
+        let (train_set, _) = tiny_mnist();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = small_mlp(784, &[32, 32], 10, &mut rng);
+        let batch = &train_set.batches(16, false, &mut rng)[0];
+        let flat = batch
+            .images
+            .reshape(&[batch.images.rows(), batch.images.cols()])
+            .unwrap();
+        let options = TrainOptions::default();
+        let mut trainer = FfTrainer::new(Precision::Fp32, true, options);
+        let (pos, _) =
+            positive_negative_sets(&flat, &batch.labels, 10, &mut trainer.rng).unwrap();
+
+        net.zero_grad();
+        trainer
+            .accumulate_pass(&mut net, &pos, FfLossKind::Positive, 0.0)
+            .unwrap();
+        let grad_no_lambda = net.params_mut()[0].grad.clone();
+        net.zero_grad();
+        trainer
+            .accumulate_pass(&mut net, &pos, FfLossKind::Positive, 0.5)
+            .unwrap();
+        let grad_with_lambda = net.params_mut()[0].grad.clone();
+        let diff = grad_no_lambda.sub(&grad_with_lambda).unwrap().max_abs();
+        assert!(diff > 0.0, "look-ahead must change first-layer gradients");
+    }
+
+    #[test]
+    fn predict_returns_valid_labels() {
+        let (train_set, _) = tiny_mnist();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = small_mlp(784, &[32], 10, &mut rng);
+        let mut trainer = FfTrainer::new(Precision::Fp32, false, TrainOptions::fast_test());
+        let subset = train_set.take(20).unwrap();
+        let preds = trainer.predict(&mut net, subset.images(), 10).unwrap();
+        assert_eq!(preds.len(), 20);
+        assert!(preds.iter().all(|&p| p < 10));
+    }
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        let (train_set, test_set) = tiny_mnist();
+        let empty = train_set.take(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = small_mlp(784, &[16], 10, &mut rng);
+        let mut trainer = FfTrainer::new(Precision::Fp32, false, TrainOptions::fast_test());
+        assert!(trainer.train(&mut net, &empty, &test_set).is_err());
+    }
+
+    #[test]
+    fn ff_trains_convolutional_residual_model() {
+        // Smoke test: the FF trainer must handle conv nets with residual
+        // blocks and parameter-free layers (global pooling) in the chain.
+        let config = SyntheticConfig {
+            train_size: 60,
+            test_size: 30,
+            noise_std: 0.15,
+            max_shift: 0,
+            seed: 6,
+        };
+        let (train_set, test_set) = ff_data::synthetic_cifar10(&config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SmallModelConfig::default()
+            .with_base_channels(4)
+            .with_stages(1)
+            .with_input(3, 32);
+        let mut net = small_resnet(&cfg, &mut rng);
+        let options = TrainOptions {
+            epochs: 1,
+            batch_size: 16,
+            max_eval_samples: 20,
+            ..TrainOptions::default()
+        };
+        let mut trainer = FfTrainer::new(Precision::Int8, true, options);
+        let history = trainer.train(&mut net, &train_set, &test_set).unwrap();
+        assert_eq!(history.len(), 1);
+        assert!(history.final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn forward_mode_matches_precision() {
+        let t8 = FfTrainer::new(Precision::Int8, true, TrainOptions::fast_test());
+        assert!(t8.forward_mode().is_int8());
+        assert!(t8.has_lookahead());
+        let t32 = FfTrainer::new(Precision::Fp32, false, TrainOptions::fast_test());
+        assert!(!t32.forward_mode().is_int8());
+        assert!(!t32.has_lookahead());
+    }
+}

@@ -1,0 +1,58 @@
+//! # ff-core
+//!
+//! The FF-INT8 paper's contribution: INT8 Forward-Forward training with the
+//! "look-ahead" scheme, plus the backpropagation baselines it is evaluated
+//! against (BP-FP32, naive BP-INT8, BP-UI8, BP-GDAI8).
+//!
+//! The crate exposes a unified [`train`] entry point that dispatches on
+//! [`Algorithm`], so the experiment harness can sweep all five training
+//! algorithms over the same model and dataset.
+//!
+//! # Examples
+//!
+//! Train a 2-hidden-layer MLP with FF-INT8 + look-ahead on the synthetic
+//! MNIST stand-in:
+//!
+//! ```
+//! use ff_core::{train, Algorithm, TrainOptions};
+//! use ff_data::{synthetic_mnist, SyntheticConfig};
+//! use ff_models::small_mlp;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ff_core::CoreError> {
+//! let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+//! let options = TrainOptions::fast_test();
+//! let history = train(
+//!     &mut net,
+//!     &train_set,
+//!     &test_set,
+//!     Algorithm::FfInt8 { lookahead: true },
+//!     &options,
+//! )?;
+//! assert_eq!(history.len(), options.epochs);
+//! assert!(history.final_loss().unwrap().is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod baselines;
+mod config;
+mod error;
+mod ff_trainer;
+mod goodness;
+
+pub use api::{train, TrainingReport};
+pub use baselines::{BpTrainer, GradientPolicy};
+pub use config::{Algorithm, Precision, TrainOptions};
+pub use error::CoreError;
+pub use ff_trainer::FfTrainer;
+pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,247 @@
+//! In-memory labelled dataset with batching utilities.
+
+use bytes::{BufMut, BytesMut};
+use ff_tensor::{Tensor, TensorError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One mini-batch: images plus labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Batch images, `[batch, ...image_shape]`.
+    pub images: Tensor,
+    /// Per-sample class labels.
+    pub labels: Vec<usize>,
+}
+
+/// An in-memory labelled image dataset.
+///
+/// Images are stored as a single tensor whose first dimension is the sample
+/// index; `image_shape` describes the per-sample shape (e.g. `[1, 28, 28]`).
+///
+/// # Examples
+///
+/// ```
+/// use ff_data::Dataset;
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let images = Tensor::ones(&[4, 1, 2, 2]);
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.flattened()?.shape(), &[4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an image tensor and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when the label count does not
+    /// match the number of images or a label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, TensorError> {
+        if images.rows() != labels.len() {
+            return Err(TensorError::InvalidParameter {
+                message: format!(
+                    "{} images but {} labels",
+                    images.rows(),
+                    labels.len()
+                ),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(TensorError::InvalidParameter {
+                message: format!("label {bad} out of range for {num_classes} classes"),
+            });
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Per-sample image shape (everything after the sample dimension).
+    pub fn image_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// Number of scalar features per sample.
+    pub fn feature_count(&self) -> usize {
+        self.image_shape().iter().product()
+    }
+
+    /// The full image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Images flattened to `[n, features]` (for MLPs and FF label embedding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reshape errors (cannot happen for well-formed datasets).
+    pub fn flattened(&self) -> Result<Tensor, TensorError> {
+        self.images
+            .reshape(&[self.len(), self.feature_count()])
+    }
+
+    /// Splits the dataset into mini-batches, optionally shuffling sample order.
+    ///
+    /// The final batch may be smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        shuffle: bool,
+        rng: &mut R,
+    ) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        if shuffle {
+            order.shuffle(rng);
+        }
+        order
+            .chunks(batch_size)
+            .map(|chunk| {
+                let images = self
+                    .images
+                    .select_rows(chunk)
+                    .expect("indices in range by construction");
+                let labels = chunk.iter().map(|&i| self.labels[i]).collect();
+                Batch { images, labels }
+            })
+            .collect()
+    }
+
+    /// Takes the first `count` samples as a new dataset (used to shrink
+    /// experiments for fast CI runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slicing errors when `count > len()`.
+    pub fn take(&self, count: usize) -> Result<Self, TensorError> {
+        let images = self.images.slice_rows(0, count)?;
+        Ok(Dataset {
+            images,
+            labels: self.labels[..count].to_vec(),
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Serialises the images as `u8` pixels (0–255) for compact storage,
+    /// assuming inputs are normalised to `[0, 1]`.
+    pub fn to_u8_bytes(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(self.images.len());
+        for &v in self.images.data() {
+            buf.put_u8((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        let images = Tensor::from_vec(&[6, 1, 2, 2], (0..24).map(|x| x as f32 / 24.0).collect())
+            .unwrap();
+        Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_labels() {
+        let images = Tensor::ones(&[2, 4]);
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn shape_queries() {
+        let ds = dataset();
+        assert_eq!(ds.len(), 6);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.image_shape(), &[1, 2, 2]);
+        assert_eq!(ds.feature_count(), 4);
+        assert_eq!(ds.flattened().unwrap().shape(), &[6, 4]);
+    }
+
+    #[test]
+    fn batching_covers_all_samples() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = ds.batches(4, true, &mut rng);
+        assert_eq!(batches.len(), 2);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, 6);
+        assert_eq!(batches[0].images.shape()[0], 4);
+        assert_eq!(batches[1].images.shape()[0], 2);
+    }
+
+    #[test]
+    fn unshuffled_batches_preserve_order() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = ds.batches(3, false, &mut rng);
+        assert_eq!(batches[0].labels, vec![0, 1, 2]);
+        assert_eq!(batches[1].labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_panics() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        ds.batches(0, false, &mut rng);
+    }
+
+    #[test]
+    fn take_shrinks_dataset() {
+        let ds = dataset().take(2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(dataset().take(100).is_err());
+    }
+
+    #[test]
+    fn byte_export_has_one_byte_per_pixel() {
+        let ds = dataset();
+        let bytes = ds.to_u8_bytes();
+        assert_eq!(bytes.len(), 24);
+    }
+}

@@ -1,0 +1,178 @@
+//! Positive/negative sample construction for the Forward-Forward algorithm.
+//!
+//! Following Hinton (2022) and the FF-INT8 paper (Section III), labels are
+//! embedded into the input by overwriting the first `num_classes` features
+//! with a one-hot vector. Positive samples carry the true label, negative
+//! samples carry a deliberately wrong label.
+
+use ff_tensor::{Tensor, TensorError};
+use rand::Rng;
+
+/// Overwrites the first `num_classes` features of each flattened image with a
+/// one-hot encoding of the corresponding label.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when the label count does not
+/// match the batch size, a label is out of range, or the images have fewer
+/// features than `num_classes`.
+///
+/// # Examples
+///
+/// ```
+/// use ff_data::embed_label;
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let images = Tensor::zeros(&[2, 12]);
+/// let embedded = embed_label(&images, &[3, 7], 10)?;
+/// assert_eq!(embedded.at2(0, 3)?, 1.0);
+/// assert_eq!(embedded.at2(1, 7)?, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn embed_label(
+    images: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+) -> Result<Tensor, TensorError> {
+    let rows = images.rows();
+    let cols = images.cols();
+    if labels.len() != rows {
+        return Err(TensorError::InvalidParameter {
+            message: format!("{} labels for {} images", labels.len(), rows),
+        });
+    }
+    if cols < num_classes {
+        return Err(TensorError::InvalidParameter {
+            message: format!("images have {cols} features, need at least {num_classes}"),
+        });
+    }
+    let flat = images.reshape(&[rows, cols])?;
+    let mut out = flat.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= num_classes {
+            return Err(TensorError::InvalidParameter {
+                message: format!("label {label} out of range for {num_classes} classes"),
+            });
+        }
+        let row = out.row_mut(i);
+        for v in row.iter_mut().take(num_classes) {
+            *v = 0.0;
+        }
+        row[label] = 1.0;
+    }
+    Ok(out)
+}
+
+/// Draws a wrong label for every sample, uniformly over the other classes.
+///
+/// # Panics
+///
+/// Panics if `num_classes < 2`.
+pub fn make_negative_labels<R: Rng + ?Sized>(
+    labels: &[usize],
+    num_classes: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(num_classes >= 2, "need at least two classes to pick a wrong label");
+    labels
+        .iter()
+        .map(|&true_label| {
+            let offset = rng.gen_range(1..num_classes);
+            (true_label + offset) % num_classes
+        })
+        .collect()
+}
+
+/// Builds the positive and negative datasets for one batch of flattened
+/// images: positive samples embed the true label, negative samples embed a
+/// randomly chosen wrong label.
+///
+/// # Errors
+///
+/// Propagates [`embed_label`] errors.
+pub fn positive_negative_sets<R: Rng + ?Sized>(
+    images: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    rng: &mut R,
+) -> Result<(Tensor, Tensor), TensorError> {
+    let positive = embed_label(images, labels, num_classes)?;
+    let wrong = make_negative_labels(labels, num_classes, rng);
+    let negative = embed_label(images, &wrong, num_classes)?;
+    Ok((positive, negative))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embed_overwrites_first_features() {
+        let images = Tensor::full(&[1, 12], 0.5);
+        let out = embed_label(&images, &[4], 10).unwrap();
+        assert_eq!(out.row(0)[4], 1.0);
+        for j in 0..10 {
+            if j != 4 {
+                assert_eq!(out.row(0)[j], 0.0);
+            }
+        }
+        assert_eq!(out.row(0)[10], 0.5);
+        assert_eq!(out.row(0)[11], 0.5);
+    }
+
+    #[test]
+    fn embed_validates_inputs() {
+        let images = Tensor::zeros(&[2, 12]);
+        assert!(embed_label(&images, &[1], 10).is_err());
+        assert!(embed_label(&images, &[1, 11], 10).is_err());
+        assert!(embed_label(&Tensor::zeros(&[1, 4]), &[1], 10).is_err());
+    }
+
+    #[test]
+    fn embed_flattens_4d_images() {
+        let images = Tensor::zeros(&[2, 1, 4, 4]);
+        let out = embed_label(&images, &[0, 9], 10).unwrap();
+        assert_eq!(out.shape(), &[2, 16]);
+        assert_eq!(out.row(1)[9], 1.0);
+    }
+
+    #[test]
+    fn negative_labels_are_always_wrong() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let labels: Vec<usize> = (0..500).map(|i| i % 10).collect();
+        let wrong = make_negative_labels(&labels, 10, &mut rng);
+        for (t, w) in labels.iter().zip(&wrong) {
+            assert_ne!(t, w);
+            assert!(*w < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn negative_labels_need_two_classes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        make_negative_labels(&[0], 1, &mut rng);
+    }
+
+    #[test]
+    fn positive_negative_sets_differ_in_label_slots_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let images = Tensor::full(&[3, 15], 0.3);
+        let labels = [0usize, 5, 9];
+        let (pos, neg) = positive_negative_sets(&images, &labels, 10, &mut rng).unwrap();
+        assert_eq!(pos.shape(), neg.shape());
+        for i in 0..3 {
+            // true label slot set in positive only
+            assert_eq!(pos.row(i)[labels[i]], 1.0);
+            assert_eq!(neg.row(i)[labels[i]], 0.0);
+            // non-label features identical
+            for j in 10..15 {
+                assert_eq!(pos.row(i)[j], neg.row(i)[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # ff-data
+//!
+//! Synthetic image-classification datasets and Forward-Forward sample
+//! embedding.
+//!
+//! The FF-INT8 paper trains on MNIST and CIFAR-10. This reproduction runs in
+//! an offline environment, so the crate generates *synthetic* stand-ins with
+//! the same tensor geometry (28×28×1 and 32×32×3, 10 classes): each class has
+//! a procedurally generated prototype image and samples are noisy, shifted
+//! copies of it. The substitution is documented in `DESIGN.md`; all
+//! experiments measure *relative* behaviour between training algorithms, which
+//! the synthetic tasks preserve.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_data::{synthetic_mnist, SyntheticConfig};
+//!
+//! let (train, test) = synthetic_mnist(&SyntheticConfig::small());
+//! assert_eq!(train.num_classes(), 10);
+//! assert_eq!(train.image_shape(), &[1, 28, 28]);
+//! assert!(test.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod ff_samples;
+mod synthetic;
+
+pub use dataset::{Batch, Dataset};
+pub use ff_samples::{embed_label, make_negative_labels, positive_negative_sets};
+pub use synthetic::{synthetic_cifar10, synthetic_mnist, SyntheticConfig};

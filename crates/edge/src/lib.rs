@@ -1,0 +1,41 @@
+//! # ff-edge
+//!
+//! An analytic model of the NVIDIA Jetson Orin Nano board (paper Table III)
+//! used to estimate training time, energy consumption and memory footprint
+//! for each training algorithm without the physical hardware.
+//!
+//! The paper measures these quantities with hardware counters on the real
+//! board; this crate derives them from exact per-layer operation counts
+//! (driven by the [`ff_models::ModelSpec`] architecture descriptions) plus an
+//! explicit device model. Absolute numbers therefore differ from the paper,
+//! but the *relative* ordering of algorithms — which the paper's conclusions
+//! rest on — is produced by the same mechanisms the paper cites: INT8
+//! arithmetic throughput, the absence of the backward gradient chain in
+//! Forward-Forward training, and the memory retained for backpropagation's
+//! computational graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_edge::{AlgorithmKind, CostModel, TrainingRun};
+//! use ff_models::specs;
+//!
+//! let model = CostModel::jetson_orin_nano();
+//! let spec = specs::mlp_spec(&[1000, 1000]);
+//! let run = TrainingRun { batch_size: 32, batches_per_epoch: 100, epochs: 10 };
+//! let ff = model.estimate(AlgorithmKind::FfInt8, &spec, &run);
+//! let bp = model.estimate(AlgorithmKind::BpFp32, &spec, &run);
+//! assert!(ff.memory_bytes < bp.memory_bytes);
+//! assert!(ff.time_s < bp.time_s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod device;
+mod opcount;
+
+pub use cost::{AlgorithmKind, CostModel, TrainingCost, TrainingRun};
+pub use device::DeviceSpec;
+pub use opcount::OpCounts;

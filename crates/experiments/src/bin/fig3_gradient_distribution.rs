@@ -1,0 +1,77 @@
+//! Figure 3: distribution of the first layer's weight gradients for MLPs of
+//! increasing depth, trained with FP32 backpropagation.
+
+use ff_experiments::{bp_options, mnist, RunScale};
+use ff_metrics::format_table;
+use ff_nn::{softmax_cross_entropy, ForwardMode};
+use ff_models::small_mlp;
+use ff_quant::stats::{DistributionStats, GradientHistogram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (train_set, _) = mnist(scale);
+    let options = bp_options(scale);
+    let hidden_width = if scale.is_full() { 500 } else { 128 };
+
+    println!("== Figure 3: first-layer gradient distribution vs. network depth ==\n");
+    let mut rows = Vec::new();
+    for hidden_layers in 0..=3usize {
+        let hidden = vec![hidden_width; hidden_layers];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = small_mlp(784, &hidden, 10, &mut rng);
+        // Accumulate the first layer's gradient over one epoch of batches
+        // (FP32 backprop), then inspect its distribution.
+        let batches = train_set.batches(options.batch_size, true, &mut rng);
+        for batch in batches.iter().take(if scale.is_full() { 100 } else { 20 }) {
+            let input = batch
+                .images
+                .reshape(&[batch.images.rows(), batch.images.cols()])
+                .expect("flatten");
+            let logits = net.forward(&input, ForwardMode::Fp32).expect("forward");
+            let out = softmax_cross_entropy(&logits, &batch.labels).expect("loss");
+            net.backward(&out.grad).expect("backward");
+        }
+        let mut params = net.params_mut();
+        let first_layer_grad = params
+            .first_mut()
+            .map(|p| p.grad.clone())
+            .expect("first layer gradient");
+        let stats = DistributionStats::from_tensor(&first_layer_grad);
+        let hist = GradientHistogram::from_tensor(&first_layer_grad, 41);
+        println!(
+            "hidden layers = {hidden_layers}: {}  (range ±{:.2e})",
+            hist.to_sparkline(),
+            hist.hi()
+        );
+        rows.push(vec![
+            hidden_layers.to_string(),
+            format!("{:.2e}", stats.std),
+            format!("{:.2e}", stats.max_abs),
+            format!("{:.1}", stats.kurtosis),
+            format!("{:.1}", stats.underflow_fraction * 100.0),
+            format!("{:.1}", hist.central_mass(3) * 100.0),
+        ]);
+    }
+    println!();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Hidden layers",
+                "Std",
+                "Max |g|",
+                "Kurtosis",
+                "Underflow under SUQ (%)",
+                "Mass in central 3 bins (%)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Paper's qualitative result: deeper networks produce sharper first-layer gradient\n\
+         distributions (larger extremes, more mass near zero), so direct per-tensor INT8\n\
+         quantization loses most of the gradient information."
+    );
+}

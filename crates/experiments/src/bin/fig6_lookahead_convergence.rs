@@ -1,0 +1,88 @@
+//! Figure 6: test accuracy per epoch for FF-INT8 with and without the
+//! look-ahead scheme, on (a) an MLP and (b) a residual convolutional network.
+
+use ff_core::{train, Algorithm};
+use ff_experiments::{cifar10, ff_options, mnist, RunScale};
+use ff_metrics::format_series;
+use ff_models::{small_mlp, small_resnet, SmallModelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let run_resnet = std::env::args().any(|a| a == "--model=resnet") || scale.is_full();
+
+    println!("== Figure 6(a): MLP trained with FF-INT8, with and without look-ahead ==\n");
+    let (train_set, test_set) = mnist(scale);
+    let options = ff_options(scale);
+    let mut convergence = Vec::new();
+    for lookahead in [false, true] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
+        let history = train(
+            &mut net,
+            &train_set,
+            &test_set,
+            Algorithm::FfInt8 { lookahead },
+            &options,
+        )
+        .expect("training failed");
+        let label = if lookahead {
+            "with look-ahead"
+        } else {
+            "without look-ahead"
+        };
+        println!("-- FF-INT8 {label} --");
+        println!(
+            "{}",
+            format_series("epoch", "test accuracy", &history.test_accuracy_series())
+        );
+        let best = history.best_test_accuracy().unwrap_or(0.0);
+        let to_threshold = history.epochs_to_reach(0.8 * best);
+        println!(
+            "best accuracy {:.3}, epochs to reach 80% of best: {:?}\n",
+            best, to_threshold
+        );
+        convergence.push((label, best, to_threshold));
+    }
+
+    if run_resnet {
+        println!("== Figure 6(b): residual network trained with FF-INT8, with and without look-ahead ==\n");
+        let (ctrain, ctest) = cifar10(scale);
+        let mut conv_options = ff_options(scale);
+        conv_options.epochs = if scale.is_full() { 25 } else { 5 };
+        conv_options.max_eval_samples = 100;
+        let model_config = SmallModelConfig::default()
+            .with_base_channels(if scale.is_full() { 8 } else { 4 })
+            .with_stages(2);
+        for lookahead in [false, true] {
+            let mut rng = StdRng::seed_from_u64(22);
+            let mut net = small_resnet(&model_config, &mut rng);
+            let history = train(
+                &mut net,
+                &ctrain,
+                &ctest,
+                Algorithm::FfInt8 { lookahead },
+                &conv_options,
+            )
+            .expect("training failed");
+            let label = if lookahead {
+                "with look-ahead"
+            } else {
+                "without look-ahead"
+            };
+            println!("-- FF-INT8 {label} (residual network) --");
+            println!(
+                "{}",
+                format_series("epoch", "test accuracy", &history.test_accuracy_series())
+            );
+        }
+    } else {
+        println!("(run with --model=resnet or --full to also reproduce Fig. 6(b))");
+    }
+
+    println!(
+        "\nPaper's qualitative result: look-ahead reaches a slightly higher accuracy in fewer\n\
+         epochs on the MLP, and is required for the residual network to converge at all."
+    );
+}

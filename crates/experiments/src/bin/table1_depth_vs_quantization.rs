@@ -1,0 +1,48 @@
+//! Table I: accuracy of MLPs with 0–3 hidden layers trained with FP32 versus
+//! direct-INT8 backpropagation on the MNIST stand-in.
+
+use ff_core::{train, Algorithm};
+use ff_experiments::{bp_options, mnist, pct, RunScale};
+use ff_metrics::format_table;
+use ff_models::small_mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (train_set, test_set) = mnist(scale);
+    let options = bp_options(scale);
+    let hidden_width = if scale.is_full() { 500 } else { 128 };
+
+    println!("== Table I: accuracy vs. depth for FP32 and direct-INT8 backpropagation ==\n");
+    let mut rows = Vec::new();
+    for hidden_layers in 0..=3usize {
+        let hidden = vec![hidden_width; hidden_layers];
+        let mut accuracies = Vec::new();
+        for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut net = small_mlp(784, &hidden, 10, &mut rng);
+            let history = train(&mut net, &train_set, &test_set, algorithm, &options)
+                .expect("training failed");
+            accuracies.push(history.final_accuracy().unwrap_or(0.0));
+        }
+        let diff = accuracies[1] - accuracies[0];
+        rows.push(vec![
+            hidden_layers.to_string(),
+            pct(accuracies[0]),
+            pct(accuracies[1]),
+            format!("{:+.1}", diff * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["Hidden layers", "FP32 acc (%)", "INT8 acc (%)", "Difference (%)"],
+            &rows
+        )
+    );
+    println!(
+        "Paper's qualitative result: the FP32/INT8 gap is small for a 0-hidden-layer network\n\
+         and grows sharply once hidden layers are added (quantization error accumulates with depth)."
+    );
+}

@@ -1,0 +1,147 @@
+//! # ff-experiments
+//!
+//! Shared helpers for the experiment binaries that regenerate every table and
+//! figure of the FF-INT8 paper. One binary exists per experiment:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig2_int8_bp_divergence` | Fig. 2 — INT8 backpropagation divergence |
+//! | `table1_depth_vs_quantization` | Table I — accuracy vs. depth for FP32/INT8 BP |
+//! | `fig3_gradient_distribution` | Fig. 3 — first-layer gradient distributions |
+//! | `fig6_lookahead_convergence` | Fig. 6 — FF-INT8 with/without look-ahead |
+//! | `table4_op_counts` | Table IV — operation counts per mini-batch |
+//! | `table5_summary` | Table V — accuracy/time/energy/memory summary |
+//!
+//! Every binary accepts `--full` for a longer, closer-to-paper run; the
+//! default configuration finishes in seconds on a laptop CPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ff_data::{synthetic_cifar10, synthetic_mnist, Dataset, SyntheticConfig};
+use ff_core::TrainOptions;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Small datasets and few epochs; finishes in seconds.
+    Quick,
+    /// Larger datasets and more epochs; closer to the paper's setting.
+    Full,
+}
+
+impl RunScale {
+    /// Parses `--full` from the process arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            RunScale::Full
+        } else {
+            RunScale::Quick
+        }
+    }
+
+    /// `true` for the full-scale run.
+    pub fn is_full(&self) -> bool {
+        matches!(self, RunScale::Full)
+    }
+}
+
+/// The synthetic MNIST stand-in sized for the requested scale.
+pub fn mnist(scale: RunScale) -> (Dataset, Dataset) {
+    let config = match scale {
+        RunScale::Quick => SyntheticConfig {
+            train_size: 1000,
+            test_size: 300,
+            noise_std: 0.35,
+            max_shift: 2,
+            seed: 42,
+        },
+        RunScale::Full => SyntheticConfig {
+            train_size: 6000,
+            test_size: 1000,
+            noise_std: 0.4,
+            max_shift: 3,
+            seed: 42,
+        },
+    };
+    synthetic_mnist(&config)
+}
+
+/// The synthetic CIFAR-10 stand-in sized for the requested scale.
+pub fn cifar10(scale: RunScale) -> (Dataset, Dataset) {
+    let config = match scale {
+        RunScale::Quick => SyntheticConfig {
+            train_size: 400,
+            test_size: 150,
+            noise_std: 0.3,
+            max_shift: 2,
+            seed: 42,
+        },
+        RunScale::Full => SyntheticConfig {
+            train_size: 3000,
+            test_size: 600,
+            noise_std: 0.35,
+            max_shift: 3,
+            seed: 42,
+        },
+    };
+    synthetic_cifar10(&config)
+}
+
+/// Training options for backpropagation baselines at the requested scale.
+pub fn bp_options(scale: RunScale) -> TrainOptions {
+    TrainOptions {
+        epochs: if scale.is_full() { 20 } else { 6 },
+        learning_rate: 0.05,
+        max_eval_samples: if scale.is_full() { 1000 } else { 200 },
+        ..TrainOptions::default()
+    }
+}
+
+/// Training options for Forward-Forward runs at the requested scale.
+pub fn ff_options(scale: RunScale) -> TrainOptions {
+    TrainOptions {
+        epochs: if scale.is_full() { 40 } else { 10 },
+        learning_rate: 0.2,
+        max_eval_samples: if scale.is_full() { 500 } else { 150 },
+        ..TrainOptions::default()
+    }
+}
+
+/// Formats a percentage with one decimal, as in the paper's tables.
+pub fn pct(value: f32) -> String {
+    format!("{:.1}", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_datasets() {
+        let (train, test) = mnist(RunScale::Quick);
+        assert_eq!(train.len(), 1000);
+        assert_eq!(test.len(), 300);
+        let (ctrain, _) = cifar10(RunScale::Quick);
+        assert_eq!(ctrain.image_shape(), &[3, 32, 32]);
+    }
+
+    #[test]
+    fn options_differ_by_scale() {
+        assert!(bp_options(RunScale::Full).epochs > bp_options(RunScale::Quick).epochs);
+        assert!(ff_options(RunScale::Full).epochs > ff_options(RunScale::Quick).epochs);
+        assert!(ff_options(RunScale::Quick).learning_rate > bp_options(RunScale::Quick).learning_rate);
+    }
+
+    #[test]
+    fn pct_formats_one_decimal() {
+        assert_eq!(pct(0.943), "94.3");
+        assert_eq!(pct(1.0), "100.0");
+    }
+
+    #[test]
+    fn run_scale_queries() {
+        assert!(RunScale::Full.is_full());
+        assert!(!RunScale::Quick.is_full());
+    }
+}

@@ -1,0 +1,24 @@
+//! # ff-metrics
+//!
+//! Training histories, accuracy helpers and plain-text table/series
+//! formatting shared by the FF-INT8 experiments and benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_metrics::TrainingHistory;
+//!
+//! let mut history = TrainingHistory::new("ff-int8");
+//! history.record(0, 2.3, 0.11, Some(0.10));
+//! history.record(1, 1.1, 0.55, Some(0.52));
+//! assert_eq!(history.best_test_accuracy(), Some(0.52));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod history;
+mod table;
+
+pub use history::{accuracy, EpochRecord, TrainingHistory};
+pub use table::{format_series, format_table};

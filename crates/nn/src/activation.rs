@@ -1,0 +1,83 @@
+//! Standalone activation layers.
+
+use crate::layer::{ForwardMode, Layer};
+use crate::{NnError, Result};
+use ff_tensor::Tensor;
+
+/// Rectified linear unit as a standalone layer.
+///
+/// Most MAC layers in this crate offer a *fused* ReLU; the standalone variant
+/// exists for architectures where the activation is separated from the linear
+/// op (e.g. after a residual join).
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::{ForwardMode, Layer, Relu};
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_nn::NnError> {
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_slice(&[3], &[-1.0, 0.0, 2.0]).unwrap(), ForwardMode::Fp32)?;
+/// assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: ForwardMode) -> Result<Tensor> {
+        self.mask = Some(input.relu_grad_mask());
+        Ok(input.relu())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::MissingForwardState { layer: "relu" })?;
+        Ok(grad_output.mul_elem(mask)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[4], &[-2.0, -0.5, 0.5, 2.0]).unwrap();
+        let y = relu.forward(&x, ForwardMode::Fp32).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = relu.backward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn has_no_params() {
+        let mut relu = Relu::new();
+        assert_eq!(relu.param_count(), 0);
+        assert!(relu.params_mut().is_empty());
+    }
+}

@@ -1,0 +1,412 @@
+//! 2-D convolution layer with optional fused ReLU and INT8 forward support.
+
+use crate::layer::{ForwardMode, Layer, ParamRefMut};
+use crate::{NnError, Result};
+use ff_quant::{int8_matmul_a_bt, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
+use ff_tensor::conv::{col2im, im2col, ConvGeometry};
+use ff_tensor::{init, linalg, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution `y = act(conv(x, W) + b)` implemented via im2col.
+///
+/// Weights are `[out_ch, in_ch, kh, kw]`. Activations follow the
+/// `[batch, channels, height, width]` convention of `ff-tensor`.
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::{Conv2d, ForwardMode, Layer};
+/// use ff_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng)?;
+/// let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), ForwardMode::Fp32)?;
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    geom: ConvGeometry,
+    fused_relu: bool,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_cols: Option<Tensor>,
+    cached_quant_cols: Option<QuantTensor>,
+    cached_mask: Option<Tensor>,
+    cached_input_shape: Option<Vec<usize>>,
+    cached_output_hw: (usize, usize),
+    last_mode: ForwardMode,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `kernel` or `stride` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        fused_relu: bool,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let geom = ConvGeometry::new(kernel, stride, padding)?;
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        );
+        Ok(Conv2d {
+            in_channels,
+            out_channels,
+            geom,
+            fused_relu,
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_cols: None,
+            cached_quant_cols: None,
+            cached_mask: None,
+            cached_input_shape: None,
+            cached_output_hw: (0, 0),
+            last_mode: ForwardMode::Fp32,
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Convolution geometry (kernel, stride, padding).
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Immutable access to the accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    fn weight_matrix(&self) -> Result<Tensor> {
+        Ok(self.weight.reshape(&[
+            self.out_channels,
+            self.in_channels * self.geom.kh * self.geom.kw,
+        ])?)
+    }
+
+    /// Reorders `[n·oh·ow, oc]` rows into `[n, oc, oh, ow]`.
+    fn rows_to_nchw(&self, rows: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
+        let oc = self.out_channels;
+        let mut out = vec![0.0f32; n * oc * oh * ow];
+        let src = rows.data();
+        for img in 0..n {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let row = (img * oh + y) * ow + x;
+                    for ch in 0..oc {
+                        out[((img * oc + ch) * oh + y) * ow + x] = src[row * oc + ch];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[n, oc, oh, ow], out).expect("rows_to_nchw shape")
+    }
+
+    /// Reorders `[n, oc, oh, ow]` into `[n·oh·ow, oc]` rows.
+    fn nchw_to_rows(&self, t: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
+        let oc = self.out_channels;
+        let mut out = vec![0.0f32; n * oh * ow * oc];
+        let src = t.data();
+        for img in 0..n {
+            for ch in 0..oc {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let row = (img * oh + y) * ow + x;
+                        out[row * oc + ch] = src[((img * oc + ch) * oh + y) * ow + x];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[n * oh * ow, oc], out).expect("nchw_to_rows shape")
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Tensor> {
+        if input.ndim() != 4 || input.shape()[1] != self.in_channels {
+            return Err(NnError::InvalidInput {
+                layer: "conv2d",
+                message: format!(
+                    "expected [batch, {}, h, w], got {:?}",
+                    self.in_channels,
+                    input.shape()
+                ),
+            });
+        }
+        self.last_mode = mode;
+        let n = input.shape()[0];
+        let (cols, oh, ow) = im2col(input, self.geom)?;
+        let weight_mat = self.weight_matrix()?;
+        let rows = match mode {
+            ForwardMode::Fp32 => {
+                self.cached_quant_cols = None;
+                linalg::matmul_a_bt(&cols, &weight_mat)?
+            }
+            ForwardMode::Int8(rounding) => {
+                let mut rng = rand::thread_rng();
+                let q_cols =
+                    QuantTensor::quantize_with_rng(&cols, QuantConfig::new(rounding), &mut rng);
+                let q_weight = QuantTensor::quantize_with_rng(
+                    &weight_mat,
+                    QuantConfig::new(Rounding::Nearest),
+                    &mut rng,
+                );
+                let out = int8_matmul_a_bt(&q_cols, &q_weight)?;
+                self.cached_quant_cols = Some(q_cols);
+                out
+            }
+        };
+        let rows = rows.add_row_broadcast(&self.bias)?;
+        let mut out = self.rows_to_nchw(&rows, n, oh, ow);
+        self.cached_cols = Some(cols);
+        self.cached_input_shape = Some(input.shape().to_vec());
+        self.cached_output_hw = (oh, ow);
+        if self.fused_relu {
+            let mask = out.relu_grad_mask();
+            out = out.relu();
+            self.cached_mask = Some(mask);
+        } else {
+            self.cached_mask = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .ok_or(NnError::MissingForwardState { layer: "conv2d" })?;
+        let input_shape = self
+            .cached_input_shape
+            .clone()
+            .ok_or(NnError::MissingForwardState { layer: "conv2d" })?;
+        let (n, c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        let (oh, ow) = self.cached_output_hw;
+        let grad_post = match &self.cached_mask {
+            Some(mask) => grad_output.mul_elem(mask)?,
+            None => grad_output.clone(),
+        };
+        let grad_rows = self.nchw_to_rows(&grad_post, n, oh, ow);
+        let weight_mat = self.weight_matrix()?;
+        let (gw_mat, grad_cols) = match self.last_mode {
+            ForwardMode::Fp32 => {
+                // gW = grad_rowsᵀ · cols  → [oc, ic·kh·kw]
+                let gw = linalg::matmul_at_b(&grad_rows, cols)?;
+                let gc = linalg::matmul(&grad_rows, &weight_mat)?;
+                (gw, gc)
+            }
+            ForwardMode::Int8(rounding) => {
+                let mut rng = rand::thread_rng();
+                let q_grad = QuantTensor::quantize_with_rng(
+                    &grad_rows,
+                    QuantConfig::new(rounding),
+                    &mut rng,
+                );
+                let q_cols = self
+                    .cached_quant_cols
+                    .as_ref()
+                    .ok_or(NnError::MissingForwardState { layer: "conv2d" })?;
+                let gw = int8_matmul_at_b(&q_grad, q_cols)?;
+                let gc = linalg::matmul(&q_grad.dequantize(), &weight_mat)?;
+                (gw, gc)
+            }
+        };
+        let gw = gw_mat.reshape(&[
+            self.out_channels,
+            self.in_channels,
+            self.geom.kh,
+            self.geom.kw,
+        ])?;
+        self.grad_weight.add_assign(&gw)?;
+        self.grad_bias.add_assign(&grad_rows.sum_axis0())?;
+        let grad_input = col2im(&grad_cols, n, c, h, w, self.geom)?;
+        Ok(grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        vec![
+            ParamRefMut {
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+            },
+            ParamRefMut {
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.geom.kh * self.geom.kw + self.out_channels
+    }
+
+    fn forward_macs(&self, batch: usize) -> u64 {
+        // MACs depend on the spatial output size, which we only know after a
+        // forward pass; use the cached geometry when available.
+        let (oh, ow) = self.cached_output_hw;
+        (batch * self.out_channels * oh * ow * self.in_channels * self.geom.kh * self.geom.kw)
+            as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, false, &mut rng()).unwrap();
+        let y = conv
+            .forward(&Tensor::ones(&[1, 2, 6, 6]), ForwardMode::Fp32)
+            .unwrap();
+        assert_eq!(y.shape(), &[1, 4, 6, 6]);
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+    }
+
+    #[test]
+    fn stride_reduces_spatial_size() {
+        let mut conv = Conv2d::new(1, 1, 3, 2, 1, false, &mut rng()).unwrap();
+        let y = conv
+            .forward(&Tensor::ones(&[1, 1, 8, 8]), ForwardMode::Fp32)
+            .unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, false, &mut rng()).unwrap();
+        assert!(conv
+            .forward(&Tensor::ones(&[1, 2, 6, 6]), ForwardMode::Fp32)
+            .is_err());
+        assert!(conv
+            .forward(&Tensor::ones(&[6, 6]), ForwardMode::Fp32)
+            .is_err());
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_finite_difference() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, false, &mut rng()).unwrap();
+        let x = init::uniform(&[1, 1, 4, 4], -1.0, 1.0, &mut rng());
+        let y = conv.forward(&x, ForwardMode::Fp32).unwrap();
+        conv.zero_grad();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        let analytic = conv.grad_weight().data()[3];
+
+        let eps = 1e-3f32;
+        let mut plus = conv.clone();
+        plus.weight.data_mut()[3] += eps;
+        let lp = plus.forward(&x, ForwardMode::Fp32).unwrap().sum();
+        let mut minus = conv.clone();
+        minus.weight.data_mut()[3] -= eps;
+        let lm = minus.forward(&x, ForwardMode::Fp32).unwrap().sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, true, &mut rng()).unwrap();
+        let x = init::uniform(&[1, 1, 4, 4], -1.0, 1.0, &mut rng());
+        let y = conv.forward(&x, ForwardMode::Fp32).unwrap();
+        let gi = conv.backward(&Tensor::ones(y.shape())).unwrap();
+        let idx = 5;
+        let analytic = gi.data()[idx];
+        let eps = 1e-3f32;
+        let mut xp = x.clone();
+        xp.data_mut()[idx] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[idx] -= eps;
+        let mut probe = conv.clone();
+        let lp = probe.forward(&xp, ForwardMode::Fp32).unwrap().sum();
+        let lm = probe.forward(&xm, ForwardMode::Fp32).unwrap().sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 2e-2,
+            "analytic {analytic} numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn int8_forward_tracks_fp32() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng()).unwrap();
+        let x = init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng());
+        let y32 = conv.forward(&x, ForwardMode::Fp32).unwrap();
+        let y8 = conv
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        let rel = y32.sub(&y8).unwrap().frobenius_norm() / (y32.frobenius_norm() + 1e-6);
+        assert!(rel < 0.12, "relative error {rel}");
+    }
+
+    #[test]
+    fn int8_backward_accumulates() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, true, &mut rng()).unwrap();
+        let x = init::uniform(&[1, 1, 5, 5], -1.0, 1.0, &mut rng());
+        let y = conv
+            .forward(&x, ForwardMode::Int8(Rounding::Stochastic))
+            .unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(conv.grad_weight().max_abs() > 0.0);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng()).unwrap();
+        assert!(conv.backward(&Tensor::ones(&[1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn macs_counted_after_forward() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, false, &mut rng()).unwrap();
+        conv.forward(&Tensor::ones(&[1, 1, 5, 5]), ForwardMode::Fp32)
+            .unwrap();
+        // output 3x3, 2 out channels, 1x3x3 kernel
+        assert_eq!(conv.forward_macs(1), (2 * 3 * 3 * 9) as u64);
+    }
+}

@@ -1,0 +1,375 @@
+//! Fully-connected layer with optional fused ReLU and INT8 forward support.
+
+use crate::layer::{ForwardMode, Layer, ParamRefMut};
+use crate::{NnError, Result};
+use ff_quant::{int8_matmul_a_bt, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
+use ff_tensor::{init, linalg, Tensor};
+use rand::Rng;
+
+/// A dense (fully-connected) layer `y = act(W·x + b)`.
+///
+/// Weights are stored `[out_features, in_features]`. When `fused_relu` is
+/// enabled the activation and its mask are handled inside the layer, which is
+/// the granularity at which the Forward-Forward algorithm trains (one
+/// goodness per ReLU block).
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::{Dense, ForwardMode, Layer};
+/// use ff_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut dense = Dense::new(8, 4, true, &mut rng);
+/// let y = dense.forward(&Tensor::ones(&[3, 8]), ForwardMode::Fp32)?;
+/// assert_eq!(y.shape(), &[3, 4]);
+/// assert!(y.min_value() >= 0.0); // fused ReLU
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    fused_relu: bool,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+    cached_quant_input: Option<QuantTensor>,
+    cached_mask: Option<Tensor>,
+    last_mode: ForwardMode,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        fused_relu: bool,
+        rng: &mut R,
+    ) -> Self {
+        let weight = init::kaiming_normal(&[out_features, in_features], in_features, rng);
+        Dense {
+            in_features,
+            out_features,
+            fused_relu,
+            weight,
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+            cached_quant_input: None,
+            cached_mask: None,
+            last_mode: ForwardMode::Fp32,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// `true` when the layer applies a fused ReLU.
+    pub fn has_fused_relu(&self) -> bool {
+        self.fused_relu
+    }
+
+    /// Immutable access to the weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Immutable access to the accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Replaces the weight matrix (used by tests and model surgery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidInput`] when the shape differs from
+    /// `[out_features, in_features]`.
+    pub fn set_weight(&mut self, weight: Tensor) -> Result<()> {
+        if weight.shape() != [self.out_features, self.in_features] {
+            return Err(NnError::InvalidInput {
+                layer: "dense",
+                message: format!(
+                    "weight shape {:?} does not match [{}, {}]",
+                    weight.shape(),
+                    self.out_features,
+                    self.in_features
+                ),
+            });
+        }
+        self.weight = weight;
+        Ok(())
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.ndim() != 2 || input.shape()[1] != self.in_features {
+            return Err(NnError::InvalidInput {
+                layer: "dense",
+                message: format!(
+                    "expected [batch, {}], got {:?}",
+                    self.in_features,
+                    input.shape()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Tensor> {
+        self.check_input(input)?;
+        self.last_mode = mode;
+        let pre = match mode {
+            ForwardMode::Fp32 => {
+                self.cached_quant_input = None;
+                linalg::matmul_a_bt(input, &self.weight)?
+            }
+            ForwardMode::Int8(rounding) => {
+                let mut rng = rand::thread_rng();
+                let q_input = QuantTensor::quantize_with_rng(
+                    input,
+                    QuantConfig::new(rounding),
+                    &mut rng,
+                );
+                let q_weight = QuantTensor::quantize_with_rng(
+                    &self.weight,
+                    QuantConfig::new(Rounding::Nearest),
+                    &mut rng,
+                );
+                let out = int8_matmul_a_bt(&q_input, &q_weight)?;
+                self.cached_quant_input = Some(q_input);
+                out
+            }
+        };
+        let pre = pre.add_row_broadcast(&self.bias)?;
+        self.cached_input = Some(input.clone());
+        let out = if self.fused_relu {
+            let mask = pre.relu_grad_mask();
+            let out = pre.relu();
+            self.cached_mask = Some(mask);
+            out
+        } else {
+            self.cached_mask = None;
+            pre
+        };
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardState { layer: "dense" })?;
+        let grad_pre = match &self.cached_mask {
+            Some(mask) => grad_output.mul_elem(mask)?,
+            None => grad_output.clone(),
+        };
+        // Parameter gradients. In INT8 mode both operands of the gW GEMM are
+        // quantized, matching the paper's dataflow (Fig. 4).
+        let (gw, grad_input) = match self.last_mode {
+            ForwardMode::Fp32 => {
+                let gw = linalg::matmul_at_b(&grad_pre, input)?;
+                let gi = linalg::matmul(&grad_pre, &self.weight)?;
+                (gw, gi)
+            }
+            ForwardMode::Int8(rounding) => {
+                let mut rng = rand::thread_rng();
+                let q_grad = QuantTensor::quantize_with_rng(
+                    &grad_pre,
+                    QuantConfig::new(rounding),
+                    &mut rng,
+                );
+                let q_input = self
+                    .cached_quant_input
+                    .as_ref()
+                    .ok_or(NnError::MissingForwardState { layer: "dense" })?;
+                // gW[o, i] = Σ_batch gY[b, o] · A[b, i] — an INT8 GEMM with i32
+                // accumulation over the quantized gradient and cached input.
+                let gw = int8_matmul_at_b(&q_grad, q_input)?;
+                let gi = linalg::matmul(&q_grad.dequantize(), &self.weight)?;
+                (gw, gi)
+            }
+        };
+        self.grad_weight.add_assign(&gw)?;
+        self.grad_bias.add_assign(&grad_pre.sum_axis0())?;
+        Ok(grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        vec![
+            ParamRefMut {
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+            },
+            ParamRefMut {
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.out_features * self.in_features + self.out_features
+    }
+
+    fn forward_macs(&self, batch: usize) -> u64 {
+        (batch * self.in_features * self.out_features) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_shape_and_relu() {
+        let mut layer = Dense::new(3, 2, true, &mut rng());
+        let x = Tensor::from_vec(&[2, 3], vec![1., -1., 0.5, -0.5, 2., -2.]).unwrap();
+        let y = layer.forward(&x, ForwardMode::Fp32).unwrap();
+        assert_eq!(y.shape(), &[2, 2]);
+        assert!(y.min_value() >= 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input_shape() {
+        let mut layer = Dense::new(3, 2, false, &mut rng());
+        assert!(layer.forward(&Tensor::ones(&[2, 4]), ForwardMode::Fp32).is_err());
+        assert!(layer.forward(&Tensor::ones(&[4]), ForwardMode::Fp32).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut layer = Dense::new(3, 2, false, &mut rng());
+        assert!(matches!(
+            layer.backward(&Tensor::ones(&[1, 2])),
+            Err(NnError::MissingForwardState { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut layer = Dense::new(4, 3, false, &mut rng());
+        let x = init::uniform(&[2, 4], -1.0, 1.0, &mut rng());
+        // scalar loss L = sum(y)
+        let y = layer.forward(&x, ForwardMode::Fp32).unwrap();
+        let grad_out = Tensor::ones(y.shape());
+        layer.zero_grad();
+        let grad_in = layer.backward(&grad_out).unwrap();
+
+        let eps = 1e-3f32;
+        // check dL/dW[0,1]
+        let analytic = layer.grad_weight().at2(0, 1).unwrap();
+        let mut plus = layer.clone();
+        let mut w = plus.weight().clone();
+        w.set2(0, 1, w.at2(0, 1).unwrap() + eps).unwrap();
+        plus.set_weight(w).unwrap();
+        let y_plus = plus.forward(&x, ForwardMode::Fp32).unwrap().sum();
+        let mut minus = layer.clone();
+        let mut w = minus.weight().clone();
+        w.set2(0, 1, w.at2(0, 1).unwrap() - eps).unwrap();
+        minus.set_weight(w).unwrap();
+        let y_minus = minus.forward(&x, ForwardMode::Fp32).unwrap().sum();
+        let numeric = (y_plus - y_minus) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+
+        // check dL/dx[0,2] numerically
+        let analytic_in = grad_in.at2(0, 2).unwrap();
+        let mut x_plus = x.clone();
+        x_plus.set2(0, 2, x.at2(0, 2).unwrap() + eps).unwrap();
+        let mut x_minus = x.clone();
+        x_minus.set2(0, 2, x.at2(0, 2).unwrap() - eps).unwrap();
+        let mut probe = layer.clone();
+        let lp = probe.forward(&x_plus, ForwardMode::Fp32).unwrap().sum();
+        let lm = probe.forward(&x_minus, ForwardMode::Fp32).unwrap().sum();
+        let numeric_in = (lp - lm) / (2.0 * eps);
+        assert!((analytic_in - numeric_in).abs() < 1e-2);
+    }
+
+    #[test]
+    fn int8_forward_approximates_fp32() {
+        let mut layer = Dense::new(16, 8, true, &mut rng());
+        let x = init::uniform(&[4, 16], -1.0, 1.0, &mut rng());
+        let y32 = layer.forward(&x, ForwardMode::Fp32).unwrap();
+        let y8 = layer.forward(&x, ForwardMode::Int8(Rounding::Nearest)).unwrap();
+        let rel = y32.sub(&y8).unwrap().frobenius_norm() / (y32.frobenius_norm() + 1e-6);
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn int8_backward_accumulates_grads() {
+        let mut layer = Dense::new(8, 4, true, &mut rng());
+        let x = init::uniform(&[4, 8], -1.0, 1.0, &mut rng());
+        let y = layer
+            .forward(&x, ForwardMode::Int8(Rounding::Stochastic))
+            .unwrap();
+        layer.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(layer.grad_weight().max_abs() > 0.0);
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulators() {
+        let mut layer = Dense::new(4, 2, false, &mut rng());
+        let x = Tensor::ones(&[2, 4]);
+        let y = layer.forward(&x, ForwardMode::Fp32).unwrap();
+        layer.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(layer.grad_weight().max_abs() > 0.0);
+        layer.zero_grad();
+        assert_eq!(layer.grad_weight().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn param_count_and_macs() {
+        let layer = Dense::new(10, 5, false, &mut rng());
+        assert_eq!(layer.param_count(), 55);
+        assert_eq!(layer.forward_macs(2), 100);
+    }
+
+    #[test]
+    fn set_weight_validates_shape() {
+        let mut layer = Dense::new(3, 2, false, &mut rng());
+        assert!(layer.set_weight(Tensor::zeros(&[2, 3])).is_ok());
+        assert!(layer.set_weight(Tensor::zeros(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut layer = Dense::new(3, 2, false, &mut rng());
+        let x = Tensor::ones(&[1, 3]);
+        let y = layer.forward(&x, ForwardMode::Fp32).unwrap();
+        layer.backward(&Tensor::ones(y.shape())).unwrap();
+        let once = layer.grad_weight().clone();
+        layer.backward(&Tensor::ones(y.shape())).unwrap();
+        let twice = layer.grad_weight().clone();
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+use ff_tensor::TensorError;
+
+/// Error type for layer, loss and optimizer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The layer received an input it cannot process (wrong rank, feature
+    /// count, missing cached forward state, ...).
+    InvalidInput {
+        /// Name of the layer or function reporting the problem.
+        layer: &'static str,
+        /// Human-readable description of the violated expectation.
+        message: String,
+    },
+    /// `backward` was called before `forward` cached the required state.
+    MissingForwardState {
+        /// Name of the layer reporting the problem.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InvalidInput { layer, message } => {
+                write!(f, "invalid input to `{layer}`: {message}")
+            }
+            NnError::MissingForwardState { layer } => {
+                write!(f, "`{layer}` backward called before forward")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let t: NnError = TensorError::InvalidParameter {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(t.to_string().contains("tensor error"));
+        let i = NnError::InvalidInput {
+            layer: "dense",
+            message: "rank".into(),
+        };
+        assert!(i.to_string().contains("dense"));
+        let m = NnError::MissingForwardState { layer: "conv2d" };
+        assert!(m.to_string().contains("before forward"));
+    }
+
+    #[test]
+    fn source_points_to_tensor_error() {
+        use std::error::Error;
+        let t: NnError = TensorError::InvalidParameter {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(t.source().is_some());
+        assert!(NnError::MissingForwardState { layer: "x" }.source().is_none());
+    }
+}

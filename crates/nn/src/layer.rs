@@ -1,0 +1,106 @@
+//! The [`Layer`] trait and shared parameter handles.
+
+use crate::Result;
+use ff_quant::Rounding;
+use ff_tensor::Tensor;
+
+/// Numeric mode of a forward pass.
+///
+/// [`ForwardMode::Int8`] quantizes the layer's inputs and weights with
+/// symmetric uniform quantization and performs the MAC phase with `i8`
+/// operands and `i32` accumulation, mirroring the FF-INT8 dataflow
+/// (paper Fig. 4). Layers without MACs (pooling, flatten, ...) behave the
+/// same in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardMode {
+    /// Full 32-bit floating-point arithmetic.
+    #[default]
+    Fp32,
+    /// INT8 MACs with the given rounding mode for input/gradient quantization.
+    Int8(Rounding),
+}
+
+impl ForwardMode {
+    /// `true` when the mode performs INT8 MACs.
+    pub fn is_int8(&self) -> bool {
+        matches!(self, ForwardMode::Int8(_))
+    }
+}
+
+/// Mutable handles onto one parameter tensor and its gradient accumulator.
+///
+/// Optimizers iterate over these; gradient-quantizing trainers (BP-INT8, UI8,
+/// GDAI8) mutate `grad` in place before stepping.
+#[derive(Debug)]
+pub struct ParamRefMut<'a> {
+    /// The parameter values.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient (same shape as `value`).
+    pub grad: &'a mut Tensor,
+}
+
+/// A neural-network layer with an explicit backward pass.
+///
+/// Layers cache whatever their own backward pass needs during `forward`;
+/// `backward` consumes the gradient w.r.t. the layer output, **accumulates**
+/// parameter gradients (`+=`) and returns the gradient w.r.t. the layer
+/// input. Accumulation (rather than overwrite) is what lets the look-ahead
+/// scheme add `λ · ∂L_j/∂W_i` contributions from several later layers.
+pub trait Layer {
+    /// Short human-readable layer name (used in error messages and reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs the layer on a mini-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError`] when the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Tensor>;
+
+    /// Propagates `grad_output` (gradient w.r.t. this layer's output) back to
+    /// the layer input, accumulating parameter gradients along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingForwardState`] if called before
+    /// `forward`, or a shape error if `grad_output` does not match the cached
+    /// output shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Mutable access to every parameter/gradient pair of the layer.
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        Vec::new()
+    }
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Resets every accumulated gradient to zero.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.grad.scale_inplace(0.0);
+        }
+    }
+
+    /// Number of fused multiply–accumulate operations performed by one
+    /// forward pass over a batch of `batch` samples, given the layer's input
+    /// feature geometry. Used by the analytic cost model.
+    fn forward_macs(&self, batch: usize) -> u64 {
+        let _ = batch;
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_mode_queries() {
+        assert!(!ForwardMode::Fp32.is_int8());
+        assert!(ForwardMode::Int8(Rounding::Nearest).is_int8());
+        assert_eq!(ForwardMode::default(), ForwardMode::Fp32);
+    }
+}

@@ -1,0 +1,57 @@
+//! # ff-nn
+//!
+//! Neural-network building blocks for the FF-INT8 reproduction: layers with
+//! explicit forward/backward passes, fused activations, INT8 forward support,
+//! losses and optimizers.
+//!
+//! The crate deliberately avoids a tape-based autograd: every [`Layer`]
+//! caches exactly what its own backward pass needs, which is what makes the
+//! memory accounting of backpropagation vs. Forward-Forward explicit (the
+//! paper's central efficiency argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_nn::{Dense, ForwardMode, Layer};
+//! use ff_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ff_nn::NnError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut layer = Dense::new(4, 3, true, &mut rng);
+//! let x = Tensor::ones(&[2, 4]);
+//! let y = layer.forward(&x, ForwardMode::Fp32)?;
+//! assert_eq!(y.shape(), &[2, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod conv_layers;
+mod dense;
+mod error;
+mod layer;
+mod loss;
+mod network;
+mod norm;
+mod optim;
+mod pooling;
+mod residual;
+
+pub use activation::Relu;
+pub use conv_layers::Conv2d;
+pub use dense::Dense;
+pub use error::NnError;
+pub use layer::{ForwardMode, Layer, ParamRefMut};
+pub use loss::{mse_loss, softmax_cross_entropy, SoftmaxCrossEntropyOutput};
+pub use network::Sequential;
+pub use norm::BatchNorm2d;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use pooling::{Flatten, GlobalAvgPool, MaxPool2d};
+pub use residual::ResidualBlock;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,162 @@
+//! Loss functions used by the backpropagation baselines.
+
+use crate::{NnError, Result};
+use ff_tensor::Tensor;
+
+/// Result of [`softmax_cross_entropy`]: the scalar loss and the gradient with
+/// respect to the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxCrossEntropyOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits, shape `[batch, classes]`.
+    pub grad: Tensor,
+    /// Per-sample predicted class (argmax of the logits).
+    pub predictions: Vec<usize>,
+}
+
+/// Computes mean softmax cross-entropy loss and its gradient.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidInput`] when the label count does not match the
+/// batch size or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::softmax_cross_entropy;
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_nn::NnError> {
+/// let logits = Tensor::from_vec(&[1, 3], vec![2.0, 0.0, -2.0])?;
+/// let out = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(out.loss < 0.2);
+/// assert_eq!(out.predictions, vec![0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<SoftmaxCrossEntropyOutput> {
+    let batch = logits.rows();
+    let classes = logits.cols();
+    if labels.len() != batch {
+        return Err(NnError::InvalidInput {
+            layer: "softmax_cross_entropy",
+            message: format!("{} labels for a batch of {}", labels.len(), batch),
+        });
+    }
+    let mut grad = Tensor::zeros(&[batch, classes]);
+    let mut loss = 0.0f64;
+    let mut predictions = Vec::with_capacity(batch);
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(NnError::InvalidInput {
+                layer: "softmax_cross_entropy",
+                message: format!("label {label} out of range for {classes} classes"),
+            });
+        }
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = j;
+            }
+            let p = exp[j] / sum;
+            grad.row_mut(i)[j] = (p - if j == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+        predictions.push(best);
+        let p_label = exp[label] / sum;
+        loss -= (p_label.max(1e-12) as f64).ln();
+    }
+    Ok(SoftmaxCrossEntropyOutput {
+        loss: (loss / batch as f64) as f32,
+        grad,
+        predictions,
+    })
+}
+
+/// Mean squared error between `prediction` and `target`, plus its gradient.
+///
+/// # Errors
+///
+/// Returns a shape-mismatch error when the operands differ in shape.
+pub fn mse_loss(prediction: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = prediction.sub(target)?;
+    let n = prediction.len().max(1) as f32;
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[1, 4], vec![0.5, -0.3, 0.1, 0.9]).unwrap();
+        let labels = [3usize];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..4 {
+            let mut plus = logits.clone();
+            plus.data_mut()[j] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[j] -= eps;
+            let lp = softmax_cross_entropy(&plus, &labels).unwrap().loss;
+            let lm = softmax_cross_entropy(&minus, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (out.grad.data()[j] - numeric).abs() < 1e-3,
+                "j={j}: {} vs {numeric}",
+                out.grad.data()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 9]).is_err());
+    }
+
+    #[test]
+    fn predictions_are_argmax() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.1, 5.0, 0.2, 3.0, 1.0, 2.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[1, 0]).unwrap();
+        assert_eq!(out.predictions, vec![1, 0]);
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let pred = Tensor::from_slice(&[2], &[1.0, 2.0]).unwrap();
+        let target = Tensor::from_slice(&[2], &[0.0, 0.0]).unwrap();
+        let (loss, grad) = mse_loss(&pred, &target).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+        assert!(mse_loss(&pred, &Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! A sequential stack of layers.
+
+use crate::layer::{ForwardMode, Layer, ParamRefMut};
+use crate::Result;
+use ff_tensor::Tensor;
+
+/// A feed-forward network composed of layers executed in order.
+///
+/// `Sequential` is the container used both by the backpropagation baselines
+/// (full forward + full backward) and, with per-layer access, by the
+/// Forward-Forward trainers in `ff-core`.
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::{Dense, ForwardMode, Sequential};
+/// use ff_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Dense::new(4, 8, true, &mut rng)));
+/// net.push(Box::new(Dense::new(8, 2, false, &mut rng)));
+/// let y = net.forward(&Tensor::ones(&[3, 4]), ForwardMode::Fp32)?;
+/// assert_eq!(y.shape(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the network.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by per-layer trainers).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Runs a full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs a full forward pass and returns the output of **every** layer
+    /// (used by the look-ahead scheme, which needs per-layer goodness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_collect(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Vec<Tensor>> {
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+            outputs.push(x.clone());
+        }
+        Ok(outputs)
+    }
+
+    /// Runs a full backward pass from the gradient of the loss w.r.t. the
+    /// network output, accumulating parameter gradients in every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    /// Collects mutable parameter handles from every layer, in layer order.
+    pub fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Resets all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total forward MACs per batch of `batch` samples (requires a prior
+    /// forward pass for convolution layers to know their spatial geometry).
+    pub fn forward_macs(&self, batch: usize) -> u64 {
+        self.layers.iter().map(|l| l.forward_macs(batch)).sum()
+    }
+
+    /// Classifies a batch by running a forward pass and taking the row-wise
+    /// argmax of the final logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn predict(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Vec<usize>> {
+        Ok(self.forward(input, mode)?.argmax_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{softmax_cross_entropy, Dense, Optimizer, Sgd};
+    use ff_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_like_net(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(2, 16, true, rng)));
+        net.push(Box::new(Dense::new(16, 2, false, rng)));
+        net
+    }
+
+    #[test]
+    fn forward_collect_returns_every_layer_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = xor_like_net(&mut rng);
+        let outs = net
+            .forward_collect(&Tensor::ones(&[3, 2]), ForwardMode::Fp32)
+            .unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].shape(), &[3, 16]);
+        assert_eq!(outs[1].shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = xor_like_net(&mut rng);
+        assert_eq!(net.param_count(), 2 * 16 + 16 + 16 * 2 + 2);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_training_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = xor_like_net(&mut rng);
+        let x = Tensor::from_vec(&[4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
+        let labels = [0usize, 1, 1, 0];
+        let mut sgd = Sgd::new(0.5, 0.9);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..300 {
+            let logits = net.forward(&x, ForwardMode::Fp32).unwrap();
+            let out = softmax_cross_entropy(&logits, &labels).unwrap();
+            net.zero_grad();
+            net.backward(&out.grad).unwrap();
+            let mut params = net.params_mut();
+            sgd.step(&mut params);
+            last_loss = out.loss;
+        }
+        assert!(last_loss < 0.1, "final loss {last_loss}");
+        let preds = net.predict(&x, ForwardMode::Fp32).unwrap();
+        assert_eq!(preds, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn zero_grad_clears_all_layers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = xor_like_net(&mut rng);
+        let x = init::uniform(&[2, 2], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, ForwardMode::Fp32).unwrap();
+        net.backward(&Tensor::ones(y.shape())).unwrap();
+        let before: f32 = net
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.max_abs())
+            .fold(0.0, f32::max);
+        assert!(before > 0.0);
+        net.zero_grad();
+        let after: f32 = net
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.max_abs())
+            .fold(0.0, f32::max);
+        assert_eq!(after, 0.0);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::ones(&[2, 3]);
+        let y = net.forward(&x, ForwardMode::Fp32).unwrap();
+        assert_eq!(y.data(), x.data());
+        assert_eq!(net.forward_macs(4), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Batch normalisation for convolutional activations.
+
+use crate::layer::{ForwardMode, Layer, ParamRefMut};
+use crate::{NnError, Result};
+use ff_tensor::Tensor;
+
+/// Per-channel batch normalisation over `[batch, channels, h, w]` activations
+/// with learnable scale (`gamma`) and shift (`beta`).
+///
+/// Running statistics are tracked with exponential moving averages so the
+/// layer can also be used in inference mode, although the experiments in this
+/// repository always evaluate with batch statistics frozen at training time.
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::{BatchNorm2d, ForwardMode, Layer};
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_nn::NnError> {
+/// let mut bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), ForwardMode::Fp32)?;
+/// assert_eq!(y.shape(), &[2, 3, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    epsilon: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            epsilon: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The tracked running mean per channel.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: ForwardMode) -> Result<Tensor> {
+        if input.ndim() != 4 || input.shape()[1] != self.channels {
+            return Err(NnError::InvalidInput {
+                layer: "batchnorm2d",
+                message: format!(
+                    "expected [batch, {}, h, w], got {:?}",
+                    self.channels,
+                    input.shape()
+                ),
+            });
+        }
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let count = (n * h * w) as f32;
+        let data = input.data();
+        let mut out = vec![0.0f32; data.len()];
+        let mut normalized = vec![0.0f32; data.len()];
+        let mut std_inv = vec![0.0f32; c];
+        for ch in 0..c {
+            let mut mean = 0.0f32;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                mean += data[base..base + h * w].iter().sum::<f32>();
+            }
+            mean /= count;
+            let mut var = 0.0f32;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                var += data[base..base + h * w]
+                    .iter()
+                    .map(|x| (x - mean) * (x - mean))
+                    .sum::<f32>();
+            }
+            var /= count;
+            let inv = 1.0 / (var + self.epsilon).sqrt();
+            std_inv[ch] = inv;
+            self.running_mean[ch] =
+                (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+            self.running_var[ch] =
+                (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+            let g = self.gamma.data()[ch];
+            let b = self.beta.data()[ch];
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                for i in 0..h * w {
+                    let xn = (data[base + i] - mean) * inv;
+                    normalized[base + i] = xn;
+                    out[base + i] = g * xn + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            normalized: Tensor::from_vec(input.shape(), normalized)?,
+            std_inv,
+            input_shape: input.shape().to_vec(),
+        });
+        Ok(Tensor::from_vec(input.shape(), out)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardState { layer: "batchnorm2d" })?;
+        let shape = &cache.input_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let count = (n * h * w) as f32;
+        let g_out = grad_output.data();
+        let xn = cache.normalized.data();
+        let mut grad_input = vec![0.0f32; g_out.len()];
+        for ch in 0..c {
+            let gamma = self.gamma.data()[ch];
+            let inv = cache.std_inv[ch];
+            // channel-wise sums
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xn = 0.0f32;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                for i in 0..h * w {
+                    sum_dy += g_out[base + i];
+                    sum_dy_xn += g_out[base + i] * xn[base + i];
+                }
+            }
+            self.grad_gamma.data_mut()[ch] += sum_dy_xn;
+            self.grad_beta.data_mut()[ch] += sum_dy;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                for i in 0..h * w {
+                    let dy = g_out[base + i];
+                    grad_input[base + i] = gamma * inv / count
+                        * (count * dy - sum_dy - xn[base + i] * sum_dy_xn);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(shape, grad_input)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        vec![
+            ParamRefMut {
+                value: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+            },
+            ParamRefMut {
+                value: &mut self.beta,
+                grad: &mut self.grad_beta,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_normalized_per_channel() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = init::randn(&[4, 2, 5, 5], 3.0, 2.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&x, ForwardMode::Fp32).unwrap();
+        // channel 0 mean ~0, var ~1
+        let c0: Vec<f32> = (0..4)
+            .flat_map(|img| y.data()[(img * 2) * 25..(img * 2) * 25 + 25].to_vec())
+            .collect();
+        let mean: f32 = c0.iter().sum::<f32>() / c0.len() as f32;
+        let var: f32 = c0.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c0.len() as f32;
+        assert!(mean.abs() < 1e-3);
+        assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::ones(&[1, 2, 4, 4]), ForwardMode::Fp32).is_err());
+        assert!(bn.forward(&Tensor::ones(&[2, 3]), ForwardMode::Fp32).is_err());
+    }
+
+    #[test]
+    fn backward_shape_and_zero_mean_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = init::randn(&[3, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        bn.forward(&x, ForwardMode::Fp32).unwrap();
+        let grad = init::randn(&[3, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let gi = bn.backward(&grad).unwrap();
+        assert_eq!(gi.shape(), x.shape());
+        // gradient through normalisation sums to ~0 per channel
+        let c0_sum: f32 = (0..3)
+            .map(|img| gi.data()[(img * 2) * 16..(img * 2) * 16 + 16].iter().sum::<f32>())
+            .sum();
+        assert!(c0_sum.abs() < 1e-3, "sum {c0_sum}");
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn.backward(&Tensor::ones(&[1, 2, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn running_stats_update() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[2, 1, 2, 2], 10.0);
+        bn.forward(&x, ForwardMode::Fp32).unwrap();
+        assert!(bn.running_mean()[0] > 0.5);
+    }
+
+    #[test]
+    fn param_count_is_two_per_channel() {
+        assert_eq!(BatchNorm2d::new(8).param_count(), 16);
+    }
+}

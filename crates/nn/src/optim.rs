@@ -1,0 +1,238 @@
+//! Optimizers operating on [`ParamRefMut`] handles.
+
+use crate::layer::ParamRefMut;
+use ff_tensor::Tensor;
+
+/// A gradient-descent optimizer.
+///
+/// Implementations keep any per-parameter state (momentum, Adam moments)
+/// indexed by the position of the parameter in the `params` vector, so the
+/// caller must always pass parameters in the same order.
+pub trait Optimizer {
+    /// Applies one update step to every parameter and leaves the gradients
+    /// untouched (callers usually `zero_grad` afterwards).
+    fn step(&mut self, params: &mut [ParamRefMut<'_>]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by LR-scaling schemes such as UI8's
+    /// deviation-counteractive scaling).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum.
+///
+/// # Examples
+///
+/// ```
+/// use ff_nn::{Optimizer, Sgd};
+///
+/// let sgd = Sgd::new(0.1, 0.9);
+/// assert_eq!(sgd.learning_rate(), 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and momentum
+    /// coefficient (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [ParamRefMut<'_>]) {
+        if self.velocity.len() < params.len() {
+            for p in params.iter().skip(self.velocity.len()) {
+                self.velocity.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_inplace(self.momentum);
+                v.add_scaled_assign(p.grad, 1.0).expect("shape match");
+                p.value.add_scaled_assign(v, -self.lr).expect("shape match");
+            } else {
+                p.value
+                    .add_scaled_assign(p.grad, -self.lr)
+                    .expect("shape match");
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step_count: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard defaults (β₁=0.9, β₂=0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step_count: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [ParamRefMut<'_>]) {
+        if self.m.len() < params.len() {
+            for p in params.iter().skip(self.m.len()) {
+                self.m.push(Tensor::zeros(p.value.shape()));
+                self.v.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((m_i, v_i), (w, g)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.value.data_mut().iter_mut().zip(p.grad.data()))
+            {
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;
+                let m_hat = *m_i / bias1;
+                let v_hat = *v_i / bias2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_param(value: Tensor, grad: Tensor) -> (Tensor, Tensor) {
+        (value, grad)
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let (mut w, mut g) = make_param(Tensor::ones(&[3]), Tensor::ones(&[3]));
+        let mut sgd = Sgd::new(0.5, 0.0);
+        sgd.step(&mut [ParamRefMut {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        assert_eq!(w.data(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let (mut w, mut g) = make_param(Tensor::zeros(&[1]), Tensor::ones(&[1]));
+        let mut sgd = Sgd::new(1.0, 0.5);
+        sgd.step(&mut [ParamRefMut {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        let after_one = w.data()[0];
+        sgd.step(&mut [ParamRefMut {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        let delta_two = w.data()[0] - after_one;
+        // second step is larger because of accumulated velocity
+        assert!(delta_two.abs() > after_one.abs());
+    }
+
+    #[test]
+    fn sgd_learning_rate_setter() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.set_learning_rate(0.01);
+        assert_eq!(sgd.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimise f(w) = (w - 3)^2 with gradient 2(w - 3)
+        let mut w = Tensor::zeros(&[1]);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let mut g = Tensor::from_slice(&[1], &[2.0 * (w.data()[0] - 3.0)]).unwrap();
+            adam.step(&mut [ParamRefMut {
+                value: &mut w,
+                grad: &mut g,
+            }]);
+        }
+        assert!((w.data()[0] - 3.0).abs() < 0.1, "w = {}", w.data()[0]);
+        assert_eq!(adam.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn adam_learning_rate_setter() {
+        let mut adam = Adam::new(0.3);
+        adam.set_learning_rate(0.05);
+        assert_eq!(adam.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn sgd_handles_growing_param_list() {
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let (mut w1, mut g1) = make_param(Tensor::ones(&[2]), Tensor::ones(&[2]));
+        sgd.step(&mut [ParamRefMut {
+            value: &mut w1,
+            grad: &mut g1,
+        }]);
+        let (mut w2, mut g2) = make_param(Tensor::ones(&[3]), Tensor::ones(&[3]));
+        // now two params — velocity vector must grow
+        sgd.step(&mut [
+            ParamRefMut {
+                value: &mut w1,
+                grad: &mut g1,
+            },
+            ParamRefMut {
+                value: &mut w2,
+                grad: &mut g2,
+            },
+        ]);
+        assert!(w2.data()[0] < 1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Pooling and reshaping layers.
+
+use crate::layer::{ForwardMode, Layer};
+use crate::{NnError, Result};
+use ff_tensor::conv::{self, ConvGeometry};
+use ff_tensor::Tensor;
+
+/// 2-D max pooling layer.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    geom: ConvGeometry,
+    cached_argmax: Option<Vec<usize>>,
+    cached_input_len: usize,
+    cached_input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Result<Self> {
+        Ok(MaxPool2d {
+            geom: ConvGeometry::new(kernel, stride, 0)?,
+            cached_argmax: None,
+            cached_input_len: 0,
+            cached_input_shape: Vec::new(),
+        })
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: ForwardMode) -> Result<Tensor> {
+        let pooled = conv::max_pool2d(input, self.geom)?;
+        self.cached_argmax = Some(pooled.argmax);
+        self.cached_input_len = input.len();
+        self.cached_input_shape = input.shape().to_vec();
+        Ok(pooled.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .ok_or(NnError::MissingForwardState { layer: "maxpool2d" })?;
+        let mut grad = vec![0.0f32; self.cached_input_len];
+        for (&src, &g) in argmax.iter().zip(grad_output.data()) {
+            grad[src] += g;
+        }
+        Ok(Tensor::from_vec(&self.cached_input_shape, grad)?)
+    }
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool {
+            cached_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: ForwardMode) -> Result<Tensor> {
+        self.cached_shape = input.shape().to_vec();
+        Ok(conv::global_avg_pool(input)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.cached_shape.len() != 4 {
+            return Err(NnError::MissingForwardState {
+                layer: "global_avg_pool",
+            });
+        }
+        let s = &self.cached_shape;
+        Ok(conv::global_avg_pool_backward(
+            grad_output,
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+        )?)
+    }
+}
+
+/// Flattens `[n, c, h, w]` (or any rank ≥ 2) into `[n, features]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            cached_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: ForwardMode) -> Result<Tensor> {
+        self.cached_shape = input.shape().to_vec();
+        let rows = input.rows();
+        let cols = input.cols();
+        Ok(input.reshape(&[rows, cols])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.cached_shape.is_empty() {
+            return Err(NnError::MissingForwardState { layer: "flatten" });
+        }
+        Ok(grad_output.reshape(&self.cached_shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let input =
+            Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|x| x as f32).collect()).unwrap();
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let y = pool.forward(&input, ForwardMode::Fp32).unwrap();
+        assert_eq!(y.data(), &[5., 7., 13., 15.]);
+        let gi = pool.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        assert_eq!(gi.data()[5], 1.0);
+        assert_eq!(gi.data()[0], 0.0);
+        assert_eq!(gi.sum(), 4.0);
+    }
+
+    #[test]
+    fn maxpool_backward_needs_forward() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        assert!(pool.backward(&Tensor::ones(&[1, 1, 2, 2])).is_err());
+        assert!(MaxPool2d::new(0, 2).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = Tensor::ones(&[2, 3, 4, 4]);
+        let mut pool = GlobalAvgPool::new();
+        let y = pool.forward(&input, ForwardMode::Fp32).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        let gi = pool.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(gi.shape(), &[2, 3, 4, 4]);
+        assert!((gi.data()[0] - 1.0 / 16.0).abs() < 1e-6);
+        let mut fresh = GlobalAvgPool::new();
+        assert!(fresh.backward(&Tensor::ones(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let input = Tensor::ones(&[2, 3, 2, 2]);
+        let mut flat = Flatten::new();
+        let y = flat.forward(&input, ForwardMode::Fp32).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let back = flat.backward(&y).unwrap();
+        assert_eq!(back.shape(), &[2, 3, 2, 2]);
+        let mut fresh = Flatten::new();
+        assert!(fresh.backward(&y).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! INT8 matrix multiplication with INT32 accumulation.
+//!
+//! This mirrors the MAC phase of the FF-INT8 dataflow (paper Fig. 4):
+//! `i8 × i8 → i32` products accumulated in `i32`, dequantized once per output
+//! element with the product of the two operand scales.
+
+use crate::{QuantTensor, Result};
+use ff_tensor::{Tensor, TensorError};
+
+fn check_rank2(q: &QuantTensor, op: &'static str) -> Result<(usize, usize)> {
+    if q.shape().len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: q.shape().len(),
+            op,
+        });
+    }
+    Ok((q.shape()[0], q.shape()[1]))
+}
+
+/// Multiplies two quantized matrices `[m, k] × [k, n]`, accumulating in `i32`
+/// and returning the dequantized `f32` result.
+///
+/// # Errors
+///
+/// Returns rank or shape errors when the operands are not conformable.
+///
+/// # Examples
+///
+/// ```
+/// use ff_quant::{int8_matmul, QuantTensor, Rounding};
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let a = QuantTensor::quantize(&Tensor::from_vec(&[1, 2], vec![1.0, 2.0])?, Rounding::Nearest);
+/// let b = QuantTensor::quantize(&Tensor::from_vec(&[2, 1], vec![0.5, 0.25])?, Rounding::Nearest);
+/// let c = int8_matmul(&a, &b)?;
+/// assert!((c.data()[0] - 1.0).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn int8_matmul(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "int8_matmul")?;
+    let (kb, n) = check_rank2(b, "int8_matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "int8_matmul",
+        });
+    }
+    let mut acc = vec![0i32; m * n];
+    let a_codes = a.codes();
+    let b_codes = b.codes();
+    for i in 0..m {
+        let a_row = &a_codes[i * ka..(i + 1) * ka];
+        let out_row = &mut acc[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0 {
+                continue;
+            }
+            let a_ip = a_ip as i32;
+            let b_row = &b_codes[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj as i32;
+            }
+        }
+    }
+    let scale = a.scale() * b.scale();
+    let data: Vec<f32> = acc.into_iter().map(|v| v as f32 * scale).collect();
+    Tensor::from_vec(&[m, n], data)
+}
+
+/// Multiplies `a [m, k]` by the transpose of `b [n, k]`, i.e. `a × bᵀ`,
+/// accumulating in `i32` and dequantizing the result.
+///
+/// This is the kernel used by dense layers whose weights are stored
+/// `[out, in]` and by the im2col convolution path.
+///
+/// # Errors
+///
+/// Returns rank or shape errors when the operands are not conformable.
+pub fn int8_matmul_a_bt(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "int8_matmul_a_bt")?;
+    let (n, kb) = check_rank2(b, "int8_matmul_a_bt")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "int8_matmul_a_bt",
+        });
+    }
+    let a_codes = a.codes();
+    let b_codes = b.codes();
+    let mut out = vec![0.0f32; m * n];
+    let scale = a.scale() * b.scale();
+    for i in 0..m {
+        let a_row = &a_codes[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let b_row = &b_codes[j * kb..(j + 1) * kb];
+            let acc: i32 = a_row
+                .iter()
+                .zip(b_row)
+                .map(|(&x, &y)| x as i32 * y as i32)
+                .sum();
+            out[i * n + j] = acc as f32 * scale;
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Multiplies the transpose of `a [k, m]` by `b [k, n]`, i.e. `aᵀ × b`,
+/// accumulating in `i32` and dequantizing the result.
+///
+/// This is the kernel used for weight gradients `gW = gYᵀ · A` where both the
+/// output gradient and the cached input are INT8 (paper Fig. 4).
+///
+/// # Errors
+///
+/// Returns rank or shape errors when the operands are not conformable.
+pub fn int8_matmul_at_b(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
+    let (ka, m) = check_rank2(a, "int8_matmul_at_b")?;
+    let (kb, n) = check_rank2(b, "int8_matmul_at_b")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "int8_matmul_at_b",
+        });
+    }
+    let a_codes = a.codes();
+    let b_codes = b.codes();
+    let mut acc = vec![0i32; m * n];
+    for p in 0..ka {
+        let a_row = &a_codes[p * m..(p + 1) * m];
+        let b_row = &b_codes[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0 {
+                continue;
+            }
+            let a_pi = a_pi as i32;
+            let out_row = &mut acc[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj as i32;
+            }
+        }
+    }
+    let scale = a.scale() * b.scale();
+    let data: Vec<f32> = acc.into_iter().map(|v| v as f32 * scale).collect();
+    Tensor::from_vec(&[m, n], data)
+}
+
+/// Counts the `i8` multiply and add operations performed by an
+/// `[m, k] × [k, n]` INT8 GEMM, matching the accounting used in the paper's
+/// Table IV (one MUL and one ADD per fused MAC).
+pub fn int8_gemm_op_count(m: usize, k: usize, n: usize) -> (u64, u64) {
+    let macs = (m * k * n) as u64;
+    (macs, macs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuantConfig, Rounding};
+    use ff_tensor::linalg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantize(t: &Tensor, seed: u64) -> QuantTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QuantTensor::quantize_with_rng(t, QuantConfig::new(Rounding::Nearest), &mut rng)
+    }
+
+    #[test]
+    fn int8_matmul_approximates_fp32_matmul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = ff_tensor::init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+        let b = ff_tensor::init::uniform(&[16, 4], -1.0, 1.0, &mut rng);
+        let exact = linalg::matmul(&a, &b).unwrap();
+        let approx = int8_matmul(&quantize(&a, 1), &quantize(&b, 2)).unwrap();
+        let rel_err = exact.sub(&approx).unwrap().frobenius_norm() / exact.frobenius_norm();
+        assert!(rel_err < 0.05, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn transposed_variant_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = ff_tensor::init::uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let b = ff_tensor::init::uniform(&[3, 7], -1.0, 1.0, &mut rng);
+        let qa = quantize(&a, 1);
+        let qb = quantize(&b, 2);
+        let direct = int8_matmul_a_bt(&qa, &qb).unwrap();
+        let bt = linalg::transpose(&b).unwrap();
+        let explicit = int8_matmul(&qa, &quantize(&bt, 2)).unwrap();
+        let diff = direct.sub(&explicit).unwrap().max_abs();
+        assert!(diff < 1e-2, "diff {diff}");
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = quantize(&Tensor::ones(&[2, 3]), 0);
+        let b = quantize(&Tensor::ones(&[4, 5]), 0);
+        assert!(int8_matmul(&a, &b).is_err());
+        assert!(int8_matmul_a_bt(&a, &b).is_err());
+        let v = quantize(&Tensor::ones(&[3]), 0);
+        assert!(int8_matmul(&v, &a).is_err());
+    }
+
+    #[test]
+    fn at_b_variant_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = ff_tensor::init::uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let b = ff_tensor::init::uniform(&[6, 5], -1.0, 1.0, &mut rng);
+        let qa = quantize(&a, 1);
+        let qb = quantize(&b, 2);
+        let direct = int8_matmul_at_b(&qa, &qb).unwrap();
+        let at = linalg::transpose(&a).unwrap();
+        let explicit = int8_matmul(&quantize(&at, 1), &qb).unwrap();
+        let diff = direct.sub(&explicit).unwrap().max_abs();
+        assert!(diff < 2e-2, "diff {diff}");
+        assert!(int8_matmul_at_b(&qa, &quantize(&Tensor::ones(&[3, 3]), 0)).is_err());
+    }
+
+    #[test]
+    fn op_count_matches_mk_n() {
+        let (mul, add) = int8_gemm_op_count(10, 20, 30);
+        assert_eq!(mul, 6000);
+        assert_eq!(add, 6000);
+    }
+
+    #[test]
+    fn identity_quantized_matmul_is_near_exact() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 0.5, -0.5, 0.25]).unwrap();
+        let id = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = int8_matmul(&quantize(&a, 1), &quantize(&id, 2)).unwrap();
+        for (x, y) in out.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # ff-quant
+//!
+//! Symmetric uniform quantization (SUQ) to INT8, stochastic rounding, INT8
+//! matrix multiplication with INT32 accumulation, and gradient-distribution
+//! statistics.
+//!
+//! This crate implements the numerical substrate of the FF-INT8 paper
+//! (Section IV-B): activations, weights and gradients are quantized with a
+//! per-tensor symmetric scale `s = max|x| / 127`, optionally with stochastic
+//! rounding (Gupta et al., 2015), and the MAC phase runs on `i8` inputs with
+//! `i32` accumulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_quant::{QuantTensor, Rounding};
+//! use ff_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), ff_tensor::TensorError> {
+//! let x = Tensor::from_vec(&[2, 2], vec![0.5, -1.0, 0.25, 1.0])?;
+//! let q = QuantTensor::quantize(&x, Rounding::Nearest);
+//! let back = q.dequantize();
+//! for (a, b) in x.data().iter().zip(back.data()) {
+//!     assert!((a - b).abs() <= q.scale() / 2.0 + 1e-6);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gemm;
+mod qtensor;
+mod suq;
+
+pub mod stats;
+
+pub use gemm::{int8_gemm_op_count, int8_matmul, int8_matmul_a_bt, int8_matmul_at_b};
+pub use qtensor::QuantTensor;
+pub use suq::{
+    compute_scale, dequantize_value, quantize_slice, quantize_value, QuantConfig, Rounding, QMAX,
+    QMIN,
+};
+
+/// Convenience result alias (errors are shared with `ff-tensor`).
+pub type Result<T> = std::result::Result<T, ff_tensor::TensorError>;

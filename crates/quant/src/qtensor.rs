@@ -1,0 +1,238 @@
+//! The [`QuantTensor`] container: INT8 codes plus a per-tensor scale.
+
+use crate::suq::{compute_scale, quantize_slice, QuantConfig, Rounding};
+use crate::Result;
+use ff_tensor::{Tensor, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An INT8-quantized tensor with symmetric per-tensor scale.
+///
+/// `real_value ≈ code · scale`. Shapes follow the same row-major conventions
+/// as [`ff_tensor::Tensor`].
+///
+/// # Examples
+///
+/// ```
+/// use ff_quant::{QuantTensor, Rounding};
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let w = Tensor::from_vec(&[2, 2], vec![0.1, -0.2, 0.3, -0.4])?;
+/// let q = QuantTensor::quantize(&w, Rounding::Nearest);
+/// assert_eq!(q.shape(), &[2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantTensor {
+    shape: Vec<usize>,
+    codes: Vec<i8>,
+    scale: f32,
+}
+
+impl QuantTensor {
+    /// Quantizes a real tensor with the per-tensor max-abs scale.
+    ///
+    /// Stochastic rounding uses the thread-local RNG; for reproducible
+    /// experiments prefer [`QuantTensor::quantize_with_rng`].
+    pub fn quantize(tensor: &Tensor, rounding: Rounding) -> Self {
+        let mut rng = rand::thread_rng();
+        Self::quantize_with_rng(tensor, QuantConfig::new(rounding), &mut rng)
+    }
+
+    /// Quantizes with an explicit configuration (rounding mode and optional
+    /// clipping threshold) and RNG.
+    pub fn quantize_with_rng<R: Rng + ?Sized>(
+        tensor: &Tensor,
+        config: QuantConfig,
+        rng: &mut R,
+    ) -> Self {
+        let clip = config.clip.unwrap_or_else(|| tensor.max_abs());
+        let scale = compute_scale(clip);
+        let clipped: Vec<f32> = tensor.data().iter().map(|v| v.clamp(-clip, clip)).collect();
+        let codes = quantize_slice(&clipped, scale, config.rounding, rng);
+        QuantTensor {
+            shape: tensor.shape().to_vec(),
+            codes,
+            scale,
+        }
+    }
+
+    /// Builds a quantized tensor directly from codes and a scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] when `codes.len()` does
+    /// not match the shape.
+    pub fn from_codes(shape: &[usize], codes: Vec<i8>, scale: f32) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if codes.len() != expected {
+            return Err(TensorError::ElementCountMismatch {
+                shape: shape.to_vec(),
+                provided: codes.len(),
+            });
+        }
+        Ok(QuantTensor {
+            shape: shape.to_vec(),
+            codes,
+            scale,
+        })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The INT8 codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The symmetric per-tensor scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Memory footprint of the codes in bytes (one byte per element).
+    pub fn byte_size(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Reconstructs the real-valued tensor `codes · scale`.
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self.codes.iter().map(|&c| c as f32 * self.scale).collect();
+        Tensor::from_vec(&self.shape, data).expect("dequantize preserves element count")
+    }
+
+    /// Mean squared error introduced by quantizing `original` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn quantization_mse(&self, original: &Tensor) -> Result<f32> {
+        if original.shape() != self.shape.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                left: original.shape().to_vec(),
+                right: self.shape.clone(),
+                op: "quantization_mse",
+            });
+        }
+        let deq = self.dequantize();
+        let mse = original
+            .data()
+            .iter()
+            .zip(deq.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / original.len().max(1) as f32;
+        Ok(mse)
+    }
+
+    /// Fraction of elements whose code underflowed to zero even though the
+    /// original value was non-zero.
+    ///
+    /// This is the quantity that explains why sharp gradient distributions
+    /// (paper Fig. 3) break naive INT8 backpropagation: most small gradients
+    /// collapse to exactly zero.
+    pub fn underflow_fraction(&self, original: &Tensor) -> f32 {
+        let mut zeroed = 0usize;
+        let mut nonzero = 0usize;
+        for (&code, &orig) in self.codes.iter().zip(original.data()) {
+            if orig != 0.0 {
+                nonzero += 1;
+                if code == 0 {
+                    zeroed += 1;
+                }
+            }
+        }
+        if nonzero == 0 {
+            0.0
+        } else {
+            zeroed as f32 / nonzero as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.9, -0.5, 0.1, -0.01, 0.77, -0.33]).unwrap();
+        let q = QuantTensor::quantize_with_rng(&t, QuantConfig::default(), &mut rng());
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= q.scale() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn from_codes_validates_length() {
+        assert!(QuantTensor::from_codes(&[2, 2], vec![1, 2, 3], 0.1).is_err());
+        let q = QuantTensor::from_codes(&[2, 2], vec![1, 2, 3, 4], 0.5).unwrap();
+        assert_eq!(q.dequantize().data(), &[0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(q.byte_size(), 4);
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn clipping_limits_scale() {
+        let t = Tensor::from_vec(&[4], vec![100.0, 0.1, -0.2, 0.05]).unwrap();
+        let unclipped = QuantTensor::quantize_with_rng(&t, QuantConfig::default(), &mut rng());
+        let clipped = QuantTensor::quantize_with_rng(
+            &t,
+            QuantConfig::default().with_clip(Some(0.5)),
+            &mut rng(),
+        );
+        assert!(clipped.scale() < unclipped.scale());
+        // small values are preserved much better under clipping
+        let small_err_clipped = (clipped.dequantize().data()[1] - 0.1).abs();
+        let small_err_unclipped = (unclipped.dequantize().data()[1] - 0.1).abs();
+        assert!(small_err_clipped < small_err_unclipped);
+    }
+
+    #[test]
+    fn underflow_fraction_detects_collapsed_gradients() {
+        // One huge outlier forces a large scale; everything else quantizes to 0.
+        let mut data = vec![1e-4f32; 99];
+        data.push(10.0);
+        let t = Tensor::from_vec(&[100], data).unwrap();
+        let q = QuantTensor::quantize_with_rng(&t, QuantConfig::default(), &mut rng());
+        assert!(q.underflow_fraction(&t) > 0.9);
+    }
+
+    #[test]
+    fn quantization_mse_checks_shape() {
+        let t = Tensor::ones(&[2, 2]);
+        let q = QuantTensor::quantize_with_rng(&t, QuantConfig::default(), &mut rng());
+        assert!(q.quantization_mse(&Tensor::ones(&[4])).is_err());
+        assert!(q.quantization_mse(&t).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn thread_rng_constructor_works() {
+        let t = Tensor::from_vec(&[3], vec![0.5, -0.5, 0.25]).unwrap();
+        let q = QuantTensor::quantize(&t, Rounding::Stochastic);
+        assert_eq!(q.shape(), &[3]);
+    }
+}

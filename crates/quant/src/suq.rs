@@ -1,0 +1,190 @@
+//! Symmetric uniform quantization primitives.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Largest representable quantized magnitude (symmetric range `[-127, 127]`).
+pub const QMAX: i8 = 127;
+/// Smallest representable quantized value.
+pub const QMIN: i8 = -127;
+
+/// Rounding mode used when mapping real values onto the INT8 grid.
+///
+/// The FF-INT8 paper uses *stochastic* rounding for gradients (following
+/// Gupta et al., 2015) because it is unbiased in expectation, and nearest
+/// rounding for weights and activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Rounding {
+    /// Round to the nearest grid point (ties away from zero).
+    #[default]
+    Nearest,
+    /// Round up or down with probability proportional to the distance, so the
+    /// expected quantized value equals the real value.
+    Stochastic,
+}
+
+/// Configuration for a symmetric uniform quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use ff_quant::{QuantConfig, Rounding};
+///
+/// let cfg = QuantConfig::new(Rounding::Stochastic).with_clip(Some(1.0));
+/// assert_eq!(cfg.clip, Some(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Rounding mode applied to every element.
+    pub rounding: Rounding,
+    /// Optional clipping threshold: values are clamped to `[-clip, clip]`
+    /// before the scale is computed. `None` uses the tensor's max-abs.
+    pub clip: Option<f32>,
+}
+
+impl QuantConfig {
+    /// Creates a configuration with the given rounding mode and no clipping.
+    pub fn new(rounding: Rounding) -> Self {
+        QuantConfig {
+            rounding,
+            clip: None,
+        }
+    }
+
+    /// Sets the clipping threshold.
+    pub fn with_clip(mut self, clip: Option<f32>) -> Self {
+        self.clip = clip;
+        self
+    }
+}
+
+/// Computes the symmetric per-tensor scale `s = max_abs / 127`.
+///
+/// A tiny floor keeps the scale strictly positive so that all-zero tensors
+/// still round-trip.
+///
+/// # Examples
+///
+/// ```
+/// let s = ff_quant::compute_scale(12.7);
+/// assert!((s - 0.1).abs() < 1e-6);
+/// ```
+pub fn compute_scale(max_abs: f32) -> f32 {
+    (max_abs / QMAX as f32).max(f32::MIN_POSITIVE * 128.0).max(1e-12)
+}
+
+/// Quantizes a single value given a scale.
+///
+/// Stochastic rounding draws from the supplied RNG; nearest rounding ignores
+/// it.
+pub fn quantize_value<R: Rng + ?Sized>(
+    value: f32,
+    scale: f32,
+    rounding: Rounding,
+    rng: &mut R,
+) -> i8 {
+    let x = value / scale;
+    let rounded = match rounding {
+        Rounding::Nearest => x.round(),
+        Rounding::Stochastic => {
+            let floor = x.floor();
+            let frac = x - floor;
+            if rng.gen::<f32>() < frac {
+                floor + 1.0
+            } else {
+                floor
+            }
+        }
+    };
+    rounded.clamp(QMIN as f32, QMAX as f32) as i8
+}
+
+/// Converts a quantized value back to its real approximation.
+pub fn dequantize_value(q: i8, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+/// Quantizes an entire slice with one shared scale, returning the codes.
+pub fn quantize_slice<R: Rng + ?Sized>(
+    values: &[f32],
+    scale: f32,
+    rounding: Rounding,
+    rng: &mut R,
+) -> Vec<i8> {
+    values
+        .iter()
+        .map(|&v| quantize_value(v, scale, rounding, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_is_max_abs_over_127() {
+        assert!((compute_scale(127.0) - 1.0).abs() < 1e-6);
+        assert!(compute_scale(0.0) > 0.0, "scale must stay positive");
+    }
+
+    #[test]
+    fn nearest_rounding_roundtrip_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let scale = compute_scale(2.0);
+        for i in -200..=200 {
+            let v = i as f32 / 100.0;
+            let q = quantize_value(v, scale, Rounding::Nearest, &mut rng);
+            let back = dequantize_value(q, scale);
+            assert!((v - back).abs() <= scale / 2.0 + 1e-6, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn values_clamp_to_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(quantize_value(1e9, 1.0, Rounding::Nearest, &mut rng), QMAX);
+        assert_eq!(quantize_value(-1e9, 1.0, Rounding::Nearest, &mut rng), QMIN);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let scale = 1.0;
+        let v = 0.3;
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| quantize_value(v, scale, Rounding::Stochastic, &mut rng) as f64)
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn stochastic_rounding_only_adjacent_grid_points() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let q = quantize_value(2.4, 1.0, Rounding::Stochastic, &mut rng);
+            assert!(q == 2 || q == 3);
+        }
+    }
+
+    #[test]
+    fn quantize_slice_uses_shared_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = [1.0, -2.0, 0.5];
+        let scale = compute_scale(2.0);
+        let codes = quantize_slice(&values, scale, Rounding::Nearest, &mut rng);
+        assert_eq!(codes.len(), 3);
+        assert_eq!(codes[1], QMIN);
+    }
+
+    #[test]
+    fn config_builder() {
+        let cfg = QuantConfig::new(Rounding::Stochastic).with_clip(Some(0.5));
+        assert_eq!(cfg.rounding, Rounding::Stochastic);
+        assert_eq!(cfg.clip, Some(0.5));
+        assert_eq!(QuantConfig::default().rounding, Rounding::Nearest);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the quantization crate.
+
+use ff_quant::{compute_scale, int8_matmul, QuantConfig, QuantTensor, Rounding};
+use ff_tensor::{linalg, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_len)
+        .prop_flat_map(|n| proptest::collection::vec(-100.0f32..100.0, n))
+        .prop_map(|data| {
+            let n = data.len();
+            Tensor::from_vec(&[n], data).expect("shape")
+        })
+}
+
+proptest! {
+    #[test]
+    fn nearest_roundtrip_error_within_half_step(t in tensor_strategy(64)) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Nearest), &mut rng);
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= q.scale() / 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn stochastic_roundtrip_error_within_one_step(t in tensor_strategy(64), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Stochastic), &mut rng);
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= q.scale() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn codes_stay_in_symmetric_range(t in tensor_strategy(64), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Stochastic), &mut rng);
+        for &c in q.codes() {
+            prop_assert!((-127..=127).contains(&(c as i32)));
+        }
+    }
+
+    #[test]
+    fn scale_is_monotonic_in_max_abs(a in 0.0f32..1e6, b in 0.0f32..1e6) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(compute_scale(lo) <= compute_scale(hi));
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_fp32(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ff_tensor::init::uniform(&[6, 10], -1.0, 1.0, &mut rng);
+        let b = ff_tensor::init::uniform(&[10, 5], -1.0, 1.0, &mut rng);
+        let exact = linalg::matmul(&a, &b).unwrap();
+        let qa = QuantTensor::quantize_with_rng(&a, QuantConfig::default(), &mut rng);
+        let qb = QuantTensor::quantize_with_rng(&b, QuantConfig::default(), &mut rng);
+        let approx = int8_matmul(&qa, &qb).unwrap();
+        let rel = exact.sub(&approx).unwrap().frobenius_norm() / (exact.frobenius_norm() + 1e-6);
+        prop_assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn dequantize_of_zero_tensor_is_zero(len in 1usize..64) {
+        let t = Tensor::zeros(&[len]);
+        let q = QuantTensor::quantize(&t, Rounding::Nearest);
+        prop_assert!(q.dequantize().max_abs() == 0.0);
+    }
+}

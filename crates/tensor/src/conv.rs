@@ -1,0 +1,481 @@
+//! Convolution and pooling kernels (im2col-based).
+//!
+//! Layout conventions: activations are `[batch, channels, height, width]`,
+//! convolution weights are `[out_ch, in_ch, kh, kw]`.
+
+use crate::{linalg, Result, Tensor, TensorError};
+
+/// Spatial geometry of a 2-D convolution or pooling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding added to each spatial border.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a square-kernel geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when `kernel` or `stride` is
+    /// zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidParameter {
+                message: format!("kernel ({kernel}) and stride ({stride}) must be non-zero"),
+            });
+        }
+        Ok(ConvGeometry {
+            kh: kernel,
+            kw: kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when the kernel does not fit
+    /// in the padded input.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kh || pw < self.kw {
+            return Err(TensorError::InvalidParameter {
+                message: format!(
+                    "kernel {}x{} larger than padded input {ph}x{pw}",
+                    self.kh, self.kw
+                ),
+            });
+        }
+        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+    }
+}
+
+fn expect_rank4(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    let s = t.shape();
+    Ok((s[0], s[1], s[2], s[3]))
+}
+
+/// Unfolds an `[n, c, h, w]` input into a `[n·oh·ow, c·kh·kw]` patch matrix.
+///
+/// Each row holds one receptive field so that convolution reduces to a single
+/// matrix product with the flattened weights.
+///
+/// # Errors
+///
+/// Returns a rank or parameter error when the input is not rank-4 or the
+/// kernel does not fit.
+pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<(Tensor, usize, usize)> {
+    let (n, c, h, w) = expect_rank4(input, "im2col")?;
+    let (oh, ow) = geom.output_size(h, w)?;
+    let row_len = c * geom.kh * geom.kw;
+    let mut out = vec![0.0f32; n * oh * ow * row_len];
+    let data = input.data();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (img * oh + oy) * ow + ox;
+                let row = &mut out[row_idx * row_len..(row_idx + 1) * row_len];
+                let mut col = 0;
+                for ch in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                let src = ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                row[col] = data[src];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(&[n * oh * ow, row_len], out)?, oh, ow))
+}
+
+/// Folds a `[n·oh·ow, c·kh·kw]` patch-gradient matrix back into an
+/// `[n, c, h, w]` input gradient (the adjoint of [`im2col`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ElementCountMismatch`] when the column matrix does
+/// not match the given geometry.
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+) -> Result<Tensor> {
+    let (oh, ow) = geom.output_size(h, w)?;
+    let row_len = c * geom.kh * geom.kw;
+    if cols.len() != n * oh * ow * row_len {
+        return Err(TensorError::ElementCountMismatch {
+            shape: vec![n * oh * ow, row_len],
+            provided: cols.len(),
+        });
+    }
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (img * oh + oy) * ow + ox;
+                let row = &data[row_idx * row_len..(row_idx + 1) * row_len];
+                let mut col = 0;
+                for ch in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                let dst = ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                out[dst] += row[col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, h, w], out)
+}
+
+/// 2-D convolution of `input [n, c, h, w]` with `weight [oc, c, kh, kw]` and an
+/// optional `[oc]` bias, producing `[n, oc, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns shape/rank errors when operands are inconsistent with `geom`.
+///
+/// # Examples
+///
+/// ```
+/// use ff_tensor::conv::{conv2d, ConvGeometry};
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let input = Tensor::ones(&[1, 1, 3, 3]);
+/// let weight = Tensor::ones(&[1, 1, 3, 3]);
+/// let out = conv2d(&input, &weight, None, ConvGeometry::new(3, 1, 0)?)?;
+/// assert_eq!(out.data(), &[9.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Tensor> {
+    let (n, c, _h, _w) = expect_rank4(input, "conv2d")?;
+    let (oc, wc, wkh, wkw) = expect_rank4(weight, "conv2d")?;
+    if wc != c || wkh != geom.kh || wkw != geom.kw {
+        return Err(TensorError::ShapeMismatch {
+            left: input.shape().to_vec(),
+            right: weight.shape().to_vec(),
+            op: "conv2d",
+        });
+    }
+    let (cols, oh, ow) = im2col(input, geom)?;
+    let weight_mat = weight.reshape(&[oc, c * geom.kh * geom.kw])?;
+    // [n·oh·ow, row_len] × [row_len, oc]  (via a·bᵀ with weight rows)
+    let out_mat = linalg::matmul_a_bt(&cols, &weight_mat)?;
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    let src = out_mat.data();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (img * oh + oy) * ow + ox;
+                for ch in 0..oc {
+                    let mut v = src[row_idx * oc + ch];
+                    if let Some(b) = bias {
+                        v += b.data()[ch];
+                    }
+                    out[((img * oc + ch) * oh + oy) * ow + ox] = v;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, oc, oh, ow], out)
+}
+
+/// Output of [`max_pool2d`]: pooled activations plus the flat input index of
+/// every selected maximum (needed for the backward pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPoolOutput {
+    /// Pooled `[n, c, oh, ow]` activations.
+    pub output: Tensor,
+    /// For each pooled element, the flat index into the input buffer that won.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling.
+///
+/// # Errors
+///
+/// Returns rank/parameter errors when the input is not rank-4 or the window
+/// does not fit.
+pub fn max_pool2d(input: &Tensor, geom: ConvGeometry) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = expect_rank4(input, "max_pool2d")?;
+    let (oh, ow) = geom.output_size(h, w)?;
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    for img in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let dst = ((img * c + ch) * oh + oy) * ow + ox;
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let src = ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                            if data[src] > out[dst] {
+                                out[dst] = data[src];
+                                argmax[dst] = src;
+                            }
+                        }
+                    }
+                    if out[dst] == f32::NEG_INFINITY {
+                        out[dst] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(&[n, c, oh, ow], out)?,
+        argmax,
+    })
+}
+
+/// 2-D average pooling.
+///
+/// # Errors
+///
+/// Returns rank/parameter errors when the input is not rank-4 or the window
+/// does not fit.
+pub fn avg_pool2d(input: &Tensor, geom: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = expect_rank4(input, "avg_pool2d")?;
+    let (oh, ow) = geom.output_size(h, w)?;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.data();
+    let window = (geom.kh * geom.kw) as f32;
+    for img in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            acc += data[((img * c + ch) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                    out[((img * c + ch) * oh + oy) * ow + ox] = acc / window;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, oh, ow], out)
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = expect_rank4(input, "global_avg_pool")?;
+    let area = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    let data = input.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            out[img * c + ch] = data[base..base + h * w].iter().sum::<f32>() / area;
+        }
+    }
+    Tensor::from_vec(&[n, c], out)
+}
+
+/// Distributes a `[n, c]` gradient uniformly back over `[n, c, h, w]`
+/// (the adjoint of [`global_avg_pool`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ElementCountMismatch`] when the gradient does not
+/// have `n · c` elements.
+pub fn global_avg_pool_backward(
+    grad: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor> {
+    if grad.len() != n * c {
+        return Err(TensorError::ElementCountMismatch {
+            shape: vec![n, c],
+            provided: grad.len(),
+        });
+    }
+    let area = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c * h * w];
+    for img in 0..n {
+        for ch in 0..c {
+            let g = grad.data()[img * c + ch] / area;
+            let base = (img * c + ch) * h * w;
+            for v in &mut out[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|x| x as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ConvGeometry::new(0, 1, 0).is_err());
+        assert!(ConvGeometry::new(3, 0, 0).is_err());
+        let g = ConvGeometry::new(3, 1, 1).unwrap();
+        assert_eq!(g.output_size(4, 4).unwrap(), (4, 4));
+        assert!(g.output_size(0, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        let input = seq_tensor(&[1, 1, 3, 3]);
+        let (cols, oh, ow) = im2col(&input, ConvGeometry::new(2, 1, 0).unwrap()).unwrap();
+        assert_eq!((oh, ow), (2, 2));
+        assert_eq!(cols.shape(), &[4, 4]);
+        // first patch is rows [0 1; 3 4]
+        assert_eq!(cols.row(0), &[0., 1., 3., 4.]);
+        assert_eq!(cols.row(3), &[4., 5., 7., 8.]);
+    }
+
+    #[test]
+    fn conv2d_matches_direct_computation() {
+        let input = seq_tensor(&[1, 1, 3, 3]);
+        let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 0., 0., 1.]).unwrap();
+        let out = conv2d(&input, &weight, None, ConvGeometry::new(2, 1, 0).unwrap()).unwrap();
+        // each output = top-left + bottom-right of the 2x2 window
+        assert_eq!(out.data(), &[4., 6., 10., 12.]);
+    }
+
+    #[test]
+    fn conv2d_bias_and_padding() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let bias = Tensor::from_slice(&[2], &[1.0, -1.0]).unwrap();
+        let out = conv2d(
+            &input,
+            &weight,
+            Some(&bias),
+            ConvGeometry::new(3, 1, 1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2, 2]);
+        // centre of padded 2x2 ones covered by 3x3 kernel sums 4 ones
+        assert_eq!(out.data()[0], 5.0);
+        assert_eq!(out.data()[4], 3.0);
+    }
+
+    #[test]
+    fn conv2d_rejects_mismatched_weight() {
+        let input = Tensor::ones(&[1, 2, 4, 4]);
+        let weight = Tensor::ones(&[1, 3, 3, 3]);
+        assert!(conv2d(&input, &weight, None, ConvGeometry::new(3, 1, 0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_ones() {
+        // For stride 1 / no padding, col2im(im2col(x)) counts how many patches
+        // cover each pixel.
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let geom = ConvGeometry::new(2, 1, 0).unwrap();
+        let (cols, _, _) = im2col(&input, geom).unwrap();
+        let folded = col2im(&cols, 1, 1, 3, 3, geom).unwrap();
+        assert_eq!(folded.data(), &[1., 2., 1., 2., 4., 2., 1., 2., 1.]);
+    }
+
+    #[test]
+    fn max_pool_tracks_argmax() {
+        let input = seq_tensor(&[1, 1, 4, 4]);
+        let pooled = max_pool2d(&input, ConvGeometry::new(2, 2, 0).unwrap()).unwrap();
+        assert_eq!(pooled.output.data(), &[5., 7., 13., 15.]);
+        assert_eq!(pooled.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avg_pool_averages_window() {
+        let input = seq_tensor(&[1, 1, 2, 2]);
+        let out = avg_pool2d(&input, ConvGeometry::new(2, 2, 0).unwrap()).unwrap();
+        assert_eq!(out.data(), &[1.5]);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let input = seq_tensor(&[2, 2, 2, 2]);
+        let pooled = global_avg_pool(&input).unwrap();
+        assert_eq!(pooled.shape(), &[2, 2]);
+        assert_eq!(pooled.data()[0], 1.5);
+        let grad = Tensor::ones(&[2, 2]);
+        let back = global_avg_pool_backward(&grad, 2, 2, 2, 2).unwrap();
+        assert_eq!(back.data()[0], 0.25);
+        assert!(global_avg_pool_backward(&grad, 3, 3, 2, 2).is_err());
+    }
+
+    #[test]
+    fn pooling_rejects_wrong_rank() {
+        let input = Tensor::ones(&[2, 2]);
+        let geom = ConvGeometry::new(2, 2, 0).unwrap();
+        assert!(max_pool2d(&input, geom).is_err());
+        assert!(avg_pool2d(&input, geom).is_err());
+        assert!(global_avg_pool(&input).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+use std::fmt;
+
+/// Error type for every fallible tensor operation.
+///
+/// # Examples
+///
+/// ```
+/// use ff_tensor::{Tensor, TensorError};
+///
+/// let err = Tensor::from_vec(&[2, 2], vec![1.0]).unwrap_err();
+/// assert!(matches!(err, TensorError::ElementCountMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expected shape) disagree on shape.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand (or the expected shape).
+        right: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The provided buffer does not contain `shape.iter().product()` elements.
+    ElementCountMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements actually supplied.
+        provided: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor that was supplied.
+        actual: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A parameter (stride, kernel size, ...) was invalid for the operation.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in `{op}`: {left:?} vs {right:?}")
+            }
+            TensorError::ElementCountMismatch { shape, provided } => write!(
+                f,
+                "element count mismatch: shape {shape:?} needs {} elements, got {provided}",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "`{op}` expects a rank-{expected} tensor, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4, 5],
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn display_element_count() {
+        let e = TensorError::ElementCountMismatch {
+            shape: vec![2, 2],
+            provided: 3,
+        };
+        assert!(e.to_string().contains("4 elements"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn display_rank_and_index_and_param() {
+        let r = TensorError::RankMismatch {
+            expected: 2,
+            actual: 4,
+            op: "matmul",
+        };
+        assert!(r.to_string().contains("rank-2"));
+        let i = TensorError::IndexOutOfBounds {
+            index: vec![9],
+            shape: vec![3],
+        };
+        assert!(i.to_string().contains("out of bounds"));
+        let p = TensorError::InvalidParameter {
+            message: "stride must be non-zero".into(),
+        };
+        assert!(p.to_string().contains("stride"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Random tensor initialisers (normal, uniform, Kaiming/He, Xavier/Glorot).
+//!
+//! All initialisers take an explicit `rand::Rng` so experiments stay
+//! reproducible from a single seed.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Samples a standard normal value via the Box–Muller transform.
+///
+/// Using Box–Muller keeps the crate independent of `rand_distr` while still
+/// producing Gaussian weights for initialisation.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Tensor with elements drawn from `N(mean, std²)`.
+///
+/// # Examples
+///
+/// ```
+/// use ff_tensor::init;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let t = init::randn(&[4, 4], 0.0, 1.0, &mut rng);
+/// assert_eq!(t.shape(), &[4, 4]);
+/// ```
+pub fn randn<R: Rng + ?Sized>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|_| mean + std * sample_standard_normal(rng))
+        .collect();
+    Tensor::from_vec(shape, data).expect("randn shape")
+}
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("uniform shape")
+}
+
+/// Kaiming/He normal initialisation for ReLU networks: `N(0, 2/fan_in)`.
+///
+/// `fan_in` is the number of input connections feeding each output unit
+/// (input features for dense layers, `in_ch · kh · kw` for convolutions).
+pub fn kaiming_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = randn(&[10_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.min_value() >= -0.5);
+        assert!(t.max_value() < 0.5);
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = kaiming_normal(&[2000], 10_000, &mut rng);
+        let narrow = kaiming_normal(&[2000], 10, &mut rng);
+        assert!(wide.max_abs() < narrow.max_abs());
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = xavier_uniform(&[500], 100, 100, &mut rng);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.max_abs() <= bound);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            randn(&[16], 0.0, 1.0, &mut a).data(),
+            randn(&[16], 0.0, 1.0, &mut b).data()
+        );
+    }
+}

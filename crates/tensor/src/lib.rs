@@ -1,0 +1,41 @@
+//! # ff-tensor
+//!
+//! Dense `f32` tensor primitives used by every other crate of the FF-INT8
+//! reproduction.
+//!
+//! The crate intentionally stays small: row-major [`Tensor`] storage, the
+//! linear-algebra kernels needed by dense and convolutional layers
+//! ([`Tensor::matmul`], [`conv::conv2d`], [`conv::im2col`]), element-wise
+//! helpers, reductions, and random initialisers ([`init`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), ff_tensor::TensorError> {
+//! let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0])?;
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[4.0, 5.0, 10.0, 11.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ops;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod linalg;
+
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,280 @@
+//! Dense linear-algebra kernels: matrix multiplication and transposition.
+//!
+//! Matrix products above a size threshold are sharded across threads with
+//! `crossbeam::scope`; smaller products run single-threaded to avoid thread
+//! start-up overhead.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Minimum number of fused multiply-adds before a matmul is parallelised.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// Multiplies `[m, k] × [k, n] → [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank-2 and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use ff_tensor::{linalg, Tensor};
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let a = Tensor::from_vec(&[1, 2], vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(&[2, 1], vec![3.0, 4.0])?;
+/// assert_eq!(linalg::matmul(&a, &b)?.data(), &[11.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "matmul")?;
+    let (kb, n) = check_rank2(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * ka;
+    if work >= PARALLEL_THRESHOLD && m > 1 {
+        parallel_matmul(a.data(), b.data(), &mut out, m, ka, n);
+    } else {
+        serial_matmul(a.data(), b.data(), &mut out, m, ka, n);
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+fn serial_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+fn parallel_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(m)
+        .max(1);
+    let rows_per_chunk = m.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_chunk * n).enumerate() {
+            let row_start = chunk_idx * rows_per_chunk;
+            let rows_here = out_chunk.len() / n;
+            let a_chunk = &a[row_start * k..(row_start + rows_here) * k];
+            scope.spawn(move |_| {
+                serial_matmul(a_chunk, b, out_chunk, rows_here, k, n);
+            });
+        }
+    })
+    .expect("matmul worker thread panicked");
+}
+
+/// Multiplies `aᵀ × b` where `a` is `[k, m]` and `b` is `[k, n]`, yielding
+/// `[m, n]` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns the same errors as [`matmul`].
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = check_rank2(a, "matmul_at_b")?;
+    let (kb, n) = check_rank2(b, "matmul_at_b")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul_at_b",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..ka {
+        let a_row = &a.data()[p * m..(p + 1) * m];
+        let b_row = &b.data()[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Multiplies `a × bᵀ` where `a` is `[m, k]` and `b` is `[n, k]`, yielding
+/// `[m, n]` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns the same errors as [`matmul`].
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "matmul_a_bt")?;
+    let (n, kb) = check_rank2(b, "matmul_a_bt")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul_a_bt",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a.data()[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let b_row = &b.data()[j * kb..(j + 1) * kb];
+            out[i * n + j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 input.
+///
+/// # Examples
+///
+/// ```
+/// use ff_tensor::{linalg, Tensor};
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// assert_eq!(linalg::transpose(&t)?.shape(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transpose(t: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = check_rank2(t, "transpose")?;
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = t.data()[r * cols + c];
+        }
+    }
+    Tensor::from_vec(&[cols, rows], out)
+}
+
+impl Tensor {
+    /// Matrix product, see [`matmul`].
+    ///
+    /// # Errors
+    ///
+    /// See [`matmul`].
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        matmul(self, other)
+    }
+
+    /// Transposed matrix, see [`transpose`].
+    ///
+    /// # Errors
+    ///
+    /// See [`transpose`].
+    pub fn transpose2(&self) -> Result<Tensor> {
+        transpose(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let id = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]).unwrap();
+        assert_eq!(matmul(&a, &id).unwrap().data(), a.data());
+        assert_eq!(matmul(&id, &a).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&Tensor::zeros(&[2]), &b).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|x| x as f32).collect()).unwrap();
+        let direct = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(direct.data(), explicit.data());
+
+        let c = Tensor::from_vec(&[2, 3], vec![1., 0., 2., -1., 3., 1.]).unwrap();
+        let d = Tensor::from_vec(&[4, 3], (0..12).map(|x| x as f32 / 2.0).collect()).unwrap();
+        let direct = matmul_a_bt(&c, &d).unwrap();
+        let explicit = matmul(&c, &transpose(&d).unwrap()).unwrap();
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(tt.data(), a.data());
+        assert!(transpose(&Tensor::zeros(&[2, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn large_matmul_parallel_matches_serial() {
+        let m = 64;
+        let k = 300;
+        let n = 70;
+        let a_data: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
+        let b_data: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 - 5.0).collect();
+        let a = Tensor::from_vec(&[m, k], a_data).unwrap();
+        let b = Tensor::from_vec(&[k, n], b_data).unwrap();
+        let par = matmul(&a, &b).unwrap();
+        let mut serial = vec![0.0f32; m * n];
+        serial_matmul(a.data(), b.data(), &mut serial, m, k, n);
+        assert_eq!(par.data(), &serial[..]);
+    }
+
+    #[test]
+    fn method_wrappers_delegate() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(a.matmul(&a).unwrap().data(), &[7., 10., 15., 22.]);
+        assert_eq!(a.transpose2().unwrap().data(), &[1., 3., 2., 4.]);
+    }
+}

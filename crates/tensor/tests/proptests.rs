@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor crate.
+
+use ff_tensor::conv::{self, ConvGeometry};
+use ff_tensor::{linalg, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(&[r, c], data).expect("shape"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_noop(a in small_matrix(6)) {
+        let n = a.shape()[1];
+        let mut id = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            id.set2(i, i, 1.0).unwrap();
+        }
+        let prod = linalg::matmul(&a, &id).unwrap();
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_matrix(5), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = a.shape()[1];
+        let b = ff_tensor::init::uniform(&[k, 3], -1.0, 1.0, &mut rng);
+        let c = ff_tensor::init::uniform(&[k, 3], -1.0, 1.0, &mut rng);
+        let lhs = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = linalg::matmul(&a, &b).unwrap().add(&linalg::matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in small_matrix(8)) {
+        let tt = linalg::transpose(&linalg::transpose(&a).unwrap()).unwrap();
+        prop_assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit(a in small_matrix(5), b in small_matrix(5)) {
+        // make inner dims agree by construction
+        let k = a.shape()[1];
+        let b = if b.shape()[1] == k { b } else {
+            Tensor::from_vec(&[b.shape()[0], k], vec![0.5; b.shape()[0] * k]).unwrap()
+        };
+        let direct = linalg::matmul_a_bt(&a, &b).unwrap();
+        let explicit = linalg::matmul(&a, &linalg::transpose(&b).unwrap()).unwrap();
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in small_matrix(8)) {
+        let r = a.relu();
+        prop_assert!(r.min_value() >= 0.0);
+        let rr = r.relu();
+        prop_assert_eq!(rr.data(), r.data());
+    }
+
+    #[test]
+    fn normalize_rows_produces_unit_norm(a in small_matrix(8)) {
+        prop_assume!(a.data().iter().all(|x| x.abs() > 1e-3));
+        let n = a.normalize_rows(0.0);
+        for r in 0..n.rows() {
+            let norm: f32 = n.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sum_axis0_matches_total_sum(a in small_matrix(8)) {
+        let col_total = a.sum_axis0().sum();
+        prop_assert!((col_total - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
+    }
+
+    #[test]
+    fn conv_of_ones_counts_window(h in 3usize..7, w in 3usize..7) {
+        let input = Tensor::ones(&[1, 1, h, w]);
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let out = conv::conv2d(&input, &weight, None, ConvGeometry::new(2, 1, 0).unwrap()).unwrap();
+        for &v in out.data() {
+            prop_assert!((v - 4.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_preserves_mean(n in 1usize..3, c in 1usize..4, hw in 2usize..5) {
+        let len = n * c * hw * hw;
+        let data: Vec<f32> = (0..len).map(|i| (i % 17) as f32 / 4.0).collect();
+        let input = Tensor::from_vec(&[n, c, hw, hw], data).unwrap();
+        let pooled = conv::global_avg_pool(&input).unwrap();
+        prop_assert!((pooled.mean() - input.mean()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Edge-deployment report: estimate training time, energy and memory on the
+//! Jetson Orin Nano for every training algorithm and every benchmark DNN,
+//! using the analytic device model (no hardware needed).
+//!
+//! Run with: `cargo run --release --example edge_deployment_report`
+
+use ff_int8::edge::{AlgorithmKind, CostModel, TrainingRun};
+use ff_int8::metrics::format_table;
+use ff_int8::models::specs;
+
+fn main() {
+    let model = CostModel::jetson_orin_nano();
+    println!("Device: {}", model.device().name);
+    let run = TrainingRun {
+        batch_size: 32,
+        batches_per_epoch: 1563, // CIFAR-10: 50 000 samples / batch 32
+        epochs: 200,
+    };
+
+    let mut rows = Vec::new();
+    for spec in specs::table2_specs() {
+        for algorithm in AlgorithmKind::table5_lineup() {
+            let cost = model.estimate(algorithm, &spec, &run);
+            rows.push(vec![
+                spec.name.clone(),
+                algorithm.label().to_string(),
+                format!("{:.2}", spec.param_millions()),
+                format!("{:.0}", cost.time_s),
+                format!("{:.0}", cost.energy_j),
+                format!("{:.0}", cost.memory_mib()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["Model", "Algorithm", "Params (M)", "Time (s)", "Energy (J)", "Memory (MB)"],
+            &rows
+        )
+    );
+
+    // Headline comparison (paper abstract): FF-INT8 vs the BP-GDAI8 state of
+    // the art, averaged over the four models.
+    let mut time_saving = 0.0f64;
+    let mut energy_saving = 0.0f64;
+    let mut memory_saving = 0.0f64;
+    let specs = specs::table2_specs();
+    for spec in &specs {
+        let ff = model.estimate(AlgorithmKind::FfInt8, spec, &run);
+        let gdai8 = model.estimate(AlgorithmKind::BpGdai8, spec, &run);
+        time_saving += 1.0 - ff.time_s / gdai8.time_s;
+        energy_saving += 1.0 - ff.energy_j / gdai8.energy_j;
+        memory_saving += 1.0 - ff.memory_mib() / gdai8.memory_mib();
+    }
+    let n = specs.len() as f64;
+    println!(
+        "FF-INT8 vs BP-GDAI8 (average over models): time -{:.1}%, energy -{:.1}%, memory -{:.1}%",
+        100.0 * time_saving / n,
+        100.0 * energy_saving / n,
+        100.0 * memory_saving / n
+    );
+    println!("Paper reports: time -4.6%, energy -8.3%, memory -27.0%.");
+}

@@ -1,0 +1,74 @@
+//! Gradient-quantization study: why direct INT8 gradient quantization breaks
+//! deep backpropagation, and why the Forward-Forward layout avoids it.
+//!
+//! Reproduces the mechanism behind the paper's Section IV-A (Fig. 3 and
+//! Table I) on a small MLP: as depth grows, the first layer's gradient
+//! distribution sharpens and most entries underflow to zero under symmetric
+//! INT8 quantization.
+//!
+//! Run with: `cargo run --release --example gradient_quantization_study`
+
+use ff_int8::data::{synthetic_mnist, SyntheticConfig};
+use ff_int8::metrics::format_table;
+use ff_int8::models::small_mlp;
+use ff_int8::nn::{softmax_cross_entropy, ForwardMode};
+use ff_int8::quant::stats::{DistributionStats, GradientHistogram};
+use ff_int8::quant::{QuantConfig, QuantTensor, Rounding};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train_set, _) = synthetic_mnist(&SyntheticConfig {
+        train_size: 640,
+        test_size: 64,
+        noise_std: 0.3,
+        max_shift: 1,
+        seed: 9,
+    });
+
+    let mut rows = Vec::new();
+    for hidden_layers in 0..=3usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut net = small_mlp(784, &vec![128; hidden_layers], 10, &mut rng);
+        // Accumulate first-layer gradients over a few FP32 batches.
+        for batch in train_set.batches(32, true, &mut rng).iter().take(10) {
+            let input = batch.images.reshape(&[batch.images.rows(), batch.images.cols()])?;
+            let logits = net.forward(&input, ForwardMode::Fp32)?;
+            let out = softmax_cross_entropy(&logits, &batch.labels)?;
+            net.backward(&out.grad)?;
+        }
+        let mut params = net.params_mut();
+        let grad = params.first_mut().map(|p| p.grad.clone()).expect("gradient");
+        let stats = DistributionStats::from_tensor(&grad);
+        let quantized =
+            QuantTensor::quantize_with_rng(&grad, QuantConfig::new(Rounding::Nearest), &mut rng);
+        let hist = GradientHistogram::from_tensor(&grad, 33);
+        println!("hidden layers = {hidden_layers}: {}", hist.to_sparkline());
+        rows.push(vec![
+            hidden_layers.to_string(),
+            format!("{:.2e}", stats.max_abs),
+            format!("{:.1}", stats.kurtosis),
+            format!("{:.1}%", 100.0 * quantized.underflow_fraction(&grad)),
+            format!("{:.2e}", quantized.quantization_mse(&grad)?),
+        ]);
+    }
+    println!();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Hidden layers",
+                "Max |g|",
+                "Kurtosis",
+                "Gradients lost to 0 (INT8)",
+                "Quantization MSE",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Deeper networks lose most of their first-layer gradient signal to INT8 underflow.\n\
+         The Forward-Forward algorithm sidesteps this by training each layer with a local\n\
+         loss, so no gradient ever traverses the deep backward chain."
+    );
+    Ok(())
+}

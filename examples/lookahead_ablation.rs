@@ -1,0 +1,53 @@
+//! Look-ahead ablation: train the same MLP with FF-INT8 with and without the
+//! look-ahead scheme and compare convergence speed and final accuracy
+//! (the paper's Fig. 6a comparison).
+//!
+//! Run with: `cargo run --release --example lookahead_ablation`
+
+use ff_int8::core::{train, Algorithm, TrainOptions};
+use ff_int8::data::{synthetic_mnist, SyntheticConfig};
+use ff_int8::metrics::format_series;
+use ff_int8::models::small_mlp;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 1200,
+        test_size: 300,
+        noise_std: 0.35,
+        max_shift: 2,
+        seed: 4,
+    });
+    let options = TrainOptions {
+        epochs: 20,
+        learning_rate: 0.2,
+        max_eval_samples: 200,
+        lambda_step: 0.002,
+        ..TrainOptions::default()
+    };
+
+    for lookahead in [false, true] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut net = small_mlp(784, &[96, 96], 10, &mut rng);
+        let history = train(
+            &mut net,
+            &train_set,
+            &test_set,
+            Algorithm::FfInt8 { lookahead },
+            &options,
+        )?;
+        let label = if lookahead { "with look-ahead" } else { "without look-ahead" };
+        println!("== FF-INT8 {label} ==");
+        println!(
+            "{}",
+            format_series("epoch", "test accuracy", &history.test_accuracy_series())
+        );
+        let best = history.best_test_accuracy().unwrap_or(0.0);
+        println!(
+            "best accuracy {:.3}; epochs to reach 90% of best: {:?}\n",
+            best,
+            history.epochs_to_reach(0.9 * best)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! # ff-int8
+//!
+//! Facade crate for the FF-INT8 reproduction workspace. It re-exports the
+//! public API of every member crate so examples and downstream users can
+//! depend on a single package.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_int8::tensor::Tensor;
+//!
+//! let t = Tensor::ones(&[2, 2]);
+//! assert_eq!(t.sum(), 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ff_core as core;
+pub use ff_data as data;
+pub use ff_edge as edge;
+pub use ff_metrics as metrics;
+pub use ff_models as models;
+pub use ff_nn as nn;
+pub use ff_quant as quant;
+pub use ff_tensor as tensor;

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: architecture specs feeding the edge cost
+//! model reproduce the orderings behind the paper's Tables IV and V.
+
+use ff_int8::edge::{AlgorithmKind, CostModel, TrainingRun};
+use ff_int8::models::specs;
+
+fn run() -> TrainingRun {
+    TrainingRun {
+        batch_size: 32,
+        batches_per_epoch: 1563,
+        epochs: 200,
+    }
+}
+
+#[test]
+fn table2_parameter_counts_match_the_paper() {
+    let expected = [
+        ("MLP", 1.79),
+        ("MobileNet-V2", 2.24),
+        ("EfficientNet-B0", 3.39),
+        ("ResNet-18", 11.19),
+    ];
+    for (spec, (name, millions)) in specs::table2_specs().iter().zip(expected) {
+        assert!(spec.name.contains(name) || name == "MLP");
+        let rel = (spec.param_millions() - millions).abs() / millions;
+        assert!(
+            rel < 0.15,
+            "{}: {:.2}M vs paper {millions}M",
+            spec.name,
+            spec.param_millions()
+        );
+    }
+}
+
+#[test]
+fn ff_int8_wins_time_energy_memory_against_every_baseline() {
+    let model = CostModel::jetson_orin_nano();
+    for spec in specs::table2_specs() {
+        let ff = model.estimate(AlgorithmKind::FfInt8, &spec, &run());
+        for baseline in [
+            AlgorithmKind::BpFp32,
+            AlgorithmKind::BpUi8,
+            AlgorithmKind::BpGdai8,
+        ] {
+            let other = model.estimate(baseline, &spec, &run());
+            assert!(ff.time_s < other.time_s, "{} time vs {:?}", spec.name, baseline);
+            assert!(
+                ff.energy_j < other.energy_j,
+                "{} energy vs {:?}",
+                spec.name,
+                baseline
+            );
+            assert!(
+                ff.memory_bytes < other.memory_bytes,
+                "{} memory vs {:?}",
+                spec.name,
+                baseline
+            );
+        }
+    }
+}
+
+#[test]
+fn savings_vs_state_of_the_art_are_in_a_plausible_band() {
+    // Paper abstract: 4.6% faster, 8.3% energy savings, 27.0% memory savings
+    // relative to BP-GDAI8. The analytic model should land in the same
+    // direction with savings below 60% (i.e. not absurdly optimistic).
+    let model = CostModel::jetson_orin_nano();
+    let mut time = 0.0;
+    let mut energy = 0.0;
+    let mut memory = 0.0;
+    let all = specs::table2_specs();
+    for spec in &all {
+        let ff = model.estimate(AlgorithmKind::FfInt8, spec, &run());
+        let gdai8 = model.estimate(AlgorithmKind::BpGdai8, spec, &run());
+        time += 1.0 - ff.time_s / gdai8.time_s;
+        energy += 1.0 - ff.energy_j / gdai8.energy_j;
+        memory += 1.0 - ff.memory_bytes as f64 / gdai8.memory_bytes as f64;
+    }
+    let n = all.len() as f64;
+    for (label, saving) in [("time", time / n), ("energy", energy / n), ("memory", memory / n)] {
+        assert!(
+            saving > 0.0 && saving < 0.6,
+            "average {label} saving {saving} outside the plausible band"
+        );
+    }
+}
+
+#[test]
+fn every_configuration_fits_on_the_jetson() {
+    let model = CostModel::jetson_orin_nano();
+    for spec in specs::table2_specs() {
+        for algorithm in AlgorithmKind::table5_lineup() {
+            assert!(
+                model.fits_in_memory(algorithm, &spec, 32),
+                "{} with {:?} exceeds 4 GB",
+                spec.name,
+                algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn resnet_dominates_cost_and_mlp_is_cheapest() {
+    // Table V ordering: ResNet-18 rows have the largest time/energy/memory,
+    // the MLP rows the smallest, for every algorithm.
+    let model = CostModel::jetson_orin_nano();
+    let all = specs::table2_specs();
+    let mlp = &all[0];
+    let resnet = &all[3];
+    for algorithm in AlgorithmKind::table5_lineup() {
+        let small = model.estimate(algorithm, mlp, &run());
+        let large = model.estimate(algorithm, resnet, &run());
+        assert!(large.time_s > small.time_s);
+        assert!(large.energy_j > small.energy_j);
+        assert!(large.memory_bytes > small.memory_bytes);
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration tests: data → quantization → layers pipeline
+//! invariants used by the FF-INT8 dataflow (paper Fig. 4).
+
+use ff_int8::data::{embed_label, positive_negative_sets, synthetic_mnist, SyntheticConfig};
+use ff_int8::nn::{Dense, ForwardMode, Layer};
+use ff_int8::quant::{QuantConfig, QuantTensor, Rounding};
+use ff_int8::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn int8_forward_of_real_batches_tracks_fp32() {
+    let (train_set, _) = synthetic_mnist(&SyntheticConfig::small());
+    let mut rng = StdRng::seed_from_u64(1);
+    let batch = &train_set.batches(16, false, &mut rng)[0];
+    let flat = batch
+        .images
+        .reshape(&[batch.images.rows(), batch.images.cols()])
+        .expect("flatten");
+    let mut layer = Dense::new(784, 64, true, &mut rng);
+    let y32 = layer.forward(&flat, ForwardMode::Fp32).expect("fp32 forward");
+    let y8 = layer
+        .forward(&flat, ForwardMode::Int8(Rounding::Nearest))
+        .expect("int8 forward");
+    let rel = y32.sub(&y8).expect("shapes match").frobenius_norm() / (y32.frobenius_norm() + 1e-6);
+    assert!(rel < 0.1, "INT8 forward relative error {rel}");
+}
+
+#[test]
+fn positive_and_negative_sets_share_image_content() {
+    let (train_set, _) = synthetic_mnist(&SyntheticConfig::small());
+    let mut rng = StdRng::seed_from_u64(2);
+    let batch = &train_set.batches(8, false, &mut rng)[0];
+    let flat = batch
+        .images
+        .reshape(&[batch.images.rows(), batch.images.cols()])
+        .expect("flatten");
+    let (pos, neg) = positive_negative_sets(&flat, &batch.labels, 10, &mut rng).expect("sets");
+    // Identical outside the 10 label slots.
+    for i in 0..pos.rows() {
+        for j in 10..pos.cols() {
+            assert_eq!(pos.row(i)[j], neg.row(i)[j]);
+        }
+        // True label set only in the positive sample.
+        assert_eq!(pos.row(i)[batch.labels[i]], 1.0);
+        assert_eq!(neg.row(i)[batch.labels[i]], 0.0);
+    }
+}
+
+#[test]
+fn label_embedding_survives_quantization() {
+    // The one-hot label slot must stay the dominant value in its column after
+    // INT8 quantization, otherwise the FF objective loses its supervision.
+    let images = Tensor::full(&[4, 784], 0.4);
+    let embedded = embed_label(&images, &[0, 3, 5, 9], 10).expect("embedding");
+    let mut rng = StdRng::seed_from_u64(3);
+    let q = QuantTensor::quantize_with_rng(&embedded, QuantConfig::new(Rounding::Nearest), &mut rng);
+    let back = q.dequantize();
+    for (i, &label) in [0usize, 3, 5, 9].iter().enumerate() {
+        let row = back.row(i);
+        assert!(row[label] > 0.9, "label value collapsed to {}", row[label]);
+        for (j, &v) in row.iter().enumerate().take(10) {
+            if j != label {
+                assert!(v.abs() < 0.1, "non-label slot {j} has value {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantization_error_is_bounded_on_real_gradients() {
+    let (train_set, _) = synthetic_mnist(&SyntheticConfig::small());
+    let mut rng = StdRng::seed_from_u64(4);
+    let batch = &train_set.batches(16, false, &mut rng)[0];
+    let flat = batch
+        .images
+        .reshape(&[batch.images.rows(), batch.images.cols()])
+        .expect("flatten");
+    let mut layer = Dense::new(784, 32, true, &mut rng);
+    let y = layer.forward(&flat, ForwardMode::Fp32).expect("forward");
+    layer.backward(&Tensor::ones(y.shape())).expect("backward");
+    let grad = layer.grad_weight().clone();
+    let q = QuantTensor::quantize_with_rng(&grad, QuantConfig::new(Rounding::Stochastic), &mut rng);
+    let max_err = grad.sub(&q.dequantize()).expect("shapes").max_abs();
+    assert!(max_err <= q.scale() + 1e-6);
+}
