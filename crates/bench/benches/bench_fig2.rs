@@ -12,7 +12,9 @@ use rand::SeedableRng;
 fn bench_fig2(c: &mut Criterion) {
     let (train_set, test_set) = bench_cifar10();
     let options = bench_options();
-    let config = SmallModelConfig::default().with_base_channels(4).with_stages(1);
+    let config = SmallModelConfig::default()
+        .with_base_channels(4)
+        .with_stages(1);
     let mut group = c.benchmark_group("fig2_bp_epoch_resnet");
     group.sample_size(10);
     for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {

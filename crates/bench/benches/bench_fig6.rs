@@ -14,7 +14,11 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_ff_epoch_mlp");
     group.sample_size(10);
     for lookahead in [false, true] {
-        let name = if lookahead { "with_lookahead" } else { "without_lookahead" };
+        let name = if lookahead {
+            "with_lookahead"
+        } else {
+            "without_lookahead"
+        };
         group.bench_function(name, |bencher| {
             bencher.iter(|| {
                 let mut rng = StdRng::seed_from_u64(4);

@@ -1,19 +1,40 @@
-//! Micro-benchmark: INT8 GEMM (i32 accumulation) versus FP32 GEMM.
+//! Micro-benchmark: the packed/blocked INT8 GEMM engine versus the naive
+//! reference kernels and FP32 GEMM.
 //!
 //! This is the arithmetic primitive whose hardware speed difference underlies
 //! the paper's time/energy savings (Section V-C: "INT8 arithmetic is also 4x
-//! faster than FP32 in hardware").
+//! faster than FP32 in hardware"). Three groups are measured:
+//!
+//! - `gemm`: fp32 vs naive-INT8 vs packed-INT8 at square sizes (the
+//!   acceptance gate is packed ≥ 2× naive at 256³ and above);
+//! - `gemm_paper_shapes`: the shapes the paper's workloads actually run —
+//!   the MNIST dense layer (784→2000) and an im2col'd 3×3 conv;
+//! - `gemm_threads`: 1/2/4/8-worker sweeps of the packed engine.
+//!
+//! Running with `--bench` (what `cargo bench` passes) writes a
+//! `BENCH_gemm.json` baseline into the bench binary's working directory
+//! (`crates/bench/`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ff_quant::{int8_matmul, QuantConfig, QuantTensor, Rounding};
+use ff_quant::gemm::reference;
+use ff_quant::{int8_matmul, GemmVariant, QuantConfig, QuantTensor, Rounding};
 use ff_tensor::{init, linalg};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn quant_pair(m: usize, k: usize, n: usize, seed: u64) -> (QuantTensor, QuantTensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let qa = QuantTensor::quantize_with_rng(&a, QuantConfig::new(Rounding::Nearest), &mut rng);
+    let qb = QuantTensor::quantize_with_rng(&b, QuantConfig::new(Rounding::Nearest), &mut rng);
+    (qa, qb)
+}
+
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
     group.sample_size(20);
-    for &n in &[64usize, 128] {
+    for &n in &[64usize, 128, 256, 512] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = init::uniform(&[n, n], -1.0, 1.0, &mut rng);
         let b = init::uniform(&[n, n], -1.0, 1.0, &mut rng);
@@ -22,12 +43,63 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fp32", n), &n, |bencher, _| {
             bencher.iter(|| linalg::matmul(&a, &b).expect("matmul"));
         });
-        group.bench_with_input(BenchmarkId::new("int8_i32acc", n), &n, |bencher, _| {
-            bencher.iter(|| int8_matmul(&qa, &qb).expect("int8 matmul"));
+        group.bench_with_input(BenchmarkId::new("int8_naive", n), &n, |bencher, _| {
+            bencher.iter(|| reference::int8_matmul(&qa, &qb).expect("naive int8 matmul"));
+        });
+        group.bench_with_input(BenchmarkId::new("int8_packed", n), &n, |bencher, _| {
+            bencher.iter(|| int8_matmul(&qa, &qb).expect("packed int8 matmul"));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+fn bench_paper_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_paper_shapes");
+    group.sample_size(10);
+    // (label, m, k, n): batch-64 MNIST dense 784→2000 (paper's MLP layer) and
+    // an im2col'd 3×3×32 conv over a 16×16 feature map (m = oh·ow·batch).
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("mnist_dense_784x2000", 64, 784, 2000),
+        ("im2col_conv3x3x32", 1024, 288, 32),
+    ];
+    for &(label, m, k, n) in shapes {
+        let (qa, qb) = quant_pair(m, k, n, 2);
+        group.bench_with_input(
+            BenchmarkId::new("int8_naive", label),
+            &label,
+            |bencher, _| {
+                bencher.iter(|| reference::int8_matmul(&qa, &qb).expect("naive int8 matmul"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("int8_packed", label),
+            &label,
+            |bencher, _| {
+                bencher.iter(|| int8_matmul(&qa, &qb).expect("packed int8 matmul"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_threads");
+    group.sample_size(10);
+    let (qa, qb) = quant_pair(256, 256, 256, 3);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("int8_packed_256", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| {
+                    ff_quant::int8_gemm(GemmVariant::AB, &qa, &qb, None, false, Some(threads))
+                        .expect("packed int8 matmul")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_paper_shapes, bench_thread_sweep);
 criterion_main!(benches);

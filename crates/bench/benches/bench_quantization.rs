@@ -20,11 +20,7 @@ fn bench_quantization(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("stochastic", len), &len, |bencher, _| {
             bencher.iter(|| {
-                QuantTensor::quantize_with_rng(
-                    &t,
-                    QuantConfig::new(Rounding::Stochastic),
-                    &mut rng,
-                )
+                QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Stochastic), &mut rng)
             });
         });
     }

@@ -56,10 +56,14 @@ pub fn train(
         Algorithm::BpGdai8 => {
             BpTrainer::new(GradientPolicy::Gdai8, options.clone()).train(net, train_set, test_set)
         }
-        Algorithm::FfInt8 { lookahead } => FfTrainer::new(Precision::Int8, lookahead, options.clone())
-            .train(net, train_set, test_set),
-        Algorithm::FfFp32 { lookahead } => FfTrainer::new(Precision::Fp32, lookahead, options.clone())
-            .train(net, train_set, test_set),
+        Algorithm::FfInt8 { lookahead } => {
+            FfTrainer::new(Precision::Int8, lookahead, options.clone())
+                .train(net, train_set, test_set)
+        }
+        Algorithm::FfFp32 { lookahead } => {
+            FfTrainer::new(Precision::Fp32, lookahead, options.clone())
+                .train(net, train_set, test_set)
+        }
     }
 }
 

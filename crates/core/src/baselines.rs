@@ -248,8 +248,8 @@ impl BpTrainer {
             }
             let mean_loss = epoch_loss / batches.len().max(1) as f32;
             let train_acc = correct as f32 / seen.max(1) as f32;
-            let evaluate = epoch % self.options.eval_every.max(1) == 0
-                || epoch + 1 == self.options.epochs;
+            let evaluate =
+                epoch % self.options.eval_every.max(1) == 0 || epoch + 1 == self.options.epochs;
             let test_acc = if evaluate {
                 Some(self.evaluate(net, test_set)?)
             } else {

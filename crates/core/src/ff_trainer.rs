@@ -103,18 +103,23 @@ impl FfTrainer {
             } else {
                 0.0
             };
-            let batches =
-                train_set.batches(self.options.batch_size, true, &mut self.rng);
+            let batches = train_set.batches(self.options.batch_size, true, &mut self.rng);
             let mut epoch_loss = 0.0f32;
             let mut batch_count = 0usize;
             for batch in &batches {
-                let loss = self.train_batch(net, &batch.images, &batch.labels, train_set.num_classes(), lambda)?;
+                let loss = self.train_batch(
+                    net,
+                    &batch.images,
+                    &batch.labels,
+                    train_set.num_classes(),
+                    lambda,
+                )?;
                 epoch_loss += loss;
                 batch_count += 1;
             }
             let mean_loss = epoch_loss / batch_count.max(1) as f32;
-            let evaluate = epoch % self.options.eval_every.max(1) == 0
-                || epoch + 1 == self.options.epochs;
+            let evaluate =
+                epoch % self.options.eval_every.max(1) == 0 || epoch + 1 == self.options.epochs;
             let (train_acc, test_acc) = if evaluate {
                 let train_acc = self.evaluate(net, train_set)?;
                 let test_acc = self.evaluate(net, test_set)?;
@@ -420,8 +425,7 @@ mod tests {
             .unwrap();
         let options = TrainOptions::default();
         let mut trainer = FfTrainer::new(Precision::Fp32, true, options);
-        let (pos, _) =
-            positive_negative_sets(&flat, &batch.labels, 10, &mut trainer.rng).unwrap();
+        let (pos, _) = positive_negative_sets(&flat, &batch.labels, 10, &mut trainer.rng).unwrap();
 
         net.zero_grad();
         trainer

@@ -172,9 +172,15 @@ mod tests {
     #[test]
     fn gradients_have_correct_sign() {
         let (_, gp) = ff_loss(&[1.0, 5.0], 2.0, FfLossKind::Positive);
-        assert!(gp.iter().all(|&g| g < 0.0), "positive pass pushes goodness up");
+        assert!(
+            gp.iter().all(|&g| g < 0.0),
+            "positive pass pushes goodness up"
+        );
         let (_, gn) = ff_loss(&[1.0, 5.0], 2.0, FfLossKind::Negative);
-        assert!(gn.iter().all(|&g| g > 0.0), "negative pass pushes goodness down");
+        assert!(
+            gn.iter().all(|&g| g > 0.0),
+            "negative pass pushes goodness down"
+        );
     }
 
     #[test]

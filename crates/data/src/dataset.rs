@@ -47,14 +47,14 @@ impl Dataset {
     ///
     /// Returns [`TensorError::InvalidParameter`] when the label count does not
     /// match the number of images or a label is out of range.
-    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, TensorError> {
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, TensorError> {
         if images.rows() != labels.len() {
             return Err(TensorError::InvalidParameter {
-                message: format!(
-                    "{} images but {} labels",
-                    images.rows(),
-                    labels.len()
-                ),
+                message: format!("{} images but {} labels", images.rows(), labels.len()),
             });
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
@@ -110,8 +110,7 @@ impl Dataset {
     ///
     /// Propagates reshape errors (cannot happen for well-formed datasets).
     pub fn flattened(&self) -> Result<Tensor, TensorError> {
-        self.images
-            .reshape(&[self.len(), self.feature_count()])
+        self.images.reshape(&[self.len(), self.feature_count()])
     }
 
     /// Splits the dataset into mini-batches, optionally shuffling sample order.
@@ -178,8 +177,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn dataset() -> Dataset {
-        let images = Tensor::from_vec(&[6, 1, 2, 2], (0..24).map(|x| x as f32 / 24.0).collect())
-            .unwrap();
+        let images =
+            Tensor::from_vec(&[6, 1, 2, 2], (0..24).map(|x| x as f32 / 24.0).collect()).unwrap();
         Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
     }
 

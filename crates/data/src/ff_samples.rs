@@ -75,7 +75,10 @@ pub fn make_negative_labels<R: Rng + ?Sized>(
     num_classes: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    assert!(num_classes >= 2, "need at least two classes to pick a wrong label");
+    assert!(
+        num_classes >= 2,
+        "need at least two classes to pick a wrong label"
+    );
     labels
         .iter()
         .map(|&true_label| {
@@ -165,10 +168,10 @@ mod tests {
         let labels = [0usize, 5, 9];
         let (pos, neg) = positive_negative_sets(&images, &labels, 10, &mut rng).unwrap();
         assert_eq!(pos.shape(), neg.shape());
-        for i in 0..3 {
+        for (i, &label) in labels.iter().enumerate() {
             // true label slot set in positive only
-            assert_eq!(pos.row(i)[labels[i]], 1.0);
-            assert_eq!(neg.row(i)[labels[i]], 0.0);
+            assert_eq!(pos.row(i)[label], 1.0);
+            assert_eq!(neg.row(i)[label], 0.0);
             // non-label features identical
             for j in 10..15 {
                 assert_eq!(pos.row(i)[j], neg.row(i)[j]);

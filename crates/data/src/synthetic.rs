@@ -118,11 +118,7 @@ fn shift_image(src: &[f32], channels: usize, size: usize, dx: isize, dy: isize) 
     out
 }
 
-fn generate(
-    config: &SyntheticConfig,
-    channels: usize,
-    size: usize,
-) -> (Dataset, Dataset) {
+fn generate(config: &SyntheticConfig, channels: usize, size: usize) -> (Dataset, Dataset) {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let prototypes: Vec<Vec<f32>> = (0..NUM_CLASSES)
         .map(|c| class_prototype(c, channels, size, &mut rng))
@@ -134,8 +130,16 @@ fn generate(
         for i in 0..count {
             let class = i % NUM_CLASSES;
             let shift = config.max_shift as isize;
-            let dx = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
-            let dy = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+            let dx = if shift > 0 {
+                rng.gen_range(-shift..=shift)
+            } else {
+                0
+            };
+            let dy = if shift > 0 {
+                rng.gen_range(-shift..=shift)
+            } else {
+                0
+            };
             let shifted = shift_image(&prototypes[class], channels, size, dx, dy);
             for v in shifted {
                 let noisy = v + config.noise_std * sample_normal(rng);
@@ -245,8 +249,16 @@ mod tests {
             let row = test_flat.row(i);
             let best = (0..10)
                 .min_by(|&a, &b| {
-                    let da: f32 = row.iter().zip(&means[a]).map(|(x, m)| (x - m) * (x - m)).sum();
-                    let db: f32 = row.iter().zip(&means[b]).map(|(x, m)| (x - m) * (x - m)).sum();
+                    let da: f32 = row
+                        .iter()
+                        .zip(&means[a])
+                        .map(|(x, m)| (x - m) * (x - m))
+                        .sum();
+                    let db: f32 = row
+                        .iter()
+                        .zip(&means[b])
+                        .map(|(x, m)| (x - m) * (x - m))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

@@ -156,12 +156,15 @@ impl CostModel {
         // algorithm only executes forward-style GEMMs.
         let compute = match algorithm {
             AlgorithmKind::FfInt8 => int8_time + fp32_time,
-            AlgorithmKind::BpFp32 | AlgorithmKind::BpInt8 | AlgorithmKind::BpUi8
+            AlgorithmKind::BpFp32
+            | AlgorithmKind::BpInt8
+            | AlgorithmKind::BpUi8
             | AlgorithmKind::BpGdai8 => {
                 let mac_time = int8_time.max(fp32_time.min(f64::MAX));
                 let forward_share = mac_time / 3.0;
                 let backward_share = 2.0 * mac_time / 3.0;
-                forward_share + backward_share / d.backward_efficiency
+                forward_share
+                    + backward_share / d.backward_efficiency
                     + if ops.int8_mul > 0 { fp32_time } else { 0.0 }
             }
         };
@@ -212,7 +215,10 @@ impl CostModel {
             AlgorithmKind::BpFp32 => {
                 // FP32 activations + activation gradients + autograd graph
                 // bookkeeping (~50% of activation storage).
-                (params * 4, activations * 4 + activations * 4 + activations * 2)
+                (
+                    params * 4,
+                    activations * 4 + activations * 4 + activations * 2,
+                )
             }
             AlgorithmKind::BpInt8 => (params, activations * 4 + activations * 4 + activations * 2),
             AlgorithmKind::BpUi8 => {
@@ -220,8 +226,7 @@ impl CostModel {
                 // activation-gradient chain and graph bookkeeping.
                 (params, activations + activations * 4 + activations * 2)
             }
-            AlgorithmKind::BpGdai8 => (params, activations + activations * 4 + activations)
-            ,
+            AlgorithmKind::BpGdai8 => (params, activations + activations * 4 + activations),
             AlgorithmKind::FfInt8 => {
                 // Look-ahead keeps one INT8 copy of each layer's activations
                 // for the current batch (needed for the per-layer gW GEMMs)
@@ -300,7 +305,15 @@ mod tests {
     fn labels_and_lineup() {
         assert_eq!(AlgorithmKind::FfInt8.label(), "FF-INT8");
         assert_eq!(AlgorithmKind::table5_lineup().len(), 5);
-        assert_eq!(TrainingRun { batch_size: 1, batches_per_epoch: 10, epochs: 3 }.total_batches(), 30);
+        assert_eq!(
+            TrainingRun {
+                batch_size: 1,
+                batches_per_epoch: 10,
+                epochs: 3
+            }
+            .total_batches(),
+            30
+        );
     }
 
     #[test]
@@ -327,7 +340,11 @@ mod tests {
             let gdai8 = model.estimate(AlgorithmKind::BpGdai8, &spec, &run());
             assert!(ff.time_s < gdai8.time_s, "{}: time", spec.name);
             assert!(ff.energy_j < gdai8.energy_j, "{}: energy", spec.name);
-            assert!(ff.memory_bytes < gdai8.memory_bytes, "{}: memory", spec.name);
+            assert!(
+                ff.memory_bytes < gdai8.memory_bytes,
+                "{}: memory",
+                spec.name
+            );
         }
     }
 

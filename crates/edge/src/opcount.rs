@@ -88,7 +88,6 @@ pub fn ff_int8_batch_ops(spec: &ModelSpec, batch: usize) -> OpCounts {
         fp32_mul: 0,
         fp32_add: elements_scanned, // scale multiplies / stochastic rounding adds
         cmp32: elements_scanned,
-        ..OpCounts::default()
     }
 }
 

@@ -21,8 +21,8 @@ fn main() {
     for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {
         let mut rng = StdRng::seed_from_u64(7);
         let mut net = small_resnet(&model_config, &mut rng);
-        let history = train(&mut net, &train_set, &test_set, algorithm, &options)
-            .expect("training failed");
+        let history =
+            train(&mut net, &train_set, &test_set, algorithm, &options).expect("training failed");
         println!("-- {} --", algorithm.label());
         let loss_series: Vec<(usize, f32)> = history
             .records()

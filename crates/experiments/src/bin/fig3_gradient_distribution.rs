@@ -3,8 +3,8 @@
 
 use ff_experiments::{bp_options, mnist, RunScale};
 use ff_metrics::format_table;
-use ff_nn::{softmax_cross_entropy, ForwardMode};
 use ff_models::small_mlp;
+use ff_nn::{softmax_cross_entropy, ForwardMode};
 use ff_quant::stats::{DistributionStats, GradientHistogram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

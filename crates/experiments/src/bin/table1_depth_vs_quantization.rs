@@ -37,7 +37,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Hidden layers", "FP32 acc (%)", "INT8 acc (%)", "Difference (%)"],
+            &[
+                "Hidden layers",
+                "FP32 acc (%)",
+                "INT8 acc (%)",
+                "Difference (%)"
+            ],
             &rows
         )
     );

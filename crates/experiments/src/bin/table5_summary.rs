@@ -10,7 +10,7 @@ use ff_data::Dataset;
 use ff_edge::{AlgorithmKind, CostModel, TrainingRun};
 use ff_experiments::{bp_options, cifar10, ff_options, mnist, pct, RunScale};
 use ff_metrics::format_table;
-use ff_models::{small_cnn, small_mlp, small_resnet, ModelSpec, SmallModelConfig, specs};
+use ff_models::{small_cnn, small_mlp, small_resnet, specs, ModelSpec, SmallModelConfig};
 use ff_nn::Sequential;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,9 +69,7 @@ fn main() {
             name: "EfficientNet-B0",
             spec: specs::efficientnet_b0_spec(),
             dataset: cifar10(scale),
-            build: Box::new(move |rng| {
-                small_cnn(&cnn_config.with_base_channels(6), rng)
-            }),
+            build: Box::new(move |rng| small_cnn(&cnn_config.with_base_channels(6), rng)),
             epochs_paperish: 200,
         },
         Benchmark {
@@ -103,7 +101,9 @@ fn main() {
             let mut conv_options = options_for(algorithm, scale);
             if bench.name != "MLP" {
                 // convolutional empirical runs are the slowest part; cap them
-                conv_options.epochs = conv_options.epochs.min(if scale.is_full() { 12 } else { 3 });
+                conv_options.epochs = conv_options
+                    .epochs
+                    .min(if scale.is_full() { 12 } else { 3 });
                 conv_options.max_eval_samples = conv_options.max_eval_samples.min(100);
             }
             let mut rng = StdRng::seed_from_u64(33);
@@ -134,18 +134,20 @@ fn main() {
             }
         }
         if let (Some(g), Some(f)) = (gdai8_metrics, ff_metrics) {
-            ff_vs_gdai8.push((
-                1.0 - f.0 / g.0,
-                1.0 - f.1 / g.1,
-                1.0 - f.2 / g.2,
-                f.3 - g.3,
-            ));
+            ff_vs_gdai8.push((1.0 - f.0 / g.0, 1.0 - f.1 / g.1, 1.0 - f.2 / g.2, f.3 - g.3));
         }
     }
     println!(
         "{}",
         format_table(
-            &["Model", "Training algorithm", "Accuracy (%)", "Time (s)", "Energy (J)", "Memory (MB)"],
+            &[
+                "Model",
+                "Training algorithm",
+                "Accuracy (%)",
+                "Time (s)",
+                "Energy (J)",
+                "Memory (MB)"
+            ],
             &rows
         )
     );

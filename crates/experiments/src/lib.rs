@@ -18,8 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ff_data::{synthetic_cifar10, synthetic_mnist, Dataset, SyntheticConfig};
 use ff_core::TrainOptions;
+use ff_data::{synthetic_cifar10, synthetic_mnist, Dataset, SyntheticConfig};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,7 +130,9 @@ mod tests {
     fn options_differ_by_scale() {
         assert!(bp_options(RunScale::Full).epochs > bp_options(RunScale::Quick).epochs);
         assert!(ff_options(RunScale::Full).epochs > ff_options(RunScale::Quick).epochs);
-        assert!(ff_options(RunScale::Quick).learning_rate > bp_options(RunScale::Quick).learning_rate);
+        assert!(
+            ff_options(RunScale::Quick).learning_rate > bp_options(RunScale::Quick).learning_rate
+        );
     }
 
     #[test]

@@ -135,9 +135,9 @@ impl TrainingHistory {
         let Some(first) = self.records.first() else {
             return false;
         };
-        self.records.iter().any(|r| {
-            !r.train_loss.is_finite() || r.train_loss > first.train_loss * factor
-        })
+        self.records
+            .iter()
+            .any(|r| !r.train_loss.is_finite() || r.train_loss > first.train_loss * factor)
     }
 
     /// The per-epoch test-accuracy series (epochs without evaluation are
@@ -216,6 +216,9 @@ mod tests {
     #[test]
     fn accuracy_series_skips_missing() {
         let h = sample_history();
-        assert_eq!(h.test_accuracy_series(), vec![(0, 0.18), (2, 0.75), (3, 0.83)]);
+        assert_eq!(
+            h.test_accuracy_series(),
+            vec![(0, 0.18), (2, 0.75), (3, 0.83)]
+        );
     }
 }

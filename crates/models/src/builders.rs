@@ -133,8 +133,7 @@ pub fn small_resnet<R: Rng + ?Sized>(config: &SmallModelConfig, rng: &mut R) -> 
     let mut net = Sequential::new();
     let base = config.base_channels;
     net.push(Box::new(
-        Conv2d::new(config.input_channels, base, 3, 1, 1, true, rng)
-            .expect("valid conv geometry"),
+        Conv2d::new(config.input_channels, base, 3, 1, 1, true, rng).expect("valid conv geometry"),
     ));
     let mut in_ch = base;
     for stage in 0..config.stages.max(1) {
@@ -194,13 +193,17 @@ mod tests {
     fn mlp_builder_layer_count_and_shapes() {
         let mut net = small_mlp(784, &[64, 64], 10, &mut rng());
         assert_eq!(net.len(), 3);
-        let y = net.forward(&Tensor::ones(&[2, 784]), ForwardMode::Fp32).unwrap();
+        let y = net
+            .forward(&Tensor::ones(&[2, 784]), ForwardMode::Fp32)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 10]);
     }
 
     #[test]
     fn cnn_builder_forward_shape() {
-        let cfg = SmallModelConfig::default().with_base_channels(4).with_stages(2);
+        let cfg = SmallModelConfig::default()
+            .with_base_channels(4)
+            .with_stages(2);
         let mut net = small_cnn(&cfg, &mut rng());
         let y = net
             .forward(&Tensor::ones(&[2, 3, 32, 32]), ForwardMode::Fp32)

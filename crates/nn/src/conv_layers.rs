@@ -2,7 +2,7 @@
 
 use crate::layer::{ForwardMode, Layer, ParamRefMut};
 use crate::{NnError, Result};
-use ff_quant::{int8_matmul_a_bt, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
+use ff_quant::{int8_matmul_a_bt_fused, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
 use ff_tensor::conv::{col2im, im2col, ConvGeometry};
 use ff_tensor::{init, linalg, Tensor};
 use rand::Rng;
@@ -62,11 +62,8 @@ impl Conv2d {
     ) -> Result<Self> {
         let geom = ConvGeometry::new(kernel, stride, padding)?;
         let fan_in = in_channels * kernel * kernel;
-        let weight = init::kaiming_normal(
-            &[out_channels, in_channels, kernel, kernel],
-            fan_in,
-            rng,
-        );
+        let weight =
+            init::kaiming_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng);
         Ok(Conv2d {
             in_channels,
             out_channels,
@@ -169,10 +166,14 @@ impl Layer for Conv2d {
         let n = input.shape()[0];
         let (cols, oh, ow) = im2col(input, self.geom)?;
         let weight_mat = self.weight_matrix()?;
-        let rows = match mode {
+        // Bias and ReLU (+ gradient mask) are fused into the GEMM epilogue
+        // over the `[n·oh·ow, oc]` row matrix; ReLU commutes with the NCHW
+        // reorder, so only the already-activated rows (and mask) are
+        // rearranged afterwards.
+        let (rows, rows_mask) = match mode {
             ForwardMode::Fp32 => {
                 self.cached_quant_cols = None;
-                linalg::matmul_a_bt(&cols, &weight_mat)?
+                linalg::matmul_a_bt_fused(&cols, &weight_mat, Some(&self.bias), self.fused_relu)?
             }
             ForwardMode::Int8(rounding) => {
                 let mut rng = rand::thread_rng();
@@ -183,23 +184,17 @@ impl Layer for Conv2d {
                     QuantConfig::new(Rounding::Nearest),
                     &mut rng,
                 );
-                let out = int8_matmul_a_bt(&q_cols, &q_weight)?;
+                let out =
+                    int8_matmul_a_bt_fused(&q_cols, &q_weight, Some(&self.bias), self.fused_relu)?;
                 self.cached_quant_cols = Some(q_cols);
                 out
             }
         };
-        let rows = rows.add_row_broadcast(&self.bias)?;
-        let mut out = self.rows_to_nchw(&rows, n, oh, ow);
+        let out = self.rows_to_nchw(&rows, n, oh, ow);
         self.cached_cols = Some(cols);
         self.cached_input_shape = Some(input.shape().to_vec());
         self.cached_output_hw = (oh, ow);
-        if self.fused_relu {
-            let mask = out.relu_grad_mask();
-            out = out.relu();
-            self.cached_mask = Some(mask);
-        } else {
-            self.cached_mask = None;
-        }
+        self.cached_mask = rows_mask.map(|mask| self.rows_to_nchw(&mask, n, oh, ow));
         Ok(out)
     }
 

@@ -2,7 +2,7 @@
 
 use crate::layer::{ForwardMode, Layer, ParamRefMut};
 use crate::{NnError, Result};
-use ff_quant::{int8_matmul_a_bt, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
+use ff_quant::{int8_matmul_a_bt_fused, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
 use ff_tensor::{init, linalg, Tensor};
 use rand::Rng;
 
@@ -138,39 +138,30 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Tensor> {
         self.check_input(input)?;
         self.last_mode = mode;
-        let pre = match mode {
+        // Bias add and ReLU (+ gradient mask) are fused into the GEMM
+        // epilogue, so no separate pass touches the output afterwards.
+        let (out, mask) = match mode {
             ForwardMode::Fp32 => {
                 self.cached_quant_input = None;
-                linalg::matmul_a_bt(input, &self.weight)?
+                linalg::matmul_a_bt_fused(input, &self.weight, Some(&self.bias), self.fused_relu)?
             }
             ForwardMode::Int8(rounding) => {
                 let mut rng = rand::thread_rng();
-                let q_input = QuantTensor::quantize_with_rng(
-                    input,
-                    QuantConfig::new(rounding),
-                    &mut rng,
-                );
+                let q_input =
+                    QuantTensor::quantize_with_rng(input, QuantConfig::new(rounding), &mut rng);
                 let q_weight = QuantTensor::quantize_with_rng(
                     &self.weight,
                     QuantConfig::new(Rounding::Nearest),
                     &mut rng,
                 );
-                let out = int8_matmul_a_bt(&q_input, &q_weight)?;
+                let out =
+                    int8_matmul_a_bt_fused(&q_input, &q_weight, Some(&self.bias), self.fused_relu)?;
                 self.cached_quant_input = Some(q_input);
                 out
             }
         };
-        let pre = pre.add_row_broadcast(&self.bias)?;
         self.cached_input = Some(input.clone());
-        let out = if self.fused_relu {
-            let mask = pre.relu_grad_mask();
-            let out = pre.relu();
-            self.cached_mask = Some(mask);
-            out
-        } else {
-            self.cached_mask = None;
-            pre
-        };
+        self.cached_mask = mask;
         Ok(out)
     }
 
@@ -193,11 +184,8 @@ impl Layer for Dense {
             }
             ForwardMode::Int8(rounding) => {
                 let mut rng = rand::thread_rng();
-                let q_grad = QuantTensor::quantize_with_rng(
-                    &grad_pre,
-                    QuantConfig::new(rounding),
-                    &mut rng,
-                );
+                let q_grad =
+                    QuantTensor::quantize_with_rng(&grad_pre, QuantConfig::new(rounding), &mut rng);
                 let q_input = self
                     .cached_quant_input
                     .as_ref()
@@ -258,8 +246,12 @@ mod tests {
     #[test]
     fn rejects_bad_input_shape() {
         let mut layer = Dense::new(3, 2, false, &mut rng());
-        assert!(layer.forward(&Tensor::ones(&[2, 4]), ForwardMode::Fp32).is_err());
-        assert!(layer.forward(&Tensor::ones(&[4]), ForwardMode::Fp32).is_err());
+        assert!(layer
+            .forward(&Tensor::ones(&[2, 4]), ForwardMode::Fp32)
+            .is_err());
+        assert!(layer
+            .forward(&Tensor::ones(&[4]), ForwardMode::Fp32)
+            .is_err());
     }
 
     #[test]
@@ -318,7 +310,9 @@ mod tests {
         let mut layer = Dense::new(16, 8, true, &mut rng());
         let x = init::uniform(&[4, 16], -1.0, 1.0, &mut rng());
         let y32 = layer.forward(&x, ForwardMode::Fp32).unwrap();
-        let y8 = layer.forward(&x, ForwardMode::Int8(Rounding::Nearest)).unwrap();
+        let y8 = layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
         let rel = y32.sub(&y8).unwrap().frobenius_norm() / (y32.frobenius_norm() + 1e-6);
         assert!(rel < 0.1, "relative error {rel}");
     }

@@ -79,6 +79,8 @@ mod tests {
         }
         .into();
         assert!(t.source().is_some());
-        assert!(NnError::MissingForwardState { layer: "x" }.source().is_none());
+        assert!(NnError::MissingForwardState { layer: "x" }
+            .source()
+            .is_none());
     }
 }

@@ -36,7 +36,10 @@ pub struct SoftmaxCrossEntropyOutput {
 /// # Ok(())
 /// # }
 /// ```
-pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<SoftmaxCrossEntropyOutput> {
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<SoftmaxCrossEntropyOutput> {
     let batch = logits.rows();
     let classes = logits.cols();
     if labels.len() != batch {

@@ -100,7 +100,7 @@ impl Layer for BatchNorm2d {
         let mut out = vec![0.0f32; data.len()];
         let mut normalized = vec![0.0f32; data.len()];
         let mut std_inv = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, std_inv_ch) in std_inv.iter_mut().enumerate() {
             let mut mean = 0.0f32;
             for img in 0..n {
                 let base = (img * c + ch) * h * w;
@@ -117,7 +117,7 @@ impl Layer for BatchNorm2d {
             }
             var /= count;
             let inv = 1.0 / (var + self.epsilon).sqrt();
-            std_inv[ch] = inv;
+            *std_inv_ch = inv;
             self.running_mean[ch] =
                 (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
             self.running_var[ch] =
@@ -142,10 +142,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::MissingForwardState { layer: "batchnorm2d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardState {
+            layer: "batchnorm2d",
+        })?;
         let shape = &cache.input_shape;
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let count = (n * h * w) as f32;
@@ -171,8 +170,8 @@ impl Layer for BatchNorm2d {
                 let base = (img * c + ch) * h * w;
                 for i in 0..h * w {
                     let dy = g_out[base + i];
-                    grad_input[base + i] = gamma * inv / count
-                        * (count * dy - sum_dy - xn[base + i] * sum_dy_xn);
+                    grad_input[base + i] =
+                        gamma * inv / count * (count * dy - sum_dy - xn[base + i] * sum_dy_xn);
                 }
             }
         }
@@ -223,8 +222,12 @@ mod tests {
     #[test]
     fn rejects_wrong_channels() {
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::ones(&[1, 2, 4, 4]), ForwardMode::Fp32).is_err());
-        assert!(bn.forward(&Tensor::ones(&[2, 3]), ForwardMode::Fp32).is_err());
+        assert!(bn
+            .forward(&Tensor::ones(&[1, 2, 4, 4]), ForwardMode::Fp32)
+            .is_err());
+        assert!(bn
+            .forward(&Tensor::ones(&[2, 3]), ForwardMode::Fp32)
+            .is_err());
     }
 
     #[test]
@@ -238,7 +241,11 @@ mod tests {
         assert_eq!(gi.shape(), x.shape());
         // gradient through normalisation sums to ~0 per channel
         let c0_sum: f32 = (0..3)
-            .map(|img| gi.data()[(img * 2) * 16..(img * 2) * 16 + 16].iter().sum::<f32>())
+            .map(|img| {
+                gi.data()[(img * 2) * 16..(img * 2) * 16 + 16]
+                    .iter()
+                    .sum::<f32>()
+            })
             .sum();
         assert!(c0_sum.abs() < 1e-3, "sum {c0_sum}");
     }

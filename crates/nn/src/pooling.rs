@@ -139,8 +139,7 @@ mod tests {
 
     #[test]
     fn maxpool_forward_backward() {
-        let input =
-            Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|x| x as f32).collect()).unwrap();
+        let input = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|x| x as f32).collect()).unwrap();
         let mut pool = MaxPool2d::new(2, 2).unwrap();
         let y = pool.forward(&input, ForwardMode::Fp32).unwrap();
         assert_eq!(y.data(), &[5., 7., 13., 15.]);

@@ -173,12 +173,10 @@ mod tests {
     #[test]
     fn projection_skip_changes_shape() {
         let mut r = rng();
-        let main: Vec<Box<dyn Layer>> = vec![Box::new(
-            Conv2d::new(2, 4, 3, 2, 1, false, &mut r).unwrap(),
-        )];
-        let shortcut: Vec<Box<dyn Layer>> = vec![Box::new(
-            Conv2d::new(2, 4, 1, 2, 0, false, &mut r).unwrap(),
-        )];
+        let main: Vec<Box<dyn Layer>> =
+            vec![Box::new(Conv2d::new(2, 4, 3, 2, 1, false, &mut r).unwrap())];
+        let shortcut: Vec<Box<dyn Layer>> =
+            vec![Box::new(Conv2d::new(2, 4, 1, 2, 0, false, &mut r).unwrap())];
         let mut block = ResidualBlock::new(main, shortcut);
         let y = block
             .forward(&Tensor::ones(&[1, 2, 6, 6]), ForwardMode::Fp32)

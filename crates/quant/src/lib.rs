@@ -1,7 +1,7 @@
 //! # ff-quant
 //!
-//! Symmetric uniform quantization (SUQ) to INT8, stochastic rounding, INT8
-//! matrix multiplication with INT32 accumulation, and gradient-distribution
+//! Symmetric uniform quantization (SUQ) to INT8, stochastic rounding, the
+//! packed/blocked/multi-threaded INT8 GEMM engine, and gradient-distribution
 //! statistics.
 //!
 //! This crate implements the numerical substrate of the FF-INT8 paper
@@ -9,6 +9,15 @@
 //! per-tensor symmetric scale `s = max|x| / 127`, optionally with stochastic
 //! rounding (Gupta et al., 2015), and the MAC phase runs on `i8` inputs with
 //! `i32` accumulators.
+//!
+//! The MAC phase is served by a single blocked micro-kernel shared by all
+//! three GEMM variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`): operands are repacked once
+//! into `i16` panels ([`pack`]), tiled `NC → KC → MC`, sharded across worker
+//! threads by output row panels, and dequantized in a fused epilogue that
+//! can also apply a bias and ReLU ([`int8_matmul_a_bt_fused`]). The naive
+//! triple-loop kernels survive as test oracles in [`gemm::reference`]; the
+//! blocked engine matches them bit-exactly for every shape. See
+//! [`gemm`] for the kernel design and [`pack`] for the panel layout.
 //!
 //! # Examples
 //!
@@ -30,13 +39,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod gemm;
 mod qtensor;
 mod suq;
 
+pub mod gemm;
+pub mod pack;
 pub mod stats;
 
-pub use gemm::{int8_gemm_op_count, int8_matmul, int8_matmul_a_bt, int8_matmul_at_b};
+pub use gemm::{
+    int8_gemm, int8_gemm_op_count, int8_matmul, int8_matmul_a_bt, int8_matmul_a_bt_fused,
+    int8_matmul_at_b, GemmVariant,
+};
 pub use qtensor::QuantTensor;
 pub use suq::{
     compute_scale, dequantize_value, quantize_slice, quantize_value, QuantConfig, Rounding, QMAX,

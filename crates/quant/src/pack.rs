@@ -1,0 +1,342 @@
+//! Panel packing for the blocked INT8 GEMM engine.
+//!
+//! The engine in [`crate::gemm`] computes `C[m, n] = Σ_p Â[i, p] · B̂[p, j]`
+//! for all three kernel variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) by first repacking
+//! both operands into contiguous `i16` panels.
+//!
+//! # Layout
+//!
+//! Depth is processed in **pairs** (`p2 = p / 2`) so the micro-kernel can
+//! fold two multiply-adds into one `i16` lane operation (see
+//! [`crate::gemm`]'s kernel notes). With `k2 = ⌈k / 2⌉`:
+//!
+//! - [`PackedA`] stores `Â` as strips of [`MR`] rows. Strip `s` is laid out
+//!   `[k2][2][MR]`: element `(i, p)` lives at
+//!   `s·k2·2·MR + (p/2)·2·MR + (p%2)·MR + (i − s·MR)`.
+//! - [`PackedB`] stores `B̂` as strips of [`NR`] columns, laid out
+//!   `[k2][2][NR]` the same way. One micro-kernel step therefore reads two
+//!   adjacent full rows of a strip (`p` even, then `p` odd) as contiguous
+//!   `i16` runs — ideal for vector loads.
+//!
+//! Rows/columns beyond the matrix edge — and the odd-`k` tail pair — are
+//! zero-padded; zeros contribute nothing to an integer accumulator, which
+//! keeps the blocked result bit-identical to the naive kernels.
+//!
+//! Both packers widen the INT8 codes to `i16` **at pack time**, so the
+//! micro-kernel never widens in its innermost loop, and they record whether
+//! any code equals `i8::MIN` (−128): the fast pairwise kernel's `i16` pair
+//! sums can overflow only when **both** operands carry `−128` (the
+//! symmetric quantizer never emits it), in which case the engine falls back
+//! to a plain `i32` kernel (see [`PackedA::has_i8_min`]).
+//!
+//! Transposed variants are handled entirely here: packing `A` from a
+//! `[k, m]` buffer (for `Aᵀ·B`) or `B̂` from an `[n, k]` buffer (for `A·Bᵀ`)
+//! only changes the gather indices, after which the engine runs one single
+//! micro-kernel for every variant.
+
+/// Rows per A micro-panel (micro-kernel tile height).
+pub const MR: usize = 2;
+
+/// Columns per B micro-panel (micro-kernel tile width).
+pub const NR: usize = 64;
+
+/// Row-block size: rows of `C` accumulated per `i32` staging buffer pass.
+pub const MC: usize = 64;
+
+/// Depth-block size: `k` values processed per micro-kernel invocation
+/// (always even, so it contains whole pairs).
+pub const KC: usize = 256;
+
+/// Column-block size: columns of `C` (and of the packed `B` panel) per
+/// outermost block. Must be a multiple of [`NR`].
+pub const NC: usize = 256;
+
+/// How a packed operand's source buffer is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackSource {
+    /// The logical matrix equals the stored row-major matrix.
+    RowMajor,
+    /// The logical matrix is the transpose of the stored row-major matrix.
+    Transposed,
+}
+
+/// Scans codes for `i8::MIN` separately from the copy loops so the packing
+/// copies stay side-effect-free and auto-vectorize. The fold is branch-free
+/// on purpose: an early-exit `any` compiles to a scalar loop, while this
+/// min-reduction vectorizes.
+fn contains_i8_min(codes: &[i8]) -> bool {
+    codes.iter().fold(0i8, |lowest, &v| lowest.min(v)) == i8::MIN
+}
+
+/// `Â` widened to `i16` and repacked into [`MR`]-row, depth-paired strips.
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    /// Logical row count of `Â` (`m`).
+    pub m: usize,
+    /// Logical depth (`k`).
+    pub k: usize,
+    /// Padded pair count, `⌈k / 2⌉`.
+    pub k2: usize,
+    data: Vec<i16>,
+    has_i8_min: bool,
+}
+
+impl PackedA {
+    /// Packs the logical `m × k` matrix `Â`.
+    ///
+    /// With [`PackSource::RowMajor`], `codes` is `Â` stored `[m, k]`; with
+    /// [`PackSource::Transposed`], `codes` is stored `[k, m]` and is packed
+    /// as its transpose (the `Aᵀ·B` variant) without materialising it.
+    pub fn pack(codes: &[i8], m: usize, k: usize, source: PackSource) -> Self {
+        debug_assert_eq!(codes.len(), m * k);
+        let strips = m.div_ceil(MR);
+        let k2 = k.div_ceil(2);
+        let mut data = vec![0i16; strips * k2 * 2 * MR];
+        let has_i8_min = contains_i8_min(codes);
+        match source {
+            PackSource::RowMajor => {
+                // Interleave whole MR-row groups pair-by-pair with forward
+                // destination writes so the copy vectorizes as a shuffle.
+                for s in 0..strips {
+                    let rows = MR.min(m - s * MR);
+                    let dst = &mut data[s * k2 * 2 * MR..(s + 1) * k2 * 2 * MR];
+                    for ir in 0..rows {
+                        let src_row = &codes[(s * MR + ir) * k..(s * MR + ir + 1) * k];
+                        let mut chunks = src_row.chunks_exact(2);
+                        for (p2, pair) in chunks.by_ref().enumerate() {
+                            dst[p2 * 2 * MR + ir] = pair[0] as i16;
+                            dst[p2 * 2 * MR + MR + ir] = pair[1] as i16;
+                        }
+                        if let [tail] = *chunks.remainder() {
+                            dst[(k / 2) * 2 * MR + ir] = tail as i16;
+                        }
+                    }
+                }
+            }
+            PackSource::Transposed => {
+                for s in 0..strips {
+                    let base = s * k2 * 2 * MR;
+                    let rows = MR.min(m - s * MR);
+                    for p in 0..k {
+                        let src = &codes[p * m + s * MR..p * m + s * MR + rows];
+                        let dst_base = base + (p / 2) * 2 * MR + (p % 2) * MR;
+                        for (ir, &v) in src.iter().enumerate() {
+                            data[dst_base + ir] = v as i16;
+                        }
+                    }
+                }
+            }
+        }
+        PackedA {
+            m,
+            k,
+            k2,
+            data,
+            has_i8_min,
+        }
+    }
+
+    /// `true` when any packed code was `i8::MIN` (−128), which rules out the
+    /// pairwise `i16` micro-kernel.
+    pub fn has_i8_min(&self) -> bool {
+        self.has_i8_min
+    }
+
+    /// The `kc2 × 2 × MR` slab of strip `s` covering depth pairs
+    /// `[pc2, pc2 + kc2)`.
+    #[inline]
+    pub fn strip_at(&self, s: usize, pc2: usize, kc2: usize) -> &[i16] {
+        let base = s * self.k2 * 2 * MR + pc2 * 2 * MR;
+        &self.data[base..base + kc2 * 2 * MR]
+    }
+}
+
+/// `B̂` widened to `i16` and repacked into [`NR`]-column, depth-paired
+/// strips.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    /// Logical depth (`k`).
+    pub k: usize,
+    /// Logical column count of `B̂` (`n`).
+    pub n: usize,
+    /// Padded pair count, `⌈k / 2⌉`.
+    pub k2: usize,
+    data: Vec<i16>,
+    has_i8_min: bool,
+}
+
+impl PackedB {
+    /// Packs the logical `k × n` matrix `B̂`.
+    ///
+    /// With [`PackSource::RowMajor`], `codes` is `B̂` stored `[k, n]`; with
+    /// [`PackSource::Transposed`], `codes` is stored `[n, k]` and is packed
+    /// as its transpose (the `A·Bᵀ` variant) without materialising it.
+    pub fn pack(codes: &[i8], k: usize, n: usize, source: PackSource) -> Self {
+        debug_assert_eq!(codes.len(), k * n);
+        let strips = n.div_ceil(NR);
+        let k2 = k.div_ceil(2);
+        let mut data = vec![0i16; strips * k2 * 2 * NR];
+        let has_i8_min = contains_i8_min(codes);
+        match source {
+            PackSource::RowMajor => {
+                for t in 0..strips {
+                    let base = t * k2 * 2 * NR;
+                    let cols = NR.min(n - t * NR);
+                    for p in 0..k {
+                        let src = &codes[p * n + t * NR..p * n + t * NR + cols];
+                        let dst = &mut data[base + (p / 2) * 2 * NR + (p % 2) * NR..][..cols];
+                        for (d, &v) in dst.iter_mut().zip(src) {
+                            *d = v as i16;
+                        }
+                    }
+                }
+            }
+            PackSource::Transposed => {
+                for t in 0..strips {
+                    let base = t * k2 * 2 * NR;
+                    let cols = NR.min(n - t * NR);
+                    for jr in 0..cols {
+                        let src_row = &codes[(t * NR + jr) * k..(t * NR + jr + 1) * k];
+                        for (p, &v) in src_row.iter().enumerate() {
+                            data[base + (p / 2) * 2 * NR + (p % 2) * NR + jr] = v as i16;
+                        }
+                    }
+                }
+            }
+        }
+        PackedB {
+            k,
+            n,
+            k2,
+            data,
+            has_i8_min,
+        }
+    }
+
+    /// `true` when any packed code was `i8::MIN` (−128), which rules out the
+    /// pairwise `i16` micro-kernel.
+    pub fn has_i8_min(&self) -> bool {
+        self.has_i8_min
+    }
+
+    /// The `kc2 × 2 × NR` slab of strip `t` covering depth pairs
+    /// `[pc2, pc2 + kc2)`.
+    #[inline]
+    pub fn strip_at(&self, t: usize, pc2: usize, kc2: usize) -> &[i16] {
+        let base = t * self.k2 * 2 * NR + pc2 * 2 * NR;
+        &self.data[base..base + kc2 * 2 * NR]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_codes(len: usize) -> Vec<i8> {
+        (0..len)
+            .map(|i| (((i * 37 + 11) % 255) as i8).max(-127))
+            .collect()
+    }
+
+    fn a_elem(packed: &PackedA, i: usize, p: usize) -> i16 {
+        let slab = packed.strip_at(i / MR, p / 2, 1);
+        slab[(p % 2) * MR + i % MR]
+    }
+
+    fn b_elem(packed: &PackedB, p: usize, j: usize) -> i16 {
+        let slab = packed.strip_at(j / NR, p / 2, 1);
+        slab[(p % 2) * NR + j % NR]
+    }
+
+    #[test]
+    fn packed_a_row_major_roundtrip() {
+        let (m, k) = (11, 5); // non-multiples of MR and of the pair size
+        let codes = sample_codes(m * k);
+        let packed = PackedA::pack(&codes, m, k, PackSource::RowMajor);
+        for i in 0..m {
+            for p in 0..k {
+                assert_eq!(a_elem(&packed, i, p), codes[i * k + p] as i16, "({i}, {p})");
+            }
+        }
+        // Padding rows and the odd-k tail half-pair are zero.
+        let last = packed.strip_at(m / MR, 0, packed.k2);
+        for p in 0..k {
+            for ir in (m % MR)..MR {
+                assert_eq!(last[(p / 2) * 2 * MR + (p % 2) * MR + ir], 0);
+            }
+        }
+        if k % 2 == 1 {
+            for i in 0..m {
+                assert_eq!(
+                    a_elem(&packed, i, k),
+                    0,
+                    "odd-k tail half-pair must be zero"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_a_transposed_matches_row_major_of_transpose() {
+        let (m, k) = (9, 7);
+        // `stored` is [k, m]; logical A is its transpose [m, k].
+        let stored = sample_codes(k * m);
+        let mut logical = vec![0i8; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                logical[i * k + p] = stored[p * m + i];
+            }
+        }
+        let via_transpose = PackedA::pack(&stored, m, k, PackSource::Transposed);
+        let via_row_major = PackedA::pack(&logical, m, k, PackSource::RowMajor);
+        assert_eq!(via_transpose.data, via_row_major.data);
+    }
+
+    #[test]
+    fn packed_b_row_major_roundtrip() {
+        let (k, n) = (7, 70); // non-multiples of the pair size and of NR
+        let codes = sample_codes(k * n);
+        let packed = PackedB::pack(&codes, k, n, PackSource::RowMajor);
+        for p in 0..k {
+            for j in 0..n {
+                assert_eq!(b_elem(&packed, p, j), codes[p * n + j] as i16, "({p}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_transposed_matches_row_major_of_transpose() {
+        let (k, n) = (5, 66);
+        // `stored` is [n, k]; logical B̂ is its transpose [k, n].
+        let stored = sample_codes(n * k);
+        let mut logical = vec![0i8; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                logical[p * n + j] = stored[j * k + p];
+            }
+        }
+        let via_transpose = PackedB::pack(&stored, k, n, PackSource::Transposed);
+        let via_row_major = PackedB::pack(&logical, k, n, PackSource::RowMajor);
+        assert_eq!(via_transpose.data, via_row_major.data);
+    }
+
+    #[test]
+    fn strip_at_pair_offsets_are_contiguous() {
+        let (k, n) = (64, NR);
+        let codes = sample_codes(k * n);
+        let packed = PackedB::pack(&codes, k, n, PackSource::RowMajor);
+        let full = packed.strip_at(0, 0, packed.k2);
+        let tail = packed.strip_at(0, 8, packed.k2 - 8);
+        assert_eq!(&full[8 * 2 * NR..], tail);
+    }
+
+    #[test]
+    fn i8_min_detection() {
+        let mut codes = sample_codes(4 * 4);
+        assert!(!PackedA::pack(&codes, 4, 4, PackSource::RowMajor).has_i8_min());
+        assert!(!PackedB::pack(&codes, 4, 4, PackSource::RowMajor).has_i8_min());
+        codes[7] = i8::MIN;
+        assert!(PackedA::pack(&codes, 4, 4, PackSource::RowMajor).has_i8_min());
+        assert!(PackedB::pack(&codes, 4, 4, PackSource::Transposed).has_i8_min());
+    }
+}

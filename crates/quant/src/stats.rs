@@ -114,7 +114,12 @@ impl DistributionStats {
     pub fn from_tensor(tensor: &Tensor) -> Self {
         let n = tensor.len().max(1) as f32;
         let mean = tensor.mean();
-        let var = tensor.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        let var = tensor
+            .data()
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f32>()
+            / n;
         let std = var.sqrt();
         let max_abs = tensor.max_abs();
         let kurtosis = if var > 0.0 {
@@ -194,7 +199,11 @@ mod tests {
         let s = DistributionStats::from_tensor(&t);
         assert!(s.mean.abs() < 0.02);
         assert!((s.std - 0.5).abs() < 0.02);
-        assert!(s.kurtosis.abs() < 0.3, "gaussian excess kurtosis ~0, got {}", s.kurtosis);
+        assert!(
+            s.kurtosis.abs() < 0.3,
+            "gaussian excess kurtosis ~0, got {}",
+            s.kurtosis
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl QuantConfig {
 /// assert!((s - 0.1).abs() < 1e-6);
 /// ```
 pub fn compute_scale(max_abs: f32) -> f32 {
-    (max_abs / QMAX as f32).max(f32::MIN_POSITIVE * 128.0).max(1e-12)
+    (max_abs / QMAX as f32)
+        .max(f32::MIN_POSITIVE * 128.0)
+        .max(1e-12)
 }
 
 /// Quantizes a single value given a scale.

@@ -1,10 +1,27 @@
 //! Property-based tests for the quantization crate.
+//!
+//! The GEMM properties are the contract of the packed engine: INT32
+//! accumulation is order-independent, so for **any** shape — including
+//! degenerate `m = 1` / `k = 1` and sizes that are not multiples of the
+//! `MR`/`NR`/`MC`/`KC`/`NC` tiles — the blocked, packed, multi-threaded
+//! kernels must match the naive triple-loop oracles in
+//! `ff_quant::gemm::reference` **bit-exactly**.
 
-use ff_quant::{compute_scale, int8_matmul, QuantConfig, QuantTensor, Rounding};
+use ff_quant::gemm::reference;
+use ff_quant::{
+    compute_scale, int8_gemm, int8_matmul, int8_matmul_a_bt, int8_matmul_a_bt_fused,
+    int8_matmul_at_b, GemmVariant, QuantConfig, QuantTensor, Rounding,
+};
 use ff_tensor::{linalg, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn random_quant(shape: &[usize], seed: u64) -> QuantTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = ff_tensor::init::uniform(shape, -1.0, 1.0, &mut rng);
+    QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Nearest), &mut rng)
+}
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_len)
@@ -69,5 +86,117 @@ proptest! {
         let t = Tensor::zeros(&[len]);
         let q = QuantTensor::quantize(&t, Rounding::Nearest);
         prop_assert!(q.dequantize().max_abs() == 0.0);
+    }
+
+    // ---- packed engine vs naive reference oracles -------------------------
+
+    #[test]
+    fn packed_ab_matches_reference_bit_exactly(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let qa = random_quant(&[m, k], seed);
+        let qb = random_quant(&[k, n], seed ^ 0xABCD);
+        let packed = int8_matmul(&qa, &qb).unwrap();
+        let naive = reference::int8_matmul(&qa, &qb).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    #[test]
+    fn packed_a_bt_matches_reference_bit_exactly(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let qa = random_quant(&[m, k], seed);
+        let qbt = random_quant(&[n, k], seed ^ 0xBEEF);
+        let packed = int8_matmul_a_bt(&qa, &qbt).unwrap();
+        let naive = reference::int8_matmul_a_bt(&qa, &qbt).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    #[test]
+    fn packed_at_b_matches_reference_bit_exactly(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let qat = random_quant(&[k, m], seed);
+        let qb = random_quant(&[k, n], seed ^ 0xF00D);
+        let packed = int8_matmul_at_b(&qat, &qb).unwrap();
+        let naive = reference::int8_matmul_at_b(&qat, &qb).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    #[test]
+    fn packed_kernels_cross_tile_boundaries_exactly(
+        m_extra in 0usize..20, k_extra in 0usize..20, n_extra in 0usize..20, seed in 0u64..100
+    ) {
+        // Straddle the micro-tile (MR = 2, NR = 64) and row-block (MC = 64)
+        // boundaries: m ∈ [56, 76) crosses MC and several MR strips, n ∈
+        // [56, 76) crosses the first NR strip edge, and odd k values
+        // exercise the padded half-pair.
+        let (m, k, n) = (56 + m_extra, 120 + k_extra, 56 + n_extra);
+        let qa = random_quant(&[m, k], seed);
+        let qb = random_quant(&[k, n], seed ^ 0x51DE);
+        let packed = int8_matmul(&qa, &qb).unwrap();
+        let naive = reference::int8_matmul(&qa, &qb).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    #[test]
+    fn explicit_thread_counts_match_reference(threads in 1usize..=8, seed in 0u64..200) {
+        // n = 70 crosses the NR = 64 strip edge; m = 33 is odd so the last
+        // thread panel is a partial MR strip.
+        let qa = random_quant(&[33, 70], seed);
+        let qbt = random_quant(&[27, 70], seed ^ 0x7EAD);
+        let (packed, mask) =
+            int8_gemm(GemmVariant::ABt, &qa, &qbt, None, false, Some(threads)).unwrap();
+        prop_assert!(mask.is_none());
+        let naive = reference::int8_matmul_a_bt(&qa, &qbt).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    #[test]
+    fn deep_and_wide_shapes_cross_kc_nc_blocks_exactly(seed in 0u64..6) {
+        // k = 300 > KC = 256 exercises the accumulating (non-overwrite)
+        // depth-block path of the staging buffer; n = 300 > NC = 256
+        // exercises the per-NC-block epilogue offsets. All three variants.
+        let (m, k, n) = (21, 300, 300);
+        let qa = random_quant(&[m, k], seed);
+        let qb = random_quant(&[k, n], seed ^ 0xD00F);
+        let packed = int8_matmul(&qa, &qb).unwrap();
+        let naive = reference::int8_matmul(&qa, &qb).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+
+        let qbt = random_quant(&[n, k], seed ^ 0x1CED);
+        let packed = int8_matmul_a_bt(&qa, &qbt).unwrap();
+        let naive = reference::int8_matmul_a_bt(&qa, &qbt).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+
+        let qat = random_quant(&[k, m], seed ^ 0xFEED);
+        let packed = int8_matmul_at_b(&qat, &qb).unwrap();
+        let naive = reference::int8_matmul_at_b(&qat, &qb).unwrap();
+        prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_passes(
+        m in 1usize..32, k in 1usize..32, n in 1usize..32, seed in 0u64..500
+    ) {
+        let qa = random_quant(&[m, k], seed);
+        let qbt = random_quant(&[n, k], seed ^ 0xCAFE);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB1A5);
+        let bias = ff_tensor::init::uniform(&[n], -0.5, 0.5, &mut rng);
+        let (fused, mask) = int8_matmul_a_bt_fused(&qa, &qbt, Some(&bias), true).unwrap();
+        let mask = mask.unwrap();
+        let separate = reference::int8_matmul_a_bt(&qa, &qbt)
+            .unwrap()
+            .add_row_broadcast(&bias)
+            .unwrap();
+        for ((&f, &s), &mk) in fused.data().iter().zip(separate.data()).zip(mask.data()) {
+            if s > 0.0 {
+                prop_assert!(f == s, "fused {f} != separate {s}");
+                prop_assert!(mk == 1.0);
+            } else {
+                prop_assert!(f == 0.0, "negative lane not clamped: {f}");
+                prop_assert!(mk == 0.0);
+            }
+        }
     }
 }

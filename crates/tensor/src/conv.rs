@@ -56,7 +56,10 @@ impl ConvGeometry {
                 ),
             });
         }
-        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+        Ok((
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        ))
     }
 }
 

@@ -66,7 +66,10 @@ impl fmt::Display for TensorError {
                 expected,
                 actual,
                 op,
-            } => write!(f, "`{op}` expects a rank-{expected} tensor, got rank {actual}"),
+            } => write!(
+                f,
+                "`{op}` expects a rank-{expected} tensor, got rank {actual}"
+            ),
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }

@@ -33,6 +33,7 @@ mod tensor;
 pub mod conv;
 pub mod init;
 pub mod linalg;
+pub mod par;
 
 pub use error::TensorError;
 pub use tensor::Tensor;

@@ -1,13 +1,19 @@
 //! Dense linear-algebra kernels: matrix multiplication and transposition.
 //!
-//! Matrix products above a size threshold are sharded across threads with
-//! `crossbeam::scope`; smaller products run single-threaded to avoid thread
-//! start-up overhead.
+//! All three product variants ([`matmul`], [`matmul_a_bt`], [`matmul_at_b`])
+//! shard their output into row panels with [`crate::par::shard_rows`] once
+//! the work exceeds [`crate::par::PARALLEL_THRESHOLD`] fused multiply-adds;
+//! smaller products run single-threaded to avoid thread start-up overhead.
+//! Per output element the accumulation order is independent of the thread
+//! count, so parallel and serial runs produce bit-identical results.
+//!
+//! [`matmul_a_bt_fused`] additionally applies a per-column bias and an
+//! optional ReLU (recording its gradient mask) inside the worker while the
+//! output panel is still cache-hot — the fused epilogue used by the dense
+//! and convolution layers.
 
+use crate::par::{shard_rows, worker_count};
 use crate::{Result, Tensor, TensorError};
-
-/// Minimum number of fused multiply-adds before a matmul is parallelised.
-const PARALLEL_THRESHOLD: usize = 1 << 20;
 
 fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.ndim() != 2 {
@@ -50,12 +56,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let work = m * n * ka;
-    if work >= PARALLEL_THRESHOLD && m > 1 {
-        parallel_matmul(a.data(), b.data(), &mut out, m, ka, n);
-    } else {
-        serial_matmul(a.data(), b.data(), &mut out, m, ka, n);
-    }
+    let threads = worker_count(m * n * ka, m);
+    let (a_data, b_data) = (a.data(), b.data());
+    shard_rows(&mut out, None, n, 1, threads, |first_row, panel, _| {
+        let rows = panel.len() / n;
+        let a_panel = &a_data[first_row * ka..(first_row + rows) * ka];
+        serial_matmul(a_panel, b_data, panel, rows, ka, n);
+    })?;
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -75,28 +82,11 @@ fn serial_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     }
 }
 
-fn parallel_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(m)
-        .max(1);
-    let rows_per_chunk = m.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_chunk * n).enumerate() {
-            let row_start = chunk_idx * rows_per_chunk;
-            let rows_here = out_chunk.len() / n;
-            let a_chunk = &a[row_start * k..(row_start + rows_here) * k];
-            scope.spawn(move |_| {
-                serial_matmul(a_chunk, b, out_chunk, rows_here, k, n);
-            });
-        }
-    })
-    .expect("matmul worker thread panicked");
-}
-
 /// Multiplies `aᵀ × b` where `a` is `[k, m]` and `b` is `[k, n]`, yielding
 /// `[m, n]` without materialising the transpose.
+///
+/// Sharded across threads by output row panels above the parallel threshold,
+/// like [`matmul`].
 ///
 /// # Errors
 ///
@@ -112,29 +102,78 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    for p in 0..ka {
-        let a_row = &a.data()[p * m..(p + 1) * m];
-        let b_row = &b.data()[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * b_pj;
+    let threads = worker_count(m * n * ka, m);
+    let (a_data, b_data) = (a.data(), b.data());
+    shard_rows(&mut out, None, n, 1, threads, |first_row, panel, _| {
+        let rows = panel.len() / n;
+        // out[i, j] = Σ_p a[p, i] · b[p, j]; the p loop stays outermost so b
+        // rows stream sequentially and per-element accumulation order matches
+        // the serial kernel exactly.
+        for p in 0..ka {
+            let a_row = &a_data[p * m..(p + 1) * m];
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for i in 0..rows {
+                let a_pi = a_row[first_row + i];
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut panel[i * n..(i + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_pi * b_pj;
+                }
             }
         }
-    }
+    })?;
     Tensor::from_vec(&[m, n], out)
 }
 
 /// Multiplies `a × bᵀ` where `a` is `[m, k]` and `b` is `[n, k]`, yielding
 /// `[m, n]` without materialising the transpose.
 ///
+/// Sharded across threads by output row panels above the parallel threshold,
+/// like [`matmul`].
+///
 /// # Errors
 ///
 /// Returns the same errors as [`matmul`].
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (out, _) = matmul_a_bt_fused(a, b, None, false)?;
+    Ok(out)
+}
+
+/// [`matmul_a_bt`] with a fused epilogue: adds a per-column `bias`, applies
+/// an optional ReLU, and (when `relu` is set) records the ReLU gradient mask
+/// — all while the output panel is cache-hot inside the GEMM worker.
+///
+/// Returns the output and, when `relu` is true, the mask tensor whose
+/// elements are `1.0` where the pre-activation was positive.
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`matmul`], plus
+/// [`TensorError::ShapeMismatch`] when `bias` is not a length-`n` vector.
+///
+/// # Examples
+///
+/// ```
+/// use ff_tensor::{linalg, Tensor};
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let x = Tensor::from_vec(&[1, 2], vec![1.0, -3.0])?;
+/// let w = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0])?; // identity, stored [out, in]
+/// let bias = Tensor::from_vec(&[2], vec![0.5, 0.5])?;
+/// let (y, mask) = linalg::matmul_a_bt_fused(&x, &w, Some(&bias), true)?;
+/// assert_eq!(y.data(), &[1.5, 0.0]);
+/// assert_eq!(mask.unwrap().data(), &[1.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_a_bt_fused(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    relu: bool,
+) -> Result<(Tensor, Option<Tensor>)> {
     let (m, ka) = check_rank2(a, "matmul_a_bt")?;
     let (n, kb) = check_rank2(b, "matmul_a_bt")?;
     if ka != kb {
@@ -144,15 +183,67 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul_a_bt",
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a.data()[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let b_row = &b.data()[j * kb..(j + 1) * kb];
-            out[i * n + j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+    let bias_data = match bias {
+        Some(bias) if bias.len() != n => {
+            return Err(TensorError::ShapeMismatch {
+                left: bias.shape().to_vec(),
+                right: vec![n],
+                op: "matmul_a_bt_fused bias",
+            });
         }
-    }
-    Tensor::from_vec(&[m, n], out)
+        Some(bias) => Some(bias.data()),
+        None => None,
+    };
+    let mut out = vec![0.0f32; m * n];
+    let mut mask = if relu {
+        vec![0.0f32; m * n]
+    } else {
+        Vec::new()
+    };
+    let threads = worker_count(m * n * ka, m);
+    let (a_data, b_data) = (a.data(), b.data());
+    let mask_slice = if relu { Some(&mut mask[..]) } else { None };
+    shard_rows(
+        &mut out,
+        mask_slice,
+        n,
+        1,
+        threads,
+        |first_row, panel, mut mask_panel| {
+            let rows = panel.len() / n;
+            for i in 0..rows {
+                let a_row = &a_data[(first_row + i) * ka..(first_row + i + 1) * ka];
+                let out_row = &mut panel[i * n..(i + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b_data[j * kb..(j + 1) * kb];
+                    *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                }
+                if let Some(bias) = bias_data {
+                    for (o, &bj) in out_row.iter_mut().zip(bias) {
+                        *o += bj;
+                    }
+                }
+                if let Some(mask_panel) = mask_panel.as_deref_mut() {
+                    let mask_row = &mut mask_panel[i * n..(i + 1) * n];
+                    for (o, mk) in out_row.iter_mut().zip(mask_row) {
+                        if *o > 0.0 {
+                            *mk = 1.0;
+                        } else {
+                            *o = 0.0;
+                            *mk = 0.0;
+                        }
+                    }
+                }
+            }
+        },
+    )?;
+    let out = Tensor::from_vec(&[m, n], out)?;
+    let mask = if relu {
+        Some(Tensor::from_vec(&[m, n], mask)?)
+    } else {
+        None
+    };
+    Ok((out, mask))
 }
 
 /// Transposes a rank-2 tensor.
@@ -262,13 +353,85 @@ mod tests {
         let k = 300;
         let n = 70;
         let a_data: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
-        let b_data: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 - 5.0).collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 104729) % 11) as f32 - 5.0)
+            .collect();
         let a = Tensor::from_vec(&[m, k], a_data).unwrap();
         let b = Tensor::from_vec(&[k, n], b_data).unwrap();
         let par = matmul(&a, &b).unwrap();
         let mut serial = vec![0.0f32; m * n];
         serial_matmul(a.data(), b.data(), &mut serial, m, k, n);
         assert_eq!(par.data(), &serial[..]);
+    }
+
+    #[test]
+    fn transposed_variants_parallel_match_serial_order() {
+        // Large enough to cross PARALLEL_THRESHOLD (m·n·k ≥ 2^20).
+        let m = 128;
+        let k = 96;
+        let n = 96;
+        let a_data: Vec<f32> = (0..m * k).map(|i| ((i * 31) % 17) as f32 - 8.0).collect();
+        let bt_data: Vec<f32> = (0..n * k).map(|i| ((i * 57) % 19) as f32 - 9.0).collect();
+        let a = Tensor::from_vec(&[m, k], a_data).unwrap();
+        let bt = Tensor::from_vec(&[n, k], bt_data).unwrap();
+        let direct = matmul_a_bt(&a, &bt).unwrap();
+        let explicit = matmul(&a, &transpose(&bt).unwrap()).unwrap();
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+
+        let at = transpose(&a).unwrap(); // [k=?]: a^T is [k, m]
+        let b2 =
+            Tensor::from_vec(&[m, n], (0..m * n).map(|x| (x % 23) as f32 * 0.5).collect()).unwrap();
+        let direct = matmul_at_b(&a, &b2).unwrap(); // aᵀ·b2: [k, n]... a is [m, k] so aᵀ is [k dims]
+        let explicit = matmul(&at, &b2).unwrap();
+        assert_eq!(direct.data(), explicit.data());
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused() {
+        let m = 5;
+        let k = 7;
+        let n = 4;
+        let a = Tensor::from_vec(
+            &[m, k],
+            (0..m * k).map(|i| (i as f32 - 15.0) / 7.0).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            &[n, k],
+            (0..n * k).map(|i| (i as f32 - 12.0) / 9.0).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(&[n], vec![0.5, -0.25, 0.0, 1.0]).unwrap();
+        let (fused, mask) = matmul_a_bt_fused(&a, &b, Some(&bias), true).unwrap();
+        let mask = mask.unwrap();
+        let unfused = matmul_a_bt(&a, &b)
+            .unwrap()
+            .add_row_broadcast(&bias)
+            .unwrap();
+        for ((&f, &u), &mk) in fused.data().iter().zip(unfused.data()).zip(mask.data()) {
+            if u > 0.0 {
+                assert_eq!(f, u);
+                assert_eq!(mk, 1.0);
+            } else {
+                assert_eq!(f, 0.0);
+                assert_eq!(mk, 0.0);
+            }
+        }
+
+        // Without relu: bias only, no mask.
+        let (fused, mask) = matmul_a_bt_fused(&a, &b, Some(&bias), false).unwrap();
+        assert!(mask.is_none());
+        assert_eq!(fused.data(), unfused.data());
+    }
+
+    #[test]
+    fn fused_epilogue_rejects_bad_bias() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4, 3]);
+        let bias = Tensor::ones(&[5]);
+        assert!(matmul_a_bt_fused(&a, &b, Some(&bias), false).is_err());
     }
 
     #[test]

@@ -410,10 +410,7 @@ mod tests {
     #[test]
     fn at2_requires_rank_2() {
         let t = Tensor::zeros(&[2, 2, 2]);
-        assert!(matches!(
-            t.at2(0, 0),
-            Err(TensorError::RankMismatch { .. })
-        ));
+        assert!(matches!(t.at2(0, 0), Err(TensorError::RankMismatch { .. })));
     }
 
     #[test]

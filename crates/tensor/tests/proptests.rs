@@ -93,6 +93,66 @@ proptest! {
         }
     }
 
+    // ---- parallel/fused fp32 kernels vs explicit-transpose reference ------
+
+    #[test]
+    fn matmul_a_bt_any_shape_within_1e4(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..500
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = ff_tensor::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let bt = ff_tensor::init::uniform(&[n, k], -1.0, 1.0, &mut rng);
+        let direct = linalg::matmul_a_bt(&a, &bt).unwrap();
+        let explicit = linalg::matmul(&a, &linalg::transpose(&bt).unwrap()).unwrap();
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            let tol = 1e-4f32 * (1.0 + y.abs());
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_any_shape_within_1e4(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..500
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let at = ff_tensor::init::uniform(&[k, m], -1.0, 1.0, &mut rng);
+        let b = ff_tensor::init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let direct = linalg::matmul_at_b(&at, &b).unwrap();
+        let explicit = linalg::matmul(&linalg::transpose(&at).unwrap(), &b).unwrap();
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            let tol = 1e-4f32 * (1.0 + y.abs());
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_epilogue_matches_separate_passes(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..500
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = ff_tensor::init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let bt = ff_tensor::init::uniform(&[n, k], -1.0, 1.0, &mut rng);
+        let bias = ff_tensor::init::uniform(&[n], -0.5, 0.5, &mut rng);
+        let (fused, mask) = linalg::matmul_a_bt_fused(&a, &bt, Some(&bias), true).unwrap();
+        let mask = mask.unwrap();
+        let separate = linalg::matmul_a_bt(&a, &bt)
+            .unwrap()
+            .add_row_broadcast(&bias)
+            .unwrap();
+        for ((&f, &s), &mk) in fused.data().iter().zip(separate.data()).zip(mask.data()) {
+            if s > 0.0 {
+                prop_assert!(f == s, "fused {f} != separate {s}");
+                prop_assert!(mk == 1.0);
+            } else {
+                prop_assert!(f == 0.0);
+                prop_assert!(mk == 0.0);
+            }
+        }
+    }
+
     #[test]
     fn global_avg_pool_preserves_mean(n in 1usize..3, c in 1usize..4, hw in 2usize..5) {
         let len = n * c * hw * hw;

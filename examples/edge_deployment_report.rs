@@ -34,7 +34,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Model", "Algorithm", "Params (M)", "Time (s)", "Energy (J)", "Memory (MB)"],
+            &[
+                "Model",
+                "Algorithm",
+                "Params (M)",
+                "Time (s)",
+                "Energy (J)",
+                "Memory (MB)"
+            ],
             &rows
         )
     );

@@ -31,13 +31,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut net = small_mlp(784, &vec![128; hidden_layers], 10, &mut rng);
         // Accumulate first-layer gradients over a few FP32 batches.
         for batch in train_set.batches(32, true, &mut rng).iter().take(10) {
-            let input = batch.images.reshape(&[batch.images.rows(), batch.images.cols()])?;
+            let input = batch
+                .images
+                .reshape(&[batch.images.rows(), batch.images.cols()])?;
             let logits = net.forward(&input, ForwardMode::Fp32)?;
             let out = softmax_cross_entropy(&logits, &batch.labels)?;
             net.backward(&out.grad)?;
         }
         let mut params = net.params_mut();
-        let grad = params.first_mut().map(|p| p.grad.clone()).expect("gradient");
+        let grad = params
+            .first_mut()
+            .map(|p| p.grad.clone())
+            .expect("gradient");
         let stats = DistributionStats::from_tensor(&grad);
         let quantized =
             QuantTensor::quantize_with_rng(&grad, QuantConfig::new(Rounding::Nearest), &mut rng);

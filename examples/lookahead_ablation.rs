@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Algorithm::FfInt8 { lookahead },
             &options,
         )?;
-        let label = if lookahead { "with look-ahead" } else { "without look-ahead" };
+        let label = if lookahead {
+            "with look-ahead"
+        } else {
+            "without look-ahead"
+        };
         println!("== FF-INT8 {label} ==");
         println!(
             "{}",

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Lint + format + tier-1 verify gate for the FF-INT8 workspace.
+#
+# Usage:
+#   scripts/check.sh          # fmt --check, clippy -D warnings, release build, tests
+#   scripts/check.sh --fast   # skip the release build (lints + debug tests only)
+#
+# This wraps the tier-1 verify flow from ROADMAP.md (`cargo build --release &&
+# cargo test -q`) with the static gates so CI and local runs agree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -43,7 +43,12 @@ fn ff_int8_wins_time_energy_memory_against_every_baseline() {
             AlgorithmKind::BpGdai8,
         ] {
             let other = model.estimate(baseline, &spec, &run());
-            assert!(ff.time_s < other.time_s, "{} time vs {:?}", spec.name, baseline);
+            assert!(
+                ff.time_s < other.time_s,
+                "{} time vs {:?}",
+                spec.name,
+                baseline
+            );
             assert!(
                 ff.energy_j < other.energy_j,
                 "{} energy vs {:?}",
@@ -78,7 +83,11 @@ fn savings_vs_state_of_the_art_are_in_a_plausible_band() {
         memory += 1.0 - ff.memory_bytes as f64 / gdai8.memory_bytes as f64;
     }
     let n = all.len() as f64;
-    for (label, saving) in [("time", time / n), ("energy", energy / n), ("memory", memory / n)] {
+    for (label, saving) in [
+        ("time", time / n),
+        ("energy", energy / n),
+        ("memory", memory / n),
+    ] {
         assert!(
             saving > 0.0 && saving < 0.6,
             "average {label} saving {saving} outside the plausible band"

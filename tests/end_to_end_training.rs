@@ -39,8 +39,14 @@ fn every_algorithm_completes_one_epoch() {
     ] {
         let mut rng = StdRng::seed_from_u64(1);
         let mut net = small_mlp(784, &[32], 10, &mut rng);
-        let history = train(&mut net, &train_set, &test_set, algorithm, &options(1, 0.05))
-            .unwrap_or_else(|e| panic!("{} failed: {e}", algorithm.label()));
+        let history = train(
+            &mut net,
+            &train_set,
+            &test_set,
+            algorithm,
+            &options(1, 0.05),
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algorithm.label()));
         assert_eq!(history.len(), 1, "{}", algorithm.label());
         assert!(
             history.final_loss().unwrap().is_finite(),

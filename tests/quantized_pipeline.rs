@@ -18,7 +18,9 @@ fn int8_forward_of_real_batches_tracks_fp32() {
         .reshape(&[batch.images.rows(), batch.images.cols()])
         .expect("flatten");
     let mut layer = Dense::new(784, 64, true, &mut rng);
-    let y32 = layer.forward(&flat, ForwardMode::Fp32).expect("fp32 forward");
+    let y32 = layer
+        .forward(&flat, ForwardMode::Fp32)
+        .expect("fp32 forward");
     let y8 = layer
         .forward(&flat, ForwardMode::Int8(Rounding::Nearest))
         .expect("int8 forward");
@@ -54,7 +56,8 @@ fn label_embedding_survives_quantization() {
     let images = Tensor::full(&[4, 784], 0.4);
     let embedded = embed_label(&images, &[0, 3, 5, 9], 10).expect("embedding");
     let mut rng = StdRng::seed_from_u64(3);
-    let q = QuantTensor::quantize_with_rng(&embedded, QuantConfig::new(Rounding::Nearest), &mut rng);
+    let q =
+        QuantTensor::quantize_with_rng(&embedded, QuantConfig::new(Rounding::Nearest), &mut rng);
     let back = q.dequantize();
     for (i, &label) in [0usize, 3, 5, 9].iter().enumerate() {
         let row = back.row(i);

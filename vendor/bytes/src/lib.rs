@@ -1,0 +1,91 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`BytesMut`] wraps a `Vec<u8>` and [`BufMut`] provides the `put_*`
+//! writers the workspace uses for compact dataset serialization.
+
+#![forbid(unsafe_code)]
+
+/// A growable byte buffer backed by `Vec<u8>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Consumes the buffer and returns the underlying vector (stands in for
+    /// `freeze()` + `to_vec()`).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Byte-writing operations, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.inner.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BufMut, BytesMut};
+
+    #[test]
+    fn put_and_read_back() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_u8(1);
+        buf.put_slice(&[2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(&buf[..], &[1, 2, 3]);
+        assert_eq!(buf.to_vec(), vec![1, 2, 3]);
+        assert!(!buf.is_empty());
+    }
+}

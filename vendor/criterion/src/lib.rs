@@ -1,0 +1,400 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — on top of
+//! [`std::time::Instant`].
+//!
+//! Behavior matches criterion's cargo integration:
+//!
+//! - `cargo bench` passes `--bench` to the binary, which triggers full
+//!   measurement (warm-up, then `sample_size` timed samples) and writes a
+//!   `BENCH_<target>.json` baseline into the working directory.
+//! - `cargo test` (no `--bench` argument) runs every closure once as a smoke
+//!   test so benchmarks stay compile- and panic-checked in tier-1 CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering (best-effort without intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/function/parameter` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest observed sample, ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new<N: Into<String>, P: std::fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id with no parameter component.
+    pub fn from_name<N: Into<String>>(name: N) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: None,
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match &self.parameter {
+            Some(p) => format!("{group}/{}/{p}", self.name),
+            None => format!("{group}/{}", self.name),
+        }
+    }
+}
+
+/// Conversion accepted by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_name(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_name(self)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    result: &'a mut Option<(f64, f64, f64, usize)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure for real.
+    Measure,
+    /// `cargo test`: run each closure once.
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly and records wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                *self.result = Some((0.0, 0.0, 0.0, 0));
+            }
+            Mode::Measure => {
+                // Warm-up: run until ~50ms or 3 iterations, whichever is later,
+                // and estimate the per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+                    black_box(routine());
+                    warm_iters += 1;
+                    if warm_iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                // Budget ~600ms across `sample_size` samples.
+                let budget = 0.6f64;
+                let iters_per_sample = ((budget / self.sample_size as f64 / per_iter.max(1e-9))
+                    .round() as u64)
+                    .clamp(1, 10_000_000);
+                let mut min_ns = f64::INFINITY;
+                let mut max_ns = 0.0f64;
+                let mut total_ns = 0.0f64;
+                for _ in 0..self.sample_size {
+                    let t0 = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+                    min_ns = min_ns.min(ns);
+                    max_ns = max_ns.max(ns);
+                    total_ns += ns;
+                }
+                *self.result = Some((
+                    total_ns / self.sample_size as f64,
+                    min_ns,
+                    max_ns,
+                    self.sample_size,
+                ));
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        let mut result = None;
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        if let Some((mean_ns, min_ns, max_ns, samples)) = result {
+            if self.criterion.mode == Mode::Measure {
+                println!(
+                    "{id:<56} time: [{} .. {} .. {}]",
+                    fmt_ns(min_ns),
+                    fmt_ns(mean_ns),
+                    fmt_ns(max_ns)
+                );
+                self.criterion.results.push(Sample {
+                    id,
+                    mean_ns,
+                    min_ns,
+                    max_ns,
+                    samples,
+                });
+            }
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let rendered = id.into_benchmark_id().render(&self.name);
+        self.run(rendered, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let rendered = id.render(&self.name);
+        self.run(rendered, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results are recorded
+    /// incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if bench_mode {
+                Mode::Measure
+            } else {
+                Mode::Smoke
+            },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        let mut f = f;
+        group.run(name.to_string(), &mut f);
+        self
+    }
+
+    /// Recorded results (bench mode only).
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Writes the recorded samples as a JSON baseline. Called by
+    /// `criterion_main!` with `BENCH_<target>.json`; no-op in smoke mode or
+    /// when nothing was recorded.
+    pub fn write_json_baseline(&self, path: &str) {
+        if self.mode != Mode::Measure || self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{comma}",
+                s.id.replace('"', "'"),
+                s.mean_ns,
+                s.min_ns,
+                s.max_ns,
+                s.samples
+            );
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote baseline {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Returns `BENCH_<target>.json` derived from the executable name, stripping
+/// the cargo hash suffix.
+pub fn default_baseline_path() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    // cargo names bench binaries `<target>-<16-hex-hash>`.
+    let name = match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base
+        }
+        _ => stem,
+    };
+    let name = name.strip_prefix("bench_").unwrap_or(name);
+    format!("BENCH_{name}.json")
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.write_json_baseline(&$crate::default_baseline_path());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_closure_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            results: Vec::new(),
+        };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn measure_mode_records_sample() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+        }
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/mul/3");
+        assert!(c.results()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_with_and_without_parameter() {
+        assert_eq!(BenchmarkId::new("f", 7).render("g"), "g/f/7");
+        assert_eq!(BenchmarkId::from_name("f").render("g"), "g/f");
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided (the single API the workspace uses, for
+//! row-panel sharded GEMM workers). It is a thin wrapper over
+//! [`std::thread::scope`], which has subsumed crossbeam's scoped threads
+//! since Rust 1.63.
+//!
+//! Behavioral difference from upstream: a panicking worker makes the scope
+//! itself panic (std semantics) instead of being returned as `Err`, so the
+//! `Result` returned here is always `Ok`. Workspace call sites only `expect`
+//! the result, which is compatible with both behaviors.
+
+#![forbid(unsafe_code)]
+
+/// A scope handle for spawning workers that may borrow from the caller.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread. The closure receives a scope handle so nested
+    /// spawns are possible, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data worker threads can be
+/// spawned; all workers are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn workers_share_borrowed_slices() {
+        let mut out = vec![0u32; 8];
+        let input = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        scope(|s| {
+            for (o, i) in out.chunks_mut(4).zip(input.chunks(4)) {
+                s.spawn(move |_| {
+                    for (dst, src) in o.iter_mut().zip(i) {
+                        *dst = src * 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

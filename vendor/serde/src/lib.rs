@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits together with no-op
+//! derive macros so that `#[derive(Serialize, Deserialize)]` in the workspace
+//! compiles without network access to crates.io. No serializer backend exists
+//! in this environment, so the traits intentionally carry no methods.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
