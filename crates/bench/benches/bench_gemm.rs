@@ -9,7 +9,12 @@
 //!   acceptance gate is packed ≥ 2× naive at 256³ and above);
 //! - `gemm_paper_shapes`: the shapes the paper's workloads actually run —
 //!   the MNIST dense layer (784→2000) and an im2col'd 3×3 conv;
-//! - `gemm_threads`: 1/2/4/8-worker sweeps of the packed engine.
+//! - `gemm_threads`: 1/2/4/8-worker sweeps of the packed engine;
+//! - `gemm_train_step`: one INT8 dense training step (input quantize,
+//!   forward GEMM, gradient quantize, gW GEMM) with per-step weight
+//!   requantize+repack (`uncached`, the pre-plan behaviour) vs a cached
+//!   [`ff_quant::QGemmPlan`] (`cached`, what the layers do now). The
+//!   acceptance gate is cached ≥ 1.3× uncached at the paper's layer shapes.
 //!
 //! Running with `--bench` (what `cargo bench` passes) writes a
 //! `BENCH_gemm.json` baseline into the bench binary's working directory
@@ -17,8 +22,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ff_quant::gemm::reference;
-use ff_quant::{int8_matmul, GemmVariant, QuantConfig, QuantTensor, Rounding};
-use ff_tensor::{init, linalg};
+use ff_quant::{
+    int8_matmul, int8_matmul_a_bt_fused, int8_matmul_a_bt_planned, int8_matmul_at_b,
+    int8_matmul_at_b_planned, GemmVariant, QGemmPlan, QuantConfig, QuantTensor, Rounding,
+};
+use ff_tensor::{init, linalg, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -101,5 +109,62 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_paper_shapes, bench_thread_sweep);
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_train_step");
+    group.sample_size(10);
+    // (label, batch, in_features, out_features): the paper's MNIST dense
+    // layer at the training batch size and at an edge-style small batch
+    // (where operand preparation dominates the GEMM itself).
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("mnist_dense_784x2000_b64", 64, 784, 2000),
+        ("mnist_dense_784x2000_b16", 16, 784, 2000),
+    ];
+    let nearest = QuantConfig::new(Rounding::Nearest);
+    for &(label, batch, in_f, out_f) in shapes {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = init::uniform(&[batch, in_f], -1.0, 1.0, &mut rng);
+        let w = init::uniform(&[out_f, in_f], -1.0, 1.0, &mut rng);
+        let g = init::uniform(&[batch, out_f], -1.0, 1.0, &mut rng);
+        let bias = Tensor::zeros(&[out_f]);
+        // The pre-plan behaviour: every step requantizes and repacks the
+        // unchanged weight matrix before the forward GEMM.
+        group.bench_with_input(BenchmarkId::new("uncached", label), &label, |bencher, _| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(12);
+                let q_x = QuantTensor::quantize_with_rng(&x, nearest, &mut rng);
+                let q_w = QuantTensor::quantize_with_rng(&w, nearest, &mut rng);
+                let (y, _) =
+                    int8_matmul_a_bt_fused(&q_x, &q_w, Some(&bias), true).expect("forward");
+                let q_g = QuantTensor::quantize_with_rng(&g, nearest, &mut rng);
+                let gw = int8_matmul_at_b(&q_g, &q_x).expect("gW");
+                (y, gw)
+            });
+        });
+        // The plan-cached path: the weight plan persists across steps, so a
+        // step quantizes and packs activations only.
+        let mut w_plan = QGemmPlan::from_tensor(&w, 0).expect("weight plan");
+        w_plan.packed_as_b_transposed(); // warm, as after any prior step
+        group.bench_with_input(BenchmarkId::new("cached", label), &label, |bencher, _| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(12);
+                let q_x = QuantTensor::quantize_with_rng(&x, nearest, &mut rng);
+                let (y, _) = int8_matmul_a_bt_planned(&q_x, &mut w_plan, Some(&bias), true)
+                    .expect("forward");
+                let mut x_plan = QGemmPlan::from_quant(q_x, 0).expect("input plan");
+                let q_g = QuantTensor::quantize_with_rng(&g, nearest, &mut rng);
+                let gw = int8_matmul_at_b_planned(&q_g, &mut x_plan).expect("gW");
+                (y, gw)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_paper_shapes,
+    bench_thread_sweep,
+    bench_train_step
+);
 criterion_main!(benches);

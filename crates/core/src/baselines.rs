@@ -245,6 +245,12 @@ impl BpTrainer {
                 let lr_scale = self.policy.apply(&mut params, &mut self.rng);
                 self.optimizer.set_learning_rate(base_lr * lr_scale);
                 self.optimizer.step(&mut params);
+                // Safety net mirroring FfTrainer::step: guarantee the
+                // parameter versions move even if a custom Optimizer impl
+                // forgets mark_updated, so no stale packed plan survives.
+                for p in &mut params {
+                    p.mark_updated();
+                }
             }
             let mean_loss = epoch_loss / batches.len().max(1) as f32;
             let train_acc = correct as f32 / seen.max(1) as f32;
@@ -363,6 +369,7 @@ mod tests {
         let mut params = vec![ParamRefMut {
             value: &mut value,
             grad: &mut grad,
+            version: None,
         }];
         let scale = GradientPolicy::Ui8.apply(&mut params, &mut rng);
         assert!(scale <= 1.0);
@@ -379,6 +386,7 @@ mod tests {
         let mut params = vec![ParamRefMut {
             value: &mut value,
             grad: &mut grad,
+            version: None,
         }];
         let scale = GradientPolicy::DirectInt8.apply(&mut params, &mut rng);
         assert_eq!(scale, 1.0);
@@ -397,6 +405,7 @@ mod tests {
         let mut params = vec![ParamRefMut {
             value: &mut value,
             grad: &mut grad,
+            version: None,
         }];
         assert_eq!(GradientPolicy::Fp32.apply(&mut params, &mut rng), 1.0);
         assert_eq!(grad.data(), original.data());

@@ -242,6 +242,13 @@ impl FfTrainer {
     }
 
     /// Applies one optimizer step per layer and clears the gradients.
+    ///
+    /// Stepping writes every parameter through `ParamRefMut`, which bumps
+    /// each layer's parameter version; in INT8 mode that is what invalidates
+    /// the layers' cached packed weight plans (`ff_quant::plan`), so the
+    /// next forward requantizes exactly the weights that moved — and the
+    /// many forwards in between (evaluation runs one per candidate label)
+    /// all reuse the same packed panels.
     fn step(&mut self, net: &mut Sequential) {
         let lr = self.options.learning_rate;
         let momentum = self.options.momentum;
@@ -253,6 +260,13 @@ impl FfTrainer {
             let mut params = layer.params_mut();
             if !params.is_empty() {
                 optimizer.step(&mut params);
+                // Safety net: an Optimizer impl that forgets mark_updated
+                // would otherwise leave layers serving stale packed weight
+                // plans. An extra bump is free (plans rebuild at most once
+                // per step, on the next INT8 forward).
+                for p in &mut params {
+                    p.mark_updated();
+                }
             }
             layer.zero_grad();
         }

@@ -2,7 +2,8 @@
 
 use crate::layer::{ForwardMode, Layer, ParamRefMut};
 use crate::{NnError, Result};
-use ff_quant::{int8_matmul_a_bt_fused, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
+use ff_quant::plan::{int8_matmul_a_bt_planned, int8_matmul_at_b_planned, QGemmPlan};
+use ff_quant::{QuantConfig, QuantTensor};
 use ff_tensor::conv::{col2im, im2col, ConvGeometry};
 use ff_tensor::{init, linalg, Tensor};
 use rand::Rng;
@@ -11,6 +12,12 @@ use rand::Rng;
 ///
 /// Weights are `[out_ch, in_ch, kh, kw]`. Activations follow the
 /// `[batch, channels, height, width]` convention of `ff-tensor`.
+///
+/// In [`ForwardMode::Int8`] the `[oc, ic·kh·kw]` weight matrix is quantized
+/// and packed once into a cached [`QGemmPlan`] and reused by every im2col
+/// GEMM until an optimizer bumps the layer's parameter version; the
+/// quantized im2col column matrix of the latest forward is wrapped in a plan
+/// for the backward weight-gradient GEMM.
 ///
 /// # Examples
 ///
@@ -37,8 +44,18 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
+    /// Bumped whenever `weight` changes (optimizer steps via
+    /// [`ParamRefMut::mark_updated`]); keys `weight_plan`.
+    weight_version: u64,
+    /// Cached quantized + packed panels of the `[oc, ic·kh·kw]` weight
+    /// matrix, valid while its version tag equals `weight_version`.
+    weight_plan: Option<QGemmPlan>,
+    /// How many times the weight plan has been (re)built.
+    weight_plan_builds: u64,
     cached_cols: Option<Tensor>,
-    cached_quant_cols: Option<QuantTensor>,
+    /// Quantized im2col columns of the latest INT8 forward, wrapped in a
+    /// plan so the backward `gW` GEMM packs them at most once per step.
+    cols_plan: Option<QGemmPlan>,
     cached_mask: Option<Tensor>,
     cached_input_shape: Option<Vec<usize>>,
     cached_output_hw: (usize, usize),
@@ -73,8 +90,11 @@ impl Conv2d {
             bias: Tensor::zeros(&[out_channels]),
             grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             grad_bias: Tensor::zeros(&[out_channels]),
+            weight_version: 0,
+            weight_plan: None,
+            weight_plan_builds: 0,
             cached_cols: None,
-            cached_quant_cols: None,
+            cols_plan: None,
             cached_mask: None,
             cached_input_shape: None,
             cached_output_hw: (0, 0),
@@ -100,6 +120,17 @@ impl Conv2d {
     /// Immutable access to the accumulated weight gradient.
     pub fn grad_weight(&self) -> &Tensor {
         &self.grad_weight
+    }
+
+    /// The layer's parameter version: bumped whenever the weight tensor is
+    /// mutated through an optimizer step.
+    pub fn weight_version(&self) -> u64 {
+        self.weight_version
+    }
+
+    /// How many times the cached INT8 weight plan has been built.
+    pub fn weight_plan_builds(&self) -> u64 {
+        self.weight_plan_builds
     }
 
     fn weight_matrix(&self) -> Result<Tensor> {
@@ -162,31 +193,43 @@ impl Layer for Conv2d {
                 ),
             });
         }
+        if mode != self.last_mode {
+            // A mode switch invalidates every cached forward artefact so a
+            // later backward can never mix FP32 state with INT8 state.
+            self.cached_cols = None;
+            self.cols_plan = None;
+            self.cached_mask = None;
+            self.cached_input_shape = None;
+        }
         self.last_mode = mode;
         let n = input.shape()[0];
         let (cols, oh, ow) = im2col(input, self.geom)?;
-        let weight_mat = self.weight_matrix()?;
         // Bias and ReLU (+ gradient mask) are fused into the GEMM epilogue
         // over the `[n·oh·ow, oc]` row matrix; ReLU commutes with the NCHW
         // reorder, so only the already-activated rows (and mask) are
         // rearranged afterwards.
         let (rows, rows_mask) = match mode {
             ForwardMode::Fp32 => {
-                self.cached_quant_cols = None;
+                self.cols_plan = None;
+                let weight_mat = self.weight_matrix()?;
                 linalg::matmul_a_bt_fused(&cols, &weight_mat, Some(&self.bias), self.fused_relu)?
             }
             ForwardMode::Int8(rounding) => {
                 let mut rng = rand::thread_rng();
                 let q_cols =
                     QuantTensor::quantize_with_rng(&cols, QuantConfig::new(rounding), &mut rng);
-                let q_weight = QuantTensor::quantize_with_rng(
-                    &weight_mat,
-                    QuantConfig::new(Rounding::Nearest),
-                    &mut rng,
-                );
+                // Reuse the packed weight-matrix panels (reshape + quantize
+                // + pack) while the weights are unchanged.
+                if self.weight_plan.as_ref().map(QGemmPlan::version) != Some(self.weight_version) {
+                    let weight_mat = self.weight_matrix()?;
+                    self.weight_plan =
+                        Some(QGemmPlan::from_tensor(&weight_mat, self.weight_version)?);
+                    self.weight_plan_builds += 1;
+                }
+                let plan = self.weight_plan.as_mut().expect("weight plan just ensured");
                 let out =
-                    int8_matmul_a_bt_fused(&q_cols, &q_weight, Some(&self.bias), self.fused_relu)?;
-                self.cached_quant_cols = Some(q_cols);
+                    int8_matmul_a_bt_planned(&q_cols, plan, Some(&self.bias), self.fused_relu)?;
+                self.cols_plan = Some(QGemmPlan::from_quant(q_cols, 0)?);
                 out
             }
         };
@@ -234,11 +277,11 @@ impl Layer for Conv2d {
                     QuantConfig::new(rounding),
                     &mut rng,
                 );
-                let q_cols = self
-                    .cached_quant_cols
-                    .as_ref()
+                let cols_plan = self
+                    .cols_plan
+                    .as_mut()
                     .ok_or(NnError::MissingForwardState { layer: "conv2d" })?;
-                let gw = int8_matmul_at_b(&q_grad, q_cols)?;
+                let gw = int8_matmul_at_b_planned(&q_grad, cols_plan)?;
                 let gc = linalg::matmul(&q_grad.dequantize(), &weight_mat)?;
                 (gw, gc)
             }
@@ -260,10 +303,14 @@ impl Layer for Conv2d {
             ParamRefMut {
                 value: &mut self.weight,
                 grad: &mut self.grad_weight,
+                version: Some(&mut self.weight_version),
             },
             ParamRefMut {
                 value: &mut self.bias,
                 grad: &mut self.grad_bias,
+                // Bias is applied in fp32 during the epilogue, so bias
+                // updates never invalidate the packed weight plan.
+                version: None,
             },
         ]
     }
@@ -284,6 +331,8 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Optimizer, Sgd};
+    use ff_quant::Rounding;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -394,6 +443,46 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng()).unwrap();
         assert!(conv.backward(&Tensor::ones(&[1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn weight_plan_rebuilt_only_after_step() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng()).unwrap();
+        let x = init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng());
+        let y1 = conv
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        let y2 = conv
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert_eq!(conv.weight_plan_builds(), 1);
+        assert_eq!(y1.data(), y2.data(), "cached plan must be bit-stable");
+        conv.backward(&Tensor::ones(y2.shape())).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.step(&mut conv.params_mut());
+        let y3 = conv
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert_eq!(conv.weight_plan_builds(), 2);
+        assert!(
+            y3.sub(&y2).unwrap().max_abs() > 0.0,
+            "post-step forward must see the updated weights"
+        );
+    }
+
+    #[test]
+    fn mode_switch_clears_quantized_state() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, false, &mut rng()).unwrap();
+        let x = init::uniform(&[1, 1, 5, 5], -1.0, 1.0, &mut rng());
+        conv.forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert!(conv.cols_plan.is_some());
+        conv.forward(&x, ForwardMode::Fp32).unwrap();
+        assert!(
+            conv.cols_plan.is_none(),
+            "switching to Fp32 must drop the quantized column plan"
+        );
+        conv.backward(&Tensor::ones(&[1, 2, 5, 5])).unwrap();
     }
 
     #[test]

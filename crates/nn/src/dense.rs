@@ -2,7 +2,8 @@
 
 use crate::layer::{ForwardMode, Layer, ParamRefMut};
 use crate::{NnError, Result};
-use ff_quant::{int8_matmul_a_bt_fused, int8_matmul_at_b, QuantConfig, QuantTensor, Rounding};
+use ff_quant::plan::{int8_matmul_a_bt_planned, int8_matmul_at_b_planned, QGemmPlan};
+use ff_quant::{QuantConfig, QuantTensor};
 use ff_tensor::{init, linalg, Tensor};
 use rand::Rng;
 
@@ -12,6 +13,14 @@ use rand::Rng;
 /// enabled the activation and its mask are handled inside the layer, which is
 /// the granularity at which the Forward-Forward algorithm trains (one
 /// goodness per ReLU block).
+///
+/// In [`ForwardMode::Int8`] the layer keeps a cached [`QGemmPlan`] for its
+/// weight matrix: the weight is quantized and packed into GEMM panels once,
+/// then reused by every forward pass (and, during prediction, by every
+/// candidate-label pass) until an optimizer bumps the layer's parameter
+/// version. The quantized input of the most recent INT8 forward is likewise
+/// wrapped in a plan so the backward weight-gradient GEMM — which the
+/// look-ahead scheme runs twice per step — packs the input at most once.
 ///
 /// # Examples
 ///
@@ -38,8 +47,19 @@ pub struct Dense {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
+    /// Bumped whenever `weight` changes (optimizer steps via
+    /// [`ParamRefMut::mark_updated`], `set_weight`); keys `weight_plan`.
+    weight_version: u64,
+    /// Cached quantized + packed weight panels, valid while its version tag
+    /// equals `weight_version`.
+    weight_plan: Option<QGemmPlan>,
+    /// How many times the weight plan has been (re)built — exposed for tests
+    /// asserting the cache is neither stale nor rebuilt needlessly.
+    weight_plan_builds: u64,
     cached_input: Option<Tensor>,
-    cached_quant_input: Option<QuantTensor>,
+    /// Quantized input of the latest INT8 forward, wrapped in a plan so the
+    /// backward `gW` GEMM packs it at most once per step.
+    input_plan: Option<QGemmPlan>,
     cached_mask: Option<Tensor>,
     last_mode: ForwardMode,
 }
@@ -61,8 +81,11 @@ impl Dense {
             bias: Tensor::zeros(&[out_features]),
             grad_weight: Tensor::zeros(&[out_features, in_features]),
             grad_bias: Tensor::zeros(&[out_features]),
+            weight_version: 0,
+            weight_plan: None,
+            weight_plan_builds: 0,
             cached_input: None,
-            cached_quant_input: None,
+            input_plan: None,
             cached_mask: None,
             last_mode: ForwardMode::Fp32,
         }
@@ -93,6 +116,25 @@ impl Dense {
         &self.grad_weight
     }
 
+    /// Immutable access to the bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The layer's parameter version: bumped whenever the weight matrix is
+    /// mutated through [`set_weight`](Dense::set_weight) or an optimizer step.
+    pub fn weight_version(&self) -> u64 {
+        self.weight_version
+    }
+
+    /// How many times the cached INT8 weight plan has been built. Stays
+    /// constant across repeated forwards with unchanged weights; increments
+    /// exactly once after each weight update (lazily, on the next INT8
+    /// forward).
+    pub fn weight_plan_builds(&self) -> u64 {
+        self.weight_plan_builds
+    }
+
     /// Replaces the weight matrix (used by tests and model surgery).
     ///
     /// # Errors
@@ -112,6 +154,7 @@ impl Dense {
             });
         }
         self.weight = weight;
+        self.weight_version = self.weight_version.wrapping_add(1);
         Ok(())
     }
 
@@ -137,26 +180,38 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Tensor> {
         self.check_input(input)?;
+        if mode != self.last_mode {
+            // A mode switch invalidates every cached forward artefact so a
+            // later backward can never mix FP32 state with INT8 state (or
+            // read a quantized input left over from before the switch).
+            self.cached_input = None;
+            self.input_plan = None;
+            self.cached_mask = None;
+        }
         self.last_mode = mode;
         // Bias add and ReLU (+ gradient mask) are fused into the GEMM
         // epilogue, so no separate pass touches the output afterwards.
         let (out, mask) = match mode {
             ForwardMode::Fp32 => {
-                self.cached_quant_input = None;
+                self.input_plan = None;
                 linalg::matmul_a_bt_fused(input, &self.weight, Some(&self.bias), self.fused_relu)?
             }
             ForwardMode::Int8(rounding) => {
                 let mut rng = rand::thread_rng();
                 let q_input =
                     QuantTensor::quantize_with_rng(input, QuantConfig::new(rounding), &mut rng);
-                let q_weight = QuantTensor::quantize_with_rng(
-                    &self.weight,
-                    QuantConfig::new(Rounding::Nearest),
-                    &mut rng,
-                );
+                // Reuse the packed weight panels while the weights are
+                // unchanged; rebuild (deterministically) once per optimizer
+                // step, so the per-step cost scales with activations only.
+                if self.weight_plan.as_ref().map(QGemmPlan::version) != Some(self.weight_version) {
+                    self.weight_plan =
+                        Some(QGemmPlan::from_tensor(&self.weight, self.weight_version)?);
+                    self.weight_plan_builds += 1;
+                }
+                let plan = self.weight_plan.as_mut().expect("weight plan just ensured");
                 let out =
-                    int8_matmul_a_bt_fused(&q_input, &q_weight, Some(&self.bias), self.fused_relu)?;
-                self.cached_quant_input = Some(q_input);
+                    int8_matmul_a_bt_planned(&q_input, plan, Some(&self.bias), self.fused_relu)?;
+                self.input_plan = Some(QGemmPlan::from_quant(q_input, 0)?);
                 out
             }
         };
@@ -186,13 +241,15 @@ impl Layer for Dense {
                 let mut rng = rand::thread_rng();
                 let q_grad =
                     QuantTensor::quantize_with_rng(&grad_pre, QuantConfig::new(rounding), &mut rng);
-                let q_input = self
-                    .cached_quant_input
-                    .as_ref()
+                let input_plan = self
+                    .input_plan
+                    .as_mut()
                     .ok_or(NnError::MissingForwardState { layer: "dense" })?;
                 // gW[o, i] = Σ_batch gY[b, o] · A[b, i] — an INT8 GEMM with i32
-                // accumulation over the quantized gradient and cached input.
-                let gw = int8_matmul_at_b(&q_grad, q_input)?;
+                // accumulation over the quantized gradient and the forward
+                // pass's cached input plan (packed once, reused by the second
+                // look-ahead backward).
+                let gw = int8_matmul_at_b_planned(&q_grad, input_plan)?;
                 let gi = linalg::matmul(&q_grad.dequantize(), &self.weight)?;
                 (gw, gi)
             }
@@ -207,10 +264,14 @@ impl Layer for Dense {
             ParamRefMut {
                 value: &mut self.weight,
                 grad: &mut self.grad_weight,
+                version: Some(&mut self.weight_version),
             },
             ParamRefMut {
                 value: &mut self.bias,
                 grad: &mut self.grad_bias,
+                // Bias is applied in fp32 during the epilogue, so bias
+                // updates never invalidate the packed weight plan.
+                version: None,
             },
         ]
     }
@@ -227,11 +288,23 @@ impl Layer for Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Optimizer, Sgd};
+    use ff_quant::{int8_matmul_a_bt_fused, Rounding};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
+    }
+
+    /// What an uncached INT8 forward would produce for the layer's current
+    /// parameters: quantize weight and input from scratch, no plan involved.
+    fn uncached_int8_forward(layer: &Dense, x: &Tensor) -> Tensor {
+        let q_x = QuantTensor::quantize(x, Rounding::Nearest);
+        let q_w = QuantTensor::quantize(layer.weight(), Rounding::Nearest);
+        int8_matmul_a_bt_fused(&q_x, &q_w, Some(layer.bias()), layer.has_fused_relu())
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -351,6 +424,116 @@ mod tests {
         let mut layer = Dense::new(3, 2, false, &mut rng());
         assert!(layer.set_weight(Tensor::zeros(&[2, 3])).is_ok());
         assert!(layer.set_weight(Tensor::zeros(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn weight_plan_rebuilt_exactly_once_per_step() {
+        let mut layer = Dense::new(12, 6, true, &mut rng());
+        let x = init::uniform(&[4, 12], -1.0, 1.0, &mut rng());
+        assert_eq!(layer.weight_plan_builds(), 0);
+        // Back-to-back forwards (the predict path runs one per candidate
+        // label) must share one plan build.
+        for _ in 0..3 {
+            layer
+                .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+                .unwrap();
+        }
+        assert_eq!(layer.weight_plan_builds(), 1);
+        let v0 = layer.weight_version();
+        // An optimizer step bumps the version and forces exactly one rebuild
+        // on the next forward.
+        let y = layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        layer.backward(&Tensor::ones(y.shape())).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.step(&mut layer.params_mut());
+        assert_eq!(layer.weight_version(), v0 + 1);
+        assert_eq!(layer.weight_plan_builds(), 1, "rebuild is lazy");
+        layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert_eq!(layer.weight_plan_builds(), 2);
+    }
+
+    #[test]
+    fn cached_plan_forward_is_bit_exact_with_uncached() {
+        let mut layer = Dense::new(16, 8, true, &mut rng());
+        let x = init::uniform(&[4, 16], -1.0, 1.0, &mut rng());
+        // Cached path (second forward reuses the plan) must equal a
+        // from-scratch quantize + GEMM of the same parameters.
+        layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        let cached = layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert_eq!(cached.data(), uncached_int8_forward(&layer, &x).data());
+    }
+
+    #[test]
+    fn set_weight_invalidates_cached_plan() {
+        let mut layer = Dense::new(8, 4, false, &mut rng());
+        let x = init::uniform(&[2, 8], -1.0, 1.0, &mut rng());
+        layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        let w2 = init::uniform(&[4, 8], -1.0, 1.0, &mut rng());
+        layer.set_weight(w2).unwrap();
+        let y = layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert_eq!(layer.weight_plan_builds(), 2);
+        assert_eq!(y.data(), uncached_int8_forward(&layer, &x).data());
+    }
+
+    #[test]
+    fn alternating_fp32_int8_steps_stay_consistent() {
+        // Regression test for the stale-cache footgun: mode switches must
+        // invalidate all cached quantized state, and optimizer steps taken in
+        // *either* mode must invalidate the weight plan, so an INT8 forward
+        // after any interleaving matches an uncached computation bit-exactly.
+        let mut layer = Dense::new(10, 5, true, &mut rng());
+        let x = init::uniform(&[3, 10], -1.0, 1.0, &mut rng());
+        let mut sgd = Sgd::new(0.05, 0.0);
+        for step in 0..6 {
+            let mode = if step % 2 == 0 {
+                ForwardMode::Fp32
+            } else {
+                ForwardMode::Int8(Rounding::Nearest)
+            };
+            let y = layer.forward(&x, mode).unwrap();
+            if mode.is_int8() {
+                assert_eq!(
+                    y.data(),
+                    uncached_int8_forward(&layer, &x).data(),
+                    "stale plan surfaced at step {step}"
+                );
+            }
+            layer.backward(&Tensor::ones(y.shape())).unwrap();
+            sgd.step(&mut layer.params_mut());
+            layer.zero_grad();
+        }
+    }
+
+    #[test]
+    fn mode_switch_clears_quantized_state() {
+        let mut layer = Dense::new(6, 3, false, &mut rng());
+        let x = init::uniform(&[2, 6], -1.0, 1.0, &mut rng());
+        layer
+            .forward(&x, ForwardMode::Int8(Rounding::Nearest))
+            .unwrap();
+        assert!(layer.input_plan.is_some());
+        layer.forward(&x, ForwardMode::Fp32).unwrap();
+        assert!(
+            layer.input_plan.is_none(),
+            "switching to Fp32 must drop the quantized input plan"
+        );
+        // Backward after the switch uses the fp32 path and succeeds.
+        layer.backward(&Tensor::ones(&[2, 3])).unwrap();
     }
 
     #[test]

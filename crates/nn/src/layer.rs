@@ -37,6 +37,25 @@ pub struct ParamRefMut<'a> {
     pub value: &'a mut Tensor,
     /// The accumulated gradient (same shape as `value`).
     pub grad: &'a mut Tensor,
+    /// Monotonic parameter-version counter, bumped by [`crate::Optimizer`]
+    /// implementations every time they write `value`. Layers that keep
+    /// cached quantized state keyed to a parameter (e.g. a packed INT8
+    /// weight plan, see `ff_quant::plan`) expose `Some(counter)` here and
+    /// rebuild the cache when the counter has moved; parameters with no
+    /// derived cache pass `None`.
+    pub version: Option<&'a mut u64>,
+}
+
+impl ParamRefMut<'_> {
+    /// Records that `value` was mutated by bumping the version counter (if
+    /// the owning layer tracks one). Every optimizer must call this (or bump
+    /// the counter itself) after writing `value`, otherwise layers may keep
+    /// serving stale cached quantized weights.
+    pub fn mark_updated(&mut self) {
+        if let Some(version) = self.version.as_deref_mut() {
+            *version = version.wrapping_add(1);
+        }
+    }
 }
 
 /// A neural-network layer with an explicit backward pass.

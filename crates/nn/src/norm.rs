@@ -183,10 +183,13 @@ impl Layer for BatchNorm2d {
             ParamRefMut {
                 value: &mut self.gamma,
                 grad: &mut self.grad_gamma,
+                // Norm parameters stay in fp32 and feed no packed plan.
+                version: None,
             },
             ParamRefMut {
                 value: &mut self.beta,
                 grad: &mut self.grad_beta,
+                version: None,
             },
         ]
     }

@@ -11,6 +11,10 @@ use ff_tensor::Tensor;
 pub trait Optimizer {
     /// Applies one update step to every parameter and leaves the gradients
     /// untouched (callers usually `zero_grad` afterwards).
+    ///
+    /// Implementations must call [`ParamRefMut::mark_updated`] on every
+    /// parameter they write so layers invalidate cached quantized weight
+    /// state (packed INT8 GEMM plans) exactly when the values change.
     fn step(&mut self, params: &mut [ParamRefMut<'_>]);
 
     /// The current learning rate.
@@ -68,6 +72,7 @@ impl Optimizer for Sgd {
                     .add_scaled_assign(p.grad, -self.lr)
                     .expect("shape match");
             }
+            p.mark_updated();
         }
     }
 
@@ -134,6 +139,7 @@ impl Optimizer for Adam {
                 let v_hat = *v_i / bias2;
                 *w -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
             }
+            p.mark_updated();
         }
     }
 
@@ -161,6 +167,7 @@ mod tests {
         sgd.step(&mut [ParamRefMut {
             value: &mut w,
             grad: &mut g,
+            version: None,
         }]);
         assert_eq!(w.data(), &[0.5, 0.5, 0.5]);
     }
@@ -172,11 +179,13 @@ mod tests {
         sgd.step(&mut [ParamRefMut {
             value: &mut w,
             grad: &mut g,
+            version: None,
         }]);
         let after_one = w.data()[0];
         sgd.step(&mut [ParamRefMut {
             value: &mut w,
             grad: &mut g,
+            version: None,
         }]);
         let delta_two = w.data()[0] - after_one;
         // second step is larger because of accumulated velocity
@@ -200,6 +209,7 @@ mod tests {
             adam.step(&mut [ParamRefMut {
                 value: &mut w,
                 grad: &mut g,
+                version: None,
             }]);
         }
         assert!((w.data()[0] - 3.0).abs() < 0.1, "w = {}", w.data()[0]);
@@ -220,6 +230,7 @@ mod tests {
         sgd.step(&mut [ParamRefMut {
             value: &mut w1,
             grad: &mut g1,
+            version: None,
         }]);
         let (mut w2, mut g2) = make_param(Tensor::ones(&[3]), Tensor::ones(&[3]));
         // now two params — velocity vector must grow
@@ -227,10 +238,12 @@ mod tests {
             ParamRefMut {
                 value: &mut w1,
                 grad: &mut g1,
+                version: None,
             },
             ParamRefMut {
                 value: &mut w2,
                 grad: &mut g2,
+                version: None,
             },
         ]);
         assert!(w2.data()[0] < 1.0);

@@ -14,14 +14,18 @@
 //! | [`int8_matmul_a_bt`] | `A[m,k] · B[n,k]ᵀ`  | `A` row-major, `B` transposed    |
 //! | [`int8_matmul_at_b`] | `A[k,m]ᵀ · B[k,n]`  | `A` transposed, `B` row-major    |
 //!
-//! Operands are repacked once per call into contiguous `i16` panels
-//! ([`crate::pack`]): `A` into [`pack::MR`]-row strips, `B` into
-//! [`pack::NR`]-column strips, both with depth laid out in **pairs** and
-//! zero-padded at the edges. The engine then runs the classic three-level
-//! blocking ([`pack::NC`] columns → [`pack::KC`] depth → [`pack::MC`] rows)
-//! with an `MR × NR` register tile accumulated into a per-thread `i32`
-//! staging buffer, and shards output row panels across worker threads with
-//! [`ff_tensor::par::shard_rows`] above the parallel threshold.
+//! Operands are repacked into contiguous `i16` panels ([`crate::pack`]):
+//! `A` into [`crate::pack::MR`]-row strips, `B` into [`crate::pack::NR`]-column strips,
+//! both with depth laid out in **pairs** and zero-padded at the edges. The
+//! `int8_matmul_*` entry points pack both operands per call;
+//! [`int8_gemm_prepacked`] accepts operands that are already in panel form,
+//! which is how the plan cache ([`crate::plan`]) amortizes weight packing
+//! across training steps. Either way the engine then runs the classic
+//! three-level blocking ([`crate::pack::NC`] columns → [`crate::pack::KC`] depth →
+//! [`crate::pack::MC`] rows) with an `MR × NR` register tile accumulated into a
+//! per-thread `i32` staging buffer, and shards output row panels across
+//! worker threads with [`ff_tensor::par::shard_rows`] above the parallel
+//! threshold.
 //!
 //! # The pairwise `i16` micro-kernel
 //!
@@ -42,7 +46,7 @@
 //! still fits).
 //!
 //! Integer addition is associative, so the blocked accumulation order is
-//! **bit-identical** to the naive triple loop (the [`reference`] kernels)
+//! **bit-identical** to the naive triple loop (the [`mod@reference`] kernels)
 //! in both kernels, which the property tests in `tests/proptests.rs` assert
 //! exactly.
 //!
@@ -130,17 +134,6 @@ pub fn int8_gemm(
     threads: Option<usize>,
 ) -> Result<(Tensor, Option<Tensor>)> {
     let (m, k, n) = resolve_dims(variant, a, b)?;
-    let bias_data = match bias {
-        Some(bias) if bias.len() != n => {
-            return Err(TensorError::ShapeMismatch {
-                left: bias.shape().to_vec(),
-                right: vec![n],
-                op: "int8_gemm bias",
-            });
-        }
-        Some(bias) => Some(bias.data()),
-        None => None,
-    };
     let (packed_a, packed_b) = match variant {
         GemmVariant::AB => (
             PackedA::pack(a.codes(), m, k, PackSource::RowMajor),
@@ -155,7 +148,62 @@ pub fn int8_gemm(
             PackedB::pack(b.codes(), k, n, PackSource::RowMajor),
         ),
     };
-    let scale = a.scale() * b.scale();
+    int8_gemm_prepacked(
+        &packed_a,
+        &packed_b,
+        a.scale() * b.scale(),
+        bias,
+        relu,
+        threads,
+    )
+}
+
+/// The pre-packed engine entry point: runs the blocked kernel over operands
+/// that are **already** in panel form, skipping the per-call `O(mk + kn)`
+/// quantize-and-pack tax.
+///
+/// This is the primitive the plan cache ([`crate::plan`]) builds on: a
+/// layer's weight is packed once per optimizer step and this function is
+/// called with the cached panels every forward/backward. The logical GEMM
+/// shape is recovered from the panels (`m` from `packed_a`, `n` from
+/// `packed_b`); which of the three variants is computed was decided at pack
+/// time by the [`PackSource`] the operands were packed with.
+///
+/// `scale` is the product of the two operands' quantization scales, applied
+/// during the dequantization epilogue. `bias`, `relu` and `threads` behave
+/// exactly as in [`int8_gemm`].
+///
+/// # Errors
+///
+/// Returns a shape error when the operands' packed depths disagree or the
+/// bias length is not `n`.
+pub fn int8_gemm_prepacked(
+    packed_a: &PackedA,
+    packed_b: &PackedB,
+    scale: f32,
+    bias: Option<&Tensor>,
+    relu: bool,
+    threads: Option<usize>,
+) -> Result<(Tensor, Option<Tensor>)> {
+    let (m, k, n) = (packed_a.m, packed_a.k, packed_b.n);
+    if packed_a.k != packed_b.k {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![m, packed_a.k],
+            right: vec![packed_b.k, n],
+            op: "int8_gemm_prepacked",
+        });
+    }
+    let bias_data = match bias {
+        Some(bias) if bias.len() != n => {
+            return Err(TensorError::ShapeMismatch {
+                left: bias.shape().to_vec(),
+                right: vec![n],
+                op: "int8_gemm bias",
+            });
+        }
+        Some(bias) => Some(bias.data()),
+        None => None,
+    };
     let threads = threads.unwrap_or_else(|| worker_count(m * n * k, m.div_ceil(MR)));
     let mut out = vec![0.0f32; m * n];
     let mut mask = if relu {
@@ -172,8 +220,8 @@ pub fn int8_gemm(
         threads,
         |first_row, panel, mut mask_panel| {
             gemm_worker(
-                &packed_a,
-                &packed_b,
+                packed_a,
+                packed_b,
                 first_row,
                 panel,
                 mask_panel.as_deref_mut(),

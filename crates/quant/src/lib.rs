@@ -11,13 +11,19 @@
 //! `i32` accumulators.
 //!
 //! The MAC phase is served by a single blocked micro-kernel shared by all
-//! three GEMM variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`): operands are repacked once
-//! into `i16` panels ([`pack`]), tiled `NC → KC → MC`, sharded across worker
+//! three GEMM variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`): operands are repacked into
+//! `i16` panels ([`pack`]), tiled `NC → KC → MC`, sharded across worker
 //! threads by output row panels, and dequantized in a fused epilogue that
-//! can also apply a bias and ReLU ([`int8_matmul_a_bt_fused`]). The naive
+//! can also apply a bias and ReLU ([`int8_matmul_a_bt_fused`]). Operands
+//! that persist across steps — layer weights above all — are quantized and
+//! packed **once** into a cached [`QGemmPlan`] ([`plan`]) and fed to the
+//! engine through [`gemm::int8_gemm_prepacked`], so per-step GEMM cost
+//! scales with the activations only; the plan is rebuilt lazily when the
+//! optimizer bumps the owning layer's parameter version. The naive
 //! triple-loop kernels survive as test oracles in [`gemm::reference`]; the
-//! blocked engine matches them bit-exactly for every shape. See
-//! [`gemm`] for the kernel design and [`pack`] for the panel layout.
+//! blocked engine — planned or not — matches them bit-exactly for every
+//! shape. See [`gemm`] for the kernel design, [`pack`] for the panel
+//! layout, and [`plan`] for the caching and invalidation contract.
 //!
 //! # Examples
 //!
@@ -44,11 +50,15 @@ mod suq;
 
 pub mod gemm;
 pub mod pack;
+pub mod plan;
 pub mod stats;
 
 pub use gemm::{
-    int8_gemm, int8_gemm_op_count, int8_matmul, int8_matmul_a_bt, int8_matmul_a_bt_fused,
-    int8_matmul_at_b, GemmVariant,
+    int8_gemm, int8_gemm_op_count, int8_gemm_prepacked, int8_matmul, int8_matmul_a_bt,
+    int8_matmul_a_bt_fused, int8_matmul_at_b, GemmVariant,
+};
+pub use plan::{
+    int8_matmul_a_bt_planned, int8_matmul_at_b_planned, int8_matmul_planned, QGemmPlan,
 };
 pub use qtensor::QuantTensor;
 pub use suq::{

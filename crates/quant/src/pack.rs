@@ -149,6 +149,11 @@ impl PackedA {
         let base = s * self.k2 * 2 * MR + pc2 * 2 * MR;
         &self.data[base..base + kc2 * 2 * MR]
     }
+
+    /// Bytes held by the packed panels (padded `i16` storage).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<i16>()
+    }
 }
 
 /// `B̂` widened to `i16` and repacked into [`NR`]-column, depth-paired
@@ -225,6 +230,11 @@ impl PackedB {
     pub fn strip_at(&self, t: usize, pc2: usize, kc2: usize) -> &[i16] {
         let base = t * self.k2 * 2 * NR + pc2 * 2 * NR;
         &self.data[base..base + kc2 * 2 * NR]
+    }
+
+    /// Bytes held by the packed panels (padded `i16` storage).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<i16>()
     }
 }
 

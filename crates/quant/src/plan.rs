@@ -1,0 +1,453 @@
+//! Cached packed-weight GEMM plans for the INT8 training hot path.
+//!
+//! # Why plans exist
+//!
+//! Every INT8 GEMM needs its operands quantized and repacked into the
+//! engine's `i16` panel layout ([`crate::pack`]) — an `O(mk + kn)` tax per
+//! call. For *activations* that tax is unavoidable (the data changes every
+//! step), but a layer's *weight matrix* only changes when the optimizer
+//! steps. The FF-INT8 dataflow (paper Fig. 4) keeps weights resident in INT8
+//! precisely so per-step cost scales with the activations alone; a
+//! [`QGemmPlan`] is the code-level realisation of that idea: quantize and
+//! pack a tensor **once**, then reuse the panels across every
+//! `int8_matmul_*` call until the underlying values change.
+//!
+//! # What a plan holds
+//!
+//! A [`QGemmPlan`] owns the quantized codes and per-tensor scale (a
+//! [`QuantTensor`]) plus up to four lazily-built panel packings — one per
+//! role the tensor can play in the three GEMM variants:
+//!
+//! | accessor                            | role                | variant(s)     |
+//! |-------------------------------------|---------------------|----------------|
+//! | [`QGemmPlan::packed_as_a`]          | `A`, stored `[m,k]` | `A·B`, `A·Bᵀ`  |
+//! | [`QGemmPlan::packed_as_a_transposed`]| `A`, stored `[k,m]`| `Aᵀ·B`         |
+//! | [`QGemmPlan::packed_as_b`]          | `B`, stored `[k,n]` | `A·B`, `Aᵀ·B`  |
+//! | [`QGemmPlan::packed_as_b_transposed`]| `B`, stored `[n,k]`| `A·Bᵀ`         |
+//!
+//! Each packing is built on first use and cached for the plan's lifetime, so
+//! a dense layer's weight plan pays the `[n,k]`-transposed B packing once
+//! per optimizer step instead of once per forward, and an input plan built
+//! during the forward pass serves both look-ahead backward calls without
+//! repacking.
+//!
+//! # Invalidation
+//!
+//! Plans are immutable snapshots: they never observe later edits to the
+//! tensor they were built from. Callers key a plan to the parameter state it
+//! captured via the [`QGemmPlan::version`] tag — layers store a `u64`
+//! parameter version that optimizers bump through
+//! `ParamRefMut::version` on every step, and rebuild the plan iff the tag no
+//! longer matches. Quantization uses deterministic nearest rounding, so a
+//! rebuilt plan over unchanged weights is bit-identical and the cached path
+//! always matches the uncached one exactly (enforced by the property tests
+//! in `tests/proptests.rs`).
+//!
+//! # Examples
+//!
+//! A weight plan reused across forward calls (the dense-layer hot path):
+//!
+//! ```
+//! use ff_quant::{int8_matmul_a_bt_planned, QGemmPlan, QuantTensor, Rounding};
+//! use ff_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), ff_tensor::TensorError> {
+//! // Weights stored [out, in] = [2, 3], quantized and packed once.
+//! let w = Tensor::from_vec(&[2, 3], vec![0.5, -0.25, 1.0, 0.75, -0.5, 0.25])?;
+//! let mut plan = QGemmPlan::from_tensor(&w, 0)?;
+//! // Two "steps" with different activations reuse the same packed panels.
+//! for step in 0..2 {
+//!     let x = Tensor::from_vec(&[1, 3], vec![1.0, step as f32, -1.0])?;
+//!     let qx = QuantTensor::quantize(&x, Rounding::Nearest);
+//!     let (y, _) = int8_matmul_a_bt_planned(&qx, &mut plan, None, false)?;
+//!     assert_eq!(y.shape(), &[1, 2]);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The planned path is bit-exact with the per-call path:
+//!
+//! ```
+//! use ff_quant::{int8_matmul_a_bt, int8_matmul_a_bt_planned, QGemmPlan, QuantTensor, Rounding};
+//! use ff_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), ff_tensor::TensorError> {
+//! let w = Tensor::from_vec(&[2, 4], vec![0.9, -0.1, 0.4, 0.2, -0.7, 0.3, 0.8, -0.6])?;
+//! let x = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32 / 6.0 - 1.0).collect())?;
+//! let qw = QuantTensor::quantize(&w, Rounding::Nearest);
+//! let qx = QuantTensor::quantize(&x, Rounding::Nearest);
+//! let mut plan = QGemmPlan::from_quant(qw.clone(), 7)?;
+//! let (planned, _) = int8_matmul_a_bt_planned(&qx, &mut plan, None, false)?;
+//! let unplanned = int8_matmul_a_bt(&qx, &qw)?;
+//! assert_eq!(planned.data(), unplanned.data());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::gemm::int8_gemm_prepacked;
+use crate::pack::{PackSource, PackedA, PackedB};
+use crate::{QuantTensor, Result, Rounding};
+use ff_tensor::{Tensor, TensorError};
+
+/// A reusable GEMM operand: quantized codes, per-tensor scale, and cached
+/// packed panels for every role the tensor can play in the INT8 engine.
+///
+/// See the [module docs](self) for the caching and invalidation contract.
+#[derive(Debug, Clone)]
+pub struct QGemmPlan {
+    quant: QuantTensor,
+    version: u64,
+    packed_a: Option<PackedA>,
+    packed_a_t: Option<PackedA>,
+    packed_b: Option<PackedB>,
+    packed_b_t: Option<PackedB>,
+}
+
+fn check_rank2(shape: &[usize]) -> Result<(usize, usize)> {
+    if shape.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: shape.len(),
+            op: "QGemmPlan",
+        });
+    }
+    Ok((shape[0], shape[1]))
+}
+
+impl QGemmPlan {
+    /// Quantizes a rank-2 tensor with deterministic nearest rounding and
+    /// wraps it in an (initially unpacked) plan tagged with `version`.
+    ///
+    /// Nearest rounding makes the plan a pure function of the tensor values,
+    /// so rebuilding over unchanged weights yields bit-identical panels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when `tensor` is not rank 2.
+    pub fn from_tensor(tensor: &Tensor, version: u64) -> Result<Self> {
+        check_rank2(tensor.shape())?;
+        Self::from_quant(QuantTensor::quantize(tensor, Rounding::Nearest), version)
+    }
+
+    /// Wraps an already-quantized rank-2 tensor in a plan tagged with
+    /// `version` (used for activation plans, where the caller picked the
+    /// rounding mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when `quant` is not rank 2.
+    pub fn from_quant(quant: QuantTensor, version: u64) -> Result<Self> {
+        check_rank2(quant.shape())?;
+        Ok(QGemmPlan {
+            quant,
+            version,
+            packed_a: None,
+            packed_a_t: None,
+            packed_b: None,
+            packed_b_t: None,
+        })
+    }
+
+    /// The parameter-version tag this plan was built against. Callers compare
+    /// it to their current version counter to decide whether to rebuild.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The quantized tensor the plan wraps.
+    pub fn quant(&self) -> &QuantTensor {
+        &self.quant
+    }
+
+    /// The per-tensor symmetric scale of the quantized codes.
+    pub fn scale(&self) -> f32 {
+        self.quant.scale()
+    }
+
+    /// The stored (row-major) shape of the planned tensor.
+    pub fn shape(&self) -> &[usize] {
+        self.quant.shape()
+    }
+
+    /// Panels for the `A` role of `A·B` / `A·Bᵀ` (stored `[m, k]`), built on
+    /// first use and cached.
+    pub fn packed_as_a(&mut self) -> &PackedA {
+        if self.packed_a.is_none() {
+            let (m, k) = (self.quant.shape()[0], self.quant.shape()[1]);
+            self.packed_a = Some(PackedA::pack(
+                self.quant.codes(),
+                m,
+                k,
+                PackSource::RowMajor,
+            ));
+        }
+        self.packed_a.as_ref().expect("packed_a just built")
+    }
+
+    /// Panels for the `A` role of `Aᵀ·B` (stored `[k, m]`), built on first
+    /// use and cached.
+    pub fn packed_as_a_transposed(&mut self) -> &PackedA {
+        if self.packed_a_t.is_none() {
+            let (k, m) = (self.quant.shape()[0], self.quant.shape()[1]);
+            self.packed_a_t = Some(PackedA::pack(
+                self.quant.codes(),
+                m,
+                k,
+                PackSource::Transposed,
+            ));
+        }
+        self.packed_a_t.as_ref().expect("packed_a_t just built")
+    }
+
+    /// Panels for the `B` role of `A·B` / `Aᵀ·B` (stored `[k, n]`), built on
+    /// first use and cached.
+    pub fn packed_as_b(&mut self) -> &PackedB {
+        if self.packed_b.is_none() {
+            let (k, n) = (self.quant.shape()[0], self.quant.shape()[1]);
+            self.packed_b = Some(PackedB::pack(
+                self.quant.codes(),
+                k,
+                n,
+                PackSource::RowMajor,
+            ));
+        }
+        self.packed_b.as_ref().expect("packed_b just built")
+    }
+
+    /// Panels for the `B` role of `A·Bᵀ` (stored `[n, k]`), built on first
+    /// use and cached. This is the packing a dense/conv layer's weight uses
+    /// in the forward GEMM.
+    pub fn packed_as_b_transposed(&mut self) -> &PackedB {
+        if self.packed_b_t.is_none() {
+            let (n, k) = (self.quant.shape()[0], self.quant.shape()[1]);
+            self.packed_b_t = Some(PackedB::pack(
+                self.quant.codes(),
+                k,
+                n,
+                PackSource::Transposed,
+            ));
+        }
+        self.packed_b_t.as_ref().expect("packed_b_t just built")
+    }
+
+    /// Bytes currently held by cached panels (diagnostics: each packed `i16`
+    /// panel is roughly twice the size of the INT8 codes it covers, padded to
+    /// tile boundaries).
+    pub fn packed_bytes(&self) -> usize {
+        let a = self.packed_a.as_ref().map_or(0, PackedA::byte_size);
+        let at = self.packed_a_t.as_ref().map_or(0, PackedA::byte_size);
+        let b = self.packed_b.as_ref().map_or(0, PackedB::byte_size);
+        let bt = self.packed_b_t.as_ref().map_or(0, PackedB::byte_size);
+        a + at + b + bt
+    }
+}
+
+fn check_operand_rank2(q: &QuantTensor, op: &'static str) -> Result<(usize, usize)> {
+    if q.shape().len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: q.shape().len(),
+            op,
+        });
+    }
+    Ok((q.shape()[0], q.shape()[1]))
+}
+
+/// `a [m, k] × planᵀ` where the plan wraps a `[n, k]` tensor — the planned
+/// version of [`crate::int8_matmul_a_bt_fused`], used by dense/conv forward
+/// passes with a cached weight plan.
+///
+/// `a` is packed per call (activations change every step); the plan's
+/// transposed-`B` panels are reused across calls. Bias/ReLU fuse into the
+/// dequantization epilogue exactly as in the unplanned entry point.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when `a` and the plan are not conformable or
+/// `bias` is not a length-`n` vector.
+pub fn int8_matmul_a_bt_planned(
+    a: &QuantTensor,
+    plan: &mut QGemmPlan,
+    bias: Option<&Tensor>,
+    relu: bool,
+) -> Result<(Tensor, Option<Tensor>)> {
+    let (m, k) = check_operand_rank2(a, "int8_matmul_a_bt_planned")?;
+    let (_, kb) = (plan.shape()[0], plan.shape()[1]);
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: plan.shape().to_vec(),
+            op: "int8_matmul_a_bt_planned",
+        });
+    }
+    let packed_a = PackedA::pack(a.codes(), m, k, PackSource::RowMajor);
+    let scale = a.scale() * plan.scale();
+    int8_gemm_prepacked(
+        &packed_a,
+        plan.packed_as_b_transposed(),
+        scale,
+        bias,
+        relu,
+        None,
+    )
+}
+
+/// `aᵀ × plan` where `a` is stored `[k, m]` and the plan wraps a `[k, n]`
+/// tensor — the planned version of [`crate::int8_matmul_at_b`], used for
+/// weight gradients `gW = gYᵀ · X` with the forward pass's cached input plan.
+///
+/// `a` (the output gradient) is packed per call; the plan's row-major `B`
+/// panels are built on the first backward call and reused by later ones —
+/// the look-ahead scheme backpropagates through each layer twice per step,
+/// so the second call gets the input packing for free.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when the operands are not conformable.
+pub fn int8_matmul_at_b_planned(a: &QuantTensor, plan: &mut QGemmPlan) -> Result<Tensor> {
+    let (ka, m) = check_operand_rank2(a, "int8_matmul_at_b_planned")?;
+    let kb = plan.shape()[0];
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: plan.shape().to_vec(),
+            op: "int8_matmul_at_b_planned",
+        });
+    }
+    let packed_a = PackedA::pack(a.codes(), m, ka, PackSource::Transposed);
+    let scale = a.scale() * plan.scale();
+    Ok(int8_gemm_prepacked(&packed_a, plan.packed_as_b(), scale, None, false, None)?.0)
+}
+
+/// `a [m, k] × plan` where the plan wraps a `[k, n]` tensor — the planned
+/// version of [`crate::int8_matmul`].
+///
+/// # Errors
+///
+/// Returns rank/shape errors when the operands are not conformable.
+pub fn int8_matmul_planned(a: &QuantTensor, plan: &mut QGemmPlan) -> Result<Tensor> {
+    let (m, k) = check_operand_rank2(a, "int8_matmul_planned")?;
+    let kb = plan.shape()[0];
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: plan.shape().to_vec(),
+            op: "int8_matmul_planned",
+        });
+    }
+    let packed_a = PackedA::pack(a.codes(), m, k, PackSource::RowMajor);
+    let scale = a.scale() * plan.scale();
+    Ok(int8_gemm_prepacked(&packed_a, plan.packed_as_b(), scale, None, false, None)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{int8_matmul, int8_matmul_a_bt_fused, int8_matmul_at_b, QuantConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_quant(shape: &[usize], seed: u64) -> QuantTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = ff_tensor::init::uniform(shape, -1.0, 1.0, &mut rng);
+        QuantTensor::quantize_with_rng(&t, QuantConfig::new(Rounding::Nearest), &mut rng)
+    }
+
+    #[test]
+    fn plan_rejects_non_rank2() {
+        assert!(QGemmPlan::from_tensor(&Tensor::ones(&[4]), 0).is_err());
+        let q = QuantTensor::from_codes(&[2, 2, 2], vec![0; 8], 0.1).unwrap();
+        assert!(QGemmPlan::from_quant(q, 0).is_err());
+    }
+
+    #[test]
+    fn plan_metadata_roundtrip() {
+        let q = random_quant(&[3, 5], 1);
+        let plan = QGemmPlan::from_quant(q.clone(), 42).unwrap();
+        assert_eq!(plan.version(), 42);
+        assert_eq!(plan.shape(), &[3, 5]);
+        assert_eq!(plan.scale(), q.scale());
+        assert_eq!(plan.quant().codes(), q.codes());
+        assert_eq!(plan.packed_bytes(), 0, "no panels built yet");
+    }
+
+    #[test]
+    fn packings_are_built_lazily_and_cached() {
+        let mut plan = QGemmPlan::from_quant(random_quant(&[6, 10], 2), 0).unwrap();
+        assert_eq!(plan.packed_bytes(), 0);
+        let after_bt = {
+            plan.packed_as_b_transposed();
+            plan.packed_bytes()
+        };
+        assert!(after_bt > 0);
+        // Re-requesting the same packing allocates nothing new.
+        plan.packed_as_b_transposed();
+        assert_eq!(plan.packed_bytes(), after_bt);
+        // A different role adds its own panels.
+        plan.packed_as_a();
+        assert!(plan.packed_bytes() > after_bt);
+    }
+
+    #[test]
+    fn planned_a_bt_matches_unplanned_with_fused_epilogue() {
+        let qa = random_quant(&[9, 31], 3);
+        let qw = random_quant(&[7, 31], 4);
+        let bias = Tensor::from_vec(&[7], (0..7).map(|i| i as f32 / 3.0 - 1.0).collect()).unwrap();
+        let (unplanned, mask_u) = int8_matmul_a_bt_fused(&qa, &qw, Some(&bias), true).unwrap();
+        let mut plan = QGemmPlan::from_quant(qw, 0).unwrap();
+        for _ in 0..2 {
+            let (planned, mask_p) =
+                int8_matmul_a_bt_planned(&qa, &mut plan, Some(&bias), true).unwrap();
+            assert_eq!(planned.data(), unplanned.data());
+            assert_eq!(
+                mask_p.as_ref().unwrap().data(),
+                mask_u.as_ref().unwrap().data()
+            );
+        }
+    }
+
+    #[test]
+    fn planned_at_b_matches_unplanned() {
+        let q_grad = random_quant(&[33, 70], 5);
+        let q_input = random_quant(&[33, 27], 6);
+        let unplanned = int8_matmul_at_b(&q_grad, &q_input).unwrap();
+        let mut plan = QGemmPlan::from_quant(q_input, 0).unwrap();
+        for _ in 0..2 {
+            let planned = int8_matmul_at_b_planned(&q_grad, &mut plan).unwrap();
+            assert_eq!(planned.data(), unplanned.data());
+        }
+    }
+
+    #[test]
+    fn planned_ab_matches_unplanned() {
+        let qa = random_quant(&[5, 12], 7);
+        let qb = random_quant(&[12, 9], 8);
+        let unplanned = int8_matmul(&qa, &qb).unwrap();
+        let mut plan = QGemmPlan::from_quant(qb, 0).unwrap();
+        let planned = int8_matmul_planned(&qa, &mut plan).unwrap();
+        assert_eq!(planned.data(), unplanned.data());
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let qa = random_quant(&[4, 8], 9);
+        let mut plan_bad = QGemmPlan::from_quant(random_quant(&[3, 9], 10), 0).unwrap();
+        assert!(int8_matmul_a_bt_planned(&qa, &mut plan_bad, None, false).is_err());
+        assert!(int8_matmul_at_b_planned(&qa, &mut plan_bad).is_err());
+        assert!(int8_matmul_planned(&qa, &mut plan_bad).is_err());
+        let qv = QuantTensor::from_codes(&[4], vec![1; 4], 0.1).unwrap();
+        let mut plan = QGemmPlan::from_quant(random_quant(&[8, 3], 11), 0).unwrap();
+        assert!(int8_matmul_a_bt_planned(&qv, &mut plan, None, false).is_err());
+    }
+
+    #[test]
+    fn from_tensor_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = ff_tensor::init::uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let p1 = QGemmPlan::from_tensor(&w, 0).unwrap();
+        let p2 = QGemmPlan::from_tensor(&w, 1).unwrap();
+        assert_eq!(p1.quant().codes(), p2.quant().codes());
+        assert_eq!(p1.scale(), p2.scale());
+    }
+}

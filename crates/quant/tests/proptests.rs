@@ -10,7 +10,8 @@
 use ff_quant::gemm::reference;
 use ff_quant::{
     compute_scale, int8_gemm, int8_matmul, int8_matmul_a_bt, int8_matmul_a_bt_fused,
-    int8_matmul_at_b, GemmVariant, QuantConfig, QuantTensor, Rounding,
+    int8_matmul_a_bt_planned, int8_matmul_at_b, int8_matmul_at_b_planned, int8_matmul_planned,
+    GemmVariant, QGemmPlan, QuantConfig, QuantTensor, Rounding,
 };
 use ff_tensor::{linalg, Tensor};
 use proptest::prelude::*;
@@ -173,6 +174,71 @@ proptest! {
         let packed = int8_matmul_at_b(&qat, &qb).unwrap();
         let naive = reference::int8_matmul_at_b(&qat, &qb).unwrap();
         prop_assert_eq!(packed.data(), naive.data());
+    }
+
+    // ---- cached plans vs per-call quantize+pack ---------------------------
+
+    #[test]
+    fn planned_a_bt_is_bit_exact_with_uncached_for_arbitrary_shapes(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..1000
+    ) {
+        // The weight-plan contract: a cached, pre-packed B operand must give
+        // the same bits as packing the same codes on every call — for any
+        // shape, and on every reuse of the plan.
+        let qa = random_quant(&[m, k], seed);
+        let qw = random_quant(&[n, k], seed ^ 0x9A7E);
+        let uncached = int8_matmul_a_bt(&qa, &qw).unwrap();
+        let mut plan = QGemmPlan::from_quant(qw, 0).unwrap();
+        for _reuse in 0..2 {
+            let (planned, _) = int8_matmul_a_bt_planned(&qa, &mut plan, None, false).unwrap();
+            prop_assert_eq!(planned.data(), uncached.data());
+        }
+    }
+
+    #[test]
+    fn planned_at_b_is_bit_exact_with_uncached_for_arbitrary_shapes(
+        batch in 1usize..48, out in 1usize..48, inp in 1usize..48, seed in 0u64..1000
+    ) {
+        // The input-plan contract used by the backward gW GEMM: gYᵀ · X with
+        // X served from a cached plan matches the per-call path bit-exactly,
+        // including on the second (look-ahead) backward.
+        let q_grad = random_quant(&[batch, out], seed);
+        let q_input = random_quant(&[batch, inp], seed ^ 0x1A5B);
+        let uncached = int8_matmul_at_b(&q_grad, &q_input).unwrap();
+        let mut plan = QGemmPlan::from_quant(q_input, 0).unwrap();
+        for _reuse in 0..2 {
+            let planned = int8_matmul_at_b_planned(&q_grad, &mut plan).unwrap();
+            prop_assert_eq!(planned.data(), uncached.data());
+        }
+    }
+
+    #[test]
+    fn planned_ab_is_bit_exact_with_uncached_for_arbitrary_shapes(
+        m in 1usize..32, k in 1usize..32, n in 1usize..32, seed in 0u64..500
+    ) {
+        let qa = random_quant(&[m, k], seed);
+        let qb = random_quant(&[k, n], seed ^ 0xC0DE);
+        let uncached = int8_matmul(&qa, &qb).unwrap();
+        let mut plan = QGemmPlan::from_quant(qb, 0).unwrap();
+        let planned = int8_matmul_planned(&qa, &mut plan).unwrap();
+        prop_assert_eq!(planned.data(), uncached.data());
+    }
+
+    #[test]
+    fn planned_fused_epilogue_is_bit_exact_with_uncached(
+        m in 1usize..32, k in 1usize..32, n in 1usize..32, seed in 0u64..500
+    ) {
+        let qa = random_quant(&[m, k], seed);
+        let qw = random_quant(&[n, k], seed ^ 0xFA5E);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let bias = ff_tensor::init::uniform(&[n], -0.5, 0.5, &mut rng);
+        let (uncached, mask_u) = int8_matmul_a_bt_fused(&qa, &qw, Some(&bias), true).unwrap();
+        let mut plan = QGemmPlan::from_quant(qw, 0).unwrap();
+        let (planned, mask_p) =
+            int8_matmul_a_bt_planned(&qa, &mut plan, Some(&bias), true).unwrap();
+        prop_assert_eq!(planned.data(), uncached.data());
+        let (mask_p, mask_u) = (mask_p.unwrap(), mask_u.unwrap());
+        prop_assert_eq!(mask_p.data(), mask_u.data());
     }
 
     #[test]

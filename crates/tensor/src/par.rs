@@ -1,10 +1,29 @@
 //! Row-panel work sharding shared by every GEMM in the workspace.
 //!
 //! Both the fp32 kernels in [`crate::linalg`] and the packed INT8 engine in
-//! `ff-quant` split their output matrix into contiguous panels of rows and
-//! hand each panel to a worker thread (via `crossbeam::scope`). This module
-//! centralises that pattern so thresholds, thread-count selection and panel
-//! alignment behave identically everywhere.
+//! `ff-quant` — whether its operands are packed per call or served from a
+//! cached plan — split their output matrix into contiguous panels of rows
+//! and hand each panel to a worker thread (via `crossbeam::scope`). This
+//! module centralises that pattern so thresholds, thread-count selection and
+//! panel alignment behave identically everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_tensor::par::shard_rows;
+//!
+//! # fn main() -> Result<(), ff_tensor::TensorError> {
+//! // Fill a 4×3 row-major buffer, one panel per worker.
+//! let mut out = vec![0.0f32; 12];
+//! shard_rows(&mut out, None, 3, 1, 2, |first_row, panel, _aux| {
+//!     for (r, row) in panel.chunks_mut(3).enumerate() {
+//!         row.fill((first_row + r) as f32);
+//!     }
+//! })?;
+//! assert_eq!(out[3..6], [1.0, 1.0, 1.0]);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::Result;
 

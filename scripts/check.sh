@@ -2,7 +2,8 @@
 # Lint + format + tier-1 verify gate for the FF-INT8 workspace.
 #
 # Usage:
-#   scripts/check.sh          # fmt --check, clippy -D warnings, release build, tests
+#   scripts/check.sh          # fmt --check, clippy -D warnings, doc -D warnings,
+#                             # release build, tests (incl. doc-tests)
 #   scripts/check.sh --fast   # skip the release build (lints + debug tests only)
 #
 # This wraps the tier-1 verify flow from ROADMAP.md (`cargo build --release &&
@@ -22,6 +23,9 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 if [[ "$fast" -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
@@ -29,5 +33,8 @@ fi
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q --doc"
+cargo test -q --doc
 
 echo "All checks passed."
