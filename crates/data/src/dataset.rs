@@ -144,6 +144,40 @@ impl Dataset {
             .collect()
     }
 
+    /// Deterministic fixed-size mini-batch iterator: batches are cut from
+    /// the dataset **in storage order**, each one copying only its own rows
+    /// (no shuffle-index materialisation, no full-dataset clone up front).
+    ///
+    /// This is the iteration mode serving warm-up and the bench harness use,
+    /// where reproducible batch composition matters and the whole epoch may
+    /// never be consumed. The final batch may be smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ff_data::Dataset;
+    /// use ff_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), ff_tensor::TensorError> {
+    /// let ds = Dataset::new(Tensor::ones(&[5, 4]), vec![0, 1, 0, 1, 0], 2)?;
+    /// let sizes: Vec<usize> = ds.iter_batches(2).map(|b| b.labels.len()).collect();
+    /// assert_eq!(sizes, vec![2, 2, 1]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn iter_batches(&self, batch_size: usize) -> MiniBatches<'_> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        MiniBatches {
+            dataset: self,
+            batch_size,
+            next: 0,
+        }
+    }
+
     /// Takes the first `count` samples as a new dataset (used to shrink
     /// experiments for fast CI runs).
     ///
@@ -169,6 +203,45 @@ impl Dataset {
         buf
     }
 }
+
+/// Iterator over deterministic, in-order mini-batches of a [`Dataset`].
+///
+/// Created by [`Dataset::iter_batches`]; each step slices a contiguous row
+/// range out of the dataset's image tensor.
+#[derive(Debug, Clone)]
+pub struct MiniBatches<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    next: usize,
+}
+
+impl Iterator for MiniBatches<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.next >= self.dataset.len() {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.batch_size).min(self.dataset.len());
+        self.next = end;
+        let images = self
+            .dataset
+            .images
+            .slice_rows(start, end)
+            .expect("range clamped to dataset length");
+        let labels = self.dataset.labels[start..end].to_vec();
+        Some(Batch { images, labels })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.dataset.len().saturating_sub(self.next);
+        let batches = remaining.div_ceil(self.batch_size);
+        (batches, Some(batches))
+    }
+}
+
+impl ExactSizeIterator for MiniBatches<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -228,6 +301,46 @@ mod tests {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(0);
         ds.batches(0, false, &mut rng);
+    }
+
+    #[test]
+    fn iter_batches_is_deterministic_and_in_order() {
+        let ds = dataset();
+        let batches: Vec<Batch> = ds.iter_batches(4).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].labels, vec![0, 1, 2, 0]);
+        assert_eq!(batches[1].labels, vec![1, 2]);
+        assert_eq!(batches[0].images.shape(), &[4, 1, 2, 2]);
+        assert_eq!(batches[1].images.shape(), &[2, 1, 2, 2]);
+        // Two passes yield identical batches.
+        let again: Vec<Batch> = ds.iter_batches(4).collect();
+        assert_eq!(batches, again);
+        // Rows match the underlying tensor exactly.
+        assert_eq!(
+            batches[1].images.data(),
+            &ds.images().data()[4 * 4..6 * 4],
+            "second batch holds rows 4..6"
+        );
+    }
+
+    #[test]
+    fn iter_batches_size_hint_is_exact() {
+        let ds = dataset();
+        let mut it = ds.iter_batches(4);
+        assert_eq!(it.len(), 2);
+        it.next();
+        assert_eq!(it.len(), 1);
+        it.next();
+        assert_eq!(it.len(), 0);
+        assert!(it.next().is_none());
+        // Batch size larger than the dataset yields one full-dataset batch.
+        assert_eq!(ds.iter_batches(100).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn iter_batches_zero_batch_size_panics() {
+        dataset().iter_batches(0);
     }
 
     #[test]

@@ -29,6 +29,6 @@ mod dataset;
 mod ff_samples;
 mod synthetic;
 
-pub use dataset::{Batch, Dataset};
+pub use dataset::{Batch, Dataset, MiniBatches};
 pub use ff_samples::{embed_label, make_negative_labels, positive_negative_sets};
 pub use synthetic::{synthetic_cifar10, synthetic_mnist, SyntheticConfig};

@@ -1,7 +1,8 @@
 //! # ff-metrics
 //!
-//! Training histories, accuracy helpers and plain-text table/series
-//! formatting shared by the FF-INT8 experiments and benchmarks.
+//! Training histories, accuracy helpers, plain-text table/series formatting,
+//! and the bounded-memory latency histogram shared by the FF-INT8
+//! experiments, benchmarks and the `ff-serve` stats endpoint.
 //!
 //! # Examples
 //!
@@ -18,7 +19,9 @@
 #![warn(missing_docs)]
 
 mod history;
+mod latency;
 mod table;
 
 pub use history::{accuracy, EpochRecord, TrainingHistory};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use table::{format_series, format_table};

@@ -283,6 +283,17 @@ impl Layer for Dense {
     fn forward_macs(&self, batch: usize) -> u64 {
         (batch * self.in_features * self.out_features) as u64
     }
+
+    fn snapshot(&self) -> Option<crate::LayerSnapshot> {
+        // Deterministic nearest rounding: the same codes a cached weight
+        // plan ([`QGemmPlan::from_tensor`]) would hold for these weights, so
+        // freezing is a pure function of the trained parameters.
+        Some(crate::LayerSnapshot::Dense {
+            weight: QuantTensor::quantize(&self.weight, ff_quant::Rounding::Nearest),
+            bias: self.bias.clone(),
+            relu: self.fused_relu,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -534,6 +545,31 @@ mod tests {
         );
         // Backward after the switch uses the fp32 path and succeeds.
         layer.backward(&Tensor::ones(&[2, 3])).unwrap();
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_matches_weight_plan_codes() {
+        let layer = Dense::new(6, 4, true, &mut rng());
+        let (s1, s2) = (layer.snapshot().unwrap(), layer.snapshot().unwrap());
+        let (
+            crate::LayerSnapshot::Dense { weight: w1, .. },
+            crate::LayerSnapshot::Dense {
+                weight: w2,
+                bias,
+                relu,
+            },
+        ) = (s1, s2)
+        else {
+            panic!("dense layers snapshot as Dense");
+        };
+        assert_eq!(w1.codes(), w2.codes(), "freezing is deterministic");
+        assert_eq!(w1.scale(), w2.scale());
+        assert_eq!(bias.data(), layer.bias().data());
+        assert!(relu);
+        // Identical to the codes a training-time weight plan would cache.
+        let plan = ff_quant::QGemmPlan::from_tensor(layer.weight(), 0).unwrap();
+        assert_eq!(w1.codes(), plan.quant().codes());
+        assert_eq!(w1.scale(), plan.scale());
     }
 
     #[test]

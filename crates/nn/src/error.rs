@@ -20,6 +20,14 @@ pub enum NnError {
         /// Name of the layer reporting the problem.
         layer: &'static str,
     },
+    /// The requested operation is not implemented for this layer type
+    /// (e.g. freezing a convolution layer for inference export).
+    UnsupportedLayer {
+        /// Name of the layer that lacks the capability.
+        layer: &'static str,
+        /// The operation that was requested.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -31,6 +39,9 @@ impl fmt::Display for NnError {
             }
             NnError::MissingForwardState { layer } => {
                 write!(f, "`{layer}` backward called before forward")
+            }
+            NnError::UnsupportedLayer { layer, operation } => {
+                write!(f, "`{layer}` does not support {operation}")
             }
         }
     }
@@ -69,6 +80,11 @@ mod tests {
         assert!(i.to_string().contains("dense"));
         let m = NnError::MissingForwardState { layer: "conv2d" };
         assert!(m.to_string().contains("before forward"));
+        let u = NnError::UnsupportedLayer {
+            layer: "conv2d",
+            operation: "inference snapshot",
+        };
+        assert!(u.to_string().contains("does not support"));
     }
 
     #[test]

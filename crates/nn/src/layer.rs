@@ -1,7 +1,8 @@
-//! The [`Layer`] trait and shared parameter handles.
+//! The [`Layer`] trait, shared parameter handles, and frozen-layer
+//! snapshots for inference export.
 
 use crate::Result;
-use ff_quant::Rounding;
+use ff_quant::{QuantTensor, Rounding};
 use ff_tensor::Tensor;
 
 /// Numeric mode of a forward pass.
@@ -58,6 +59,41 @@ impl ParamRefMut<'_> {
     }
 }
 
+/// An immutable, training-free description of one layer, extracted by
+/// [`Layer::snapshot`] for inference export.
+///
+/// A snapshot captures exactly what a *serving* engine needs — INT8 weight
+/// codes with their scale, the fp32 bias, the activation flag, and shape
+/// metadata — and nothing the training loop needs (gradients, caches,
+/// optimizer state). `ff-serve` turns a `Vec<LayerSnapshot>` into a frozen
+/// model and a versioned binary artifact.
+#[derive(Debug, Clone)]
+pub enum LayerSnapshot {
+    /// A dense layer: `y = act(x · Wᵀ + b)` with `W` stored `[out, in]` and
+    /// quantized to INT8 with deterministic nearest rounding.
+    Dense {
+        /// The quantized weight matrix, shape `[out_features, in_features]`.
+        weight: QuantTensor,
+        /// The fp32 bias vector, length `out_features`.
+        bias: Tensor,
+        /// `true` when the layer applies a fused ReLU.
+        relu: bool,
+    },
+    /// A flatten layer: reshapes `[batch, ...]` to `[batch, features]`
+    /// (a no-op on already-flat serving inputs).
+    Flatten,
+}
+
+impl LayerSnapshot {
+    /// Short human-readable kind name (used in error messages and reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerSnapshot::Dense { .. } => "dense",
+            LayerSnapshot::Flatten => "flatten",
+        }
+    }
+}
+
 /// A neural-network layer with an explicit backward pass.
 ///
 /// Layers cache whatever their own backward pass needs during `forward`;
@@ -109,6 +145,14 @@ pub trait Layer {
     fn forward_macs(&self, batch: usize) -> u64 {
         let _ = batch;
         0
+    }
+
+    /// Extracts an immutable inference snapshot of this layer, or `None`
+    /// when the layer type has no frozen representation yet (convolutions,
+    /// normalization, residual blocks). [`crate::Sequential::snapshots`]
+    /// turns a `None` into a typed error naming the layer.
+    fn snapshot(&self) -> Option<LayerSnapshot> {
+        None
     }
 }
 

@@ -45,7 +45,7 @@ pub use activation::Relu;
 pub use conv_layers::Conv2d;
 pub use dense::Dense;
 pub use error::NnError;
-pub use layer::{ForwardMode, Layer, ParamRefMut};
+pub use layer::{ForwardMode, Layer, LayerSnapshot, ParamRefMut};
 pub use loss::{mse_loss, softmax_cross_entropy, SoftmaxCrossEntropyOutput};
 pub use network::Sequential;
 pub use norm::BatchNorm2d;

@@ -1,7 +1,7 @@
 //! A sequential stack of layers.
 
-use crate::layer::{ForwardMode, Layer, ParamRefMut};
-use crate::Result;
+use crate::layer::{ForwardMode, Layer, LayerSnapshot, ParamRefMut};
+use crate::{NnError, Result};
 use ff_tensor::Tensor;
 
 /// A feed-forward network composed of layers executed in order.
@@ -150,6 +150,26 @@ impl Sequential {
     pub fn predict(&mut self, input: &Tensor, mode: ForwardMode) -> Result<Vec<usize>> {
         Ok(self.forward(input, mode)?.argmax_rows())
     }
+
+    /// Extracts an immutable inference snapshot of every layer, in order —
+    /// the export half of model freezing (`ff-serve` turns the snapshots
+    /// into a frozen model and a binary artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedLayer`] naming the first layer that has
+    /// no frozen representation (see [`Layer::snapshot`]).
+    pub fn snapshots(&self) -> Result<Vec<LayerSnapshot>> {
+        self.layers
+            .iter()
+            .map(|layer| {
+                layer.snapshot().ok_or(NnError::UnsupportedLayer {
+                    layer: layer.name(),
+                    operation: "inference snapshot",
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +250,38 @@ mod tests {
             .map(|p| p.grad.max_abs())
             .fold(0.0, f32::max);
         assert_eq!(after, 0.0);
+    }
+
+    #[test]
+    fn snapshots_capture_every_dense_layer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = xor_like_net(&mut rng);
+        let snaps = net.snapshots().unwrap();
+        assert_eq!(snaps.len(), 2);
+        match &snaps[0] {
+            crate::LayerSnapshot::Dense { weight, bias, relu } => {
+                assert_eq!(weight.shape(), &[16, 2]);
+                assert_eq!(bias.shape(), &[16]);
+                assert!(*relu);
+            }
+            other => panic!("expected dense snapshot, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn snapshots_reject_unsupported_layers() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut net = Sequential::new();
+        net.push(Box::new(
+            crate::Conv2d::new(1, 2, 3, 1, 1, false, &mut rng).unwrap(),
+        ));
+        assert!(matches!(
+            net.snapshots(),
+            Err(NnError::UnsupportedLayer {
+                layer: "conv2d",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -131,6 +131,10 @@ impl Layer for Flatten {
         }
         Ok(grad_output.reshape(&self.cached_shape)?)
     }
+
+    fn snapshot(&self) -> Option<crate::LayerSnapshot> {
+        Some(crate::LayerSnapshot::Flatten)
+    }
 }
 
 #[cfg(test)]

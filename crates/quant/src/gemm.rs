@@ -185,6 +185,62 @@ pub fn int8_gemm_prepacked(
     relu: bool,
     threads: Option<usize>,
 ) -> Result<(Tensor, Option<Tensor>)> {
+    let epilogue = Epilogue {
+        scale: ScaleSpec::Uniform(scale),
+        bias,
+        relu,
+    };
+    int8_gemm_prepacked_inner(packed_a, packed_b, &epilogue, relu, threads)
+}
+
+/// [`int8_gemm_prepacked`] with a **per-row** dequantization scale and no
+/// gradient-mask output — the inference entry point.
+///
+/// Output row `i` is dequantized with `row_scales[i] * b_scale`, which is
+/// what a per-row-quantized activation batch ([`crate::RowQuantTensor`])
+/// against a shared per-tensor weight plan needs: every output row then
+/// depends only on its own input row, so results are bit-identical no matter
+/// how rows are batched together. `relu` clamps negatives in the epilogue;
+/// no mask is produced because inference has no backward pass.
+///
+/// # Errors
+///
+/// Returns shape errors when the packed depths disagree, `row_scales` is not
+/// one scale per output row, or the bias length is not `n`.
+pub fn int8_gemm_prepacked_rowscale(
+    packed_a: &PackedA,
+    packed_b: &PackedB,
+    row_scales: &[f32],
+    b_scale: f32,
+    bias: Option<&Tensor>,
+    relu: bool,
+    threads: Option<usize>,
+) -> Result<Tensor> {
+    if row_scales.len() != packed_a.m {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![row_scales.len()],
+            right: vec![packed_a.m],
+            op: "int8_gemm_prepacked_rowscale row_scales",
+        });
+    }
+    let epilogue = Epilogue {
+        scale: ScaleSpec::PerRow {
+            row_scales,
+            b_scale,
+        },
+        bias,
+        relu,
+    };
+    Ok(int8_gemm_prepacked_inner(packed_a, packed_b, &epilogue, false, threads)?.0)
+}
+
+fn int8_gemm_prepacked_inner(
+    packed_a: &PackedA,
+    packed_b: &PackedB,
+    epilogue: &Epilogue<'_>,
+    want_mask: bool,
+    threads: Option<usize>,
+) -> Result<(Tensor, Option<Tensor>)> {
     let (m, k, n) = (packed_a.m, packed_a.k, packed_b.n);
     if packed_a.k != packed_b.k {
         return Err(TensorError::ShapeMismatch {
@@ -193,25 +249,23 @@ pub fn int8_gemm_prepacked(
             op: "int8_gemm_prepacked",
         });
     }
-    let bias_data = match bias {
-        Some(bias) if bias.len() != n => {
+    if let Some(bias) = epilogue.bias {
+        if bias.len() != n {
             return Err(TensorError::ShapeMismatch {
                 left: bias.shape().to_vec(),
                 right: vec![n],
                 op: "int8_gemm bias",
             });
         }
-        Some(bias) => Some(bias.data()),
-        None => None,
-    };
+    }
     let threads = threads.unwrap_or_else(|| worker_count(m * n * k, m.div_ceil(MR)));
     let mut out = vec![0.0f32; m * n];
-    let mut mask = if relu {
+    let mut mask = if want_mask {
         vec![0.0f32; m * n]
     } else {
         Vec::new()
     };
-    let mask_slice = if relu { Some(&mut mask[..]) } else { None };
+    let mask_slice = if want_mask { Some(&mut mask[..]) } else { None };
     shard_rows(
         &mut out,
         mask_slice,
@@ -225,18 +279,49 @@ pub fn int8_gemm_prepacked(
                 first_row,
                 panel,
                 mask_panel.as_deref_mut(),
-                scale,
-                bias_data,
+                epilogue,
             );
         },
     )?;
     let out = Tensor::from_vec(&[m, n], out)?;
-    let mask = if relu {
+    let mask = if want_mask {
         Some(Tensor::from_vec(&[m, n], mask)?)
     } else {
         None
     };
     Ok((out, mask))
+}
+
+/// How the epilogue dequantizes `i32` accumulators into `f32` output.
+#[derive(Debug, Clone, Copy)]
+enum ScaleSpec<'a> {
+    /// One scale for the whole output (product of two per-tensor scales).
+    Uniform(f32),
+    /// Per-output-row scales: row `i` uses `row_scales[i] * b_scale`
+    /// (per-row-quantized `A` against a per-tensor-quantized `B`).
+    PerRow { row_scales: &'a [f32], b_scale: f32 },
+}
+
+impl ScaleSpec<'_> {
+    #[inline]
+    fn for_row(&self, row: usize) -> f32 {
+        match *self {
+            ScaleSpec::Uniform(s) => s,
+            ScaleSpec::PerRow {
+                row_scales,
+                b_scale,
+            } => row_scales[row] * b_scale,
+        }
+    }
+}
+
+/// The fused post-GEMM pass: dequantization scale(s), optional per-column
+/// bias, optional ReLU clamp.
+#[derive(Debug, Clone, Copy)]
+struct Epilogue<'a> {
+    scale: ScaleSpec<'a>,
+    bias: Option<&'a Tensor>,
+    relu: bool,
 }
 
 /// Runs the blocked kernel for one thread's panel of output rows.
@@ -251,9 +336,9 @@ fn gemm_worker(
     first_row: usize,
     panel: &mut [f32],
     mut mask_panel: Option<&mut [f32]>,
-    scale: f32,
-    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
 ) {
+    let bias = epilogue.bias.map(Tensor::data);
     let n = packed_b.n;
     let k2 = packed_a.k2;
     if n == 0 {
@@ -283,10 +368,16 @@ fn gemm_worker(
                 // The first depth block overwrites the staging tile instead
                 // of accumulating, which saves zero-filling `cbuf`.
                 let overwrite = pc2 == 0;
-                for is in 0..mc_pad / MR {
-                    let a_slab = packed_a.strip_at(first_strip + (ic / MR) + is, pc2, kc2);
-                    for js in 0..nc_pad / NR {
-                        let b_slab = packed_b.strip_at(jc / NR + js, pc2, kc2);
+                // GotoBLAS loop order: B strip outer, A strips inner, so one
+                // `b_slab` stays cache-resident across every A strip of the
+                // row block — the reuse that makes batched inference GEMMs
+                // (several A strips, shared weights) scale past single-row
+                // cost. Tile results are independent, so this ordering is
+                // bit-identical to any other.
+                for js in 0..nc_pad / NR {
+                    let b_slab = packed_b.strip_at(jc / NR + js, pc2, kc2);
+                    for is in 0..mc_pad / MR {
+                        let a_slab = packed_a.strip_at(first_strip + (ic / MR) + is, pc2, kc2);
                         let c_tile = &mut cbuf[(is * MR) * nc_pad + js * NR..];
                         if pairwise {
                             micro_kernel_pairwise(a_slab, b_slab, kc2, c_tile, nc_pad, overwrite);
@@ -301,6 +392,7 @@ fn gemm_worker(
             for r in 0..mc_real {
                 let acc_row = &cbuf[r * nc_pad..r * nc_pad + nc_real];
                 let row = ic + r;
+                let scale = epilogue.scale.for_row(first_row + row);
                 let out_row = &mut panel[row * n + jc..row * n + jc + nc_real];
                 match bias {
                     Some(bias) => {
@@ -315,14 +407,27 @@ fn gemm_worker(
                         }
                     }
                 }
-                if let Some(mask_panel) = mask_panel.as_deref_mut() {
-                    let mask_row = &mut mask_panel[row * n + jc..row * n + jc + nc_real];
-                    for (o, mk) in out_row.iter_mut().zip(mask_row) {
-                        if *o > 0.0 {
-                            *mk = 1.0;
-                        } else {
-                            *o = 0.0;
-                            *mk = 0.0;
+                if epilogue.relu {
+                    match mask_panel.as_deref_mut() {
+                        Some(mask_panel) => {
+                            let mask_row = &mut mask_panel[row * n + jc..row * n + jc + nc_real];
+                            for (o, mk) in out_row.iter_mut().zip(mask_row) {
+                                if *o > 0.0 {
+                                    *mk = 1.0;
+                                } else {
+                                    *o = 0.0;
+                                    *mk = 0.0;
+                                }
+                            }
+                        }
+                        None => {
+                            // Same predicate as the mask path (`> 0.0`
+                            // keeps, everything else — including −0.0 and
+                            // NaN — becomes +0.0) so the two ReLU paths stay
+                            // bit-identical for every input.
+                            for o in out_row.iter_mut() {
+                                *o = if *o > 0.0 { *o } else { 0.0 };
+                            }
                         }
                     }
                 }

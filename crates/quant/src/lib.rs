@@ -19,7 +19,12 @@
 //! packed **once** into a cached [`QGemmPlan`] ([`plan`]) and fed to the
 //! engine through [`gemm::int8_gemm_prepacked`], so per-step GEMM cost
 //! scales with the activations only; the plan is rebuilt lazily when the
-//! optimizer bumps the owning layer's parameter version. The naive
+//! optimizer bumps the owning layer's parameter version. For inference,
+//! the immutable [`SharedGemmPlan`] packs a weight's panels eagerly and is
+//! `Sync`, and [`int8_matmul_a_bt_shared_rows`] runs it against a
+//! **per-row-quantized** activation batch ([`RowQuantTensor`]) through the
+//! per-row-scale epilogue — making results independent of how samples are
+//! batched, the contract `ff-serve`'s micro-batcher is built on. The naive
 //! triple-loop kernels survive as test oracles in [`gemm::reference`]; the
 //! blocked engine — planned or not — matches them bit-exactly for every
 //! shape. See [`gemm`] for the kernel design, [`pack`] for the panel
@@ -54,13 +59,14 @@ pub mod plan;
 pub mod stats;
 
 pub use gemm::{
-    int8_gemm, int8_gemm_op_count, int8_gemm_prepacked, int8_matmul, int8_matmul_a_bt,
-    int8_matmul_a_bt_fused, int8_matmul_at_b, GemmVariant,
+    int8_gemm, int8_gemm_op_count, int8_gemm_prepacked, int8_gemm_prepacked_rowscale, int8_matmul,
+    int8_matmul_a_bt, int8_matmul_a_bt_fused, int8_matmul_at_b, GemmVariant,
 };
 pub use plan::{
-    int8_matmul_a_bt_planned, int8_matmul_at_b_planned, int8_matmul_planned, QGemmPlan,
+    int8_matmul_a_bt_planned, int8_matmul_a_bt_shared_rows, int8_matmul_at_b_planned,
+    int8_matmul_planned, QGemmPlan, SharedGemmPlan,
 };
-pub use qtensor::QuantTensor;
+pub use qtensor::{QuantTensor, RowQuantTensor};
 pub use suq::{
     compute_scale, dequantize_value, quantize_slice, quantize_value, QuantConfig, Rounding, QMAX,
     QMIN,

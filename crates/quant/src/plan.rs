@@ -85,9 +85,9 @@
 //! # }
 //! ```
 
-use crate::gemm::int8_gemm_prepacked;
+use crate::gemm::{int8_gemm_prepacked, int8_gemm_prepacked_rowscale};
 use crate::pack::{PackSource, PackedA, PackedB};
-use crate::{QuantTensor, Result, Rounding};
+use crate::{QuantTensor, Result, Rounding, RowQuantTensor};
 use ff_tensor::{Tensor, TensorError};
 
 /// A reusable GEMM operand: quantized codes, per-tensor scale, and cached
@@ -241,6 +241,139 @@ impl QGemmPlan {
         let bt = self.packed_b_t.as_ref().map_or(0, PackedB::byte_size);
         a + at + b + bt
     }
+}
+
+/// An immutable, thread-shareable (`Send + Sync`) packed-weight plan.
+///
+/// [`QGemmPlan`] is built for *training*: it is owned by one layer, its
+/// panel packings build lazily behind `&mut self`, and it is invalidated and
+/// rebuilt whenever the optimizer moves the weights. Inference has the
+/// opposite profile — weights never change, but **many threads** need the
+/// same packed panels concurrently. `SharedGemmPlan` serves that case: it
+/// quantizes (deterministic nearest) and packs the weight's transposed-`B`
+/// panels **eagerly at construction**, then exposes everything through
+/// `&self`, so one plan wrapped in an `Arc` can feed every worker of a
+/// serving engine through [`int8_matmul_a_bt_shared_rows`] with zero
+/// synchronization.
+///
+/// Only the `A·Bᵀ` role is packed because that is the only GEMM inference
+/// runs (`activations [m, k] × weightᵀ [n, k]`); training's other roles stay
+/// on [`QGemmPlan`].
+///
+/// # Examples
+///
+/// ```
+/// use ff_quant::{int8_matmul_a_bt_shared_rows, RowQuantTensor, SharedGemmPlan};
+/// use ff_tensor::Tensor;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let w = Tensor::from_vec(&[2, 3], vec![0.5, -0.25, 1.0, 0.75, -0.5, 0.25])?;
+/// let plan = Arc::new(SharedGemmPlan::from_tensor(&w)?);
+/// // Any number of threads can now run GEMMs against `plan` concurrently.
+/// let x = RowQuantTensor::quantize(&Tensor::from_vec(&[1, 3], vec![1.0, 0.5, -1.0])?)?;
+/// let y = int8_matmul_a_bt_shared_rows(&x, &plan, None, false, None)?;
+/// assert_eq!(y.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedGemmPlan {
+    quant: QuantTensor,
+    packed_b_t: PackedB,
+}
+
+impl SharedGemmPlan {
+    /// Quantizes a rank-2 weight tensor (stored `[n, k]`, deterministic
+    /// nearest rounding) and packs its transposed-`B` panels eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when `tensor` is not rank 2.
+    pub fn from_tensor(tensor: &Tensor) -> Result<Self> {
+        check_rank2(tensor.shape())?;
+        Self::from_quant(QuantTensor::quantize(tensor, Rounding::Nearest))
+    }
+
+    /// Wraps an already-quantized rank-2 tensor (e.g. codes loaded from a
+    /// frozen model artifact), packing its transposed-`B` panels eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when `quant` is not rank 2.
+    pub fn from_quant(quant: QuantTensor) -> Result<Self> {
+        let (n, k) = check_rank2(quant.shape())?;
+        let packed_b_t = PackedB::pack(quant.codes(), k, n, PackSource::Transposed);
+        Ok(SharedGemmPlan { quant, packed_b_t })
+    }
+
+    /// The quantized tensor the plan wraps.
+    pub fn quant(&self) -> &QuantTensor {
+        &self.quant
+    }
+
+    /// The per-tensor symmetric scale of the quantized codes.
+    pub fn scale(&self) -> f32 {
+        self.quant.scale()
+    }
+
+    /// The stored (row-major) shape of the planned tensor, `[n, k]`.
+    pub fn shape(&self) -> &[usize] {
+        self.quant.shape()
+    }
+
+    /// The eagerly packed transposed-`B` panels (the `A·Bᵀ` role).
+    pub fn packed_as_b_transposed(&self) -> &PackedB {
+        &self.packed_b_t
+    }
+
+    /// Bytes held by the packed panels (diagnostics).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed_b_t.byte_size()
+    }
+}
+
+/// `a [m, k] × planᵀ` with a **per-row-quantized** activation batch against
+/// an immutable shared weight plan — the inference GEMM.
+///
+/// Each output row `i` is dequantized with `a.scales()[i] · plan.scale()`,
+/// so the result for a sample is a pure function of that sample and the
+/// weights: batching any set of samples together produces bit-identical
+/// rows (the foundation of `ff-serve`'s micro-batching correctness).
+/// Bias/ReLU fuse into the epilogue; no gradient mask is produced.
+///
+/// `threads` behaves as in [`crate::int8_gemm`]: `None` picks automatically,
+/// `Some(t)` forces `t` workers (serving engines pin this to `1` and get
+/// their parallelism from concurrent worker threads instead).
+///
+/// # Errors
+///
+/// Returns rank/shape errors when `a` and the plan are not conformable or
+/// `bias` is not a length-`n` vector.
+pub fn int8_matmul_a_bt_shared_rows(
+    a: &RowQuantTensor,
+    plan: &SharedGemmPlan,
+    bias: Option<&Tensor>,
+    relu: bool,
+    threads: Option<usize>,
+) -> Result<Tensor> {
+    if a.cols() != plan.shape()[1] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![a.rows(), a.cols()],
+            right: plan.shape().to_vec(),
+            op: "int8_matmul_a_bt_shared_rows",
+        });
+    }
+    let packed_a = PackedA::pack(a.codes(), a.rows(), a.cols(), PackSource::RowMajor);
+    int8_gemm_prepacked_rowscale(
+        &packed_a,
+        plan.packed_as_b_transposed(),
+        a.scales(),
+        plan.scale(),
+        bias,
+        relu,
+        threads,
+    )
 }
 
 fn check_operand_rank2(q: &QuantTensor, op: &'static str) -> Result<(usize, usize)> {
@@ -439,6 +572,69 @@ mod tests {
         let qv = QuantTensor::from_codes(&[4], vec![1; 4], 0.1).unwrap();
         let mut plan = QGemmPlan::from_quant(random_quant(&[8, 3], 11), 0).unwrap();
         assert!(int8_matmul_a_bt_planned(&qv, &mut plan, None, false).is_err());
+    }
+
+    #[test]
+    fn shared_plan_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedGemmPlan>();
+    }
+
+    #[test]
+    fn shared_plan_matches_mutable_plan_on_shared_scale_inputs() {
+        // A single-row input has identical per-row and per-tensor scales, so
+        // the shared (row-scale) path must agree bit-exactly with the
+        // training-time planned path.
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = ff_tensor::init::uniform(&[7, 13], -1.0, 1.0, &mut rng);
+        let x = ff_tensor::init::uniform(&[1, 13], -1.0, 1.0, &mut rng);
+        let bias = ff_tensor::init::uniform(&[7], -0.5, 0.5, &mut rng);
+        let shared = SharedGemmPlan::from_tensor(&w).unwrap();
+        let rows = RowQuantTensor::quantize(&x).unwrap();
+        let got = int8_matmul_a_bt_shared_rows(&rows, &shared, Some(&bias), true, None).unwrap();
+        let mut plan = QGemmPlan::from_tensor(&w, 0).unwrap();
+        let qx = QuantTensor::quantize(&x, Rounding::Nearest);
+        let (expect, _) = int8_matmul_a_bt_planned(&qx, &mut plan, Some(&bias), true).unwrap();
+        assert_eq!(got.data(), expect.data());
+    }
+
+    #[test]
+    fn shared_rows_results_are_batching_invariant() {
+        // Row i of a batched GEMM must equal the single-row GEMM of row i:
+        // the correctness foundation of micro-batched serving.
+        let mut rng = StdRng::seed_from_u64(22);
+        let w = ff_tensor::init::uniform(&[9, 17], -1.0, 1.0, &mut rng);
+        let shared = SharedGemmPlan::from_tensor(&w).unwrap();
+        let batch = ff_tensor::init::uniform(&[5, 17], -2.0, 2.0, &mut rng);
+        let q_batch = RowQuantTensor::quantize(&batch).unwrap();
+        let batched = int8_matmul_a_bt_shared_rows(&q_batch, &shared, None, false, None).unwrap();
+        for i in 0..5 {
+            let row = batch.slice_rows(i, i + 1).unwrap();
+            let q_row = RowQuantTensor::quantize(&row).unwrap();
+            let single = int8_matmul_a_bt_shared_rows(&q_row, &shared, None, false, None).unwrap();
+            assert_eq!(single.data(), batched.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn shared_plan_metadata_and_errors() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let w = ff_tensor::init::uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let shared = SharedGemmPlan::from_tensor(&w).unwrap();
+        assert_eq!(shared.shape(), &[4, 6]);
+        assert!(shared.scale() > 0.0);
+        assert!(shared.packed_bytes() > 0, "panels are packed eagerly");
+        assert_eq!(shared.quant().shape(), &[4, 6]);
+        assert!(SharedGemmPlan::from_tensor(&Tensor::ones(&[4])).is_err());
+        // Mismatched activation width is rejected.
+        let bad = RowQuantTensor::quantize(&Tensor::ones(&[2, 5])).unwrap();
+        assert!(int8_matmul_a_bt_shared_rows(&bad, &shared, None, false, None).is_err());
+        // Bad bias length is rejected.
+        let ok = RowQuantTensor::quantize(&Tensor::ones(&[2, 6])).unwrap();
+        assert!(
+            int8_matmul_a_bt_shared_rows(&ok, &shared, Some(&Tensor::ones(&[3])), false, None)
+                .is_err()
+        );
     }
 
     #[test]

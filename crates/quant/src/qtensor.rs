@@ -1,6 +1,8 @@
-//! The [`QuantTensor`] container: INT8 codes plus a per-tensor scale.
+//! The [`QuantTensor`] container: INT8 codes plus a per-tensor scale, and
+//! the per-row variant [`RowQuantTensor`] used by batching-invariant
+//! inference.
 
-use crate::suq::{compute_scale, quantize_slice, QuantConfig, Rounding};
+use crate::suq::{compute_scale, quantize_slice, QuantConfig, Rounding, QMAX, QMIN};
 use crate::Result;
 use ff_tensor::{Tensor, TensorError};
 use rand::Rng;
@@ -165,6 +167,112 @@ impl QuantTensor {
     }
 }
 
+/// A rank-2 tensor quantized to INT8 with one symmetric scale **per row**.
+///
+/// The per-tensor [`QuantTensor`] couples every sample in a batch through a
+/// single shared scale, so the quantized codes of one row depend on which
+/// other rows happen to share the batch. Per-row quantization removes that
+/// coupling: row `i`'s codes and scale are a pure function of row `i` alone,
+/// which is what makes micro-batched inference (`ff-serve`) **bit-exact**
+/// regardless of how concurrent requests are coalesced into batches.
+///
+/// Rounding is always deterministic nearest (the mode the paper uses for
+/// activations), so quantization itself is reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use ff_quant::RowQuantTensor;
+/// use ff_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ff_tensor::TensorError> {
+/// let x = Tensor::from_vec(&[2, 3], vec![1.0, -0.5, 0.25, 100.0, 50.0, -25.0])?;
+/// let q = RowQuantTensor::quantize(&x)?;
+/// // Each row uses its own max-abs scale, so the small first row is not
+/// // crushed by the large second row.
+/// assert!(q.scales()[0] < q.scales()[1]);
+/// assert_eq!(q.codes()[0], 127); // row max quantizes to QMAX
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowQuantTensor {
+    rows: usize,
+    cols: usize,
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl RowQuantTensor {
+    /// Quantizes a rank-2 tensor row by row with nearest rounding and one
+    /// max-abs symmetric scale per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when `tensor` is not rank 2.
+    pub fn quantize(tensor: &Tensor) -> Result<Self> {
+        if tensor.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: tensor.ndim(),
+                op: "RowQuantTensor",
+            });
+        }
+        let rows = tensor.shape()[0];
+        let cols = tensor.shape()[1];
+        let mut codes = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let row = tensor.row(i);
+            let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = compute_scale(max_abs);
+            codes.extend(row.iter().map(|&v| {
+                // Same arithmetic as `quantize_value` with `Rounding::Nearest`,
+                // inlined so no RNG has to be threaded through.
+                (v / scale).round().clamp(QMIN as f32, QMAX as f32) as i8
+            }));
+            scales.push(scale);
+        }
+        Ok(RowQuantTensor {
+            rows,
+            cols,
+            codes,
+            scales,
+        })
+    }
+
+    /// Number of rows (samples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The row-major INT8 codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// One symmetric scale per row.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the real-valued tensor `codes[i, j] · scales[i]`.
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self
+            .codes
+            .chunks(self.cols.max(1))
+            .zip(&self.scales)
+            .flat_map(|(row, &s)| row.iter().map(move |&c| c as f32 * s))
+            .collect();
+        Tensor::from_vec(&[self.rows, self.cols], data).expect("dequantize preserves element count")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +342,57 @@ mod tests {
         let t = Tensor::from_vec(&[3], vec![0.5, -0.5, 0.25]).unwrap();
         let q = QuantTensor::quantize(&t, Rounding::Stochastic);
         assert_eq!(q.shape(), &[3]);
+    }
+
+    #[test]
+    fn row_quant_rejects_non_rank2() {
+        assert!(RowQuantTensor::quantize(&Tensor::ones(&[4])).is_err());
+        assert!(RowQuantTensor::quantize(&Tensor::ones(&[2, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn row_quant_is_independent_per_row() {
+        // A row's codes must not change when it is batched with other rows —
+        // the property micro-batched serving relies on.
+        let a = Tensor::from_vec(&[1, 4], vec![0.1, -0.05, 0.02, 0.08]).unwrap();
+        let b = Tensor::from_vec(&[1, 4], vec![50.0, -20.0, 10.0, 5.0]).unwrap();
+        let stacked = a.concat_rows(&b).unwrap();
+        let qa = RowQuantTensor::quantize(&a).unwrap();
+        let qs = RowQuantTensor::quantize(&stacked).unwrap();
+        assert_eq!(qa.codes(), &qs.codes()[..4]);
+        assert_eq!(qa.scales()[0], qs.scales()[0]);
+    }
+
+    #[test]
+    fn row_quant_roundtrip_error_bounded_per_row() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.9, -0.5, 0.1, 90.0, -50.0, 10.0]).unwrap();
+        let q = RowQuantTensor::quantize(&t).unwrap();
+        assert_eq!(q.rows(), 2);
+        assert_eq!(q.cols(), 3);
+        let back = q.dequantize();
+        for i in 0..2 {
+            for (a, b) in t.row(i).iter().zip(back.row(i)) {
+                assert!((a - b).abs() <= q.scales()[i] / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn row_quant_matches_per_tensor_path_on_single_row() {
+        // For a single row the per-row and per-tensor quantizers see the same
+        // max-abs, so their codes must agree bit-exactly.
+        let t = Tensor::from_vec(&[1, 5], vec![0.3, -0.9, 0.45, 0.0, 0.9]).unwrap();
+        let per_row = RowQuantTensor::quantize(&t).unwrap();
+        let per_tensor = QuantTensor::quantize_with_rng(&t, QuantConfig::default(), &mut rng());
+        assert_eq!(per_row.codes(), per_tensor.codes());
+        assert_eq!(per_row.scales()[0], per_tensor.scale());
+    }
+
+    #[test]
+    fn row_quant_zero_row_stays_zero() {
+        let t = Tensor::zeros(&[2, 3]);
+        let q = RowQuantTensor::quantize(&t).unwrap();
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert!(q.scales().iter().all(|&s| s > 0.0));
     }
 }

@@ -10,8 +10,9 @@
 use ff_quant::gemm::reference;
 use ff_quant::{
     compute_scale, int8_gemm, int8_matmul, int8_matmul_a_bt, int8_matmul_a_bt_fused,
-    int8_matmul_a_bt_planned, int8_matmul_at_b, int8_matmul_at_b_planned, int8_matmul_planned,
-    GemmVariant, QGemmPlan, QuantConfig, QuantTensor, Rounding,
+    int8_matmul_a_bt_planned, int8_matmul_a_bt_shared_rows, int8_matmul_at_b,
+    int8_matmul_at_b_planned, int8_matmul_planned, GemmVariant, QGemmPlan, QuantConfig,
+    QuantTensor, Rounding, RowQuantTensor, SharedGemmPlan,
 };
 use ff_tensor::{linalg, Tensor};
 use proptest::prelude::*;
@@ -239,6 +240,67 @@ proptest! {
         prop_assert_eq!(planned.data(), uncached.data());
         let (mask_p, mask_u) = (mask_p.unwrap(), mask_u.unwrap());
         prop_assert_eq!(mask_p.data(), mask_u.data());
+    }
+
+    // ---- shared (inference) plans and per-row scales ----------------------
+
+    #[test]
+    fn shared_rows_gemm_is_batching_invariant_for_arbitrary_shapes(
+        m in 1usize..24, k in 1usize..48, n in 1usize..48, seed in 0u64..500, relu_bit in 0u64..2
+    ) {
+        // The micro-batcher's correctness contract: each output row of a
+        // batched per-row-quantized GEMM equals the single-row GEMM of that
+        // row alone, for any shape, with and without the fused ReLU.
+        let relu = relu_bit == 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = ff_tensor::init::uniform(&[n, k], -1.0, 1.0, &mut rng);
+        let x = ff_tensor::init::uniform(&[m, k], -3.0, 3.0, &mut rng);
+        let bias = ff_tensor::init::uniform(&[n], -0.5, 0.5, &mut rng);
+        let plan = SharedGemmPlan::from_tensor(&w).unwrap();
+        let q_batch = RowQuantTensor::quantize(&x).unwrap();
+        let batched =
+            int8_matmul_a_bt_shared_rows(&q_batch, &plan, Some(&bias), relu, None).unwrap();
+        for i in 0..m {
+            let row = x.slice_rows(i, i + 1).unwrap();
+            let q_row = RowQuantTensor::quantize(&row).unwrap();
+            let single =
+                int8_matmul_a_bt_shared_rows(&q_row, &plan, Some(&bias), relu, None).unwrap();
+            prop_assert_eq!(single.data(), batched.row(i));
+        }
+    }
+
+    #[test]
+    fn shared_rows_gemm_matches_rowwise_reference(
+        m in 1usize..16, k in 1usize..40, n in 1usize..40, seed in 0u64..500
+    ) {
+        // Against the naive oracle: row i must equal the per-tensor reference
+        // GEMM of row i alone (for one row, per-row and per-tensor
+        // quantization coincide).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = ff_tensor::init::uniform(&[n, k], -1.0, 1.0, &mut rng);
+        let x = ff_tensor::init::uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let plan = SharedGemmPlan::from_tensor(&w).unwrap();
+        let q_batch = RowQuantTensor::quantize(&x).unwrap();
+        let batched = int8_matmul_a_bt_shared_rows(&q_batch, &plan, None, false, None).unwrap();
+        let qw = QuantTensor::quantize(&w, Rounding::Nearest);
+        for i in 0..m {
+            let row = x.slice_rows(i, i + 1).unwrap();
+            let q_row = QuantTensor::quantize(&row, Rounding::Nearest);
+            let reference = reference::int8_matmul_a_bt(&q_row, &qw).unwrap();
+            prop_assert_eq!(reference.data(), batched.row(i));
+        }
+    }
+
+    #[test]
+    fn shared_rows_gemm_is_thread_count_invariant(threads in 1usize..=8, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = ff_tensor::init::uniform(&[27, 70], -1.0, 1.0, &mut rng);
+        let x = ff_tensor::init::uniform(&[33, 70], -1.0, 1.0, &mut rng);
+        let plan = SharedGemmPlan::from_tensor(&w).unwrap();
+        let q = RowQuantTensor::quantize(&x).unwrap();
+        let serial = int8_matmul_a_bt_shared_rows(&q, &plan, None, true, Some(1)).unwrap();
+        let threaded = int8_matmul_a_bt_shared_rows(&q, &plan, None, true, Some(threads)).unwrap();
+        prop_assert_eq!(serial.data(), threaded.data());
     }
 
     #[test]

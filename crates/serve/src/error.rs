@@ -1,0 +1,133 @@
+//! The typed error surface of the serving crate.
+//!
+//! Artifact loading never panics: every way a byte buffer can be malformed
+//! maps to a [`ServeError`] variant, which the round-trip and fuzz-style
+//! corruption tests exercise exhaustively.
+
+use ff_tensor::TensorError;
+use std::fmt;
+
+/// Error type for model freezing, artifact (de)serialization, and serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The network contains a layer type with no frozen representation.
+    UnsupportedLayer {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// The network (or a loaded artifact) is not a servable model — wrong
+    /// layer dimension chaining, no dense layer, zero classes, ...
+    InvalidModel {
+        /// What is wrong with the model.
+        message: String,
+    },
+    /// The artifact buffer does not start with the `FF8S` magic.
+    BadMagic,
+    /// The artifact declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u16,
+    },
+    /// The artifact buffer ends before a required field.
+    Truncated {
+        /// Which field or section the loader was reading.
+        context: &'static str,
+    },
+    /// The artifact is structurally invalid (bad lengths, unknown layer
+    /// kind, non-finite scale, trailing garbage, ...).
+    Corrupt {
+        /// What is inconsistent.
+        message: String,
+    },
+    /// A request does not match the model (wrong feature count, ...).
+    BadRequest {
+        /// What is wrong with the request.
+        message: String,
+    },
+    /// The server has shut down (or its worker dropped the reply channel).
+    ServerClosed,
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnsupportedLayer { layer } => {
+                write!(f, "layer `{layer}` has no frozen inference representation")
+            }
+            ServeError::InvalidModel { message } => write!(f, "invalid model: {message}"),
+            ServeError::BadMagic => write!(f, "not an FF8S artifact (bad magic)"),
+            ServeError::UnsupportedVersion { version } => {
+                write!(f, "unsupported artifact format version {version}")
+            }
+            ServeError::Truncated { context } => {
+                write!(f, "artifact truncated while reading {context}")
+            }
+            ServeError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::ServerClosed => write!(f, "server closed"),
+            ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let variants: Vec<ServeError> = vec![
+            ServeError::UnsupportedLayer {
+                layer: "conv2d".into(),
+            },
+            ServeError::InvalidModel {
+                message: "no dense layer".into(),
+            },
+            ServeError::BadMagic,
+            ServeError::UnsupportedVersion { version: 9 },
+            ServeError::Truncated { context: "header" },
+            ServeError::Corrupt {
+                message: "trailing bytes".into(),
+            },
+            ServeError::BadRequest {
+                message: "784 features expected".into(),
+            },
+            ServeError::ServerClosed,
+            TensorError::InvalidParameter {
+                message: "bad".into(),
+            }
+            .into(),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_points_to_tensor_error() {
+        use std::error::Error;
+        let e: ServeError = TensorError::InvalidParameter {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(ServeError::BadMagic.source().is_none());
+    }
+}

@@ -1,0 +1,560 @@
+//! The multi-threaded micro-batching inference server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients (any thread)            worker pool (config.workers threads)
+//!  ───────────────────             ─────────────────────────────────────
+//!  handle.predict(x) ──┐
+//!  handle.predict(y) ──┼──▶ mpsc request queue ──▶ worker locks the
+//!  handle.predict(z) ──┘                           receiver, takes one
+//!                                                  request, then drains
+//!                                                  more until max_batch
+//!                                                  or max_wait ──▶ one
+//!                                                  batched INT8 GEMM per
+//!                                                  layer ──▶ per-request
+//!                                                  reply channels
+//! ```
+//!
+//! Requests are submitted through a cloneable [`ServeHandle`] and answered
+//! through a per-request channel, so any number of client threads can block
+//! on their own predictions concurrently. Workers coalesce whatever is
+//! queued into one batch (bounded by [`BatchPolicy::max_batch`]), waiting at
+//! most [`BatchPolicy::max_wait`] after the first request for stragglers —
+//! under load batches fill instantly, while a lone request pays at most the
+//! configured wait.
+//!
+//! Because frozen models quantize per row (see [`crate::FrozenModel`]), a
+//! request's prediction is **bit-identical no matter which batch it lands
+//! in** — batching is purely a throughput optimization, verified by the
+//! batcher equivalence tests.
+//!
+//! Worker-level parallelism and GEMM-level parallelism compose: each worker
+//! runs its batch GEMMs with [`ServeConfig::gemm_threads`] threads
+//! (default 1), so the canonical scaling axis is the worker count.
+
+use crate::{FrozenModel, Result, ServeError};
+use ff_metrics::{LatencyHistogram, LatencySummary};
+use ff_tensor::Tensor;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How aggressively workers coalesce queued requests into batches.
+///
+/// A worker first drains whatever is already queued (up to `max_batch`).
+/// Only a **lone** request waits — at most `max_wait` — for company; as
+/// soon as a batch holds two or more requests it dispatches the moment the
+/// queue is momentarily empty, and a full `max_batch` dispatches
+/// immediately. Under sustained load batches therefore self-regulate to
+/// roughly "whatever arrived during the previous batch's GEMM", while a
+/// solitary request pays at most `max_wait` extra latency and an idle
+/// server never stalls a ready batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest number of requests fused into one GEMM batch.
+    pub max_batch: usize,
+    /// How long a lone request waits for a batch-mate. Zero means "take
+    /// only what is already queued".
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Which classification mode the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Forward chain + argmax of the final logits.
+    #[default]
+    Logits,
+    /// FF-native per-label goodness sweep (all candidates in one GEMM per
+    /// layer).
+    Goodness,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of worker threads executing batches.
+    pub workers: usize,
+    /// Classification mode.
+    pub mode: ServeMode,
+    /// Micro-batching policy.
+    pub policy: BatchPolicy,
+    /// GEMM threads **per worker** (keep at 1 and scale `workers` instead;
+    /// raising both oversubscribes the machine).
+    pub gemm_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            mode: ServeMode::Logits,
+            policy: BatchPolicy::default(),
+            gemm_threads: 1,
+        }
+    }
+}
+
+/// One answered prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The predicted class label.
+    pub label: usize,
+    /// The batch size this request was served in (1 = rode alone).
+    pub batch_size: usize,
+}
+
+struct Request {
+    features: Vec<f32>,
+    enqueued: Instant,
+    reply: Sender<Result<Prediction>>,
+}
+
+/// Queue item: a client request, or a shutdown poison pill (one per worker).
+enum Job {
+    Run(Request),
+    Poison,
+}
+
+/// Aggregate serving statistics, readable at any time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Largest batch observed.
+    pub max_batch: usize,
+    /// Queue-to-reply latency distribution.
+    pub latency: LatencySummary,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    requests: u64,
+    batches: u64,
+    max_batch: usize,
+    latency: LatencyHistogram,
+}
+
+struct Shared {
+    model: Arc<FrozenModel>,
+    config: ServeConfig,
+    /// Taken (and dropped) by [`Server::shutdown`] after the workers join,
+    /// which closes the channel: late sends fail and any still-queued
+    /// request's reply channel drops, so no client can hang.
+    queue: Mutex<Option<Receiver<Job>>>,
+    stats: Mutex<StatsInner>,
+}
+
+/// A cloneable client handle onto a running [`Server`].
+///
+/// Handles are `Send`, so each client thread clones one and calls
+/// [`ServeHandle::predict`], which blocks until its reply arrives. Dropping
+/// every handle (including the server's own) shuts the workers down.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: Sender<Job>,
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submits one sample and blocks until its prediction is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] when `features` does not match the
+    /// model's input width, and [`ServeError::ServerClosed`] when the server
+    /// has shut down.
+    pub fn predict(&self, features: &[f32]) -> Result<Prediction> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let request = Request {
+            features: features.to_vec(),
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        self.tx
+            .send(Job::Run(request))
+            .map_err(|_| ServeError::ServerClosed)?;
+        reply_rx.recv().map_err(|_| ServeError::ServerClosed)?
+    }
+
+    /// The frozen model being served.
+    pub fn model(&self) -> &FrozenModel {
+        &self.shared.model
+    }
+}
+
+/// A running micro-batching inference server.
+///
+/// # Examples
+///
+/// ```
+/// use ff_models::small_mlp;
+/// use ff_serve::{FrozenModel, ServeConfig, ServeMode, Server};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ff_serve::ServeError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = FrozenModel::freeze(&small_mlp(12, &[8], 4, &mut rng), 4)?;
+/// let server = Server::start(
+///     model,
+///     ServeConfig {
+///         workers: 2,
+///         mode: ServeMode::Goodness,
+///         ..ServeConfig::default()
+///     },
+/// )?;
+/// let prediction = server.handle().predict(&[0.5; 12])?;
+/// assert!(prediction.label < 4);
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    handle: ServeHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker pool and returns the running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] when the configuration is
+    /// unusable (zero workers or zero `max_batch`).
+    pub fn start(model: FrozenModel, config: ServeConfig) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(ServeError::BadRequest {
+                message: "config.workers must be positive".to_string(),
+            });
+        }
+        if config.policy.max_batch == 0 {
+            return Err(ServeError::BadRequest {
+                message: "config.policy.max_batch must be positive".to_string(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            model: Arc::new(model),
+            config,
+            queue: Mutex::new(Some(rx)),
+            stats: Mutex::new(StatsInner::default()),
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ff-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a named worker thread cannot fail")
+            })
+            .collect();
+        Ok(Server {
+            handle: ServeHandle { tx, shared },
+            workers,
+        })
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Convenience: submit one sample through the server's own handle.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::predict`].
+    pub fn predict(&self, features: &[f32]) -> Result<Prediction> {
+        self.handle.predict(features)
+    }
+
+    /// Current aggregate statistics (the "stats endpoint").
+    pub fn stats(&self) -> ServerStats {
+        let stats = self.handle.shared.stats.lock().expect("stats lock");
+        ServerStats {
+            requests: stats.requests,
+            batches: stats.batches,
+            mean_batch: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.requests as f64 / stats.batches as f64
+            },
+            max_batch: stats.max_batch,
+            latency: stats.latency.summary(),
+        }
+    }
+
+    /// Runs every sample of an in-order batch iterator through the model
+    /// once — used to pre-fault weight panels and warm caches before
+    /// opening the server to traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (wrong feature width in the warmup set).
+    pub fn warmup<I: Iterator<Item = ff_data::Batch>>(&self, batches: I) -> Result<usize> {
+        let model = &self.handle.shared.model;
+        let mut samples = 0;
+        for batch in batches {
+            let rows = batch.images.rows();
+            let flat = batch
+                .images
+                .reshape(&[rows, batch.images.len() / rows.max(1)])?;
+            match self.handle.shared.config.mode {
+                ServeMode::Logits => model.predict_logits(&flat)?,
+                ServeMode::Goodness => model.predict_goodness(&flat)?,
+            };
+            samples += rows;
+        }
+        Ok(samples)
+    }
+
+    /// Stops the worker pool and closes the request queue.
+    ///
+    /// One poison pill per worker is enqueued behind all already-submitted
+    /// work, so in-flight requests are still answered; the queue is then
+    /// closed, after which any [`ServeHandle::predict`] — including calls
+    /// racing with the shutdown — returns [`ServeError::ServerClosed`]
+    /// instead of hanging.
+    pub fn shutdown(self) {
+        let Server { handle, workers } = self;
+        for _ in 0..workers.len() {
+            // Send failures mean every worker already exited; fine.
+            let _ = handle.tx.send(Job::Poison);
+        }
+        for worker in workers {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        // Close the channel: late sends now fail, and dropping any queued
+        // `Job::Run` drops its reply sender, waking its client with
+        // `ServerClosed`.
+        let receiver = handle.shared.queue.lock().expect("queue lock").take();
+        drop(receiver);
+        drop(handle);
+    }
+}
+
+/// One worker: pull a batch off the shared queue, run it, reply. Exits on
+/// the first poison pill it consumes (or when the channel closes).
+fn worker_loop(shared: &Shared) {
+    let policy = shared.config.policy;
+    loop {
+        let mut poisoned = false;
+        let batch = {
+            let guard = shared.queue.lock().expect("queue lock");
+            let Some(queue) = guard.as_ref() else {
+                return; // queue already closed
+            };
+            let first = match queue.recv() {
+                Ok(Job::Run(request)) => request,
+                Ok(Job::Poison) | Err(_) => return,
+            };
+            let mut batch = vec![first];
+            if policy.max_batch > 1 {
+                let deadline = Instant::now() + policy.max_wait;
+                while batch.len() < policy.max_batch {
+                    let job = match queue.try_recv() {
+                        Ok(job) => Some(job),
+                        Err(_) if batch.len() > 1 => None, // company found: go
+                        Err(_) => {
+                            // Lone request: wait out the remaining budget
+                            // for one batch-mate.
+                            match deadline
+                                .checked_duration_since(Instant::now())
+                                .filter(|d| !d.is_zero())
+                            {
+                                None => None,
+                                Some(budget) => queue.recv_timeout(budget).ok(),
+                            }
+                        }
+                    };
+                    match job {
+                        Some(Job::Run(request)) => batch.push(request),
+                        Some(Job::Poison) => {
+                            // Exactly one pill per worker: finish this batch,
+                            // then exit.
+                            poisoned = true;
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            batch
+            // queue lock released here: the next worker can assemble its
+            // batch while this one computes.
+        };
+        run_batch(shared, batch);
+        if poisoned {
+            return;
+        }
+    }
+}
+
+/// Validates, executes and answers one assembled batch.
+fn run_batch(shared: &Shared, batch: Vec<Request>) {
+    let features = shared.model.input_features();
+    // Reject malformed requests individually; the rest still batch.
+    let mut valid: Vec<Request> = Vec::with_capacity(batch.len());
+    for request in batch {
+        if request.features.len() == features {
+            valid.push(request);
+        } else {
+            let error = ServeError::BadRequest {
+                message: format!(
+                    "expected {features} features, got {}",
+                    request.features.len()
+                ),
+            };
+            let _ = request.reply.send(Err(error));
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+    let rows = valid.len();
+    let mut data = Vec::with_capacity(rows * features);
+    for request in &valid {
+        data.extend_from_slice(&request.features);
+    }
+    let gemm_threads = Some(shared.config.gemm_threads.max(1));
+    let outcome = Tensor::from_vec(&[rows, features], data)
+        .map_err(ServeError::from)
+        .and_then(|input| match shared.config.mode {
+            ServeMode::Logits => shared.model.predict_logits_threads(&input, gemm_threads),
+            ServeMode::Goodness => shared.model.predict_goodness_threads(&input, gemm_threads),
+        });
+    match outcome {
+        Ok(labels) => {
+            // Record stats *before* replying: once the last reply of a wave
+            // is delivered, `Server::stats` must already reflect it (tests
+            // and the smoke gate assert exact request counts).
+            {
+                let mut stats = shared.stats.lock().expect("stats lock");
+                stats.batches += 1;
+                stats.max_batch = stats.max_batch.max(rows);
+                stats.requests += valid.len() as u64;
+                for request in &valid {
+                    stats.latency.record(request.enqueued.elapsed());
+                }
+            }
+            for (request, label) in valid.into_iter().zip(labels) {
+                let _ = request.reply.send(Ok(Prediction {
+                    label,
+                    batch_size: rows,
+                }));
+            }
+        }
+        Err(error) => {
+            for request in valid {
+                let _ = request.reply.send(Err(error.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_models::small_mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> FrozenModel {
+        let mut rng = StdRng::seed_from_u64(5);
+        FrozenModel::freeze(&small_mlp(8, &[6], 3, &mut rng), 3).unwrap()
+    }
+
+    #[test]
+    fn start_validates_config() {
+        assert!(Server::start(
+            model(),
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            }
+        )
+        .is_err());
+        assert!(Server::start(
+            model(),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 0,
+                    max_wait: Duration::ZERO
+                },
+                ..ServeConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serves_a_request_and_counts_it() {
+        let server = Server::start(model(), ServeConfig::default()).unwrap();
+        let prediction = server.predict(&[0.25; 8]).unwrap();
+        assert!(prediction.label < 3);
+        assert!(prediction.batch_size >= 1);
+        let stats = server.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.latency.count, 1);
+        assert!(stats.mean_batch >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_feature_count_is_rejected_per_request() {
+        let server = Server::start(model(), ServeConfig::default()).unwrap();
+        assert!(matches!(
+            server.predict(&[0.0; 7]),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // A valid request still succeeds afterwards.
+        assert!(server.predict(&[0.0; 8]).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn predict_after_shutdown_fails_cleanly() {
+        let server = Server::start(model(), ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        server.shutdown();
+        assert_eq!(
+            handle.predict(&[0.0; 8]).unwrap_err(),
+            ServeError::ServerClosed
+        );
+    }
+
+    #[test]
+    fn warmup_touches_every_sample() {
+        let images = ff_tensor::Tensor::ones(&[10, 8]);
+        let dataset = ff_data::Dataset::new(images, vec![0; 10], 3).unwrap();
+        let server = Server::start(
+            model(),
+            ServeConfig {
+                mode: ServeMode::Goodness,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let warmed = server.warmup(dataset.iter_batches(4)).unwrap();
+        assert_eq!(warmed, 10);
+        assert_eq!(server.handle().model().num_classes(), 3);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,182 @@
+//! Micro-batcher equivalence tests: N client threads × M concurrent
+//! requests must produce predictions identical to single-threaded direct
+//! evaluation, across batch-cap and wait-policy settings — the guarantee
+//! that batching is a throughput optimization, never a behaviour change.
+
+use ff_models::small_mlp;
+use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode, Server};
+use ff_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn frozen(seed: u64) -> FrozenModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    FrozenModel::freeze(&small_mlp(24, &[20, 16], 5, &mut rng), 5).unwrap()
+}
+
+fn samples(count: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(&[count, 24], -1.0, 1.0, &mut rng)
+}
+
+/// Runs `clients` threads, each predicting every sample through its own
+/// handle, and checks every answer against the single-threaded reference.
+fn assert_concurrent_equivalence(config: ServeConfig, clients: usize) {
+    let model = frozen(1);
+    let x = samples(12, 2);
+    let reference = match config.mode {
+        ServeMode::Logits => model.predict_logits(&x).unwrap(),
+        ServeMode::Goodness => model.predict_goodness(&x).unwrap(),
+    };
+    let server = Server::start(model, config).unwrap();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let handle = server.handle();
+            let x = &x;
+            let reference = &reference;
+            scope.spawn(move || {
+                // Stagger start order per client so batches mix samples.
+                for step in 0..x.rows() {
+                    let i = (step + client) % x.rows();
+                    let prediction = handle.predict(x.row(i)).unwrap();
+                    assert_eq!(
+                        prediction.label, reference[i],
+                        "client {client} sample {i} diverged from single-threaded eval"
+                    );
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.requests, (clients * x.rows()) as u64);
+    assert_eq!(stats.latency.count, stats.requests);
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+    assert!(stats.max_batch <= config.policy.max_batch.max(1));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_goodness_predictions_match_single_threaded_eval() {
+    for (workers, max_batch, max_wait_us) in [
+        (1usize, 1usize, 0u64), // strict one-at-a-time baseline
+        (1, 8, 500),            // single worker, coalescing
+        (4, 4, 0),              // pool, opportunistic batching only
+        (4, 32, 1000),          // pool, aggressive coalescing
+    ] {
+        assert_concurrent_equivalence(
+            ServeConfig {
+                workers,
+                mode: ServeMode::Goodness,
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_micros(max_wait_us),
+                },
+                gemm_threads: 1,
+            },
+            8,
+        );
+    }
+}
+
+#[test]
+fn concurrent_logits_predictions_match_single_threaded_eval() {
+    for (workers, max_batch) in [(1usize, 16usize), (4, 16)] {
+        assert_concurrent_equivalence(
+            ServeConfig {
+                workers,
+                mode: ServeMode::Logits,
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_micros(300),
+                },
+                gemm_threads: 1,
+            },
+            6,
+        );
+    }
+}
+
+#[test]
+fn coalescing_actually_batches_under_load() {
+    // With many clients hammering one slow-waiting worker, at least one
+    // multi-request batch must form (otherwise the micro-batcher is a
+    // no-op and the throughput claims are fiction).
+    let model = frozen(3);
+    let x = samples(4, 4);
+    let server = Server::start(
+        model,
+        ServeConfig {
+            workers: 1,
+            mode: ServeMode::Goodness,
+            policy: BatchPolicy {
+                max_batch: 16,
+                max_wait: Duration::from_millis(5),
+            },
+            gemm_threads: 1,
+        },
+    )
+    .unwrap();
+    std::thread::scope(|scope| {
+        for client in 0..8 {
+            let handle = server.handle();
+            let x = &x;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    handle.predict(x.row(client % x.rows())).unwrap();
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.requests, 32);
+    assert!(
+        stats.max_batch > 1,
+        "no batch ever coalesced: {stats:?} — scheduler is broken"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mixed_valid_and_invalid_requests_do_not_poison_batches() {
+    let model = frozen(5);
+    let x = samples(2, 6);
+    let reference = model.predict_goodness(&x).unwrap();
+    let server = Server::start(
+        model,
+        ServeConfig {
+            workers: 2,
+            mode: ServeMode::Goodness,
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(2),
+            },
+            gemm_threads: 1,
+        },
+    )
+    .unwrap();
+    std::thread::scope(|scope| {
+        for client in 0..6 {
+            let handle = server.handle();
+            let x = &x;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (i, &expected) in reference.iter().enumerate() {
+                    if client % 2 == 0 {
+                        assert_eq!(handle.predict(x.row(i)).unwrap().label, expected);
+                    } else {
+                        // Wrong width: must fail individually without
+                        // affecting the valid requests sharing its batch.
+                        assert!(handle.predict(&[0.0; 3]).is_err());
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(
+        stats.requests, 6,
+        "only the 3 valid clients' requests count"
+    );
+    server.shutdown();
+}

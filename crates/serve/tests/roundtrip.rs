@@ -1,0 +1,138 @@
+//! Property tests for the frozen-artifact format: train → freeze → save →
+//! load → serve must be bit-exact with direct in-memory inference, and any
+//! corrupt or truncated buffer must come back as a typed error, never a
+//! panic.
+
+use ff_core::{train, Algorithm, TrainOptions};
+use ff_data::{synthetic_mnist, SyntheticConfig};
+use ff_models::small_mlp;
+use ff_serve::{load_bytes, save_bytes, FrozenModel, ServeError};
+use ff_tensor::init;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random MLP (1–3 hidden layers) and a matching random batch.
+fn random_model_and_batch(
+    input: usize,
+    depth: usize,
+    width: usize,
+    classes: usize,
+    batch: usize,
+    seed: u64,
+) -> (FrozenModel, ff_tensor::Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hidden: Vec<usize> = (0..depth).map(|i| width + i).collect();
+    let net = small_mlp(input, &hidden, classes, &mut rng);
+    let model = FrozenModel::freeze(&net, classes).expect("freeze");
+    let x = init::uniform(&[batch, input], -1.0, 1.0, &mut rng);
+    (model, x)
+}
+
+proptest! {
+    #[test]
+    fn save_load_preserves_predictions_bit_exactly(
+        input in 8usize..32,
+        depth in 1usize..4,
+        width in 4usize..24,
+        classes in 2usize..8,
+        batch in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        prop_assume!(classes <= input);
+        let (direct, x) = random_model_and_batch(input, depth, width, classes, batch, seed);
+        let bytes = save_bytes(&direct);
+        let loaded = load_bytes(&bytes).expect("load");
+        // Serving from the reloaded artifact must match direct in-memory
+        // inference bit-exactly, in both classification modes.
+        prop_assert_eq!(
+            loaded.predict_logits(&x).unwrap(),
+            direct.predict_logits(&x).unwrap()
+        );
+        prop_assert_eq!(
+            loaded.predict_goodness(&x).unwrap(),
+            direct.predict_goodness(&x).unwrap()
+        );
+        // And the raw activations agree too, not just the argmax.
+        let loaded_y = loaded.forward(&x).unwrap();
+        let direct_y = direct.forward(&x).unwrap();
+        prop_assert_eq!(loaded_y.data(), direct_y.data());
+        // Idempotence: re-serializing reproduces the artifact verbatim.
+        prop_assert_eq!(save_bytes(&loaded), bytes);
+    }
+
+    #[test]
+    fn truncated_buffers_return_typed_errors(
+        seed in 0u64..40,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let (model, _) = random_model_and_batch(12, 2, 8, 4, 1, seed);
+        let bytes = save_bytes(&model);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        match load_bytes(&bytes[..cut]) {
+            Err(ServeError::Truncated { .. }) | Err(ServeError::Corrupt { .. }) => {}
+            other => prop_assert!(false, "expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic(
+        seed in 0u64..20,
+        position_fraction in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        // Any single-byte corruption must either fail with a typed error or
+        // load as a (different but) structurally valid model — never panic.
+        let (model, x) = random_model_and_batch(10, 1, 6, 3, 1, seed);
+        let mut bytes = save_bytes(&model);
+        let position = ((bytes.len() as f64) * position_fraction) as usize % bytes.len();
+        bytes[position] ^= flip;
+        if let Ok(loaded) = load_bytes(&bytes) {
+            // A flipped weight code / bias byte still yields a servable model.
+            let preds = loaded.predict_goodness(&x).unwrap();
+            prop_assert_eq!(preds.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn trained_model_survives_the_full_pipeline() {
+    // The end-to-end path the crate exists for: actually *train* with
+    // FF-INT8, freeze, serialize, reload, and verify the served predictions
+    // equal direct in-memory inference on every test sample.
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = small_mlp(784, &[32], 10, &mut rng);
+    train(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: true },
+        &TrainOptions::fast_test(),
+    )
+    .expect("training");
+
+    let direct = FrozenModel::freeze(&net, 10).expect("freeze");
+    let bytes = save_bytes(&direct);
+    let served = load_bytes(&bytes).expect("load");
+
+    let x = test_set.flattened().expect("flatten");
+    assert_eq!(
+        served.predict_goodness(&x).unwrap(),
+        direct.predict_goodness(&x).unwrap(),
+        "served predictions must be bit-exact with in-memory inference"
+    );
+    assert_eq!(
+        served.predict_logits(&x).unwrap(),
+        direct.predict_logits(&x).unwrap()
+    );
+    assert_eq!(save_bytes(&served), bytes);
+}
+
+#[test]
+fn empty_and_garbage_buffers_are_rejected() {
+    assert!(matches!(load_bytes(&[]), Err(ServeError::Truncated { .. })));
+    assert!(matches!(load_bytes(b"nope"), Err(ServeError::BadMagic)));
+    assert!(matches!(load_bytes(&[0u8; 64]), Err(ServeError::BadMagic)));
+}

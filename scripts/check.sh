@@ -37,4 +37,12 @@ cargo test -q
 echo "==> cargo test -q --doc"
 cargo test -q --doc
 
+if [[ "$fast" -eq 0 ]]; then
+    # Serve smoke gate: tiny FF-INT8 model → freeze → save/load → 100
+    # concurrent requests through the micro-batcher → accuracy parity with
+    # direct in-memory inference asserted (crates/serve/tests/smoke.rs).
+    echo "==> serve smoke gate (release)"
+    cargo test -q --release -p ff-serve --test smoke
+fi
+
 echo "All checks passed."

@@ -26,4 +26,5 @@ pub use ff_metrics as metrics;
 pub use ff_models as models;
 pub use ff_nn as nn;
 pub use ff_quant as quant;
+pub use ff_serve as serve;
 pub use ff_tensor as tensor;

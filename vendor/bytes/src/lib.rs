@@ -1,7 +1,13 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! [`BytesMut`] wraps a `Vec<u8>` and [`BufMut`] provides the `put_*`
-//! writers the workspace uses for compact dataset serialization.
+//! writers the workspace uses for compact dataset serialization and the
+//! `ff-serve` frozen-model artifact format. [`Buf`] (implemented for
+//! `&[u8]`) provides the matching cursor-style `get_*` readers.
+//!
+//! Mirroring upstream `bytes`, the readers **panic** on buffer underflow;
+//! callers that must never panic (the `ff-serve` artifact loader) check
+//! [`Buf::remaining`] before every read.
 
 #![forbid(unsafe_code)]
 
@@ -39,6 +45,11 @@ impl BytesMut {
     pub fn to_vec(&self) -> Vec<u8> {
         self.inner.clone()
     }
+
+    /// Moves the written bytes out without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
 }
 
 impl std::ops::Deref for BytesMut {
@@ -56,12 +67,41 @@ impl AsRef<[u8]> for BytesMut {
 }
 
 /// Byte-writing operations, mirroring `bytes::BufMut`.
+///
+/// Multi-byte writers use explicit little-endian encoding (the `_le`
+/// variants upstream `bytes` provides), which is what the `ff-serve`
+/// artifact format is defined in.
 pub trait BufMut {
     /// Appends a single byte.
     fn put_u8(&mut self, value: u8);
 
     /// Appends a slice of bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single signed byte (two's complement).
+    fn put_i8(&mut self, value: i8) {
+        self.put_u8(value as u8);
+    }
+
+    /// Appends a `u16` in little-endian byte order.
+    fn put_u16_le(&mut self, value: u16) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian byte order.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian byte order.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its IEEE-754 bit pattern in little-endian order.
+    fn put_f32_le(&mut self, value: f32) {
+        self.put_slice(&value.to_le_bytes());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -74,9 +114,111 @@ impl BufMut for BytesMut {
     }
 }
 
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Cursor-style byte-reading operations, mirroring `bytes::Buf`.
+///
+/// Implemented for `&[u8]`: every read advances the slice in place, so a
+/// parser threads one `&mut &[u8]` through its record readers.
+///
+/// # Panics
+///
+/// As in upstream `bytes`, every `get_*` method panics when fewer than the
+/// required bytes remain. Check [`Buf::remaining`] first when parsing
+/// untrusted input.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes out and advances past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "buffer underflow: need {} bytes, {} remain",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads one signed byte (two's complement).
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian IEEE-754 `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "cannot advance {cnt} bytes past end of buffer ({} remain)",
+            self.len()
+        );
+        *self = &self[cnt..];
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{BufMut, BytesMut};
+    use super::{Buf, BufMut, BytesMut};
 
     #[test]
     fn put_and_read_back() {
@@ -87,5 +229,47 @@ mod tests {
         assert_eq!(&buf[..], &[1, 2, 3]);
         assert_eq!(buf.to_vec(), vec![1, 2, 3]);
         assert!(!buf.is_empty());
+        assert_eq!(buf.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f32_le(-1.5);
+        buf.put_i8(-7);
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.get_u16_le(), 0xBEEF);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cursor.get_f32_le(), -1.5);
+        assert_eq!(cursor.get_i8(), -7);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_is_a_buf_mut() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u32_le(9);
+        assert_eq!(v, vec![9, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cursor_advances_in_place() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.remaining(), 3);
+        cursor.advance(2);
+        assert_eq!(cursor.chunk(), &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics_like_upstream() {
+        let mut cursor: &[u8] = &[1, 2];
+        cursor.get_u32_le();
     }
 }
