@@ -1,8 +1,7 @@
 //! Unified training entry point dispatching over all five algorithms.
 
-use crate::baselines::{BpTrainer, GradientPolicy};
-use crate::config::{Algorithm, Precision, TrainOptions};
-use crate::ff_trainer::FfTrainer;
+use crate::config::{Algorithm, TrainOptions};
+use crate::session::TrainSession;
 use crate::Result;
 use ff_data::Dataset;
 use ff_metrics::TrainingHistory;
@@ -13,12 +12,15 @@ use serde::{Deserialize, Serialize};
 /// per-epoch history (the same network is used for evaluation on `test_set`).
 ///
 /// This is the entry point used by the experiment binaries that regenerate
-/// the paper's tables and figures.
+/// the paper's tables and figures. It is a thin wrapper over
+/// [`TrainSession::run`]; construct a [`TrainSession`] directly to step a
+/// run batch by batch, observe typed [`crate::TrainEvent`]s, stop early, or
+/// checkpoint/resume it.
 ///
 /// # Errors
 ///
-/// Returns an error when the dataset is empty or incompatible with the
-/// network, or when a layer operation fails.
+/// Returns an error when the options are invalid, the dataset is empty or
+/// incompatible with the network, or a layer operation fails.
 ///
 /// # Examples
 ///
@@ -44,27 +46,7 @@ pub fn train(
     algorithm: Algorithm,
     options: &TrainOptions,
 ) -> Result<TrainingHistory> {
-    match algorithm {
-        Algorithm::BpFp32 => {
-            BpTrainer::new(GradientPolicy::Fp32, options.clone()).train(net, train_set, test_set)
-        }
-        Algorithm::BpInt8 => BpTrainer::new(GradientPolicy::DirectInt8, options.clone())
-            .train(net, train_set, test_set),
-        Algorithm::BpUi8 => {
-            BpTrainer::new(GradientPolicy::Ui8, options.clone()).train(net, train_set, test_set)
-        }
-        Algorithm::BpGdai8 => {
-            BpTrainer::new(GradientPolicy::Gdai8, options.clone()).train(net, train_set, test_set)
-        }
-        Algorithm::FfInt8 { lookahead } => {
-            FfTrainer::new(Precision::Int8, lookahead, options.clone())
-                .train(net, train_set, test_set)
-        }
-        Algorithm::FfFp32 { lookahead } => {
-            FfTrainer::new(Precision::Fp32, lookahead, options.clone())
-                .train(net, train_set, test_set)
-        }
-    }
+    TrainSession::new(net, train_set, test_set, algorithm, options)?.run()
 }
 
 /// A training run bundled with the algorithm that produced it — the unit the

@@ -5,9 +5,10 @@
 //! weight gradients right before the optimizer step, which is exactly how the
 //! paper frames the INT8-training landscape (Section II).
 
-use crate::config::TrainOptions;
-use crate::{CoreError, Result};
-use ff_data::Dataset;
+use crate::config::{Algorithm, TrainOptions};
+use crate::session::{StepStats, TrainSession, TrainerCore, TrainerState};
+use crate::Result;
+use ff_data::{Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
 use ff_nn::{softmax_cross_entropy, ForwardMode, Optimizer, ParamRefMut, Sequential, Sgd};
 use ff_quant::{QuantConfig, QuantTensor, Rounding};
@@ -202,68 +203,24 @@ impl BpTrainer {
         self.policy
     }
 
-    /// Trains `net` with softmax cross-entropy and returns the per-epoch
-    /// history.
+    /// Trains `net` with softmax cross-entropy for the configured number of
+    /// epochs and returns the per-epoch history.
+    ///
+    /// Equivalent to driving a [`TrainSession`] to completion with this
+    /// trainer; use a session directly for stepping, events, early stopping
+    /// or checkpointing.
     ///
     /// # Errors
     ///
-    /// Returns an error when the dataset is empty or incompatible with the
-    /// network.
+    /// Returns an error when the options are invalid, the dataset is empty,
+    /// or a layer operation fails.
     pub fn train(
         &mut self,
         net: &mut Sequential,
         train_set: &Dataset,
         test_set: &Dataset,
     ) -> Result<TrainingHistory> {
-        if train_set.is_empty() {
-            return Err(CoreError::InvalidConfig {
-                message: "training set is empty".to_string(),
-            });
-        }
-        let mut history = TrainingHistory::new(self.policy.label());
-        let base_lr = self.options.learning_rate;
-        for epoch in 0..self.options.epochs {
-            let batches = train_set.batches(self.options.batch_size, true, &mut self.rng);
-            let mut epoch_loss = 0.0f32;
-            let mut correct = 0usize;
-            let mut seen = 0usize;
-            for batch in &batches {
-                let input = input_for_net(&batch.images, net)?;
-                let logits = net.forward(&input, ForwardMode::Fp32)?;
-                let out = softmax_cross_entropy(&logits, &batch.labels)?;
-                epoch_loss += out.loss;
-                correct += out
-                    .predictions
-                    .iter()
-                    .zip(&batch.labels)
-                    .filter(|(p, l)| p == l)
-                    .count();
-                seen += batch.labels.len();
-                net.zero_grad();
-                net.backward(&out.grad)?;
-                let mut params = net.params_mut();
-                let lr_scale = self.policy.apply(&mut params, &mut self.rng);
-                self.optimizer.set_learning_rate(base_lr * lr_scale);
-                self.optimizer.step(&mut params);
-                // Safety net mirroring FfTrainer::step: guarantee the
-                // parameter versions move even if a custom Optimizer impl
-                // forgets mark_updated, so no stale packed plan survives.
-                for p in &mut params {
-                    p.mark_updated();
-                }
-            }
-            let mean_loss = epoch_loss / batches.len().max(1) as f32;
-            let train_acc = correct as f32 / seen.max(1) as f32;
-            let evaluate =
-                epoch % self.options.eval_every.max(1) == 0 || epoch + 1 == self.options.epochs;
-            let test_acc = if evaluate {
-                Some(self.evaluate(net, test_set)?)
-            } else {
-                None
-            };
-            history.record(epoch, mean_loss, train_acc, test_acc);
-        }
-        Ok(history)
+        TrainSession::with_trainer(net, train_set, test_set, &mut *self)?.run()
     }
 
     /// Classification accuracy (argmax of the logits) on a capped prefix of a
@@ -281,6 +238,101 @@ impl BpTrainer {
         let input = input_for_net(subset.images(), net)?;
         let predictions = net.predict(&input, ForwardMode::Fp32)?;
         Ok(accuracy(&predictions, subset.labels()))
+    }
+}
+
+impl TrainerCore for BpTrainer {
+    fn algorithm(&self) -> Algorithm {
+        match self.policy {
+            GradientPolicy::Fp32 => Algorithm::BpFp32,
+            GradientPolicy::DirectInt8 => Algorithm::BpInt8,
+            GradientPolicy::Ui8 => Algorithm::BpUi8,
+            GradientPolicy::Gdai8 => Algorithm::BpGdai8,
+        }
+    }
+
+    fn options(&self) -> &TrainOptions {
+        &self.options
+    }
+
+    fn step_batch(
+        &mut self,
+        net: &mut Sequential,
+        batch: &Batch,
+        _num_classes: usize,
+        _lambda: f32,
+    ) -> Result<StepStats> {
+        let input = input_for_net(&batch.images, net)?;
+        let logits = net.forward(&input, ForwardMode::Fp32)?;
+        let out = softmax_cross_entropy(&logits, &batch.labels)?;
+        let correct = out
+            .predictions
+            .iter()
+            .zip(&batch.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        net.zero_grad();
+        net.backward(&out.grad)?;
+        let mut params = net.params_mut();
+        let lr_scale = self.policy.apply(&mut params, &mut self.rng);
+        self.optimizer
+            .set_learning_rate(self.options.learning_rate * lr_scale);
+        self.optimizer.step(&mut params);
+        // Safety net mirroring FfTrainer::step: guarantee the parameter
+        // versions move even if a custom Optimizer impl forgets
+        // mark_updated, so no stale packed plan survives.
+        for p in &mut params {
+            p.mark_updated();
+        }
+        Ok(StepStats {
+            loss: out.loss,
+            correct,
+            seen: batch.labels.len(),
+        })
+    }
+
+    fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> Result<f32> {
+        BpTrainer::evaluate(self, net, dataset)
+    }
+
+    fn tracks_running_accuracy(&self) -> bool {
+        true
+    }
+
+    fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn export_state(&self) -> TrainerState {
+        TrainerState {
+            rng: self.rng.state(),
+            velocities: vec![self.optimizer.velocity().to_vec()],
+        }
+    }
+
+    fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> Result<()> {
+        if state.velocities.len() > 1 {
+            return Err(crate::CoreError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint holds {} optimizer slots but backpropagation uses one",
+                    state.velocities.len()
+                ),
+            });
+        }
+        if let Some(buffers) = state.velocities.first() {
+            let shapes: Vec<Vec<usize>> = net
+                .params_mut()
+                .iter()
+                .map(|p| p.value.shape().to_vec())
+                .collect();
+            crate::session::check_momentum_buffers(buffers, &shapes, "the network")?;
+        }
+        self.rng = StdRng::from_state(state.rng);
+        self.optimizer = Sgd::new(self.options.learning_rate, self.options.momentum);
+        if let Some(buffers) = state.velocities.first() {
+            self.optimizer.set_velocity(buffers.clone());
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,9 @@
 //! Training configuration shared by all algorithms.
 
+use crate::{CoreError, Result};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
 /// Numeric precision of the training arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -36,34 +39,100 @@ pub enum Algorithm {
     },
 }
 
+impl fmt::Display for Algorithm {
+    /// The canonical report label (`"FF-INT8"`, `"BP-GDAI8"`, ...), the same
+    /// string [`Algorithm::parse`] accepts.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            Algorithm::BpFp32 => "BP-FP32",
+            Algorithm::BpInt8 => "BP-INT8",
+            Algorithm::BpUi8 => "BP-UI8",
+            Algorithm::BpGdai8 => "BP-GDAI8",
+            Algorithm::FfInt8 { lookahead: true } => "FF-INT8",
+            Algorithm::FfInt8 { lookahead: false } => "FF-INT8 (no look-ahead)",
+            Algorithm::FfFp32 { lookahead: true } => "FF-FP32",
+            Algorithm::FfFp32 { lookahead: false } => "FF-FP32 (no look-ahead)",
+        };
+        f.write_str(label)
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Algorithm::parse(s)
+    }
+}
+
 impl Algorithm {
     /// Short identifier used in reports (`"FF-INT8"`, `"BP-GDAI8"`, ...).
+    ///
+    /// Equivalent to the [`Display`](fmt::Display) rendering; kept for
+    /// callers that want an owned `String`.
     pub fn label(&self) -> String {
-        match self {
-            Algorithm::BpFp32 => "BP-FP32".to_string(),
-            Algorithm::BpInt8 => "BP-INT8".to_string(),
-            Algorithm::BpUi8 => "BP-UI8".to_string(),
-            Algorithm::BpGdai8 => "BP-GDAI8".to_string(),
-            Algorithm::FfInt8 { lookahead } => {
-                if *lookahead {
-                    "FF-INT8".to_string()
-                } else {
-                    "FF-INT8 (no look-ahead)".to_string()
-                }
+        self.to_string()
+    }
+
+    /// Parses a canonical label back into its algorithm.
+    ///
+    /// Matching is case-insensitive and also accepts `_` for `-`, so CLI
+    /// flags like `--algo=bp_int8` work. The no-look-ahead FF variants
+    /// accept both the report label (`"FF-INT8 (no look-ahead)"`) and the
+    /// flag-friendly short form (`"FF-INT8-NOLA"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the unknown label.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ff_core::Algorithm;
+    ///
+    /// assert_eq!(Algorithm::parse("bp-gdai8").unwrap(), Algorithm::BpGdai8);
+    /// assert_eq!(
+    ///     Algorithm::parse("FF-INT8").unwrap(),
+    ///     Algorithm::FfInt8 { lookahead: true }
+    /// );
+    /// assert!(Algorithm::parse("FF-INT4").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<Self> {
+        let normalized = s.trim().to_ascii_uppercase().replace('_', "-");
+        match normalized.as_str() {
+            "BP-FP32" => Ok(Algorithm::BpFp32),
+            "BP-INT8" => Ok(Algorithm::BpInt8),
+            "BP-UI8" => Ok(Algorithm::BpUi8),
+            "BP-GDAI8" => Ok(Algorithm::BpGdai8),
+            "FF-INT8" => Ok(Algorithm::FfInt8 { lookahead: true }),
+            "FF-INT8 (NO LOOK-AHEAD)" | "FF-INT8-NOLA" => {
+                Ok(Algorithm::FfInt8 { lookahead: false })
             }
-            Algorithm::FfFp32 { lookahead } => {
-                if *lookahead {
-                    "FF-FP32".to_string()
-                } else {
-                    "FF-FP32 (no look-ahead)".to_string()
-                }
+            "FF-FP32" => Ok(Algorithm::FfFp32 { lookahead: true }),
+            "FF-FP32 (NO LOOK-AHEAD)" | "FF-FP32-NOLA" => {
+                Ok(Algorithm::FfFp32 { lookahead: false })
             }
+            _ => Err(CoreError::InvalidConfig {
+                message: format!(
+                    "unknown algorithm `{s}` (expected one of BP-FP32, BP-INT8, BP-UI8, \
+                     BP-GDAI8, FF-INT8, FF-INT8-NOLA, FF-FP32, FF-FP32-NOLA)"
+                ),
+            }),
         }
     }
 
     /// `true` for the Forward-Forward family.
     pub fn is_forward_forward(&self) -> bool {
         matches!(self, Algorithm::FfInt8 { .. } | Algorithm::FfFp32 { .. })
+    }
+
+    /// `true` when the look-ahead scheme is enabled (always `false` for the
+    /// backpropagation baselines).
+    pub fn has_lookahead(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::FfInt8 { lookahead: true } | Algorithm::FfFp32 { lookahead: true }
+        )
     }
 
     /// `true` when weight gradients (and, for FF, activations) are INT8.
@@ -171,6 +240,109 @@ impl TrainOptions {
         self
     }
 
+    /// Overrides the SGD momentum coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Overrides the goodness threshold θ.
+    pub fn with_theta(mut self, theta: f32) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Overrides the look-ahead λ schedule (initial value, per-epoch step,
+    /// upper bound).
+    pub fn with_lambda_schedule(mut self, init: f32, step: f32, max: f32) -> Self {
+        self.lambda_init = init;
+        self.lambda_step = step;
+        self.lambda_max = max;
+        self
+    }
+
+    /// Overrides the evaluation cadence (evaluate every `eval_every` epochs).
+    pub fn with_eval_every(mut self, eval_every: usize) -> Self {
+        self.eval_every = eval_every;
+        self
+    }
+
+    /// Overrides the per-evaluation sample cap.
+    pub fn with_max_eval_samples(mut self, max_eval_samples: usize) -> Self {
+        self.max_eval_samples = max_eval_samples;
+        self
+    }
+
+    /// Checks every field for values that would make a training run
+    /// meaningless or fail deep inside the loop.
+    ///
+    /// [`crate::TrainSession`] calls this at session creation so a typo'd
+    /// configuration surfaces as one typed error up front instead of a
+    /// divide-by-zero, an empty history, or a NaN loss hundreds of steps in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending field for:
+    /// zero `epochs`, zero `batch_size`, a non-finite or non-positive
+    /// `learning_rate`, a non-finite or negative `momentum`, a non-finite
+    /// `theta`, a non-finite or descending λ schedule, or zero `eval_every`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ff_core::TrainOptions;
+    ///
+    /// assert!(TrainOptions::default().validate().is_ok());
+    /// assert!(TrainOptions::default().with_epochs(0).validate().is_err());
+    /// assert!(TrainOptions::default()
+    ///     .with_learning_rate(f32::NAN)
+    ///     .validate()
+    ///     .is_err());
+    /// ```
+    pub fn validate(&self) -> Result<()> {
+        let fail = |message: String| Err(CoreError::InvalidConfig { message });
+        if self.epochs == 0 {
+            return fail("epochs must be at least 1".to_string());
+        }
+        if self.batch_size == 0 {
+            return fail("batch_size must be at least 1".to_string());
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return fail(format!(
+                "learning_rate must be positive and finite, got {}",
+                self.learning_rate
+            ));
+        }
+        if !self.momentum.is_finite() || self.momentum < 0.0 {
+            return fail(format!(
+                "momentum must be non-negative and finite, got {}",
+                self.momentum
+            ));
+        }
+        if !self.theta.is_finite() {
+            return fail(format!("theta must be finite, got {}", self.theta));
+        }
+        if !self.lambda_init.is_finite()
+            || !self.lambda_step.is_finite()
+            || !self.lambda_max.is_finite()
+        {
+            return fail(format!(
+                "lambda schedule must be finite, got init {} step {} max {}",
+                self.lambda_init, self.lambda_step, self.lambda_max
+            ));
+        }
+        if self.lambda_step < 0.0 || self.lambda_max < self.lambda_init {
+            return fail(format!(
+                "lambda schedule must be non-decreasing, got init {} step {} max {}",
+                self.lambda_init, self.lambda_step, self.lambda_max
+            ));
+        }
+        if self.eval_every == 0 {
+            return fail("eval_every must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
     /// The look-ahead coefficient λ at a given epoch: starts at
     /// `lambda_init` and grows by `lambda_step` per epoch, capped at
     /// `lambda_max` (paper Section V-A3).
@@ -226,11 +398,112 @@ mod tests {
             .with_epochs(5)
             .with_learning_rate(0.1)
             .with_batch_size(8)
-            .with_seed(7);
+            .with_seed(7)
+            .with_momentum(0.5)
+            .with_theta(1.5)
+            .with_lambda_schedule(0.01, 0.002, 0.1)
+            .with_eval_every(3)
+            .with_max_eval_samples(99);
         assert_eq!(opt.epochs, 5);
         assert_eq!(opt.learning_rate, 0.1);
         assert_eq!(opt.batch_size, 8);
         assert_eq!(opt.seed, 7);
+        assert_eq!(opt.momentum, 0.5);
+        assert_eq!(opt.theta, 1.5);
+        assert_eq!(
+            (opt.lambda_init, opt.lambda_step, opt.lambda_max),
+            (0.01, 0.002, 0.1)
+        );
+        assert_eq!(opt.eval_every, 3);
+        assert_eq!(opt.max_eval_samples, 99);
         assert_eq!(TrainOptions::default().batch_size, 32);
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let cases: Vec<(TrainOptions, &str)> = vec![
+            (TrainOptions::default().with_epochs(0), "epochs"),
+            (TrainOptions::default().with_batch_size(0), "batch_size"),
+            (
+                TrainOptions::default().with_learning_rate(f32::NAN),
+                "learning_rate",
+            ),
+            (
+                TrainOptions::default().with_learning_rate(0.0),
+                "learning_rate",
+            ),
+            (
+                TrainOptions::default().with_learning_rate(-0.5),
+                "learning_rate",
+            ),
+            (TrainOptions::default().with_momentum(-0.1), "momentum"),
+            (
+                TrainOptions::default().with_momentum(f32::INFINITY),
+                "momentum",
+            ),
+            (TrainOptions::default().with_theta(f32::NAN), "theta"),
+            (
+                TrainOptions::default().with_lambda_schedule(0.0, f32::NAN, 0.05),
+                "lambda",
+            ),
+            (
+                TrainOptions::default().with_lambda_schedule(0.0, -0.001, 0.05),
+                "lambda",
+            ),
+            (
+                TrainOptions::default().with_lambda_schedule(0.1, 0.001, 0.05),
+                "lambda",
+            ),
+            (TrainOptions::default().with_eval_every(0), "eval_every"),
+        ];
+        for (options, field) in cases {
+            match options.validate() {
+                Err(CoreError::InvalidConfig { message }) => {
+                    assert!(message.contains(field), "`{message}` should name {field}");
+                }
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
+        assert!(TrainOptions::default().validate().is_ok());
+        assert!(TrainOptions::fast_test().validate().is_ok());
+    }
+
+    #[test]
+    fn display_matches_label_and_parse_roundtrips() {
+        for algorithm in [
+            Algorithm::BpFp32,
+            Algorithm::BpInt8,
+            Algorithm::BpUi8,
+            Algorithm::BpGdai8,
+            Algorithm::FfInt8 { lookahead: true },
+            Algorithm::FfInt8 { lookahead: false },
+            Algorithm::FfFp32 { lookahead: true },
+            Algorithm::FfFp32 { lookahead: false },
+        ] {
+            assert_eq!(format!("{algorithm}"), algorithm.label());
+            assert_eq!(Algorithm::parse(&algorithm.label()).unwrap(), algorithm);
+        }
+        // Flag-friendly forms.
+        assert_eq!(Algorithm::parse("bp_gdai8").unwrap(), Algorithm::BpGdai8);
+        assert_eq!(
+            Algorithm::parse(" ff-int8-nola ").unwrap(),
+            Algorithm::FfInt8 { lookahead: false }
+        );
+        assert_eq!(
+            "FF-FP32".parse::<Algorithm>().unwrap(),
+            Algorithm::FfFp32 { lookahead: true }
+        );
+        assert!(Algorithm::parse("FF-INT4").is_err());
+        assert!(matches!(
+            Algorithm::parse(""),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn lookahead_query() {
+        assert!(Algorithm::FfInt8 { lookahead: true }.has_lookahead());
+        assert!(!Algorithm::FfInt8 { lookahead: false }.has_lookahead());
+        assert!(!Algorithm::BpGdai8.has_lookahead());
     }
 }

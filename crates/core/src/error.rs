@@ -1,5 +1,6 @@
 use std::fmt;
 
+use ff_codec::CodecError;
 use ff_nn::NnError;
 use ff_tensor::TensorError;
 
@@ -15,6 +16,21 @@ pub enum CoreError {
         /// Human-readable description of the violated expectation.
         message: String,
     },
+    /// An `FF8C` checkpoint artifact is malformed (bad magic, unsupported
+    /// version, truncation, structural corruption).
+    Checkpoint(CodecError),
+    /// A checkpoint was loaded successfully but does not match the network
+    /// or dataset it is being resumed onto.
+    CheckpointMismatch {
+        /// What disagrees between the checkpoint and the resume target.
+        message: String,
+    },
+    /// A checkpoint file could not be read or written.
+    Io {
+        /// The underlying I/O failure, rendered as text (keeps `CoreError`
+        /// `Clone + PartialEq`).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -23,6 +39,11 @@ impl fmt::Display for CoreError {
             CoreError::Nn(e) => write!(f, "network error: {e}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
             CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint artifact error: {e}"),
+            CoreError::CheckpointMismatch { message } => {
+                write!(f, "checkpoint mismatch: {message}")
+            }
+            CoreError::Io { message } => write!(f, "checkpoint I/O error: {message}"),
         }
     }
 }
@@ -32,7 +53,10 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Nn(e) => Some(e),
             CoreError::Tensor(e) => Some(e),
-            CoreError::InvalidConfig { .. } => None,
+            CoreError::Checkpoint(e) => Some(e),
+            CoreError::InvalidConfig { .. }
+            | CoreError::CheckpointMismatch { .. }
+            | CoreError::Io { .. } => None,
         }
     }
 }
@@ -46,6 +70,12 @@ impl From<NnError> for CoreError {
 impl From<TensorError> for CoreError {
     fn from(e: TensorError) -> Self {
         CoreError::Tensor(e)
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Checkpoint(e)
     }
 }
 

@@ -1,15 +1,16 @@
 //! The Forward-Forward trainer (FP32 and INT8) with the look-ahead scheme.
 
-use crate::config::{Precision, TrainOptions};
+use crate::config::{Algorithm, Precision, TrainOptions};
 use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind, GoodnessSweep};
-use crate::{CoreError, Result};
-use ff_data::{positive_negative_sets, Dataset};
+use crate::session::{StepStats, TrainSession, TrainerCore, TrainerState};
+use crate::Result;
+use ff_data::{positive_negative_sets, Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
 use ff_nn::{ForwardMode, Optimizer, Sequential, Sgd};
 use ff_quant::Rounding;
 use ff_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Trains a [`Sequential`] network with the Forward-Forward algorithm.
 ///
@@ -19,6 +20,15 @@ use rand::SeedableRng;
 /// enabled, each unit's update additionally receives `λ ·
 /// ∂L_j/∂W_i` contributions from all later units `j > i` (Eq. 3–4,
 /// Algorithm 1), where λ follows the schedule in [`TrainOptions`].
+///
+/// In INT8 mode every stochastic-rounding decision is seeded from the
+/// trainer's own RNG (one fresh seed per forward pass, derived per layer),
+/// so a run is a pure function of its [`TrainOptions::seed`] — which is what
+/// lets `FF8C` checkpoints resume bit-exactly (see [`crate::checkpoint`]).
+///
+/// The epoch loop lives in [`TrainSession`]; this type supplies the
+/// per-batch numerics through [`TrainerCore`], and [`FfTrainer::train`] is a
+/// convenience wrapper running a full session.
 ///
 /// # Examples
 ///
@@ -61,11 +71,28 @@ impl FfTrainer {
         }
     }
 
-    /// The numeric mode used for forward passes and gradient GEMMs.
+    /// The generic numeric mode for this trainer's precision, with
+    /// thread-local (non-reproducible) stochastic rounding in INT8 mode.
+    ///
+    /// The training and prediction paths do **not** use this directly: they
+    /// derive per-pass seeded modes via `FfTrainer::pass_mode` so every
+    /// rounding decision comes from the trainer's checkpointable RNG.
     pub fn forward_mode(&self) -> ForwardMode {
         match self.precision {
             Precision::Fp32 => ForwardMode::Fp32,
             Precision::Int8 => ForwardMode::Int8(Rounding::Stochastic),
+        }
+    }
+
+    /// Draws one fresh pass seed from the trainer RNG and returns the mode
+    /// factory for this pass: layer `i` gets a decorrelated seeded rounding
+    /// stream derived from `(pass_seed, i)`. FP32 passes draw nothing.
+    fn pass_mode(&mut self) -> PassMode {
+        match self.precision {
+            Precision::Fp32 => PassMode::Fp32,
+            Precision::Int8 => PassMode::Int8 {
+                base: Rounding::StochasticSeeded(self.rng.gen::<u64>()),
+            },
         }
     }
 
@@ -74,62 +101,24 @@ impl FfTrainer {
         self.lookahead
     }
 
-    /// Trains `net` and returns the per-epoch history.
+    /// Trains `net` for the configured number of epochs and returns the
+    /// per-epoch history.
+    ///
+    /// Equivalent to driving a [`TrainSession`] to completion with this
+    /// trainer; use a session directly for stepping, events, early stopping
+    /// or checkpointing.
     ///
     /// # Errors
     ///
-    /// Returns an error when the dataset geometry is incompatible with the
-    /// network or a layer operation fails.
+    /// Returns an error when the options are invalid, the dataset geometry
+    /// is incompatible with the network, or a layer operation fails.
     pub fn train(
         &mut self,
         net: &mut Sequential,
         train_set: &Dataset,
         test_set: &Dataset,
     ) -> Result<TrainingHistory> {
-        if train_set.is_empty() {
-            return Err(CoreError::InvalidConfig {
-                message: "training set is empty".to_string(),
-            });
-        }
-        let mut history = TrainingHistory::new(match (self.precision, self.lookahead) {
-            (Precision::Int8, true) => "FF-INT8",
-            (Precision::Int8, false) => "FF-INT8 (no look-ahead)",
-            (Precision::Fp32, true) => "FF-FP32",
-            (Precision::Fp32, false) => "FF-FP32 (no look-ahead)",
-        });
-        for epoch in 0..self.options.epochs {
-            let lambda = if self.lookahead {
-                self.options.lambda_at_epoch(epoch)
-            } else {
-                0.0
-            };
-            let batches = train_set.batches(self.options.batch_size, true, &mut self.rng);
-            let mut epoch_loss = 0.0f32;
-            let mut batch_count = 0usize;
-            for batch in &batches {
-                let loss = self.train_batch(
-                    net,
-                    &batch.images,
-                    &batch.labels,
-                    train_set.num_classes(),
-                    lambda,
-                )?;
-                epoch_loss += loss;
-                batch_count += 1;
-            }
-            let mean_loss = epoch_loss / batch_count.max(1) as f32;
-            let evaluate =
-                epoch % self.options.eval_every.max(1) == 0 || epoch + 1 == self.options.epochs;
-            let (train_acc, test_acc) = if evaluate {
-                let train_acc = self.evaluate(net, train_set)?;
-                let test_acc = self.evaluate(net, test_set)?;
-                (train_acc, Some(test_acc))
-            } else {
-                (0.0, None)
-            };
-            history.record(epoch, mean_loss, train_acc, test_acc);
-        }
-        Ok(history)
+        TrainSession::with_trainer(net, train_set, test_set, &mut *self)?.run()
     }
 
     /// Runs one mini-batch (positive pass + negative pass + optimizer step)
@@ -163,7 +152,7 @@ impl FfTrainer {
         kind: FfLossKind,
         lambda: f32,
     ) -> Result<f32> {
-        let mode = self.forward_mode();
+        let pass = self.pass_mode();
         let layer_count = net.len();
         // Forward pass, collecting the raw output of every layer. The input
         // of the next layer is the row-normalised output of the previous
@@ -173,8 +162,8 @@ impl FfTrainer {
         let mut x = input.clone();
         {
             let layers = net.layers_mut();
-            for layer in layers.iter_mut() {
-                let y = layer.forward(&x, mode)?;
+            for (i, layer) in layers.iter_mut().enumerate() {
+                let y = layer.forward(&x, pass.for_layer(i))?;
                 x = if layer.param_count() > 0 {
                     normalize_activations(&y)?
                 } else {
@@ -291,6 +280,9 @@ impl FfTrainer {
     /// Predicts labels by trying every candidate label embedding and picking
     /// the one with the highest goodness accumulated across all FF units.
     ///
+    /// In INT8 mode each call draws one stochastic-rounding seed from the
+    /// trainer RNG (so predictions are reproducible and checkpointable).
+    ///
     /// # Errors
     ///
     /// Propagates layer errors.
@@ -300,7 +292,7 @@ impl FfTrainer {
         images: &Tensor,
         num_classes: usize,
     ) -> Result<Vec<usize>> {
-        let mode = self.forward_mode();
+        let pass = self.pass_mode();
         let rows = images.rows();
         let flat = images.reshape(&[rows, images.cols()])?;
         let mut sweep = GoodnessSweep::new(rows, num_classes);
@@ -309,6 +301,7 @@ impl FfTrainer {
             .iter_mut()
             .map(|l| l.param_count() > 0)
             .collect();
+        let layer_count = trainable.len();
         for candidate in 0..num_classes {
             let labels = vec![candidate; rows];
             let embedded = ff_data::embed_label(&flat, &labels, num_classes)?;
@@ -316,7 +309,9 @@ impl FfTrainer {
             let mut x = shaped;
             let layers = net.layers_mut();
             for (i, layer) in layers.iter_mut().enumerate() {
-                let y = layer.forward(&x, mode)?;
+                // Decorrelate per (candidate, layer) so the ten candidate
+                // sweeps do not share one rounding stream.
+                let y = layer.forward(&x, pass.for_layer(candidate * layer_count + i))?;
                 if trainable[i] {
                     let flat_y = y.reshape(&[rows, y.cols()])?;
                     sweep.accumulate(candidate, &goodness(&flat_y));
@@ -327,6 +322,110 @@ impl FfTrainer {
             }
         }
         Ok(sweep.predictions())
+    }
+}
+
+/// The numeric modes of one forward (or forward+backward) pass: FP32, or
+/// INT8 with a per-layer family of seeded stochastic-rounding streams all
+/// derived from one pass seed.
+#[derive(Debug, Clone, Copy)]
+enum PassMode {
+    Fp32,
+    Int8 { base: Rounding },
+}
+
+impl PassMode {
+    fn for_layer(self, index: usize) -> ForwardMode {
+        match self {
+            PassMode::Fp32 => ForwardMode::Fp32,
+            PassMode::Int8 { base } => ForwardMode::Int8(base.derive(index as u64)),
+        }
+    }
+}
+
+impl TrainerCore for FfTrainer {
+    fn algorithm(&self) -> Algorithm {
+        match self.precision {
+            Precision::Int8 => Algorithm::FfInt8 {
+                lookahead: self.lookahead,
+            },
+            Precision::Fp32 => Algorithm::FfFp32 {
+                lookahead: self.lookahead,
+            },
+        }
+    }
+
+    fn options(&self) -> &TrainOptions {
+        &self.options
+    }
+
+    fn step_batch(
+        &mut self,
+        net: &mut Sequential,
+        batch: &Batch,
+        num_classes: usize,
+        lambda: f32,
+    ) -> Result<StepStats> {
+        let loss = self.train_batch(net, &batch.images, &batch.labels, num_classes, lambda)?;
+        Ok(StepStats {
+            loss,
+            correct: 0,
+            seen: 0,
+        })
+    }
+
+    fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> Result<f32> {
+        FfTrainer::evaluate(self, net, dataset)
+    }
+
+    fn tracks_running_accuracy(&self) -> bool {
+        false
+    }
+
+    fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn export_state(&self) -> TrainerState {
+        TrainerState {
+            rng: self.rng.state(),
+            velocities: self
+                .optimizers
+                .iter()
+                .map(|o| o.velocity().to_vec())
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> Result<()> {
+        if state.velocities.len() > net.len() {
+            return Err(crate::CoreError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint holds {} optimizer slots but the network has {} layers",
+                    state.velocities.len(),
+                    net.len()
+                ),
+            });
+        }
+        for (index, (buffers, layer)) in state.velocities.iter().zip(net.layers_mut()).enumerate() {
+            let shapes: Vec<Vec<usize>> = layer
+                .params_mut()
+                .iter()
+                .map(|p| p.value.shape().to_vec())
+                .collect();
+            crate::session::check_momentum_buffers(buffers, &shapes, &format!("layer {index}"))?;
+        }
+        self.rng = StdRng::from_state(state.rng);
+        self.optimizers = state
+            .velocities
+            .iter()
+            .map(|buffers| {
+                let mut optimizer = Sgd::new(self.options.learning_rate, self.options.momentum);
+                optimizer.set_velocity(buffers.clone());
+                optimizer
+            })
+            .collect();
+        Ok(())
     }
 }
 
@@ -402,6 +501,35 @@ mod tests {
         let history = trainer.train(&mut net, &train_set, &test_set).unwrap();
         let acc = history.final_accuracy().unwrap();
         assert!(acc > 0.5, "FF-INT8 accuracy {acc}");
+    }
+
+    #[test]
+    fn int8_training_is_reproducible() {
+        // The historic thread-rng stochastic rounding made two identically
+        // seeded FF-INT8 runs diverge; seeded rounding makes them
+        // bit-identical — the foundation of checkpoint/resume determinism.
+        let (train_set, test_set) = tiny_mnist();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut net = small_mlp(784, &[32, 32], 10, &mut rng);
+            let options = TrainOptions {
+                epochs: 2,
+                max_eval_samples: 50,
+                ..TrainOptions::fast_test()
+            };
+            let mut trainer = FfTrainer::new(Precision::Int8, true, options);
+            let history = trainer.train(&mut net, &train_set, &test_set).unwrap();
+            let weights: Vec<Vec<f32>> = net
+                .params_mut()
+                .iter()
+                .map(|p| p.value.data().to_vec())
+                .collect();
+            (history, weights)
+        };
+        let (h1, w1) = run();
+        let (h2, w2) = run();
+        assert!(h1.same_trajectory(&h2), "histories must be bit-identical");
+        assert_eq!(w1, w2, "weights must be bit-identical");
     }
 
     #[test]
@@ -492,8 +620,35 @@ mod tests {
         let t8 = FfTrainer::new(Precision::Int8, true, TrainOptions::fast_test());
         assert!(t8.forward_mode().is_int8());
         assert!(t8.has_lookahead());
+        assert_eq!(
+            TrainerCore::algorithm(&t8),
+            Algorithm::FfInt8 { lookahead: true }
+        );
         let t32 = FfTrainer::new(Precision::Fp32, false, TrainOptions::fast_test());
         assert!(!t32.forward_mode().is_int8());
         assert!(!t32.has_lookahead());
+        assert_eq!(
+            TrainerCore::algorithm(&t32),
+            Algorithm::FfFp32 { lookahead: false }
+        );
+    }
+
+    #[test]
+    fn trainer_state_roundtrips() {
+        let (train_set, test_set) = tiny_mnist();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = small_mlp(784, &[16], 10, &mut rng);
+        let options = TrainOptions {
+            epochs: 1,
+            max_eval_samples: 20,
+            ..TrainOptions::fast_test()
+        };
+        let mut trainer = FfTrainer::new(Precision::Int8, true, options.clone());
+        trainer.train(&mut net, &train_set, &test_set).unwrap();
+        let state = trainer.export_state();
+        assert_eq!(state.velocities.len(), trainer.optimizers.len());
+        let mut fresh = FfTrainer::new(Precision::Int8, true, options);
+        fresh.import_state(&state, &mut net).unwrap();
+        assert_eq!(fresh.export_state(), state);
     }
 }

@@ -4,9 +4,19 @@
 //! "look-ahead" scheme, plus the backpropagation baselines it is evaluated
 //! against (BP-FP32, naive BP-INT8, BP-UI8, BP-GDAI8).
 //!
-//! The crate exposes a unified [`train`] entry point that dispatches on
-//! [`Algorithm`], so the experiment harness can sweep all five training
-//! algorithms over the same model and dataset.
+//! Training is **step-driven**: a [`TrainSession`] trains one mini-batch
+//! per [`TrainSession::step`] call, delivers typed [`TrainEvent`]s to
+//! observers (early stopping via [`SessionControl`]), and can be
+//! checkpointed into a versioned `FF8C` artifact ([`checkpoint`]) whose
+//! resume is **bit-identical** to an uninterrupted run — the interruptible,
+//! integer-state on-device training loop the paper's edge setting calls
+//! for. Both trainer families plug into the session through the
+//! [`TrainerCore`] trait.
+//!
+//! The unified [`train`] entry point (a thin wrapper over
+//! [`TrainSession::run`]) dispatches on [`Algorithm`], so the experiment
+//! harness can sweep all five training algorithms over the same model and
+//! dataset.
 //!
 //! # Examples
 //!
@@ -42,17 +52,24 @@
 
 mod api;
 mod baselines;
+pub mod checkpoint;
 mod config;
 mod error;
 mod ff_trainer;
 mod goodness;
+pub mod session;
 
 pub use api::{train, TrainingReport};
 pub use baselines::{BpTrainer, GradientPolicy};
+pub use checkpoint::{Checkpoint, EpochProgress, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{Algorithm, Precision, TrainOptions};
 pub use error::CoreError;
 pub use ff_trainer::FfTrainer;
 pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind, GoodnessSweep};
+pub use session::{
+    EvalSplit, SessionControl, SessionStatus, StepStats, TrainEvent, TrainSession, TrainerCore,
+    TrainerState,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,875 @@
+//! Step-driven training sessions: observe, pause, checkpoint and cancel a
+//! training run instead of blocking inside a monolithic loop.
+//!
+//! The paper targets *edge devices* — machines that lose power, get
+//! preempted and train in bursts — so the training API must be resumable and
+//! observable. This module provides:
+//!
+//! - [`TrainerCore`]: the uniform `step_batch` / `evaluate` interface both
+//!   [`crate::FfTrainer`] and [`crate::BpTrainer`] (all four gradient
+//!   policies) implement, so one driver loop serves every algorithm;
+//! - [`TrainSession`]: the driver. [`TrainSession::step`] trains exactly one
+//!   mini-batch; [`TrainSession::run_epoch`] and [`TrainSession::run`] build
+//!   on it. The classic [`crate::train`] entry point is now a thin wrapper
+//!   over `TrainSession::run`;
+//! - typed [`TrainEvent`]s delivered to caller-registered observers, whose
+//!   [`SessionControl`] return value implements early stopping and
+//!   cancellation;
+//! - [`TrainSession::checkpoint`] / [`TrainSession::resume`]: capture the
+//!   complete training state (parameters, optimizer momentum, RNG stream
+//!   position, epoch/step counters, mid-epoch batch order and loss
+//!   accumulators, history) such that `save → load → resume` reproduces the
+//!   uninterrupted run **bit-exactly** (see [`crate::checkpoint`]).
+//!
+//! # Examples
+//!
+//! Epoch-driven training with an early-stopping observer:
+//!
+//! ```
+//! use ff_core::{Algorithm, SessionControl, TrainEvent, TrainOptions, TrainSession};
+//! use ff_data::{synthetic_mnist, SyntheticConfig};
+//! use ff_models::small_mlp;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ff_core::CoreError> {
+//! let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = small_mlp(784, &[32], 10, &mut rng);
+//! let options = TrainOptions::fast_test();
+//! let mut session = TrainSession::new(
+//!     &mut net,
+//!     &train_set,
+//!     &test_set,
+//!     Algorithm::FfInt8 { lookahead: true },
+//!     &options,
+//! )?;
+//! session.on_event(|event| match event {
+//!     // Stop as soon as the test accuracy clears 95%.
+//!     TrainEvent::EpochEnd {
+//!         test_accuracy: Some(acc),
+//!         ..
+//!     } if *acc > 0.95 => SessionControl::Stop,
+//!     _ => SessionControl::Continue,
+//! });
+//! let history = session.run()?;
+//! assert!(!history.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::baselines::{BpTrainer, GradientPolicy};
+use crate::checkpoint::{Checkpoint, EpochProgress};
+use crate::config::{Algorithm, Precision, TrainOptions};
+use crate::ff_trainer::FfTrainer;
+use crate::{CoreError, Result};
+use ff_data::{Batch, Dataset};
+use ff_metrics::TrainingHistory;
+use ff_nn::Sequential;
+use ff_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::time::Instant;
+
+/// Statistics returned by one [`TrainerCore::step_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// The batch's training loss (summed FF loss, or mean cross-entropy).
+    pub loss: f32,
+    /// Correctly classified training samples in this batch, for trainers
+    /// whose forward pass yields predictions for free (backpropagation).
+    /// Zero for trainers that report [`TrainerCore::tracks_running_accuracy`]
+    /// `= false`.
+    pub correct: usize,
+    /// Samples scored into `correct` (zero when accuracy is not tracked).
+    pub seen: usize,
+}
+
+/// A snapshot of a trainer's mutable state, captured into (and restored
+/// from) `FF8C` checkpoints.
+///
+/// Network parameters live in the checkpoint itself; this struct covers what
+/// the *trainer* owns: the RNG stream position and the per-optimizer SGD
+/// momentum buffers ([`crate::FfTrainer`] keeps one optimizer per layer,
+/// [`crate::BpTrainer`] a single one — hence the nested `Vec`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// Full xoshiro256++ state of the trainer's RNG.
+    pub rng: [u64; 4],
+    /// Momentum buffers: one outer entry per optimizer slot, one inner
+    /// tensor per parameter that slot has stepped.
+    pub velocities: Vec<Vec<Tensor>>,
+}
+
+/// The uniform per-batch training interface behind [`TrainSession`].
+///
+/// Both trainer families implement it: [`crate::FfTrainer`] (FF-INT8 /
+/// FF-FP32, with or without look-ahead) and [`crate::BpTrainer`] (all four
+/// [`crate::GradientPolicy`] variants). The session owns the epoch loop —
+/// shuffling, λ scheduling, evaluation cadence, history, events — while the
+/// trainer owns the numerics of one batch and one evaluation.
+pub trait TrainerCore {
+    /// The algorithm this trainer implements (also names the history).
+    fn algorithm(&self) -> Algorithm;
+
+    /// The hyperparameters the trainer was constructed with.
+    fn options(&self) -> &TrainOptions;
+
+    /// Trains on one mini-batch: forward, loss, backward, optimizer step.
+    ///
+    /// `lambda` is the current look-ahead coefficient (always `0.0` for
+    /// backpropagation and for FF without look-ahead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/loss errors.
+    fn step_batch(
+        &mut self,
+        net: &mut Sequential,
+        batch: &Batch,
+        num_classes: usize,
+        lambda: f32,
+    ) -> Result<StepStats>;
+
+    /// Classification accuracy on (a capped prefix of) `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> Result<f32>;
+
+    /// `true` when [`StepStats::correct`] / [`StepStats::seen`] carry a
+    /// running training accuracy (backpropagation); `false` when training
+    /// accuracy requires a separate evaluation pass (Forward-Forward).
+    fn tracks_running_accuracy(&self) -> bool;
+
+    /// The trainer's RNG; the session shuffles each epoch's sample order
+    /// through it so the entire stochastic stream of a run lives in one
+    /// checkpointable generator.
+    fn rng_mut(&mut self) -> &mut StdRng;
+
+    /// Captures RNG + optimizer state for a checkpoint.
+    fn export_state(&self) -> TrainerState;
+
+    /// Restores state captured by [`TrainerCore::export_state`].
+    ///
+    /// `net` is the network this trainer will train — momentum buffers are
+    /// validated against its parameter shapes so a mismatched checkpoint
+    /// fails here with a typed error instead of panicking inside the
+    /// optimizer on the first step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CheckpointMismatch`] when the state's shape does
+    /// not fit this trainer and network.
+    fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> Result<()>;
+}
+
+impl<T: TrainerCore + ?Sized> TrainerCore for &mut T {
+    fn algorithm(&self) -> Algorithm {
+        (**self).algorithm()
+    }
+
+    fn options(&self) -> &TrainOptions {
+        (**self).options()
+    }
+
+    fn step_batch(
+        &mut self,
+        net: &mut Sequential,
+        batch: &Batch,
+        num_classes: usize,
+        lambda: f32,
+    ) -> Result<StepStats> {
+        (**self).step_batch(net, batch, num_classes, lambda)
+    }
+
+    fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> Result<f32> {
+        (**self).evaluate(net, dataset)
+    }
+
+    fn tracks_running_accuracy(&self) -> bool {
+        (**self).tracks_running_accuracy()
+    }
+
+    fn rng_mut(&mut self) -> &mut StdRng {
+        (**self).rng_mut()
+    }
+
+    fn export_state(&self) -> TrainerState {
+        (**self).export_state()
+    }
+
+    fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> Result<()> {
+        (**self).import_state(state, net)
+    }
+}
+
+/// Validates restored momentum buffers against the parameter shapes they
+/// will step. [`ff_nn::Sgd`] grows its buffer list lazily, so a checkpoint
+/// holding a *prefix* of the parameters' buffers is legal; any buffer that
+/// is present must match its parameter's shape exactly.
+pub(crate) fn check_momentum_buffers(
+    buffers: &[Tensor],
+    param_shapes: &[Vec<usize>],
+    what: &str,
+) -> Result<()> {
+    if buffers.len() > param_shapes.len() {
+        return Err(CoreError::CheckpointMismatch {
+            message: format!(
+                "checkpoint holds {} momentum buffers for {what} but it has {} parameters",
+                buffers.len(),
+                param_shapes.len()
+            ),
+        });
+    }
+    for (index, (buffer, shape)) in buffers.iter().zip(param_shapes).enumerate() {
+        if buffer.shape() != shape.as_slice() {
+            return Err(CoreError::CheckpointMismatch {
+                message: format!(
+                    "momentum buffer {index} for {what} has shape {:?} but the parameter has \
+                     shape {:?}",
+                    buffer.shape(),
+                    shape
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Which dataset split an evaluation ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalSplit {
+    /// The training set.
+    Train,
+    /// The held-out test set.
+    Test,
+}
+
+/// Typed notifications a [`TrainSession`] delivers to its observers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainEvent {
+    /// A new epoch is about to train its first batch.
+    EpochStart {
+        /// Epoch index (0-based).
+        epoch: usize,
+        /// The look-ahead coefficient in effect this epoch.
+        lambda: f32,
+    },
+    /// The λ schedule moved to a new value (emitted at the first epoch it
+    /// applies to; only Forward-Forward runs with look-ahead emit this).
+    LambdaChanged {
+        /// Epoch at which the new value takes effect.
+        epoch: usize,
+        /// The new coefficient.
+        lambda: f32,
+    },
+    /// One mini-batch was trained.
+    StepEnd {
+        /// Epoch the step belongs to.
+        epoch: usize,
+        /// Step index within the epoch (0-based).
+        step_in_epoch: usize,
+        /// Monotonic step counter across the whole run.
+        global_step: u64,
+        /// The batch's training loss.
+        loss: f32,
+    },
+    /// An evaluation pass finished.
+    Eval {
+        /// Epoch the evaluation belongs to.
+        epoch: usize,
+        /// Which split was scored.
+        split: EvalSplit,
+        /// Accuracy in `[0, 1]`.
+        accuracy: f32,
+    },
+    /// An epoch finished (its history record carries the same values).
+    EpochEnd {
+        /// Epoch index.
+        epoch: usize,
+        /// Mean training loss over the epoch's batches.
+        mean_loss: f32,
+        /// Training accuracy (running for BP, evaluated for FF, `0.0` on
+        /// FF epochs without evaluation).
+        train_accuracy: f32,
+        /// Test accuracy when this epoch evaluated.
+        test_accuracy: Option<f32>,
+        /// Wall-clock seconds the epoch took.
+        seconds: f64,
+    },
+}
+
+/// Observer verdict after each event: keep training or stop the session.
+///
+/// The `ControlFlow`-style return is what lets a callback implement early
+/// stopping or cancellation without the session exposing channels or flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionControl {
+    /// Keep training.
+    #[default]
+    Continue,
+    /// Stop after the current step; [`TrainSession::run`] returns the
+    /// history recorded so far.
+    Stop,
+}
+
+/// What a [`TrainSession::step`] (or [`TrainSession::run_epoch`]) call left
+/// the session in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Mid-epoch: more steps remain in the current epoch.
+    Running,
+    /// The step completed epoch `epoch`; more epochs remain.
+    EpochFinished {
+        /// The epoch that just finished.
+        epoch: usize,
+    },
+    /// Every configured epoch has trained; further steps are no-ops.
+    Finished,
+    /// An observer returned [`SessionControl::Stop`]; further steps are
+    /// no-ops.
+    Stopped,
+}
+
+/// A registered event callback (see [`TrainSession::on_event`]).
+type Observer<'a> = Box<dyn FnMut(&TrainEvent) -> SessionControl + 'a>;
+
+/// Progress bookkeeping of the epoch currently being trained.
+struct EpochState {
+    /// Shuffled sample order for this epoch; batches are consecutive
+    /// `batch_size` chunks of it.
+    order: Vec<usize>,
+    /// Offset of the next batch's first sample within `order`.
+    next: usize,
+    loss_sum: f32,
+    batch_count: usize,
+    correct: usize,
+    seen: usize,
+    lambda: f32,
+    /// Wall-clock seconds spent on this epoch before the latest (re)start —
+    /// non-zero only for epochs resumed from a mid-epoch checkpoint.
+    elapsed_before: f64,
+    started: Instant,
+}
+
+/// A step-driven training run over one network and one dataset pair.
+///
+/// See the [module docs](self) for the motivation and an example; see
+/// [`crate::checkpoint`] for the persistence format.
+pub struct TrainSession<'a> {
+    net: &'a mut Sequential,
+    train_set: &'a Dataset,
+    test_set: &'a Dataset,
+    options: TrainOptions,
+    trainer: Box<dyn TrainerCore + 'a>,
+    observers: Vec<Observer<'a>>,
+    history: TrainingHistory,
+    /// Index of the epoch the next step belongs to.
+    epoch: usize,
+    global_step: u64,
+    current: Option<EpochState>,
+    stopped: bool,
+    /// λ in effect for the most recently started epoch, for change events.
+    last_lambda: Option<f32>,
+}
+
+impl std::fmt::Debug for TrainSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainSession")
+            .field("algorithm", &self.trainer.algorithm().label())
+            .field("epoch", &self.epoch)
+            .field("global_step", &self.global_step)
+            .field("observers", &self.observers.len())
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl<'a> TrainSession<'a> {
+    /// Creates a session for `algorithm`, constructing the matching trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `options` fails
+    /// [`TrainOptions::validate`] or the training set is empty — the checks
+    /// run *here*, at session creation, instead of failing deep inside the
+    /// loop.
+    pub fn new(
+        net: &'a mut Sequential,
+        train_set: &'a Dataset,
+        test_set: &'a Dataset,
+        algorithm: Algorithm,
+        options: &TrainOptions,
+    ) -> Result<Self> {
+        let trainer: Box<dyn TrainerCore + 'a> = match algorithm {
+            Algorithm::BpFp32 => Box::new(BpTrainer::new(GradientPolicy::Fp32, options.clone())),
+            Algorithm::BpInt8 => {
+                Box::new(BpTrainer::new(GradientPolicy::DirectInt8, options.clone()))
+            }
+            Algorithm::BpUi8 => Box::new(BpTrainer::new(GradientPolicy::Ui8, options.clone())),
+            Algorithm::BpGdai8 => Box::new(BpTrainer::new(GradientPolicy::Gdai8, options.clone())),
+            Algorithm::FfInt8 { lookahead } => {
+                Box::new(FfTrainer::new(Precision::Int8, lookahead, options.clone()))
+            }
+            Algorithm::FfFp32 { lookahead } => {
+                Box::new(FfTrainer::new(Precision::Fp32, lookahead, options.clone()))
+            }
+        };
+        Self::from_boxed(net, train_set, test_set, trainer)
+    }
+
+    /// Creates a session around an existing trainer (any [`TrainerCore`]
+    /// implementation, including `&mut FfTrainer` / `&mut BpTrainer`).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`TrainSession::new`].
+    pub fn with_trainer<T: TrainerCore + 'a>(
+        net: &'a mut Sequential,
+        train_set: &'a Dataset,
+        test_set: &'a Dataset,
+        trainer: T,
+    ) -> Result<Self> {
+        Self::from_boxed(net, train_set, test_set, Box::new(trainer))
+    }
+
+    fn from_boxed(
+        net: &'a mut Sequential,
+        train_set: &'a Dataset,
+        test_set: &'a Dataset,
+        trainer: Box<dyn TrainerCore + 'a>,
+    ) -> Result<Self> {
+        trainer.options().validate()?;
+        if train_set.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                message: "training set is empty".to_string(),
+            });
+        }
+        let options = trainer.options().clone();
+        let history = TrainingHistory::new(trainer.algorithm().label());
+        Ok(TrainSession {
+            net,
+            train_set,
+            test_set,
+            options,
+            trainer,
+            observers: Vec::new(),
+            history,
+            epoch: 0,
+            global_step: 0,
+            current: None,
+            stopped: false,
+            last_lambda: None,
+        })
+    }
+
+    /// Registers an observer. Every [`TrainEvent`] is delivered to every
+    /// observer in registration order; any observer returning
+    /// [`SessionControl::Stop`] stops the session after the current step.
+    pub fn on_event<F: FnMut(&TrainEvent) -> SessionControl + 'a>(&mut self, observer: F) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// The algorithm this session trains with.
+    pub fn algorithm(&self) -> Algorithm {
+        self.trainer.algorithm()
+    }
+
+    /// The session's hyperparameters.
+    pub fn options(&self) -> &TrainOptions {
+        &self.options
+    }
+
+    /// Index of the epoch the next step belongs to (== number of completed
+    /// epochs).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Mini-batches trained so far across the whole run.
+    pub fn global_step(&self) -> u64 {
+        self.global_step
+    }
+
+    /// The per-epoch history recorded so far.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// `true` once every configured epoch has trained or an observer
+    /// stopped the session.
+    pub fn is_finished(&self) -> bool {
+        self.stopped || self.epoch >= self.options.epochs
+    }
+
+    /// The look-ahead coefficient for `epoch` under this session's
+    /// algorithm: the [`TrainOptions::lambda_at_epoch`] schedule for FF with
+    /// look-ahead, `0.0` otherwise.
+    pub fn lambda_for_epoch(&self, epoch: usize) -> f32 {
+        if self.trainer.algorithm().has_lookahead() {
+            self.options.lambda_at_epoch(epoch)
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluates test-set accuracy with the trainer's own evaluator
+    /// (goodness sweep for FF, logits argmax for BP), without recording
+    /// anything.
+    ///
+    /// Note that for INT8 Forward-Forward trainers an evaluation draws
+    /// stochastic-rounding seeds from the trainer RNG, so it advances the
+    /// run's random stream — by design, checkpoints capture that too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn eval(&mut self) -> Result<f32> {
+        self.trainer.evaluate(self.net, self.test_set)
+    }
+
+    fn emit(&mut self, event: TrainEvent) {
+        for observer in &mut self.observers {
+            if observer(&event) == SessionControl::Stop {
+                self.stopped = true;
+            }
+        }
+    }
+
+    /// Starts the next epoch: computes λ, shuffles the sample order through
+    /// the trainer's RNG (same stream the monolithic loop used), and emits
+    /// [`TrainEvent::EpochStart`] (+ [`TrainEvent::LambdaChanged`]).
+    fn begin_epoch(&mut self) {
+        let epoch = self.epoch;
+        let lambda = self.lambda_for_epoch(epoch);
+        let mut order: Vec<usize> = (0..self.train_set.len()).collect();
+        order.shuffle(self.trainer.rng_mut());
+        self.current = Some(EpochState {
+            order,
+            next: 0,
+            loss_sum: 0.0,
+            batch_count: 0,
+            correct: 0,
+            seen: 0,
+            lambda,
+            elapsed_before: 0.0,
+            started: Instant::now(),
+        });
+        let lambda_changed =
+            self.trainer.algorithm().has_lookahead() && self.last_lambda != Some(lambda);
+        self.last_lambda = Some(lambda);
+        self.emit(TrainEvent::EpochStart { epoch, lambda });
+        if lambda_changed {
+            self.emit(TrainEvent::LambdaChanged { epoch, lambda });
+        }
+    }
+
+    /// Trains exactly one mini-batch and returns where that left the
+    /// session. Call in a loop (or use [`TrainSession::run_epoch`] /
+    /// [`TrainSession::run`]); once `Finished` or `Stopped` is returned,
+    /// further calls are no-ops returning the same status.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trainer errors; the session stays resumable (the failed
+    /// batch is not counted).
+    pub fn step(&mut self) -> Result<SessionStatus> {
+        if self.stopped {
+            return Ok(SessionStatus::Stopped);
+        }
+        if self.epoch >= self.options.epochs {
+            return Ok(SessionStatus::Finished);
+        }
+        if self.current.is_none() {
+            self.begin_epoch();
+            if self.stopped {
+                return Ok(SessionStatus::Stopped);
+            }
+        }
+        // Cut the next batch out of the shuffled order.
+        let (batch, start, end, lambda) = {
+            let state = self.current.as_ref().expect("epoch state just ensured");
+            let start = state.next;
+            let end = (start + self.options.batch_size).min(state.order.len());
+            let chunk = &state.order[start..end];
+            let images = self.train_set.images().select_rows(chunk)?;
+            let labels = chunk.iter().map(|&i| self.train_set.labels()[i]).collect();
+            (Batch { images, labels }, start, end, state.lambda)
+        };
+        let stats =
+            self.trainer
+                .step_batch(self.net, &batch, self.train_set.num_classes(), lambda)?;
+        let epoch = self.epoch;
+        let (step_in_epoch, epoch_done) = {
+            let state = self.current.as_mut().expect("epoch state exists");
+            state.next = end;
+            state.loss_sum += stats.loss;
+            state.batch_count += 1;
+            state.correct += stats.correct;
+            state.seen += stats.seen;
+            (
+                start / self.options.batch_size.max(1),
+                end >= state.order.len(),
+            )
+        };
+        let global_step = self.global_step;
+        self.global_step += 1;
+        self.emit(TrainEvent::StepEnd {
+            epoch,
+            step_in_epoch,
+            global_step,
+            loss: stats.loss,
+        });
+        if epoch_done {
+            self.finish_epoch()?;
+            if self.stopped {
+                return Ok(SessionStatus::Stopped);
+            }
+            return Ok(if self.epoch >= self.options.epochs {
+                SessionStatus::Finished
+            } else {
+                SessionStatus::EpochFinished { epoch }
+            });
+        }
+        if self.stopped {
+            return Ok(SessionStatus::Stopped);
+        }
+        Ok(SessionStatus::Running)
+    }
+
+    /// Finishes the current epoch: evaluation (per the `eval_every`
+    /// cadence), history record, [`TrainEvent::EpochEnd`].
+    fn finish_epoch(&mut self) -> Result<()> {
+        let state = self.current.take().expect("finish_epoch without epoch");
+        let epoch = self.epoch;
+        let mean_loss = state.loss_sum / state.batch_count.max(1) as f32;
+        let evaluate_now = epoch.is_multiple_of(self.options.eval_every.max(1))
+            || epoch + 1 == self.options.epochs;
+        let (train_accuracy, test_accuracy) = if self.trainer.tracks_running_accuracy() {
+            let train_accuracy = state.correct as f32 / state.seen.max(1) as f32;
+            let test_accuracy = if evaluate_now {
+                let accuracy = self.trainer.evaluate(self.net, self.test_set)?;
+                self.emit(TrainEvent::Eval {
+                    epoch,
+                    split: EvalSplit::Test,
+                    accuracy,
+                });
+                Some(accuracy)
+            } else {
+                None
+            };
+            (train_accuracy, test_accuracy)
+        } else if evaluate_now {
+            let train_accuracy = self.trainer.evaluate(self.net, self.train_set)?;
+            self.emit(TrainEvent::Eval {
+                epoch,
+                split: EvalSplit::Train,
+                accuracy: train_accuracy,
+            });
+            let test_accuracy = self.trainer.evaluate(self.net, self.test_set)?;
+            self.emit(TrainEvent::Eval {
+                epoch,
+                split: EvalSplit::Test,
+                accuracy: test_accuracy,
+            });
+            (train_accuracy, Some(test_accuracy))
+        } else {
+            (0.0, None)
+        };
+        let seconds = state.elapsed_before + state.started.elapsed().as_secs_f64();
+        self.history
+            .record_timed(epoch, mean_loss, train_accuracy, test_accuracy, seconds);
+        self.epoch += 1;
+        self.emit(TrainEvent::EpochEnd {
+            epoch,
+            mean_loss,
+            train_accuracy,
+            test_accuracy,
+            seconds,
+        });
+        Ok(())
+    }
+
+    /// Steps until the current epoch finishes (or the run finishes / an
+    /// observer stops it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn run_epoch(&mut self) -> Result<SessionStatus> {
+        loop {
+            match self.step()? {
+                SessionStatus::Running => continue,
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
+    /// Steps until every epoch has trained (or an observer stops the run)
+    /// and returns the recorded history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn run(mut self) -> Result<TrainingHistory> {
+        loop {
+            match self.step()? {
+                SessionStatus::Finished | SessionStatus::Stopped => return Ok(self.history),
+                SessionStatus::Running | SessionStatus::EpochFinished { .. } => continue,
+            }
+        }
+    }
+
+    /// Captures the complete training state into a [`Checkpoint`].
+    ///
+    /// The checkpoint holds everything a bit-exact resume needs: algorithm
+    /// and options, epoch/step counters, the trainer's RNG stream position
+    /// and optimizer momentum, every layer parameter, the history so far,
+    /// and — when taken mid-epoch — the epoch's remaining shuffled batch
+    /// order plus its loss/accuracy accumulators.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let progress = self.current.as_ref().map(|state| EpochProgress {
+            order: state.order.clone(),
+            next: state.next,
+            loss_sum: state.loss_sum,
+            batch_count: state.batch_count as u64,
+            correct: state.correct as u64,
+            seen: state.seen as u64,
+            elapsed_seconds: state.elapsed_before + state.started.elapsed().as_secs_f64(),
+        });
+        let params = self
+            .net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
+        Checkpoint {
+            algorithm: self.trainer.algorithm(),
+            options: self.options.clone(),
+            epoch: self.epoch as u64,
+            global_step: self.global_step,
+            trainer: self.trainer.export_state(),
+            history: self.history.clone(),
+            params,
+            progress,
+        }
+    }
+
+    /// Rebuilds a session from a [`Checkpoint`], restoring parameters into
+    /// `net` and continuing the run bit-exactly where the checkpoint was
+    /// taken.
+    ///
+    /// `net` must have the same architecture the checkpoint was taken from
+    /// (the caller rebuilds it with any RNG — every parameter is
+    /// overwritten); `train_set` must have the same length and class count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CheckpointMismatch`] when the parameter count/shapes or
+    /// the dataset geometry disagree with the checkpoint;
+    /// [`CoreError::InvalidConfig`] when the checkpoint's options fail
+    /// validation.
+    pub fn resume(
+        net: &'a mut Sequential,
+        train_set: &'a Dataset,
+        test_set: &'a Dataset,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self> {
+        let mut session = Self::new(
+            net,
+            train_set,
+            test_set,
+            checkpoint.algorithm,
+            &checkpoint.options,
+        )?;
+        session
+            .trainer
+            .import_state(&checkpoint.trainer, session.net)?;
+        {
+            let mut params = session.net.params_mut();
+            if params.len() != checkpoint.params.len() {
+                return Err(CoreError::CheckpointMismatch {
+                    message: format!(
+                        "checkpoint holds {} parameter tensors but the network has {}",
+                        checkpoint.params.len(),
+                        params.len()
+                    ),
+                });
+            }
+            for (index, (param, saved)) in params.iter_mut().zip(&checkpoint.params).enumerate() {
+                if param.value.shape() != saved.shape() {
+                    return Err(CoreError::CheckpointMismatch {
+                        message: format!(
+                            "parameter {index} has shape {:?} in the network but {:?} in the \
+                             checkpoint",
+                            param.value.shape(),
+                            saved.shape()
+                        ),
+                    });
+                }
+                *param.value = saved.clone();
+                // Stale gradients never survive a step boundary; make that
+                // explicit, and invalidate any cached packed weight plans.
+                param.grad.scale_inplace(0.0);
+                param.mark_updated();
+            }
+        }
+        session.history = checkpoint.history.clone();
+        session.epoch = checkpoint.epoch as usize;
+        session.global_step = checkpoint.global_step;
+        if let Some(progress) = &checkpoint.progress {
+            let state = session.restore_progress(progress)?;
+            session.current = Some(state);
+            session.last_lambda = Some(session.lambda_for_epoch(session.epoch));
+        } else if session.epoch > 0 {
+            session.last_lambda = Some(session.lambda_for_epoch(session.epoch - 1));
+        }
+        Ok(session)
+    }
+
+    /// Validates and rehydrates a mid-epoch [`EpochProgress`] against this
+    /// session's dataset.
+    fn restore_progress(&self, progress: &EpochProgress) -> Result<EpochState> {
+        let n = self.train_set.len();
+        if progress.order.len() != n {
+            return Err(CoreError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint epoch order covers {} samples but the training set has {n}",
+                    progress.order.len()
+                ),
+            });
+        }
+        let mut seen = vec![false; n];
+        for &index in &progress.order {
+            if index >= n || seen[index] {
+                return Err(CoreError::CheckpointMismatch {
+                    message: format!(
+                        "checkpoint epoch order is not a permutation of 0..{n} \
+                         (offending index {index})"
+                    ),
+                });
+            }
+            seen[index] = true;
+        }
+        if progress.next > n {
+            return Err(CoreError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint epoch cursor {} is past the training set length {n}",
+                    progress.next
+                ),
+            });
+        }
+        Ok(EpochState {
+            order: progress.order.clone(),
+            next: progress.next,
+            loss_sum: progress.loss_sum,
+            batch_count: progress.batch_count as usize,
+            correct: progress.correct as usize,
+            seen: progress.seen as usize,
+            lambda: self.lambda_for_epoch(self.epoch),
+            elapsed_before: progress.elapsed_seconds,
+            started: Instant::now(),
+        })
+    }
+}

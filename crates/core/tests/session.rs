@@ -1,0 +1,314 @@
+//! Behavioural tests for the step-driven [`TrainSession`] API: event
+//! delivery, observer-driven cancellation, step/epoch semantics, and
+//! equivalence with the classic `train()` entry point.
+
+use ff_core::{
+    train, Algorithm, CoreError, EvalSplit, SessionControl, SessionStatus, TrainEvent,
+    TrainOptions, TrainSession,
+};
+use ff_data::{synthetic_mnist, Dataset, SyntheticConfig};
+use ff_models::small_mlp;
+use ff_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn tiny_dataset() -> (Dataset, Dataset) {
+    synthetic_mnist(&SyntheticConfig {
+        train_size: 96,
+        test_size: 32,
+        noise_std: 0.2,
+        max_shift: 0,
+        seed: 17,
+    })
+}
+
+fn tiny_net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    small_mlp(784, &[16], 10, &mut rng)
+}
+
+fn tiny_options(epochs: usize) -> TrainOptions {
+    TrainOptions {
+        epochs,
+        batch_size: 32,
+        max_eval_samples: 32,
+        ..TrainOptions::fast_test()
+    }
+}
+
+#[test]
+fn session_run_matches_classic_train_bit_exactly() {
+    // The wrapper and a manually stepped session must produce the same
+    // trajectory: same seed, same algorithm, same loop.
+    for algorithm in [
+        Algorithm::FfInt8 { lookahead: true },
+        Algorithm::BpFp32,
+        Algorithm::BpGdai8,
+    ] {
+        let (train_set, test_set) = tiny_dataset();
+        let options = tiny_options(2);
+
+        let mut net_a = tiny_net(1);
+        let classic = train(&mut net_a, &train_set, &test_set, algorithm, &options).unwrap();
+
+        let mut net_b = tiny_net(1);
+        let stepped = {
+            let mut session =
+                TrainSession::new(&mut net_b, &train_set, &test_set, algorithm, &options).unwrap();
+            loop {
+                match session.step().unwrap() {
+                    SessionStatus::Finished | SessionStatus::Stopped => break,
+                    _ => {}
+                }
+            }
+            session.history().clone()
+        };
+        assert!(
+            classic.same_trajectory(&stepped),
+            "{algorithm}: stepped session must match train()"
+        );
+        // And the weights agree bit-for-bit.
+        let wa: Vec<Vec<u32>> = net_a
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let wb: Vec<Vec<u32>> = net_b
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(wa, wb, "{algorithm}: weights must be bit-identical");
+    }
+}
+
+#[test]
+fn events_follow_the_documented_lifecycle() {
+    let (train_set, test_set) = tiny_dataset();
+    let options = tiny_options(2);
+    let mut net = tiny_net(2);
+    let mut session = TrainSession::new(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: true },
+        &options,
+    )
+    .unwrap();
+    let events: Rc<RefCell<Vec<TrainEvent>>> = Rc::default();
+    let sink = Rc::clone(&events);
+    session.on_event(move |event| {
+        sink.borrow_mut().push(event.clone());
+        SessionControl::Continue
+    });
+    let history = session.run().unwrap();
+    let events = events.borrow();
+
+    // 96 samples / batch 32 = 3 steps per epoch, 2 epochs.
+    let steps: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TrainEvent::StepEnd { .. }))
+        .collect();
+    assert_eq!(steps.len(), 6);
+    let epoch_starts: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TrainEvent::EpochStart { .. }))
+        .collect();
+    assert_eq!(epoch_starts.len(), 2);
+    let epoch_ends: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TrainEvent::EpochEnd {
+                epoch,
+                mean_loss,
+                test_accuracy,
+                seconds,
+                ..
+            } => Some((*epoch, *mean_loss, *test_accuracy, *seconds)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epoch_ends.len(), 2);
+    assert_eq!(epoch_ends[0].0, 0);
+    assert_eq!(epoch_ends[1].0, 1);
+    // EpochEnd mirrors the history records, including wall-clock seconds.
+    for (record, (epoch, mean_loss, test_accuracy, seconds)) in
+        history.records().iter().zip(&epoch_ends)
+    {
+        assert_eq!(record.epoch, *epoch);
+        assert_eq!(record.train_loss, *mean_loss);
+        assert_eq!(record.test_accuracy, *test_accuracy);
+        assert_eq!(record.seconds, *seconds);
+        assert!(*seconds > 0.0, "epochs must measure wall-clock time");
+    }
+    // FF evaluates train + test on every eval epoch.
+    let evals: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TrainEvent::Eval { split, .. } => Some(*split),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        evals,
+        vec![
+            EvalSplit::Train,
+            EvalSplit::Test,
+            EvalSplit::Train,
+            EvalSplit::Test
+        ]
+    );
+    // λ = 0.0 at epoch 0 (paper schedule), then 0.001 at epoch 1 → exactly
+    // two change events for a look-ahead run with lambda_init = 0.
+    let lambdas: Vec<f32> = events
+        .iter()
+        .filter_map(|e| match e {
+            TrainEvent::LambdaChanged { lambda, .. } => Some(*lambda),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lambdas.len(), 2);
+    assert_eq!(lambdas[0], 0.0);
+    assert!((lambdas[1] - 0.001).abs() < 1e-7);
+}
+
+#[test]
+fn bp_runs_emit_no_lambda_events() {
+    let (train_set, test_set) = tiny_dataset();
+    let mut net = tiny_net(3);
+    let mut session = TrainSession::new(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::BpFp32,
+        &tiny_options(1),
+    )
+    .unwrap();
+    let saw_lambda = Rc::new(RefCell::new(false));
+    let flag = Rc::clone(&saw_lambda);
+    session.on_event(move |event| {
+        if matches!(event, TrainEvent::LambdaChanged { .. }) {
+            *flag.borrow_mut() = true;
+        }
+        SessionControl::Continue
+    });
+    session.run().unwrap();
+    assert!(!*saw_lambda.borrow());
+}
+
+#[test]
+fn observer_stop_cancels_the_run() {
+    let (train_set, test_set) = tiny_dataset();
+    let mut net = tiny_net(4);
+    let mut session = TrainSession::new(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::BpFp32,
+        &tiny_options(50),
+    )
+    .unwrap();
+    // Stop after the first completed epoch: classic early stopping.
+    session.on_event(|event| match event {
+        TrainEvent::EpochEnd { .. } => SessionControl::Stop,
+        _ => SessionControl::Continue,
+    });
+    let history = session.run().unwrap();
+    assert_eq!(history.len(), 1, "only one epoch may complete");
+}
+
+#[test]
+fn step_semantics_and_terminal_states() {
+    let (train_set, test_set) = tiny_dataset();
+    let mut net = tiny_net(5);
+    let options = tiny_options(2);
+    let mut session =
+        TrainSession::new(&mut net, &train_set, &test_set, Algorithm::BpFp32, &options).unwrap();
+    assert_eq!(session.epoch(), 0);
+    assert!(!session.is_finished());
+    // 3 steps per epoch: two Running, then EpochFinished.
+    assert_eq!(session.step().unwrap(), SessionStatus::Running);
+    assert_eq!(session.step().unwrap(), SessionStatus::Running);
+    assert_eq!(
+        session.step().unwrap(),
+        SessionStatus::EpochFinished { epoch: 0 }
+    );
+    assert_eq!(session.epoch(), 1);
+    assert_eq!(session.global_step(), 3);
+    // run_epoch finishes the second (final) epoch.
+    assert_eq!(session.run_epoch().unwrap(), SessionStatus::Finished);
+    assert!(session.is_finished());
+    assert_eq!(session.history().len(), 2);
+    // Stepping a finished session is a no-op.
+    assert_eq!(session.step().unwrap(), SessionStatus::Finished);
+    assert_eq!(session.global_step(), 6);
+    // The trainer's evaluator stays available.
+    let acc = session.eval().unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn invalid_configurations_fail_at_creation() {
+    let (train_set, test_set) = tiny_dataset();
+
+    let mut net = tiny_net(6);
+    let zero_epochs = tiny_options(0);
+    assert!(matches!(
+        TrainSession::new(
+            &mut net,
+            &train_set,
+            &test_set,
+            Algorithm::BpFp32,
+            &zero_epochs
+        ),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+
+    let bad_lr = tiny_options(1).with_learning_rate(f32::INFINITY);
+    assert!(matches!(
+        TrainSession::new(&mut net, &train_set, &test_set, Algorithm::BpFp32, &bad_lr),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+
+    let empty = train_set.take(0).unwrap();
+    assert!(matches!(
+        TrainSession::new(
+            &mut net,
+            &empty,
+            &test_set,
+            Algorithm::BpFp32,
+            &tiny_options(1)
+        ),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn eval_cadence_matches_options() {
+    let (train_set, test_set) = tiny_dataset();
+    let mut net = tiny_net(7);
+    let options = TrainOptions {
+        epochs: 4,
+        eval_every: 2,
+        ..tiny_options(4)
+    };
+    let history = TrainSession::new(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::FfFp32 { lookahead: false },
+        &options,
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    let evaluated: Vec<bool> = history
+        .records()
+        .iter()
+        .map(|r| r.test_accuracy.is_some())
+        .collect();
+    // Epochs 0 and 2 by cadence, epoch 3 because it is last.
+    assert_eq!(evaluated, vec![true, false, true, true]);
+}

@@ -1,9 +1,11 @@
 //! Figure 2: loss and accuracy per epoch when gradients are directly
 //! quantized to INT8 under backpropagation, versus FP32 backpropagation,
 //! on a residual convolutional network trained on the CIFAR-10 stand-in.
+//!
+//! Pass `--algo=BP-FP32` / `--algo=BP-INT8` to run a single side.
 
-use ff_core::{train, Algorithm};
-use ff_experiments::{bp_options, cifar10, RunScale};
+use ff_core::{Algorithm, TrainSession};
+use ff_experiments::{algo_filter_from_args, bp_options, cifar10, progress_observer, RunScale};
 use ff_metrics::format_series;
 use ff_models::{small_resnet, SmallModelConfig};
 use rand::rngs::StdRng;
@@ -11,6 +13,7 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = RunScale::from_args();
+    let filter = algo_filter_from_args();
     let (train_set, test_set) = cifar10(scale);
     let options = bp_options(scale).with_batch_size(32);
     let model_config = SmallModelConfig::default()
@@ -19,11 +22,16 @@ fn main() {
 
     println!("== Figure 2: direct INT8 gradient quantization under BP diverges ==\n");
     for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {
+        if filter.is_some_and(|wanted| wanted != algorithm) {
+            continue;
+        }
         let mut rng = StdRng::seed_from_u64(7);
         let mut net = small_resnet(&model_config, &mut rng);
-        let history =
-            train(&mut net, &train_set, &test_set, algorithm, &options).expect("training failed");
-        println!("-- {} --", algorithm.label());
+        let mut session = TrainSession::new(&mut net, &train_set, &test_set, algorithm, &options)
+            .expect("session creation failed");
+        session.on_event(progress_observer(algorithm.to_string()));
+        let history = session.run().expect("training failed");
+        println!("-- {algorithm} --");
         let loss_series: Vec<(usize, f32)> = history
             .records()
             .iter()
@@ -35,9 +43,10 @@ fn main() {
             format_series("epoch", "test accuracy", &history.test_accuracy_series())
         );
         println!(
-            "final accuracy: {:.3}   diverged: {}\n",
+            "final accuracy: {:.3}   diverged: {}   wall-clock: {:.1}s\n",
             history.final_accuracy().unwrap_or(0.0),
-            history.diverged(5.0)
+            history.diverged(5.0),
+            history.total_seconds()
         );
     }
     println!(

@@ -1,12 +1,14 @@
 //! Figure 6: test accuracy per epoch for FF-INT8 with and without the
 //! look-ahead scheme, on (a) an MLP and (b) a residual convolutional network.
 
-use ff_core::{train, Algorithm};
-use ff_experiments::{cifar10, ff_options, mnist, RunScale};
+use ff_core::{Algorithm, TrainEvent, TrainSession};
+use ff_experiments::{cifar10, ff_options, mnist, progress_observer, RunScale};
 use ff_metrics::format_series;
 use ff_models::{small_mlp, small_resnet, SmallModelConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn main() {
     let scale = RunScale::from_args();
@@ -17,22 +19,23 @@ fn main() {
     let options = ff_options(scale);
     let mut convergence = Vec::new();
     for lookahead in [false, true] {
+        let algorithm = Algorithm::FfInt8 { lookahead };
         let mut rng = StdRng::seed_from_u64(21);
         let mut net = small_mlp(784, &[64, 64], 10, &mut rng);
-        let history = train(
-            &mut net,
-            &train_set,
-            &test_set,
-            Algorithm::FfInt8 { lookahead },
-            &options,
-        )
-        .expect("training failed");
-        let label = if lookahead {
-            "with look-ahead"
-        } else {
-            "without look-ahead"
-        };
-        println!("-- FF-INT8 {label} --");
+        let mut session = TrainSession::new(&mut net, &train_set, &test_set, algorithm, &options)
+            .expect("session creation failed");
+        // Observe the λ schedule live: every change event is one increment
+        // of the look-ahead coefficient (paper Section V-A3).
+        let lambda_changes: Rc<RefCell<usize>> = Rc::default();
+        let counter = Rc::clone(&lambda_changes);
+        session.on_event(move |event| {
+            if matches!(event, TrainEvent::LambdaChanged { .. }) {
+                *counter.borrow_mut() += 1;
+            }
+            ff_core::SessionControl::Continue
+        });
+        let history = session.run().expect("training failed");
+        println!("-- {algorithm} --");
         println!(
             "{}",
             format_series("epoch", "test accuracy", &history.test_accuracy_series())
@@ -40,10 +43,14 @@ fn main() {
         let best = history.best_test_accuracy().unwrap_or(0.0);
         let to_threshold = history.epochs_to_reach(0.8 * best);
         println!(
-            "best accuracy {:.3}, epochs to reach 80% of best: {:?}\n",
-            best, to_threshold
+            "best accuracy {:.3}, epochs to reach 80% of best: {:?}, λ steps observed: {}, \
+             wall-clock: {:.1}s\n",
+            best,
+            to_threshold,
+            lambda_changes.borrow(),
+            history.total_seconds()
         );
-        convergence.push((label, best, to_threshold));
+        convergence.push((algorithm.label(), best, to_threshold));
     }
 
     if run_resnet {
@@ -56,22 +63,15 @@ fn main() {
             .with_base_channels(if scale.is_full() { 8 } else { 4 })
             .with_stages(2);
         for lookahead in [false, true] {
+            let algorithm = Algorithm::FfInt8 { lookahead };
             let mut rng = StdRng::seed_from_u64(22);
             let mut net = small_resnet(&model_config, &mut rng);
-            let history = train(
-                &mut net,
-                &ctrain,
-                &ctest,
-                Algorithm::FfInt8 { lookahead },
-                &conv_options,
-            )
-            .expect("training failed");
-            let label = if lookahead {
-                "with look-ahead"
-            } else {
-                "without look-ahead"
-            };
-            println!("-- FF-INT8 {label} (residual network) --");
+            let mut session =
+                TrainSession::new(&mut net, &ctrain, &ctest, algorithm, &conv_options)
+                    .expect("session creation failed");
+            session.on_event(progress_observer(format!("{algorithm} resnet")));
+            let history = session.run().expect("training failed");
+            println!("-- {algorithm} (residual network) --");
             println!(
                 "{}",
                 format_series("epoch", "test accuracy", &history.test_accuracy_series())

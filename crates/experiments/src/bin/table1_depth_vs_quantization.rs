@@ -1,7 +1,7 @@
 //! Table I: accuracy of MLPs with 0–3 hidden layers trained with FP32 versus
 //! direct-INT8 backpropagation on the MNIST stand-in.
 
-use ff_core::{train, Algorithm};
+use ff_core::{Algorithm, TrainSession};
 use ff_experiments::{bp_options, mnist, pct, RunScale};
 use ff_metrics::format_table;
 use ff_models::small_mlp;
@@ -22,7 +22,9 @@ fn main() {
         for algorithm in [Algorithm::BpFp32, Algorithm::BpInt8] {
             let mut rng = StdRng::seed_from_u64(11);
             let mut net = small_mlp(784, &hidden, 10, &mut rng);
-            let history = train(&mut net, &train_set, &test_set, algorithm, &options)
+            let history = TrainSession::new(&mut net, &train_set, &test_set, algorithm, &options)
+                .expect("session creation failed")
+                .run()
                 .expect("training failed");
             accuracies.push(history.final_accuracy().unwrap_or(0.0));
         }

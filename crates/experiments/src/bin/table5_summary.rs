@@ -5,10 +5,12 @@
 //! datasets; time, energy and memory come from the analytic Jetson Orin Nano
 //! cost model applied to the full-scale architecture specs (see DESIGN.md).
 
-use ff_core::{train, Algorithm, TrainOptions};
+use ff_core::{Algorithm, TrainOptions, TrainSession};
 use ff_data::Dataset;
 use ff_edge::{AlgorithmKind, CostModel, TrainingRun};
-use ff_experiments::{bp_options, cifar10, ff_options, mnist, pct, RunScale};
+use ff_experiments::{
+    algo_filter_from_args, bp_options, cifar10, ff_options, mnist, pct, RunScale,
+};
 use ff_metrics::format_table;
 use ff_models::{small_cnn, small_mlp, small_resnet, specs, ModelSpec, SmallModelConfig};
 use ff_nn::Sequential;
@@ -45,6 +47,7 @@ fn options_for(algorithm: Algorithm, scale: RunScale) -> TrainOptions {
 
 fn main() {
     let scale = RunScale::from_args();
+    let algo_filter = algo_filter_from_args();
     let cost_model = CostModel::jetson_orin_nano();
     let cnn_config = SmallModelConfig::default()
         .with_base_channels(if scale.is_full() { 8 } else { 4 })
@@ -83,8 +86,9 @@ fn main() {
 
     println!("== Table V: accuracy / time / energy / memory across training algorithms ==\n");
     println!(
-        "(accuracy: measured on scaled-down models + synthetic data; time/energy/memory:\n\
-         analytic Jetson Orin Nano model on the full-scale architectures)\n"
+        "(accuracy + measured train s: scaled-down models + synthetic data on this machine;\n\
+         model time/energy/memory: analytic Jetson Orin Nano model on the full-scale\n\
+         architectures; pass --algo=<label> to run a single algorithm)\n"
     );
 
     let mut rows = Vec::new();
@@ -98,6 +102,9 @@ fn main() {
         let mut gdai8_metrics = None;
         let mut ff_metrics = None;
         for algorithm in Algorithm::table5_lineup() {
+            if algo_filter.is_some_and(|wanted| wanted != algorithm) {
+                continue;
+            }
             let mut conv_options = options_for(algorithm, scale);
             if bench.name != "MLP" {
                 // convolutional empirical runs are the slowest part; cap them
@@ -108,13 +115,15 @@ fn main() {
             }
             let mut rng = StdRng::seed_from_u64(33);
             let mut net = (bench.build)(&mut rng);
-            let history = train(
+            let history = TrainSession::new(
                 &mut net,
                 &bench.dataset.0,
                 &bench.dataset.1,
                 algorithm,
                 &conv_options,
             )
+            .expect("session creation failed")
+            .run()
             .expect("training failed");
             let accuracy = history.final_accuracy().unwrap_or(0.0);
             let cost = cost_model.estimate(edge_algorithm(algorithm), &bench.spec, &run);
@@ -122,6 +131,7 @@ fn main() {
                 bench.name.to_string(),
                 algorithm.label(),
                 pct(accuracy),
+                format!("{:.1}", history.total_seconds()),
                 format!("{:.1}", cost.time_s),
                 format!("{:.1}", cost.energy_j),
                 format!("{:.1}", cost.memory_mib()),
@@ -144,7 +154,8 @@ fn main() {
                 "Model",
                 "Training algorithm",
                 "Accuracy (%)",
-                "Time (s)",
+                "Measured train (s)",
+                "Model time (s)",
                 "Energy (J)",
                 "Memory (MB)"
             ],

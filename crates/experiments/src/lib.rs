@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ff_core::TrainOptions;
+use ff_core::{Algorithm, SessionControl, TrainEvent, TrainOptions};
 use ff_data::{synthetic_cifar10, synthetic_mnist, Dataset, SyntheticConfig};
 
 /// Scale of an experiment run.
@@ -113,6 +113,44 @@ pub fn pct(value: f32) -> String {
     format!("{:.1}", value * 100.0)
 }
 
+/// Parses an optional `--algo=<label>` filter from the process arguments
+/// via [`Algorithm::parse`] (`--algo=bp-gdai8`, `--algo=FF-INT8`, ...).
+///
+/// Exits with the parse error when the label is unknown, so a typo'd flag
+/// fails loudly instead of silently running every algorithm.
+pub fn algo_filter_from_args() -> Option<Algorithm> {
+    std::env::args().find_map(|arg| {
+        arg.strip_prefix("--algo=").map(|label| {
+            Algorithm::parse(label).unwrap_or_else(|error| {
+                eprintln!("{error}");
+                std::process::exit(2);
+            })
+        })
+    })
+}
+
+/// A [`ff_core::TrainSession`] observer printing one live progress line per
+/// evaluated epoch — the experiment binaries attach it so long runs are
+/// observable instead of silent until the end.
+pub fn progress_observer(label: String) -> impl FnMut(&TrainEvent) -> SessionControl {
+    move |event| {
+        if let TrainEvent::EpochEnd {
+            epoch,
+            mean_loss,
+            test_accuracy: Some(accuracy),
+            seconds,
+            ..
+        } = event
+        {
+            println!(
+                "    [{label}] epoch {epoch:>3}: loss {mean_loss:>8.4}  test acc {accuracy:.3}  \
+                 ({seconds:.2}s)"
+            );
+        }
+        SessionControl::Continue
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +177,26 @@ mod tests {
     fn pct_formats_one_decimal() {
         assert_eq!(pct(0.943), "94.3");
         assert_eq!(pct(1.0), "100.0");
+    }
+
+    #[test]
+    fn progress_observer_never_stops_the_run() {
+        let mut observer = progress_observer("test".to_string());
+        let event = TrainEvent::EpochEnd {
+            epoch: 0,
+            mean_loss: 1.0,
+            train_accuracy: 0.5,
+            test_accuracy: Some(0.4),
+            seconds: 0.1,
+        };
+        assert_eq!(observer(&event), SessionControl::Continue);
+        assert_eq!(
+            observer(&TrainEvent::EpochStart {
+                epoch: 1,
+                lambda: 0.0
+            }),
+            SessionControl::Continue
+        );
     }
 
     #[test]

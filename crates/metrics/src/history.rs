@@ -41,6 +41,13 @@ pub struct EpochRecord {
     pub train_accuracy: f32,
     /// Held-out test accuracy, when evaluated this epoch.
     pub test_accuracy: Option<f32>,
+    /// Wall-clock seconds the epoch took (training steps + evaluation).
+    /// `0.0` when the producer did not measure time.
+    ///
+    /// Timing is *measurement metadata*: determinism comparisons such as
+    /// [`TrainingHistory::same_trajectory`] deliberately ignore it, because
+    /// two bit-identical training runs still take different wall-clock time.
+    pub seconds: f64,
 }
 
 /// The full loss/accuracy trajectory of one training run.
@@ -63,7 +70,7 @@ impl TrainingHistory {
         }
     }
 
-    /// Appends one epoch record.
+    /// Appends one epoch record without timing information.
     pub fn record(
         &mut self,
         epoch: usize,
@@ -71,11 +78,24 @@ impl TrainingHistory {
         train_accuracy: f32,
         test_accuracy: Option<f32>,
     ) {
+        self.record_timed(epoch, train_loss, train_accuracy, test_accuracy, 0.0);
+    }
+
+    /// Appends one epoch record with its measured wall-clock duration.
+    pub fn record_timed(
+        &mut self,
+        epoch: usize,
+        train_loss: f32,
+        train_accuracy: f32,
+        test_accuracy: Option<f32>,
+        seconds: f64,
+    ) {
         self.records.push(EpochRecord {
             epoch,
             train_loss,
             train_accuracy,
             test_accuracy,
+            seconds,
         });
     }
 
@@ -147,6 +167,31 @@ impl TrainingHistory {
             .iter()
             .filter_map(|r| r.test_accuracy.map(|a| (r.epoch, a)))
             .collect()
+    }
+
+    /// Total measured wall-clock seconds across all recorded epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.seconds).sum()
+    }
+
+    /// `true` when two histories describe the **same training trajectory**:
+    /// same name and, per epoch, bit-identical loss and accuracy values
+    /// (`f32::to_bits` comparison, so `NaN == NaN` and `-0.0 != 0.0`).
+    ///
+    /// Wall-clock [`EpochRecord::seconds`] is ignored — it is measurement
+    /// metadata, not part of the trajectory. This is the comparison the
+    /// checkpoint/resume determinism guarantees are stated in: a run resumed
+    /// from an `FF8C` checkpoint must satisfy `same_trajectory` against the
+    /// uninterrupted run (plain `==` would fail on timing alone).
+    pub fn same_trajectory(&self, other: &TrainingHistory) -> bool {
+        self.name == other.name
+            && self.records.len() == other.records.len()
+            && self.records.iter().zip(&other.records).all(|(a, b)| {
+                a.epoch == b.epoch
+                    && a.train_loss.to_bits() == b.train_loss.to_bits()
+                    && a.train_accuracy.to_bits() == b.train_accuracy.to_bits()
+                    && a.test_accuracy.map(f32::to_bits) == b.test_accuracy.map(f32::to_bits)
+            })
     }
 }
 
@@ -220,5 +265,38 @@ mod tests {
             h.test_accuracy_series(),
             vec![(0, 0.18), (2, 0.75), (3, 0.83)]
         );
+    }
+
+    #[test]
+    fn timed_records_accumulate_seconds() {
+        let mut h = TrainingHistory::new("timed");
+        h.record_timed(0, 1.0, 0.5, None, 1.25);
+        h.record_timed(1, 0.9, 0.6, Some(0.55), 0.75);
+        h.record(2, 0.8, 0.7, None); // untimed → 0.0 s
+        assert_eq!(h.total_seconds(), 2.0);
+        assert_eq!(h.records()[0].seconds, 1.25);
+        assert_eq!(h.records()[2].seconds, 0.0);
+    }
+
+    #[test]
+    fn same_trajectory_ignores_timing_only() {
+        let mut a = TrainingHistory::new("run");
+        let mut b = TrainingHistory::new("run");
+        a.record_timed(0, 1.0, 0.5, Some(0.4), 10.0);
+        b.record_timed(0, 1.0, 0.5, Some(0.4), 99.0);
+        assert!(a.same_trajectory(&b), "timing must not break equality");
+        assert_ne!(a, b, "plain equality still sees the timing");
+
+        let mut c = TrainingHistory::new("run");
+        c.record_timed(0, 1.0, 0.5, Some(0.40001), 10.0);
+        assert!(!a.same_trajectory(&c), "accuracy drift must be detected");
+        let mut d = TrainingHistory::new("other");
+        d.record_timed(0, 1.0, 0.5, Some(0.4), 10.0);
+        assert!(!a.same_trajectory(&d), "name mismatch must be detected");
+        let mut nan_a = TrainingHistory::new("n");
+        let mut nan_b = TrainingHistory::new("n");
+        nan_a.record(0, f32::NAN, 0.0, None);
+        nan_b.record(0, f32::NAN, 0.0, None);
+        assert!(nan_a.same_trajectory(&nan_b), "bitwise: NaN equals NaN");
     }
 }

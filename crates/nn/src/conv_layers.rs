@@ -3,7 +3,7 @@
 use crate::layer::{ForwardMode, Layer, ParamRefMut};
 use crate::{NnError, Result};
 use ff_quant::plan::{int8_matmul_a_bt_planned, int8_matmul_at_b_planned, QGemmPlan};
-use ff_quant::{QuantConfig, QuantTensor};
+use ff_quant::QuantTensor;
 use ff_tensor::conv::{col2im, im2col, ConvGeometry};
 use ff_tensor::{init, linalg, Tensor};
 use rand::Rng;
@@ -60,7 +60,17 @@ pub struct Conv2d {
     cached_input_shape: Option<Vec<usize>>,
     cached_output_hw: (usize, usize),
     last_mode: ForwardMode,
+    /// Backward calls since the last forward; folded into the gradient
+    /// quantization salt so the look-ahead scheme's repeated backwards draw
+    /// independent seeded rounding streams.
+    backward_calls: u64,
 }
+
+/// Site salt decorrelating the forward im2col-quantization stream from other
+/// seeded-stochastic-rounding sites (see [`QuantTensor::quantize_seeded`]).
+const SALT_FORWARD_COLS: u64 = 0xC1;
+/// Site salt for the backward gradient-quantization stream.
+const SALT_BACKWARD_GRAD: u64 = 0xC2;
 
 impl Conv2d {
     /// Creates a convolution layer with Kaiming-normal weights and zero bias.
@@ -99,6 +109,7 @@ impl Conv2d {
             cached_input_shape: None,
             cached_output_hw: (0, 0),
             last_mode: ForwardMode::Fp32,
+            backward_calls: 0,
         })
     }
 
@@ -215,9 +226,7 @@ impl Layer for Conv2d {
                 linalg::matmul_a_bt_fused(&cols, &weight_mat, Some(&self.bias), self.fused_relu)?
             }
             ForwardMode::Int8(rounding) => {
-                let mut rng = rand::thread_rng();
-                let q_cols =
-                    QuantTensor::quantize_with_rng(&cols, QuantConfig::new(rounding), &mut rng);
+                let q_cols = QuantTensor::quantize_seeded(&cols, rounding, SALT_FORWARD_COLS);
                 // Reuse the packed weight-matrix panels (reshape + quantize
                 // + pack) while the weights are unchanged.
                 if self.weight_plan.as_ref().map(QGemmPlan::version) != Some(self.weight_version) {
@@ -235,6 +244,7 @@ impl Layer for Conv2d {
         };
         let out = self.rows_to_nchw(&rows, n, oh, ow);
         self.cached_cols = Some(cols);
+        self.backward_calls = 0;
         self.cached_input_shape = Some(input.shape().to_vec());
         self.cached_output_hw = (oh, ow);
         self.cached_mask = rows_mask.map(|mask| self.rows_to_nchw(&mask, n, oh, ow));
@@ -242,6 +252,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.backward_calls = self.backward_calls.wrapping_add(1);
         let cols = self
             .cached_cols
             .as_ref()
@@ -271,12 +282,8 @@ impl Layer for Conv2d {
                 (gw, gc)
             }
             ForwardMode::Int8(rounding) => {
-                let mut rng = rand::thread_rng();
-                let q_grad = QuantTensor::quantize_with_rng(
-                    &grad_rows,
-                    QuantConfig::new(rounding),
-                    &mut rng,
-                );
+                let salt = SALT_BACKWARD_GRAD.wrapping_add(self.backward_calls.wrapping_mul(0x100));
+                let q_grad = QuantTensor::quantize_seeded(&grad_rows, rounding, salt);
                 let cols_plan = self
                     .cols_plan
                     .as_mut()

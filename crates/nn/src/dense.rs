@@ -3,9 +3,17 @@
 use crate::layer::{ForwardMode, Layer, ParamRefMut};
 use crate::{NnError, Result};
 use ff_quant::plan::{int8_matmul_a_bt_planned, int8_matmul_at_b_planned, QGemmPlan};
-use ff_quant::{QuantConfig, QuantTensor};
+use ff_quant::QuantTensor;
 use ff_tensor::{init, linalg, Tensor};
 use rand::Rng;
+
+/// Site salt decorrelating the forward input-quantization stream from other
+/// seeded-stochastic-rounding sites (see [`QuantTensor::quantize_seeded`]).
+const SALT_FORWARD_INPUT: u64 = 0xD1;
+/// Site salt for the backward gradient-quantization stream. Each backward
+/// call in a step bumps a counter into the salt so the look-ahead scheme's
+/// repeated backwards through one layer draw independent streams.
+const SALT_BACKWARD_GRAD: u64 = 0xD2;
 
 /// A dense (fully-connected) layer `y = act(W·x + b)`.
 ///
@@ -62,6 +70,10 @@ pub struct Dense {
     input_plan: Option<QGemmPlan>,
     cached_mask: Option<Tensor>,
     last_mode: ForwardMode,
+    /// Backward calls since the last forward (the look-ahead scheme runs up
+    /// to two per step); folded into the gradient-quantization salt so each
+    /// call draws an independent seeded rounding stream.
+    backward_calls: u64,
 }
 
 impl Dense {
@@ -88,7 +100,13 @@ impl Dense {
             input_plan: None,
             cached_mask: None,
             last_mode: ForwardMode::Fp32,
+            backward_calls: 0,
         }
+    }
+
+    /// The seeded-rounding salt for the next backward gradient quantization.
+    fn backward_salt(&self) -> u64 {
+        SALT_BACKWARD_GRAD.wrapping_add(self.backward_calls.wrapping_mul(0x100))
     }
 
     /// Input feature count.
@@ -197,9 +215,7 @@ impl Layer for Dense {
                 linalg::matmul_a_bt_fused(input, &self.weight, Some(&self.bias), self.fused_relu)?
             }
             ForwardMode::Int8(rounding) => {
-                let mut rng = rand::thread_rng();
-                let q_input =
-                    QuantTensor::quantize_with_rng(input, QuantConfig::new(rounding), &mut rng);
+                let q_input = QuantTensor::quantize_seeded(input, rounding, SALT_FORWARD_INPUT);
                 // Reuse the packed weight panels while the weights are
                 // unchanged; rebuild (deterministically) once per optimizer
                 // step, so the per-step cost scales with activations only.
@@ -217,10 +233,12 @@ impl Layer for Dense {
         };
         self.cached_input = Some(input.clone());
         self.cached_mask = mask;
+        self.backward_calls = 0;
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.backward_calls = self.backward_calls.wrapping_add(1);
         let input = self
             .cached_input
             .as_ref()
@@ -238,9 +256,8 @@ impl Layer for Dense {
                 (gw, gi)
             }
             ForwardMode::Int8(rounding) => {
-                let mut rng = rand::thread_rng();
                 let q_grad =
-                    QuantTensor::quantize_with_rng(&grad_pre, QuantConfig::new(rounding), &mut rng);
+                    QuantTensor::quantize_seeded(&grad_pre, rounding, self.backward_salt());
                 let input_plan = self
                     .input_plan
                     .as_mut()

@@ -52,6 +52,23 @@ impl Sgd {
             velocity: Vec::new(),
         }
     }
+
+    /// The per-parameter momentum buffers, in the order [`Optimizer::step`]
+    /// received the parameters. Empty until the first step.
+    ///
+    /// Checkpointing trainers persist these so a resumed run continues the
+    /// exact same momentum trajectory as an uninterrupted one.
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::velocity`].
+    ///
+    /// Later parameters without a buffer are lazily (re)initialised to zero
+    /// on the next step, exactly as on a fresh optimizer.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
 }
 
 impl Optimizer for Sgd {

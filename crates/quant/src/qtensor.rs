@@ -36,11 +36,36 @@ pub struct QuantTensor {
 impl QuantTensor {
     /// Quantizes a real tensor with the per-tensor max-abs scale.
     ///
-    /// Stochastic rounding uses the thread-local RNG; for reproducible
-    /// experiments prefer [`QuantTensor::quantize_with_rng`].
+    /// Plain [`Rounding::Stochastic`] uses the thread-local RNG; for
+    /// reproducible experiments prefer [`QuantTensor::quantize_with_rng`] or
+    /// a [`Rounding::StochasticSeeded`] mode (which is deterministic through
+    /// any entry point).
     pub fn quantize(tensor: &Tensor, rounding: Rounding) -> Self {
-        let mut rng = rand::thread_rng();
-        Self::quantize_with_rng(tensor, QuantConfig::new(rounding), &mut rng)
+        Self::quantize_seeded(tensor, rounding, 0)
+    }
+
+    /// Quantizes with the RNG the rounding mode itself dictates.
+    ///
+    /// [`Rounding::StochasticSeeded`] builds a [`rand::rngs::StdRng`] from
+    /// the carried seed mixed with `site_salt`, so the result is a pure
+    /// function of `(tensor, rounding, site_salt)` — the property that makes
+    /// INT8 training checkpoints resumable bit-exactly. Distinct call sites
+    /// (e.g. a layer's forward input vs. its backward gradient) pass
+    /// distinct salts so their rounding streams are decorrelated.
+    /// [`Rounding::Nearest`] ignores the salt entirely, and plain
+    /// [`Rounding::Stochastic`] keeps its historical thread-local draws.
+    pub fn quantize_seeded(tensor: &Tensor, rounding: Rounding, site_salt: u64) -> Self {
+        match rounding.derive(site_salt) {
+            Rounding::StochasticSeeded(seed) => {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                Self::quantize_with_rng(tensor, QuantConfig::new(Rounding::Stochastic), &mut rng)
+            }
+            other => {
+                let mut rng = rand::thread_rng();
+                Self::quantize_with_rng(tensor, QuantConfig::new(other), &mut rng)
+            }
+        }
     }
 
     /// Quantizes with an explicit configuration (rounding mode and optional
@@ -342,6 +367,39 @@ mod tests {
         let t = Tensor::from_vec(&[3], vec![0.5, -0.5, 0.25]).unwrap();
         let q = QuantTensor::quantize(&t, Rounding::Stochastic);
         assert_eq!(q.shape(), &[3]);
+    }
+
+    #[test]
+    fn seeded_stochastic_rounding_is_deterministic() {
+        // Values sitting between grid points, so rounding direction is
+        // genuinely random.
+        let t = Tensor::from_vec(&[64], (0..64).map(|i| 0.013 * i as f32).collect()).unwrap();
+        let mode = Rounding::StochasticSeeded(42);
+        let a = QuantTensor::quantize_seeded(&t, mode, 1);
+        let b = QuantTensor::quantize_seeded(&t, mode, 1);
+        assert_eq!(a.codes(), b.codes(), "same seed + salt → same codes");
+        // A different site salt (or seed) produces a different stream.
+        let c = QuantTensor::quantize_seeded(&t, mode, 2);
+        let d = QuantTensor::quantize_seeded(&t, Rounding::StochasticSeeded(43), 1);
+        assert!(a.codes() != c.codes() || a.codes() != d.codes());
+        // Still a valid stochastic rounding: codes stay on adjacent grid
+        // points of the nearest quantization.
+        let nearest = QuantTensor::quantize_seeded(&t, Rounding::Nearest, 0);
+        for (s, n) in a.codes().iter().zip(nearest.codes()) {
+            assert!((*s as i16 - *n as i16).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn rounding_derive_mixes_seed_and_salt() {
+        let base = Rounding::StochasticSeeded(7);
+        assert_ne!(base.derive(0), base.derive(1));
+        assert_eq!(base.derive(3), base.derive(3));
+        assert_eq!(Rounding::Nearest.derive(9), Rounding::Nearest);
+        assert_eq!(Rounding::Stochastic.derive(9), Rounding::Stochastic);
+        assert!(base.is_stochastic());
+        assert!(Rounding::Stochastic.is_stochastic());
+        assert!(!Rounding::Nearest.is_stochastic());
     }
 
     #[test]

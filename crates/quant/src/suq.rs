@@ -19,8 +19,44 @@ pub enum Rounding {
     #[default]
     Nearest,
     /// Round up or down with probability proportional to the distance, so the
-    /// expected quantized value equals the real value.
+    /// expected quantized value equals the real value. Draws come from the
+    /// RNG the call site supplies (the thread-local generator at the
+    /// convenience entry points), so two runs are **not** reproducible.
     Stochastic,
+    /// Stochastic rounding whose draws come from a generator seeded with the
+    /// carried value, making the rounding a pure function of `(tensor,
+    /// seed)`. Trainers that must be checkpointable derive one seed per
+    /// quantization site from their own seeded RNG (see
+    /// [`Rounding::derive`]), which is what makes INT8 training runs
+    /// bit-exactly reproducible and resumable.
+    StochasticSeeded(u64),
+}
+
+impl Rounding {
+    /// `true` for either stochastic variant.
+    pub fn is_stochastic(&self) -> bool {
+        !matches!(self, Rounding::Nearest)
+    }
+
+    /// Derives a decorrelated seeded-stochastic mode from this one.
+    ///
+    /// For [`Rounding::StochasticSeeded`] the salt is mixed into the seed
+    /// through a SplitMix64 finalizer, so per-layer / per-site streams are
+    /// statistically independent; the other variants pass through
+    /// unchanged (they carry no seed to vary).
+    pub fn derive(self, salt: u64) -> Rounding {
+        match self {
+            Rounding::StochasticSeeded(seed) => {
+                let mut z = seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                Rounding::StochasticSeeded(z ^ (z >> 31))
+            }
+            other => other,
+        }
+    }
 }
 
 /// Configuration for a symmetric uniform quantizer.
@@ -88,7 +124,10 @@ pub fn quantize_value<R: Rng + ?Sized>(
     let x = value / scale;
     let rounded = match rounding {
         Rounding::Nearest => x.round(),
-        Rounding::Stochastic => {
+        // A seeded mode reaching this level draws from the supplied RNG just
+        // like plain `Stochastic`: the seed was already consumed to build
+        // that RNG (see `QuantTensor::quantize_seeded`).
+        Rounding::Stochastic | Rounding::StochasticSeeded(_) => {
             let floor = x.floor();
             let frac = x - floor;
             if rng.gen::<f32>() < frac {

@@ -4,6 +4,7 @@
 //! maps to a [`ServeError`] variant, which the round-trip and fuzz-style
 //! corruption tests exercise exhaustively.
 
+use ff_codec::CodecError;
 use ff_tensor::TensorError;
 use std::fmt;
 
@@ -84,6 +85,19 @@ impl std::error::Error for ServeError {
 impl From<TensorError> for ServeError {
     fn from(e: TensorError) -> Self {
         ServeError::Tensor(e)
+    }
+}
+
+impl From<CodecError> for ServeError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::BadMagic { .. } => ServeError::BadMagic,
+            CodecError::UnsupportedVersion { version } => {
+                ServeError::UnsupportedVersion { version }
+            }
+            CodecError::Truncated { context } => ServeError::Truncated { context },
+            CodecError::Corrupt { message } => ServeError::Corrupt { message },
+        }
     }
 }
 

@@ -35,10 +35,15 @@
 //! inconsistencies — wrong magic, unknown version or layer kind, a record
 //! length that disagrees with its payload, non-finite scales, dimension
 //! overflow, trailing garbage — map to typed [`ServeError`] variants.
+//!
+//! The header/record/checked-read machinery is the shared [`ff_codec`]
+//! crate, which the `FF8C` training-checkpoint format (`ff-core`) builds on
+//! too; [`ff_codec::CodecError`]s convert losslessly into the matching
+//! [`ServeError`] variants.
 
 use crate::model::{FrozenDense, FrozenLayer, FrozenModel};
 use crate::{Result, ServeError};
-use bytes::{Buf, BufMut, BytesMut};
+use ff_codec::{Reader, Writer};
 use ff_quant::QuantTensor;
 use ff_tensor::Tensor;
 
@@ -70,47 +75,42 @@ const KIND_FLATTEN: u8 = 2;
 /// # }
 /// ```
 pub fn save_bytes(model: &FrozenModel) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(64 + model.packed_bytes() / 2);
-    buf.put_slice(&MAGIC);
-    buf.put_u16_le(FORMAT_VERSION);
-    buf.put_u16_le(0); // reserved flags
-    buf.put_u32_le(model.input_features() as u32);
-    buf.put_u32_le(model.num_classes() as u32);
-    buf.put_u32_le(model.layers().len() as u32);
+    // Record size: kind + flags + dims + scale + f32 biases + i8 codes.
+    let record_bytes = |layer: &FrozenLayer| match layer {
+        FrozenLayer::Dense(dense) => {
+            14 + 4 * dense.out_features() + dense.out_features() * dense.in_features()
+        }
+        FrozenLayer::Flatten => 1,
+    };
+    let estimate = 32
+        + model
+            .layers()
+            .iter()
+            .map(|l| 4 + record_bytes(l))
+            .sum::<usize>();
+    let mut writer = Writer::with_capacity(&MAGIC, FORMAT_VERSION, estimate);
+    writer.put_u32(model.input_features() as u32);
+    writer.put_u32(model.num_classes() as u32);
+    writer.put_u32(model.layers().len() as u32);
     for layer in model.layers() {
-        match layer {
+        writer.record_sized(record_bytes(layer), |record| match layer {
             FrozenLayer::Dense(dense) => {
-                let (out, inp) = (dense.out_features(), dense.in_features());
-                let mut record = BytesMut::with_capacity(10 + 4 * out + out * inp);
                 record.put_u8(KIND_DENSE);
                 record.put_u8(u8::from(dense.has_relu()));
-                record.put_u32_le(out as u32);
-                record.put_u32_le(inp as u32);
-                record.put_f32_le(dense.plan().scale());
+                record.put_u32(dense.out_features() as u32);
+                record.put_u32(dense.in_features() as u32);
+                record.put_f32(dense.plan().scale());
                 for &b in dense.bias().data() {
-                    record.put_f32_le(b);
+                    record.put_f32(b);
                 }
                 for &c in dense.plan().quant().codes() {
                     record.put_i8(c);
                 }
-                buf.put_u32_le(record.len() as u32);
-                buf.put_slice(&record);
             }
-            FrozenLayer::Flatten => {
-                buf.put_u32_le(1);
-                buf.put_u8(KIND_FLATTEN);
-            }
-        }
+            FrozenLayer::Flatten => record.put_u8(KIND_FLATTEN),
+        });
     }
-    buf.into_vec()
-}
-
-/// Checks that at least `needed` bytes remain before a read.
-fn need(cursor: &&[u8], needed: usize, context: &'static str) -> Result<()> {
-    if cursor.remaining() < needed {
-        return Err(ServeError::Truncated { context });
-    }
-    Ok(())
+    writer.into_vec()
 }
 
 /// Deserializes an artifact produced by [`save_bytes`].
@@ -125,31 +125,13 @@ fn need(cursor: &&[u8], needed: usize, context: &'static str) -> Result<()> {
 /// Returns a typed [`ServeError`] — never panics — for any malformed,
 /// truncated, or trailing-garbage input.
 pub fn load_bytes(bytes: &[u8]) -> Result<FrozenModel> {
-    let mut cursor = bytes;
-    need(&cursor, 4, "magic")?;
-    let mut magic = [0u8; 4];
-    cursor.copy_to_slice(&mut magic);
-    if magic != MAGIC {
-        return Err(ServeError::BadMagic);
-    }
-    need(&cursor, 2, "format version")?;
-    let version = cursor.get_u16_le();
-    if version != FORMAT_VERSION {
-        return Err(ServeError::UnsupportedVersion { version });
-    }
-    need(&cursor, 2 + 4 + 4 + 4, "header")?;
-    let _flags = cursor.get_u16_le();
-    let input_features = cursor.get_u32_le() as usize;
-    let num_classes = cursor.get_u32_le() as usize;
-    let layer_count = cursor.get_u32_le() as usize;
+    let mut reader = Reader::new(bytes, &MAGIC, FORMAT_VERSION)?;
+    let input_features = reader.get_u32("header")? as usize;
+    let num_classes = reader.get_u32("header")? as usize;
+    let layer_count = reader.get_u32("header")? as usize;
     let mut layers = Vec::new();
     for index in 0..layer_count {
-        need(&cursor, 4, "layer record length")?;
-        let record_len = cursor.get_u32_le() as usize;
-        need(&cursor, record_len, "layer record")?;
-        let (record_bytes, rest) = cursor.split_at(record_len);
-        cursor = rest;
-        let mut record = record_bytes;
+        let mut record = reader.record("layer record")?;
         layers.push(read_layer(&mut record, index)?);
         if record.remaining() != 0 {
             return Err(ServeError::Corrupt {
@@ -160,9 +142,9 @@ pub fn load_bytes(bytes: &[u8]) -> Result<FrozenModel> {
             });
         }
     }
-    if cursor.remaining() != 0 {
+    if reader.remaining() != 0 {
         return Err(ServeError::Corrupt {
-            message: format!("{} trailing bytes after last layer", cursor.remaining()),
+            message: format!("{} trailing bytes after last layer", reader.remaining()),
         });
     }
     let model = FrozenModel::from_layers(layers, num_classes)?;
@@ -178,9 +160,8 @@ pub fn load_bytes(bytes: &[u8]) -> Result<FrozenModel> {
     Ok(model)
 }
 
-fn read_layer(record: &mut &[u8], index: usize) -> Result<FrozenLayer> {
-    need(record, 1, "layer kind")?;
-    match record.get_u8() {
+fn read_layer(record: &mut Reader<'_>, index: usize) -> Result<FrozenLayer> {
+    match record.get_u8("layer kind")? {
         KIND_DENSE => read_dense(record, index),
         KIND_FLATTEN => Ok(FrozenLayer::Flatten),
         kind => Err(ServeError::Corrupt {
@@ -189,18 +170,17 @@ fn read_layer(record: &mut &[u8], index: usize) -> Result<FrozenLayer> {
     }
 }
 
-fn read_dense(record: &mut &[u8], index: usize) -> Result<FrozenLayer> {
-    need(record, 1 + 4 + 4 + 4, "dense layer header")?;
-    let flags = record.get_u8();
+fn read_dense(record: &mut Reader<'_>, index: usize) -> Result<FrozenLayer> {
+    let flags = record.get_u8("dense layer header")?;
     if flags > 1 {
         return Err(ServeError::Corrupt {
             message: format!("dense layer {index} has unknown flag bits {flags:#x}"),
         });
     }
     let relu = flags & 1 == 1;
-    let out = record.get_u32_le() as usize;
-    let inp = record.get_u32_le() as usize;
-    let scale = record.get_f32_le();
+    let out = record.get_u32("dense layer header")? as usize;
+    let inp = record.get_u32("dense layer header")? as usize;
+    let scale = record.get_f32("dense layer header")?;
     if out == 0 || inp == 0 {
         return Err(ServeError::Corrupt {
             message: format!("dense layer {index} has zero dimension [{out}, {inp}]"),
@@ -216,15 +196,17 @@ fn read_dense(record: &mut &[u8], index: usize) -> Result<FrozenLayer> {
             message: format!("dense layer {index} weight scale {scale} is not positive finite"),
         });
     }
-    need(record, 4 * out, "dense bias")?;
+    // Allocations bounded by what the record can actually hold, so a corrupt
+    // header cannot force a huge reservation before the reads fail.
+    record.ensure_fits(out, 4, "dense bias")?;
     let mut bias = Vec::with_capacity(out);
     for _ in 0..out {
-        bias.push(record.get_f32_le());
+        bias.push(record.get_f32("dense bias")?);
     }
-    need(record, weight_len, "dense weight codes")?;
-    let mut codes = vec![0i8; weight_len];
-    for c in codes.iter_mut() {
-        *c = record.get_i8();
+    record.ensure_fits(weight_len, 1, "dense weight codes")?;
+    let mut codes = Vec::with_capacity(weight_len);
+    for _ in 0..weight_len {
+        codes.push(record.get_i8("dense weight codes")?);
     }
     let weight = QuantTensor::from_codes(&[out, inp], codes, scale)?;
     let bias = Tensor::from_vec(&[out], bias)?;

@@ -1,0 +1,121 @@
+//! Interruptible edge training: checkpoint a FF-INT8 run mid-flight into a
+//! versioned `FF8C` artifact, "lose power", and resume from disk — landing
+//! on results bit-identical to a run that was never interrupted.
+//!
+//! This is the workflow the paper's edge-device setting implies: a device
+//! that trains in bursts (between preemptions, duty cycles or power loss)
+//! must be able to persist a run and continue it later without losing
+//! epochs or changing the outcome.
+//!
+//! Run with: `cargo run --release --example checkpoint_resume`
+
+use ff_int8::core::{Algorithm, Checkpoint, SessionStatus, TrainOptions, TrainSession};
+use ff_int8::data::{synthetic_mnist, SyntheticConfig};
+use ff_int8::models::small_mlp;
+use rand::SeedableRng;
+
+const TOTAL_EPOCHS: usize = 6;
+const CHECKPOINT_AFTER: usize = 2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 600,
+        test_size: 200,
+        noise_std: 0.3,
+        max_shift: 1,
+        seed: 3,
+    });
+    let options = TrainOptions {
+        epochs: TOTAL_EPOCHS,
+        learning_rate: 0.2,
+        max_eval_samples: 200,
+        ..TrainOptions::default()
+    };
+    let algorithm = Algorithm::FfInt8 { lookahead: true };
+    let build_net = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        small_mlp(784, &[64, 64], 10, &mut rng)
+    };
+
+    // Reference: the uninterrupted run.
+    let mut reference_net = build_net();
+    let reference = TrainSession::new(
+        &mut reference_net,
+        &train_set,
+        &test_set,
+        algorithm,
+        &options,
+    )?
+    .run()?;
+    println!(
+        "uninterrupted: {TOTAL_EPOCHS} epochs, final accuracy {:.3}",
+        reference.final_accuracy().unwrap_or(0.0)
+    );
+
+    // Interrupted run, phase 1: train two epochs, checkpoint, "lose power".
+    let path = std::env::temp_dir().join("ff_int8_example.ff8c");
+    {
+        let mut net = build_net();
+        let mut session = TrainSession::new(&mut net, &train_set, &test_set, algorithm, &options)?;
+        while session.epoch() < CHECKPOINT_AFTER {
+            if let SessionStatus::Finished | SessionStatus::Stopped = session.step()? {
+                break;
+            }
+        }
+        let checkpoint = session.checkpoint();
+        checkpoint.save(&path)?;
+        println!(
+            "checkpointed after epoch {} ({} steps) into {} ({} bytes)",
+            session.epoch(),
+            session.global_step(),
+            path.display(),
+            std::fs::metadata(&path)?.len()
+        );
+        // Everything in this scope — network, session, trainer RNG — is
+        // dropped here, exactly like a process being killed.
+    }
+
+    // Phase 2: a fresh process rebuilds the architecture (any seed — every
+    // parameter is restored from the artifact) and resumes.
+    let checkpoint = Checkpoint::load(&path)?;
+    let mut resumed_net = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(999_999);
+        small_mlp(784, &[64, 64], 10, &mut rng)
+    };
+    let resumed = {
+        let session = TrainSession::resume(&mut resumed_net, &train_set, &test_set, &checkpoint)?;
+        println!(
+            "resumed at epoch {} / step {}",
+            session.epoch(),
+            session.global_step()
+        );
+        session.run()?
+    };
+    std::fs::remove_file(&path).ok();
+
+    // The two runs must be indistinguishable — same per-epoch trajectory,
+    // same final weights, bit for bit.
+    assert!(
+        reference.same_trajectory(&resumed),
+        "resumed history must be bit-identical to the uninterrupted run"
+    );
+    let reference_bits: Vec<u32> = reference_net
+        .params_mut()
+        .iter()
+        .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+        .collect();
+    let resumed_bits: Vec<u32> = resumed_net
+        .params_mut()
+        .iter()
+        .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+        .collect();
+    assert_eq!(
+        reference_bits, resumed_bits,
+        "weights must match bit-exactly"
+    );
+    println!(
+        "resumed:       {TOTAL_EPOCHS} epochs, final accuracy {:.3}  — bit-identical ✓",
+        resumed.final_accuracy().unwrap_or(0.0)
+    );
+    Ok(())
+}

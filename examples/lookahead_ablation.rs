@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example lookahead_ablation`
 
-use ff_int8::core::{train, Algorithm, TrainOptions};
+use ff_int8::core::{Algorithm, TrainOptions, TrainSession};
 use ff_int8::data::{synthetic_mnist, SyntheticConfig};
 use ff_int8::metrics::format_series;
 use ff_int8::models::small_mlp;
@@ -27,30 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for lookahead in [false, true] {
+        let algorithm = Algorithm::FfInt8 { lookahead };
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut net = small_mlp(784, &[96, 96], 10, &mut rng);
-        let history = train(
-            &mut net,
-            &train_set,
-            &test_set,
-            Algorithm::FfInt8 { lookahead },
-            &options,
-        )?;
-        let label = if lookahead {
-            "with look-ahead"
-        } else {
-            "without look-ahead"
-        };
-        println!("== FF-INT8 {label} ==");
+        let history =
+            TrainSession::new(&mut net, &train_set, &test_set, algorithm, &options)?.run()?;
+        println!("== {algorithm} ==");
         println!(
             "{}",
             format_series("epoch", "test accuracy", &history.test_accuracy_series())
         );
         let best = history.best_test_accuracy().unwrap_or(0.0);
         println!(
-            "best accuracy {:.3}; epochs to reach 90% of best: {:?}\n",
+            "best accuracy {:.3}; epochs to reach 90% of best: {:?}; wall-clock {:.1}s\n",
             best,
-            history.epochs_to_reach(0.9 * best)
+            history.epochs_to_reach(0.9 * best),
+            history.total_seconds()
         );
     }
     Ok(())

@@ -1,9 +1,10 @@
 //! Quickstart: train a 2-hidden-layer MLP with FF-INT8 (look-ahead enabled)
-//! on the synthetic MNIST stand-in and print the learning curve.
+//! on the synthetic MNIST stand-in, watching the run live through the
+//! step-driven `TrainSession` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ff_int8::core::{train, Algorithm, TrainOptions};
+use ff_int8::core::{Algorithm, SessionControl, TrainEvent, TrainOptions, TrainSession};
 use ff_int8::data::{synthetic_mnist, SyntheticConfig};
 use ff_int8::models::small_mlp;
 use rand::SeedableRng;
@@ -23,32 +24,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = small_mlp(784, &[128, 128], 10, &mut rng);
 
     // 3. Train with the paper's method: INT8 Forward-Forward + look-ahead.
+    //    A `TrainSession` exposes the run as it happens — the observer below
+    //    prints each epoch live and stops early once accuracy is good
+    //    enough, instead of blocking until every epoch is done.
     let options = TrainOptions {
         epochs: 15,
         learning_rate: 0.2,
         max_eval_samples: 300,
         ..TrainOptions::default()
     };
-    let history = train(
+    let mut session = TrainSession::new(
         &mut net,
         &train_set,
         &test_set,
         Algorithm::FfInt8 { lookahead: true },
         &options,
     )?;
+    println!("epoch  train-loss  test-accuracy  seconds");
+    session.on_event(|event| match event {
+        TrainEvent::EpochEnd {
+            epoch,
+            mean_loss,
+            test_accuracy,
+            seconds,
+            ..
+        } => {
+            println!(
+                "{epoch:>5}  {mean_loss:>10.4}  {:>13.3}  {seconds:>7.2}",
+                test_accuracy.unwrap_or(f32::NAN)
+            );
+            // Early stopping: no point finishing all 15 epochs once the
+            // synthetic task is solved.
+            if test_accuracy.is_some_and(|acc| acc > 0.97) {
+                println!("(early stop: accuracy target reached)");
+                SessionControl::Stop
+            } else {
+                SessionControl::Continue
+            }
+        }
+        _ => SessionControl::Continue,
+    });
+    let history = session.run()?;
 
-    println!("epoch  train-loss  test-accuracy");
-    for record in history.records() {
-        println!(
-            "{:>5}  {:>10.4}  {:>12.3}",
-            record.epoch,
-            record.train_loss,
-            record.test_accuracy.unwrap_or(f32::NAN)
-        );
-    }
     println!(
-        "\nFinal FF-INT8 accuracy: {:.1}%",
-        history.final_accuracy().unwrap_or(0.0) * 100.0
+        "\nFinal FF-INT8 accuracy: {:.1}% after {:.1}s of training",
+        history.final_accuracy().unwrap_or(0.0) * 100.0,
+        history.total_seconds()
     );
     Ok(())
 }

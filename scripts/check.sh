@@ -43,6 +43,12 @@ if [[ "$fast" -eq 0 ]]; then
     # direct in-memory inference asserted (crates/serve/tests/smoke.rs).
     echo "==> serve smoke gate (release)"
     cargo test -q --release -p ff-serve --test smoke
+
+    # Interrupt-resume smoke gate: train 2 epochs → FF8C checkpoint →
+    # resume 1 epoch → history and weights bit-identical to 3 straight
+    # epochs (crates/core/tests/checkpoint.rs).
+    echo "==> interrupt-resume smoke gate (release)"
+    cargo test -q --release -p ff-core --test checkpoint interrupt_resume_smoke_gate
 fi
 
 echo "All checks passed."

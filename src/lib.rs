@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ff_codec as codec;
 pub use ff_core as core;
 pub use ff_data as data;
 pub use ff_edge as edge;

@@ -102,6 +102,11 @@ pub trait BufMut {
     fn put_f32_le(&mut self, value: f32) {
         self.put_slice(&value.to_le_bytes());
     }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern in little-endian order.
+    fn put_f64_le(&mut self, value: f64) {
+        self.put_slice(&value.to_le_bytes());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -195,6 +200,13 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         f32::from_le_bytes(b)
     }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
 }
 
 impl Buf for &[u8] {
@@ -239,12 +251,14 @@ mod tests {
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u64_le(0x0123_4567_89AB_CDEF);
         buf.put_f32_le(-1.5);
+        buf.put_f64_le(2.75);
         buf.put_i8(-7);
         let mut cursor: &[u8] = &buf;
         assert_eq!(cursor.get_u16_le(), 0xBEEF);
         assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(cursor.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(cursor.get_f32_le(), -1.5);
+        assert_eq!(cursor.get_f64_le(), 2.75);
         assert_eq!(cursor.get_i8(), -7);
         assert_eq!(cursor.remaining(), 0);
     }
