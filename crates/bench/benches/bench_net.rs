@@ -1,0 +1,233 @@
+//! Network-serving benchmark: closed-loop multi-client load against the
+//! `ff-net` TCP front-end on the paper's 784→2000 MLP, swept over client
+//! counts × request payloads.
+//!
+//! Three wire strategies answer the same closed-loop load:
+//!
+//! - `per_conn`: one request per connection — connect, one `Predict`
+//!   frame, read the reply, disconnect (the naive baseline a
+//!   curl-per-request deployment would produce);
+//! - `pipelined`: one persistent connection per client, `Predict` frames
+//!   pipelined in waves of [`PIPELINE_DEPTH`];
+//! - `batched`: one persistent connection per client, [`PIPELINE_DEPTH`]
+//!   rows per `PredictBatch` frame.
+//!
+//! An `inproc` group runs the identical load through the in-process
+//! [`ServeHandle`], quantifying the socket tax. The acceptance gate
+//! (ISSUE 5 / `BENCH_net.json`) is **pipelined (or batched) ≥ 1.5×
+//! per_conn aggregate throughput at 8 concurrent clients** — persistent
+//! connections keep the micro-batcher fed with deep waves, while
+//! one-request-per-connection caps every client at one in-flight row plus
+//! a connect handshake per request. Client-observed latency percentiles
+//! (p50/p95/p99 via [`ff_metrics::LatencyHistogram`]) are printed per
+//! configuration.
+//!
+//! Running with `--bench` (what `cargo bench` passes) writes a
+//! `BENCH_net.json` baseline into the bench binary's working directory
+//! (`crates/bench/`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_metrics::LatencyHistogram;
+use ff_models::small_mlp;
+use ff_net::{Client, NetConfig, NetServer};
+use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode};
+use ff_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Requests answered per measured iteration (across all clients).
+const REQUESTS_PER_ITER: usize = 256;
+/// Rows per pipelined wave / batch frame.
+const PIPELINE_DEPTH: usize = 16;
+
+/// The paper's MNIST MLP: one 784→2000 hidden layer, 10-class head.
+fn paper_mlp() -> FrozenModel {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = small_mlp(784, &[2000], 10, &mut rng);
+    FrozenModel::freeze(&net, 10).expect("freeze")
+}
+
+fn request_pool(count: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(7);
+    init::uniform(&[count, 784], -1.0, 1.0, &mut rng)
+}
+
+fn net_config() -> NetConfig {
+    NetConfig {
+        conn_threads: 8,
+        read_timeout: Duration::from_millis(200),
+        serve: ServeConfig {
+            workers: 1,
+            mode: ServeMode::Logits,
+            policy: BatchPolicy {
+                max_batch: 32,
+                max_wait: Duration::from_millis(1),
+            },
+            gemm_threads: 1,
+        },
+        ..NetConfig::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    PerConn,
+    Pipelined,
+    Batched,
+}
+
+impl Strategy {
+    fn label(self) -> &'static str {
+        match self {
+            Strategy::PerConn => "per_conn",
+            Strategy::Pipelined => "pipelined",
+            Strategy::Batched => "batched",
+        }
+    }
+}
+
+/// Runs one client's share of a wave and records per-call latency.
+fn run_client_wave(
+    addr: SocketAddr,
+    strategy: Strategy,
+    pool: &Tensor,
+    base: usize,
+    count: usize,
+    latency: &mut LatencyHistogram,
+) {
+    match strategy {
+        Strategy::PerConn => {
+            for step in 0..count {
+                let row = pool.row((base + step) % pool.rows());
+                let started = Instant::now();
+                let mut client = Client::connect(addr).expect("connect");
+                client.predict(row).expect("request");
+                client.close();
+                latency.record(started.elapsed());
+            }
+        }
+        Strategy::Pipelined => {
+            let mut client = Client::connect(addr).expect("connect");
+            for wave in 0..count.div_ceil(PIPELINE_DEPTH) {
+                let rows = (0..PIPELINE_DEPTH)
+                    .map(|i| pool.row((base + wave * PIPELINE_DEPTH + i) % pool.rows()));
+                let started = Instant::now();
+                let labels = client.predict_pipelined(rows).expect("wave");
+                latency.record(started.elapsed() / labels.len() as u32);
+            }
+            client.close();
+        }
+        Strategy::Batched => {
+            let mut client = Client::connect(addr).expect("connect");
+            for wave in 0..count.div_ceil(PIPELINE_DEPTH) {
+                let flat: Vec<f32> = (0..PIPELINE_DEPTH)
+                    .flat_map(|i| {
+                        pool.row((base + wave * PIPELINE_DEPTH + i) % pool.rows())
+                            .to_vec()
+                    })
+                    .collect();
+                let started = Instant::now();
+                let labels = client.predict_batch(784, &flat).expect("batch");
+                latency.record(started.elapsed() / labels.len() as u32);
+            }
+            client.close();
+        }
+    }
+}
+
+/// One measured wave: `clients` threads splitting [`REQUESTS_PER_ITER`]
+/// requests, latencies folded into `histogram`.
+fn run_wave(
+    addr: SocketAddr,
+    strategy: Strategy,
+    clients: usize,
+    pool: &Tensor,
+    histogram: &Arc<Mutex<LatencyHistogram>>,
+) {
+    let per_client = REQUESTS_PER_ITER / clients;
+    std::thread::scope(|scope| {
+        for client_index in 0..clients {
+            let histogram = Arc::clone(histogram);
+            scope.spawn(move || {
+                let mut local = LatencyHistogram::new();
+                run_client_wave(
+                    addr,
+                    strategy,
+                    pool,
+                    client_index * per_client,
+                    per_client,
+                    &mut local,
+                );
+                histogram.lock().expect("latency lock").merge(&local);
+            });
+        }
+    });
+}
+
+fn bench_net_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net");
+    group.sample_size(10);
+    let pool = request_pool(REQUESTS_PER_ITER);
+    let server = NetServer::bind(paper_mlp(), "127.0.0.1:0", net_config()).expect("bind");
+    let addr = server.local_addr();
+    for &clients in &[1usize, 2, 4, 8] {
+        for strategy in [Strategy::PerConn, Strategy::Pipelined, Strategy::Batched] {
+            let histogram = Arc::new(Mutex::new(LatencyHistogram::new()));
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), format!("clients{clients}")),
+                &clients,
+                |bencher, _| {
+                    bencher.iter(|| run_wave(addr, strategy, clients, &pool, &histogram));
+                },
+            );
+            let summary = histogram.lock().expect("latency lock").summary();
+            println!(
+                "    {}/clients{clients}: latency[{summary}]",
+                strategy.label()
+            );
+        }
+    }
+    group.finish();
+
+    // The socket tax: the same closed loop through the in-process handle.
+    let mut group = c.benchmark_group("net_inproc_baseline");
+    group.sample_size(10);
+    let handle = server.handle();
+    for &clients in &[1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("inproc", format!("clients{clients}")),
+            &clients,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let per_client = REQUESTS_PER_ITER / clients;
+                    std::thread::scope(|scope| {
+                        for client_index in 0..clients {
+                            let handle = handle.clone();
+                            let pool = &pool;
+                            scope.spawn(move || {
+                                for step in 0..per_client {
+                                    let row =
+                                        pool.row((client_index * per_client + step) % pool.rows());
+                                    handle.predict(row).expect("request");
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+    let stats = server.handle().stats();
+    println!(
+        "    server totals: requests={} mean_batch={:.2} latency[{}]",
+        stats.requests, stats.mean_batch, stats.latency
+    );
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_net_throughput);
+criterion_main!(benches);

@@ -6,11 +6,12 @@
 //! paper frames the INT8-training landscape (Section II).
 
 use crate::config::{Algorithm, TrainOptions};
+use crate::optimizer::AnyOptimizer;
 use crate::session::{StepStats, TrainSession, TrainerCore, TrainerState};
 use crate::Result;
 use ff_data::{Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
-use ff_nn::{softmax_cross_entropy, ForwardMode, Optimizer, ParamRefMut, Sequential, Sgd};
+use ff_nn::{softmax_cross_entropy, ForwardMode, ParamRefMut, Sequential};
 use ff_quant::{QuantConfig, QuantTensor, Rounding};
 use ff_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -181,14 +182,15 @@ fn cosine_similarity(a: &Tensor, b: &Tensor) -> f32 {
 pub struct BpTrainer {
     options: TrainOptions,
     policy: GradientPolicy,
-    optimizer: Sgd,
+    optimizer: AnyOptimizer,
     rng: StdRng,
 }
 
 impl BpTrainer {
     /// Creates a backpropagation trainer with the given gradient policy.
     pub fn new(policy: GradientPolicy, options: TrainOptions) -> Self {
-        let optimizer = Sgd::new(options.learning_rate, options.momentum);
+        let optimizer =
+            AnyOptimizer::new(options.optimizer, options.learning_rate, options.momentum);
         let rng = StdRng::seed_from_u64(options.seed);
         BpTrainer {
             options,
@@ -306,32 +308,42 @@ impl TrainerCore for BpTrainer {
     fn export_state(&self) -> TrainerState {
         TrainerState {
             rng: self.rng.state(),
-            velocities: vec![self.optimizer.velocity().to_vec()],
+            slots: vec![self.optimizer.export()],
         }
     }
 
     fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> Result<()> {
-        if state.velocities.len() > 1 {
+        if state.slots.len() > 1 {
             return Err(crate::CoreError::CheckpointMismatch {
                 message: format!(
                     "checkpoint holds {} optimizer slots but backpropagation uses one",
-                    state.velocities.len()
+                    state.slots.len()
                 ),
             });
         }
-        if let Some(buffers) = state.velocities.first() {
-            let shapes: Vec<Vec<usize>> = net
-                .params_mut()
-                .iter()
-                .map(|p| p.value.shape().to_vec())
-                .collect();
-            crate::session::check_momentum_buffers(buffers, &shapes, "the network")?;
-        }
+        self.optimizer = match state.slots.first() {
+            Some(slot) => {
+                let shapes: Vec<Vec<usize>> = net
+                    .params_mut()
+                    .iter()
+                    .map(|p| p.value.shape().to_vec())
+                    .collect();
+                AnyOptimizer::import(
+                    self.options.optimizer,
+                    self.options.learning_rate,
+                    self.options.momentum,
+                    slot,
+                    &shapes,
+                    "the network",
+                )?
+            }
+            None => AnyOptimizer::new(
+                self.options.optimizer,
+                self.options.learning_rate,
+                self.options.momentum,
+            ),
+        };
         self.rng = StdRng::from_state(state.rng);
-        self.optimizer = Sgd::new(self.options.learning_rate, self.options.momentum);
-        if let Some(buffers) = state.velocities.first() {
-            self.optimizer.set_velocity(buffers.clone());
-        }
         Ok(())
     }
 }

@@ -3,25 +3,32 @@
 //! A checkpoint captures **everything** a training run's future depends on,
 //! so `save → load → resume` is bit-identical to never having stopped:
 //!
-//! - the algorithm and full [`TrainOptions`];
+//! - the algorithm and full [`TrainOptions`] (including the optimizer
+//!   family);
 //! - epoch / global-step counters, and — for mid-epoch checkpoints — the
 //!   epoch's shuffled sample order, cursor and loss/accuracy accumulators;
 //! - the trainer's RNG stream position (shuffling, negative-label sampling
 //!   and seeded stochastic rounding all draw from this one generator);
-//! - per-optimizer SGD momentum buffers;
+//! - per-optimizer state: SGD momentum buffers, or Adam first/second
+//!   moments plus the bias-correction step count
+//!   ([`crate::optimizer::OptimizerSlot`]);
 //! - every layer parameter tensor, stored as IEEE-754 bit patterns;
 //! - the [`TrainingHistory`] recorded so far (including per-epoch
 //!   wall-clock seconds).
 //!
-//! # Byte layout (version 1, all integers little-endian)
+//! # Byte layout (version 2, all integers little-endian)
 //!
 //! Built on [`ff_codec`]'s length-prefixed record machinery (shared with
-//! the `FF8S` serving format):
+//! the `FF8S` serving format and the `FF8P` wire protocol). Version 2
+//! extends version 1 with the optimizer-family byte in the options record
+//! and a per-slot optimizer-kind byte (version-1 artifacts implicitly held
+//! SGD state only, so there is no in-place upgrade path — retrain or
+//! re-checkpoint).
 //!
 //! ```text
 //! header:
 //!   magic            4 × u8   = "FF8C"
-//!   format_version   u16      = 1
+//!   format_version   u16      = 2
 //!   flags            u16      = 0 (reserved)
 //! record "meta":
 //!   algorithm_kind   u8       — 0..=3 BP policies, 4 FF-INT8, 5 FF-FP32
@@ -34,6 +41,7 @@
 //!   learning_rate, momentum, theta   f32
 //!   lambda_init, lambda_step, lambda_max  f32
 //!   eval_every, max_eval_samples, seed    u64
+//!   optimizer        u8       — 0 = SGD, 1 = Adam
 //! record "history":
 //!   name             string   — u32 length + UTF-8
 //!   count            u32
@@ -44,7 +52,10 @@
 //!   per tensor: ndim u32, dims ndim × u32, data Π·dims × f32
 //! record "optimizers":
 //!   count            u32      — optimizer slots
-//!   per slot: count u32, then tensors as above (momentum buffers)
+//!   per slot: kind u8 (0 = SGD, 1 = Adam), then
+//!     SGD:  count u32, then tensors as above (momentum buffers)
+//!     Adam: step_count u64, count u32, then count first-moment tensors
+//!           followed by count second-moment tensors
 //! record "progress":
 //!   present          u8       — 0 = checkpoint at an epoch boundary
 //!   order_len        u32, order order_len × u32
@@ -59,18 +70,27 @@
 //! the truncation/byte-flip fuzz suite in `crates/core/tests/checkpoint.rs`
 //! exercises.
 
-use crate::config::{Algorithm, TrainOptions};
+use crate::config::{Algorithm, OptimizerKind, TrainOptions};
+use crate::optimizer::OptimizerSlot;
 use crate::session::TrainerState;
 use crate::{CoreError, Result};
 use ff_codec::{CodecError, Reader, RecordWriter, Writer};
 use ff_metrics::TrainingHistory;
+use ff_nn::Sequential;
 use ff_tensor::Tensor;
+use std::path::{Path, PathBuf};
 
 /// The four magic bytes every training checkpoint starts with.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FF8C";
 
 /// The checkpoint format version this build writes and reads.
-pub const CHECKPOINT_VERSION: u16 = 1;
+pub const CHECKPOINT_VERSION: u16 = 2;
+
+/// Wire code of [`OptimizerKind::Sgd`] in the options and optimizers
+/// records.
+const OPTIMIZER_SGD: u8 = 0;
+/// Wire code of [`OptimizerKind::Adam`].
+const OPTIMIZER_ADAM: u8 = 1;
 
 /// Upper bound on the persisted history-name length (sanity bound for the
 /// loader; real names are short algorithm labels).
@@ -152,6 +172,135 @@ impl Checkpoint {
         })?;
         load_bytes(&bytes)
     }
+
+    /// Restores this checkpoint's parameter tensors into `net`, validating
+    /// count and shapes.
+    ///
+    /// This is the parameter half of [`crate::TrainSession::resume`],
+    /// exposed separately so a checkpoint can feed *serving* directly —
+    /// [`FrozenModel::from_checkpoint`] rebuilds the architecture, calls
+    /// this, and freezes, without ever constructing a training session.
+    /// Restored parameters have their gradients cleared and their versions
+    /// bumped (stale cached packed weight plans are invalidated).
+    ///
+    /// [`FrozenModel::from_checkpoint`]: https://docs.rs/ff-serve
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CheckpointMismatch`] when the parameter count or
+    /// any shape disagrees with the network.
+    pub fn restore_params(&self, net: &mut Sequential) -> Result<()> {
+        let mut params = net.params_mut();
+        if params.len() != self.params.len() {
+            return Err(CoreError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint holds {} parameter tensors but the network has {}",
+                    self.params.len(),
+                    params.len()
+                ),
+            });
+        }
+        for (index, (param, saved)) in params.iter_mut().zip(&self.params).enumerate() {
+            if param.value.shape() != saved.shape() {
+                return Err(CoreError::CheckpointMismatch {
+                    message: format!(
+                        "parameter {index} has shape {:?} in the network but {:?} in the \
+                         checkpoint",
+                        param.value.shape(),
+                        saved.shape()
+                    ),
+                });
+            }
+            *param.value = saved.clone();
+            // Stale gradients never survive a step boundary; make that
+            // explicit, and invalidate any cached packed weight plans.
+            param.grad.scale_inplace(0.0);
+            param.mark_updated();
+        }
+        Ok(())
+    }
+}
+
+/// The canonical file name of a checkpoint taken at `global_step`
+/// (`step-0000000042.ff8c`): zero-padded so lexicographic and numeric order
+/// agree, which is what [`rotate`] and [`latest`] key on.
+pub fn step_file_name(global_step: u64) -> String {
+    format!("step-{global_step:010}.ff8c")
+}
+
+/// Parses a file name produced by [`step_file_name`] back into its step.
+///
+/// Returns `None` for anything else, so foreign files in a checkpoint
+/// directory are never touched by [`rotate`].
+pub fn parse_step_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("step-")?.strip_suffix(".ff8c")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Lists the step-named checkpoints in `dir`, sorted oldest → newest.
+fn step_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Io {
+        message: format!("listing {}: {e}", dir.display()),
+    })?;
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CoreError::Io {
+            message: format!("listing {}: {e}", dir.display()),
+        })?;
+        let name = entry.file_name();
+        if let Some(step) = name.to_str().and_then(parse_step_file_name) {
+            found.push((step, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Deletes all but the newest `keep_last` step-named checkpoints
+/// (`step-<step>.ff8c`, see [`step_file_name`]) in `dir` and returns the
+/// removed paths, oldest first.
+///
+/// Files not matching the step naming scheme are ignored, so a checkpoint
+/// directory can hold other artifacts safely. Edge devices checkpoint
+/// often and have small disks — this is the GC half of the auto-checkpoint
+/// story ([`crate::TrainSession::auto_checkpoint`] calls it after every
+/// save).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when `keep_last` is zero (rotating
+/// away every checkpoint is never what a caller wants) and
+/// [`CoreError::Io`] on filesystem failures.
+pub fn rotate(dir: impl AsRef<Path>, keep_last: usize) -> Result<Vec<PathBuf>> {
+    if keep_last == 0 {
+        return Err(CoreError::InvalidConfig {
+            message: "rotate keep_last must be at least 1".to_string(),
+        });
+    }
+    let found = step_checkpoints(dir.as_ref())?;
+    let excess = found.len().saturating_sub(keep_last);
+    let mut removed = Vec::with_capacity(excess);
+    for (_, path) in found.into_iter().take(excess) {
+        std::fs::remove_file(&path).map_err(|e| CoreError::Io {
+            message: format!("removing {}: {e}", path.display()),
+        })?;
+        removed.push(path);
+    }
+    Ok(removed)
+}
+
+/// The newest step-named checkpoint in `dir` (by step, not mtime), or
+/// `None` when the directory holds none — the resume entry point after a
+/// crash: `latest(dir)? → Checkpoint::load → TrainSession::resume`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] when the directory cannot be listed.
+pub fn latest(dir: impl AsRef<Path>) -> Result<Option<PathBuf>> {
+    Ok(step_checkpoints(dir.as_ref())?.pop().map(|(_, path)| path))
 }
 
 fn algorithm_code(algorithm: Algorithm) -> (u8, u8) {
@@ -236,9 +385,12 @@ pub fn save_bytes(checkpoint: &Checkpoint) -> Vec<u8> {
     let params_bytes = 4 + tensors_bytes(&checkpoint.params);
     let optim_bytes = 4 + checkpoint
         .trainer
-        .velocities
+        .slots
         .iter()
-        .map(|slot| 4 + tensors_bytes(slot))
+        .map(|slot| match slot {
+            OptimizerSlot::Sgd { velocity } => 1 + 4 + tensors_bytes(velocity),
+            OptimizerSlot::Adam { m, v, .. } => 1 + 8 + 4 + tensors_bytes(m) + tensors_bytes(v),
+        })
         .sum::<usize>();
     let progress_bytes = match &checkpoint.progress {
         Some(progress) => 1 + 4 + 4 * progress.order.len() + 8 + 4 + 8 * 3 + 8,
@@ -271,6 +423,10 @@ pub fn save_bytes(checkpoint: &Checkpoint) -> Vec<u8> {
         r.put_u64(o.eval_every as u64);
         r.put_u64(o.max_eval_samples as u64);
         r.put_u64(o.seed);
+        r.put_u8(match o.optimizer {
+            OptimizerKind::Sgd => OPTIMIZER_SGD,
+            OptimizerKind::Adam => OPTIMIZER_ADAM,
+        });
     });
     writer.record(|r| {
         r.put_string(&checkpoint.history.name);
@@ -291,11 +447,30 @@ pub fn save_bytes(checkpoint: &Checkpoint) -> Vec<u8> {
         }
     });
     writer.record_sized(optim_bytes, |r| {
-        r.put_u32(checkpoint.trainer.velocities.len() as u32);
-        for slot in &checkpoint.trainer.velocities {
-            r.put_u32(slot.len() as u32);
-            for tensor in slot {
-                write_tensor(r, tensor);
+        r.put_u32(checkpoint.trainer.slots.len() as u32);
+        for slot in &checkpoint.trainer.slots {
+            match slot {
+                OptimizerSlot::Sgd { velocity } => {
+                    r.put_u8(OPTIMIZER_SGD);
+                    r.put_u32(velocity.len() as u32);
+                    for tensor in velocity {
+                        write_tensor(r, tensor);
+                    }
+                }
+                OptimizerSlot::Adam { m, v, step_count } => {
+                    r.put_u8(OPTIMIZER_ADAM);
+                    r.put_u64(*step_count);
+                    // m and v grow in lockstep, so one count covers both; an
+                    // uneven hand-built slot fails the record-length check
+                    // at load with a typed error.
+                    r.put_u32(m.len() as u32);
+                    for tensor in m {
+                        write_tensor(r, tensor);
+                    }
+                    for tensor in v {
+                        write_tensor(r, tensor);
+                    }
+                }
             }
         }
     });
@@ -359,6 +534,11 @@ pub fn load_bytes(bytes: &[u8]) -> Result<Checkpoint> {
         eval_every: opt.get_u64("eval_every")? as usize,
         max_eval_samples: opt.get_u64("max_eval_samples")? as usize,
         seed: opt.get_u64("seed")?,
+        optimizer: match opt.get_u8("optimizer kind")? {
+            OPTIMIZER_SGD => OptimizerKind::Sgd,
+            OPTIMIZER_ADAM => OptimizerKind::Adam,
+            other => return Err(corrupt(format!("unknown optimizer kind {other}"))),
+        },
     };
     opt.finish("options record")?;
     options
@@ -400,14 +580,42 @@ pub fn load_bytes(bytes: &[u8]) -> Result<Checkpoint> {
 
     let mut optim = reader.record("optimizers record")?;
     let slot_count = optim.get_u32("optimizer count")?;
-    let mut velocities = Vec::new();
+    let mut slots = Vec::new();
     for _ in 0..slot_count {
-        let buffer_count = optim.get_u32("momentum buffer count")?;
-        let mut slot = Vec::new();
-        for _ in 0..buffer_count {
-            slot.push(read_tensor(&mut optim, "momentum tensor")?);
-        }
-        velocities.push(slot);
+        let slot = match optim.get_u8("optimizer slot kind")? {
+            OPTIMIZER_SGD => {
+                let buffer_count = optim.get_u32("momentum buffer count")?;
+                let mut velocity = Vec::new();
+                for _ in 0..buffer_count {
+                    velocity.push(read_tensor(&mut optim, "momentum tensor")?);
+                }
+                OptimizerSlot::Sgd { velocity }
+            }
+            OPTIMIZER_ADAM => {
+                let step_count = optim.get_u64("Adam step count")?;
+                let moment_count = optim.get_u32("Adam moment count")?;
+                let mut m = Vec::new();
+                for _ in 0..moment_count {
+                    m.push(read_tensor(&mut optim, "Adam first-moment tensor")?);
+                }
+                let mut v = Vec::new();
+                for _ in 0..moment_count {
+                    v.push(read_tensor(&mut optim, "Adam second-moment tensor")?);
+                }
+                for (index, (a, b)) in m.iter().zip(&v).enumerate() {
+                    if a.shape() != b.shape() {
+                        return Err(corrupt(format!(
+                            "Adam moment pair {index} has mismatched shapes {:?} vs {:?}",
+                            a.shape(),
+                            b.shape()
+                        )));
+                    }
+                }
+                OptimizerSlot::Adam { m, v, step_count }
+            }
+            other => return Err(corrupt(format!("unknown optimizer slot kind {other}"))),
+        };
+        slots.push(slot);
     }
     optim.finish("optimizers record")?;
 
@@ -442,7 +650,7 @@ pub fn load_bytes(bytes: &[u8]) -> Result<Checkpoint> {
         options,
         epoch,
         global_step,
-        trainer: TrainerState { rng, velocities },
+        trainer: TrainerState { rng, slots },
         history,
         params,
         progress,
@@ -464,9 +672,15 @@ mod tests {
             global_step: 40,
             trainer: TrainerState {
                 rng: [1, 2, 3, 4],
-                velocities: vec![
-                    vec![Tensor::ones(&[2, 3]), Tensor::zeros(&[3])],
-                    vec![Tensor::ones(&[4])],
+                slots: vec![
+                    OptimizerSlot::Sgd {
+                        velocity: vec![Tensor::ones(&[2, 3]), Tensor::zeros(&[3])],
+                    },
+                    OptimizerSlot::Adam {
+                        m: vec![Tensor::ones(&[4])],
+                        v: vec![Tensor::zeros(&[4])],
+                        step_count: 17,
+                    },
                 ],
             },
             history,
@@ -538,6 +752,85 @@ mod tests {
             load_bytes(&save_bytes(&checkpoint)),
             Err(CoreError::Checkpoint(_))
         ));
+    }
+
+    #[test]
+    fn adam_options_and_slots_roundtrip() {
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.options.optimizer = OptimizerKind::Adam;
+        checkpoint.trainer.slots = vec![OptimizerSlot::Adam {
+            m: vec![Tensor::ones(&[2, 3]), Tensor::zeros(&[3])],
+            v: vec![Tensor::zeros(&[2, 3]), Tensor::ones(&[3])],
+            step_count: 123,
+        }];
+        let bytes = save_bytes(&checkpoint);
+        let restored = load_bytes(&bytes).unwrap();
+        assert_eq!(restored, checkpoint);
+        assert_eq!(save_bytes(&restored), bytes);
+    }
+
+    #[test]
+    fn uneven_adam_moments_fail_to_load_with_typed_error() {
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.trainer.slots = vec![OptimizerSlot::Adam {
+            m: vec![Tensor::ones(&[3])],
+            v: Vec::new(),
+            step_count: 1,
+        }];
+        assert!(matches!(
+            load_bytes(&save_bytes(&checkpoint)),
+            Err(CoreError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn step_file_names_roundtrip_and_reject_foreign_names() {
+        assert_eq!(step_file_name(42), "step-0000000042.ff8c");
+        assert_eq!(parse_step_file_name("step-0000000042.ff8c"), Some(42));
+        assert_eq!(
+            parse_step_file_name(&step_file_name(u32::MAX as u64)),
+            Some(u32::MAX as u64)
+        );
+        for foreign in [
+            "step-42.ff8c",         // unpadded
+            "step-00000000xx.ff8c", // non-digits
+            "model.ff8c",           // no step prefix
+            "step-0000000042.ff8s", // wrong extension
+            "step-0000000042",      // no extension
+        ] {
+            assert_eq!(parse_step_file_name(foreign), None, "{foreign}");
+        }
+    }
+
+    #[test]
+    fn rotate_keeps_newest_and_ignores_foreign_files() {
+        let dir = std::env::temp_dir().join("ff8c_rotate_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for step in [2u64, 30, 4, 100] {
+            std::fs::write(dir.join(step_file_name(step)), b"x").unwrap();
+        }
+        std::fs::write(dir.join("keep-me.txt"), b"y").unwrap();
+        assert_eq!(latest(&dir).unwrap(), Some(dir.join(step_file_name(100))));
+        let removed = rotate(&dir, 2).unwrap();
+        assert_eq!(
+            removed,
+            vec![dir.join(step_file_name(2)), dir.join(step_file_name(4))]
+        );
+        assert!(dir.join(step_file_name(30)).exists());
+        assert!(dir.join(step_file_name(100)).exists());
+        assert!(dir.join("keep-me.txt").exists());
+        // Already within budget: nothing to do.
+        assert!(rotate(&dir, 2).unwrap().is_empty());
+        assert!(matches!(
+            rotate(&dir, 0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            rotate(dir.join("missing-subdir"), 1),
+            Err(CoreError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

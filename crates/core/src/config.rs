@@ -155,6 +155,34 @@ impl Algorithm {
     }
 }
 
+/// Which optimizer family the trainers step parameters with.
+///
+/// Both trainer families construct their optimizer(s) from this choice, and
+/// `FF8C` checkpoints persist the matching state — SGD momentum buffers, or
+/// Adam first/second moments plus the bias-correction step count — so a
+/// resumed run continues the exact same update trajectory. A checkpoint
+/// whose optimizer state disagrees with the configured kind fails resume
+/// with a typed [`CoreError::CheckpointMismatch`], never a silent skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with [`TrainOptions::momentum`] (the
+    /// paper's configuration).
+    #[default]
+    Sgd,
+    /// Adam with standard defaults (β₁=0.9, β₂=0.999); ignores
+    /// [`TrainOptions::momentum`].
+    Adam,
+}
+
+impl fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptimizerKind::Sgd => "SGD",
+            OptimizerKind::Adam => "Adam",
+        })
+    }
+}
+
 /// Hyperparameters shared by every trainer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainOptions {
@@ -182,6 +210,9 @@ pub struct TrainOptions {
     /// RNG seed controlling shuffling, negative-label sampling and stochastic
     /// rounding.
     pub seed: u64,
+    /// Optimizer family stepping the parameters (default
+    /// [`OptimizerKind::Sgd`], the paper's configuration).
+    pub optimizer: OptimizerKind,
 }
 
 impl Default for TrainOptions {
@@ -198,6 +229,7 @@ impl Default for TrainOptions {
             eval_every: 1,
             max_eval_samples: 512,
             seed: 42,
+            optimizer: OptimizerKind::Sgd,
         }
     }
 }
@@ -270,6 +302,12 @@ impl TrainOptions {
     /// Overrides the per-evaluation sample cap.
     pub fn with_max_eval_samples(mut self, max_eval_samples: usize) -> Self {
         self.max_eval_samples = max_eval_samples;
+        self
+    }
+
+    /// Overrides the optimizer family.
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
         self
     }
 
@@ -403,7 +441,8 @@ mod tests {
             .with_theta(1.5)
             .with_lambda_schedule(0.01, 0.002, 0.1)
             .with_eval_every(3)
-            .with_max_eval_samples(99);
+            .with_max_eval_samples(99)
+            .with_optimizer(OptimizerKind::Adam);
         assert_eq!(opt.epochs, 5);
         assert_eq!(opt.learning_rate, 0.1);
         assert_eq!(opt.batch_size, 8);
@@ -416,7 +455,10 @@ mod tests {
         );
         assert_eq!(opt.eval_every, 3);
         assert_eq!(opt.max_eval_samples, 99);
+        assert_eq!(opt.optimizer, OptimizerKind::Adam);
+        assert_eq!(opt.optimizer.to_string(), "Adam");
         assert_eq!(TrainOptions::default().batch_size, 32);
+        assert_eq!(TrainOptions::default().optimizer, OptimizerKind::Sgd);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use crate::config::{Algorithm, Precision, TrainOptions};
 use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind, GoodnessSweep};
+use crate::optimizer::AnyOptimizer;
 use crate::session::{StepStats, TrainSession, TrainerCore, TrainerState};
 use crate::Result;
 use ff_data::{positive_negative_sets, Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
-use ff_nn::{ForwardMode, Optimizer, Sequential, Sgd};
+use ff_nn::{ForwardMode, Sequential};
 use ff_quant::Rounding;
 use ff_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -53,7 +54,7 @@ pub struct FfTrainer {
     options: TrainOptions,
     precision: Precision,
     lookahead: bool,
-    optimizers: Vec<Sgd>,
+    optimizers: Vec<AnyOptimizer>,
     rng: StdRng,
 }
 
@@ -243,7 +244,8 @@ impl FfTrainer {
         let momentum = self.options.momentum;
         let layer_count = net.len();
         while self.optimizers.len() < layer_count {
-            self.optimizers.push(Sgd::new(lr, momentum));
+            self.optimizers
+                .push(AnyOptimizer::new(self.options.optimizer, lr, momentum));
         }
         for (layer, optimizer) in net.layers_mut().iter_mut().zip(&mut self.optimizers) {
             let mut params = layer.params_mut();
@@ -389,42 +391,38 @@ impl TrainerCore for FfTrainer {
     fn export_state(&self) -> TrainerState {
         TrainerState {
             rng: self.rng.state(),
-            velocities: self
-                .optimizers
-                .iter()
-                .map(|o| o.velocity().to_vec())
-                .collect(),
+            slots: self.optimizers.iter().map(|o| o.export()).collect(),
         }
     }
 
     fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> Result<()> {
-        if state.velocities.len() > net.len() {
+        if state.slots.len() > net.len() {
             return Err(crate::CoreError::CheckpointMismatch {
                 message: format!(
                     "checkpoint holds {} optimizer slots but the network has {} layers",
-                    state.velocities.len(),
+                    state.slots.len(),
                     net.len()
                 ),
             });
         }
-        for (index, (buffers, layer)) in state.velocities.iter().zip(net.layers_mut()).enumerate() {
+        let mut optimizers = Vec::with_capacity(state.slots.len());
+        for (index, (slot, layer)) in state.slots.iter().zip(net.layers_mut()).enumerate() {
             let shapes: Vec<Vec<usize>> = layer
                 .params_mut()
                 .iter()
                 .map(|p| p.value.shape().to_vec())
                 .collect();
-            crate::session::check_momentum_buffers(buffers, &shapes, &format!("layer {index}"))?;
+            optimizers.push(AnyOptimizer::import(
+                self.options.optimizer,
+                self.options.learning_rate,
+                self.options.momentum,
+                slot,
+                &shapes,
+                &format!("layer {index}"),
+            )?);
         }
         self.rng = StdRng::from_state(state.rng);
-        self.optimizers = state
-            .velocities
-            .iter()
-            .map(|buffers| {
-                let mut optimizer = Sgd::new(self.options.learning_rate, self.options.momentum);
-                optimizer.set_velocity(buffers.clone());
-                optimizer
-            })
-            .collect();
+        self.optimizers = optimizers;
         Ok(())
     }
 }
@@ -646,7 +644,7 @@ mod tests {
         let mut trainer = FfTrainer::new(Precision::Int8, true, options.clone());
         trainer.train(&mut net, &train_set, &test_set).unwrap();
         let state = trainer.export_state();
-        assert_eq!(state.velocities.len(), trainer.optimizers.len());
+        assert_eq!(state.slots.len(), trainer.optimizers.len());
         let mut fresh = FfTrainer::new(Precision::Int8, true, options);
         fresh.import_state(&state, &mut net).unwrap();
         assert_eq!(fresh.export_state(), state);

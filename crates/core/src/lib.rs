@@ -57,18 +57,20 @@ mod config;
 mod error;
 mod ff_trainer;
 mod goodness;
+pub mod optimizer;
 pub mod session;
 
 pub use api::{train, TrainingReport};
 pub use baselines::{BpTrainer, GradientPolicy};
 pub use checkpoint::{Checkpoint, EpochProgress, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
-pub use config::{Algorithm, Precision, TrainOptions};
+pub use config::{Algorithm, OptimizerKind, Precision, TrainOptions};
 pub use error::CoreError;
 pub use ff_trainer::FfTrainer;
 pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind, GoodnessSweep};
+pub use optimizer::OptimizerSlot;
 pub use session::{
-    EvalSplit, SessionControl, SessionStatus, StepStats, TrainEvent, TrainSession, TrainerCore,
-    TrainerState,
+    AutoCheckpoint, EvalSplit, SessionControl, SessionStatus, StepStats, TrainEvent, TrainSession,
+    TrainerCore, TrainerState,
 };
 
 /// Convenience result alias used throughout the crate.

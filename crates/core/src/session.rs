@@ -61,11 +61,11 @@ use crate::baselines::{BpTrainer, GradientPolicy};
 use crate::checkpoint::{Checkpoint, EpochProgress};
 use crate::config::{Algorithm, Precision, TrainOptions};
 use crate::ff_trainer::FfTrainer;
+use crate::optimizer::OptimizerSlot;
 use crate::{CoreError, Result};
 use ff_data::{Batch, Dataset};
 use ff_metrics::TrainingHistory;
 use ff_nn::Sequential;
-use ff_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use std::time::Instant;
@@ -88,16 +88,17 @@ pub struct StepStats {
 /// from) `FF8C` checkpoints.
 ///
 /// Network parameters live in the checkpoint itself; this struct covers what
-/// the *trainer* owns: the RNG stream position and the per-optimizer SGD
-/// momentum buffers ([`crate::FfTrainer`] keeps one optimizer per layer,
-/// [`crate::BpTrainer`] a single one — hence the nested `Vec`).
+/// the *trainer* owns: the RNG stream position and the per-optimizer state
+/// ([`crate::FfTrainer`] keeps one optimizer per layer,
+/// [`crate::BpTrainer`] a single one — hence the `Vec` of slots). Each slot
+/// is the typed state of its optimizer family ([`OptimizerSlot`]): SGD
+/// momentum buffers, or Adam moments plus the bias-correction step count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainerState {
     /// Full xoshiro256++ state of the trainer's RNG.
     pub rng: [u64; 4],
-    /// Momentum buffers: one outer entry per optimizer slot, one inner
-    /// tensor per parameter that slot has stepped.
-    pub velocities: Vec<Vec<Tensor>>,
+    /// Optimizer state, one entry per optimizer slot the trainer owns.
+    pub slots: Vec<OptimizerSlot>,
 }
 
 /// The uniform per-batch training interface behind [`TrainSession`].
@@ -204,39 +205,6 @@ impl<T: TrainerCore + ?Sized> TrainerCore for &mut T {
     }
 }
 
-/// Validates restored momentum buffers against the parameter shapes they
-/// will step. [`ff_nn::Sgd`] grows its buffer list lazily, so a checkpoint
-/// holding a *prefix* of the parameters' buffers is legal; any buffer that
-/// is present must match its parameter's shape exactly.
-pub(crate) fn check_momentum_buffers(
-    buffers: &[Tensor],
-    param_shapes: &[Vec<usize>],
-    what: &str,
-) -> Result<()> {
-    if buffers.len() > param_shapes.len() {
-        return Err(CoreError::CheckpointMismatch {
-            message: format!(
-                "checkpoint holds {} momentum buffers for {what} but it has {} parameters",
-                buffers.len(),
-                param_shapes.len()
-            ),
-        });
-    }
-    for (index, (buffer, shape)) in buffers.iter().zip(param_shapes).enumerate() {
-        if buffer.shape() != shape.as_slice() {
-            return Err(CoreError::CheckpointMismatch {
-                message: format!(
-                    "momentum buffer {index} for {what} has shape {:?} but the parameter has \
-                     shape {:?}",
-                    buffer.shape(),
-                    shape
-                ),
-            });
-        }
-    }
-    Ok(())
-}
-
 /// Which dataset split an evaluation ran on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalSplit {
@@ -335,6 +303,34 @@ pub enum SessionStatus {
 /// A registered event callback (see [`TrainSession::on_event`]).
 type Observer<'a> = Box<dyn FnMut(&TrainEvent) -> SessionControl + 'a>;
 
+/// Configuration of the built-in auto-checkpoint observer (see
+/// [`TrainSession::auto_checkpoint`]): persist the session every
+/// `every_steps` mini-batches, keeping only the newest `keep_last`
+/// artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutoCheckpoint {
+    /// Directory the `step-<step>.ff8c` artifacts are written to (created
+    /// if missing).
+    pub dir: std::path::PathBuf,
+    /// Checkpoint every this many global steps.
+    pub every_steps: u64,
+    /// How many artifacts survive rotation
+    /// ([`crate::checkpoint::rotate`]).
+    pub keep_last: usize,
+}
+
+impl AutoCheckpoint {
+    /// Checkpoint into `dir` every `every_steps` steps, keeping the newest
+    /// `keep_last` artifacts.
+    pub fn new(dir: impl Into<std::path::PathBuf>, every_steps: u64, keep_last: usize) -> Self {
+        AutoCheckpoint {
+            dir: dir.into(),
+            every_steps,
+            keep_last,
+        }
+    }
+}
+
 /// Progress bookkeeping of the epoch currently being trained.
 struct EpochState {
     /// Shuffled sample order for this epoch; batches are consecutive
@@ -372,6 +368,8 @@ pub struct TrainSession<'a> {
     stopped: bool,
     /// λ in effect for the most recently started epoch, for change events.
     last_lambda: Option<f32>,
+    /// Built-in periodic-checkpoint observer, `None` unless enabled.
+    auto_checkpoint: Option<AutoCheckpoint>,
 }
 
 impl std::fmt::Debug for TrainSession<'_> {
@@ -461,7 +459,43 @@ impl<'a> TrainSession<'a> {
             current: None,
             stopped: false,
             last_lambda: None,
+            auto_checkpoint: None,
         })
+    }
+
+    /// Enables the built-in auto-checkpoint observer: after every
+    /// `config.every_steps`-th [`TrainSession::step`] the session persists
+    /// itself to `config.dir` as `step-<global_step>.ff8c`
+    /// ([`crate::checkpoint::step_file_name`]) and rotates the directory
+    /// down to the newest `config.keep_last` artifacts
+    /// ([`crate::checkpoint::rotate`]). After a crash,
+    /// [`crate::checkpoint::latest`] + [`TrainSession::resume`] continue
+    /// the run bit-exactly from the last saved step.
+    ///
+    /// The directory is created eagerly so a misconfigured path fails here,
+    /// not hundreds of steps into training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `every_steps` or
+    /// `keep_last` is zero, and [`CoreError::Io`] when the directory cannot
+    /// be created.
+    pub fn auto_checkpoint(&mut self, config: AutoCheckpoint) -> Result<()> {
+        if config.every_steps == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "auto-checkpoint every_steps must be at least 1".to_string(),
+            });
+        }
+        if config.keep_last == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "auto-checkpoint keep_last must be at least 1".to_string(),
+            });
+        }
+        std::fs::create_dir_all(&config.dir).map_err(|e| CoreError::Io {
+            message: format!("creating {}: {e}", config.dir.display()),
+        })?;
+        self.auto_checkpoint = Some(config);
+        Ok(())
     }
 
     /// Registers an observer. Every [`TrainEvent`] is delivered to every
@@ -621,21 +655,41 @@ impl<'a> TrainSession<'a> {
             global_step,
             loss: stats.loss,
         });
-        if epoch_done {
+        let status = if epoch_done {
             self.finish_epoch()?;
             if self.stopped {
-                return Ok(SessionStatus::Stopped);
-            }
-            return Ok(if self.epoch >= self.options.epochs {
+                SessionStatus::Stopped
+            } else if self.epoch >= self.options.epochs {
                 SessionStatus::Finished
             } else {
                 SessionStatus::EpochFinished { epoch }
-            });
+            }
+        } else if self.stopped {
+            SessionStatus::Stopped
+        } else {
+            SessionStatus::Running
+        };
+        self.maybe_auto_checkpoint()?;
+        Ok(status)
+    }
+
+    /// The built-in periodic-checkpoint observer (see
+    /// [`TrainSession::auto_checkpoint`]): fires after every configured
+    /// number of completed steps, *after* any epoch finalization so
+    /// boundary checkpoints carry the finished epoch's history record.
+    fn maybe_auto_checkpoint(&mut self) -> Result<()> {
+        let Some(config) = self.auto_checkpoint.clone() else {
+            return Ok(());
+        };
+        if !self.global_step.is_multiple_of(config.every_steps) {
+            return Ok(());
         }
-        if self.stopped {
-            return Ok(SessionStatus::Stopped);
-        }
-        Ok(SessionStatus::Running)
+        let path = config
+            .dir
+            .join(crate::checkpoint::step_file_name(self.global_step));
+        self.checkpoint().save(&path)?;
+        crate::checkpoint::rotate(&config.dir, config.keep_last)?;
+        Ok(())
     }
 
     /// Finishes the current epoch: evaluation (per the `eval_every`
@@ -786,35 +840,7 @@ impl<'a> TrainSession<'a> {
         session
             .trainer
             .import_state(&checkpoint.trainer, session.net)?;
-        {
-            let mut params = session.net.params_mut();
-            if params.len() != checkpoint.params.len() {
-                return Err(CoreError::CheckpointMismatch {
-                    message: format!(
-                        "checkpoint holds {} parameter tensors but the network has {}",
-                        checkpoint.params.len(),
-                        params.len()
-                    ),
-                });
-            }
-            for (index, (param, saved)) in params.iter_mut().zip(&checkpoint.params).enumerate() {
-                if param.value.shape() != saved.shape() {
-                    return Err(CoreError::CheckpointMismatch {
-                        message: format!(
-                            "parameter {index} has shape {:?} in the network but {:?} in the \
-                             checkpoint",
-                            param.value.shape(),
-                            saved.shape()
-                        ),
-                    });
-                }
-                *param.value = saved.clone();
-                // Stale gradients never survive a step boundary; make that
-                // explicit, and invalidate any cached packed weight plans.
-                param.grad.scale_inplace(0.0);
-                param.mark_updated();
-            }
-        }
+        checkpoint.restore_params(session.net)?;
         session.history = checkpoint.history.clone();
         session.epoch = checkpoint.epoch as usize;
         session.global_step = checkpoint.global_step;

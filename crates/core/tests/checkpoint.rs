@@ -10,8 +10,11 @@
 //!   single-byte flips yield typed errors (or, for flips that land in value
 //!   payloads, a different but valid checkpoint), never a panic.
 
-use ff_core::checkpoint::{load_bytes, save_bytes};
-use ff_core::{Algorithm, Checkpoint, CoreError, SessionStatus, TrainOptions, TrainSession};
+use ff_core::checkpoint::{latest, load_bytes, save_bytes, step_file_name};
+use ff_core::{
+    Algorithm, AutoCheckpoint, Checkpoint, CoreError, OptimizerKind, OptimizerSlot, SessionStatus,
+    TrainOptions, TrainSession,
+};
 use ff_data::{synthetic_mnist, Dataset, SyntheticConfig};
 use ff_metrics::TrainingHistory;
 use ff_models::small_mlp;
@@ -51,38 +54,40 @@ fn weight_bits(net: &mut Sequential) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Trains `total_epochs` straight through and returns (history, weights).
+/// Trains `options.epochs` straight through and returns (history, weights).
+fn straight_run_with(
+    algorithm: Algorithm,
+    options: &TrainOptions,
+    net_seed: u64,
+) -> (TrainingHistory, Vec<Vec<u32>>) {
+    let (train_set, test_set) = tiny_dataset();
+    let mut net = tiny_net(net_seed);
+    let history = TrainSession::new(&mut net, &train_set, &test_set, algorithm, options)
+        .unwrap()
+        .run()
+        .unwrap();
+    (history, weight_bits(&mut net))
+}
+
 fn straight_run(
     algorithm: Algorithm,
     total_epochs: usize,
     net_seed: u64,
 ) -> (TrainingHistory, Vec<Vec<u32>>) {
-    let (train_set, test_set) = tiny_dataset();
-    let mut net = tiny_net(net_seed);
-    let history = TrainSession::new(
-        &mut net,
-        &train_set,
-        &test_set,
-        algorithm,
-        &tiny_options(total_epochs),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
-    (history, weight_bits(&mut net))
+    straight_run_with(algorithm, &tiny_options(total_epochs), net_seed)
 }
 
 /// Trains to `checkpoint_after_steps` steps (across epoch boundaries),
 /// serializes the checkpoint through FF8C bytes, resumes onto a *freshly
 /// initialised* network, finishes the run, and returns (history, weights).
-fn interrupted_run(
+fn interrupted_run_with(
     algorithm: Algorithm,
-    total_epochs: usize,
+    options: &TrainOptions,
     net_seed: u64,
     checkpoint_after_steps: u64,
 ) -> (TrainingHistory, Vec<Vec<u32>>) {
     let (train_set, test_set) = tiny_dataset();
-    let options = tiny_options(total_epochs);
+    let options = options.clone();
 
     // Phase 1: train up to the checkpoint, then drop everything.
     let bytes = {
@@ -114,6 +119,20 @@ fn interrupted_run(
         session.history().clone()
     };
     (history, weight_bits(&mut net))
+}
+
+fn interrupted_run(
+    algorithm: Algorithm,
+    total_epochs: usize,
+    net_seed: u64,
+    checkpoint_after_steps: u64,
+) -> (TrainingHistory, Vec<Vec<u32>>) {
+    interrupted_run_with(
+        algorithm,
+        &tiny_options(total_epochs),
+        net_seed,
+        checkpoint_after_steps,
+    )
 }
 
 /// The acceptance-criteria matrix: epoch-boundary resume for both required
@@ -212,13 +231,118 @@ fn resume_rejects_mismatched_momentum_buffers() {
     // Corrupt only the trainer state: params stay valid, but a momentum
     // buffer no longer matches its parameter's shape. Must fail with a
     // typed error at resume, not panic inside the optimizer later.
-    let buffer = &mut checkpoint.trainer.velocities[0][0];
+    let OptimizerSlot::Sgd { velocity } = &mut checkpoint.trainer.slots[0] else {
+        panic!("FF trainer with default options exports SGD slots");
+    };
+    let buffer = &mut velocity[0];
     let elements: Vec<f32> = buffer.data().to_vec();
     *buffer = ff_tensor::Tensor::from_vec(&[1, elements.len()], elements).unwrap();
     assert!(matches!(
         TrainSession::resume(&mut tiny_net(7), &train_set, &test_set, &checkpoint),
         Err(CoreError::CheckpointMismatch { .. })
     ));
+}
+
+/// The Adam state-export regression: resume with Adam must continue the
+/// exact moment trajectory and bias-correction step count — for both
+/// trainer families, at a mid-epoch checkpoint.
+#[test]
+fn adam_resume_is_bit_exact_mid_epoch() {
+    for algorithm in [Algorithm::FfInt8 { lookahead: true }, Algorithm::BpFp32] {
+        let options = tiny_options(3).with_optimizer(OptimizerKind::Adam);
+        let (straight_history, straight_weights) = straight_run_with(algorithm, &options, 11);
+        let (resumed_history, resumed_weights) = interrupted_run_with(algorithm, &options, 11, 3);
+        assert!(
+            straight_history.same_trajectory(&resumed_history),
+            "{algorithm}: Adam mid-epoch resume must match straight run"
+        );
+        assert_eq!(
+            straight_weights, resumed_weights,
+            "{algorithm}: Adam resumed weights must be bit-identical"
+        );
+    }
+}
+
+/// A checkpoint whose optimizer state disagrees with the configured kind is
+/// a typed mismatch, never a silent skip of the stored moments.
+#[test]
+fn optimizer_kind_mismatch_is_a_typed_error() {
+    let (train_set, test_set) = tiny_dataset();
+    let options = tiny_options(2).with_optimizer(OptimizerKind::Adam);
+    let mut net = tiny_net(12);
+    let mut session =
+        TrainSession::new(&mut net, &train_set, &test_set, Algorithm::BpFp32, &options).unwrap();
+    session.step().unwrap();
+    let mut checkpoint = session.checkpoint();
+    assert_eq!(checkpoint.trainer.slots[0].kind(), OptimizerKind::Adam);
+
+    // Flip the *options* back to SGD while the slots still hold Adam state
+    // (what a hand-edited or version-skewed artifact would look like).
+    checkpoint.options.optimizer = OptimizerKind::Sgd;
+    let checkpoint = load_bytes(&save_bytes(&checkpoint)).unwrap();
+    let mut fresh = tiny_net(12);
+    let outcome = TrainSession::resume(&mut fresh, &train_set, &test_set, &checkpoint)
+        .map(|_| ())
+        .unwrap_err();
+    match outcome {
+        CoreError::CheckpointMismatch { message } => {
+            assert!(message.contains("Adam"), "{message}");
+        }
+        other => panic!("expected CheckpointMismatch, got {other:?}"),
+    }
+}
+
+/// The auto-checkpoint observer: periodic saves, keep-last-k rotation, and
+/// a crash-resume from `latest` that lands on the straight-run trajectory.
+#[test]
+fn auto_checkpoint_rotates_and_resumes_bit_exactly() {
+    let algorithm = Algorithm::FfInt8 { lookahead: true };
+    let dir = std::env::temp_dir().join("ff8c_auto_checkpoint_it");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (train_set, test_set) = tiny_dataset();
+    let (straight_history, straight_weights) = straight_run(algorithm, 3, 31);
+
+    // 64 samples / batch 32 = 2 steps per epoch → 6 steps over 3 epochs.
+    // every_steps = 2, keep_last = 2 → steps 2, 4, 6 saved; 2 rotated away.
+    let mut net = tiny_net(31);
+    let mut session =
+        TrainSession::new(&mut net, &train_set, &test_set, algorithm, &tiny_options(3)).unwrap();
+    session
+        .auto_checkpoint(AutoCheckpoint::new(&dir, 2, 2))
+        .unwrap();
+    assert!(matches!(
+        session.auto_checkpoint(AutoCheckpoint::new(&dir, 0, 2)),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+    assert!(matches!(
+        session.auto_checkpoint(AutoCheckpoint::new(&dir, 2, 0)),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+    let finished_history = session.run().unwrap();
+    assert!(finished_history.same_trajectory(&straight_history));
+
+    assert!(!dir.join(step_file_name(2)).exists(), "step 2 rotated away");
+    assert!(dir.join(step_file_name(4)).exists());
+    assert!(dir.join(step_file_name(6)).exists());
+
+    // Crash recovery: resume from the *previous* checkpoint (step 4, the
+    // epoch-2 boundary) and finish — trajectory and weights must land
+    // exactly on the straight run.
+    let resume_from = dir.join(step_file_name(4));
+    let checkpoint = Checkpoint::load(&resume_from).unwrap();
+    assert_eq!(checkpoint.global_step, 4);
+    let mut fresh = tiny_net(31 + 999);
+    let resumed_history = {
+        let session = TrainSession::resume(&mut fresh, &train_set, &test_set, &checkpoint).unwrap();
+        session.run().unwrap()
+    };
+    assert!(resumed_history.same_trajectory(&straight_history));
+    assert_eq!(weight_bits(&mut fresh), straight_weights);
+
+    // `latest` points at the newest artifact.
+    assert_eq!(latest(&dir).unwrap(), Some(dir.join(step_file_name(6))));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,224 @@
+//! The typed error surface of the network crate.
+//!
+//! Frame decoding never panics: every way bytes off the wire can be
+//! malformed maps to a [`NetError`] variant, which the truncation and
+//! byte-flip fuzz suites exercise exhaustively (mirroring the `FF8S`/`FF8C`
+//! loaders). I/O failures are carried as rendered text so `NetError` stays
+//! `Clone + PartialEq` like every other error type in the workspace.
+
+use ff_codec::CodecError;
+use std::fmt;
+
+/// Machine-readable error category carried by an `FF8P` error reply, so a
+/// client can react (retry, fix the request, give up) without parsing the
+/// human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request does not match the served model (wrong feature count,
+    /// zero rows, ...).
+    BadRequest,
+    /// The inference engine behind the front-end has shut down.
+    ServerClosed,
+    /// The request frame declared a length above the server's frame limit.
+    FrameTooLarge,
+    /// The server could not decode the request frame.
+    Protocol,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire encoding of this code.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::ServerClosed => 2,
+            ErrorCode::FrameTooLarge => 3,
+            ErrorCode::Protocol => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    /// Decodes a wire byte; unknown codes are `None` (the frame decoder
+    /// turns that into a typed [`NetError::Frame`]).
+    pub fn from_wire(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::ServerClosed),
+            3 => Some(ErrorCode::FrameTooLarge),
+            4 => Some(ErrorCode::Protocol),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::ServerClosed => "server closed",
+            ErrorCode::FrameTooLarge => "frame too large",
+            ErrorCode::Protocol => "protocol error",
+            ErrorCode::Internal => "internal error",
+        })
+    }
+}
+
+/// Error type for `FF8P` framing, the network server and the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A frame failed to decode (bad magic/version, truncation, structural
+    /// corruption) — wraps the shared codec error.
+    Codec(CodecError),
+    /// A frame decoded structurally but violates the protocol (unknown
+    /// frame kind, zero rows, reply id mismatch, ...).
+    Frame {
+        /// What is wrong with the frame.
+        message: String,
+    },
+    /// A peer declared (or a caller tried to send) a frame larger than the
+    /// configured limit.
+    FrameTooLarge {
+        /// Declared frame length in bytes.
+        len: usize,
+        /// The configured limit.
+        max: usize,
+    },
+    /// The peer replied with a typed `FF8P` error frame.
+    Remote {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The connection was closed by the peer (EOF mid-frame or before one).
+    Closed,
+    /// A read or write hit the configured timeout.
+    Timeout,
+    /// Any other socket-level failure, rendered as text.
+    Io {
+        /// The underlying I/O failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Codec(e) => write!(f, "frame codec error: {e}"),
+            NetError::Frame { message } => write!(f, "protocol violation: {message}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            NetError::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "socket operation timed out"),
+            NetError::Io { message } => write!(f, "socket error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout,
+            ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe => NetError::Closed,
+            _ => NetError::Io {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let variants: Vec<NetError> = vec![
+            CodecError::Truncated { context: "frame" }.into(),
+            NetError::Frame {
+                message: "unknown kind".into(),
+            },
+            NetError::FrameTooLarge { len: 10, max: 5 },
+            NetError::Remote {
+                code: ErrorCode::BadRequest,
+                message: "wrong width".into(),
+            },
+            NetError::Closed,
+            NetError::Timeout,
+            NetError::Io {
+                message: "refused".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip_the_wire() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::ServerClosed,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::Protocol,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.to_wire()), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_wire(0), None);
+        assert_eq!(ErrorCode::from_wire(99), None);
+    }
+
+    #[test]
+    fn io_errors_map_to_typed_variants() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            NetError::from(Error::new(ErrorKind::TimedOut, "t")),
+            NetError::Timeout
+        );
+        assert_eq!(
+            NetError::from(Error::new(ErrorKind::WouldBlock, "w")),
+            NetError::Timeout
+        );
+        assert_eq!(
+            NetError::from(Error::new(ErrorKind::UnexpectedEof, "e")),
+            NetError::Closed
+        );
+        assert!(matches!(
+            NetError::from(Error::new(ErrorKind::PermissionDenied, "p")),
+            NetError::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn source_points_to_codec_error() {
+        use std::error::Error;
+        let e: NetError = CodecError::Truncated { context: "x" }.into();
+        assert!(e.source().is_some());
+        assert!(NetError::Closed.source().is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! # ff-net
+//!
+//! The TCP network front-end that turns the in-process INT8 inference
+//! engine ([`ff_serve::Server`]) into a real network service — std-only, no
+//! async runtime, matching the workspace's dependency-free edge-deployment
+//! stance.
+//!
+//! Three layers:
+//!
+//! 1. **Protocol** ([`protocol`]) — the versioned, length-prefixed `FF8P`
+//!    binary wire format (Predict / PredictBatch / Stats / Health /
+//!    Shutdown requests, typed replies and error frames), built on the
+//!    shared [`ff_codec`] machinery with the same panic-free
+//!    truncation/byte-flip hardening as the `FF8S` and `FF8C` loaders.
+//! 2. **Server** ([`NetServer`]) — accept loop + bounded connection thread
+//!    pool + per-connection framed codec with read/write timeouts and
+//!    max-frame-size limits. Every prediction funnels into the existing
+//!    micro-batching engine, so rows from different connections coalesce
+//!    into shared GEMM batches and answers stay **bit-identical** to
+//!    direct [`ff_serve::FrozenModel`] calls (per-row quantization).
+//! 3. **Client** ([`Client`]) — blocking connect/reconnect,
+//!    single-prediction and one-frame-batch calls, and pipelined request
+//!    waves that collapse N round-trips into one.
+//!
+//! # Examples
+//!
+//! Freeze a model, serve it over TCP on an ephemeral port, and classify
+//! from a client — in one process for the doc-test, two in real life:
+//!
+//! ```
+//! use ff_models::small_mlp;
+//! use ff_net::{Client, NetConfig, NetServer};
+//! use ff_serve::FrozenModel;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = FrozenModel::freeze(&small_mlp(20, &[16], 4, &mut rng), 4)?;
+//! let server = NetServer::bind(model, "127.0.0.1:0", NetConfig::default())?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let info = client.health()?;
+//! assert_eq!(info.input_features, 20);
+//!
+//! // One call, one frame, many rows — or pipeline single predictions.
+//! let rows = vec![vec![0.25f32; 20]; 3];
+//! let labels = client.predict_batch(20, &rows.concat())?;
+//! assert_eq!(labels.len(), 3);
+//! let pipelined = client.predict_pipelined(rows.iter().map(Vec::as_slice))?;
+//! assert_eq!(pipelined, labels);
+//!
+//! println!("served: {}", client.stats()?.requests);
+//! client.close();
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientConfig, ServerInfo};
+pub use error::{ErrorCode, NetError};
+pub use protocol::{Frame, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES, MAGIC, PROTOCOL_VERSION};
+pub use server::{NetConfig, NetServer};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,743 @@
+//! The versioned `FF8P` wire protocol.
+//!
+//! `FF8P` is the third member of the workspace's `FF8*` artifact family
+//! (after the `FF8S` frozen-model and `FF8C` checkpoint formats) and reuses
+//! the same [`ff_codec`] conventions: 4-byte magic, little-endian `u16`
+//! version, reserved flags word, length-prefixed records, panic-free
+//! checked reads.
+//!
+//! # Framing
+//!
+//! On a TCP stream, every message is one **frame**:
+//!
+//! ```text
+//! frame_len        u32       — bytes that follow (bounded by the peer's
+//!                              max-frame-size limit)
+//! frame            frame_len × u8 — a complete FF8P artifact:
+//!   magic          4 × u8    = "FF8P"
+//!   version        u16       = 1
+//!   flags          u16       = 0 (reserved)
+//!   record "body":
+//!     kind         u8        — see below
+//!     kind-specific payload
+//! ```
+//!
+//! # Frame kinds (version 1)
+//!
+//! Requests (client → server):
+//!
+//! ```text
+//! 1 Predict       id u64, count u32, features count × f32
+//! 2 PredictBatch  id u64, rows u32, cols u32, data rows·cols × f32
+//! 3 Stats         id u64
+//! 4 Health        id u64
+//! 5 Shutdown      id u64
+//! ```
+//!
+//! Replies (server → client) echo the request's `id`:
+//!
+//! ```text
+//! 129 Labels       id u64, count u32, labels count × u32
+//! 130 StatsReply   id u64, requests u64, batches u64, max_batch u64,
+//!                  mean_batch f64, latency: count u64 +
+//!                  mean/p50/p95/p99/max as u64 nanoseconds
+//! 131 HealthReply  id u64, input_features u32, num_classes u32, mode u8
+//! 132 ShutdownAck  id u64
+//! 133 Error        id u64, code u8, message string (u32 length + UTF-8)
+//! ```
+//!
+//! Decoding is hardened exactly like the sibling loaders: every declared
+//! count is bounded by the remaining payload before allocation
+//! ([`ff_codec::Reader::ensure_fits`]), unknown kinds/codes and trailing
+//! bytes are typed [`NetError`]s, and the fuzz suite truncates at every
+//! offset and flips random bytes without ever observing a panic.
+
+use crate::{ErrorCode, NetError, Result};
+use ff_codec::{Reader, Writer};
+use ff_metrics::LatencySummary;
+use std::io::Read;
+use std::time::Duration;
+
+/// The four magic bytes every `FF8P` frame starts with.
+pub const MAGIC: [u8; 4] = *b"FF8P";
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default upper bound on one frame's length (16 MiB — a 5000-row batch of
+/// 784 features is ~15 MiB; anything larger should be split).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+const KIND_PREDICT: u8 = 1;
+const KIND_PREDICT_BATCH: u8 = 2;
+const KIND_STATS: u8 = 3;
+const KIND_HEALTH: u8 = 4;
+const KIND_SHUTDOWN: u8 = 5;
+const KIND_LABELS: u8 = 129;
+const KIND_STATS_REPLY: u8 = 130;
+const KIND_HEALTH_REPLY: u8 = 131;
+const KIND_SHUTDOWN_ACK: u8 = 132;
+const KIND_ERROR: u8 = 133;
+
+/// Bound on the length of an error reply's message string.
+const MAX_ERROR_MESSAGE_LEN: usize = 4096;
+
+/// Which classification mode the remote server runs, as reported by
+/// [`Frame::HealthReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Forward chain + argmax of the final logits.
+    Logits,
+    /// FF-native per-label goodness sweep.
+    Goodness,
+}
+
+impl WireMode {
+    fn to_wire(self) -> u8 {
+        match self {
+            WireMode::Logits => 0,
+            WireMode::Goodness => 1,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Result<Self> {
+        match byte {
+            0 => Ok(WireMode::Logits),
+            1 => Ok(WireMode::Goodness),
+            other => Err(NetError::Frame {
+                message: format!("unknown serve mode {other}"),
+            }),
+        }
+    }
+}
+
+/// Aggregate serving statistics as carried by [`Frame::StatsReply`] — the
+/// wire form of [`ff_serve::ServerStats`], with the latency summary
+/// flattened to nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireStats {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Queue-to-reply latency distribution.
+    pub latency: LatencySummary,
+}
+
+impl From<ff_serve::ServerStats> for WireStats {
+    fn from(stats: ff_serve::ServerStats) -> Self {
+        WireStats {
+            requests: stats.requests,
+            batches: stats.batches,
+            max_batch: stats.max_batch as u64,
+            mean_batch: stats.mean_batch,
+            latency: stats.latency,
+        }
+    }
+}
+
+/// One `FF8P` message (request or reply). See the [module docs](self) for
+/// the byte layout of every kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Classify one sample.
+    Predict {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+        /// The sample's features.
+        features: Vec<f32>,
+    },
+    /// Classify a whole row-major batch in one frame.
+    PredictBatch {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+        /// Features per row (must be positive).
+        cols: u32,
+        /// Row-major `rows × cols` feature data.
+        data: Vec<f32>,
+    },
+    /// Read the server's aggregate statistics.
+    Stats {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+    },
+    /// Probe the server's identity and liveness.
+    Health {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+    },
+    /// Ask the server to stop accepting connections.
+    Shutdown {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+    },
+    /// Reply to [`Frame::Predict`] / [`Frame::PredictBatch`]: one label per
+    /// input row, in input order.
+    Labels {
+        /// The request's id.
+        id: u64,
+        /// Predicted class labels.
+        labels: Vec<u32>,
+    },
+    /// Reply to [`Frame::Stats`].
+    StatsReply {
+        /// The request's id.
+        id: u64,
+        /// The statistics snapshot.
+        stats: WireStats,
+    },
+    /// Reply to [`Frame::Health`].
+    HealthReply {
+        /// The request's id.
+        id: u64,
+        /// Features a request row must provide.
+        input_features: u32,
+        /// Number of classes the model scores.
+        num_classes: u32,
+        /// Classification mode the server runs.
+        mode: WireMode,
+    },
+    /// Reply to [`Frame::Shutdown`].
+    ShutdownAck {
+        /// The request's id.
+        id: u64,
+    },
+    /// Typed error reply to any request.
+    Error {
+        /// The request's id (0 when the request id could not be decoded).
+        id: u64,
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// The frame's correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Predict { id, .. }
+            | Frame::PredictBatch { id, .. }
+            | Frame::Stats { id }
+            | Frame::Health { id }
+            | Frame::Shutdown { id }
+            | Frame::Labels { id, .. }
+            | Frame::StatsReply { id, .. }
+            | Frame::HealthReply { id, .. }
+            | Frame::ShutdownAck { id }
+            | Frame::Error { id, .. } => *id,
+        }
+    }
+
+    /// `true` for the request kinds a server handles.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Frame::Predict { .. }
+                | Frame::PredictBatch { .. }
+                | Frame::Stats { .. }
+                | Frame::Health { .. }
+                | Frame::Shutdown { .. }
+        )
+    }
+}
+
+/// Truncates an error message to the bound [`decode_frame`] enforces, on a
+/// UTF-8 boundary, so a frame this module *encodes* is always decodable by
+/// a peer running the same protocol version.
+fn bounded_error_message(message: &str) -> &str {
+    if message.len() <= MAX_ERROR_MESSAGE_LEN {
+        return message;
+    }
+    let mut end = MAX_ERROR_MESSAGE_LEN;
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    &message[..end]
+}
+
+/// Serializes a frame into its `FF8P` bytes (without the outer `u32`
+/// length prefix — [`write_frame`] adds that).
+///
+/// Error messages longer than the decoder's 4096-byte bound are truncated
+/// (on a UTF-8 boundary) so every emitted frame is decodable by the peer.
+///
+/// # Panics
+///
+/// Panics when a [`Frame::PredictBatch`]'s `data` does not divide into
+/// positive `cols`-sized rows — a loud local failure instead of a frame
+/// whose declared geometry silently drops the ragged tail and fails with
+/// an opaque trailing-bytes error on the *peer*. [`crate::Client`]
+/// validates its inputs before constructing the frame.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload_estimate = match frame {
+        Frame::Predict { features, .. } => 16 + 4 * features.len(),
+        Frame::PredictBatch { data, .. } => 20 + 4 * data.len(),
+        Frame::Labels { labels, .. } => 16 + 4 * labels.len(),
+        Frame::Error { message, .. } => 20 + message.len(),
+        _ => 80,
+    };
+    let mut writer = Writer::with_capacity(&MAGIC, PROTOCOL_VERSION, 12 + payload_estimate);
+    writer.record_sized(payload_estimate, |r| match frame {
+        Frame::Predict { id, features } => {
+            r.put_u8(KIND_PREDICT);
+            r.put_u64(*id);
+            r.put_u32(features.len() as u32);
+            for &x in features {
+                r.put_f32(x);
+            }
+        }
+        Frame::PredictBatch { id, cols, data } => {
+            assert!(
+                *cols > 0 && data.len() % *cols as usize == 0,
+                "PredictBatch data ({} values) must divide into positive rows of {cols}",
+                data.len()
+            );
+            r.put_u8(KIND_PREDICT_BATCH);
+            r.put_u64(*id);
+            r.put_u32((data.len() / *cols as usize) as u32);
+            r.put_u32(*cols);
+            for &x in data {
+                r.put_f32(x);
+            }
+        }
+        Frame::Stats { id } => {
+            r.put_u8(KIND_STATS);
+            r.put_u64(*id);
+        }
+        Frame::Health { id } => {
+            r.put_u8(KIND_HEALTH);
+            r.put_u64(*id);
+        }
+        Frame::Shutdown { id } => {
+            r.put_u8(KIND_SHUTDOWN);
+            r.put_u64(*id);
+        }
+        Frame::Labels { id, labels } => {
+            r.put_u8(KIND_LABELS);
+            r.put_u64(*id);
+            r.put_u32(labels.len() as u32);
+            for &label in labels {
+                r.put_u32(label);
+            }
+        }
+        Frame::StatsReply { id, stats } => {
+            r.put_u8(KIND_STATS_REPLY);
+            r.put_u64(*id);
+            r.put_u64(stats.requests);
+            r.put_u64(stats.batches);
+            r.put_u64(stats.max_batch);
+            r.put_f64(stats.mean_batch);
+            r.put_u64(stats.latency.count);
+            for duration in [
+                stats.latency.mean,
+                stats.latency.p50,
+                stats.latency.p95,
+                stats.latency.p99,
+                stats.latency.max,
+            ] {
+                r.put_u64(duration.as_nanos().min(u64::MAX as u128) as u64);
+            }
+        }
+        Frame::HealthReply {
+            id,
+            input_features,
+            num_classes,
+            mode,
+        } => {
+            r.put_u8(KIND_HEALTH_REPLY);
+            r.put_u64(*id);
+            r.put_u32(*input_features);
+            r.put_u32(*num_classes);
+            r.put_u8(mode.to_wire());
+        }
+        Frame::ShutdownAck { id } => {
+            r.put_u8(KIND_SHUTDOWN_ACK);
+            r.put_u64(*id);
+        }
+        Frame::Error { id, code, message } => {
+            r.put_u8(KIND_ERROR);
+            r.put_u64(*id);
+            r.put_u8(code.to_wire());
+            r.put_string(bounded_error_message(message));
+        }
+    });
+    writer.into_vec()
+}
+
+/// Deserializes the bytes produced by [`encode_frame`].
+///
+/// # Errors
+///
+/// Never panics: malformed input maps to [`NetError::Codec`] (header or
+/// truncation problems) or [`NetError::Frame`] (structural violations).
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
+    let mut reader = Reader::new(bytes, &MAGIC, PROTOCOL_VERSION)?;
+    let mut body = reader.record("frame body")?;
+    let kind = body.get_u8("frame kind")?;
+    let id = body.get_u64("frame id")?;
+    let frame = match kind {
+        KIND_PREDICT => {
+            let count = body.get_u32("feature count")? as usize;
+            if count == 0 {
+                return Err(NetError::Frame {
+                    message: "predict frame with zero features".to_string(),
+                });
+            }
+            body.ensure_fits(count, 4, "features")?;
+            let mut features = Vec::with_capacity(count);
+            for _ in 0..count {
+                features.push(body.get_f32("features")?);
+            }
+            Frame::Predict { id, features }
+        }
+        KIND_PREDICT_BATCH => {
+            let rows = body.get_u32("batch rows")? as usize;
+            let cols = body.get_u32("batch cols")?;
+            if rows == 0 || cols == 0 {
+                return Err(NetError::Frame {
+                    message: format!("predict-batch frame with empty geometry [{rows}, {cols}]"),
+                });
+            }
+            let len = rows.checked_mul(cols as usize).ok_or(NetError::Frame {
+                message: format!("batch geometry [{rows}, {cols}] overflows"),
+            })?;
+            body.ensure_fits(len, 4, "batch data")?;
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(body.get_f32("batch data")?);
+            }
+            Frame::PredictBatch { id, cols, data }
+        }
+        KIND_STATS => Frame::Stats { id },
+        KIND_HEALTH => Frame::Health { id },
+        KIND_SHUTDOWN => Frame::Shutdown { id },
+        KIND_LABELS => {
+            let count = body.get_u32("label count")? as usize;
+            body.ensure_fits(count, 4, "labels")?;
+            let mut labels = Vec::with_capacity(count);
+            for _ in 0..count {
+                labels.push(body.get_u32("labels")?);
+            }
+            Frame::Labels { id, labels }
+        }
+        KIND_STATS_REPLY => {
+            let requests = body.get_u64("stats requests")?;
+            let batches = body.get_u64("stats batches")?;
+            let max_batch = body.get_u64("stats max batch")?;
+            let mean_batch = body.get_f64("stats mean batch")?;
+            let count = body.get_u64("latency count")?;
+            let mut nanos = [0u64; 5];
+            for slot in &mut nanos {
+                *slot = body.get_u64("latency quantile")?;
+            }
+            Frame::StatsReply {
+                id,
+                stats: WireStats {
+                    requests,
+                    batches,
+                    max_batch,
+                    mean_batch,
+                    latency: LatencySummary {
+                        count,
+                        mean: Duration::from_nanos(nanos[0]),
+                        p50: Duration::from_nanos(nanos[1]),
+                        p95: Duration::from_nanos(nanos[2]),
+                        p99: Duration::from_nanos(nanos[3]),
+                        max: Duration::from_nanos(nanos[4]),
+                    },
+                },
+            }
+        }
+        KIND_HEALTH_REPLY => Frame::HealthReply {
+            id,
+            input_features: body.get_u32("health input features")?,
+            num_classes: body.get_u32("health num classes")?,
+            mode: WireMode::from_wire(body.get_u8("health mode")?)?,
+        },
+        KIND_SHUTDOWN_ACK => Frame::ShutdownAck { id },
+        KIND_ERROR => {
+            let code_byte = body.get_u8("error code")?;
+            let code = ErrorCode::from_wire(code_byte).ok_or(NetError::Frame {
+                message: format!("unknown error code {code_byte}"),
+            })?;
+            let message = body.get_string(MAX_ERROR_MESSAGE_LEN, "error message")?;
+            Frame::Error { id, code, message }
+        }
+        other => {
+            return Err(NetError::Frame {
+                message: format!("unknown frame kind {other}"),
+            })
+        }
+    };
+    body.finish("frame body")?;
+    reader.finish("frame")?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame to `writer`.
+///
+/// # Errors
+///
+/// Returns [`NetError::FrameTooLarge`] when the encoded frame exceeds
+/// `max_frame_bytes` (checked **before** anything is written, so the
+/// stream stays synchronized), and socket-level [`NetError`]s otherwise.
+pub fn write_frame(
+    writer: &mut impl std::io::Write,
+    frame: &Frame,
+    max_frame_bytes: usize,
+) -> Result<()> {
+    let bytes = encode_frame(frame);
+    if bytes.len() > max_frame_bytes {
+        return Err(NetError::FrameTooLarge {
+            len: bytes.len(),
+            max: max_frame_bytes,
+        });
+    }
+    writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame from `reader`.
+///
+/// # Errors
+///
+/// [`NetError::Closed`] on EOF before or inside a frame,
+/// [`NetError::Timeout`] when the socket's read timeout expires,
+/// [`NetError::FrameTooLarge`] when the declared length exceeds
+/// `max_frame_bytes` (the connection cannot be resynchronized afterwards —
+/// callers close it), and decode errors as in [`decode_frame`].
+pub fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<Frame> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::Closed
+        } else {
+            NetError::from(e)
+        }
+    })?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_frame_bytes {
+        return Err(NetError::FrameTooLarge {
+            len,
+            max: max_frame_bytes,
+        });
+    }
+    let mut bytes = vec![0u8; len];
+    reader.read_exact(&mut bytes).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::Closed
+        } else {
+            NetError::from(e)
+        }
+    })?;
+    decode_frame(&bytes)
+}
+
+/// Every frame kind, with representative payloads — shared by the unit and
+/// fuzz suites (and usable by downstream protocol tooling) so new kinds are
+/// automatically covered.
+pub fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Predict {
+            id: 1,
+            features: vec![0.5, -1.25, 3.0],
+        },
+        Frame::PredictBatch {
+            id: 2,
+            cols: 3,
+            data: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        },
+        Frame::Stats { id: 3 },
+        Frame::Health { id: 4 },
+        Frame::Shutdown { id: 5 },
+        Frame::Labels {
+            id: 6,
+            labels: vec![7, 0, 9],
+        },
+        Frame::StatsReply {
+            id: 7,
+            stats: WireStats {
+                requests: 100,
+                batches: 10,
+                max_batch: 32,
+                mean_batch: 10.0,
+                latency: LatencySummary {
+                    count: 100,
+                    mean: Duration::from_micros(150),
+                    p50: Duration::from_micros(120),
+                    p95: Duration::from_micros(400),
+                    p99: Duration::from_micros(900),
+                    max: Duration::from_millis(2),
+                },
+            },
+        },
+        Frame::HealthReply {
+            id: 8,
+            input_features: 784,
+            num_classes: 10,
+            mode: WireMode::Goodness,
+        },
+        Frame::ShutdownAck { id: 9 },
+        Frame::Error {
+            id: 10,
+            code: ErrorCode::BadRequest,
+            message: "expected 784 features, got 7".to_string(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let decoded = decode_frame(&bytes).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+            assert_eq!(decoded, frame);
+            // Re-encoding is verbatim, like every FF8* format.
+            assert_eq!(encode_frame(&decoded), bytes);
+        }
+    }
+
+    #[test]
+    fn frame_ids_and_request_classification() {
+        for (index, frame) in sample_frames().into_iter().enumerate() {
+            assert_eq!(frame.id(), index as u64 + 1);
+            assert_eq!(frame.is_request(), index < 5, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn stream_framing_roundtrips_multiple_frames() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for frame in &frames {
+            assert_eq!(
+                &read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap(),
+                frame
+            );
+        }
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES),
+            Err(NetError::Closed)
+        );
+    }
+
+    #[test]
+    fn frame_size_limit_is_enforced_both_ways() {
+        let frame = Frame::Predict {
+            id: 1,
+            features: vec![0.0; 100],
+        };
+        let mut wire = Vec::new();
+        assert!(matches!(
+            write_frame(&mut wire, &frame, 16),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+        assert!(wire.is_empty(), "nothing written for an oversized frame");
+        write_frame(&mut wire, &frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor, 16),
+            Err(NetError::FrameTooLarge { len: _, max: 16 })
+        ));
+    }
+
+    #[test]
+    fn structural_violations_are_typed_errors() {
+        // Zero features.
+        let empty = Frame::Predict {
+            id: 1,
+            features: Vec::new(),
+        };
+        assert!(matches!(
+            decode_frame(&encode_frame(&empty)),
+            Err(NetError::Frame { .. })
+        ));
+        // Zero-geometry batch: patch the rows field (offset 21: header 8 +
+        // record len 4 + kind 1 + id 8) of a valid frame to zero — the
+        // encoder refuses to build such a frame itself.
+        let batch = Frame::PredictBatch {
+            id: 1,
+            cols: 3,
+            data: vec![0.0; 3],
+        };
+        let mut degenerate = encode_frame(&batch);
+        degenerate[21..25].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&degenerate),
+            Err(NetError::Frame { .. })
+        ));
+        // Unknown kind byte: header(8) + record len(4), kind is byte 12.
+        let mut bytes = encode_frame(&Frame::Stats { id: 1 });
+        bytes[12] = 77;
+        assert!(matches!(decode_frame(&bytes), Err(NetError::Frame { .. })));
+        // Wrong magic / version.
+        let mut wrong = encode_frame(&Frame::Stats { id: 1 });
+        wrong[0] = b'X';
+        assert!(matches!(decode_frame(&wrong), Err(NetError::Codec(_))));
+        let mut wrong = encode_frame(&Frame::Stats { id: 1 });
+        wrong[4] = 9;
+        assert!(matches!(decode_frame(&wrong), Err(NetError::Codec(_))));
+        // Trailing garbage.
+        let mut long = encode_frame(&Frame::Stats { id: 1 });
+        long.push(0);
+        assert!(matches!(decode_frame(&long), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn long_error_messages_truncate_to_the_decode_bound() {
+        // The server embeds peer-controlled detail in error messages; the
+        // encoder must never emit a frame its own clients cannot decode.
+        let frame = Frame::Error {
+            id: 1,
+            code: ErrorCode::Internal,
+            message: "é".repeat(3000), // 6000 bytes, boundary mid-char
+        };
+        let decoded = decode_frame(&encode_frame(&frame)).unwrap();
+        let Frame::Error { message, .. } = decoded else {
+            panic!("expected an error frame");
+        };
+        assert!(message.len() <= MAX_ERROR_MESSAGE_LEN);
+        assert!(!message.is_empty());
+        assert!(message.chars().all(|c| c == 'é'), "clean UTF-8 boundary");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into positive rows")]
+    fn ragged_predict_batch_panics_at_encode_time() {
+        encode_frame(&Frame::PredictBatch {
+            id: 1,
+            cols: 3,
+            data: vec![0.0; 4],
+        });
+    }
+
+    #[test]
+    fn declared_counts_are_bounded_by_payload() {
+        // A corrupt count must fail before allocating, not reserve gigabytes.
+        let frame = Frame::Predict {
+            id: 1,
+            features: vec![1.0, 2.0],
+        };
+        let mut bytes = encode_frame(&frame);
+        // Feature count sits after header(8) + record len(4) + kind(1) + id(8).
+        let count_offset = 21;
+        bytes[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(NetError::Codec(_))));
+    }
+}

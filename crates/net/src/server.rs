@@ -1,0 +1,597 @@
+//! The TCP server runtime: accept loop, bounded connection pool, framed
+//! per-connection protocol loop.
+//!
+//! # Threading model
+//!
+//! ```text
+//!  accept thread                 connection pool (conn_threads threads)
+//!  ─────────────                 ──────────────────────────────────────
+//!  TcpListener::accept ──▶ mpsc queue ──▶ handler takes one connection,
+//!                                         runs its framed request loop to
+//!                                         completion (EOF / error /
+//!                                         shutdown), then takes the next
+//!                                         queued connection
+//!
+//!  each request ──▶ ff_serve::Server micro-batch queue ──▶ reply frame
+//! ```
+//!
+//! The pool bounds concurrent connections at [`NetConfig::conn_threads`];
+//! further accepted connections wait in the queue, unserviced — that is the
+//! **backpressure** story: a client that connects during overload blocks in
+//! `connect`-then-first-reply rather than overwhelming the engine, and the
+//! kernel's listen backlog bounds the rest. Within a connection, requests
+//! are handled strictly in order (which is what lets clients pipeline
+//! without correlation bookkeeping), but every prediction is funneled into
+//! the shared [`ff_serve::Server`] micro-batcher, so rows from *different*
+//! connections coalesce into the same GEMM batches — batching semantics and
+//! per-row quantization are exactly those of in-process serving, and
+//! answers are bit-identical to direct [`FrozenModel`] calls.
+//!
+//! # Shutdown
+//!
+//! [`NetServer::shutdown`] (or a client's `Shutdown` frame) sets the stop
+//! flag and nudges the accept loop awake with a loopback connection.
+//! Handlers observe the flag between frames, at their next read-timeout
+//! tick, or on connection close — so even a connection streaming requests
+//! back-to-back releases its handler promptly — and the micro-batching
+//! engine is shut down last, answering everything still in flight.
+
+use crate::protocol::{decode_frame, write_frame, Frame, WireMode, DEFAULT_MAX_FRAME_BYTES};
+use crate::{ErrorCode, NetError, Result};
+use ff_serve::{FrozenModel, ServeConfig, ServeError, ServeHandle, ServeMode, Server};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Network front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Connection-handler threads — the bound on concurrently serviced
+    /// connections (excess connections queue unserviced).
+    pub conn_threads: usize,
+    /// Per-connection read timeout. Doubles as the shutdown poll period
+    /// for idle connections, so keep it finite.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Upper bound on one frame's length, both directions.
+    pub max_frame_bytes: usize,
+    /// Configuration of the inner micro-batching engine.
+    pub serve: ServeConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            conn_threads: 4,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+struct NetShared {
+    handle: ServeHandle,
+    config: NetConfig,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A running TCP inference server wrapping a [`ff_serve::Server`].
+///
+/// # Examples
+///
+/// ```
+/// use ff_models::small_mlp;
+/// use ff_net::{Client, NetConfig, NetServer};
+/// use ff_serve::FrozenModel;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = FrozenModel::freeze(&small_mlp(12, &[8], 4, &mut rng), 4)?;
+/// let server = NetServer::bind(model, "127.0.0.1:0", NetConfig::default())?;
+///
+/// let mut client = Client::connect(server.local_addr())?;
+/// let label = client.predict(&[0.5; 12])?;
+/// assert!(label < 4);
+/// client.close();
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    engine: Option<Server>,
+}
+
+impl NetServer {
+    /// Starts the inner micro-batching engine, binds `addr` (use port 0 for
+    /// an ephemeral port) and spawns the accept loop plus the connection
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Frame`] for an unusable configuration (zero
+    /// `conn_threads` or a zero frame limit), [`NetError::Io`] when the
+    /// bind fails, and engine-start errors rendered as
+    /// [`NetError::Remote`] with [`ErrorCode::Internal`].
+    pub fn bind(model: FrozenModel, addr: impl ToSocketAddrs, config: NetConfig) -> Result<Self> {
+        if config.conn_threads == 0 {
+            return Err(NetError::Frame {
+                message: "config.conn_threads must be positive".to_string(),
+            });
+        }
+        if config.max_frame_bytes < 64 {
+            return Err(NetError::Frame {
+                message: "config.max_frame_bytes must be at least 64".to_string(),
+            });
+        }
+        if config.read_timeout.is_zero() || config.write_timeout.is_zero() {
+            return Err(NetError::Frame {
+                message: "config timeouts must be positive".to_string(),
+            });
+        }
+        let engine = Server::start(model, config.serve).map_err(serve_to_net)?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            handle: engine.handle(),
+            config,
+            stop: AtomicBool::new(false),
+            local_addr,
+        });
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let handlers = (0..config.conn_threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("ff-net-conn-{index}"))
+                    .spawn(move || handler_loop(&shared, &conn_rx))
+                    .expect("spawning a named handler thread cannot fail")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ff-net-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &conn_tx))
+                .expect("spawning the accept thread cannot fail")
+        };
+        Ok(NetServer {
+            shared,
+            accept: Some(accept),
+            handlers,
+            engine: Some(engine),
+        })
+    }
+
+    /// The address the server is listening on (the resolved ephemeral port
+    /// when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// An in-process handle onto the inner micro-batching engine — the
+    /// zero-copy path for co-located callers, and what parity tests compare
+    /// network answers against.
+    pub fn handle(&self) -> ServeHandle {
+        self.shared.handle.clone()
+    }
+
+    /// `true` once a shutdown (local or via a `Shutdown` frame) has been
+    /// requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting connections, drains the handler pool and shuts the
+    /// inference engine down.
+    ///
+    /// Handlers finish their current request loop first: open connections
+    /// close between frames, at EOF, or at the next read-timeout tick after
+    /// the flag is set, so shutdown takes at most one
+    /// [`NetConfig::read_timeout`] beyond the last in-flight request.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.shared);
+        if let Some(accept) = self.accept.take() {
+            if let Err(panic) = accept.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        for handler in self.handlers.drain(..) {
+            if let Err(panic) = handler.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
+        }
+    }
+}
+
+/// Sets the stop flag and wakes the accept loop with a loopback connection.
+fn request_shutdown(shared: &NetShared) {
+    if shared.stop.swap(true, Ordering::AcqRel) {
+        return; // already requested; the nudge was sent
+    }
+    // A throwaway connection unblocks `TcpListener::accept`; the loop then
+    // observes the flag and exits. Failure is fine — the listener may
+    // already be gone.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn accept_loop(shared: &NetShared, listener: &TcpListener, conn_tx: &mpsc::Sender<TcpStream>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return; // dropping conn_tx drains the handler pool
+                }
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                // Transient accept errors (aborted handshakes) are retried;
+                // a stop request still wins.
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One pool thread: service queued connections until the queue closes.
+fn handler_loop(shared: &NetShared, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Take ONE connection while holding the lock, then release it so
+        // sibling handlers can pick up further connections concurrently.
+        let stream = {
+            let queue = conn_rx.lock().expect("connection queue lock");
+            match queue.recv() {
+                Ok(stream) => stream,
+                Err(_) => return, // accept loop gone and queue drained
+            }
+        };
+        // Per-connection failures never take the handler down.
+        let _ = serve_connection(shared, stream);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// What the connection's reader hands its reply writer, in request order.
+enum Outgoing {
+    /// A reply that is already complete (stats, health, errors, acks).
+    Ready(Frame),
+    /// Predictions already submitted to the micro-batcher; the writer waits
+    /// for them and builds the `Labels` (or error) reply.
+    Deferred {
+        id: u64,
+        pendings: Vec<ff_serve::PendingPrediction>,
+    },
+}
+
+/// Runs one connection's framed request loop to completion.
+///
+/// The loop is split across two threads so clients can **pipeline**: the
+/// reader decodes frames and *submits* predictions to the micro-batcher
+/// without waiting ([`ff_serve::ServeHandle::submit`]), while a
+/// per-connection writer thread awaits the pending replies **in request
+/// order** and writes them back. A wave of pipelined `Predict` frames is
+/// therefore entirely in the batch queue before the first reply is due —
+/// rows from one wave (and from other connections) coalesce into shared
+/// GEMM batches instead of being served one blocking call at a time.
+fn serve_connection(shared: &NetShared, stream: TcpStream) -> Result<()> {
+    let max = shared.config.max_frame_bytes;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let writer = std::io::BufWriter::new(stream);
+
+    let (out_tx, out_rx) = mpsc::channel::<Outgoing>();
+    let writer_alive = Arc::new(AtomicBool::new(true));
+    let writer_thread = {
+        let alive = Arc::clone(&writer_alive);
+        std::thread::Builder::new()
+            .name("ff-net-reply".to_string())
+            .spawn(move || reply_writer_loop(writer, out_rx, max, &alive))
+            .expect("spawning the reply writer cannot fail")
+    };
+    let outcome = connection_reader_loop(shared, &mut reader, &out_tx, &writer_alive);
+    drop(out_tx); // writer drains queued replies, then exits
+    if let Err(panic) = writer_thread.join() {
+        std::panic::resume_unwind(panic);
+    }
+    outcome
+}
+
+/// What one attempt to fill a buffer from the socket produced.
+enum Fill {
+    /// The buffer is completely filled.
+    Done,
+    /// Clean EOF before the first byte of the buffer.
+    Eof,
+    /// Read timeout with nothing of this frame consumed — an idle tick the
+    /// caller uses to poll the stop flag.
+    Idle,
+    /// Shutdown was requested while a frame was partially read.
+    Aborted,
+}
+
+/// Fills `buf` from the socket with frame-aware timeout semantics.
+///
+/// Read timeouts are only an *idle* signal when nothing of the current
+/// frame has been consumed (`frame_started == false` and zero bytes
+/// filled). Once a frame has started, a timeout means the sender stalled
+/// mid-frame — the bytes already consumed must not be discarded, so the
+/// read **resumes** (checking the stop flag each tick) instead of
+/// returning; anything else would desynchronize the length-prefixed
+/// stream. A stalled connection therefore occupies its handler exactly
+/// like an idle one (the pool bounds both), and shutdown still interrupts
+/// it within one timeout tick.
+fn fill_frame_bytes(
+    reader: &mut impl std::io::Read,
+    buf: &mut [u8],
+    shared: &NetShared,
+    frame_started: bool,
+) -> Result<Fill> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && !frame_started {
+                    Ok(Fill::Eof)
+                } else {
+                    Err(NetError::Closed) // EOF mid-frame
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && !frame_started {
+                    return Ok(Fill::Idle);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(Fill::Aborted);
+                }
+                // Mid-frame stall (slow sender / retransmit): resume.
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// The reader half of [`serve_connection`].
+fn connection_reader_loop(
+    shared: &NetShared,
+    reader: &mut impl std::io::Read,
+    out_tx: &mpsc::Sender<Outgoing>,
+    writer_alive: &AtomicBool,
+) -> Result<()> {
+    let max = shared.config.max_frame_bytes;
+    loop {
+        if !writer_alive.load(Ordering::Acquire) {
+            return Ok(()); // peer stopped reading replies; stop serving it
+        }
+        let mut len_bytes = [0u8; 4];
+        match fill_frame_bytes(reader, &mut len_bytes, shared, false)? {
+            Fill::Done => {}
+            Fill::Eof | Fill::Aborted => return Ok(()),
+            Fill::Idle => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(()); // shutdown poll tick
+                }
+                continue; // idle connection: keep waiting
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > max {
+            // The stream cannot be resynchronized past an unread giant
+            // frame: answer once, then close.
+            let _ = out_tx.send(Outgoing::Ready(Frame::Error {
+                id: 0,
+                code: ErrorCode::FrameTooLarge,
+                message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
+            }));
+            return Ok(());
+        }
+        let mut bytes = vec![0u8; len];
+        match fill_frame_bytes(reader, &mut bytes, shared, true)? {
+            Fill::Done => {}
+            Fill::Eof | Fill::Idle | Fill::Aborted => return Ok(()),
+        }
+        let frame = match decode_frame(&bytes) {
+            Ok(frame) => frame,
+            Err(error) => {
+                let _ = out_tx.send(Outgoing::Ready(Frame::Error {
+                    id: 0,
+                    code: ErrorCode::Protocol,
+                    message: error.to_string(),
+                }));
+                return Ok(());
+            }
+        };
+        let shutdown_after = matches!(frame, Frame::Shutdown { .. });
+        let outgoing = handle_request(shared, frame);
+        if out_tx.send(outgoing).is_err() {
+            return Ok(()); // writer gone (write failure): close
+        }
+        if shutdown_after {
+            request_shutdown(shared);
+            return Ok(());
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            // A busy connection must notice shutdown between frames, not
+            // only on idle ticks — already-submitted replies still drain
+            // through the writer before the socket closes.
+            return Ok(());
+        }
+    }
+}
+
+/// The writer half of [`serve_connection`]: awaits deferred predictions in
+/// request order and writes every reply frame.
+fn reply_writer_loop(
+    mut writer: impl std::io::Write,
+    out_rx: mpsc::Receiver<Outgoing>,
+    max_frame_bytes: usize,
+    alive: &AtomicBool,
+) {
+    for outgoing in out_rx {
+        let frame = match outgoing {
+            Outgoing::Ready(frame) => frame,
+            Outgoing::Deferred { id, pendings } => {
+                let mut labels = Vec::with_capacity(pendings.len());
+                let mut first_error = None;
+                for pending in pendings {
+                    match pending.wait() {
+                        Ok(prediction) => labels.push(prediction.label as u32),
+                        Err(error) => {
+                            first_error.get_or_insert(error);
+                        }
+                    }
+                }
+                match first_error {
+                    None => Frame::Labels { id, labels },
+                    Some(error) => error_reply(id, &error),
+                }
+            }
+        };
+        if write_frame(&mut writer, &frame, max_frame_bytes).is_err() {
+            break; // peer gone; reader observes `alive` and closes
+        }
+    }
+    alive.store(false, Ordering::Release);
+}
+
+/// Turns one request frame into its outgoing reply, submitting predictions
+/// to the micro-batcher without blocking (replies never fail to build;
+/// engine errors become typed error frames).
+fn handle_request(shared: &NetShared, frame: Frame) -> Outgoing {
+    let id = frame.id();
+    match frame {
+        Frame::Predict { id, features } => match shared.handle.submit(&features) {
+            Ok(pending) => Outgoing::Deferred {
+                id,
+                pendings: vec![pending],
+            },
+            Err(error) => Outgoing::Ready(error_reply(id, &error)),
+        },
+        Frame::PredictBatch { id, cols, data } => {
+            let mut pendings = Vec::with_capacity(data.len() / cols as usize);
+            for row in data.chunks_exact(cols as usize) {
+                match shared.handle.submit(row) {
+                    Ok(pending) => pendings.push(pending),
+                    Err(error) => return Outgoing::Ready(error_reply(id, &error)),
+                }
+            }
+            Outgoing::Deferred { id, pendings }
+        }
+        Frame::Stats { id } => Outgoing::Ready(Frame::StatsReply {
+            id,
+            stats: shared.handle.stats().into(),
+        }),
+        Frame::Health { id } => {
+            let model = shared.handle.model();
+            Outgoing::Ready(Frame::HealthReply {
+                id,
+                input_features: model.input_features() as u32,
+                num_classes: model.num_classes() as u32,
+                mode: match shared.config.serve.mode {
+                    ServeMode::Logits => WireMode::Logits,
+                    ServeMode::Goodness => WireMode::Goodness,
+                },
+            })
+        }
+        Frame::Shutdown { id } => Outgoing::Ready(Frame::ShutdownAck { id }),
+        // A reply frame arriving at the server is a protocol violation.
+        other => Outgoing::Ready(Frame::Error {
+            id,
+            code: ErrorCode::Protocol,
+            message: format!("server received a non-request frame ({other:?})"),
+        }),
+    }
+}
+
+fn error_reply(id: u64, error: &ServeError) -> Frame {
+    let code = match error {
+        ServeError::BadRequest { .. } => ErrorCode::BadRequest,
+        ServeError::ServerClosed => ErrorCode::ServerClosed,
+        _ => ErrorCode::Internal,
+    };
+    Frame::Error {
+        id,
+        code,
+        message: error.to_string(),
+    }
+}
+
+fn serve_to_net(error: ServeError) -> NetError {
+    NetError::Remote {
+        code: ErrorCode::Internal,
+        message: error.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_models::small_mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> FrozenModel {
+        let mut rng = StdRng::seed_from_u64(5);
+        FrozenModel::freeze(&small_mlp(8, &[6], 3, &mut rng), 3).unwrap()
+    }
+
+    #[test]
+    fn bind_validates_config() {
+        for bad in [
+            NetConfig {
+                conn_threads: 0,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                max_frame_bytes: 8,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                read_timeout: Duration::ZERO,
+                ..NetConfig::default()
+            },
+        ] {
+            assert!(NetServer::bind(model(), "127.0.0.1:0", bad).is_err());
+        }
+    }
+
+    #[test]
+    fn binds_an_ephemeral_port_and_shuts_down() {
+        let server = NetServer::bind(model(), "127.0.0.1:0", NetConfig::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert!(!server.is_shutting_down());
+        // The in-process handle answers without any socket.
+        assert!(server.handle().predict(&[0.1; 8]).is_ok());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end wire serving: predictions answered over TCP by concurrent
+//! clients are **bit-identical** to direct in-memory [`FrozenModel`] calls,
+//! and every abuse path (wrong width, oversized frames, post-shutdown
+//! connects) fails with a typed error.
+
+use ff_models::small_mlp;
+use ff_net::{Client, ClientConfig, ErrorCode, NetConfig, NetError, NetServer, WireMode};
+use ff_serve::{FrozenModel, ServeConfig, ServeMode};
+use ff_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const FEATURES: usize = 24;
+const CLASSES: usize = 6;
+
+fn frozen(seed: u64) -> FrozenModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    FrozenModel::freeze(&small_mlp(FEATURES, &[16], CLASSES, &mut rng), CLASSES).unwrap()
+}
+
+fn config(mode: ServeMode) -> NetConfig {
+    NetConfig {
+        conn_threads: 4,
+        read_timeout: Duration::from_millis(100),
+        serve: ServeConfig {
+            workers: 2,
+            mode,
+            ..ServeConfig::default()
+        },
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_network_predictions_are_bit_identical_to_direct_calls() {
+    for mode in [ServeMode::Logits, ServeMode::Goodness] {
+        let model = frozen(3);
+        let x = init::uniform(&[40, FEATURES], -1.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let direct = match mode {
+            ServeMode::Logits => model.predict_logits(&x).unwrap(),
+            ServeMode::Goodness => model.predict_goodness(&x).unwrap(),
+        };
+        let server = NetServer::bind(model, "127.0.0.1:0", config(mode)).unwrap();
+        let addr = server.local_addr();
+
+        // 4 concurrent clients, each mixing all three request shapes over
+        // its own slice of the 40 rows.
+        let mut served = vec![0usize; 40];
+        std::thread::scope(|scope| {
+            for (client_index, chunk) in served.chunks_mut(10).enumerate() {
+                let x = &x;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let base = client_index * 10;
+                    // Rows 0..4 individually, 4..7 pipelined, 7..10 batched.
+                    for (offset, slot) in chunk.iter_mut().enumerate().take(4) {
+                        *slot = client.predict(x.row(base + offset)).unwrap();
+                    }
+                    let pipelined = client
+                        .predict_pipelined((4..7).map(|offset| x.row(base + offset)))
+                        .unwrap();
+                    chunk[4..7].copy_from_slice(&pipelined);
+                    let flat: Vec<f32> = (7..10)
+                        .flat_map(|offset| x.row(base + offset).to_vec())
+                        .collect();
+                    let batched = client.predict_batch(FEATURES, &flat).unwrap();
+                    chunk[7..10].copy_from_slice(&batched);
+                    client.close();
+                });
+            }
+        });
+        assert_eq!(served, direct, "{mode:?}: network answers diverged");
+
+        // The stats endpoint saw every row.
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.requests, 40);
+        assert_eq!(stats.latency.count, 40);
+        let info = client.health().unwrap();
+        assert_eq!(info.input_features, FEATURES);
+        assert_eq!(info.num_classes, CLASSES);
+        assert_eq!(
+            info.mode,
+            match mode {
+                ServeMode::Logits => WireMode::Logits,
+                ServeMode::Goodness => WireMode::Goodness,
+            }
+        );
+        client.close();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn wrong_width_request_is_a_typed_remote_error() {
+    let server = NetServer::bind(frozen(4), "127.0.0.1:0", config(ServeMode::Logits)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    match client.predict(&[0.0; FEATURES + 1]) {
+        Err(NetError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("features"), "{message}");
+        }
+        other => panic!("expected a BadRequest remote error, got {other:?}"),
+    }
+    // The connection survives a remote error: the next request succeeds.
+    assert!(client.predict(&[0.0; FEATURES]).unwrap() < CLASSES);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_on_both_sides() {
+    let tight = NetConfig {
+        max_frame_bytes: 256,
+        ..config(ServeMode::Logits)
+    };
+    let server = NetServer::bind(frozen(5), "127.0.0.1:0", tight).unwrap();
+
+    // Client-side guard: the frame never leaves the process.
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            max_frame_bytes: 256,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        client.predict_batch(FEATURES, &vec![0.0; FEATURES * 64]),
+        Err(NetError::FrameTooLarge { .. })
+    ));
+    // Small requests still fit.
+    assert!(client.predict(&[0.0; FEATURES]).is_ok());
+
+    // Server-side guard: a permissive client sends a giant frame; the
+    // server answers with a typed error frame and closes the connection.
+    let mut permissive = Client::connect(server.local_addr()).unwrap();
+    match permissive.predict_batch(FEATURES, &vec![0.0; FEATURES * 64]) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::FrameTooLarge),
+        other => panic!("expected a FrameTooLarge remote error, got {other:?}"),
+    }
+    client.close();
+    permissive.close();
+    server.shutdown();
+}
+
+#[test]
+fn client_reconnects_transparently() {
+    let server = NetServer::bind(frozen(6), "127.0.0.1:0", config(ServeMode::Logits)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let first = client.predict(&[0.5; FEATURES]).unwrap();
+    // Sever the connection; the next call dials again on its own.
+    client.close();
+    let second = client.predict(&[0.5; FEATURES]).unwrap();
+    assert_eq!(first, second, "same input, same model, same answer");
+    client.reconnect().unwrap();
+    assert_eq!(client.predict(&[0.5; FEATURES]).unwrap(), first);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_interrupts_a_busy_connection_between_frames() {
+    // A connection streaming requests back-to-back never hits a read
+    // timeout, so shutdown must be observed *between* frames — with the
+    // long timeout below, a regression here makes `server.shutdown()`
+    // block for seconds instead of milliseconds.
+    let long_poll = NetConfig {
+        read_timeout: Duration::from_secs(5),
+        ..config(ServeMode::Logits)
+    };
+    let server = NetServer::bind(frozen(8), "127.0.0.1:0", long_poll).unwrap();
+    let addr = server.local_addr();
+    let busy = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut answered = 0u64;
+        // Hammer until the server goes away.
+        while client.predict(&[0.25; FEATURES]).is_ok() {
+            answered += 1;
+        }
+        answered
+    });
+    // Let the busy client get going, then stop the server over the wire.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut controller = Client::connect(addr).unwrap();
+    controller.shutdown_server().unwrap();
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "shutdown waited on a busy connection's read timeout"
+    );
+    let answered = busy.join().unwrap();
+    assert!(answered > 0, "busy client never got served");
+}
+
+#[test]
+fn shutdown_frame_stops_the_server() {
+    // A unique feature width identifies THIS server: once it shuts down,
+    // its ephemeral port may be recycled by a sibling test's server, so
+    // "connect fails" alone would be racy — probe the identity instead.
+    let unique_features = 17usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = FrozenModel::freeze(&small_mlp(unique_features, &[8], 4, &mut rng), 4).unwrap();
+    let server = NetServer::bind(model, "127.0.0.1:0", config(ServeMode::Logits)).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.predict(&[0.0; 17]).is_ok());
+    client.shutdown_server().unwrap();
+    assert!(server.is_shutting_down());
+    server.shutdown();
+    // The listener is gone: a fresh connect fails, or — if the port was
+    // already recycled — reaches a *different* server.
+    match Client::connect(addr).and_then(|mut c| c.health()) {
+        Err(_) => {}
+        Ok(info) => assert_ne!(
+            info.input_features, unique_features,
+            "server kept serving after shutdown"
+        ),
+    }
+}

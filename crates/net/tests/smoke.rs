@@ -1,0 +1,124 @@
+//! The network smoke gate run by `scripts/check.sh`: train a tiny FF-INT8
+//! model, freeze it, serve it over a TCP socket on an ephemeral port,
+//! answer N concurrent client predicts, shut down cleanly, and assert
+//! accuracy parity with in-process serving (which is exact, because the
+//! network path is bit-identical to direct frozen inference).
+
+use ff_core::{FfTrainer, Precision, TrainOptions};
+use ff_data::{synthetic_mnist, SyntheticConfig};
+use ff_metrics::accuracy;
+use ff_models::small_mlp;
+use ff_net::{Client, NetConfig, NetServer};
+use ff_serve::{FrozenModel, ServeConfig, ServeMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+#[test]
+fn net_smoke_gate() {
+    // 1. Train a tiny model with FF-INT8 (+ look-ahead).
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 300,
+        test_size: 100,
+        noise_std: 0.15,
+        max_shift: 0,
+        seed: 5,
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = small_mlp(784, &[48], 10, &mut rng);
+    let options = TrainOptions {
+        epochs: 5,
+        learning_rate: 0.2,
+        max_eval_samples: 100,
+        ..TrainOptions::default()
+    };
+    let mut trainer = FfTrainer::new(Precision::Int8, true, options);
+    let history = trainer
+        .train(&mut net, &train_set, &test_set)
+        .expect("training");
+    let trained_accuracy = history.final_accuracy().expect("history has accuracy");
+    assert!(
+        trained_accuracy > 0.5,
+        "training collapsed: accuracy {trained_accuracy}"
+    );
+
+    // 2. Freeze, and compute the in-process reference predictions.
+    let frozen = FrozenModel::freeze(&net, 10).expect("freeze");
+    let request_count = 100usize;
+    let subset = test_set.take(request_count).expect("subset");
+    let x = subset.flattened().expect("flatten");
+    let direct_predictions = frozen.predict_goodness(&x).expect("direct predictions");
+    let direct_accuracy = accuracy(&direct_predictions, subset.labels());
+
+    // 3. Spawn the TCP front-end on an ephemeral port.
+    let server = NetServer::bind(
+        frozen,
+        "127.0.0.1:0",
+        NetConfig {
+            conn_threads: 4,
+            read_timeout: Duration::from_millis(200),
+            serve: ServeConfig {
+                workers: 2,
+                mode: ServeMode::Goodness,
+                ..ServeConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // 4. N concurrent clients predict over the wire (single + pipelined).
+    let clients = 4usize;
+    let per_client = request_count / clients;
+    let mut served_predictions = vec![0usize; request_count];
+    std::thread::scope(|scope| {
+        for (client_index, chunk) in served_predictions.chunks_mut(per_client).enumerate() {
+            let x = &x;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let base = client_index * per_client;
+                let half = per_client / 2;
+                for (offset, slot) in chunk.iter_mut().enumerate().take(half) {
+                    *slot = client.predict(x.row(base + offset)).expect("request");
+                }
+                let rest = client
+                    .predict_pipelined((half..per_client).map(|offset| x.row(base + offset)))
+                    .expect("pipelined wave");
+                chunk[half..].copy_from_slice(&rest);
+                client.close();
+            });
+        }
+    });
+
+    // 5. Parity: network answers are bit-identical to direct frozen
+    //    inference, so accuracy parity with in-process serving is exact.
+    assert_eq!(
+        served_predictions, direct_predictions,
+        "network predictions diverged from direct frozen inference"
+    );
+    let served_accuracy = accuracy(&served_predictions, subset.labels());
+    assert_eq!(served_accuracy, direct_accuracy, "accuracy parity violated");
+
+    // 6. Stats over the wire, then clean shutdown.
+    let mut client = Client::connect(addr).expect("stats client");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, request_count as u64);
+    assert_eq!(stats.latency.count, request_count as u64);
+    println!(
+        "net smoke: trained={trained_accuracy:.3} served={served_accuracy:.3} \
+         batches={} mean_batch={:.2} p99={:?}",
+        stats.batches, stats.mean_batch, stats.latency.p99
+    );
+    client.shutdown_server().expect("shutdown frame");
+    server.shutdown();
+    // The listener is gone: a fresh connect fails, or — if the ephemeral
+    // port was recycled by another process — reaches a different server.
+    match Client::connect(addr).and_then(|mut c| c.health()) {
+        Err(_) => {}
+        Ok(info) => assert_ne!(
+            info.input_features, 784,
+            "server kept serving after clean shutdown"
+        ),
+    }
+}

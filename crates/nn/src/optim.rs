@@ -127,6 +127,47 @@ impl Adam {
             v: Vec::new(),
         }
     }
+
+    /// The per-parameter first-moment estimates, in the order
+    /// [`Optimizer::step`] received the parameters. Empty until the first
+    /// step.
+    ///
+    /// Checkpointing trainers persist these (together with
+    /// [`Adam::second_moments`] and [`Adam::step_count`]) so a resumed run
+    /// continues the exact same moment trajectory and bias correction as an
+    /// uninterrupted one.
+    pub fn first_moments(&self) -> &[Tensor] {
+        &self.m
+    }
+
+    /// The per-parameter second-moment estimates (see
+    /// [`Adam::first_moments`]).
+    pub fn second_moments(&self) -> &[Tensor] {
+        &self.v
+    }
+
+    /// Number of steps taken so far — the `t` of the bias-correction terms.
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Restores state captured by [`Adam::first_moments`] /
+    /// [`Adam::second_moments`] / [`Adam::step_count`].
+    ///
+    /// `m` and `v` must be the same length (they grow in lockstep); later
+    /// parameters without buffers are lazily (re)initialised to zero on the
+    /// next step, exactly as on a fresh optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m.len() != v.len()` — callers deserializing external
+    /// state validate the lengths first.
+    pub fn set_state(&mut self, m: Vec<Tensor>, v: Vec<Tensor>, step_count: u64) {
+        assert_eq!(m.len(), v.len(), "Adam moment lists must have equal length");
+        self.m = m;
+        self.v = v;
+        self.step_count = step_count;
+    }
 }
 
 impl Optimizer for Adam {
@@ -231,6 +272,44 @@ mod tests {
         }
         assert!((w.data()[0] - 3.0).abs() < 0.1, "w = {}", w.data()[0]);
         assert_eq!(adam.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn adam_state_roundtrips_and_resumes_identically() {
+        // Two optimizers stepping the same trajectory: one straight through,
+        // one exported/imported halfway. The resumed one must produce
+        // bit-identical updates (moments AND bias-correction step count).
+        let grad_at = |w: f32| 2.0 * (w - 3.0);
+        let run = |resume_at: Option<usize>| {
+            let mut w = Tensor::zeros(&[1]);
+            let mut adam = Adam::new(0.1);
+            for step in 0..20 {
+                if resume_at == Some(step) {
+                    let (m, v, t) = (
+                        adam.first_moments().to_vec(),
+                        adam.second_moments().to_vec(),
+                        adam.step_count(),
+                    );
+                    adam = Adam::new(0.1);
+                    adam.set_state(m, v, t);
+                }
+                let mut g = Tensor::from_slice(&[1], &[grad_at(w.data()[0])]).unwrap();
+                adam.step(&mut [ParamRefMut {
+                    value: &mut w,
+                    grad: &mut g,
+                    version: None,
+                }]);
+            }
+            w.data()[0].to_bits()
+        };
+        assert_eq!(run(None), run(Some(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn adam_set_state_rejects_uneven_moments() {
+        let mut adam = Adam::new(0.1);
+        adam.set_state(vec![Tensor::zeros(&[1])], Vec::new(), 1);
     }
 
     #[test]

@@ -74,7 +74,8 @@ pub use error::ServeError;
 pub use format::{load_bytes, save_bytes, FORMAT_VERSION, MAGIC};
 pub use model::{FrozenDense, FrozenLayer, FrozenModel};
 pub use server::{
-    BatchPolicy, Prediction, ServeConfig, ServeHandle, ServeMode, Server, ServerStats,
+    BatchPolicy, PendingPrediction, Prediction, ServeConfig, ServeHandle, ServeMode, Server,
+    ServerStats,
 };
 
 /// Convenience result alias used throughout the crate.

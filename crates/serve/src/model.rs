@@ -193,6 +193,37 @@ impl FrozenModel {
         Self::from_layers(layers, num_classes)
     }
 
+    /// Warm-restart freezing: restores a mid-training `FF8C`
+    /// [`ff_core::Checkpoint`]'s parameters into `net` (the caller rebuilds
+    /// the architecture with any RNG — every parameter is overwritten) and
+    /// freezes the result, without ever constructing a training session.
+    ///
+    /// This is the eval-while-training deployment path: a trainer
+    /// auto-checkpoints every *n* steps, and a serving process picks up
+    /// `checkpoint::latest` and starts answering traffic from it. The
+    /// frozen model is **bit-identical** to freezing a
+    /// [`ff_core::TrainSession::resume`]d session's network, because both
+    /// go through [`ff_core::Checkpoint::restore_params`] — the property
+    /// the warm-restart test suite asserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidModel`] when the checkpoint's parameter
+    /// count or shapes do not fit `net`, plus every [`FrozenModel::freeze`]
+    /// error.
+    pub fn from_checkpoint(
+        checkpoint: &ff_core::Checkpoint,
+        net: &mut Sequential,
+        num_classes: usize,
+    ) -> Result<Self> {
+        checkpoint
+            .restore_params(net)
+            .map_err(|e| ServeError::InvalidModel {
+                message: format!("checkpoint does not fit the network: {e}"),
+            })?;
+        Self::freeze(net, num_classes)
+    }
+
     /// Assembles a frozen model from already-built layers (the artifact
     /// loader's entry point), validating the dimension chain.
     ///

@@ -170,15 +170,43 @@ pub struct ServeHandle {
     shared: Arc<Shared>,
 }
 
-impl ServeHandle {
-    /// Submits one sample and blocks until its prediction is ready.
+/// A submitted-but-not-yet-answered prediction (see
+/// [`ServeHandle::submit`]).
+///
+/// The request is already in the micro-batch queue; [`PendingPrediction::wait`]
+/// blocks until its reply arrives. Dropping it abandons the request (the
+/// worker's reply send fails harmlessly).
+#[derive(Debug)]
+pub struct PendingPrediction {
+    rx: Receiver<Result<Prediction>>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the prediction is ready.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadRequest`] when `features` does not match the
-    /// model's input width, and [`ServeError::ServerClosed`] when the server
-    /// has shut down.
-    pub fn predict(&self, features: &[f32]) -> Result<Prediction> {
+    /// Returns [`ServeError::BadRequest`] when the submitted features did
+    /// not match the model's input width, and [`ServeError::ServerClosed`]
+    /// when the server shut down before answering.
+    pub fn wait(self) -> Result<Prediction> {
+        self.rx.recv().map_err(|_| ServeError::ServerClosed)?
+    }
+}
+
+impl ServeHandle {
+    /// Enqueues one sample **without waiting** and returns a
+    /// [`PendingPrediction`] to collect later.
+    ///
+    /// This is the building block of every pipelined path: submitting many
+    /// samples before waiting lets the worker pool coalesce them into large
+    /// GEMM batches ([`ServeHandle::predict_many`] and the `ff-net`
+    /// connection loop both use it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ServerClosed`] when the server has shut down.
+    pub fn submit(&self, features: &[f32]) -> Result<PendingPrediction> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let request = Request {
             features: features.to_vec(),
@@ -188,7 +216,76 @@ impl ServeHandle {
         self.tx
             .send(Job::Run(request))
             .map_err(|_| ServeError::ServerClosed)?;
-        reply_rx.recv().map_err(|_| ServeError::ServerClosed)?
+        Ok(PendingPrediction { rx: reply_rx })
+    }
+
+    /// Submits one sample and blocks until its prediction is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] when `features` does not match the
+    /// model's input width, and [`ServeError::ServerClosed`] when the server
+    /// has shut down.
+    pub fn predict(&self, features: &[f32]) -> Result<Prediction> {
+        self.submit(features)?.wait()
+    }
+
+    /// Submits many samples at once and blocks until every prediction is
+    /// ready, preserving input order.
+    ///
+    /// All requests enter the queue **before** the first reply is awaited,
+    /// so the worker pool coalesces them into large GEMM batches — this is
+    /// the in-process half of the pipelined network path (`ff-net` funnels
+    /// `PredictBatch` frames through it). Per-row quantization keeps every
+    /// answer bit-identical to a lone [`ServeHandle::predict`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-row error ([`ServeError::BadRequest`] for a
+    /// wrong-width row) or [`ServeError::ServerClosed`] when the server has
+    /// shut down; rows are all-or-nothing from the caller's perspective.
+    pub fn predict_many<'r, I>(&self, rows: I) -> Result<Vec<Prediction>>
+    where
+        I: IntoIterator<Item = &'r [f32]>,
+    {
+        let mut replies = Vec::new();
+        for features in rows {
+            replies.push(self.submit(features)?);
+        }
+        let mut predictions = Vec::with_capacity(replies.len());
+        let mut first_error = None;
+        // Drain every reply even after an error so the stats count the
+        // whole wave consistently.
+        for reply in replies {
+            match reply.wait() {
+                Ok(prediction) => predictions.push(prediction),
+                Err(error) => {
+                    first_error.get_or_insert(error);
+                }
+            }
+        }
+        match first_error {
+            None => Ok(predictions),
+            Some(error) => Err(error),
+        }
+    }
+
+    /// Current aggregate statistics — readable from any handle, which is
+    /// what lets a network front-end answer stats requests without a
+    /// reference to the owning [`Server`].
+    pub fn stats(&self) -> ServerStats {
+        let stats = self.shared.stats.lock().expect("stats lock");
+        ServerStats {
+            requests: stats.requests,
+            batches: stats.batches,
+            mean_batch: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.requests as f64 / stats.batches as f64
+            },
+            max_batch: stats.max_batch,
+            latency: stats.latency.summary(),
+        }
     }
 
     /// The frozen model being served.
@@ -284,18 +381,7 @@ impl Server {
 
     /// Current aggregate statistics (the "stats endpoint").
     pub fn stats(&self) -> ServerStats {
-        let stats = self.handle.shared.stats.lock().expect("stats lock");
-        ServerStats {
-            requests: stats.requests,
-            batches: stats.batches,
-            mean_batch: if stats.batches == 0 {
-                0.0
-            } else {
-                stats.requests as f64 / stats.batches as f64
-            },
-            max_batch: stats.max_batch,
-            latency: stats.latency.summary(),
-        }
+        self.handle.stats()
     }
 
     /// Runs every sample of an in-order batch iterator through the model
@@ -514,6 +600,35 @@ mod tests {
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.latency.count, 1);
         assert!(stats.mean_batch >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn predict_many_matches_individual_predictions() {
+        let server = Server::start(model(), ServeConfig::default()).unwrap();
+        let rows: Vec<Vec<f32>> = (0..10)
+            .map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin()).collect())
+            .collect();
+        let individually: Vec<usize> = rows
+            .iter()
+            .map(|row| server.predict(row).unwrap().label)
+            .collect();
+        let many = server
+            .handle()
+            .predict_many(rows.iter().map(Vec::as_slice))
+            .unwrap();
+        let labels: Vec<usize> = many.iter().map(|p| p.label).collect();
+        assert_eq!(
+            labels, individually,
+            "pipelined answers must be bit-identical"
+        );
+        assert_eq!(server.handle().stats().requests, 20);
+        // A bad row fails the whole call with its typed error.
+        let bad = [vec![0.0f32; 8], vec![0.0f32; 7]];
+        assert!(matches!(
+            server.handle().predict_many(bad.iter().map(Vec::as_slice)),
+            Err(ServeError::BadRequest { .. })
+        ));
         server.shutdown();
     }
 

@@ -1,0 +1,132 @@
+//! Serving warm-restart: a mid-training `FF8C` checkpoint feeds
+//! [`FrozenModel::from_checkpoint`] directly, and the served predictions
+//! are **bit-identical** to freezing a training session resumed from the
+//! same checkpoint — the eval-while-training deployment path.
+
+use ff_core::{Algorithm, SessionStatus, TrainOptions, TrainSession};
+use ff_data::{synthetic_mnist, SyntheticConfig};
+use ff_models::small_mlp;
+use ff_serve::{FrozenModel, ServeConfig, ServeError, ServeMode, Server};
+use ff_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn net(seed: u64) -> ff_nn::Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    small_mlp(784, &[24], 10, &mut rng)
+}
+
+#[test]
+fn from_checkpoint_matches_resumed_session_predictions() {
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 96,
+        test_size: 48,
+        noise_std: 0.2,
+        max_shift: 0,
+        seed: 9,
+    });
+    let options = TrainOptions {
+        epochs: 2,
+        batch_size: 32,
+        max_eval_samples: 48,
+        ..TrainOptions::fast_test()
+    };
+
+    // Train a few steps into the run and checkpoint mid-epoch.
+    let mut training_net = net(1);
+    let mut session = TrainSession::new(
+        &mut training_net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: true },
+        &options,
+    )
+    .unwrap();
+    for _ in 0..2 {
+        assert!(matches!(session.step().unwrap(), SessionStatus::Running));
+    }
+    let checkpoint = session.checkpoint();
+    assert!(checkpoint.progress.is_some(), "mid-epoch checkpoint");
+
+    // Path A: warm-restart — checkpoint straight into freeze.
+    let mut serving_net = net(999); // any init; every parameter is overwritten
+    let warm = FrozenModel::from_checkpoint(&checkpoint, &mut serving_net, 10).unwrap();
+
+    // Path B: resume a training session from the same checkpoint, then
+    // freeze its network.
+    let mut resumed_net = net(12345);
+    {
+        let _session =
+            TrainSession::resume(&mut resumed_net, &train_set, &test_set, &checkpoint).unwrap();
+    }
+    let resumed = FrozenModel::freeze(&resumed_net, 10).unwrap();
+
+    // Bit-identical predictions, both classification modes.
+    let x = test_set.take(48).unwrap().flattened().unwrap();
+    assert_eq!(
+        warm.predict_goodness(&x).unwrap(),
+        resumed.predict_goodness(&x).unwrap()
+    );
+    assert_eq!(
+        warm.predict_logits(&x).unwrap(),
+        resumed.predict_logits(&x).unwrap()
+    );
+
+    // And the warm-restarted model serves through the micro-batcher with
+    // the same answers.
+    let direct = warm.predict_goodness(&x).unwrap();
+    let server = Server::start(
+        warm,
+        ServeConfig {
+            workers: 2,
+            mode: ServeMode::Goodness,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let rows: Vec<&[f32]> = (0..x.rows()).map(|i| x.row(i)).collect();
+    let served: Vec<usize> = server
+        .handle()
+        .predict_many(rows.iter().copied())
+        .unwrap()
+        .into_iter()
+        .map(|p| p.label)
+        .collect();
+    assert_eq!(served, direct, "served warm-restart predictions diverged");
+    server.shutdown();
+}
+
+#[test]
+fn from_checkpoint_rejects_wrong_architecture() {
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 64,
+        test_size: 32,
+        noise_std: 0.2,
+        max_shift: 0,
+        seed: 10,
+    });
+    let mut training_net = net(2);
+    let mut session = TrainSession::new(
+        &mut training_net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: true },
+        &TrainOptions::fast_test(),
+    )
+    .unwrap();
+    session.step().unwrap();
+    let checkpoint = session.checkpoint();
+
+    // Wrong hidden width: parameter shapes disagree.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut wrong = small_mlp(784, &[16], 10, &mut rng);
+    assert!(matches!(
+        FrozenModel::from_checkpoint(&checkpoint, &mut wrong, 10),
+        Err(ServeError::InvalidModel { .. })
+    ));
+
+    // Unservable input is still rejected downstream of the restore.
+    let mut right = net(4);
+    let restored = FrozenModel::from_checkpoint(&checkpoint, &mut right, 10).unwrap();
+    assert!(restored.forward(&Tensor::ones(&[1, 10])).is_err());
+}

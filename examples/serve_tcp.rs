@@ -1,0 +1,128 @@
+//! Network-serving walkthrough: train an FF-INT8 MLP, freeze it, expose it
+//! over TCP with the `FF8P` wire protocol, and drive it with concurrent
+//! clients — single predictions, pipelined waves and one-frame batches —
+//! before shutting the server down over the wire.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example serve_tcp
+//! ```
+
+use ff_int8::core::{FfTrainer, Precision, TrainOptions};
+use ff_int8::data::{synthetic_mnist, SyntheticConfig};
+use ff_int8::metrics::accuracy;
+use ff_int8::models::small_mlp;
+use ff_int8::net::{Client, NetConfig, NetServer};
+use ff_int8::serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a small MLP with FF-INT8 + look-ahead.
+    println!("== training FF-INT8 MLP on synthetic MNIST ==");
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 600,
+        test_size: 200,
+        noise_std: 0.15,
+        max_shift: 0,
+        seed: 3,
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = small_mlp(784, &[128], 10, &mut rng);
+    let mut trainer = FfTrainer::new(
+        Precision::Int8,
+        true,
+        TrainOptions {
+            epochs: 6,
+            learning_rate: 0.2,
+            max_eval_samples: 200,
+            ..TrainOptions::default()
+        },
+    );
+    let history = trainer.train(&mut net, &train_set, &test_set)?;
+    println!(
+        "trained: final test accuracy {:.1}%",
+        history.final_accuracy().unwrap_or(0.0) * 100.0
+    );
+
+    // 2. Freeze and bind the TCP front-end on an ephemeral loopback port.
+    //    (A real deployment passes "0.0.0.0:7878" and runs clients on
+    //    other machines — the protocol is the same.)
+    let frozen = FrozenModel::freeze(&net, 10)?;
+    let server = NetServer::bind(
+        frozen,
+        "127.0.0.1:0",
+        NetConfig {
+            conn_threads: 4,
+            read_timeout: Duration::from_millis(250),
+            serve: ServeConfig {
+                workers: 2,
+                mode: ServeMode::Goodness,
+                policy: BatchPolicy {
+                    max_batch: 16,
+                    max_wait: Duration::from_micros(500),
+                },
+                gemm_threads: 1,
+            },
+            ..NetConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    println!("== serving FF8P on {addr} ==");
+
+    // 3. A client probes the server, then four concurrent clients classify
+    //    the test set over the wire.
+    let mut probe = Client::connect(addr)?;
+    let info = probe.health()?;
+    println!(
+        "health: {} features, {} classes, {:?} mode",
+        info.input_features, info.num_classes, info.mode
+    );
+
+    let subset = test_set.take(200)?;
+    let x = subset.flattened()?;
+    let mut predictions = vec![0usize; subset.len()];
+    std::thread::scope(|scope| {
+        let chunk = subset.len() / 4;
+        for (client_index, slots) in predictions.chunks_mut(chunk).enumerate() {
+            let x = &x;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let base = client_index * chunk;
+                // A third each: single predicts, a pipelined wave, one
+                // batch frame — all three produce bit-identical answers.
+                let third = chunk / 3;
+                for (offset, slot) in slots.iter_mut().enumerate().take(third) {
+                    *slot = client.predict(x.row(base + offset)).expect("predict");
+                }
+                let wave = client
+                    .predict_pipelined((third..2 * third).map(|o| x.row(base + o)))
+                    .expect("pipelined");
+                slots[third..2 * third].copy_from_slice(&wave);
+                let flat: Vec<f32> = (2 * third..chunk)
+                    .flat_map(|o| x.row(base + o).to_vec())
+                    .collect();
+                let batched = client.predict_batch(x.cols(), &flat).expect("batch");
+                slots[2 * third..].copy_from_slice(&batched);
+                client.close();
+            });
+        }
+    });
+
+    let served_accuracy = accuracy(&predictions, subset.labels());
+    let stats = probe.stats()?;
+    println!(
+        "served {} rows in {} GEMM batches (mean batch {:.1}, largest {})",
+        stats.requests, stats.batches, stats.mean_batch, stats.max_batch
+    );
+    println!("queue-to-reply latency: {}", stats.latency);
+    println!("served accuracy over TCP: {:.1}%", served_accuracy * 100.0);
+
+    // 4. Shut the server down over the wire.
+    probe.shutdown_server()?;
+    server.shutdown();
+    println!("server drained and shut down");
+    Ok(())
+}

@@ -49,6 +49,13 @@ if [[ "$fast" -eq 0 ]]; then
     # epochs (crates/core/tests/checkpoint.rs).
     echo "==> interrupt-resume smoke gate (release)"
     cargo test -q --release -p ff-core --test checkpoint interrupt_resume_smoke_gate
+
+    # Network smoke gate: spawn the FF8P TCP server on an ephemeral port →
+    # N concurrent client predicts (single + pipelined) → clean shutdown →
+    # served predictions bit-identical to in-process frozen inference, so
+    # accuracy parity is exact (crates/net/tests/smoke.rs).
+    echo "==> network smoke gate (release)"
+    cargo test -q --release -p ff-net --test smoke
 fi
 
 echo "All checks passed."

@@ -25,6 +25,7 @@ pub use ff_data as data;
 pub use ff_edge as edge;
 pub use ff_metrics as metrics;
 pub use ff_models as models;
+pub use ff_net as net;
 pub use ff_nn as nn;
 pub use ff_quant as quant;
 pub use ff_serve as serve;
