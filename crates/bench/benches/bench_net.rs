@@ -22,6 +22,13 @@
 //! (p50/p95/p99 via [`ff_metrics::LatencyHistogram`]) are printed per
 //! configuration.
 //!
+//! A fourth group drives the server past saturation: closed-loop offered
+//! concurrency at 2× the admission gate's capacity (and far beyond one
+//! GEMM worker's throughput). Under overload the server must **shed** —
+//! typed `Overloaded` replies with a retry hint — rather than queue to
+//! death; the shed rate and the p99 of the requests it *did* serve land in
+//! the baseline as `net_overload/*` metrics.
+//!
 //! Running with `--bench` (what `cargo bench` passes) writes a
 //! `BENCH_net.json` baseline into the bench binary's working directory
 //! (`crates/bench/`).
@@ -29,12 +36,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ff_metrics::LatencyHistogram;
 use ff_models::small_mlp;
-use ff_net::{Client, NetConfig, NetServer};
+use ff_net::{AdmissionConfig, Client, ErrorCode, NetConfig, NetError, NetServer};
 use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode};
 use ff_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -229,5 +237,114 @@ fn bench_net_throughput(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(benches, bench_net_throughput);
+/// Overload point: 16 closed-loop clients against an 8-row admission gate
+/// backed by a single GEMM worker — offered concurrency is 2× what the
+/// gate admits, and the offered *rate* (a client whose request is shed
+/// comes back after the retry hint) is far beyond GEMM capacity. Records
+/// the shed rate and served-side latency into `BENCH_net.json`; in smoke
+/// mode it runs a two-request-per-client panic check.
+fn bench_net_overload(c: &mut Criterion) {
+    const OVERLOAD_CLIENTS: usize = 16;
+    const GATE_ROWS: usize = 8;
+    let per_client: usize = if c.measuring() { 64 } else { 2 };
+    let config = NetConfig {
+        conn_threads: OVERLOAD_CLIENTS,
+        read_timeout: Duration::from_millis(200),
+        admission: AdmissionConfig {
+            max_in_flight_rows: GATE_ROWS,
+            retry_after: Duration::from_millis(2),
+            ..AdmissionConfig::default()
+        },
+        serve: ServeConfig {
+            workers: 1,
+            mode: ServeMode::Logits,
+            policy: BatchPolicy {
+                max_batch: GATE_ROWS,
+                max_wait: Duration::from_millis(1),
+            },
+            gemm_threads: 1,
+        },
+        ..NetConfig::default()
+    };
+    let pool = request_pool(REQUESTS_PER_ITER);
+    let server = NetServer::bind(paper_mlp(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let served_latency = Arc::new(Mutex::new(LatencyHistogram::new()));
+    let served = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_index in 0..OVERLOAD_CLIENTS {
+            let served_latency = Arc::clone(&served_latency);
+            let (pool, served, shed, failed) = (&pool, &served, &shed, &failed);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut local = LatencyHistogram::new();
+                for step in 0..per_client {
+                    let row = pool.row((client_index * per_client + step) % pool.rows());
+                    let sent = Instant::now();
+                    match client.predict(row) {
+                        Ok(_) => {
+                            local.record(sent.elapsed());
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(NetError::Remote {
+                            code: ErrorCode::Overloaded,
+                            retry_after,
+                            ..
+                        }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            // An honest client honors the hint before its
+                            // next request — the offered rate stays ≥2×
+                            // capacity even so.
+                            std::thread::sleep(retry_after.unwrap_or(Duration::from_millis(2)));
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                client.close();
+                served_latency.lock().expect("latency lock").merge(&local);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let offered = (OVERLOAD_CLIENTS * per_client) as u64;
+    let served = served.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    assert_eq!(
+        served + shed + failed,
+        offered,
+        "every offered request must be accounted for"
+    );
+    assert_eq!(failed, 0, "overload must surface as typed Overloaded only");
+    let latency = served_latency.lock().expect("latency lock");
+    println!(
+        "    overload: offered={offered} served={served} shed={shed} \
+         in {elapsed:?}, served latency[{}]",
+        latency.summary()
+    );
+    if c.measuring() {
+        assert!(shed > 0, "2x offered concurrency must trigger shedding");
+        assert!(served > 0, "shedding must not starve admitted work");
+        c.record_metric("net_overload/offered_requests", offered as f64);
+        c.record_metric("net_overload/shed_rate", shed as f64 / offered as f64);
+        c.record_metric(
+            "net_overload/served_p99_ms",
+            latency.p99().as_secs_f64() * 1e3,
+        );
+        c.record_metric(
+            "net_overload/served_throughput_rps",
+            served as f64 / elapsed.as_secs_f64(),
+        );
+    }
+    drop(latency);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_net_throughput, bench_net_overload);
 criterion_main!(benches);

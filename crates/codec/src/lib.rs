@@ -231,6 +231,24 @@ impl<'a> Reader<'a> {
     /// [`CodecError::BadMagic`] / [`CodecError::UnsupportedVersion`] /
     /// [`CodecError::Truncated`] when the header is wrong or incomplete.
     pub fn new(bytes: &'a [u8], magic: &[u8; 4], version: u16) -> Result<Self> {
+        Self::with_versions(bytes, magic, version..=version).map(|(reader, _)| reader)
+    }
+
+    /// Like [`Reader::new`], but accepts any format version inside
+    /// `supported` and returns the version actually declared by the
+    /// artifact — the hook for formats that evolve by **minor-version
+    /// bump**, where a current build keeps decoding artifacts written by
+    /// older peers (`FF8P` deadline fields, future `FF8C`/`FF8S` columns).
+    ///
+    /// # Errors
+    ///
+    /// As [`Reader::new`]; a declared version outside `supported` is
+    /// [`CodecError::UnsupportedVersion`].
+    pub fn with_versions(
+        bytes: &'a [u8],
+        magic: &[u8; 4],
+        supported: std::ops::RangeInclusive<u16>,
+    ) -> Result<(Self, u16)> {
         let mut reader = Reader { cursor: bytes };
         reader.need(4, "magic")?;
         let mut found = [0u8; 4];
@@ -239,11 +257,11 @@ impl<'a> Reader<'a> {
             return Err(CodecError::BadMagic { expected: *magic });
         }
         let declared = reader.get_u16("format version")?;
-        if declared != version {
+        if !supported.contains(&declared) {
             return Err(CodecError::UnsupportedVersion { version: declared });
         }
         let _flags = reader.get_u16("reserved flags")?;
-        Ok(reader)
+        Ok((reader, declared))
     }
 
     /// Bytes left to read.
@@ -449,6 +467,23 @@ mod tests {
         let bytes = sample();
         assert!(matches!(
             Reader::new(&bytes, &MAGIC, 4),
+            Err(CodecError::UnsupportedVersion { version: 3 })
+        ));
+    }
+
+    #[test]
+    fn version_ranges_accept_minor_versions() {
+        let bytes = sample(); // declares version 3
+        let (_, declared) = Reader::with_versions(&bytes, &MAGIC, 1..=3).unwrap();
+        assert_eq!(declared, 3);
+        let (_, declared) = Reader::with_versions(&bytes, &MAGIC, 3..=7).unwrap();
+        assert_eq!(declared, 3);
+        assert!(matches!(
+            Reader::with_versions(&bytes, &MAGIC, 4..=7),
+            Err(CodecError::UnsupportedVersion { version: 3 })
+        ));
+        assert!(matches!(
+            Reader::with_versions(&bytes, &MAGIC, 1..=2),
             Err(CodecError::UnsupportedVersion { version: 3 })
         ));
     }

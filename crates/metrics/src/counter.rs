@@ -1,0 +1,79 @@
+//! Shared atomic event counters.
+//!
+//! Serving stacks count discrete events — requests shed on an expired
+//! deadline, admissions rejected under overload, client-side retries — from
+//! many threads at once. [`Counter`] is the minimal primitive for that: a
+//! cloneable handle onto one shared `u64` that any thread can bump without
+//! locking. Snapshots ([`Counter::get`]) are monotonic but not synchronized
+//! with other counters; callers that need a consistent multi-counter view
+//! read them under their own lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe event counter.
+///
+/// Clones share the same underlying count — handing a clone to another
+/// subsystem (the `ff-net` admission gate feeding `ff-serve` statistics,
+/// for example) lets both sides observe one number.
+///
+/// # Examples
+///
+/// ```
+/// use ff_metrics::Counter;
+///
+/// let shed = Counter::new();
+/// let writer = shed.clone();
+/// writer.inc();
+/// writer.add(2);
+/// assert_eq!(shed.get(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_count() {
+        let counter = Counter::new();
+        assert_eq!(counter.get(), 0);
+        let clone = counter.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = clone.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 400);
+        counter.add(10);
+        assert_eq!(clone.get(), 410);
+    }
+}

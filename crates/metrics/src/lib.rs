@@ -1,8 +1,9 @@
 //! # ff-metrics
 //!
 //! Training histories, accuracy helpers, plain-text table/series formatting,
-//! and the bounded-memory latency histogram shared by the FF-INT8
-//! experiments, benchmarks and the `ff-serve` stats endpoint.
+//! the bounded-memory latency histogram and the shared atomic event
+//! [`Counter`] used by the FF-INT8 experiments, benchmarks and the
+//! `ff-serve`/`ff-net` stats endpoints.
 //!
 //! # Examples
 //!
@@ -18,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counter;
 mod history;
 mod latency;
 mod table;
 
+pub use counter::Counter;
 pub use history::{accuracy, EpochRecord, TrainingHistory};
 pub use latency::{LatencyHistogram, LatencySummary};
 pub use table::{format_series, format_table};

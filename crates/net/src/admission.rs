@@ -1,0 +1,315 @@
+//! Bounded admission control for prediction work.
+//!
+//! The micro-batcher's request queue is unbounded: with no gate in front of
+//! it, offered load beyond GEMM capacity grows the queue without limit and
+//! every request eventually times out — the server is "up" but useless
+//! (congestive collapse). The [`AdmissionGate`] bounds how much prediction
+//! work may be in flight at once, measured in **rows** (a 512-row batch
+//! costs 512× a single predict), and refuses the excess *immediately* with
+//! a typed [`ErrorCode::Overloaded`](crate::ErrorCode::Overloaded) reply
+//! and a retry-after hint. Under overload the server keeps answering fast —
+//! mostly "try later", but every admitted request still meets its deadline.
+//!
+//! Control frames (Stats / Health / Shutdown) bypass the gate; they cost
+//! microseconds and must keep working during overload, or operators go
+//! blind exactly when they need visibility.
+//!
+//! A slot is held from admission until the reply is written
+//! ([`Permit`] drop), so the bound covers queued *and* executing work.
+//! Requests whose deadline already expired on arrival are refused without
+//! occupying a slot at all.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What the server does when the admission queue is full and another
+/// prediction request arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Refuse the new request (first-come-first-served). Predictable and
+    /// fair; the default.
+    #[default]
+    RejectNew,
+    /// First drop bookkeeping for queued requests whose deadline has
+    /// already expired — the batcher will shed them before the GEMM anyway,
+    /// so their slots are dead weight — then admit the new request if room
+    /// opened up, else refuse it. Favors requests that can still meet their
+    /// deadline over ones that cannot.
+    ShedExpired,
+}
+
+/// Admission-gate sizing and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Upper bound on prediction rows admitted but not yet replied to.
+    /// Sized like a latency budget: `capacity ≈ target_p99 × rows_per_sec`.
+    pub max_in_flight_rows: usize,
+    /// Full-queue behavior.
+    pub policy: OverloadPolicy,
+    /// Retry-after hint carried by `Overloaded` replies.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight_rows: 4096,
+            policy: OverloadPolicy::RejectNew,
+            retry_after: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Why a request was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// In-flight work is at capacity; retry after the hint.
+    Overloaded {
+        /// The configured retry-after hint.
+        retry_after: Duration,
+    },
+    /// The request's deadline had already expired on arrival.
+    DeadlineExpired,
+}
+
+/// One admitted request's bookkeeping entry. Shared between the gate's
+/// queue and the [`Permit`] so release needs no back-pointer to the gate.
+#[derive(Debug)]
+struct Entry {
+    rows: usize,
+    deadline: Option<Instant>,
+    released: AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: VecDeque<Arc<Entry>>,
+    in_flight_rows: usize,
+}
+
+impl State {
+    /// Drops bookkeeping for released entries, returning their rows to the
+    /// budget. Amortized O(1) per admitted request.
+    fn sweep_released(&mut self) {
+        let rows = &mut self.in_flight_rows;
+        self.queue.retain(|entry| {
+            if entry.released.load(Ordering::Acquire) {
+                *rows -= entry.rows;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Drops bookkeeping for entries whose deadline has expired (the
+    /// batcher sheds those before the GEMM, so their slots are dead
+    /// weight). Used by [`OverloadPolicy::ShedExpired`].
+    fn shed_expired(&mut self, now: Instant) -> usize {
+        let rows = &mut self.in_flight_rows;
+        let before = self.queue.len();
+        self.queue.retain(|entry| {
+            if entry.deadline.is_some_and(|deadline| now > deadline) {
+                *rows -= entry.rows;
+                false
+            } else {
+                true
+            }
+        });
+        before - self.queue.len()
+    }
+}
+
+/// Bounded gate in front of the micro-batcher; see the module docs.
+/// Cheap to clone — clones share one budget.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionGate {
+    config: AdmissionConfig,
+    state: Arc<Mutex<State>>,
+}
+
+impl AdmissionGate {
+    /// Creates a gate with the given sizing and policy.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionGate {
+            config,
+            state: Arc::new(Mutex::new(State::default())),
+        }
+    }
+
+    /// The gate's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Requests admission for `rows` rows of prediction work with an
+    /// optional deadline. On success the returned [`Permit`] holds the
+    /// rows until dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::DeadlineExpired`] when `deadline` has already passed,
+    /// and [`AdmitError::Overloaded`] when the budget is exhausted (after
+    /// policy-dependent eviction of expired bookkeeping).
+    pub fn try_admit(
+        &self,
+        rows: usize,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<Permit, AdmitError> {
+        let now = Instant::now();
+        if deadline.is_some_and(|deadline| now > deadline) {
+            return Err(AdmitError::DeadlineExpired);
+        }
+        let mut state = self.state.lock().expect("admission gate lock poisoned");
+        state.sweep_released();
+        if state.in_flight_rows + rows > self.config.max_in_flight_rows
+            && self.config.policy == OverloadPolicy::ShedExpired
+        {
+            state.shed_expired(now);
+        }
+        // A single oversized batch (rows > capacity) is still admitted when
+        // the gate is idle — refusing it forever would deadlock well-formed
+        // clients; the frame-size limit bounds the worst case.
+        if state.in_flight_rows + rows > self.config.max_in_flight_rows && state.in_flight_rows > 0
+        {
+            return Err(AdmitError::Overloaded {
+                retry_after: self.config.retry_after,
+            });
+        }
+        let entry = Arc::new(Entry {
+            rows,
+            deadline,
+            released: AtomicBool::new(false),
+        });
+        state.in_flight_rows += rows;
+        state.queue.push_back(Arc::clone(&entry));
+        Ok(Permit { entry })
+    }
+
+    /// Rows currently admitted and unreleased (sweeps first). Zero means
+    /// every admitted request has been replied to — the drain condition.
+    pub fn in_flight_rows(&self) -> usize {
+        let mut state = self.state.lock().expect("admission gate lock poisoned");
+        state.sweep_released();
+        state.in_flight_rows
+    }
+}
+
+/// An admitted request's slot. Dropping it (after the reply is written, or
+/// on any error path) returns the rows to the gate's budget; releasing is
+/// infallible and never blocks.
+#[derive(Debug)]
+pub struct Permit {
+    entry: Arc<Entry>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.entry.released.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(rows: usize, policy: OverloadPolicy) -> AdmissionGate {
+        AdmissionGate::new(AdmissionConfig {
+            max_in_flight_rows: rows,
+            policy,
+            retry_after: Duration::from_millis(7),
+        })
+    }
+
+    #[test]
+    fn admits_until_capacity_then_rejects_with_the_hint() {
+        let gate = gate(4, OverloadPolicy::RejectNew);
+        let _a = gate.try_admit(2, None).unwrap();
+        let _b = gate.try_admit(2, None).unwrap();
+        assert_eq!(gate.in_flight_rows(), 4);
+        assert_eq!(
+            gate.try_admit(1, None).map(|_| ()).unwrap_err(),
+            AdmitError::Overloaded {
+                retry_after: Duration::from_millis(7)
+            }
+        );
+    }
+
+    #[test]
+    fn dropping_a_permit_frees_its_rows() {
+        let gate = gate(4, OverloadPolicy::RejectNew);
+        let a = gate.try_admit(3, None).unwrap();
+        assert!(gate.try_admit(2, None).is_err());
+        drop(a);
+        let kept = gate.try_admit(2, None).unwrap();
+        // Release order doesn't matter: a later permit can outlive an
+        // earlier one without wedging the budget.
+        let b = gate.try_admit(1, None).unwrap();
+        let c = gate.try_admit(1, None).unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight_rows(), 2);
+        drop(kept);
+        assert_eq!(gate.in_flight_rows(), 0);
+    }
+
+    #[test]
+    fn expired_deadlines_are_refused_without_a_slot() {
+        let gate = gate(4, OverloadPolicy::RejectNew);
+        let expired = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            gate.try_admit(1, Some(expired)).map(|_| ()).unwrap_err(),
+            AdmitError::DeadlineExpired
+        );
+        assert_eq!(gate.in_flight_rows(), 0);
+    }
+
+    #[test]
+    fn shed_expired_policy_evicts_dead_bookkeeping() {
+        let gate = gate(4, OverloadPolicy::ShedExpired);
+        // Occupy the gate with requests whose deadline passes immediately.
+        let near = Instant::now() + Duration::from_millis(1);
+        let _dead_a = gate.try_admit(2, Some(near)).unwrap();
+        let _dead_b = gate.try_admit(2, Some(near)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        // RejectNew would refuse; ShedExpired reclaims the dead slots.
+        let live = gate.try_admit(4, Some(Instant::now() + Duration::from_secs(5)));
+        assert!(live.is_ok());
+        assert_eq!(gate.in_flight_rows(), 4);
+        // Full of *live* work still rejects.
+        assert!(gate.try_admit(1, None).is_err());
+    }
+
+    #[test]
+    fn reject_new_policy_keeps_expired_bookkeeping() {
+        let gate = gate(4, OverloadPolicy::RejectNew);
+        let near = Instant::now() + Duration::from_millis(1);
+        let _dead = gate.try_admit(4, Some(near)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(
+            gate.try_admit(1, None),
+            Err(AdmitError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn an_oversized_batch_is_admitted_when_idle() {
+        let gate = gate(4, OverloadPolicy::RejectNew);
+        let big = gate.try_admit(100, None).unwrap();
+        assert_eq!(gate.in_flight_rows(), 100);
+        assert!(gate.try_admit(1, None).is_err(), "gate is saturated");
+        drop(big);
+        assert_eq!(gate.in_flight_rows(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_budget() {
+        let gate = gate(2, OverloadPolicy::RejectNew);
+        let clone = gate.clone();
+        let _a = gate.try_admit(2, None).unwrap();
+        assert!(clone.try_admit(1, None).is_err());
+        assert_eq!(clone.in_flight_rows(), 2);
+    }
+}

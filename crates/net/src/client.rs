@@ -1,15 +1,17 @@
 //! The blocking `FF8P` client: connect/reconnect, single predictions,
-//! one-frame batches and pipelined request waves over one connection.
+//! one-frame batches, pipelined request waves, deadline stamping and
+//! opt-in retries over one connection.
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES,
+    read_frame, write_frame, Frame, WireHealthState, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES,
 };
+use crate::retry::RetryPolicy;
 use crate::{NetError, Result};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Client-side socket configuration.
+/// Client-side socket, deadline and retry configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClientConfig {
     /// How long to wait for a reply before failing with
@@ -20,6 +22,14 @@ pub struct ClientConfig {
     /// Upper bound on one frame's length, both directions (oversized
     /// requests fail locally before anything hits the wire).
     pub max_frame_bytes: usize,
+    /// Per-request latency budget. Each prediction is stamped with the
+    /// *remaining* budget when it hits the wire, so the server can refuse
+    /// or shed it once an answer would arrive too late; the same budget
+    /// bounds retries. `None` (the default) means unbounded.
+    pub deadline: Option<Duration>,
+    /// Retry policy for idempotent requests (Predict / Stats / Health).
+    /// Disabled by default; see [`RetryPolicy::standard`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -28,6 +38,8 @@ impl Default for ClientConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -41,6 +53,10 @@ pub struct ServerInfo {
     pub num_classes: usize,
     /// Classification mode the server runs.
     pub mode: WireMode,
+    /// Lifecycle phase: [`WireHealthState::Draining`] once a graceful
+    /// shutdown has started (version-1 servers always report
+    /// [`WireHealthState::Ok`]).
+    pub state: WireHealthState,
 }
 
 /// A blocking `FF8P` client over one TCP connection.
@@ -49,10 +65,19 @@ pub struct ServerInfo {
 /// transparently**: any call that finds the connection gone (never opened,
 /// or poisoned by an earlier I/O error) dials again first. An I/O failure
 /// mid-call drops the connection and surfaces the error — the *next* call
+/// (or the next retry attempt, when a [`RetryPolicy`] is enabled)
 /// reconnects, so a restarted server needs no client-side ceremony. Replies
 /// are matched to requests by the echoed frame id, and within a connection
 /// the server answers strictly in order, which is what makes
 /// [`Client::predict_pipelined`] safe.
+///
+/// With [`ClientConfig::retry`] enabled, idempotent requests (Predict /
+/// Stats / Health) that fail **retryably** — transport faults, typed
+/// `Overloaded` / `Draining` / `ServerClosed` replies — are retried with
+/// seeded exponential backoff and jitter, honoring the server's retry-after
+/// hint and giving up once [`ClientConfig::deadline`] could no longer be
+/// met. Non-idempotent (`Shutdown`) and non-retryable failures surface
+/// immediately.
 ///
 /// See [`crate::NetServer`] for a runnable client/server example.
 pub struct Client {
@@ -135,6 +160,38 @@ impl Client {
         id
     }
 
+    /// This request's hard deadline, from [`ClientConfig::deadline`].
+    fn request_deadline(&self) -> Option<Instant> {
+        self.config.deadline.map(|budget| Instant::now() + budget)
+    }
+
+    /// Runs `attempt` under the configured retry policy: retryable
+    /// failures back off (seeded jitter, server hint honored) and try
+    /// again with a fresh request id; attempts stop when the policy is
+    /// exhausted, the failure is not retryable, or the next backoff would
+    /// overshoot `deadline`.
+    fn retry_loop<T>(
+        &mut self,
+        deadline: Option<Instant>,
+        mut attempt: impl FnMut(&mut Self, Option<Instant>) -> Result<T>,
+    ) -> Result<T> {
+        let mut schedule = self.config.retry.schedule(self.next_id, deadline);
+        loop {
+            match attempt(self, deadline) {
+                Ok(value) => return Ok(value),
+                Err(error) => {
+                    if !error.is_retryable() {
+                        return Err(error);
+                    }
+                    match schedule.next_backoff(error.retry_after()) {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => return Err(error),
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs `op` on the live connection, reconnecting first if needed and
     /// poisoning the connection on any error so the next call starts clean.
     fn with_connection<T>(
@@ -173,17 +230,24 @@ impl Client {
     ///
     /// Socket-level [`NetError`]s, or [`NetError::Remote`] carrying the
     /// server's typed error (e.g. [`crate::ErrorCode::BadRequest`] for a
-    /// wrong feature count).
+    /// wrong feature count, [`crate::ErrorCode::Overloaded`] under load
+    /// shedding). [`NetError::Timeout`] when the configured deadline
+    /// expires before an attempt can be sent. Retryable failures are
+    /// retried per [`ClientConfig::retry`] first.
     pub fn predict(&mut self, features: &[f32]) -> Result<usize> {
-        let id = self.fresh_id();
-        let reply = self.call(Frame::Predict {
-            id,
-            features: features.to_vec(),
-        })?;
-        match reply {
-            Frame::Labels { labels, .. } if labels.len() == 1 => Ok(labels[0] as usize),
-            other => Err(unexpected_reply("one label", &other)),
-        }
+        let deadline = self.request_deadline();
+        self.retry_loop(deadline, |client, deadline| {
+            let id = client.fresh_id();
+            let reply = client.call(Frame::Predict {
+                id,
+                deadline_micros: wire_deadline(deadline)?,
+                features: features.to_vec(),
+            })?;
+            match reply {
+                Frame::Labels { labels, .. } if labels.len() == 1 => Ok(labels[0] as usize),
+                other => Err(unexpected_reply("one label", &other)),
+            }
+        })
     }
 
     /// Classifies a row-major `⌊data.len() / cols⌋ × cols` batch in one
@@ -203,18 +267,22 @@ impl Client {
             });
         }
         let rows = data.len() / cols;
-        let id = self.fresh_id();
-        let reply = self.call(Frame::PredictBatch {
-            id,
-            cols: cols as u32,
-            data: data.to_vec(),
-        })?;
-        match reply {
-            Frame::Labels { labels, .. } if labels.len() == rows => {
-                Ok(labels.into_iter().map(|l| l as usize).collect())
+        let deadline = self.request_deadline();
+        self.retry_loop(deadline, |client, deadline| {
+            let id = client.fresh_id();
+            let reply = client.call(Frame::PredictBatch {
+                id,
+                deadline_micros: wire_deadline(deadline)?,
+                cols: cols as u32,
+                data: data.to_vec(),
+            })?;
+            match reply {
+                Frame::Labels { labels, .. } if labels.len() == rows => {
+                    Ok(labels.into_iter().map(|l| l as usize).collect())
+                }
+                other => Err(unexpected_reply("one label per row", &other)),
             }
-            other => Err(unexpected_reply("one label per row", &other)),
-        }
+        })
     }
 
     /// Classifies many samples by **pipelining**: every `Predict` frame is
@@ -223,6 +291,10 @@ impl Client {
     /// replies stream back. One connection, `rows.len()` round-trips of
     /// latency collapsed into roughly one.
     ///
+    /// Each frame is stamped with the remaining deadline budget, but the
+    /// wave is **not retried** as a whole — with many requests in flight,
+    /// the caller decides what partial failure means.
+    ///
     /// # Errors
     ///
     /// As [`Client::predict`]; the first failed reply fails the call.
@@ -230,12 +302,14 @@ impl Client {
     where
         I: IntoIterator<Item = &'r [f32]>,
     {
+        let deadline = self.request_deadline();
         let first_id = self.next_id;
         let mut count = 0u64;
         let outcome = self.with_connection(|connection, config| {
             for features in rows {
                 let frame = Frame::Predict {
                     id: first_id + count,
+                    deadline_micros: wire_deadline(deadline)?,
                     features: features.to_vec(),
                 };
                 write_frame(&mut connection.writer, &frame, config.max_frame_bytes)?;
@@ -264,11 +338,14 @@ impl Client {
     ///
     /// As [`Client::predict`].
     pub fn stats(&mut self) -> Result<WireStats> {
-        let id = self.fresh_id();
-        match self.call(Frame::Stats { id })? {
-            Frame::StatsReply { stats, .. } => Ok(stats),
-            other => Err(unexpected_reply("a stats reply", &other)),
-        }
+        let deadline = self.request_deadline();
+        self.retry_loop(deadline, |client, _| {
+            let id = client.fresh_id();
+            match client.call(Frame::Stats { id })? {
+                Frame::StatsReply { stats, .. } => Ok(stats),
+                other => Err(unexpected_reply("a stats reply", &other)),
+            }
+        })
     }
 
     /// Probes the server's identity and liveness.
@@ -277,24 +354,30 @@ impl Client {
     ///
     /// As [`Client::predict`].
     pub fn health(&mut self) -> Result<ServerInfo> {
-        let id = self.fresh_id();
-        match self.call(Frame::Health { id })? {
-            Frame::HealthReply {
-                input_features,
-                num_classes,
-                mode,
-                ..
-            } => Ok(ServerInfo {
-                input_features: input_features as usize,
-                num_classes: num_classes as usize,
-                mode,
-            }),
-            other => Err(unexpected_reply("a health reply", &other)),
-        }
+        let deadline = self.request_deadline();
+        self.retry_loop(deadline, |client, _| {
+            let id = client.fresh_id();
+            match client.call(Frame::Health { id })? {
+                Frame::HealthReply {
+                    input_features,
+                    num_classes,
+                    mode,
+                    state,
+                    ..
+                } => Ok(ServerInfo {
+                    input_features: input_features as usize,
+                    num_classes: num_classes as usize,
+                    mode,
+                    state,
+                }),
+                other => Err(unexpected_reply("a health reply", &other)),
+            }
+        })
     }
 
-    /// Asks the server to shut down, waits for the acknowledgement and
-    /// closes this client's connection.
+    /// Asks the server to shut down gracefully (drain, then close), waits
+    /// for the acknowledgement and closes this client's connection. Never
+    /// retried: shutdown is not idempotent from the caller's point of view.
     ///
     /// # Errors
     ///
@@ -310,12 +393,37 @@ impl Client {
     }
 }
 
+/// The remaining deadline budget as the wire's `u32` microseconds field
+/// (0 = unbounded), or [`NetError::Timeout`] when the budget is already
+/// spent — there is no point putting a dead request on the wire.
+fn wire_deadline(deadline: Option<Instant>) -> Result<u32> {
+    let Some(deadline) = deadline else {
+        return Ok(0);
+    };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(NetError::Timeout);
+    }
+    Ok(remaining.as_micros().clamp(1, u32::MAX as u128) as u32)
+}
+
 /// Reads the next reply, validating the correlation id and unwrapping
 /// error frames into [`NetError::Remote`].
 fn expect_reply(connection: &mut Connection, config: &ClientConfig, id: u64) -> Result<Frame> {
     let reply = read_frame(&mut connection.reader, config.max_frame_bytes)?;
-    if let Frame::Error { code, message, .. } = reply {
-        return Err(NetError::Remote { code, message });
+    if let Frame::Error {
+        code,
+        retry_after_millis,
+        message,
+        ..
+    } = reply
+    {
+        return Err(NetError::Remote {
+            code,
+            message,
+            retry_after: (retry_after_millis > 0)
+                .then(|| Duration::from_millis(retry_after_millis.into())),
+        });
     }
     if reply.id() != id {
         return Err(NetError::Frame {
@@ -365,5 +473,25 @@ mod tests {
             client.predict_batch(3, &[0.0; 4]),
             Err(NetError::Frame { .. })
         ));
+    }
+
+    #[test]
+    fn wire_deadlines_encode_the_remaining_budget() {
+        assert_eq!(wire_deadline(None), Ok(0));
+        let soon = Instant::now() + Duration::from_millis(500);
+        let micros = wire_deadline(Some(soon)).unwrap();
+        assert!(micros > 0 && micros <= 500_000);
+        let spent = Instant::now() - Duration::from_millis(1);
+        assert_eq!(wire_deadline(Some(spent)), Err(NetError::Timeout));
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_before_dialing() {
+        // A client whose budget is already spent must not even connect: the
+        // listener below never accepts, so reaching it would hang.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = Client::connect(listener.local_addr().unwrap()).unwrap();
+        client.config.deadline = Some(Duration::ZERO);
+        assert_eq!(client.predict(&[0.0; 4]), Err(NetError::Timeout));
     }
 }

@@ -5,13 +5,27 @@
 //! byte-flip fuzz suites exercise exhaustively (mirroring the `FF8S`/`FF8C`
 //! loaders). I/O failures are carried as rendered text so `NetError` stays
 //! `Clone + PartialEq` like every other error type in the workspace.
+//!
+//! Error **codes** are one table ([`ErrorCode`]): wire byte, display name
+//! and retry classification live in a single row per code, so the server's
+//! replies and the client's retry policy can never disagree about which
+//! failures are safe to retry.
 
 use ff_codec::CodecError;
 use std::fmt;
+use std::time::Duration;
 
 /// Machine-readable error category carried by an `FF8P` error reply, so a
 /// client can react (retry, fix the request, give up) without parsing the
 /// human-readable message.
+///
+/// Every code's wire byte, display name and retryability come from one
+/// shared table — the single source of truth for both sides of the
+/// connection. "Retryable" means the failure is **transient server state**
+/// (overload, drain, restart), so re-sending an *idempotent* request
+/// (Predict / Stats / Health) may succeed; request defects
+/// ([`ErrorCode::BadRequest`], [`ErrorCode::Protocol`], ...) and expired
+/// budgets ([`ErrorCode::DeadlineExceeded`]) never are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
     /// The request does not match the served model (wrong feature count,
@@ -25,43 +39,65 @@ pub enum ErrorCode {
     Protocol,
     /// Any other server-side failure.
     Internal,
+    /// The admission queue is full: the request was refused *before*
+    /// queuing so the server stays responsive. Retry after the hint carried
+    /// by the error reply.
+    Overloaded,
+    /// The request's deadline budget expired before (or while) the server
+    /// could serve it; the answer would be worthless, so none was computed.
+    DeadlineExceeded,
+    /// The server is draining for shutdown: in-flight requests finish, new
+    /// ones are refused. Another instance (or a restart) may serve a retry.
+    Draining,
 }
 
+/// One row per code: variant, wire byte, display name, retryable.
+const CODE_TABLE: &[(ErrorCode, u8, &str, bool)] = &[
+    (ErrorCode::BadRequest, 1, "bad request", false),
+    (ErrorCode::ServerClosed, 2, "server closed", true),
+    (ErrorCode::FrameTooLarge, 3, "frame too large", false),
+    (ErrorCode::Protocol, 4, "protocol error", false),
+    (ErrorCode::Internal, 5, "internal error", false),
+    (ErrorCode::Overloaded, 6, "overloaded", true),
+    (ErrorCode::DeadlineExceeded, 7, "deadline exceeded", false),
+    (ErrorCode::Draining, 8, "draining", true),
+];
+
 impl ErrorCode {
+    /// Every defined code, in wire order (shared by the fuzz suites).
+    pub fn all() -> impl Iterator<Item = ErrorCode> {
+        CODE_TABLE.iter().map(|row| row.0)
+    }
+
+    fn row(self) -> &'static (ErrorCode, u8, &'static str, bool) {
+        CODE_TABLE
+            .iter()
+            .find(|row| row.0 == self)
+            .expect("every ErrorCode variant has a table row")
+    }
+
     /// Wire encoding of this code.
     pub fn to_wire(self) -> u8 {
-        match self {
-            ErrorCode::BadRequest => 1,
-            ErrorCode::ServerClosed => 2,
-            ErrorCode::FrameTooLarge => 3,
-            ErrorCode::Protocol => 4,
-            ErrorCode::Internal => 5,
-        }
+        self.row().1
     }
 
     /// Decodes a wire byte; unknown codes are `None` (the frame decoder
     /// turns that into a typed [`NetError::Frame`]).
     pub fn from_wire(code: u8) -> Option<Self> {
-        match code {
-            1 => Some(ErrorCode::BadRequest),
-            2 => Some(ErrorCode::ServerClosed),
-            3 => Some(ErrorCode::FrameTooLarge),
-            4 => Some(ErrorCode::Protocol),
-            5 => Some(ErrorCode::Internal),
-            _ => None,
-        }
+        CODE_TABLE.iter().find(|row| row.1 == code).map(|row| row.0)
+    }
+
+    /// `true` when re-sending an **idempotent** request may succeed — the
+    /// shared classification used by server replies and the client's
+    /// [`crate::RetryPolicy`].
+    pub fn is_retryable(self) -> bool {
+        self.row().3
     }
 }
 
 impl fmt::Display for ErrorCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ErrorCode::BadRequest => "bad request",
-            ErrorCode::ServerClosed => "server closed",
-            ErrorCode::FrameTooLarge => "frame too large",
-            ErrorCode::Protocol => "protocol error",
-            ErrorCode::Internal => "internal error",
-        })
+        f.write_str(self.row().2)
     }
 }
 
@@ -91,6 +127,9 @@ pub enum NetError {
         code: ErrorCode,
         /// Human-readable detail from the server.
         message: String,
+        /// Server's hint for when a retry might succeed (overload/drain
+        /// replies); `None` when the server offered no hint.
+        retry_after: Option<Duration>,
     },
     /// The connection was closed by the peer (EOF mid-frame or before one).
     Closed,
@@ -103,6 +142,31 @@ pub enum NetError {
     },
 }
 
+impl NetError {
+    /// `true` when re-sending an **idempotent** request may succeed.
+    ///
+    /// Transport failures ([`NetError::Closed`], [`NetError::Timeout`],
+    /// [`NetError::Io`]) are retryable — the server may have restarted or
+    /// the network recovered. Remote errors defer to
+    /// [`ErrorCode::is_retryable`]. Frame/codec violations and local
+    /// size-limit breaches are deterministic and never retried.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Remote { code, .. } => code.is_retryable(),
+            NetError::Closed | NetError::Timeout | NetError::Io { .. } => true,
+            NetError::Codec(_) | NetError::Frame { .. } | NetError::FrameTooLarge { .. } => false,
+        }
+    }
+
+    /// The retry-after hint carried by an overload/drain reply, if any.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            NetError::Remote { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -111,7 +175,17 @@ impl fmt::Display for NetError {
             NetError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
-            NetError::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+            NetError::Remote {
+                code,
+                message,
+                retry_after,
+            } => {
+                write!(f, "server error ({code}): {message}")?;
+                if let Some(hint) = retry_after {
+                    write!(f, " (retry after {hint:?})")?;
+                }
+                Ok(())
+            }
             NetError::Closed => write!(f, "connection closed"),
             NetError::Timeout => write!(f, "socket operation timed out"),
             NetError::Io { message } => write!(f, "socket error: {message}"),
@@ -165,6 +239,12 @@ mod tests {
             NetError::Remote {
                 code: ErrorCode::BadRequest,
                 message: "wrong width".into(),
+                retry_after: None,
+            },
+            NetError::Remote {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+                retry_after: Some(Duration::from_millis(25)),
             },
             NetError::Closed,
             NetError::Timeout,
@@ -179,18 +259,68 @@ mod tests {
 
     #[test]
     fn error_codes_roundtrip_the_wire() {
-        for code in [
-            ErrorCode::BadRequest,
-            ErrorCode::ServerClosed,
-            ErrorCode::FrameTooLarge,
-            ErrorCode::Protocol,
-            ErrorCode::Internal,
-        ] {
+        for code in ErrorCode::all() {
             assert_eq!(ErrorCode::from_wire(code.to_wire()), Some(code));
             assert!(!code.to_string().is_empty());
         }
         assert_eq!(ErrorCode::from_wire(0), None);
         assert_eq!(ErrorCode::from_wire(99), None);
+        // Wire bytes are unique (one row per byte).
+        let mut bytes: Vec<u8> = ErrorCode::all().map(ErrorCode::to_wire).collect();
+        bytes.sort_unstable();
+        bytes.dedup();
+        assert_eq!(bytes.len(), ErrorCode::all().count());
+    }
+
+    #[test]
+    fn retry_classification_is_shared_and_stable() {
+        // Transient server states retry; request defects and expired
+        // budgets do not. The client retry policy and the chaos suite both
+        // lean on exactly this split.
+        for (code, retryable) in [
+            (ErrorCode::BadRequest, false),
+            (ErrorCode::ServerClosed, true),
+            (ErrorCode::FrameTooLarge, false),
+            (ErrorCode::Protocol, false),
+            (ErrorCode::Internal, false),
+            (ErrorCode::Overloaded, true),
+            (ErrorCode::DeadlineExceeded, false),
+            (ErrorCode::Draining, true),
+        ] {
+            assert_eq!(code.is_retryable(), retryable, "{code}");
+            assert_eq!(
+                NetError::Remote {
+                    code,
+                    message: String::new(),
+                    retry_after: None,
+                }
+                .is_retryable(),
+                retryable
+            );
+        }
+        assert!(NetError::Closed.is_retryable());
+        assert!(NetError::Timeout.is_retryable());
+        assert!(NetError::Io {
+            message: "x".into()
+        }
+        .is_retryable());
+        assert!(!NetError::Frame {
+            message: "x".into()
+        }
+        .is_retryable());
+        assert!(!NetError::FrameTooLarge { len: 2, max: 1 }.is_retryable());
+        assert!(!NetError::from(CodecError::Truncated { context: "c" }).is_retryable());
+    }
+
+    #[test]
+    fn retry_after_hint_is_exposed() {
+        let hinted = NetError::Remote {
+            code: ErrorCode::Overloaded,
+            message: "full".into(),
+            retry_after: Some(Duration::from_millis(40)),
+        };
+        assert_eq!(hinted.retry_after(), Some(Duration::from_millis(40)));
+        assert_eq!(NetError::Timeout.retry_after(), None);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Deterministic fault injection for chaos-testing the `FF8P` stack.
+//!
+//! [`FaultyStream`] wraps any `Read + Write` transport and injects faults
+//! drawn from a seeded [`FaultPlan`]: short reads/writes (the kernel's
+//! prerogative, exercised on demand), stalls (slow peers), byte corruption
+//! (broken middleboxes) and hard cuts (peer death mid-frame). The decision
+//! for operation *k* is a pure function of `(plan.seed, k)` — not of
+//! wall-clock time or global RNG state — so a chaos run replays the same
+//! injected-fault schedule every time, and a failure reproduces from
+//! nothing but its seed.
+//!
+//! Every injected fault is appended to a shared [`FaultLog`], which tests
+//! assert against (and print on failure, turning "flaky hang" into "ops 17
+//! was cut mid-frame").
+//!
+//! This module is **test and bench infrastructure**: the server never
+//! wraps its own sockets in it. It lives in the library (rather than a
+//! test helper) so the chaos suite, the bench harness and downstream
+//! consumers share one implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_net::fault::{FaultPlan, FaultyStream};
+//! use std::io::{Read, Write};
+//!
+//! let plan = FaultPlan {
+//!     short_read: 1.0, // every read is truncated
+//!     ..FaultPlan::benign(7)
+//! };
+//! let transport = std::io::Cursor::new(b"abcdef".to_vec());
+//! let mut stream = FaultyStream::new(transport, plan);
+//! let mut buf = [0u8; 6];
+//! let n = stream.read(&mut buf).unwrap();
+//! assert!(n < 6, "short read injected");
+//! assert!(!stream.log().events().is_empty());
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Probabilities and parameters of the injected faults. Each probability
+/// is evaluated independently per I/O operation from the seeded decision
+/// stream; `0.0` disables a fault kind, `1.0` forces it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the decision stream — the whole fault schedule derives from
+    /// this and the operation index.
+    pub seed: u64,
+    /// Probability a read is truncated to a random prefix of the buffer.
+    pub short_read: f64,
+    /// Probability a write only accepts a random prefix of the buffer.
+    pub short_write: f64,
+    /// Probability an operation first sleeps for [`FaultPlan::stall_for`].
+    pub stall: f64,
+    /// Stall duration (keep small in tests; the point is to land inside
+    /// the peer's timeout windows, not to wait them out).
+    pub stall_for: Duration,
+    /// Probability one byte of a successful read is flipped.
+    pub corrupt_read: f64,
+    /// Hard-cut the transport at this operation index: the operation (and
+    /// all later ones) fail with `ConnectionReset`, like a peer dying
+    /// mid-frame.
+    pub cut_at_op: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the identity wrapper, for differential
+    /// runs against a chaotic plan with the same seed.
+    pub fn benign(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            short_read: 0.0,
+            short_write: 0.0,
+            stall: 0.0,
+            stall_for: Duration::from_millis(1),
+            corrupt_read: 0.0,
+            cut_at_op: None,
+        }
+    }
+
+    /// A plan that fragments and stalls traffic heavily but never corrupts
+    /// or cuts it: the protocol must still deliver every frame intact.
+    pub fn rough_network(seed: u64) -> Self {
+        FaultPlan {
+            short_read: 0.7,
+            short_write: 0.7,
+            stall: 0.2,
+            stall_for: Duration::from_millis(2),
+            ..FaultPlan::benign(seed)
+        }
+    }
+}
+
+/// One injected fault, tagged with the operation index it fired at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A read was truncated before hitting the transport.
+    ShortRead {
+        /// Operation index.
+        op: u64,
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Bytes the wrapper allowed through.
+        allowed: usize,
+    },
+    /// A write only accepted a prefix.
+    ShortWrite {
+        /// Operation index.
+        op: u64,
+        /// Bytes the caller offered.
+        requested: usize,
+        /// Bytes the wrapper accepted.
+        allowed: usize,
+    },
+    /// The operation slept before proceeding.
+    Stall {
+        /// Operation index.
+        op: u64,
+    },
+    /// One byte of a read was flipped after the transport filled it.
+    CorruptByte {
+        /// Operation index.
+        op: u64,
+        /// Offset of the flipped byte within this read's result.
+        offset: usize,
+    },
+    /// The transport was hard-cut at this operation.
+    Cut {
+        /// Operation index.
+        op: u64,
+    },
+}
+
+/// Shared, cloneable log of injected faults — keep a clone before moving
+/// the [`FaultyStream`] into a client or thread.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog(Arc<Mutex<Vec<FaultEvent>>>);
+
+impl FaultLog {
+    fn push(&self, event: FaultEvent) {
+        self.0.lock().expect("fault log lock").push(event);
+    }
+
+    /// Snapshot of every fault injected so far.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.0.lock().expect("fault log lock").clone()
+    }
+}
+
+/// A `Read + Write` transport wrapper injecting faults per [`FaultPlan`];
+/// see the [module docs](self).
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    op: u64,
+    log: FaultLog,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` with the given plan, starting at operation 0.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStream {
+            inner,
+            plan,
+            op: 0,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// A clone-handle onto the fault log.
+    pub fn log(&self) -> FaultLog {
+        self.log.clone()
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the transport, dropping the fault layer.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The deterministic decision stream for operation `op`: seeded from
+    /// `(plan.seed, op)` alone, with a SplitMix64-style mix so consecutive
+    /// op indices decorrelate. Draw order within an operation is fixed, so
+    /// the schedule is a pure function of the plan.
+    fn decisions(&self, op: u64) -> StdRng {
+        StdRng::seed_from_u64(self.plan.seed ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Runs the per-operation preamble (cut, stall) shared by reads and
+    /// writes; returns the operation's index and decision stream.
+    fn begin_op(&mut self) -> io::Result<(u64, StdRng)> {
+        let op = self.op;
+        self.op += 1;
+        if self.plan.cut_at_op.is_some_and(|cut| op >= cut) {
+            self.log.push(FaultEvent::Cut { op });
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected cut",
+            ));
+        }
+        let mut rng = self.decisions(op);
+        if rng.gen_range(0.0..1.0) < self.plan.stall {
+            self.log.push(FaultEvent::Stall { op });
+            std::thread::sleep(self.plan.stall_for);
+        }
+        Ok((op, rng))
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let (op, mut rng) = self.begin_op()?;
+        let mut allowed = buf.len();
+        if buf.len() > 1 && rng.gen_range(0.0..1.0) < self.plan.short_read {
+            allowed = rng.gen_range(1..buf.len());
+            self.log.push(FaultEvent::ShortRead {
+                op,
+                requested: buf.len(),
+                allowed,
+            });
+        }
+        let n = self.inner.read(&mut buf[..allowed])?;
+        if n > 0 && rng.gen_range(0.0..1.0) < self.plan.corrupt_read {
+            let offset = rng.gen_range(0..n);
+            buf[offset] ^= 0xA5;
+            self.log.push(FaultEvent::CorruptByte { op, offset });
+        }
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let (op, mut rng) = self.begin_op()?;
+        let mut allowed = buf.len();
+        if buf.len() > 1 && rng.gen_range(0.0..1.0) < self.plan.short_write {
+            allowed = rng.gen_range(1..buf.len());
+            self.log.push(FaultEvent::ShortWrite {
+                op,
+                requested: buf.len(),
+                allowed,
+            });
+        }
+        self.inner.write(&buf[..allowed])
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// Drives a fixed op sequence (reads of varying sizes, then writes)
+    /// over an in-memory transport and returns the fault log. In-memory so
+    /// the op sequence — and therefore the schedule — is fully determined
+    /// by the plan, with no OS-dependent read sizes in the loop.
+    fn drive(plan: FaultPlan) -> Vec<FaultEvent> {
+        let data = (0u8..=255).collect::<Vec<_>>();
+        let mut stream = FaultyStream::new(Cursor::new(data), plan);
+        let log = stream.log();
+        let mut buf = [0u8; 17];
+        for _ in 0..8 {
+            let _ = stream.read(&mut buf);
+        }
+        let payload = [7u8; 23];
+        for _ in 0..8 {
+            let _ = stream.write(&payload);
+        }
+        log.events()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan {
+            corrupt_read: 0.2,
+            cut_at_op: Some(14),
+            ..FaultPlan::rough_network(99)
+        };
+        let first = drive(plan);
+        let second = drive(plan);
+        assert_eq!(first, second, "fault schedule must be reproducible");
+        assert!(!first.is_empty());
+        assert!(first.contains(&FaultEvent::Cut { op: 14 }));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = drive(FaultPlan::rough_network(1));
+        let b = drive(FaultPlan::rough_network(2));
+        assert_ne!(a, b, "seeds must decorrelate schedules");
+    }
+
+    #[test]
+    fn benign_plan_is_the_identity() {
+        let data = b"hello world".to_vec();
+        let mut stream = FaultyStream::new(Cursor::new(data.clone()), FaultPlan::benign(5));
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(stream.log().events().is_empty());
+    }
+
+    #[test]
+    fn short_reads_fragment_but_do_not_lose_bytes() {
+        let data = (0u8..=255).collect::<Vec<_>>();
+        let plan = FaultPlan {
+            short_read: 1.0,
+            ..FaultPlan::benign(3)
+        };
+        let mut stream = FaultyStream::new(Cursor::new(data.clone()), plan);
+        let log = stream.log();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data, "fragmentation must preserve the byte stream");
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ShortRead { .. })));
+    }
+
+    #[test]
+    fn cut_fails_every_operation_from_the_cut_point() {
+        let plan = FaultPlan {
+            cut_at_op: Some(2),
+            ..FaultPlan::benign(0)
+        };
+        let mut stream = FaultyStream::new(Cursor::new(vec![0u8; 64]), plan);
+        let mut buf = [0u8; 8];
+        assert!(stream.read(&mut buf).is_ok());
+        assert!(stream.read(&mut buf).is_ok());
+        for _ in 0..3 {
+            let err = stream.read(&mut buf).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        }
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_logged_byte() {
+        let data = vec![0u8; 32];
+        let plan = FaultPlan {
+            corrupt_read: 1.0,
+            ..FaultPlan::benign(11)
+        };
+        let mut stream = FaultyStream::new(Cursor::new(data), plan);
+        let log = stream.log();
+        let mut buf = [0u8; 32];
+        let n = stream.read(&mut buf).unwrap();
+        let flipped: Vec<usize> = (0..n).filter(|&i| buf[i] != 0).collect();
+        assert_eq!(flipped.len(), 1);
+        let events = log.events();
+        assert!(matches!(
+            events[..],
+            [FaultEvent::CorruptByte { offset, .. }] if offset == flipped[0]
+        ));
+    }
+
+    #[test]
+    fn short_writes_accept_a_prefix() {
+        let plan = FaultPlan {
+            short_write: 1.0,
+            ..FaultPlan::benign(21)
+        };
+        let mut stream = FaultyStream::new(Cursor::new(Vec::new()), plan);
+        let n = stream.write(&[1u8; 100]).unwrap();
+        assert!((1..100).contains(&n));
+        assert_eq!(stream.get_ref().get_ref().len(), n, "prefix really written");
+        // write_all still completes by looping, like real socket callers.
+        let mut stream = FaultyStream::new(Cursor::new(Vec::new()), plan);
+        stream.write_all(&[2u8; 100]).unwrap();
+        assert_eq!(stream.into_inner().into_inner(), vec![2u8; 100]);
+    }
+}

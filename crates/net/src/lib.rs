@@ -5,22 +5,31 @@
 //! async runtime, matching the workspace's dependency-free edge-deployment
 //! stance.
 //!
-//! Three layers:
+//! Layers:
 //!
 //! 1. **Protocol** ([`protocol`]) — the versioned, length-prefixed `FF8P`
 //!    binary wire format (Predict / PredictBatch / Stats / Health /
-//!    Shutdown requests, typed replies and error frames), built on the
-//!    shared [`ff_codec`] machinery with the same panic-free
+//!    Shutdown requests, typed replies and error frames; version 2 adds
+//!    per-request deadline budgets, retry-after hints, drain state and
+//!    shed counters, with version-1 peers still interoperating), built on
+//!    the shared [`ff_codec`] machinery with the same panic-free
 //!    truncation/byte-flip hardening as the `FF8S` and `FF8C` loaders.
 //! 2. **Server** ([`NetServer`]) — accept loop + bounded connection thread
-//!    pool + per-connection framed codec with read/write timeouts and
-//!    max-frame-size limits. Every prediction funnels into the existing
-//!    micro-batching engine, so rows from different connections coalesce
-//!    into shared GEMM batches and answers stay **bit-identical** to
-//!    direct [`ff_serve::FrozenModel`] calls (per-row quantization).
+//!    pool + per-connection framed codec with read/write timeouts,
+//!    max-frame-size limits, idle-connection reaping, a bounded
+//!    [`AdmissionGate`] that load-sheds overload with typed `Overloaded` /
+//!    `DeadlineExceeded` replies, and two-phase graceful drain. Every
+//!    admitted prediction funnels into the existing micro-batching engine,
+//!    so rows from different connections coalesce into shared GEMM batches
+//!    and answers stay **bit-identical** to direct
+//!    [`ff_serve::FrozenModel`] calls (per-row quantization).
 //! 3. **Client** ([`Client`]) — blocking connect/reconnect,
-//!    single-prediction and one-frame-batch calls, and pipelined request
-//!    waves that collapse N round-trips into one.
+//!    single-prediction and one-frame-batch calls, pipelined request waves
+//!    that collapse N round-trips into one, deadline stamping and opt-in
+//!    seeded-backoff retries ([`RetryPolicy`]) for idempotent requests.
+//! 4. **Fault injection** ([`fault`]) — a deterministic, seeded faulty
+//!    transport wrapper for chaos tests: partial I/O, stalls, mid-frame
+//!    resets and garbage injection from a reproducible [`fault::FaultPlan`].
 //!
 //! # Examples
 //!
@@ -55,18 +64,47 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Deadlines and retries are plain configuration:
+//!
+//! ```no_run
+//! use ff_net::{Client, ClientConfig, RetryPolicy};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut client = Client::connect_with(
+//!     "127.0.0.1:9000",
+//!     ClientConfig {
+//!         deadline: Some(Duration::from_millis(50)),
+//!         retry: RetryPolicy::standard(42),
+//!         ..ClientConfig::default()
+//!     },
+//! )?;
+//! let label = client.predict(&[0.5; 20])?;
+//! # let _ = label;
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod client;
 mod error;
+pub mod fault;
 pub mod protocol;
+mod retry;
 mod server;
 
+pub use admission::{AdmissionConfig, AdmissionGate, AdmitError, OverloadPolicy, Permit};
 pub use client::{Client, ClientConfig, ServerInfo};
 pub use error::{ErrorCode, NetError};
-pub use protocol::{Frame, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES, MAGIC, PROTOCOL_VERSION};
+pub use protocol::{
+    Frame, WireHealthState, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES, MAGIC,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+pub use retry::RetryPolicy;
 pub use server::{NetConfig, NetServer};
 
 /// Convenience result alias used throughout the crate.

@@ -15,20 +15,22 @@
 //!                              max-frame-size limit)
 //! frame            frame_len × u8 — a complete FF8P artifact:
 //!   magic          4 × u8    = "FF8P"
-//!   version        u16       = 1
+//!   version        u16       = 1 or 2
 //!   flags          u16       = 0 (reserved)
 //!   record "body":
 //!     kind         u8        — see below
 //!     kind-specific payload
 //! ```
 //!
-//! # Frame kinds (version 1)
+//! # Frame kinds (version 2; `v2:` marks fields absent in version 1)
 //!
 //! Requests (client → server):
 //!
 //! ```text
-//! 1 Predict       id u64, count u32, features count × f32
-//! 2 PredictBatch  id u64, rows u32, cols u32, data rows·cols × f32
+//! 1 Predict       id u64, v2: deadline_micros u32,
+//!                 count u32, features count × f32
+//! 2 PredictBatch  id u64, v2: deadline_micros u32,
+//!                 rows u32, cols u32, data rows·cols × f32
 //! 3 Stats         id u64
 //! 4 Health        id u64
 //! 5 Shutdown      id u64
@@ -40,11 +42,26 @@
 //! 129 Labels       id u64, count u32, labels count × u32
 //! 130 StatsReply   id u64, requests u64, batches u64, max_batch u64,
 //!                  mean_batch f64, latency: count u64 +
-//!                  mean/p50/p95/p99/max as u64 nanoseconds
-//! 131 HealthReply  id u64, input_features u32, num_classes u32, mode u8
+//!                  mean/p50/p95/p99/max as u64 nanoseconds,
+//!                  v2: shed_expired u64, rejected_overload u64,
+//!                  rejected_deadline u64
+//! 131 HealthReply  id u64, input_features u32, num_classes u32, mode u8,
+//!                  v2: state u8 (0 = ok, 1 = draining)
 //! 132 ShutdownAck  id u64
-//! 133 Error        id u64, code u8, message string (u32 length + UTF-8)
+//! 133 Error        id u64, code u8, v2: retry_after_millis u32,
+//!                  message string (u32 length + UTF-8)
 //! ```
+//!
+//! # Version negotiation
+//!
+//! Each frame carries its writer's version; a peer accepts any version in
+//! `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION`. Version-1 frames decode with
+//! neutral defaults (no deadline, no retry hint, `Ok` health state, zero
+//! shed counters), and the server answers every connection **at the version
+//! its requests declare**, so old clients keep decoding replies they
+//! understand. `deadline_micros` is the request's *remaining* latency
+//! budget at send time (0 = unbounded) — a relative budget survives clock
+//! skew between peers, unlike an absolute timestamp.
 //!
 //! Decoding is hardened exactly like the sibling loaders: every declared
 //! count is bounded by the remaining payload before allocation
@@ -61,8 +78,11 @@ use std::time::Duration;
 /// The four magic bytes every `FF8P` frame starts with.
 pub const MAGIC: [u8; 4] = *b"FF8P";
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The newest protocol version this build speaks (and writes by default).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version this build still accepts.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Default upper bound on one frame's length (16 MiB — a 5000-row batch of
 /// 784 features is ~15 MiB; anything larger should be split).
@@ -111,6 +131,37 @@ impl WireMode {
     }
 }
 
+/// The remote server's lifecycle phase, as reported by
+/// [`Frame::HealthReply`] (protocol version 2; version-1 peers always
+/// report [`WireHealthState::Ok`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireHealthState {
+    /// Accepting and serving requests normally.
+    Ok,
+    /// Graceful shutdown in progress: in-flight requests finish, new
+    /// predictions are refused with [`ErrorCode::Draining`].
+    Draining,
+}
+
+impl WireHealthState {
+    fn to_wire(self) -> u8 {
+        match self {
+            WireHealthState::Ok => 0,
+            WireHealthState::Draining => 1,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Result<Self> {
+        match byte {
+            0 => Ok(WireHealthState::Ok),
+            1 => Ok(WireHealthState::Draining),
+            other => Err(NetError::Frame {
+                message: format!("unknown health state {other}"),
+            }),
+        }
+    }
+}
+
 /// Aggregate serving statistics as carried by [`Frame::StatsReply`] — the
 /// wire form of [`ff_serve::ServerStats`], with the latency summary
 /// flattened to nanoseconds.
@@ -126,6 +177,15 @@ pub struct WireStats {
     pub mean_batch: f64,
     /// Queue-to-reply latency distribution.
     pub latency: LatencySummary,
+    /// Requests whose deadline expired in the batch queue and were shed
+    /// before the GEMM (version 2; zero from version-1 peers).
+    pub shed_expired: u64,
+    /// Requests refused at admission because the queue was full (version 2;
+    /// zero from version-1 peers).
+    pub rejected_overload: u64,
+    /// Requests refused at admission because their deadline had already
+    /// expired (version 2; zero from version-1 peers).
+    pub rejected_deadline: u64,
 }
 
 impl From<ff_serve::ServerStats> for WireStats {
@@ -136,6 +196,9 @@ impl From<ff_serve::ServerStats> for WireStats {
             max_batch: stats.max_batch as u64,
             mean_batch: stats.mean_batch,
             latency: stats.latency,
+            shed_expired: stats.shed_expired,
+            rejected_overload: stats.rejected_overload,
+            rejected_deadline: stats.rejected_deadline,
         }
     }
 }
@@ -148,6 +211,9 @@ pub enum Frame {
     Predict {
         /// Caller-chosen id echoed by the reply.
         id: u64,
+        /// Remaining latency budget in microseconds at send time; 0 means
+        /// unbounded. Version-1 peers neither send nor see this field.
+        deadline_micros: u32,
         /// The sample's features.
         features: Vec<f32>,
     },
@@ -155,6 +221,9 @@ pub enum Frame {
     PredictBatch {
         /// Caller-chosen id echoed by the reply.
         id: u64,
+        /// Remaining latency budget in microseconds at send time; 0 means
+        /// unbounded. Version-1 peers neither send nor see this field.
+        deadline_micros: u32,
         /// Features per row (must be positive).
         cols: u32,
         /// Row-major `rows × cols` feature data.
@@ -200,6 +269,9 @@ pub enum Frame {
         num_classes: u32,
         /// Classification mode the server runs.
         mode: WireMode,
+        /// Lifecycle phase (version 2; version-1 peers report
+        /// [`WireHealthState::Ok`]).
+        state: WireHealthState,
     },
     /// Reply to [`Frame::Shutdown`].
     ShutdownAck {
@@ -212,6 +284,10 @@ pub enum Frame {
         id: u64,
         /// Machine-readable category.
         code: ErrorCode,
+        /// Server's hint for when a retry might succeed, in milliseconds;
+        /// 0 means no hint. Version-1 peers neither send nor see this
+        /// field.
+        retry_after_millis: u32,
         /// Human-readable detail.
         message: String,
     },
@@ -261,38 +337,69 @@ fn bounded_error_message(message: &str) -> &str {
     &message[..end]
 }
 
-/// Serializes a frame into its `FF8P` bytes (without the outer `u32`
-/// length prefix — [`write_frame`] adds that).
+/// Serializes a frame into its `FF8P` bytes at the newest protocol version
+/// (without the outer `u32` length prefix — [`write_frame`] adds that).
+///
+/// See [`encode_frame_at`] for the version-negotiated form and the panic
+/// contract.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_frame_at(frame, PROTOCOL_VERSION)
+}
+
+/// Serializes a frame into its `FF8P` bytes at the given protocol
+/// `version`, so a server can answer an old client in the dialect its
+/// requests declared. Version-2 fields (deadlines, retry hints, health
+/// state, shed counters) are dropped when encoding at version 1.
 ///
 /// Error messages longer than the decoder's 4096-byte bound are truncated
 /// (on a UTF-8 boundary) so every emitted frame is decodable by the peer.
 ///
 /// # Panics
 ///
-/// Panics when a [`Frame::PredictBatch`]'s `data` does not divide into
-/// positive `cols`-sized rows — a loud local failure instead of a frame
-/// whose declared geometry silently drops the ragged tail and fails with
-/// an opaque trailing-bytes error on the *peer*. [`crate::Client`]
-/// validates its inputs before constructing the frame.
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+/// Panics when `version` is outside
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`], or when a
+/// [`Frame::PredictBatch`]'s `data` does not divide into positive
+/// `cols`-sized rows — a loud local failure instead of a frame whose
+/// declared geometry silently drops the ragged tail and fails with an
+/// opaque trailing-bytes error on the *peer*. [`crate::Client`] validates
+/// its inputs before constructing the frame.
+pub fn encode_frame_at(frame: &Frame, version: u16) -> Vec<u8> {
+    assert!(
+        (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version),
+        "cannot encode FF8P version {version} (supported: \
+         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+    );
+    let v2 = version >= 2;
     let payload_estimate = match frame {
-        Frame::Predict { features, .. } => 16 + 4 * features.len(),
-        Frame::PredictBatch { data, .. } => 20 + 4 * data.len(),
+        Frame::Predict { features, .. } => 20 + 4 * features.len(),
+        Frame::PredictBatch { data, .. } => 24 + 4 * data.len(),
         Frame::Labels { labels, .. } => 16 + 4 * labels.len(),
-        Frame::Error { message, .. } => 20 + message.len(),
-        _ => 80,
+        Frame::Error { message, .. } => 24 + message.len(),
+        _ => 104,
     };
-    let mut writer = Writer::with_capacity(&MAGIC, PROTOCOL_VERSION, 12 + payload_estimate);
+    let mut writer = Writer::with_capacity(&MAGIC, version, 12 + payload_estimate);
     writer.record_sized(payload_estimate, |r| match frame {
-        Frame::Predict { id, features } => {
+        Frame::Predict {
+            id,
+            deadline_micros,
+            features,
+        } => {
             r.put_u8(KIND_PREDICT);
             r.put_u64(*id);
+            if v2 {
+                r.put_u32(*deadline_micros);
+            }
             r.put_u32(features.len() as u32);
             for &x in features {
                 r.put_f32(x);
             }
         }
-        Frame::PredictBatch { id, cols, data } => {
+        Frame::PredictBatch {
+            id,
+            deadline_micros,
+            cols,
+            data,
+        } => {
             assert!(
                 *cols > 0 && data.len() % *cols as usize == 0,
                 "PredictBatch data ({} values) must divide into positive rows of {cols}",
@@ -300,6 +407,9 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             );
             r.put_u8(KIND_PREDICT_BATCH);
             r.put_u64(*id);
+            if v2 {
+                r.put_u32(*deadline_micros);
+            }
             r.put_u32((data.len() / *cols as usize) as u32);
             r.put_u32(*cols);
             for &x in data {
@@ -343,46 +453,84 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             ] {
                 r.put_u64(duration.as_nanos().min(u64::MAX as u128) as u64);
             }
+            if v2 {
+                r.put_u64(stats.shed_expired);
+                r.put_u64(stats.rejected_overload);
+                r.put_u64(stats.rejected_deadline);
+            }
         }
         Frame::HealthReply {
             id,
             input_features,
             num_classes,
             mode,
+            state,
         } => {
             r.put_u8(KIND_HEALTH_REPLY);
             r.put_u64(*id);
             r.put_u32(*input_features);
             r.put_u32(*num_classes);
             r.put_u8(mode.to_wire());
+            if v2 {
+                r.put_u8(state.to_wire());
+            }
         }
         Frame::ShutdownAck { id } => {
             r.put_u8(KIND_SHUTDOWN_ACK);
             r.put_u64(*id);
         }
-        Frame::Error { id, code, message } => {
+        Frame::Error {
+            id,
+            code,
+            retry_after_millis,
+            message,
+        } => {
             r.put_u8(KIND_ERROR);
             r.put_u64(*id);
             r.put_u8(code.to_wire());
+            if v2 {
+                r.put_u32(*retry_after_millis);
+            }
             r.put_string(bounded_error_message(message));
         }
     });
     writer.into_vec()
 }
 
-/// Deserializes the bytes produced by [`encode_frame`].
+/// Deserializes the bytes produced by [`encode_frame`] /
+/// [`encode_frame_at`], discarding the peer's declared version. Servers use
+/// [`decode_frame_versioned`] to learn which dialect to answer in.
 ///
 /// # Errors
 ///
 /// Never panics: malformed input maps to [`NetError::Codec`] (header or
 /// truncation problems) or [`NetError::Frame`] (structural violations).
 pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
-    let mut reader = Reader::new(bytes, &MAGIC, PROTOCOL_VERSION)?;
+    decode_frame_versioned(bytes).map(|(frame, _)| frame)
+}
+
+/// Deserializes a frame and reports the protocol version it was written
+/// at, accepting any version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]. Version-1 frames
+/// decode with neutral defaults for the version-2 fields.
+///
+/// # Errors
+///
+/// As for [`decode_frame`].
+pub fn decode_frame_versioned(bytes: &[u8]) -> Result<(Frame, u16)> {
+    let (mut reader, version) =
+        Reader::with_versions(bytes, &MAGIC, MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION)?;
+    let v2 = version >= 2;
     let mut body = reader.record("frame body")?;
     let kind = body.get_u8("frame kind")?;
     let id = body.get_u64("frame id")?;
     let frame = match kind {
         KIND_PREDICT => {
+            let deadline_micros = if v2 {
+                body.get_u32("predict deadline")?
+            } else {
+                0
+            };
             let count = body.get_u32("feature count")? as usize;
             if count == 0 {
                 return Err(NetError::Frame {
@@ -394,9 +542,18 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
             for _ in 0..count {
                 features.push(body.get_f32("features")?);
             }
-            Frame::Predict { id, features }
+            Frame::Predict {
+                id,
+                deadline_micros,
+                features,
+            }
         }
         KIND_PREDICT_BATCH => {
+            let deadline_micros = if v2 {
+                body.get_u32("batch deadline")?
+            } else {
+                0
+            };
             let rows = body.get_u32("batch rows")? as usize;
             let cols = body.get_u32("batch cols")?;
             if rows == 0 || cols == 0 {
@@ -412,7 +569,12 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
             for _ in 0..len {
                 data.push(body.get_f32("batch data")?);
             }
-            Frame::PredictBatch { id, cols, data }
+            Frame::PredictBatch {
+                id,
+                deadline_micros,
+                cols,
+                data,
+            }
         }
         KIND_STATS => Frame::Stats { id },
         KIND_HEALTH => Frame::Health { id },
@@ -436,6 +598,15 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
             for slot in &mut nanos {
                 *slot = body.get_u64("latency quantile")?;
             }
+            let (shed_expired, rejected_overload, rejected_deadline) = if v2 {
+                (
+                    body.get_u64("stats shed expired")?,
+                    body.get_u64("stats rejected overload")?,
+                    body.get_u64("stats rejected deadline")?,
+                )
+            } else {
+                (0, 0, 0)
+            };
             Frame::StatsReply {
                 id,
                 stats: WireStats {
@@ -451,6 +622,9 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
                         p99: Duration::from_nanos(nanos[3]),
                         max: Duration::from_nanos(nanos[4]),
                     },
+                    shed_expired,
+                    rejected_overload,
+                    rejected_deadline,
                 },
             }
         }
@@ -459,6 +633,11 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
             input_features: body.get_u32("health input features")?,
             num_classes: body.get_u32("health num classes")?,
             mode: WireMode::from_wire(body.get_u8("health mode")?)?,
+            state: if v2 {
+                WireHealthState::from_wire(body.get_u8("health state")?)?
+            } else {
+                WireHealthState::Ok
+            },
         },
         KIND_SHUTDOWN_ACK => Frame::ShutdownAck { id },
         KIND_ERROR => {
@@ -466,8 +645,18 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
             let code = ErrorCode::from_wire(code_byte).ok_or(NetError::Frame {
                 message: format!("unknown error code {code_byte}"),
             })?;
+            let retry_after_millis = if v2 {
+                body.get_u32("error retry hint")?
+            } else {
+                0
+            };
             let message = body.get_string(MAX_ERROR_MESSAGE_LEN, "error message")?;
-            Frame::Error { id, code, message }
+            Frame::Error {
+                id,
+                code,
+                retry_after_millis,
+                message,
+            }
         }
         other => {
             return Err(NetError::Frame {
@@ -477,10 +666,11 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
     };
     body.finish("frame body")?;
     reader.finish("frame")?;
-    Ok(frame)
+    Ok((frame, version))
 }
 
-/// Writes one length-prefixed frame to `writer`.
+/// Writes one length-prefixed frame to `writer` at the newest protocol
+/// version. See [`write_frame_at`] for the version-negotiated form.
 ///
 /// # Errors
 ///
@@ -492,7 +682,27 @@ pub fn write_frame(
     frame: &Frame,
     max_frame_bytes: usize,
 ) -> Result<()> {
-    let bytes = encode_frame(frame);
+    write_frame_at(writer, frame, PROTOCOL_VERSION, max_frame_bytes)
+}
+
+/// Writes one length-prefixed frame to `writer`, encoded at the given
+/// protocol `version` (how the server answers a version-1 client in its
+/// own dialect).
+///
+/// # Errors
+///
+/// As for [`write_frame`].
+///
+/// # Panics
+///
+/// As for [`encode_frame_at`] (unsupported version, ragged batch).
+pub fn write_frame_at(
+    writer: &mut impl std::io::Write,
+    frame: &Frame,
+    version: u16,
+    max_frame_bytes: usize,
+) -> Result<()> {
+    let bytes = encode_frame_at(frame, version);
     if bytes.len() > max_frame_bytes {
         return Err(NetError::FrameTooLarge {
             len: bytes.len(),
@@ -548,10 +758,12 @@ pub fn sample_frames() -> Vec<Frame> {
     vec![
         Frame::Predict {
             id: 1,
+            deadline_micros: 2_500,
             features: vec![0.5, -1.25, 3.0],
         },
         Frame::PredictBatch {
             id: 2,
+            deadline_micros: 0,
             cols: 3,
             data: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
         },
@@ -577,6 +789,9 @@ pub fn sample_frames() -> Vec<Frame> {
                     p99: Duration::from_micros(900),
                     max: Duration::from_millis(2),
                 },
+                shed_expired: 3,
+                rejected_overload: 17,
+                rejected_deadline: 2,
             },
         },
         Frame::HealthReply {
@@ -584,12 +799,14 @@ pub fn sample_frames() -> Vec<Frame> {
             input_features: 784,
             num_classes: 10,
             mode: WireMode::Goodness,
+            state: WireHealthState::Draining,
         },
         Frame::ShutdownAck { id: 9 },
         Frame::Error {
             id: 10,
-            code: ErrorCode::BadRequest,
-            message: "expected 784 features, got 7".to_string(),
+            code: ErrorCode::Overloaded,
+            retry_after_millis: 25,
+            message: "admission queue full".to_string(),
         },
     ]
 }
@@ -607,6 +824,56 @@ mod tests {
             // Re-encoding is verbatim, like every FF8* format.
             assert_eq!(encode_frame(&decoded), bytes);
         }
+    }
+
+    /// A sample frame's v2-only payload zeroed/defaulted, for comparing
+    /// against a version-1 round trip.
+    fn downgraded(frame: &Frame) -> Frame {
+        let mut frame = frame.clone();
+        match &mut frame {
+            Frame::Predict {
+                deadline_micros, ..
+            }
+            | Frame::PredictBatch {
+                deadline_micros, ..
+            } => *deadline_micros = 0,
+            Frame::Error {
+                retry_after_millis, ..
+            } => *retry_after_millis = 0,
+            Frame::HealthReply { state, .. } => *state = WireHealthState::Ok,
+            Frame::StatsReply { stats, .. } => {
+                stats.shed_expired = 0;
+                stats.rejected_overload = 0;
+                stats.rejected_deadline = 0;
+            }
+            _ => {}
+        }
+        frame
+    }
+
+    #[test]
+    fn version_1_frames_roundtrip_with_neutral_defaults() {
+        for frame in sample_frames() {
+            let bytes = encode_frame_at(&frame, 1);
+            let (decoded, version) =
+                decode_frame_versioned(&bytes).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+            assert_eq!(version, 1);
+            assert_eq!(decoded, downgraded(&frame), "v2 fields drop to defaults");
+            // Version-1 re-encoding is verbatim too.
+            assert_eq!(encode_frame_at(&decoded, 1), bytes);
+        }
+    }
+
+    #[test]
+    fn version_2_frames_report_their_version() {
+        let (_, version) = decode_frame_versioned(&encode_frame(&Frame::Stats { id: 1 })).unwrap();
+        assert_eq!(version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode FF8P version")]
+    fn unsupported_encode_version_panics() {
+        encode_frame_at(&Frame::Stats { id: 1 }, PROTOCOL_VERSION + 1);
     }
 
     #[test]
@@ -641,6 +908,7 @@ mod tests {
     fn frame_size_limit_is_enforced_both_ways() {
         let frame = Frame::Predict {
             id: 1,
+            deadline_micros: 0,
             features: vec![0.0; 100],
         };
         let mut wire = Vec::new();
@@ -662,22 +930,24 @@ mod tests {
         // Zero features.
         let empty = Frame::Predict {
             id: 1,
+            deadline_micros: 0,
             features: Vec::new(),
         };
         assert!(matches!(
             decode_frame(&encode_frame(&empty)),
             Err(NetError::Frame { .. })
         ));
-        // Zero-geometry batch: patch the rows field (offset 21: header 8 +
-        // record len 4 + kind 1 + id 8) of a valid frame to zero — the
-        // encoder refuses to build such a frame itself.
+        // Zero-geometry batch: patch the rows field (offset 25: header 8 +
+        // record len 4 + kind 1 + id 8 + deadline 4) of a valid frame to
+        // zero — the encoder refuses to build such a frame itself.
         let batch = Frame::PredictBatch {
             id: 1,
+            deadline_micros: 0,
             cols: 3,
             data: vec![0.0; 3],
         };
         let mut degenerate = encode_frame(&batch);
-        degenerate[21..25].copy_from_slice(&0u32.to_le_bytes());
+        degenerate[25..29].copy_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             decode_frame(&degenerate),
             Err(NetError::Frame { .. })
@@ -706,6 +976,7 @@ mod tests {
         let frame = Frame::Error {
             id: 1,
             code: ErrorCode::Internal,
+            retry_after_millis: 0,
             message: "é".repeat(3000), // 6000 bytes, boundary mid-char
         };
         let decoded = decode_frame(&encode_frame(&frame)).unwrap();
@@ -722,6 +993,7 @@ mod tests {
     fn ragged_predict_batch_panics_at_encode_time() {
         encode_frame(&Frame::PredictBatch {
             id: 1,
+            deadline_micros: 0,
             cols: 3,
             data: vec![0.0; 4],
         });
@@ -732,11 +1004,13 @@ mod tests {
         // A corrupt count must fail before allocating, not reserve gigabytes.
         let frame = Frame::Predict {
             id: 1,
+            deadline_micros: 0,
             features: vec![1.0, 2.0],
         };
         let mut bytes = encode_frame(&frame);
-        // Feature count sits after header(8) + record len(4) + kind(1) + id(8).
-        let count_offset = 21;
+        // Feature count sits after header(8) + record len(4) + kind(1) +
+        // id(8) + deadline(4).
+        let count_offset = 25;
         bytes[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(NetError::Codec(_))));
     }

@@ -1,0 +1,203 @@
+//! Client-side retry policy: seeded exponential backoff with full jitter,
+//! deadline-aware give-up.
+//!
+//! Retrying is only safe for **idempotent** requests — Predict, Stats and
+//! Health compute the same answer no matter how many times they run — and
+//! only for failures classified retryable by the shared table behind
+//! [`NetError::is_retryable`](crate::NetError::is_retryable): transport
+//! faults (the server may have restarted) and transient server states
+//! (`Overloaded`, `Draining`, `ServerClosed`). Request defects and expired
+//! deadlines fail immediately; retrying them would just lose time twice.
+//!
+//! Backoff is exponential with **full jitter** (uniform in `0..=cap`, cap
+//! doubling per attempt): under overload, jitter decorrelates the retry
+//! storm that synchronized clients would otherwise re-aim at the server.
+//! The jitter stream is seeded per request from
+//! [`RetryPolicy::jitter_seed`], so a failure sequence replays bit-for-bit
+//! in tests. A server's retry-after hint raises the floor of the drawn
+//! delay; a request deadline gives the whole loop a hard stop — the client
+//! gives up rather than sleep past the point where the answer is worthless.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// When and how a [`Client`](crate::Client) retries idempotent requests.
+///
+/// The default policy is **disabled** (`max_attempts == 1`): opting into
+/// retries is an application decision — it changes tail latency and load
+/// under failure. [`RetryPolicy::standard`] is a reasonable starting point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff cap before the first retry; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream. Each request derives its own
+    /// deterministic stream from this seed and the request id, so retry
+    /// timing is reproducible run-to-run.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// An enabled policy: 4 attempts, 5 ms base cap doubling to a 250 ms
+    /// ceiling, jittered from `jitter_seed`.
+    pub fn standard(jitter_seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            jitter_seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// `true` when this policy ever retries.
+    pub fn is_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Starts one request's retry clock: a seeded jitter stream (derived
+    /// from the request id) plus the optional hard deadline.
+    pub(crate) fn schedule(&self, request_id: u64, deadline: Option<Instant>) -> RetrySchedule {
+        RetrySchedule {
+            policy: *self,
+            // SplitMix64-style mix so consecutive request ids don't yield
+            // correlated xoshiro seeds.
+            rng: StdRng::seed_from_u64(
+                self.jitter_seed ^ request_id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            deadline,
+            failures: 0,
+        }
+    }
+}
+
+/// Per-request retry state; see [`RetryPolicy::schedule`].
+pub(crate) struct RetrySchedule {
+    policy: RetryPolicy,
+    rng: StdRng,
+    deadline: Option<Instant>,
+    failures: u32,
+}
+
+impl RetrySchedule {
+    /// Records one failure and returns how long to sleep before the next
+    /// attempt, or `None` to give up: attempts exhausted, or the backoff
+    /// would land past the request deadline (sleeping through the deadline
+    /// only to fail again helps nobody).
+    ///
+    /// `hint` is the server's retry-after suggestion; it raises the floor
+    /// of the jittered delay (still capped at `max_backoff`).
+    pub(crate) fn next_backoff(&mut self, hint: Option<Duration>) -> Option<Duration> {
+        self.failures += 1;
+        if self.failures >= self.policy.max_attempts {
+            return None;
+        }
+        // Full jitter: uniform in 0..=cap, cap = base << (failures - 1).
+        let cap = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (self.failures - 1).min(16))
+            .min(self.policy.max_backoff);
+        let jittered = Duration::from_nanos(
+            self.rng
+                .gen_range(0..=cap.as_nanos().min(u64::MAX as u128) as u64),
+        );
+        let delay = jittered
+            .max(hint.unwrap_or(Duration::ZERO))
+            .min(self.policy.max_backoff);
+        if let Some(deadline) = self.deadline {
+            if Instant::now() + delay >= deadline {
+                return None;
+            }
+        }
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_never_retries() {
+        let policy = RetryPolicy::default();
+        assert!(!policy.is_enabled());
+        assert_eq!(policy.schedule(1, None).next_backoff(None), None);
+    }
+
+    #[test]
+    fn backoff_caps_double_and_respect_the_ceiling() {
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(20),
+            jitter_seed: 7,
+        };
+        let mut schedule = policy.schedule(1, None);
+        let mut caps = Vec::new();
+        while let Some(delay) = schedule.next_backoff(None) {
+            caps.push(delay);
+        }
+        assert_eq!(caps.len(), 15, "max_attempts - 1 retries");
+        for (i, delay) in caps.iter().enumerate() {
+            let cap = Duration::from_millis(4)
+                .saturating_mul(1 << i.min(16))
+                .min(Duration::from_millis(20));
+            assert!(*delay <= cap, "attempt {i}: {delay:?} > cap {cap:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_request() {
+        let policy = RetryPolicy::standard(42);
+        let run = |id| {
+            let mut schedule = policy.schedule(id, None);
+            std::iter::from_fn(|| schedule.next_backoff(None)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same seed + id ⇒ same delays");
+        assert_ne!(run(9), run(10), "different requests decorrelate");
+        let other = RetryPolicy::standard(43);
+        let mut schedule = other.schedule(9, None);
+        let other_run: Vec<_> = std::iter::from_fn(|| schedule.next_backoff(None)).collect();
+        assert_ne!(run(9), other_run, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn server_hint_raises_the_floor() {
+        let policy = RetryPolicy::standard(3);
+        let hint = Duration::from_millis(30);
+        let mut schedule = policy.schedule(5, None);
+        while let Some(delay) = schedule.next_backoff(Some(hint)) {
+            assert!(delay >= hint);
+            assert!(delay <= policy.max_backoff);
+        }
+    }
+
+    #[test]
+    fn gives_up_instead_of_sleeping_past_the_deadline() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_secs(5),
+            max_backoff: Duration::from_secs(5),
+            jitter_seed: 1,
+        };
+        // Deadline far closer than any plausible backoff floor.
+        let deadline = Instant::now() + Duration::from_micros(1);
+        let mut schedule = policy.schedule(1, Some(deadline));
+        // The hint forces delay >= 1s, which must overshoot the deadline.
+        assert_eq!(schedule.next_backoff(Some(Duration::from_secs(1))), None);
+    }
+}

@@ -1,5 +1,5 @@
-//! The TCP server runtime: accept loop, bounded connection pool, framed
-//! per-connection protocol loop.
+//! The TCP server runtime: accept loop, bounded connection pool, admission
+//! control, framed per-connection protocol loop, graceful drain.
 //!
 //! # Threading model
 //!
@@ -8,43 +8,77 @@
 //!  ─────────────                 ──────────────────────────────────────
 //!  TcpListener::accept ──▶ mpsc queue ──▶ handler takes one connection,
 //!                                         runs its framed request loop to
-//!                                         completion (EOF / error /
+//!                                         completion (EOF / error / reap /
 //!                                         shutdown), then takes the next
 //!                                         queued connection
 //!
-//!  each request ──▶ ff_serve::Server micro-batch queue ──▶ reply frame
+//!  each prediction ──▶ admission gate ──▶ ff_serve::Server micro-batch
+//!                                         queue ──▶ reply frame
 //! ```
 //!
 //! The pool bounds concurrent connections at [`NetConfig::conn_threads`];
 //! further accepted connections wait in the queue, unserviced — that is the
-//! **backpressure** story: a client that connects during overload blocks in
-//! `connect`-then-first-reply rather than overwhelming the engine, and the
-//! kernel's listen backlog bounds the rest. Within a connection, requests
-//! are handled strictly in order (which is what lets clients pipeline
-//! without correlation bookkeeping), but every prediction is funneled into
-//! the shared [`ff_serve::Server`] micro-batcher, so rows from *different*
-//! connections coalesce into the same GEMM batches — batching semantics and
-//! per-row quantization are exactly those of in-process serving, and
-//! answers are bit-identical to direct [`FrozenModel`] calls.
+//! **backpressure** story for connections, and the kernel's listen backlog
+//! bounds the rest. Prediction *work* is bounded separately by the
+//! [`AdmissionGate`]: rows admitted but not yet replied to may not exceed
+//! [`AdmissionConfig::max_in_flight_rows`], and the excess is refused
+//! immediately with a typed `Overloaded` error carrying a retry-after hint
+//! instead of queuing toward collapse. Requests whose
+//! deadline budget has already expired are refused (`DeadlineExceeded`)
+//! before they cost a GEMM slot, and the micro-batcher sheds requests whose
+//! deadline expires while queued. Control frames (Stats/Health/Shutdown)
+//! bypass the gate so operators keep visibility during overload.
 //!
-//! # Shutdown
+//! Within a connection, requests are handled strictly in order (which is
+//! what lets clients pipeline without correlation bookkeeping), but every
+//! prediction is funneled into the shared [`ff_serve::Server`]
+//! micro-batcher, so rows from *different* connections coalesce into the
+//! same GEMM batches — batching semantics and per-row quantization are
+//! exactly those of in-process serving, and answers are bit-identical to
+//! direct [`FrozenModel`] calls.
 //!
-//! [`NetServer::shutdown`] (or a client's `Shutdown` frame) sets the stop
-//! flag and nudges the accept loop awake with a loopback connection.
-//! Handlers observe the flag between frames, at their next read-timeout
-//! tick, or on connection close — so even a connection streaming requests
-//! back-to-back releases its handler promptly — and the micro-batching
-//! engine is shut down last, answering everything still in flight.
+//! Connections that stop making byte progress — idle between frames *or*
+//! stalled mid-frame — are reaped after [`NetConfig::idle_timeout`], so a
+//! slow-loris peer (or a wedged NAT) cannot pin a pool slot forever.
+//!
+//! # Protocol versions
+//!
+//! Each connection is answered in the dialect it speaks: the reader notes
+//! the `FF8P` version of every request frame, and replies are encoded at
+//! that version, so version-1 clients receive frames without the version-2
+//! fields (deadlines, retry hints, health state, shed counters).
+//!
+//! # Shutdown: two-phase drain
+//!
+//! [`NetServer::shutdown`] (or a client's `Shutdown` frame) moves the
+//! server `Running → Draining → Stopped`:
+//!
+//! 1. **Draining** — the accept loop stops accepting; open connections keep
+//!    their protocol loop: in-flight predictions finish and their replies
+//!    are written, control frames still work (`Health` reports the draining
+//!    state), but *new* predictions are refused with a typed `Draining`
+//!    error. The accept thread supervises the drain: it waits until the
+//!    admission gate is empty or [`NetConfig::drain_budget`] elapses.
+//! 2. **Stopped** — handlers close their connections (between frames, at
+//!    EOF, or at the next read-timeout tick), the pool drains, and the
+//!    micro-batching engine is shut down last, answering everything still
+//!    in flight.
 
-use crate::protocol::{decode_frame, write_frame, Frame, WireMode, DEFAULT_MAX_FRAME_BYTES};
+use crate::admission::{AdmissionConfig, AdmissionGate, AdmitError};
+use crate::protocol::{
+    decode_frame_versioned, write_frame_at, Frame, WireHealthState, WireMode,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
 use crate::{ErrorCode, NetError, Result};
-use ff_serve::{FrozenModel, ServeConfig, ServeError, ServeHandle, ServeMode, Server};
+use ff_serve::{
+    FrozenModel, ServeConfig, ServeError, ServeHandle, ServeMode, Server, ShedCounters,
+};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Network front-end configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,13 +86,22 @@ pub struct NetConfig {
     /// Connection-handler threads — the bound on concurrently serviced
     /// connections (excess connections queue unserviced).
     pub conn_threads: usize,
-    /// Per-connection read timeout. Doubles as the shutdown poll period
-    /// for idle connections, so keep it finite.
+    /// Per-connection read timeout. Doubles as the shutdown/reap poll
+    /// period for idle connections, so keep it finite.
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Reap a connection after this long without byte progress — idle
+    /// between frames or stalled mid-frame — so slow peers cannot pin pool
+    /// slots (slow-loris defense). Must be at least `read_timeout`.
+    pub idle_timeout: Duration,
+    /// How long a graceful shutdown waits for admitted predictions to
+    /// finish before closing connections anyway.
+    pub drain_budget: Duration,
     /// Upper bound on one frame's length, both directions.
     pub max_frame_bytes: usize,
+    /// Admission-control sizing and overload policy.
+    pub admission: AdmissionConfig,
     /// Configuration of the inner micro-batching engine.
     pub serve: ServeConfig,
 }
@@ -69,17 +112,38 @@ impl Default for NetConfig {
             conn_threads: 4,
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            drain_budget: Duration::from_secs(5),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            admission: AdmissionConfig::default(),
             serve: ServeConfig::default(),
         }
     }
 }
 
+/// Server lifecycle phases; transitions are monotonic.
+const PHASE_RUNNING: u8 = 0;
+const PHASE_DRAINING: u8 = 1;
+const PHASE_STOPPED: u8 = 2;
+
 struct NetShared {
     handle: ServeHandle,
     config: NetConfig,
-    stop: AtomicBool,
+    phase: AtomicU8,
     local_addr: SocketAddr,
+    gate: AdmissionGate,
+    counters: ShedCounters,
+}
+
+impl NetShared {
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::Acquire)
+    }
+
+    /// Advances the lifecycle phase, never backwards.
+    fn advance_phase(&self, to: u8) {
+        self.phase.fetch_max(to, Ordering::AcqRel);
+    }
 }
 
 /// A running TCP inference server wrapping a [`ff_serve::Server`].
@@ -120,8 +184,9 @@ impl NetServer {
     /// # Errors
     ///
     /// Returns [`NetError::Frame`] for an unusable configuration (zero
-    /// `conn_threads` or a zero frame limit), [`NetError::Io`] when the
-    /// bind fails, and engine-start errors rendered as
+    /// `conn_threads`, a zero frame limit, zero timeouts, an `idle_timeout`
+    /// below `read_timeout`, or a zero admission budget), [`NetError::Io`]
+    /// when the bind fails, and engine-start errors rendered as
     /// [`NetError::Remote`] with [`ErrorCode::Internal`].
     pub fn bind(model: FrozenModel, addr: impl ToSocketAddrs, config: NetConfig) -> Result<Self> {
         if config.conn_threads == 0 {
@@ -139,14 +204,26 @@ impl NetServer {
                 message: "config timeouts must be positive".to_string(),
             });
         }
+        if config.idle_timeout < config.read_timeout {
+            return Err(NetError::Frame {
+                message: "config.idle_timeout must be at least config.read_timeout".to_string(),
+            });
+        }
+        if config.admission.max_in_flight_rows == 0 {
+            return Err(NetError::Frame {
+                message: "config.admission.max_in_flight_rows must be positive".to_string(),
+            });
+        }
         let engine = Server::start(model, config.serve).map_err(serve_to_net)?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(NetShared {
             handle: engine.handle(),
+            counters: engine.handle().shed_counters(),
             config,
-            stop: AtomicBool::new(false),
+            phase: AtomicU8::new(PHASE_RUNNING),
             local_addr,
+            gate: AdmissionGate::new(config.admission),
         });
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -164,7 +241,7 @@ impl NetServer {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("ff-net-accept".to_string())
-                .spawn(move || accept_loop(&shared, &listener, &conn_tx))
+                .spawn(move || accept_loop(&shared, &listener, conn_tx))
                 .expect("spawning the accept thread cannot fail")
         };
         Ok(NetServer {
@@ -189,20 +266,22 @@ impl NetServer {
     }
 
     /// `true` once a shutdown (local or via a `Shutdown` frame) has been
-    /// requested.
+    /// requested — the server is draining or already stopped.
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.stop.load(Ordering::Acquire)
+        self.shared.phase() >= PHASE_DRAINING
     }
 
-    /// Stops accepting connections, drains the handler pool and shuts the
+    /// Gracefully stops the server: drain, then close, then shut the
     /// inference engine down.
     ///
-    /// Handlers finish their current request loop first: open connections
-    /// close between frames, at EOF, or at the next read-timeout tick after
-    /// the flag is set, so shutdown takes at most one
-    /// [`NetConfig::read_timeout`] beyond the last in-flight request.
+    /// The drain phase stops accepting connections and refuses new
+    /// predictions with typed `Draining` errors while admitted work
+    /// finishes and its replies are written — bounded by
+    /// [`NetConfig::drain_budget`]. Connections then close between frames,
+    /// at EOF, or at the next read-timeout tick, so the close phase takes
+    /// at most one [`NetConfig::read_timeout`] beyond the drain.
     pub fn shutdown(mut self) {
-        request_shutdown(&self.shared);
+        request_drain(&self.shared);
         if let Some(accept) = self.accept.take() {
             if let Err(panic) = accept.join() {
                 std::panic::resume_unwind(panic);
@@ -219,37 +298,56 @@ impl NetServer {
     }
 }
 
-/// Sets the stop flag and wakes the accept loop with a loopback connection.
-fn request_shutdown(shared: &NetShared) {
-    if shared.stop.swap(true, Ordering::AcqRel) {
-        return; // already requested; the nudge was sent
+/// Starts the drain phase and wakes the accept loop with a loopback
+/// connection; the accept thread supervises the rest of the drain.
+fn request_drain(shared: &NetShared) {
+    if shared
+        .phase
+        .compare_exchange(
+            PHASE_RUNNING,
+            PHASE_DRAINING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+        .is_err()
+    {
+        return; // already draining or stopped; the nudge was sent
     }
     // A throwaway connection unblocks `TcpListener::accept`; the loop then
-    // observes the flag and exits. Failure is fine — the listener may
-    // already be gone.
+    // observes the phase and starts supervising the drain. Failure is fine —
+    // the listener may already be gone.
     let _ = TcpStream::connect(shared.local_addr);
 }
 
-fn accept_loop(shared: &NetShared, listener: &TcpListener, conn_tx: &mpsc::Sender<TcpStream>) {
-    loop {
+/// Accepts connections while running, then supervises the drain: waits for
+/// the admission gate to empty (or the drain budget to expire) and flips
+/// the server to `Stopped`. Dropping `conn_tx` on exit drains the handler
+/// pool.
+fn accept_loop(shared: &NetShared, listener: &TcpListener, conn_tx: mpsc::Sender<TcpStream>) {
+    while shared.phase() == PHASE_RUNNING {
         match listener.accept() {
             Ok((stream, _)) => {
-                if shared.stop.load(Ordering::Acquire) {
-                    return; // dropping conn_tx drains the handler pool
+                if shared.phase() != PHASE_RUNNING {
+                    break; // the shutdown nudge (or a late connection)
                 }
                 if conn_tx.send(stream).is_err() {
-                    return;
+                    break;
                 }
             }
             Err(_) => {
                 // Transient accept errors (aborted handshakes) are retried;
-                // a stop request still wins.
-                if shared.stop.load(Ordering::Acquire) {
-                    return;
-                }
+                // a phase change still wins via the loop condition.
             }
         }
     }
+    let deadline = Instant::now() + shared.config.drain_budget;
+    while shared.phase() < PHASE_STOPPED
+        && shared.gate.in_flight_rows() > 0
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    shared.advance_phase(PHASE_STOPPED);
 }
 
 /// One pool thread: service queued connections until the queue closes.
@@ -266,21 +364,26 @@ fn handler_loop(shared: &NetShared, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
         };
         // Per-connection failures never take the handler down.
         let _ = serve_connection(shared, stream);
-        if shared.stop.load(Ordering::Acquire) {
+        if shared.phase() == PHASE_STOPPED {
             return;
         }
     }
 }
 
 /// What the connection's reader hands its reply writer, in request order.
+/// Every variant carries the peer protocol version its reply must be
+/// encoded at.
 enum Outgoing {
     /// A reply that is already complete (stats, health, errors, acks).
-    Ready(Frame),
+    Ready { frame: Frame, version: u16 },
     /// Predictions already submitted to the micro-batcher; the writer waits
-    /// for them and builds the `Labels` (or error) reply.
+    /// for them, builds the `Labels` (or error) reply, and releases the
+    /// admission permit once the reply is written.
     Deferred {
         id: u64,
+        version: u16,
         pendings: Vec<ff_serve::PendingPrediction>,
+        permit: crate::admission::Permit,
     },
 }
 
@@ -326,9 +429,9 @@ enum Fill {
     /// Clean EOF before the first byte of the buffer.
     Eof,
     /// Read timeout with nothing of this frame consumed — an idle tick the
-    /// caller uses to poll the stop flag.
+    /// caller uses to poll the phase and the reap clock.
     Idle,
-    /// Shutdown was requested while a frame was partially read.
+    /// Shutdown finished (`Stopped`) while a frame was partially read.
     Aborted,
 }
 
@@ -338,11 +441,13 @@ enum Fill {
 /// frame has been consumed (`frame_started == false` and zero bytes
 /// filled). Once a frame has started, a timeout means the sender stalled
 /// mid-frame — the bytes already consumed must not be discarded, so the
-/// read **resumes** (checking the stop flag each tick) instead of
-/// returning; anything else would desynchronize the length-prefixed
-/// stream. A stalled connection therefore occupies its handler exactly
-/// like an idle one (the pool bounds both), and shutdown still interrupts
-/// it within one timeout tick.
+/// read **resumes** (checking the phase each tick) instead of returning;
+/// anything else would desynchronize the length-prefixed stream. The
+/// resume is bounded: a sender that makes no byte progress for
+/// [`NetConfig::idle_timeout`] is reaped with [`NetError::Timeout`] — a
+/// slow-loris peer drip-feeding (or abandoning) a frame cannot pin the
+/// handler slot beyond that. Shutdown still interrupts a stalled read
+/// within one timeout tick.
 fn fill_frame_bytes(
     reader: &mut impl std::io::Read,
     buf: &mut [u8],
@@ -350,6 +455,7 @@ fn fill_frame_bytes(
     frame_started: bool,
 ) -> Result<Fill> {
     let mut filled = 0;
+    let mut last_progress = Instant::now();
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -359,7 +465,10 @@ fn fill_frame_bytes(
                     Err(NetError::Closed) // EOF mid-frame
                 };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e)
                 if matches!(
@@ -370,8 +479,11 @@ fn fill_frame_bytes(
                 if filled == 0 && !frame_started {
                     return Ok(Fill::Idle);
                 }
-                if shared.stop.load(Ordering::Acquire) {
+                if shared.phase() == PHASE_STOPPED {
                     return Ok(Fill::Aborted);
+                }
+                if last_progress.elapsed() >= shared.config.idle_timeout {
+                    return Err(NetError::Timeout); // mid-frame stall: reap
                 }
                 // Mid-frame stall (slow sender / retransmit): resume.
             }
@@ -389,6 +501,10 @@ fn connection_reader_loop(
     writer_alive: &AtomicBool,
 ) -> Result<()> {
     let max = shared.config.max_frame_bytes;
+    // Until the peer's first valid frame declares its dialect, errors are
+    // answered at the newest version.
+    let mut peer_version = PROTOCOL_VERSION;
+    let mut last_activity = Instant::now();
     loop {
         if !writer_alive.load(Ordering::Acquire) {
             return Ok(()); // peer stopped reading replies; stop serving it
@@ -398,8 +514,11 @@ fn connection_reader_loop(
             Fill::Done => {}
             Fill::Eof | Fill::Aborted => return Ok(()),
             Fill::Idle => {
-                if shared.stop.load(Ordering::Acquire) {
+                if shared.phase() == PHASE_STOPPED {
                     return Ok(()); // shutdown poll tick
+                }
+                if last_activity.elapsed() >= shared.config.idle_timeout {
+                    return Err(NetError::Timeout); // idle reap: free the slot
                 }
                 continue; // idle connection: keep waiting
             }
@@ -408,11 +527,15 @@ fn connection_reader_loop(
         if len > max {
             // The stream cannot be resynchronized past an unread giant
             // frame: answer once, then close.
-            let _ = out_tx.send(Outgoing::Ready(Frame::Error {
-                id: 0,
-                code: ErrorCode::FrameTooLarge,
-                message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
-            }));
+            let _ = out_tx.send(Outgoing::Ready {
+                frame: Frame::Error {
+                    id: 0,
+                    code: ErrorCode::FrameTooLarge,
+                    retry_after_millis: 0,
+                    message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                },
+                version: peer_version,
+            });
             return Ok(());
         }
         let mut bytes = vec![0u8; len];
@@ -420,28 +543,36 @@ fn connection_reader_loop(
             Fill::Done => {}
             Fill::Eof | Fill::Idle | Fill::Aborted => return Ok(()),
         }
-        let frame = match decode_frame(&bytes) {
-            Ok(frame) => frame,
+        last_activity = Instant::now();
+        let frame = match decode_frame_versioned(&bytes) {
+            Ok((frame, version)) => {
+                peer_version = version;
+                frame
+            }
             Err(error) => {
-                let _ = out_tx.send(Outgoing::Ready(Frame::Error {
-                    id: 0,
-                    code: ErrorCode::Protocol,
-                    message: error.to_string(),
-                }));
+                let _ = out_tx.send(Outgoing::Ready {
+                    frame: Frame::Error {
+                        id: 0,
+                        code: ErrorCode::Protocol,
+                        retry_after_millis: 0,
+                        message: error.to_string(),
+                    },
+                    version: peer_version,
+                });
                 return Ok(());
             }
         };
         let shutdown_after = matches!(frame, Frame::Shutdown { .. });
-        let outgoing = handle_request(shared, frame);
+        let outgoing = handle_request(shared, frame, peer_version);
         if out_tx.send(outgoing).is_err() {
             return Ok(()); // writer gone (write failure): close
         }
         if shutdown_after {
-            request_shutdown(shared);
+            request_drain(shared);
             return Ok(());
         }
-        if shared.stop.load(Ordering::Acquire) {
-            // A busy connection must notice shutdown between frames, not
+        if shared.phase() == PHASE_STOPPED {
+            // A busy connection must notice the stop between frames, not
             // only on idle ticks — already-submitted replies still drain
             // through the writer before the socket closes.
             return Ok(());
@@ -450,7 +581,8 @@ fn connection_reader_loop(
 }
 
 /// The writer half of [`serve_connection`]: awaits deferred predictions in
-/// request order and writes every reply frame.
+/// request order, writes every reply frame at the peer's protocol version,
+/// and releases admission permits once their reply is on the wire.
 fn reply_writer_loop(
     mut writer: impl std::io::Write,
     out_rx: mpsc::Receiver<Outgoing>,
@@ -458,9 +590,14 @@ fn reply_writer_loop(
     alive: &AtomicBool,
 ) {
     for outgoing in out_rx {
-        let frame = match outgoing {
-            Outgoing::Ready(frame) => frame,
-            Outgoing::Deferred { id, pendings } => {
+        let (frame, version, permit) = match outgoing {
+            Outgoing::Ready { frame, version } => (frame, version, None),
+            Outgoing::Deferred {
+                id,
+                version,
+                pendings,
+                permit,
+            } => {
                 let mut labels = Vec::with_capacity(pendings.len());
                 let mut first_error = None;
                 for pending in pendings {
@@ -471,65 +608,170 @@ fn reply_writer_loop(
                         }
                     }
                 }
-                match first_error {
+                let frame = match first_error {
                     None => Frame::Labels { id, labels },
                     Some(error) => error_reply(id, &error),
-                }
+                };
+                (frame, version, Some(permit))
             }
         };
-        if write_frame(&mut writer, &frame, max_frame_bytes).is_err() {
+        let outcome = write_frame_at(&mut writer, &frame, version, max_frame_bytes);
+        // The admission slot is held until the reply hit the socket (or the
+        // peer proved unreachable); dropping the channel on early exit
+        // releases the permits of any still-queued replies.
+        drop(permit);
+        if outcome.is_err() {
             break; // peer gone; reader observes `alive` and closes
         }
     }
     alive.store(false, Ordering::Release);
 }
 
+/// Saturating conversion for the wire's `u32` retry-after hint.
+fn retry_hint_millis(hint: Duration) -> u32 {
+    hint.as_millis().min(u32::MAX as u128) as u32
+}
+
 /// Turns one request frame into its outgoing reply, submitting predictions
 /// to the micro-batcher without blocking (replies never fail to build;
 /// engine errors become typed error frames).
-fn handle_request(shared: &NetShared, frame: Frame) -> Outgoing {
+///
+/// Predictions pass the admission gate first; refusals are answered with
+/// machine-readable `Overloaded` / `DeadlineExceeded` / `Draining` codes so
+/// clients can distinguish "retry later" from "give up".
+fn handle_request(shared: &NetShared, frame: Frame, version: u16) -> Outgoing {
     let id = frame.id();
     match frame {
-        Frame::Predict { id, features } => match shared.handle.submit(&features) {
-            Ok(pending) => Outgoing::Deferred {
-                id,
-                pendings: vec![pending],
-            },
-            Err(error) => Outgoing::Ready(error_reply(id, &error)),
-        },
-        Frame::PredictBatch { id, cols, data } => {
-            let mut pendings = Vec::with_capacity(data.len() / cols as usize);
-            for row in data.chunks_exact(cols as usize) {
-                match shared.handle.submit(row) {
-                    Ok(pending) => pendings.push(pending),
-                    Err(error) => return Outgoing::Ready(error_reply(id, &error)),
-                }
-            }
-            Outgoing::Deferred { id, pendings }
-        }
-        Frame::Stats { id } => Outgoing::Ready(Frame::StatsReply {
+        Frame::Predict {
             id,
-            stats: shared.handle.stats().into(),
-        }),
+            deadline_micros,
+            features,
+        } => submit_prediction(shared, id, version, deadline_micros, &features, 1),
+        Frame::PredictBatch {
+            id,
+            deadline_micros,
+            cols,
+            data,
+        } => {
+            let rows = data.len() / cols as usize;
+            submit_prediction(shared, id, version, deadline_micros, &data, rows)
+        }
+        Frame::Stats { id } => Outgoing::Ready {
+            frame: Frame::StatsReply {
+                id,
+                stats: shared.handle.stats().into(),
+            },
+            version,
+        },
         Frame::Health { id } => {
             let model = shared.handle.model();
-            Outgoing::Ready(Frame::HealthReply {
-                id,
-                input_features: model.input_features() as u32,
-                num_classes: model.num_classes() as u32,
-                mode: match shared.config.serve.mode {
-                    ServeMode::Logits => WireMode::Logits,
-                    ServeMode::Goodness => WireMode::Goodness,
+            Outgoing::Ready {
+                frame: Frame::HealthReply {
+                    id,
+                    input_features: model.input_features() as u32,
+                    num_classes: model.num_classes() as u32,
+                    mode: match shared.config.serve.mode {
+                        ServeMode::Logits => WireMode::Logits,
+                        ServeMode::Goodness => WireMode::Goodness,
+                    },
+                    state: if shared.phase() >= PHASE_DRAINING {
+                        WireHealthState::Draining
+                    } else {
+                        WireHealthState::Ok
+                    },
                 },
-            })
+                version,
+            }
         }
-        Frame::Shutdown { id } => Outgoing::Ready(Frame::ShutdownAck { id }),
+        Frame::Shutdown { id } => Outgoing::Ready {
+            frame: Frame::ShutdownAck { id },
+            version,
+        },
         // A reply frame arriving at the server is a protocol violation.
-        other => Outgoing::Ready(Frame::Error {
-            id,
-            code: ErrorCode::Protocol,
-            message: format!("server received a non-request frame ({other:?})"),
-        }),
+        other => Outgoing::Ready {
+            frame: Frame::Error {
+                id,
+                code: ErrorCode::Protocol,
+                retry_after_millis: 0,
+                message: format!("server received a non-request frame ({other:?})"),
+            },
+            version,
+        },
+    }
+}
+
+/// Admission-gates `rows` rows of features and submits them row-by-row to
+/// the micro-batcher, stamping each with the request's deadline.
+fn submit_prediction(
+    shared: &NetShared,
+    id: u64,
+    version: u16,
+    deadline_micros: u32,
+    features: &[f32],
+    rows: usize,
+) -> Outgoing {
+    let deadline = (deadline_micros > 0)
+        .then(|| Instant::now() + Duration::from_micros(deadline_micros.into()));
+    if shared.phase() >= PHASE_DRAINING {
+        return Outgoing::Ready {
+            frame: Frame::Error {
+                id,
+                code: ErrorCode::Draining,
+                retry_after_millis: retry_hint_millis(shared.config.drain_budget),
+                message: "server is draining; retry against a live instance".to_string(),
+            },
+            version,
+        };
+    }
+    let permit = match shared.gate.try_admit(rows, deadline) {
+        Ok(permit) => permit,
+        Err(AdmitError::Overloaded { retry_after }) => {
+            shared.counters.rejected_overload.inc();
+            return Outgoing::Ready {
+                frame: Frame::Error {
+                    id,
+                    code: ErrorCode::Overloaded,
+                    retry_after_millis: retry_hint_millis(retry_after),
+                    message: format!(
+                        "admission queue full ({} rows in flight)",
+                        shared.config.admission.max_in_flight_rows
+                    ),
+                },
+                version,
+            };
+        }
+        Err(AdmitError::DeadlineExpired) => {
+            shared.counters.rejected_deadline.inc();
+            return Outgoing::Ready {
+                frame: Frame::Error {
+                    id,
+                    code: ErrorCode::DeadlineExceeded,
+                    retry_after_millis: 0,
+                    message: "deadline budget expired before admission".to_string(),
+                },
+                version,
+            };
+        }
+    };
+    let cols = features.len() / rows;
+    let mut pendings = Vec::with_capacity(rows);
+    for row in features.chunks_exact(cols) {
+        match shared.handle.submit_with_deadline(row, deadline) {
+            Ok(pending) => pendings.push(pending),
+            // The permit drops here, releasing the partial admission.
+            Err(error) => {
+                return Outgoing::Ready {
+                    frame: error_reply(id, &error),
+                    version,
+                }
+            }
+        }
+    }
+    Outgoing::Deferred {
+        id,
+        version,
+        pendings,
+        permit,
     }
 }
 
@@ -537,11 +779,13 @@ fn error_reply(id: u64, error: &ServeError) -> Frame {
     let code = match error {
         ServeError::BadRequest { .. } => ErrorCode::BadRequest,
         ServeError::ServerClosed => ErrorCode::ServerClosed,
+        ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
         _ => ErrorCode::Internal,
     };
     Frame::Error {
         id,
         code,
+        retry_after_millis: 0,
         message: error.to_string(),
     }
 }
@@ -550,12 +794,14 @@ fn serve_to_net(error: ServeError) -> NetError {
     NetError::Remote {
         code: ErrorCode::Internal,
         message: error.to_string(),
+        retry_after: None,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::OverloadPolicy;
     use ff_models::small_mlp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -580,6 +826,18 @@ mod tests {
                 read_timeout: Duration::ZERO,
                 ..NetConfig::default()
             },
+            NetConfig {
+                idle_timeout: Duration::from_millis(1),
+                ..NetConfig::default()
+            },
+            NetConfig {
+                admission: AdmissionConfig {
+                    max_in_flight_rows: 0,
+                    policy: OverloadPolicy::RejectNew,
+                    retry_after: Duration::from_millis(1),
+                },
+                ..NetConfig::default()
+            },
         ] {
             assert!(NetServer::bind(model(), "127.0.0.1:0", bad).is_err());
         }
@@ -593,5 +851,11 @@ mod tests {
         // The in-process handle answers without any socket.
         assert!(server.handle().predict(&[0.1; 8]).is_ok());
         server.shutdown();
+    }
+
+    #[test]
+    fn retry_hints_saturate() {
+        assert_eq!(retry_hint_millis(Duration::from_millis(25)), 25);
+        assert_eq!(retry_hint_millis(Duration::from_secs(u64::MAX)), u32::MAX);
     }
 }

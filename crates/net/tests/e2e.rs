@@ -97,7 +97,7 @@ fn wrong_width_request_is_a_typed_remote_error() {
     let server = NetServer::bind(frozen(4), "127.0.0.1:0", config(ServeMode::Logits)).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
     match client.predict(&[0.0; FEATURES + 1]) {
-        Err(NetError::Remote { code, message }) => {
+        Err(NetError::Remote { code, message, .. }) => {
             assert_eq!(code, ErrorCode::BadRequest);
             assert!(message.contains("features"), "{message}");
         }

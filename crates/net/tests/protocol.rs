@@ -3,8 +3,10 @@
 //! flips yield typed errors (or a different but valid frame), never a
 //! panic, for **every** frame kind.
 
-use ff_net::protocol::{decode_frame, encode_frame, read_frame, sample_frames};
-use ff_net::{NetError, DEFAULT_MAX_FRAME_BYTES};
+use ff_net::protocol::{
+    decode_frame, decode_frame_versioned, encode_frame, encode_frame_at, read_frame, sample_frames,
+};
+use ff_net::{NetError, DEFAULT_MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use proptest::prelude::*;
 
 #[test]
@@ -15,6 +17,24 @@ fn every_truncation_of_every_kind_is_a_typed_error() {
             match decode_frame(&bytes[..len]) {
                 Err(NetError::Codec(_)) | Err(NetError::Frame { .. }) => {}
                 other => panic!("{frame:?}: prefix of {len} bytes gave {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_at_every_protocol_version_is_a_typed_error() {
+    // The version-2 fields (deadline, retry hint, health state, shed
+    // counters) shift every later byte offset, so the truncation sweep must
+    // hold for BOTH encodings, not just the current one.
+    for version in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
+        for frame in sample_frames() {
+            let bytes = encode_frame_at(&frame, version);
+            for len in 0..bytes.len() {
+                match decode_frame(&bytes[..len]) {
+                    Err(NetError::Codec(_)) | Err(NetError::Frame { .. }) => {}
+                    other => panic!("v{version} {frame:?}: prefix of {len} gave {other:?}"),
+                }
             }
         }
     }
@@ -55,6 +75,46 @@ proptest! {
             Ok(_) | Err(NetError::Codec(_)) | Err(NetError::Frame { .. }) => {}
             Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
         }
+    }
+
+    #[test]
+    fn single_byte_flips_of_old_minor_version_frames_never_panic(
+        kind_index in 0usize..10,
+        position_fraction in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        // Backward compat under corruption: a damaged VERSION-1 frame must
+        // be just as safe to decode as a damaged current-version frame.
+        let frames = sample_frames();
+        let frame = &frames[kind_index % frames.len()];
+        let mut bytes = encode_frame_at(frame, MIN_PROTOCOL_VERSION);
+        let position = ((bytes.len() as f64) * position_fraction) as usize % bytes.len();
+        bytes[position] ^= flip;
+        match decode_frame(&bytes) {
+            Ok(_) | Err(NetError::Codec(_)) | Err(NetError::Frame { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_minor_version_frames_roundtrip_with_neutral_defaults(
+        kind_index in 0usize..10,
+    ) {
+        // A version-1 encoding drops the v2-only fields; decoding it must
+        // report version 1, fill the dropped fields with neutral defaults,
+        // and re-encode byte-identically (proof nothing else was touched).
+        let frames = sample_frames();
+        let frame = &frames[kind_index % frames.len()];
+        let v1_bytes = encode_frame_at(frame, MIN_PROTOCOL_VERSION);
+        let (decoded, version) = decode_frame_versioned(&v1_bytes).unwrap();
+        prop_assert_eq!(version, MIN_PROTOCOL_VERSION);
+        prop_assert_eq!(&encode_frame_at(&decoded, MIN_PROTOCOL_VERSION), &v1_bytes);
+
+        // The current encoding of the same frame roundtrips losslessly.
+        let v2_bytes = encode_frame_at(frame, PROTOCOL_VERSION);
+        let (decoded, version) = decode_frame_versioned(&v2_bytes).unwrap();
+        prop_assert_eq!(version, PROTOCOL_VERSION);
+        prop_assert_eq!(&decoded, frame);
     }
 
     #[test]

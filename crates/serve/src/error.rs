@@ -47,6 +47,10 @@ pub enum ServeError {
     },
     /// The server has shut down (or its worker dropped the reply channel).
     ServerClosed,
+    /// The request's deadline expired while it waited in the batch queue —
+    /// it was shed *before* spending GEMM time on an answer nobody is
+    /// waiting for.
+    DeadlineExceeded,
     /// An underlying tensor operation failed.
     Tensor(TensorError),
 }
@@ -68,6 +72,9 @@ impl fmt::Display for ServeError {
             ServeError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),
             ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
             ServeError::ServerClosed => write!(f, "server closed"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request was served")
+            }
             ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
     }
@@ -124,6 +131,7 @@ mod tests {
                 message: "784 features expected".into(),
             },
             ServeError::ServerClosed,
+            ServeError::DeadlineExceeded,
             TensorError::InvalidParameter {
                 message: "bad".into(),
             }

@@ -75,7 +75,7 @@ pub use format::{load_bytes, save_bytes, FORMAT_VERSION, MAGIC};
 pub use model::{FrozenDense, FrozenLayer, FrozenModel};
 pub use server::{
     BatchPolicy, PendingPrediction, Prediction, ServeConfig, ServeHandle, ServeMode, Server,
-    ServerStats,
+    ServerStats, ShedCounters,
 };
 
 /// Convenience result alias used throughout the crate.

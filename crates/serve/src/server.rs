@@ -34,7 +34,7 @@
 //! (default 1), so the canonical scaling axis is the worker count.
 
 use crate::{FrozenModel, Result, ServeError};
-use ff_metrics::{LatencyHistogram, LatencySummary};
+use ff_metrics::{Counter, LatencyHistogram, LatencySummary};
 use ff_tensor::Tensor;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -117,6 +117,10 @@ pub struct Prediction {
 struct Request {
     features: Vec<f32>,
     enqueued: Instant,
+    /// Absolute point after which the answer is worthless: the worker sheds
+    /// the request (typed [`ServeError::DeadlineExceeded`]) instead of
+    /// spending a GEMM row on it.
+    deadline: Option<Instant>,
     reply: Sender<Result<Prediction>>,
 }
 
@@ -137,8 +141,33 @@ pub struct ServerStats {
     pub mean_batch: f64,
     /// Largest batch observed.
     pub max_batch: usize,
-    /// Queue-to-reply latency distribution.
+    /// Requests shed by a worker because their deadline expired in the
+    /// queue (dropped before any GEMM work).
+    pub shed_expired: u64,
+    /// Requests refused admission under overload (counted by a front-end
+    /// through [`ShedCounters`]).
+    pub rejected_overload: u64,
+    /// Requests refused because they arrived with an already-expired
+    /// deadline (counted by a front-end through [`ShedCounters`]).
+    pub rejected_deadline: u64,
+    /// Queue-to-reply latency distribution (served requests only).
     pub latency: LatencySummary,
+}
+
+/// Cloneable handles onto the server's load-shedding counters.
+///
+/// The `shed_expired` counter is bumped by the workers themselves; the
+/// `rejected_*` counters exist so a front-end (the `ff-net` admission gate)
+/// can record refusals **it** makes into the same [`ServerStats`] snapshot
+/// every [`ServeHandle::stats`] caller sees.
+#[derive(Debug, Clone, Default)]
+pub struct ShedCounters {
+    /// Deadline expired while queued; shed by a worker before the GEMM.
+    pub shed_expired: Counter,
+    /// Refused admission because the pending-request bound was reached.
+    pub rejected_overload: Counter,
+    /// Refused because the deadline had already expired on arrival.
+    pub rejected_deadline: Counter,
 }
 
 #[derive(Default)]
@@ -157,6 +186,7 @@ struct Shared {
     /// request's reply channel drops, so no client can hang.
     queue: Mutex<Option<Receiver<Job>>>,
     stats: Mutex<StatsInner>,
+    counters: ShedCounters,
 }
 
 /// A cloneable client handle onto a running [`Server`].
@@ -207,10 +237,28 @@ impl ServeHandle {
     ///
     /// Returns [`ServeError::ServerClosed`] when the server has shut down.
     pub fn submit(&self, features: &[f32]) -> Result<PendingPrediction> {
+        self.submit_with_deadline(features, None)
+    }
+
+    /// [`ServeHandle::submit`] with an absolute deadline: if it expires
+    /// while the request waits in the batch queue, a worker sheds the
+    /// request with [`ServeError::DeadlineExceeded`] **before** it occupies
+    /// a GEMM row — under overload the engine spends its compute only on
+    /// answers someone is still waiting for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ServerClosed`] when the server has shut down.
+    pub fn submit_with_deadline(
+        &self,
+        features: &[f32],
+        deadline: Option<Instant>,
+    ) -> Result<PendingPrediction> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let request = Request {
             features: features.to_vec(),
             enqueued: Instant::now(),
+            deadline,
             reply: reply_tx,
         };
         self.tx
@@ -284,8 +332,18 @@ impl ServeHandle {
                 stats.requests as f64 / stats.batches as f64
             },
             max_batch: stats.max_batch,
+            shed_expired: self.shared.counters.shed_expired.get(),
+            rejected_overload: self.shared.counters.rejected_overload.get(),
+            rejected_deadline: self.shared.counters.rejected_deadline.get(),
             latency: stats.latency.summary(),
         }
+    }
+
+    /// Cloneable handles onto the load-shedding counters reported by
+    /// [`ServeHandle::stats`] — a front-end bumps the `rejected_*` pair for
+    /// refusals it makes before a request ever reaches the queue.
+    pub fn shed_counters(&self) -> ShedCounters {
+        self.shared.counters.clone()
     }
 
     /// The frozen model being served.
@@ -349,6 +407,7 @@ impl Server {
             config,
             queue: Mutex::new(Some(rx)),
             stats: Mutex::new(StatsInner::default()),
+            counters: ShedCounters::default(),
         });
         let workers = (0..config.workers)
             .map(|index| {
@@ -495,10 +554,17 @@ fn worker_loop(shared: &Shared) {
 /// Validates, executes and answers one assembled batch.
 fn run_batch(shared: &Shared, batch: Vec<Request>) {
     let features = shared.model.input_features();
-    // Reject malformed requests individually; the rest still batch.
+    // Reject malformed requests individually and shed the ones whose
+    // deadline expired while queued — both before any GEMM work; the rest
+    // still batch. The deadline check runs *after* batch assembly (which
+    // may have waited `max_wait`), so queue time counts against the budget.
+    let now = Instant::now();
     let mut valid: Vec<Request> = Vec::with_capacity(batch.len());
     for request in batch {
-        if request.features.len() == features {
+        if request.deadline.is_some_and(|deadline| now > deadline) {
+            shared.counters.shed_expired.inc();
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+        } else if request.features.len() == features {
             valid.push(request);
         } else {
             let error = ServeError::BadRequest {
@@ -641,6 +707,37 @@ mod tests {
         ));
         // A valid request still succeeds afterwards.
         assert!(server.predict(&[0.0; 8]).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_before_the_gemm() {
+        let server = Server::start(model(), ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        // A deadline already in the past: the worker must shed, not serve.
+        let expired = Instant::now() - Duration::from_millis(5);
+        let pending = handle
+            .submit_with_deadline(&[0.25; 8], Some(expired))
+            .unwrap();
+        assert_eq!(pending.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        // A generous deadline serves normally.
+        let roomy = Instant::now() + Duration::from_secs(30);
+        let prediction = handle
+            .submit_with_deadline(&[0.25; 8], Some(roomy))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(prediction.label < 3);
+        let stats = handle.stats();
+        assert_eq!(stats.shed_expired, 1);
+        assert_eq!(stats.requests, 1, "shed requests are not 'served'");
+        // Front-end rejection counters flow into the same snapshot.
+        let counters = handle.shed_counters();
+        counters.rejected_overload.add(3);
+        counters.rejected_deadline.inc();
+        let stats = handle.stats();
+        assert_eq!(stats.rejected_overload, 3);
+        assert_eq!(stats.rejected_deadline, 1);
         server.shutdown();
     }
 

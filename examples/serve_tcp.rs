@@ -13,7 +13,7 @@ use ff_int8::core::{FfTrainer, Precision, TrainOptions};
 use ff_int8::data::{synthetic_mnist, SyntheticConfig};
 use ff_int8::metrics::accuracy;
 use ff_int8::models::small_mlp;
-use ff_int8::net::{Client, NetConfig, NetServer};
+use ff_int8::net::{AdmissionConfig, Client, ClientConfig, NetConfig, NetServer, RetryPolicy};
 use ff_int8::serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NetConfig {
             conn_threads: 4,
             read_timeout: Duration::from_millis(250),
+            // Bound in-flight work: beyond this many rows the server sheds
+            // with a typed `Overloaded` reply + retry hint instead of
+            // letting the batch queue grow without limit.
+            admission: AdmissionConfig {
+                max_in_flight_rows: 2048,
+                retry_after: Duration::from_millis(10),
+                ..AdmissionConfig::default()
+            },
             serve: ServeConfig {
                 workers: 2,
                 mode: ServeMode::Goodness,
@@ -74,11 +82,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. A client probes the server, then four concurrent clients classify
     //    the test set over the wire.
-    let mut probe = Client::connect(addr)?;
+    // The probe opts into resilience: a 250 ms budget per request (carried
+    // on the wire, shed server-side once expired) and seeded jittered
+    // retries for transient failures — reruns reproduce the same schedule.
+    let mut probe = Client::connect_with(
+        addr,
+        ClientConfig {
+            deadline: Some(Duration::from_millis(250)),
+            retry: RetryPolicy::standard(7),
+            ..ClientConfig::default()
+        },
+    )?;
     let info = probe.health()?;
     println!(
-        "health: {} features, {} classes, {:?} mode",
-        info.input_features, info.num_classes, info.mode
+        "health: {} features, {} classes, {:?} mode, {:?} state",
+        info.input_features, info.num_classes, info.mode, info.state
     );
 
     let subset = test_set.take(200)?;
@@ -118,6 +136,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.requests, stats.batches, stats.mean_batch, stats.max_batch
     );
     println!("queue-to-reply latency: {}", stats.latency);
+    println!(
+        "load shedding: {} expired in queue, {} refused overloaded, {} refused expired",
+        stats.shed_expired, stats.rejected_overload, stats.rejected_deadline
+    );
     println!("served accuracy over TCP: {:.1}%", served_accuracy * 100.0);
 
     // 4. Shut the server down over the wire.

@@ -56,6 +56,14 @@ if [[ "$fast" -eq 0 ]]; then
     # accuracy parity is exact (crates/net/tests/smoke.rs).
     echo "==> network smoke gate (release)"
     cargo test -q --release -p ff-net --test smoke
+
+    # Chaos smoke gate: seeded fault plans (short reads/writes, stalls,
+    # mid-frame resets, corruption, raw garbage) against a live server
+    # under a watchdog — zero hangs, zero leaked pool slots, typed errors
+    # only, and every answer bit-identical to a direct model call
+    # (crates/net/tests/chaos.rs).
+    echo "==> chaos smoke gate (release)"
+    cargo test -q --release -p ff-net --test chaos
 fi
 
 echo "All checks passed."

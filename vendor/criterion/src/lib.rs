@@ -39,6 +39,17 @@ pub struct Sample {
     pub samples: usize,
 }
 
+/// One recorded scalar metric — a measured quantity that is not a timing
+/// (a shed rate, a percentile, a throughput figure). Written alongside the
+/// timing samples in the JSON baseline.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// `group/name` identifier.
+    pub id: String,
+    /// The measured value, in whatever unit the id implies.
+    pub value: f64,
+}
+
 /// Benchmark identifier: a function name plus an optional parameter.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -232,6 +243,7 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     mode: Mode,
     results: Vec<Sample>,
+    metrics: Vec<Metric>,
 }
 
 impl Default for Criterion {
@@ -244,6 +256,7 @@ impl Default for Criterion {
                 Mode::Smoke
             },
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 }
@@ -271,11 +284,39 @@ impl Criterion {
         &self.results
     }
 
+    /// True under `cargo bench` (`--bench` passed): closures are measured
+    /// for real. False under `cargo test` smoke runs, where benches should
+    /// shrink their workloads to a panic-check.
+    pub fn measuring(&self) -> bool {
+        self.mode == Mode::Measure
+    }
+
+    /// Records a named scalar into the JSON baseline's `metrics` section
+    /// (bench mode only; a no-op in smoke runs). Non-finite values are
+    /// clamped to 0 so the baseline stays valid JSON.
+    pub fn record_metric(&mut self, id: impl Into<String>, value: f64) {
+        if self.mode != Mode::Measure {
+            return;
+        }
+        let value = if value.is_finite() { value } else { 0.0 };
+        let metric = Metric {
+            id: id.into(),
+            value,
+        };
+        println!("{:<56} metric: {value:.6}", metric.id);
+        self.metrics.push(metric);
+    }
+
+    /// Recorded scalar metrics (bench mode only).
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
     /// Writes the recorded samples as a JSON baseline. Called by
     /// `criterion_main!` with `BENCH_<target>.json`; no-op in smoke mode or
     /// when nothing was recorded.
     pub fn write_json_baseline(&self, path: &str) {
-        if self.mode != Mode::Measure || self.results.is_empty() {
+        if self.mode != Mode::Measure || (self.results.is_empty() && self.metrics.is_empty()) {
             return;
         }
         let mut json = String::from("{\n  \"benchmarks\": [\n");
@@ -291,7 +332,21 @@ impl Criterion {
                 s.samples
             );
         }
-        json.push_str("  ]\n}\n");
+        json.push_str("  ]");
+        if !self.metrics.is_empty() {
+            json.push_str(",\n  \"metrics\": [\n");
+            for (i, m) in self.metrics.iter().enumerate() {
+                let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+                let _ = writeln!(
+                    json,
+                    "    {{\"id\": \"{}\", \"value\": {:.6}}}{comma}",
+                    m.id.replace('"', "'"),
+                    m.value
+                );
+            }
+            json.push_str("  ]");
+        }
+        json.push_str("\n}\n");
         match std::fs::write(path, json) {
             Ok(()) => println!("wrote baseline {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
@@ -363,6 +418,7 @@ mod tests {
         let mut c = Criterion {
             mode: Mode::Smoke,
             results: Vec::new(),
+            metrics: Vec::new(),
         };
         let mut calls = 0;
         {
@@ -379,6 +435,7 @@ mod tests {
         let mut c = Criterion {
             mode: Mode::Measure,
             results: Vec::new(),
+            metrics: Vec::new(),
         };
         {
             let mut g = c.benchmark_group("g");
@@ -390,6 +447,30 @@ mod tests {
         assert_eq!(c.results().len(), 1);
         assert_eq!(c.results()[0].id, "g/mul/3");
         assert!(c.results()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn metrics_record_in_measure_mode_only() {
+        let mut smoke = Criterion {
+            mode: Mode::Smoke,
+            results: Vec::new(),
+            metrics: Vec::new(),
+        };
+        smoke.record_metric("g/shed_rate", 0.5);
+        assert!(smoke.metrics().is_empty());
+        assert!(!smoke.measuring());
+
+        let mut measure = Criterion {
+            mode: Mode::Measure,
+            results: Vec::new(),
+            metrics: Vec::new(),
+        };
+        measure.record_metric("g/shed_rate", 0.5);
+        measure.record_metric("g/bad", f64::NAN);
+        assert!(measure.measuring());
+        assert_eq!(measure.metrics().len(), 2);
+        assert_eq!(measure.metrics()[0].value, 0.5);
+        assert_eq!(measure.metrics()[1].value, 0.0, "NaN clamps to 0");
     }
 
     #[test]
