@@ -29,6 +29,14 @@
 //! death; the shed rate and the p99 of the requests it *did* serve land in
 //! the baseline as `net_overload/*` metrics.
 //!
+//! A fifth, **open-loop** group decouples arrivals from completions: a
+//! generator fires `Predict` frames at seeded Poisson arrival times,
+//! fire-and-forget, at 0.5× and 2× the calibrated service rate. Closed
+//! loops self-throttle (a slow server slows its own clients), hiding the
+//! queueing collapse this group exists to measure — its
+//! `net_open_loop/*_queue_p{50,95,99}_ms` metrics report client-observed
+//! queueing delay below and above saturation (coordinated-omission-free).
+//!
 //! Running with `--bench` (what `cargo bench` passes) writes a
 //! `BENCH_net.json` baseline into the bench binary's working directory
 //! (`crates/bench/`).
@@ -346,5 +354,168 @@ fn bench_net_overload(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(benches, bench_net_throughput, bench_net_overload);
+/// One open-loop run: a writer thread fires `requests` `Predict` frames at
+/// Poisson arrivals of `rate` req/s — **fire-and-forget**, never waiting
+/// for replies — while the main thread reads the in-order replies and
+/// measures each request's sojourn time (send → reply). Unlike the
+/// closed-loop groups, a slow server does *not* slow the arrival process
+/// down, which is what exposes queueing delay honestly: above saturation
+/// the queue (and the sojourn tail) grows for as long as the run lasts.
+///
+/// Returns the sojourn histogram of answered requests plus the count of
+/// typed error replies (shed — excluded from the percentiles).
+fn open_loop_run(
+    addr: SocketAddr,
+    pool: &Tensor,
+    rate: f64,
+    requests: usize,
+    seed: u64,
+) -> (LatencyHistogram, u64) {
+    use ff_net::protocol::{read_frame, write_frame, Frame, DEFAULT_MAX_FRAME_BYTES};
+    use rand::Rng;
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = std::io::BufReader::new(stream);
+    let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
+
+    let mut sojourn = LatencyHistogram::new();
+    let mut shed = 0u64;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = Instant::now();
+            let mut due = Duration::ZERO;
+            for index in 0..requests {
+                // Exponential interarrival via inverse transform; capped so
+                // one extreme draw cannot stall the whole run.
+                let u: f64 = rng.gen();
+                let gap = (-(1.0 - u).ln() / rate).min(0.25);
+                due += Duration::from_secs_f64(gap);
+                if let Some(wait) = (start + due).checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let frame = Frame::Predict {
+                    id: index as u64 + 1,
+                    deadline_micros: 0,
+                    features: pool.row(index % pool.rows()).to_vec(),
+                };
+                let sent = Instant::now();
+                write_frame(&mut writer, &frame, DEFAULT_MAX_FRAME_BYTES).expect("send");
+                std::io::Write::flush(&mut writer).expect("flush");
+                sent_tx.send(sent).expect("reader alive");
+            }
+        });
+        // Replies come back in request order on the one connection, so the
+        // send timestamps pair up positionally.
+        for _ in 0..requests {
+            let sent = sent_rx.recv().expect("writer alive");
+            match read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("reply") {
+                Frame::Labels { .. } => sojourn.record(sent.elapsed()),
+                Frame::Error { .. } => shed += 1,
+                other => panic!("unexpected open-loop reply {other:?}"),
+            }
+        }
+    });
+    (sojourn, shed)
+}
+
+/// Open-loop arrival-rate sweep: calibrates the server's closed-loop
+/// service rate μ, then offers Poisson arrivals at 0.5μ (below saturation)
+/// and 2μ (above), recording queueing-delay percentiles — sojourn time
+/// minus the unloaded service floor — as `net_open_loop/*` metrics. Below
+/// saturation the queueing delay stays near zero; above it the tail is
+/// unbounded in run length, which no closed-loop benchmark can show.
+fn bench_net_open_loop(c: &mut Criterion) {
+    let requests: usize = if c.measuring() { 384 } else { 24 };
+    let calibration: usize = if c.measuring() { 128 } else { 16 };
+    let config = NetConfig {
+        conn_threads: 2,
+        read_timeout: Duration::from_millis(200),
+        admission: AdmissionConfig {
+            // Let the open-loop backlog queue (the quantity under study)
+            // instead of shedding it at the gate.
+            max_in_flight_rows: 1 << 20,
+            ..AdmissionConfig::default()
+        },
+        serve: ServeConfig {
+            workers: 1,
+            mode: ServeMode::Logits,
+            policy: BatchPolicy {
+                max_batch: 32,
+                max_wait: Duration::from_millis(1),
+            },
+            gemm_threads: 1,
+        },
+        ..NetConfig::default()
+    };
+    let pool = request_pool(REQUESTS_PER_ITER);
+    let server = NetServer::bind(paper_mlp(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    // Calibrate μ with a closed-loop pipelined burst, and the unloaded
+    // service floor with sequential single requests.
+    let mut client = Client::connect(addr).expect("connect");
+    let calib_started = Instant::now();
+    for wave in 0..calibration.div_ceil(PIPELINE_DEPTH) {
+        let rows = (0..PIPELINE_DEPTH).map(|i| pool.row((wave * PIPELINE_DEPTH + i) % pool.rows()));
+        client.predict_pipelined(rows).expect("calibration wave");
+    }
+    let waves = calibration.div_ceil(PIPELINE_DEPTH) * PIPELINE_DEPTH;
+    let service_rate = waves as f64 / calib_started.elapsed().as_secs_f64();
+    let mut floor = LatencyHistogram::new();
+    for step in 0..16 {
+        let started = Instant::now();
+        client.predict(pool.row(step % pool.rows())).expect("floor");
+        floor.record(started.elapsed());
+    }
+    let floor_p50 = floor.p50();
+    client.close();
+    println!("    open_loop: calibrated service rate {service_rate:.0} req/s, floor {floor_p50:?}");
+
+    for (label, factor, seed) in [
+        ("below_saturation", 0.5, 90_u64),
+        ("above_saturation", 2.0, 91),
+    ] {
+        let rate = service_rate * factor;
+        let (sojourn, shed) = open_loop_run(addr, &pool, rate, requests, seed);
+        let queue_delay = |quantile: Duration| quantile.saturating_sub(floor_p50);
+        let summary = sojourn.summary();
+        println!(
+            "    open_loop/{label}: arrivals {rate:.0} req/s, answered {} shed {shed}, \
+             sojourn[{summary}], queue p99 {:?}",
+            summary.count,
+            queue_delay(sojourn.p99()),
+        );
+        if c.measuring() {
+            assert!(summary.count > 0, "open-loop run must answer requests");
+            c.record_metric(format!("net_open_loop/{label}_arrival_rps"), rate);
+            c.record_metric(
+                format!("net_open_loop/{label}_shed_rate"),
+                shed as f64 / requests as f64,
+            );
+            for (name, value) in [
+                ("queue_p50_ms", queue_delay(sojourn.p50())),
+                ("queue_p95_ms", queue_delay(sojourn.p95())),
+                ("queue_p99_ms", queue_delay(sojourn.p99())),
+            ] {
+                c.record_metric(
+                    format!("net_open_loop/{label}_{name}"),
+                    value.as_secs_f64() * 1e3,
+                );
+            }
+        }
+    }
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_net_throughput,
+    bench_net_overload,
+    bench_net_open_loop
+);
 criterion_main!(benches);

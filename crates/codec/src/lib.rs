@@ -117,10 +117,17 @@ impl Writer {
     /// can estimate the serialized size (e.g. from tensor element counts)
     /// avoid the doubling reallocations of growing from scratch.
     pub fn with_capacity(magic: &[u8; 4], version: u16, capacity: usize) -> Self {
+        Self::with_flags(magic, version, 0, capacity)
+    }
+
+    /// Like [`Writer::with_capacity`], but writes an explicit `flags` word
+    /// instead of the reserved zero — for formats that promote the header
+    /// flags into a real field (the `FF8P` model id in protocol version 3).
+    pub fn with_flags(magic: &[u8; 4], version: u16, flags: u16, capacity: usize) -> Self {
         let mut buf = BytesMut::with_capacity(capacity.max(8));
         buf.put_slice(magic);
         buf.put_u16_le(version);
-        buf.put_u16_le(0); // reserved flags
+        buf.put_u16_le(flags);
         Writer { buf }
     }
 
@@ -249,6 +256,22 @@ impl<'a> Reader<'a> {
         magic: &[u8; 4],
         supported: std::ops::RangeInclusive<u16>,
     ) -> Result<(Self, u16)> {
+        Self::with_versions_flags(bytes, magic, supported)
+            .map(|(reader, version, _flags)| (reader, version))
+    }
+
+    /// Like [`Reader::with_versions`], but also returns the header's flags
+    /// word instead of discarding it — the counterpart of
+    /// [`Writer::with_flags`] for formats whose flags carry data.
+    ///
+    /// # Errors
+    ///
+    /// As [`Reader::with_versions`].
+    pub fn with_versions_flags(
+        bytes: &'a [u8],
+        magic: &[u8; 4],
+        supported: std::ops::RangeInclusive<u16>,
+    ) -> Result<(Self, u16, u16)> {
         let mut reader = Reader { cursor: bytes };
         reader.need(4, "magic")?;
         let mut found = [0u8; 4];
@@ -260,8 +283,8 @@ impl<'a> Reader<'a> {
         if !supported.contains(&declared) {
             return Err(CodecError::UnsupportedVersion { version: declared });
         }
-        let _flags = reader.get_u16("reserved flags")?;
-        Ok((reader, declared))
+        let flags = reader.get_u16("header flags")?;
+        Ok((reader, declared, flags))
     }
 
     /// Bytes left to read.
@@ -486,6 +509,25 @@ mod tests {
             Reader::with_versions(&bytes, &MAGIC, 1..=2),
             Err(CodecError::UnsupportedVersion { version: 3 })
         ));
+    }
+
+    #[test]
+    fn header_flags_roundtrip_and_default_to_zero() {
+        let mut w = Writer::with_flags(&MAGIC, 2, 0xBEEF, 16);
+        w.record(|r| r.put_u32(5));
+        let bytes = w.into_vec();
+        let (mut reader, version, flags) =
+            Reader::with_versions_flags(&bytes, &MAGIC, 1..=3).unwrap();
+        assert_eq!((version, flags), (2, 0xBEEF));
+        let mut rec = reader.record("record").unwrap();
+        assert_eq!(rec.get_u32("value").unwrap(), 5);
+        // The flag-blind reader still accepts the artifact (flags are
+        // ignored, not validated, exactly as before).
+        assert!(Reader::new(&bytes, &MAGIC, 2).is_ok());
+        // And the default writer emits zero flags.
+        let plain = Writer::new(&MAGIC, 1).into_vec();
+        let (_, _, flags) = Reader::with_versions_flags(&plain, &MAGIC, 1..=1).unwrap();
+        assert_eq!(flags, 0);
     }
 
     #[test]

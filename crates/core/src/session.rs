@@ -303,6 +303,10 @@ pub enum SessionStatus {
 /// A registered event callback (see [`TrainSession::on_event`]).
 type Observer<'a> = Box<dyn FnMut(&TrainEvent) -> SessionControl + 'a>;
 
+/// A registered checkpoint-saved callback (see
+/// [`TrainSession::on_checkpoint`]).
+type CheckpointHook<'a> = Box<dyn FnMut(&std::path::Path) + 'a>;
+
 /// Configuration of the built-in auto-checkpoint observer (see
 /// [`TrainSession::auto_checkpoint`]): persist the session every
 /// `every_steps` mini-batches, keeping only the newest `keep_last`
@@ -370,6 +374,8 @@ pub struct TrainSession<'a> {
     last_lambda: Option<f32>,
     /// Built-in periodic-checkpoint observer, `None` unless enabled.
     auto_checkpoint: Option<AutoCheckpoint>,
+    /// Callbacks fired with the path of every auto-checkpoint artifact.
+    checkpoint_hooks: Vec<CheckpointHook<'a>>,
 }
 
 impl std::fmt::Debug for TrainSession<'_> {
@@ -460,6 +466,7 @@ impl<'a> TrainSession<'a> {
             stopped: false,
             last_lambda: None,
             auto_checkpoint: None,
+            checkpoint_hooks: Vec::new(),
         })
     }
 
@@ -503,6 +510,23 @@ impl<'a> TrainSession<'a> {
     /// [`SessionControl::Stop`] stops the session after the current step.
     pub fn on_event<F: FnMut(&TrainEvent) -> SessionControl + 'a>(&mut self, observer: F) {
         self.observers.push(Box::new(observer));
+    }
+
+    /// Registers a callback fired with the path of every artifact the
+    /// [`TrainSession::auto_checkpoint`] observer writes, *after* the save
+    /// and rotation succeed — the path points at a complete, validated
+    /// `FF8C` file that survived rotation.
+    ///
+    /// This is the train-to-serve handoff: a co-located serving loop
+    /// registers a hook that reloads the checkpoint into its model registry
+    /// (`ff-serve`'s `ModelRegistry::swap_from_checkpoint`), so a training
+    /// run continuously publishes its latest weights to live traffic with
+    /// no coordination beyond this callback. Hooks run on the training
+    /// thread in registration order; they cannot fail the step — a hook
+    /// that cannot use the artifact (e.g. a rejected swap) must handle that
+    /// itself.
+    pub fn on_checkpoint<F: FnMut(&std::path::Path) + 'a>(&mut self, hook: F) {
+        self.checkpoint_hooks.push(Box::new(hook));
     }
 
     /// The algorithm this session trains with.
@@ -689,6 +713,11 @@ impl<'a> TrainSession<'a> {
             .join(crate::checkpoint::step_file_name(self.global_step));
         self.checkpoint().save(&path)?;
         crate::checkpoint::rotate(&config.dir, config.keep_last)?;
+        // The just-saved artifact is the newest, so it survived rotation;
+        // hooks always receive a live path.
+        for hook in &mut self.checkpoint_hooks {
+            hook(&path);
+        }
         Ok(())
     }
 

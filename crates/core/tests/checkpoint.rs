@@ -345,6 +345,50 @@ fn auto_checkpoint_rotates_and_resumes_bit_exactly() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `on_checkpoint` hooks observe every auto-checkpoint artifact, after the
+/// save and rotation — each delivered path is a loadable FF8C file (the
+/// train-to-serve hot-swap handoff relies on exactly this).
+#[test]
+fn checkpoint_hooks_fire_after_save_with_live_paths() {
+    let dir = std::env::temp_dir().join("ff8c_checkpoint_hook_it");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (train_set, test_set) = tiny_dataset();
+    let mut net = tiny_net(7);
+    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut session = TrainSession::new(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: true },
+        &tiny_options(2),
+    )
+    .unwrap();
+    session
+        .auto_checkpoint(AutoCheckpoint::new(&dir, 2, 1))
+        .unwrap();
+    let seen_by_hook = std::rc::Rc::clone(&seen);
+    session.on_checkpoint(move |path| {
+        // The artifact is complete and validated at hook time.
+        let checkpoint = Checkpoint::load(path).unwrap();
+        seen_by_hook
+            .borrow_mut()
+            .push((path.to_path_buf(), checkpoint.global_step));
+    });
+    session.run().unwrap();
+
+    // 64 samples / batch 32 = 2 steps per epoch → 4 steps, saves at 2 and 4.
+    let seen = seen.borrow();
+    assert_eq!(
+        *seen,
+        vec![
+            (dir.join(step_file_name(2)), 2),
+            (dir.join(step_file_name(4)), 4),
+        ]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn mid_epoch_resume_rejects_mismatched_dataset() {
     let (train_set, test_set) = tiny_dataset();

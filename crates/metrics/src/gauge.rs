@@ -1,0 +1,82 @@
+//! Shared atomic last-value gauges.
+//!
+//! Where a [`crate::Counter`] accumulates events, a [`Gauge`] tracks the
+//! *current* value of something that moves both ways or is replaced
+//! wholesale — the version of the model a registry entry currently serves,
+//! a queue depth, a config knob. Clones share one cell, so the subsystem
+//! that owns the value and the stats endpoint that reports it observe the
+//! same number without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe last-value gauge.
+///
+/// # Examples
+///
+/// ```
+/// use ff_metrics::Gauge;
+///
+/// let version = Gauge::new();
+/// let writer = version.clone();
+/// writer.set(3);
+/// assert_eq!(version.get(), 3);
+/// assert_eq!(writer.bump(), 4);
+/// assert_eq!(version.get(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Release);
+    }
+
+    /// Adds one and returns the new value — an atomic "next version"
+    /// for swap-style updates.
+    pub fn bump(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_value() {
+        let gauge = Gauge::new();
+        let clone = gauge.clone();
+        clone.set(7);
+        assert_eq!(gauge.get(), 7);
+        assert_eq!(gauge.bump(), 8);
+        assert_eq!(clone.get(), 8);
+    }
+
+    #[test]
+    fn concurrent_bumps_never_lose_updates() {
+        let gauge = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = gauge.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        g.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge.get(), 400);
+    }
+}

@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod gauge;
 mod history;
 mod latency;
 mod table;
 
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use history::{accuracy, EpochRecord, TrainingHistory};
 pub use latency::{LatencyHistogram, LatencySummary};
 pub use table::{format_series, format_table};

@@ -3,7 +3,8 @@
 //! opt-in retries over one connection.
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, WireHealthState, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES,
+    read_frame, write_frame_meta, Frame, FrameMeta, WireHealthState, WireMode, WireStats,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::retry::RetryPolicy;
 use crate::{NetError, Result};
@@ -11,8 +12,8 @@ use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-/// Client-side socket, deadline and retry configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Client-side socket, deadline, addressing and retry configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientConfig {
     /// How long to wait for a reply before failing with
     /// [`NetError::Timeout`].
@@ -27,6 +28,15 @@ pub struct ClientConfig {
     /// or shed it once an answer would arrive too late; the same budget
     /// bounds retries. `None` (the default) means unbounded.
     pub deadline: Option<Duration>,
+    /// Which registry model this client's requests address
+    /// ([`ff_serve::DEFAULT_MODEL_ID`] by default). Carried in every
+    /// request frame's version-3 header; `Health` reports the addressed
+    /// model too.
+    pub model: u16,
+    /// Bearer token presented on every request. Required when the server
+    /// configured an [`crate::AuthPolicy`]; an unknown token (or `None`
+    /// against a closed server) yields [`crate::ErrorCode::Unauthorized`].
+    pub token: Option<String>,
     /// Retry policy for idempotent requests (Predict / Stats / Health).
     /// Disabled by default; see [`RetryPolicy::standard`].
     pub retry: RetryPolicy,
@@ -39,6 +49,8 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(10),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             deadline: None,
+            model: ff_serve::DEFAULT_MODEL_ID,
+            token: None,
             retry: RetryPolicy::default(),
         }
     }
@@ -51,6 +63,10 @@ pub struct ServerInfo {
     pub input_features: usize,
     /// Number of classes the model scores.
     pub num_classes: usize,
+    /// Swap generation of the addressed registry model: starts at 1 and
+    /// bumps on every hot-swap, so a poller can detect a rollout landing
+    /// (pre-version-3 servers report 0).
+    pub model_version: u64,
     /// Classification mode the server runs.
     pub mode: WireMode,
     /// Lifecycle phase: [`WireHealthState::Draining`] once a graceful
@@ -219,7 +235,13 @@ impl Client {
     fn call(&mut self, request: Frame) -> Result<Frame> {
         let id = request.id();
         self.with_connection(|connection, config| {
-            write_frame(&mut connection.writer, &request, config.max_frame_bytes)?;
+            write_frame_meta(
+                &mut connection.writer,
+                &request,
+                PROTOCOL_VERSION,
+                &request_meta(config),
+                config.max_frame_bytes,
+            )?;
             expect_reply(connection, config, id)
         })
     }
@@ -306,13 +328,20 @@ impl Client {
         let first_id = self.next_id;
         let mut count = 0u64;
         let outcome = self.with_connection(|connection, config| {
+            let meta = request_meta(config);
             for features in rows {
                 let frame = Frame::Predict {
                     id: first_id + count,
                     deadline_micros: wire_deadline(deadline)?,
                     features: features.to_vec(),
                 };
-                write_frame(&mut connection.writer, &frame, config.max_frame_bytes)?;
+                write_frame_meta(
+                    &mut connection.writer,
+                    &frame,
+                    PROTOCOL_VERSION,
+                    &meta,
+                    config.max_frame_bytes,
+                )?;
                 count += 1;
             }
             let mut labels = Vec::with_capacity(count as usize);
@@ -361,12 +390,14 @@ impl Client {
                 Frame::HealthReply {
                     input_features,
                     num_classes,
+                    model_version,
                     mode,
                     state,
                     ..
                 } => Ok(ServerInfo {
                     input_features: input_features as usize,
                     num_classes: num_classes as usize,
+                    model_version,
                     mode,
                     state,
                 }),
@@ -390,6 +421,15 @@ impl Client {
         };
         self.close();
         outcome
+    }
+}
+
+/// The version-3 request header this client stamps on every frame: the
+/// addressed model and the configured bearer token.
+fn request_meta(config: &ClientConfig) -> FrameMeta {
+    FrameMeta {
+        model_id: config.model,
+        token: config.token.clone(),
     }
 }
 

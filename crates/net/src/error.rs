@@ -49,6 +49,14 @@ pub enum ErrorCode {
     /// The server is draining for shutdown: in-flight requests finish, new
     /// ones are refused. Another instance (or a restart) may serve a retry.
     Draining,
+    /// The request's auth token is missing, wrong, or not authorized for
+    /// the addressed model. Retrying with the same credentials cannot
+    /// succeed.
+    Unauthorized,
+    /// The request addressed a model id the server's registry does not
+    /// hold. Deterministic for a given server configuration, so never
+    /// retried.
+    UnknownModel,
 }
 
 /// One row per code: variant, wire byte, display name, retryable.
@@ -61,6 +69,8 @@ const CODE_TABLE: &[(ErrorCode, u8, &str, bool)] = &[
     (ErrorCode::Overloaded, 6, "overloaded", true),
     (ErrorCode::DeadlineExceeded, 7, "deadline exceeded", false),
     (ErrorCode::Draining, 8, "draining", true),
+    (ErrorCode::Unauthorized, 9, "unauthorized", false),
+    (ErrorCode::UnknownModel, 10, "unknown model", false),
 ];
 
 impl ErrorCode {
@@ -286,6 +296,8 @@ mod tests {
             (ErrorCode::Overloaded, true),
             (ErrorCode::DeadlineExceeded, false),
             (ErrorCode::Draining, true),
+            (ErrorCode::Unauthorized, false),
+            (ErrorCode::UnknownModel, false),
         ] {
             assert_eq!(code.is_retryable(), retryable, "{code}");
             assert_eq!(

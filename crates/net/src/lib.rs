@@ -11,8 +11,9 @@
 //!    binary wire format (Predict / PredictBatch / Stats / Health /
 //!    Shutdown requests, typed replies and error frames; version 2 adds
 //!    per-request deadline budgets, retry-after hints, drain state and
-//!    shed counters, with version-1 peers still interoperating), built on
-//!    the shared [`ff_codec`] machinery with the same panic-free
+//!    shed counters; version 3 adds per-frame model addressing and auth
+//!    tokens, with version-1/-2 peers still interoperating), built on the
+//!    shared [`ff_codec`] machinery with the same panic-free
 //!    truncation/byte-flip hardening as the `FF8S` and `FF8C` loaders.
 //! 2. **Server** ([`NetServer`]) — accept loop + bounded connection thread
 //!    pool + per-connection framed codec with read/write timeouts,
@@ -22,11 +23,17 @@
 //!    admitted prediction funnels into the existing micro-batching engine,
 //!    so rows from different connections coalesce into shared GEMM batches
 //!    and answers stay **bit-identical** to direct
-//!    [`ff_serve::FrozenModel`] calls (per-row quantization).
+//!    [`ff_serve::FrozenModel`] calls (per-row quantization). A server can
+//!    front a whole [`ff_serve::ModelRegistry`]
+//!    ([`NetServer::bind_registry`]): requests route by the model id in
+//!    their v3 header, models hot-swap under live traffic, and bearer-token
+//!    auth with per-model ACLs ([`AuthPolicy`]) guards predictions.
 //! 3. **Client** ([`Client`]) — blocking connect/reconnect,
 //!    single-prediction and one-frame-batch calls, pipelined request waves
-//!    that collapse N round-trips into one, deadline stamping and opt-in
-//!    seeded-backoff retries ([`RetryPolicy`]) for idempotent requests.
+//!    that collapse N round-trips into one, deadline stamping, model
+//!    selection and auth tokens ([`ClientConfig::model`] /
+//!    [`ClientConfig::token`]), and opt-in seeded-backoff retries
+//!    ([`RetryPolicy`]) for idempotent requests.
 //! 4. **Fault injection** ([`fault`]) — a deterministic, seeded faulty
 //!    transport wrapper for chaos tests: partial I/O, stalls, mid-frame
 //!    resets and garbage injection from a reproducible [`fault::FaultPlan`].
@@ -90,6 +97,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod auth;
 mod client;
 mod error;
 pub mod fault;
@@ -98,11 +106,12 @@ mod retry;
 mod server;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmitError, OverloadPolicy, Permit};
+pub use auth::{AuthPolicy, AuthToken};
 pub use client::{Client, ClientConfig, ServerInfo};
 pub use error::{ErrorCode, NetError};
 pub use protocol::{
-    Frame, WireHealthState, WireMode, WireStats, DEFAULT_MAX_FRAME_BYTES, MAGIC,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    Frame, FrameMeta, WireHealthState, WireMode, WireModelStats, WireStats,
+    DEFAULT_MAX_FRAME_BYTES, MAGIC, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use retry::RetryPolicy;
 pub use server::{NetConfig, NetServer};

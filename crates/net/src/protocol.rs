@@ -15,14 +15,17 @@
 //!                              max-frame-size limit)
 //! frame            frame_len × u8 — a complete FF8P artifact:
 //!   magic          4 × u8    = "FF8P"
-//!   version        u16       = 1 or 2
-//!   flags          u16       = 0 (reserved)
+//!   version        u16       = 1, 2 or 3
+//!   flags          u16       = model id (version 3; 0 and ignored below)
+//!   v3: record "auth":
+//!     token        string (u32 length + UTF-8, ≤ 128 bytes; empty = none)
 //!   record "body":
 //!     kind         u8        — see below
 //!     kind-specific payload
 //! ```
 //!
-//! # Frame kinds (version 2; `v2:` marks fields absent in version 1)
+//! # Frame kinds (version 3; `v2:`/`v3:` mark fields absent below that
+//! version)
 //!
 //! Requests (client → server):
 //!
@@ -44,9 +47,15 @@
 //!                  mean_batch f64, latency: count u64 +
 //!                  mean/p50/p95/p99/max as u64 nanoseconds,
 //!                  v2: shed_expired u64, rejected_overload u64,
-//!                  rejected_deadline u64
+//!                  rejected_deadline u64,
+//!                  v3: model count u32, then per model: id u32,
+//!                  name string (≤ 64 bytes), version u64, swaps u64,
+//!                  requests u64, shed_expired u64, rejected_overload u64,
+//!                  rejected_deadline u64, latency count u64 +
+//!                  mean/p50/p95/p99/max as u64 nanoseconds
 //! 131 HealthReply  id u64, input_features u32, num_classes u32, mode u8,
-//!                  v2: state u8 (0 = ok, 1 = draining)
+//!                  v2: state u8 (0 = ok, 1 = draining),
+//!                  v3: model_version u64
 //! 132 ShutdownAck  id u64
 //! 133 Error        id u64, code u8, v2: retry_after_millis u32,
 //!                  message string (u32 length + UTF-8)
@@ -62,6 +71,18 @@
 //! understand. `deadline_micros` is the request's *remaining* latency
 //! budget at send time (0 = unbounded) — a relative budget survives clock
 //! skew between peers, unlike an absolute timestamp.
+//!
+//! # Multi-model addressing and auth (version 3)
+//!
+//! Version 3 puts the previously-reserved header **flags word to work as
+//! the model id** and adds a header-level **auth record** carrying an
+//! optional bearer token, both available on *every* frame kind through
+//! [`FrameMeta`]. Pre-v3 frames decode with [`FrameMeta::default`] (model
+//! id 0 — the registry's default model — and no token), which is exactly
+//! how v1/v2 clients keep working unchanged against a v3 server. Replies
+//! echo the request's model id; servers never echo the token back. The
+//! body layouts are unchanged, so the v1/v2 byte streams are identical to
+//! what previous builds emitted.
 //!
 //! Decoding is hardened exactly like the sibling loaders: every declared
 //! count is bounded by the remaining payload before allocation
@@ -79,7 +100,7 @@ use std::time::Duration;
 pub const MAGIC: [u8; 4] = *b"FF8P";
 
 /// The newest protocol version this build speaks (and writes by default).
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -101,6 +122,43 @@ const KIND_ERROR: u8 = 133;
 
 /// Bound on the length of an error reply's message string.
 const MAX_ERROR_MESSAGE_LEN: usize = 4096;
+
+/// Bound on the byte length of a version-3 auth token (generous for any
+/// reasonable shared secret, small enough that the fixed header cost stays
+/// negligible against feature payloads).
+pub const MAX_AUTH_TOKEN_LEN: usize = 128;
+
+/// Bound on the byte length of a model name in a version-3 stats reply.
+const MAX_MODEL_NAME_LEN: usize = 64;
+
+/// Per-frame header metadata introduced by protocol version 3: which
+/// registry model the frame addresses (carried in the header flags word)
+/// and an optional bearer auth token (carried in the header-level auth
+/// record).
+///
+/// [`FrameMeta::default`] — model id 0, no token — is both what v3 writers
+/// emit when the caller does not care and what decoders report for v1/v2
+/// frames, so pre-v3 peers transparently address the server's default
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrameMeta {
+    /// The registry model id this frame addresses (requests) or answers
+    /// for (replies). 0 is the registry's default model.
+    pub model_id: u16,
+    /// Bearer auth token, at most [`MAX_AUTH_TOKEN_LEN`] bytes. Replies
+    /// never carry one — a server must not echo secrets.
+    pub token: Option<String>,
+}
+
+impl FrameMeta {
+    /// Meta addressing `model_id` with no token.
+    pub fn for_model(model_id: u16) -> Self {
+        FrameMeta {
+            model_id,
+            token: None,
+        }
+    }
+}
 
 /// Which classification mode the remote server runs, as reported by
 /// [`Frame::HealthReply`].
@@ -162,10 +220,51 @@ impl WireHealthState {
     }
 }
 
+/// One registry model's serving statistics as carried by a version-3
+/// [`Frame::StatsReply`] — the wire form of [`ff_serve::ModelStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireModelStats {
+    /// The registry id requests address this model by.
+    pub id: u16,
+    /// Human-readable entry name (at most 64 bytes on the wire; longer
+    /// names are truncated on a UTF-8 boundary when encoding).
+    pub name: String,
+    /// Current model version (1 at registration, +1 per hot-swap).
+    pub version: u64,
+    /// Successful hot-swaps performed on this entry.
+    pub swaps: u64,
+    /// Requests this model answered successfully.
+    pub requests: u64,
+    /// Requests shed in the batch queue on an expired deadline.
+    pub shed_expired: u64,
+    /// Requests refused admission under overload.
+    pub rejected_overload: u64,
+    /// Requests refused on arrival with an already-expired deadline.
+    pub rejected_deadline: u64,
+    /// Queue-to-reply latency distribution (served requests only).
+    pub latency: LatencySummary,
+}
+
+impl From<ff_serve::ModelStats> for WireModelStats {
+    fn from(stats: ff_serve::ModelStats) -> Self {
+        WireModelStats {
+            id: stats.id,
+            name: stats.name,
+            version: stats.version,
+            swaps: stats.swaps,
+            requests: stats.requests,
+            shed_expired: stats.shed_expired,
+            rejected_overload: stats.rejected_overload,
+            rejected_deadline: stats.rejected_deadline,
+            latency: stats.latency,
+        }
+    }
+}
+
 /// Aggregate serving statistics as carried by [`Frame::StatsReply`] — the
 /// wire form of [`ff_serve::ServerStats`], with the latency summary
 /// flattened to nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WireStats {
     /// Requests answered successfully.
     pub requests: u64,
@@ -186,6 +285,9 @@ pub struct WireStats {
     /// Requests refused at admission because their deadline had already
     /// expired (version 2; zero from version-1 peers).
     pub rejected_deadline: u64,
+    /// Per-model statistics, ascending by id (version 3; empty from older
+    /// peers).
+    pub models: Vec<WireModelStats>,
 }
 
 impl From<ff_serve::ServerStats> for WireStats {
@@ -199,6 +301,7 @@ impl From<ff_serve::ServerStats> for WireStats {
             shed_expired: stats.shed_expired,
             rejected_overload: stats.rejected_overload,
             rejected_deadline: stats.rejected_deadline,
+            models: stats.models.into_iter().map(WireModelStats::from).collect(),
         }
     }
 }
@@ -272,6 +375,9 @@ pub enum Frame {
         /// Lifecycle phase (version 2; version-1 peers report
         /// [`WireHealthState::Ok`]).
         state: WireHealthState,
+        /// Version of the addressed model (version 3; zero from older
+        /// peers, bumped by every hot-swap).
+        model_version: u64,
     },
     /// Reply to [`Frame::Shutdown`].
     ShutdownAck {
@@ -323,22 +429,28 @@ impl Frame {
     }
 }
 
-/// Truncates an error message to the bound [`decode_frame`] enforces, on a
-/// UTF-8 boundary, so a frame this module *encodes* is always decodable by
-/// a peer running the same protocol version.
-fn bounded_error_message(message: &str) -> &str {
-    if message.len() <= MAX_ERROR_MESSAGE_LEN {
-        return message;
+/// Truncates a string to `bound` bytes on a UTF-8 boundary, so a frame
+/// this module *encodes* is always decodable by a peer running the same
+/// protocol version.
+fn bounded_str(s: &str, bound: usize) -> &str {
+    if s.len() <= bound {
+        return s;
     }
-    let mut end = MAX_ERROR_MESSAGE_LEN;
-    while !message.is_char_boundary(end) {
+    let mut end = bound;
+    while !s.is_char_boundary(end) {
         end -= 1;
     }
-    &message[..end]
+    &s[..end]
+}
+
+/// [`bounded_str`] at the error-message bound [`decode_frame`] enforces.
+fn bounded_error_message(message: &str) -> &str {
+    bounded_str(message, MAX_ERROR_MESSAGE_LEN)
 }
 
 /// Serializes a frame into its `FF8P` bytes at the newest protocol version
-/// (without the outer `u32` length prefix — [`write_frame`] adds that).
+/// with default [`FrameMeta`] (without the outer `u32` length prefix —
+/// [`write_frame`] adds that).
 ///
 /// See [`encode_frame_at`] for the version-negotiated form and the panic
 /// contract.
@@ -346,38 +458,67 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     encode_frame_at(frame, PROTOCOL_VERSION)
 }
 
+/// [`encode_frame_meta`] with default [`FrameMeta`]: the frame addresses
+/// the default model and carries no auth token.
+///
+/// # Panics
+///
+/// As for [`encode_frame_meta`].
+pub fn encode_frame_at(frame: &Frame, version: u16) -> Vec<u8> {
+    encode_frame_meta(frame, version, &FrameMeta::default())
+}
+
 /// Serializes a frame into its `FF8P` bytes at the given protocol
 /// `version`, so a server can answer an old client in the dialect its
 /// requests declared. Version-2 fields (deadlines, retry hints, health
-/// state, shed counters) are dropped when encoding at version 1.
+/// state, shed counters) are dropped when encoding at version 1; the
+/// version-3 header metadata (model id, auth token) and payload fields
+/// (per-model stats, model version) are dropped when encoding below
+/// version 3 — exactly what a pre-v3 peer cannot express.
 ///
-/// Error messages longer than the decoder's 4096-byte bound are truncated
-/// (on a UTF-8 boundary) so every emitted frame is decodable by the peer.
+/// Error messages longer than the decoder's 4096-byte bound and model
+/// names longer than 64 bytes are truncated (on a UTF-8 boundary) so every
+/// emitted frame is decodable by the peer.
 ///
 /// # Panics
 ///
 /// Panics when `version` is outside
-/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`], or when a
-/// [`Frame::PredictBatch`]'s `data` does not divide into positive
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`], when `meta.token`
+/// exceeds [`MAX_AUTH_TOKEN_LEN`] bytes (truncating a secret would send a
+/// *different* secret — a loud local failure is the only safe option), or
+/// when a [`Frame::PredictBatch`]'s `data` does not divide into positive
 /// `cols`-sized rows — a loud local failure instead of a frame whose
 /// declared geometry silently drops the ragged tail and fails with an
 /// opaque trailing-bytes error on the *peer*. [`crate::Client`] validates
 /// its inputs before constructing the frame.
-pub fn encode_frame_at(frame: &Frame, version: u16) -> Vec<u8> {
+pub fn encode_frame_meta(frame: &Frame, version: u16, meta: &FrameMeta) -> Vec<u8> {
     assert!(
         (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version),
         "cannot encode FF8P version {version} (supported: \
          {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
     );
     let v2 = version >= 2;
+    let v3 = version >= 3;
+    let token = meta.token.as_deref().unwrap_or("");
+    assert!(
+        token.len() <= MAX_AUTH_TOKEN_LEN,
+        "auth token of {} bytes exceeds the {MAX_AUTH_TOKEN_LEN}-byte limit",
+        token.len()
+    );
     let payload_estimate = match frame {
         Frame::Predict { features, .. } => 20 + 4 * features.len(),
         Frame::PredictBatch { data, .. } => 24 + 4 * data.len(),
         Frame::Labels { labels, .. } => 16 + 4 * labels.len(),
         Frame::Error { message, .. } => 24 + message.len(),
+        Frame::StatsReply { stats, .. } => 128 + 160 * stats.models.len(),
         _ => 104,
     };
-    let mut writer = Writer::with_capacity(&MAGIC, version, 12 + payload_estimate);
+    let flags = if v3 { meta.model_id } else { 0 };
+    let mut writer =
+        Writer::with_flags(&MAGIC, version, flags, 24 + token.len() + payload_estimate);
+    if v3 {
+        writer.record(|r| r.put_string(token));
+    }
     writer.record_sized(payload_estimate, |r| match frame {
         Frame::Predict {
             id,
@@ -458,6 +599,29 @@ pub fn encode_frame_at(frame: &Frame, version: u16) -> Vec<u8> {
                 r.put_u64(stats.rejected_overload);
                 r.put_u64(stats.rejected_deadline);
             }
+            if v3 {
+                r.put_u32(stats.models.len() as u32);
+                for model in &stats.models {
+                    r.put_u32(u32::from(model.id));
+                    r.put_string(bounded_str(&model.name, MAX_MODEL_NAME_LEN));
+                    r.put_u64(model.version);
+                    r.put_u64(model.swaps);
+                    r.put_u64(model.requests);
+                    r.put_u64(model.shed_expired);
+                    r.put_u64(model.rejected_overload);
+                    r.put_u64(model.rejected_deadline);
+                    r.put_u64(model.latency.count);
+                    for duration in [
+                        model.latency.mean,
+                        model.latency.p50,
+                        model.latency.p95,
+                        model.latency.p99,
+                        model.latency.max,
+                    ] {
+                        r.put_u64(duration.as_nanos().min(u64::MAX as u128) as u64);
+                    }
+                }
+            }
         }
         Frame::HealthReply {
             id,
@@ -465,6 +629,7 @@ pub fn encode_frame_at(frame: &Frame, version: u16) -> Vec<u8> {
             num_classes,
             mode,
             state,
+            model_version,
         } => {
             r.put_u8(KIND_HEALTH_REPLY);
             r.put_u64(*id);
@@ -473,6 +638,9 @@ pub fn encode_frame_at(frame: &Frame, version: u16) -> Vec<u8> {
             r.put_u8(mode.to_wire());
             if v2 {
                 r.put_u8(state.to_wire());
+            }
+            if v3 {
+                r.put_u64(*model_version);
             }
         }
         Frame::ShutdownAck { id } => {
@@ -509,18 +677,42 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
     decode_frame_versioned(bytes).map(|(frame, _)| frame)
 }
 
-/// Deserializes a frame and reports the protocol version it was written
-/// at, accepting any version in
-/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]. Version-1 frames
-/// decode with neutral defaults for the version-2 fields.
+/// [`decode_frame_meta`] without the header metadata, for callers that do
+/// not route by model or check tokens.
 ///
 /// # Errors
 ///
 /// As for [`decode_frame`].
 pub fn decode_frame_versioned(bytes: &[u8]) -> Result<(Frame, u16)> {
-    let (mut reader, version) =
-        Reader::with_versions(bytes, &MAGIC, MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION)?;
+    decode_frame_meta(bytes).map(|(frame, version, _)| (frame, version))
+}
+
+/// Deserializes a frame and reports the protocol version it was written at
+/// plus its header metadata ([`FrameMeta`]), accepting any version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]. Version-1 frames
+/// decode with neutral defaults for the version-2 fields; pre-v3 frames
+/// report [`FrameMeta::default`] (default model, no token).
+///
+/// # Errors
+///
+/// As for [`decode_frame`].
+pub fn decode_frame_meta(bytes: &[u8]) -> Result<(Frame, u16, FrameMeta)> {
+    let (mut reader, version, flags) =
+        Reader::with_versions_flags(bytes, &MAGIC, MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION)?;
     let v2 = version >= 2;
+    let v3 = version >= 3;
+    let meta = if v3 {
+        let mut auth = reader.record("auth record")?;
+        let token = auth.get_string(MAX_AUTH_TOKEN_LEN, "auth token")?;
+        auth.finish("auth record")?;
+        FrameMeta {
+            model_id: flags,
+            token: if token.is_empty() { None } else { Some(token) },
+        }
+    } else {
+        // The pre-v3 flags word is reserved-and-ignored, exactly as before.
+        FrameMeta::default()
+    };
     let mut body = reader.record("frame body")?;
     let kind = body.get_u8("frame kind")?;
     let id = body.get_u64("frame id")?;
@@ -607,6 +799,52 @@ pub fn decode_frame_versioned(bytes: &[u8]) -> Result<(Frame, u16)> {
             } else {
                 (0, 0, 0)
             };
+            let models = if v3 {
+                let model_count = body.get_u32("model stats count")? as usize;
+                // Smallest possible per-model entry: id(4) + empty name(4)
+                // + 12 × u64.
+                body.ensure_fits(model_count, 104, "model stats")?;
+                let mut models = Vec::with_capacity(model_count);
+                for _ in 0..model_count {
+                    let wire_id = body.get_u32("model stats id")?;
+                    let model_id = u16::try_from(wire_id).map_err(|_| NetError::Frame {
+                        message: format!("model stats id {wire_id} exceeds u16"),
+                    })?;
+                    let name = body.get_string(MAX_MODEL_NAME_LEN, "model stats name")?;
+                    let model_version = body.get_u64("model stats version")?;
+                    let swaps = body.get_u64("model stats swaps")?;
+                    let model_requests = body.get_u64("model stats requests")?;
+                    let model_shed = body.get_u64("model stats shed expired")?;
+                    let model_overload = body.get_u64("model stats rejected overload")?;
+                    let model_deadline = body.get_u64("model stats rejected deadline")?;
+                    let latency_count = body.get_u64("model latency count")?;
+                    let mut model_nanos = [0u64; 5];
+                    for slot in &mut model_nanos {
+                        *slot = body.get_u64("model latency quantile")?;
+                    }
+                    models.push(WireModelStats {
+                        id: model_id,
+                        name,
+                        version: model_version,
+                        swaps,
+                        requests: model_requests,
+                        shed_expired: model_shed,
+                        rejected_overload: model_overload,
+                        rejected_deadline: model_deadline,
+                        latency: LatencySummary {
+                            count: latency_count,
+                            mean: Duration::from_nanos(model_nanos[0]),
+                            p50: Duration::from_nanos(model_nanos[1]),
+                            p95: Duration::from_nanos(model_nanos[2]),
+                            p99: Duration::from_nanos(model_nanos[3]),
+                            max: Duration::from_nanos(model_nanos[4]),
+                        },
+                    });
+                }
+                models
+            } else {
+                Vec::new()
+            };
             Frame::StatsReply {
                 id,
                 stats: WireStats {
@@ -625,6 +863,7 @@ pub fn decode_frame_versioned(bytes: &[u8]) -> Result<(Frame, u16)> {
                     shed_expired,
                     rejected_overload,
                     rejected_deadline,
+                    models,
                 },
             }
         }
@@ -637,6 +876,11 @@ pub fn decode_frame_versioned(bytes: &[u8]) -> Result<(Frame, u16)> {
                 WireHealthState::from_wire(body.get_u8("health state")?)?
             } else {
                 WireHealthState::Ok
+            },
+            model_version: if v3 {
+                body.get_u64("health model version")?
+            } else {
+                0
             },
         },
         KIND_SHUTDOWN_ACK => Frame::ShutdownAck { id },
@@ -666,7 +910,7 @@ pub fn decode_frame_versioned(bytes: &[u8]) -> Result<(Frame, u16)> {
     };
     body.finish("frame body")?;
     reader.finish("frame")?;
-    Ok((frame, version))
+    Ok((frame, version, meta))
 }
 
 /// Writes one length-prefixed frame to `writer` at the newest protocol
@@ -686,8 +930,8 @@ pub fn write_frame(
 }
 
 /// Writes one length-prefixed frame to `writer`, encoded at the given
-/// protocol `version` (how the server answers a version-1 client in its
-/// own dialect).
+/// protocol `version` with default [`FrameMeta`] (how the server answers a
+/// version-1 client in its own dialect).
 ///
 /// # Errors
 ///
@@ -702,7 +946,35 @@ pub fn write_frame_at(
     version: u16,
     max_frame_bytes: usize,
 ) -> Result<()> {
-    let bytes = encode_frame_at(frame, version);
+    write_frame_meta(
+        writer,
+        frame,
+        version,
+        &FrameMeta::default(),
+        max_frame_bytes,
+    )
+}
+
+/// Writes one length-prefixed frame to `writer` with explicit header
+/// metadata — the model-addressed, token-carrying form a version-3 client
+/// stamps on every request.
+///
+/// # Errors
+///
+/// As for [`write_frame`].
+///
+/// # Panics
+///
+/// As for [`encode_frame_meta`] (unsupported version, oversized token,
+/// ragged batch).
+pub fn write_frame_meta(
+    writer: &mut impl std::io::Write,
+    frame: &Frame,
+    version: u16,
+    meta: &FrameMeta,
+    max_frame_bytes: usize,
+) -> Result<()> {
+    let bytes = encode_frame_meta(frame, version, meta);
     if bytes.len() > max_frame_bytes {
         return Err(NetError::FrameTooLarge {
             len: bytes.len(),
@@ -715,16 +987,9 @@ pub fn write_frame_at(
     Ok(())
 }
 
-/// Reads one length-prefixed frame from `reader`.
-///
-/// # Errors
-///
-/// [`NetError::Closed`] on EOF before or inside a frame,
-/// [`NetError::Timeout`] when the socket's read timeout expires,
-/// [`NetError::FrameTooLarge`] when the declared length exceeds
-/// `max_frame_bytes` (the connection cannot be resynchronized afterwards —
-/// callers close it), and decode errors as in [`decode_frame`].
-pub fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<Frame> {
+/// Reads one length-prefixed frame's bytes from `reader` (the part shared
+/// by [`read_frame`] and [`read_frame_meta`]).
+fn read_frame_bytes(reader: &mut impl Read, max_frame_bytes: usize) -> Result<Vec<u8>> {
     let mut len_bytes = [0u8; 4];
     reader.read_exact(&mut len_bytes).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -748,7 +1013,34 @@ pub fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<Fram
             NetError::from(e)
         }
     })?;
-    decode_frame(&bytes)
+    Ok(bytes)
+}
+
+/// Reads one length-prefixed frame from `reader`.
+///
+/// # Errors
+///
+/// [`NetError::Closed`] on EOF before or inside a frame,
+/// [`NetError::Timeout`] when the socket's read timeout expires,
+/// [`NetError::FrameTooLarge`] when the declared length exceeds
+/// `max_frame_bytes` (the connection cannot be resynchronized afterwards —
+/// callers close it), and decode errors as in [`decode_frame`].
+pub fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<Frame> {
+    decode_frame(&read_frame_bytes(reader, max_frame_bytes)?)
+}
+
+/// Reads one length-prefixed frame plus its declared version and header
+/// metadata from `reader` — the server-side form that learns which model a
+/// request addresses and which token it presented.
+///
+/// # Errors
+///
+/// As for [`read_frame`].
+pub fn read_frame_meta(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> Result<(Frame, u16, FrameMeta)> {
+    decode_frame_meta(&read_frame_bytes(reader, max_frame_bytes)?)
 }
 
 /// Every frame kind, with representative payloads — shared by the unit and
@@ -792,6 +1084,44 @@ pub fn sample_frames() -> Vec<Frame> {
                 shed_expired: 3,
                 rejected_overload: 17,
                 rejected_deadline: 2,
+                models: vec![
+                    WireModelStats {
+                        id: 0,
+                        name: "default".to_string(),
+                        version: 4,
+                        swaps: 3,
+                        requests: 80,
+                        shed_expired: 3,
+                        rejected_overload: 17,
+                        rejected_deadline: 2,
+                        latency: LatencySummary {
+                            count: 80,
+                            mean: Duration::from_micros(140),
+                            p50: Duration::from_micros(110),
+                            p95: Duration::from_micros(380),
+                            p99: Duration::from_micros(850),
+                            max: Duration::from_millis(2),
+                        },
+                    },
+                    WireModelStats {
+                        id: 7,
+                        name: "candidate".to_string(),
+                        version: 1,
+                        swaps: 0,
+                        requests: 20,
+                        shed_expired: 0,
+                        rejected_overload: 0,
+                        rejected_deadline: 0,
+                        latency: LatencySummary {
+                            count: 20,
+                            mean: Duration::from_micros(180),
+                            p50: Duration::from_micros(150),
+                            p95: Duration::from_micros(420),
+                            p99: Duration::from_micros(950),
+                            max: Duration::from_millis(1),
+                        },
+                    },
+                ],
             },
         },
         Frame::HealthReply {
@@ -800,6 +1130,7 @@ pub fn sample_frames() -> Vec<Frame> {
             num_classes: 10,
             mode: WireMode::Goodness,
             state: WireHealthState::Draining,
+            model_version: 4,
         },
         Frame::ShutdownAck { id: 9 },
         Frame::Error {
@@ -826,48 +1157,128 @@ mod tests {
         }
     }
 
-    /// A sample frame's v2-only payload zeroed/defaulted, for comparing
-    /// against a version-1 round trip.
-    fn downgraded(frame: &Frame) -> Frame {
+    /// A sample frame's payload fields above `version` zeroed/defaulted,
+    /// for comparing against an old-version round trip.
+    fn downgraded(frame: &Frame, version: u16) -> Frame {
         let mut frame = frame.clone();
-        match &mut frame {
-            Frame::Predict {
-                deadline_micros, ..
+        if version < 3 {
+            match &mut frame {
+                Frame::StatsReply { stats, .. } => stats.models.clear(),
+                Frame::HealthReply { model_version, .. } => *model_version = 0,
+                _ => {}
             }
-            | Frame::PredictBatch {
-                deadline_micros, ..
-            } => *deadline_micros = 0,
-            Frame::Error {
-                retry_after_millis, ..
-            } => *retry_after_millis = 0,
-            Frame::HealthReply { state, .. } => *state = WireHealthState::Ok,
-            Frame::StatsReply { stats, .. } => {
-                stats.shed_expired = 0;
-                stats.rejected_overload = 0;
-                stats.rejected_deadline = 0;
+        }
+        if version < 2 {
+            match &mut frame {
+                Frame::Predict {
+                    deadline_micros, ..
+                }
+                | Frame::PredictBatch {
+                    deadline_micros, ..
+                } => *deadline_micros = 0,
+                Frame::Error {
+                    retry_after_millis, ..
+                } => *retry_after_millis = 0,
+                Frame::HealthReply { state, .. } => *state = WireHealthState::Ok,
+                Frame::StatsReply { stats, .. } => {
+                    stats.shed_expired = 0;
+                    stats.rejected_overload = 0;
+                    stats.rejected_deadline = 0;
+                }
+                _ => {}
             }
-            _ => {}
         }
         frame
     }
 
     #[test]
-    fn version_1_frames_roundtrip_with_neutral_defaults() {
-        for frame in sample_frames() {
-            let bytes = encode_frame_at(&frame, 1);
-            let (decoded, version) =
-                decode_frame_versioned(&bytes).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
-            assert_eq!(version, 1);
-            assert_eq!(decoded, downgraded(&frame), "v2 fields drop to defaults");
-            // Version-1 re-encoding is verbatim too.
-            assert_eq!(encode_frame_at(&decoded, 1), bytes);
+    fn old_version_frames_roundtrip_with_neutral_defaults() {
+        for version in MIN_PROTOCOL_VERSION..PROTOCOL_VERSION {
+            for frame in sample_frames() {
+                let bytes = encode_frame_at(&frame, version);
+                let (decoded, decoded_version, meta) =
+                    decode_frame_meta(&bytes).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+                assert_eq!(decoded_version, version);
+                assert_eq!(
+                    decoded,
+                    downgraded(&frame, version),
+                    "newer fields drop to defaults at v{version}"
+                );
+                assert_eq!(meta, FrameMeta::default(), "pre-v3 frames have no meta");
+                // Old-version re-encoding is verbatim too.
+                assert_eq!(encode_frame_at(&decoded, version), bytes);
+            }
         }
     }
 
     #[test]
-    fn version_2_frames_report_their_version() {
+    fn newest_version_frames_report_their_version() {
         let (_, version) = decode_frame_versioned(&encode_frame(&Frame::Stats { id: 1 })).unwrap();
         assert_eq!(version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn frame_meta_roundtrips_model_id_and_token() {
+        let meta = FrameMeta {
+            model_id: 513,
+            token: Some("s3cret-token".to_string()),
+        };
+        for frame in sample_frames() {
+            let bytes = encode_frame_meta(&frame, PROTOCOL_VERSION, &meta);
+            let (decoded, version, decoded_meta) =
+                decode_frame_meta(&bytes).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+            assert_eq!(version, PROTOCOL_VERSION);
+            assert_eq!(decoded, frame);
+            assert_eq!(decoded_meta, meta);
+        }
+        // An absent token encodes as the empty string and decodes to None.
+        let bytes = encode_frame_meta(&Frame::Stats { id: 1 }, 3, &FrameMeta::for_model(9));
+        let (_, _, decoded_meta) = decode_frame_meta(&bytes).unwrap();
+        assert_eq!(decoded_meta, FrameMeta::for_model(9));
+        assert_eq!(decoded_meta.token, None);
+    }
+
+    #[test]
+    fn frame_meta_is_dropped_below_version_3() {
+        let meta = FrameMeta {
+            model_id: 7,
+            token: Some("tok".to_string()),
+        };
+        for version in [1, 2] {
+            let bytes = encode_frame_meta(&Frame::Stats { id: 1 }, version, &meta);
+            // Pre-v3 encodings are byte-identical with and without meta:
+            // the dialect simply cannot express it.
+            assert_eq!(bytes, encode_frame_at(&Frame::Stats { id: 1 }, version));
+            let (_, _, decoded_meta) = decode_frame_meta(&bytes).unwrap();
+            assert_eq!(decoded_meta, FrameMeta::default());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 128-byte limit")]
+    fn oversized_auth_tokens_panic_at_encode_time() {
+        // Truncating a secret would present a *different* secret.
+        let meta = FrameMeta {
+            model_id: 0,
+            token: Some("x".repeat(MAX_AUTH_TOKEN_LEN + 1)),
+        };
+        encode_frame_meta(&Frame::Stats { id: 1 }, PROTOCOL_VERSION, &meta);
+    }
+
+    #[test]
+    fn oversized_auth_tokens_are_rejected_at_decode_time() {
+        // Craft a frame whose auth record declares a token longer than the
+        // bound: the decoder must refuse before allocating.
+        let meta = FrameMeta {
+            model_id: 0,
+            token: Some("x".repeat(MAX_AUTH_TOKEN_LEN)),
+        };
+        let mut bytes = encode_frame_meta(&Frame::Stats { id: 1 }, PROTOCOL_VERSION, &meta);
+        // Token string length sits after header(8) + auth record len(4).
+        let len_offset = 12;
+        bytes[len_offset..len_offset + 4]
+            .copy_from_slice(&((MAX_AUTH_TOKEN_LEN + 1) as u32).to_le_bytes());
+        assert!(decode_frame_meta(&bytes).is_err());
     }
 
     #[test]
@@ -937,9 +1348,10 @@ mod tests {
             decode_frame(&encode_frame(&empty)),
             Err(NetError::Frame { .. })
         ));
-        // Zero-geometry batch: patch the rows field (offset 25: header 8 +
-        // record len 4 + kind 1 + id 8 + deadline 4) of a valid frame to
-        // zero — the encoder refuses to build such a frame itself.
+        // Zero-geometry batch: patch the rows field (offset 33: header 8 +
+        // empty auth record 8 + record len 4 + kind 1 + id 8 + deadline 4)
+        // of a valid frame to zero — the encoder refuses to build such a
+        // frame itself.
         let batch = Frame::PredictBatch {
             id: 1,
             deadline_micros: 0,
@@ -947,14 +1359,15 @@ mod tests {
             data: vec![0.0; 3],
         };
         let mut degenerate = encode_frame(&batch);
-        degenerate[25..29].copy_from_slice(&0u32.to_le_bytes());
+        degenerate[33..37].copy_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             decode_frame(&degenerate),
             Err(NetError::Frame { .. })
         ));
-        // Unknown kind byte: header(8) + record len(4), kind is byte 12.
+        // Unknown kind byte: header(8) + empty auth record(8) + record
+        // len(4), kind is byte 20.
         let mut bytes = encode_frame(&Frame::Stats { id: 1 });
-        bytes[12] = 77;
+        bytes[20] = 77;
         assert!(matches!(decode_frame(&bytes), Err(NetError::Frame { .. })));
         // Wrong magic / version.
         let mut wrong = encode_frame(&Frame::Stats { id: 1 });
@@ -1008,9 +1421,9 @@ mod tests {
             features: vec![1.0, 2.0],
         };
         let mut bytes = encode_frame(&frame);
-        // Feature count sits after header(8) + record len(4) + kind(1) +
-        // id(8) + deadline(4).
-        let count_offset = 25;
+        // Feature count sits after header(8) + empty auth record(8) +
+        // record len(4) + kind(1) + id(8) + deadline(4).
+        let count_offset = 33;
         bytes[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(NetError::Codec(_))));
     }

@@ -46,7 +46,13 @@
 //! Each connection is answered in the dialect it speaks: the reader notes
 //! the `FF8P` version of every request frame, and replies are encoded at
 //! that version, so version-1 clients receive frames without the version-2
-//! fields (deadlines, retry hints, health state, shed counters).
+//! fields (deadlines, retry hints, health state, shed counters) and
+//! version-1/-2 clients receive frames without the version-3 header meta
+//! (model id, auth record) or payload extensions (per-model stats, health
+//! model version). Pre-v3 requests carry no model id and route to the
+//! registry's default model; they carry no token either, so they pass auth
+//! only under an open [`AuthPolicy`] — configuring tokens deliberately
+//! locks out clients too old to present one.
 //!
 //! # Shutdown: two-phase drain
 //!
@@ -65,13 +71,15 @@
 //!    in flight.
 
 use crate::admission::{AdmissionConfig, AdmissionGate, AdmitError};
+use crate::auth::AuthPolicy;
 use crate::protocol::{
-    decode_frame_versioned, write_frame_at, Frame, WireHealthState, WireMode,
+    decode_frame_meta, write_frame_meta, Frame, FrameMeta, WireHealthState, WireMode,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::{ErrorCode, NetError, Result};
 use ff_serve::{
-    FrozenModel, ServeConfig, ServeError, ServeHandle, ServeMode, Server, ShedCounters,
+    FrozenModel, ModelRegistry, ServeConfig, ServeError, ServeHandle, ServeMode, Server,
+    ShedCounters,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -81,7 +89,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Network front-end configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetConfig {
     /// Connection-handler threads — the bound on concurrently serviced
     /// connections (excess connections queue unserviced).
@@ -102,6 +110,9 @@ pub struct NetConfig {
     pub max_frame_bytes: usize,
     /// Admission-control sizing and overload policy.
     pub admission: AdmissionConfig,
+    /// Bearer-token auth for predictions and shutdown (default: open — no
+    /// tokens required, matching pre-v3 behavior).
+    pub auth: AuthPolicy,
     /// Configuration of the inner micro-batching engine.
     pub serve: ServeConfig,
 }
@@ -116,6 +127,7 @@ impl Default for NetConfig {
             drain_budget: Duration::from_secs(5),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             admission: AdmissionConfig::default(),
+            auth: AuthPolicy::default(),
             serve: ServeConfig::default(),
         }
     }
@@ -189,6 +201,25 @@ impl NetServer {
     /// when the bind fails, and engine-start errors rendered as
     /// [`NetError::Remote`] with [`ErrorCode::Internal`].
     pub fn bind(model: FrozenModel, addr: impl ToSocketAddrs, config: NetConfig) -> Result<Self> {
+        Self::bind_registry(ModelRegistry::new(model), addr, config)
+    }
+
+    /// Like [`NetServer::bind`], but fronting a whole [`ModelRegistry`]:
+    /// requests route by the model id carried in their version-3 frame
+    /// header (version-1/-2 frames, which cannot carry one, go to the
+    /// registry's default model), every model shares the one micro-batcher
+    /// and admission gate, and entries can be hot-swapped under live
+    /// traffic via the registry handle ([`NetServer::handle`] →
+    /// [`ff_serve::ServeHandle::registry`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`NetServer::bind`].
+    pub fn bind_registry(
+        registry: ModelRegistry,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<Self> {
         if config.conn_threads == 0 {
             return Err(NetError::Frame {
                 message: "config.conn_threads must be positive".to_string(),
@@ -214,20 +245,21 @@ impl NetServer {
                 message: "config.admission.max_in_flight_rows must be positive".to_string(),
             });
         }
-        let engine = Server::start(model, config.serve).map_err(serve_to_net)?;
+        let engine = Server::start_registry(registry, config.serve).map_err(serve_to_net)?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let admission = config.admission;
         let shared = Arc::new(NetShared {
             handle: engine.handle(),
             counters: engine.handle().shed_counters(),
             config,
             phase: AtomicU8::new(PHASE_RUNNING),
             local_addr,
-            gate: AdmissionGate::new(config.admission),
+            gate: AdmissionGate::new(admission),
         });
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let handlers = (0..config.conn_threads)
+        let handlers = (0..shared.config.conn_threads)
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 let conn_rx = Arc::clone(&conn_rx);
@@ -372,16 +404,22 @@ fn handler_loop(shared: &NetShared, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 
 /// What the connection's reader hands its reply writer, in request order.
 /// Every variant carries the peer protocol version its reply must be
-/// encoded at.
+/// encoded at and the header meta to echo (the request's model id — never
+/// the auth token).
 enum Outgoing {
     /// A reply that is already complete (stats, health, errors, acks).
-    Ready { frame: Frame, version: u16 },
+    Ready {
+        frame: Frame,
+        version: u16,
+        meta: FrameMeta,
+    },
     /// Predictions already submitted to the micro-batcher; the writer waits
     /// for them, builds the `Labels` (or error) reply, and releases the
     /// admission permit once the reply is written.
     Deferred {
         id: u64,
         version: u16,
+        meta: FrameMeta,
         pendings: Vec<ff_serve::PendingPrediction>,
         permit: crate::admission::Permit,
     },
@@ -535,6 +573,7 @@ fn connection_reader_loop(
                     message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
                 },
                 version: peer_version,
+                meta: FrameMeta::default(),
             });
             return Ok(());
         }
@@ -544,10 +583,10 @@ fn connection_reader_loop(
             Fill::Eof | Fill::Idle | Fill::Aborted => return Ok(()),
         }
         last_activity = Instant::now();
-        let frame = match decode_frame_versioned(&bytes) {
-            Ok((frame, version)) => {
+        let (frame, meta) = match decode_frame_meta(&bytes) {
+            Ok((frame, version, meta)) => {
                 peer_version = version;
-                frame
+                (frame, meta)
             }
             Err(error) => {
                 let _ = out_tx.send(Outgoing::Ready {
@@ -558,12 +597,22 @@ fn connection_reader_loop(
                         message: error.to_string(),
                     },
                     version: peer_version,
+                    meta: FrameMeta::default(),
                 });
                 return Ok(());
             }
         };
-        let shutdown_after = matches!(frame, Frame::Shutdown { .. });
-        let outgoing = handle_request(shared, frame, peer_version);
+        let outgoing = handle_request(shared, frame, &meta, peer_version);
+        // Only an *acknowledged* shutdown drains the server — an
+        // unauthenticated Shutdown frame is answered `Unauthorized` and
+        // changes nothing.
+        let shutdown_after = matches!(
+            &outgoing,
+            Outgoing::Ready {
+                frame: Frame::ShutdownAck { .. },
+                ..
+            }
+        );
         if out_tx.send(outgoing).is_err() {
             return Ok(()); // writer gone (write failure): close
         }
@@ -590,11 +639,16 @@ fn reply_writer_loop(
     alive: &AtomicBool,
 ) {
     for outgoing in out_rx {
-        let (frame, version, permit) = match outgoing {
-            Outgoing::Ready { frame, version } => (frame, version, None),
+        let (frame, version, meta, permit) = match outgoing {
+            Outgoing::Ready {
+                frame,
+                version,
+                meta,
+            } => (frame, version, meta, None),
             Outgoing::Deferred {
                 id,
                 version,
+                meta,
                 pendings,
                 permit,
             } => {
@@ -612,10 +666,10 @@ fn reply_writer_loop(
                     None => Frame::Labels { id, labels },
                     Some(error) => error_reply(id, &error),
                 };
-                (frame, version, Some(permit))
+                (frame, version, meta, Some(permit))
             }
         };
-        let outcome = write_frame_at(&mut writer, &frame, version, max_frame_bytes);
+        let outcome = write_frame_meta(&mut writer, &frame, version, &meta, max_frame_bytes);
         // The admission slot is held until the reply hit the socket (or the
         // peer proved unreachable); dropping the channel on early exit
         // releases the permits of any still-queued replies.
@@ -636,17 +690,26 @@ fn retry_hint_millis(hint: Duration) -> u32 {
 /// to the micro-batcher without blocking (replies never fail to build;
 /// engine errors become typed error frames).
 ///
+/// `meta` is the request's decoded header: predictions are authorized
+/// against its auth token and routed to its model id, `Health` reports the
+/// addressed model, and `Shutdown` must authenticate. Replies echo the
+/// model id (never the token). Version-1/-2 frames arrive with the default
+/// meta — model id 0 and no token — which routes them to the registry's
+/// default model and, under an open [`AuthPolicy`], keeps them working
+/// unchanged.
+///
 /// Predictions pass the admission gate first; refusals are answered with
 /// machine-readable `Overloaded` / `DeadlineExceeded` / `Draining` codes so
 /// clients can distinguish "retry later" from "give up".
-fn handle_request(shared: &NetShared, frame: Frame, version: u16) -> Outgoing {
+fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u16) -> Outgoing {
     let id = frame.id();
+    let reply_meta = FrameMeta::for_model(meta.model_id);
     match frame {
         Frame::Predict {
             id,
             deadline_micros,
             features,
-        } => submit_prediction(shared, id, version, deadline_micros, &features, 1),
+        } => submit_prediction(shared, id, version, meta, deadline_micros, &features, 1),
         Frame::PredictBatch {
             id,
             deadline_micros,
@@ -654,22 +717,35 @@ fn handle_request(shared: &NetShared, frame: Frame, version: u16) -> Outgoing {
             data,
         } => {
             let rows = data.len() / cols as usize;
-            submit_prediction(shared, id, version, deadline_micros, &data, rows)
+            submit_prediction(shared, id, version, meta, deadline_micros, &data, rows)
         }
+        // Stats and Health stay open (see `crate::auth`): they carry no
+        // tenant data and are what dashboards and load balancers poll.
         Frame::Stats { id } => Outgoing::Ready {
             frame: Frame::StatsReply {
                 id,
                 stats: shared.handle.stats().into(),
             },
             version,
+            meta: reply_meta,
         },
         Frame::Health { id } => {
-            let model = shared.handle.model();
+            let snapshot = match shared.handle.resolve(meta.model_id) {
+                Ok(snapshot) => snapshot,
+                Err(error) => {
+                    return Outgoing::Ready {
+                        frame: error_reply(id, &error),
+                        version,
+                        meta: reply_meta,
+                    }
+                }
+            };
             Outgoing::Ready {
                 frame: Frame::HealthReply {
                     id,
-                    input_features: model.input_features() as u32,
-                    num_classes: model.num_classes() as u32,
+                    input_features: snapshot.model().input_features() as u32,
+                    num_classes: snapshot.model().num_classes() as u32,
+                    model_version: snapshot.entry().version(),
                     mode: match shared.config.serve.mode {
                         ServeMode::Logits => WireMode::Logits,
                         ServeMode::Goodness => WireMode::Goodness,
@@ -681,12 +757,19 @@ fn handle_request(shared: &NetShared, frame: Frame, version: u16) -> Outgoing {
                     },
                 },
                 version,
+                meta: reply_meta,
             }
         }
-        Frame::Shutdown { id } => Outgoing::Ready {
-            frame: Frame::ShutdownAck { id },
-            version,
-        },
+        Frame::Shutdown { id } => {
+            if !shared.config.auth.authenticate(meta.token.as_deref()) {
+                return unauthorized_reply(id, version, reply_meta);
+            }
+            Outgoing::Ready {
+                frame: Frame::ShutdownAck { id },
+                version,
+                meta: reply_meta,
+            }
+        }
         // A reply frame arriving at the server is a protocol violation.
         other => Outgoing::Ready {
             frame: Frame::Error {
@@ -696,20 +779,53 @@ fn handle_request(shared: &NetShared, frame: Frame, version: u16) -> Outgoing {
                 message: format!("server received a non-request frame ({other:?})"),
             },
             version,
+            meta: reply_meta,
         },
     }
 }
 
-/// Admission-gates `rows` rows of features and submits them row-by-row to
-/// the micro-batcher, stamping each with the request's deadline.
+/// The `Unauthorized` refusal. The message deliberately names neither the
+/// presented token nor which configured token was closest.
+fn unauthorized_reply(id: u64, version: u16, meta: FrameMeta) -> Outgoing {
+    Outgoing::Ready {
+        frame: Frame::Error {
+            id,
+            code: ErrorCode::Unauthorized,
+            retry_after_millis: 0,
+            message: "missing or invalid auth token".to_string(),
+        },
+        version,
+        meta,
+    }
+}
+
+/// Authorizes, routes, admission-gates and submits `rows` rows of features
+/// row-by-row to the micro-batcher, stamping each with the request's
+/// deadline.
+///
+/// The model snapshot is resolved **once** and every row submitted against
+/// it, so one request's rows are all answered by the same model epoch even
+/// if the entry is hot-swapped mid-request. Rejections bump both the global
+/// shed counters and the addressed model's.
 fn submit_prediction(
     shared: &NetShared,
     id: u64,
     version: u16,
+    meta: &FrameMeta,
     deadline_micros: u32,
     features: &[f32],
     rows: usize,
 ) -> Outgoing {
+    let reply_meta = FrameMeta::for_model(meta.model_id);
+    // Auth precedes existence: an unauthorized peer probing ids learns
+    // nothing about which models are registered.
+    if !shared
+        .config
+        .auth
+        .authorize(meta.token.as_deref(), meta.model_id)
+    {
+        return unauthorized_reply(id, version, reply_meta);
+    }
     let deadline = (deadline_micros > 0)
         .then(|| Instant::now() + Duration::from_micros(deadline_micros.into()));
     if shared.phase() >= PHASE_DRAINING {
@@ -721,12 +837,24 @@ fn submit_prediction(
                 message: "server is draining; retry against a live instance".to_string(),
             },
             version,
+            meta: reply_meta,
         };
     }
+    let snapshot = match shared.handle.resolve(meta.model_id) {
+        Ok(snapshot) => snapshot,
+        Err(error) => {
+            return Outgoing::Ready {
+                frame: error_reply(id, &error),
+                version,
+                meta: reply_meta,
+            }
+        }
+    };
     let permit = match shared.gate.try_admit(rows, deadline) {
         Ok(permit) => permit,
         Err(AdmitError::Overloaded { retry_after }) => {
             shared.counters.rejected_overload.inc();
+            snapshot.entry().shed_counters().rejected_overload.inc();
             return Outgoing::Ready {
                 frame: Frame::Error {
                     id,
@@ -738,10 +866,12 @@ fn submit_prediction(
                     ),
                 },
                 version,
+                meta: reply_meta,
             };
         }
         Err(AdmitError::DeadlineExpired) => {
             shared.counters.rejected_deadline.inc();
+            snapshot.entry().shed_counters().rejected_deadline.inc();
             return Outgoing::Ready {
                 frame: Frame::Error {
                     id,
@@ -750,19 +880,21 @@ fn submit_prediction(
                     message: "deadline budget expired before admission".to_string(),
                 },
                 version,
+                meta: reply_meta,
             };
         }
     };
     let cols = features.len() / rows;
     let mut pendings = Vec::with_capacity(rows);
     for row in features.chunks_exact(cols) {
-        match shared.handle.submit_with_deadline(row, deadline) {
+        match shared.handle.submit_snapshot(&snapshot, row, deadline) {
             Ok(pending) => pendings.push(pending),
             // The permit drops here, releasing the partial admission.
             Err(error) => {
                 return Outgoing::Ready {
                     frame: error_reply(id, &error),
                     version,
+                    meta: reply_meta,
                 }
             }
         }
@@ -770,6 +902,7 @@ fn submit_prediction(
     Outgoing::Deferred {
         id,
         version,
+        meta: reply_meta,
         pendings,
         permit,
     }
@@ -778,6 +911,7 @@ fn submit_prediction(
 fn error_reply(id: u64, error: &ServeError) -> Frame {
     let code = match error {
         ServeError::BadRequest { .. } => ErrorCode::BadRequest,
+        ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
         ServeError::ServerClosed => ErrorCode::ServerClosed,
         ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
         _ => ErrorCode::Internal,

@@ -312,7 +312,8 @@ fn corrupted_requests_get_typed_errors_not_crashes() {
                 Ok(Frame::Labels { .. }) => {}
                 // Structural flips: typed error frame. (A flip in the
                 // deadline field arrives already-expired; a flip in the
-                // width metadata is a bad request.)
+                // width metadata is a bad request; a flip in the v3 flags
+                // word addresses a model that is not registered.)
                 Ok(Frame::Error { code, .. }) => assert!(
                     matches!(
                         code,
@@ -320,6 +321,7 @@ fn corrupted_requests_get_typed_errors_not_crashes() {
                             | ErrorCode::FrameTooLarge
                             | ErrorCode::BadRequest
                             | ErrorCode::DeadlineExceeded
+                            | ErrorCode::UnknownModel
                     ),
                     "offset {offset}: unexpected code {code:?}"
                 ),

@@ -45,6 +45,11 @@ pub enum ServeError {
         /// What is wrong with the request.
         message: String,
     },
+    /// A request addressed a model id the registry does not hold.
+    UnknownModel {
+        /// The model id the request asked for.
+        id: u16,
+    },
     /// The server has shut down (or its worker dropped the reply channel).
     ServerClosed,
     /// The request's deadline expired while it waited in the batch queue —
@@ -71,6 +76,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),
             ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::UnknownModel { id } => {
+                write!(f, "no model registered under id {id}")
+            }
             ServeError::ServerClosed => write!(f, "server closed"),
             ServeError::DeadlineExceeded => {
                 write!(f, "deadline expired before the request was served")
@@ -130,6 +138,7 @@ mod tests {
             ServeError::BadRequest {
                 message: "784 features expected".into(),
             },
+            ServeError::UnknownModel { id: 3 },
             ServeError::ServerClosed,
             ServeError::DeadlineExceeded,
             TensorError::InvalidParameter {

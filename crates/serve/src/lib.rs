@@ -20,6 +20,12 @@
 //!    INT8 GEMMs under a max-batch/max-wait [`BatchPolicy`], replying
 //!    through per-request channels and recording latency percentiles
 //!    ([`ff_metrics::LatencyHistogram`]).
+//! 4. **Multi-model** — a [`ModelRegistry`] puts many named, versioned
+//!    frozen models behind one worker pool, addressed per request by a
+//!    `u16` model id, each entry **atomically hot-swappable** from a
+//!    training checkpoint ([`ModelRegistry::swap_from_checkpoint`]) with
+//!    zero downtime and no torn replies (see the registry module docs for
+//!    the epoch-pointer memory-ordering contract).
 //!
 //! Both classification modes are supported: logits argmax and the FF-native
 //! per-label goodness sweep with all candidate overlays batched into one
@@ -68,11 +74,13 @@
 mod error;
 mod format;
 mod model;
+mod registry;
 mod server;
 
 pub use error::ServeError;
 pub use format::{load_bytes, save_bytes, FORMAT_VERSION, MAGIC};
 pub use model::{FrozenDense, FrozenLayer, FrozenModel};
+pub use registry::{ModelEntry, ModelRegistry, ModelSnapshot, ModelStats, DEFAULT_MODEL_ID};
 pub use server::{
     BatchPolicy, PendingPrediction, Prediction, ServeConfig, ServeHandle, ServeMode, Server,
     ServerStats, ShedCounters,

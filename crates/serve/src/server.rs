@@ -12,8 +12,9 @@
 //!                                                  more until max_batch
 //!                                                  or max_wait ──▶ one
 //!                                                  batched INT8 GEMM per
-//!                                                  layer ──▶ per-request
-//!                                                  reply channels
+//!                                                  layer, per model epoch
+//!                                                  ──▶ per-request reply
+//!                                                  channels
 //! ```
 //!
 //! Requests are submitted through a cloneable [`ServeHandle`] and answered
@@ -24,6 +25,16 @@
 //! under load batches fill instantly, while a lone request pays at most the
 //! configured wait.
 //!
+//! # Many models, one queue
+//!
+//! The server fronts a whole [`crate::ModelRegistry`]: requests address a
+//! model id ([`ServeHandle::submit_to`]) and share one queue and one worker
+//! pool, so capacity flows to whichever model is hot. Each request pins its
+//! model epoch at submit time (a [`crate::ModelSnapshot`]); a worker groups
+//! an assembled batch by pinned epoch and runs **one GEMM per group**, so a
+//! hot-swap landing mid-batch can never mix two models' weights in one
+//! answer wave.
+//!
 //! Because frozen models quantize per row (see [`crate::FrozenModel`]), a
 //! request's prediction is **bit-identical no matter which batch it lands
 //! in** — batching is purely a throughput optimization, verified by the
@@ -33,7 +44,7 @@
 //! runs its batch GEMMs with [`ServeConfig::gemm_threads`] threads
 //! (default 1), so the canonical scaling axis is the worker count.
 
-use crate::{FrozenModel, Result, ServeError};
+use crate::{FrozenModel, ModelRegistry, ModelSnapshot, ModelStats, Result, ServeError};
 use ff_metrics::{Counter, LatencyHistogram, LatencySummary};
 use ff_tensor::Tensor;
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -110,11 +121,16 @@ impl Default for ServeConfig {
 pub struct Prediction {
     /// The predicted class label.
     pub label: usize,
-    /// The batch size this request was served in (1 = rode alone).
+    /// The size of the same-model GEMM group this request was served in
+    /// (1 = rode alone).
     pub batch_size: usize,
 }
 
 struct Request {
+    /// The (entry, model-epoch) pair pinned at submit time — the worker
+    /// serves exactly this epoch no matter how many swaps land while the
+    /// request queues.
+    snapshot: ModelSnapshot,
     features: Vec<f32>,
     enqueued: Instant,
     /// Absolute point after which the answer is worthless: the worker sheds
@@ -131,11 +147,11 @@ enum Job {
 }
 
 /// Aggregate serving statistics, readable at any time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Requests answered successfully.
     pub requests: u64,
-    /// Batches executed.
+    /// Same-model GEMM groups executed.
     pub batches: u64,
     /// Mean requests per batch.
     pub mean_batch: f64,
@@ -152,6 +168,8 @@ pub struct ServerStats {
     pub rejected_deadline: u64,
     /// Queue-to-reply latency distribution (served requests only).
     pub latency: LatencySummary,
+    /// Per-model statistics for every registry entry, ascending by id.
+    pub models: Vec<ModelStats>,
 }
 
 /// Cloneable handles onto the server's load-shedding counters.
@@ -159,7 +177,9 @@ pub struct ServerStats {
 /// The `shed_expired` counter is bumped by the workers themselves; the
 /// `rejected_*` counters exist so a front-end (the `ff-net` admission gate)
 /// can record refusals **it** makes into the same [`ServerStats`] snapshot
-/// every [`ServeHandle::stats`] caller sees.
+/// every [`ServeHandle::stats`] caller sees. Per-model front-ends should
+/// additionally bump the addressed entry's counters
+/// ([`crate::ModelEntry::shed_counters`]).
 #[derive(Debug, Clone, Default)]
 pub struct ShedCounters {
     /// Deadline expired while queued; shed by a worker before the GEMM.
@@ -179,7 +199,7 @@ struct StatsInner {
 }
 
 struct Shared {
-    model: Arc<FrozenModel>,
+    registry: ModelRegistry,
     config: ServeConfig,
     /// Taken (and dropped) by [`Server::shutdown`] after the workers join,
     /// which closes the channel: late sends fail and any still-queued
@@ -225,8 +245,8 @@ impl PendingPrediction {
 }
 
 impl ServeHandle {
-    /// Enqueues one sample **without waiting** and returns a
-    /// [`PendingPrediction`] to collect later.
+    /// Enqueues one sample for the **default model** without waiting and
+    /// returns a [`PendingPrediction`] to collect later.
     ///
     /// This is the building block of every pipelined path: submitting many
     /// samples before waiting lets the worker pool coalesce them into large
@@ -254,8 +274,46 @@ impl ServeHandle {
         features: &[f32],
         deadline: Option<Instant>,
     ) -> Result<PendingPrediction> {
+        self.submit_to(self.shared.registry.default_id(), features, deadline)
+    }
+
+    /// [`ServeHandle::submit_with_deadline`] addressed to a registry model.
+    ///
+    /// The model epoch is pinned here, at submit time; callers submitting a
+    /// related wave of rows should resolve once ([`ServeHandle::resolve`])
+    /// and use [`ServeHandle::submit_snapshot`] so the whole wave is
+    /// guaranteed to be answered by one epoch even if a hot-swap lands
+    /// mid-wave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id and
+    /// [`ServeError::ServerClosed`] when the server has shut down.
+    pub fn submit_to(
+        &self,
+        model_id: u16,
+        features: &[f32],
+        deadline: Option<Instant>,
+    ) -> Result<PendingPrediction> {
+        let snapshot = self.shared.registry.resolve(model_id)?;
+        self.submit_snapshot(&snapshot, features, deadline)
+    }
+
+    /// Enqueues one sample against an already-resolved model epoch — the
+    /// torn-reply-prevention primitive (see [`ModelSnapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ServerClosed`] when the server has shut down.
+    pub fn submit_snapshot(
+        &self,
+        snapshot: &ModelSnapshot,
+        features: &[f32],
+        deadline: Option<Instant>,
+    ) -> Result<PendingPrediction> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let request = Request {
+            snapshot: snapshot.clone(),
             features: features.to_vec(),
             enqueued: Instant::now(),
             deadline,
@@ -267,7 +325,18 @@ impl ServeHandle {
         Ok(PendingPrediction { rx: reply_rx })
     }
 
-    /// Submits one sample and blocks until its prediction is ready.
+    /// Resolves a model id to a pinned (entry, epoch) snapshot — resolve
+    /// once per request wave, then submit every row through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id.
+    pub fn resolve(&self, model_id: u16) -> Result<ModelSnapshot> {
+        self.shared.registry.resolve(model_id)
+    }
+
+    /// Submits one sample to the default model and blocks until its
+    /// prediction is ready.
     ///
     /// # Errors
     ///
@@ -279,26 +348,45 @@ impl ServeHandle {
     }
 
     /// Submits many samples at once and blocks until every prediction is
-    /// ready, preserving input order.
-    ///
-    /// All requests enter the queue **before** the first reply is awaited,
-    /// so the worker pool coalesces them into large GEMM batches — this is
-    /// the in-process half of the pipelined network path (`ff-net` funnels
-    /// `PredictBatch` frames through it). Per-row quantization keeps every
-    /// answer bit-identical to a lone [`ServeHandle::predict`] call.
+    /// ready, preserving input order — the default-model form of
+    /// [`ServeHandle::predict_many_to`].
     ///
     /// # Errors
     ///
-    /// Returns the first per-row error ([`ServeError::BadRequest`] for a
-    /// wrong-width row) or [`ServeError::ServerClosed`] when the server has
-    /// shut down; rows are all-or-nothing from the caller's perspective.
+    /// As [`ServeHandle::predict_many_to`].
     pub fn predict_many<'r, I>(&self, rows: I) -> Result<Vec<Prediction>>
     where
         I: IntoIterator<Item = &'r [f32]>,
     {
+        self.predict_many_to(self.shared.registry.default_id(), rows)
+    }
+
+    /// Submits many samples against one model and blocks until every
+    /// prediction is ready, preserving input order.
+    ///
+    /// All requests enter the queue **before** the first reply is awaited,
+    /// so the worker pool coalesces them into large GEMM batches — this is
+    /// the in-process half of the pipelined network path (`ff-net` funnels
+    /// `PredictBatch` frames through it). The model epoch is resolved
+    /// **once** for the whole wave, so every answer comes from the same
+    /// model even when a hot-swap lands mid-wave; per-row quantization
+    /// keeps every answer bit-identical to a lone [`ServeHandle::predict`]
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id, the
+    /// first per-row error ([`ServeError::BadRequest`] for a wrong-width
+    /// row), or [`ServeError::ServerClosed`] when the server has shut down;
+    /// rows are all-or-nothing from the caller's perspective.
+    pub fn predict_many_to<'r, I>(&self, model_id: u16, rows: I) -> Result<Vec<Prediction>>
+    where
+        I: IntoIterator<Item = &'r [f32]>,
+    {
+        let snapshot = self.resolve(model_id)?;
         let mut replies = Vec::new();
         for features in rows {
-            replies.push(self.submit(features)?);
+            replies.push(self.submit_snapshot(&snapshot, features, None)?);
         }
         let mut predictions = Vec::with_capacity(replies.len());
         let mut first_error = None;
@@ -322,6 +410,7 @@ impl ServeHandle {
     /// what lets a network front-end answer stats requests without a
     /// reference to the owning [`Server`].
     pub fn stats(&self) -> ServerStats {
+        let models = self.shared.registry.model_stats();
         let stats = self.shared.stats.lock().expect("stats lock");
         ServerStats {
             requests: stats.requests,
@@ -336,6 +425,7 @@ impl ServeHandle {
             rejected_overload: self.shared.counters.rejected_overload.get(),
             rejected_deadline: self.shared.counters.rejected_deadline.get(),
             latency: stats.latency.summary(),
+            models,
         }
     }
 
@@ -346,9 +436,15 @@ impl ServeHandle {
         self.shared.counters.clone()
     }
 
-    /// The frozen model being served.
-    pub fn model(&self) -> &FrozenModel {
-        &self.shared.model
+    /// The model currently served under the default id.
+    pub fn model(&self) -> Arc<FrozenModel> {
+        self.shared.registry.default_model()
+    }
+
+    /// The model registry behind this server — register, inspect, and
+    /// hot-swap models while the server runs.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
     }
 }
 
@@ -384,13 +480,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Spawns the worker pool and returns the running server.
+    /// Spawns the worker pool around a single-model registry (the model
+    /// becomes the default entry) and returns the running server.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadRequest`] when the configuration is
     /// unusable (zero workers or zero `max_batch`).
     pub fn start(model: FrozenModel, config: ServeConfig) -> Result<Self> {
+        Self::start_registry(ModelRegistry::new(model), config)
+    }
+
+    /// Spawns the worker pool in front of an existing [`ModelRegistry`] —
+    /// many models behind one queue, addressable per request
+    /// ([`ServeHandle::submit_to`]) and hot-swappable while serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] when the configuration is
+    /// unusable (zero workers or zero `max_batch`).
+    pub fn start_registry(registry: ModelRegistry, config: ServeConfig) -> Result<Self> {
         if config.workers == 0 {
             return Err(ServeError::BadRequest {
                 message: "config.workers must be positive".to_string(),
@@ -403,7 +512,7 @@ impl Server {
         }
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Shared {
-            model: Arc::new(model),
+            registry,
             config,
             queue: Mutex::new(Some(rx)),
             stats: Mutex::new(StatsInner::default()),
@@ -443,15 +552,15 @@ impl Server {
         self.handle.stats()
     }
 
-    /// Runs every sample of an in-order batch iterator through the model
-    /// once — used to pre-fault weight panels and warm caches before
+    /// Runs every sample of an in-order batch iterator through the default
+    /// model once — used to pre-fault weight panels and warm caches before
     /// opening the server to traffic.
     ///
     /// # Errors
     ///
     /// Propagates model errors (wrong feature width in the warmup set).
     pub fn warmup<I: Iterator<Item = ff_data::Batch>>(&self, batches: I) -> Result<usize> {
-        let model = &self.handle.shared.model;
+        let model = self.handle.shared.registry.default_model();
         let mut samples = 0;
         for batch in batches {
             let rows = batch.images.rows();
@@ -551,22 +660,24 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Validates, executes and answers one assembled batch.
+/// Validates an assembled batch, groups it by pinned model epoch, and runs
+/// one GEMM wave per group.
 fn run_batch(shared: &Shared, batch: Vec<Request>) {
-    let features = shared.model.input_features();
     // Reject malformed requests individually and shed the ones whose
     // deadline expired while queued — both before any GEMM work; the rest
     // still batch. The deadline check runs *after* batch assembly (which
     // may have waited `max_wait`), so queue time counts against the budget.
     let now = Instant::now();
-    let mut valid: Vec<Request> = Vec::with_capacity(batch.len());
+    let mut groups: Vec<(Arc<FrozenModel>, Vec<Request>)> = Vec::new();
     for request in batch {
         if request.deadline.is_some_and(|deadline| now > deadline) {
             shared.counters.shed_expired.inc();
+            request.snapshot.entry().shed_counters().shed_expired.inc();
             let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
-        } else if request.features.len() == features {
-            valid.push(request);
-        } else {
+            continue;
+        }
+        let features = request.snapshot.model().input_features();
+        if request.features.len() != features {
             let error = ServeError::BadRequest {
                 message: format!(
                     "expected {features} features, got {}",
@@ -574,25 +685,40 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
                 ),
             };
             let _ = request.reply.send(Err(error));
+            continue;
+        }
+        // Group by pinned epoch (pointer identity): two requests share a
+        // GEMM only when they were resolved against the *same* frozen
+        // weights, so a swap landing mid-batch can never mix models.
+        let model = Arc::clone(request.snapshot.model());
+        match groups.iter_mut().find(|(m, _)| Arc::ptr_eq(m, &model)) {
+            Some((_, group)) => group.push(request),
+            None => groups.push((model, vec![request])),
         }
     }
-    if valid.is_empty() {
-        return;
+    for (model, group) in groups {
+        run_group(shared, &model, group);
     }
-    let rows = valid.len();
+}
+
+/// Executes and answers one same-epoch group.
+fn run_group(shared: &Shared, model: &FrozenModel, group: Vec<Request>) {
+    let features = model.input_features();
+    let rows = group.len();
     let mut data = Vec::with_capacity(rows * features);
-    for request in &valid {
+    for request in &group {
         data.extend_from_slice(&request.features);
     }
     let gemm_threads = Some(shared.config.gemm_threads.max(1));
     let outcome = Tensor::from_vec(&[rows, features], data)
         .map_err(ServeError::from)
         .and_then(|input| match shared.config.mode {
-            ServeMode::Logits => shared.model.predict_logits_threads(&input, gemm_threads),
-            ServeMode::Goodness => shared.model.predict_goodness_threads(&input, gemm_threads),
+            ServeMode::Logits => model.predict_logits_threads(&input, gemm_threads),
+            ServeMode::Goodness => model.predict_goodness_threads(&input, gemm_threads),
         });
     match outcome {
         Ok(labels) => {
+            let latencies: Vec<Duration> = group.iter().map(|r| r.enqueued.elapsed()).collect();
             // Record stats *before* replying: once the last reply of a wave
             // is delivered, `Server::stats` must already reflect it (tests
             // and the smoke gate assert exact request counts).
@@ -600,12 +726,13 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
                 let mut stats = shared.stats.lock().expect("stats lock");
                 stats.batches += 1;
                 stats.max_batch = stats.max_batch.max(rows);
-                stats.requests += valid.len() as u64;
-                for request in &valid {
-                    stats.latency.record(request.enqueued.elapsed());
+                stats.requests += rows as u64;
+                for latency in &latencies {
+                    stats.latency.record(*latency);
                 }
             }
-            for (request, label) in valid.into_iter().zip(labels) {
+            for ((request, label), latency) in group.into_iter().zip(labels).zip(latencies) {
+                request.snapshot.entry().record_served(latency);
                 let _ = request.reply.send(Ok(Prediction {
                     label,
                     batch_size: rows,
@@ -613,7 +740,7 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
             }
         }
         Err(error) => {
-            for request in valid {
+            for request in group {
                 let _ = request.reply.send(Err(error.clone()));
             }
         }
@@ -628,7 +755,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn model() -> FrozenModel {
-        let mut rng = StdRng::seed_from_u64(5);
+        model_seeded(5)
+    }
+
+    fn model_seeded(seed: u64) -> FrozenModel {
+        let mut rng = StdRng::seed_from_u64(seed);
         FrozenModel::freeze(&small_mlp(8, &[6], 3, &mut rng), 3).unwrap()
     }
 
@@ -666,6 +797,10 @@ mod tests {
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.latency.count, 1);
         assert!(stats.mean_batch >= 1.0);
+        // Per-model accounting flows into the same snapshot.
+        assert_eq!(stats.models.len(), 1);
+        assert_eq!(stats.models[0].requests, 1);
+        assert_eq!(stats.models[0].latency.count, 1);
         server.shutdown();
     }
 
@@ -695,6 +830,80 @@ mod tests {
             server.handle().predict_many(bad.iter().map(Vec::as_slice)),
             Err(ServeError::BadRequest { .. })
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn routes_requests_to_the_addressed_model() {
+        let server = Server::start(model_seeded(5), ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        handle
+            .registry()
+            .register(2, "b", model_seeded(77))
+            .unwrap();
+        // Find an input the two models disagree on, then check routing.
+        let model_a = handle.registry().get(0).unwrap();
+        let model_b = handle.registry().get(2).unwrap();
+        let mut probe = None;
+        for i in 0..256u32 {
+            let row: Vec<f32> = (0..8).map(|j| ((i * 8 + j) as f32 * 0.37).sin()).collect();
+            let input = Tensor::from_vec(&[1, 8], row.clone()).unwrap();
+            let a = model_a.predict_logits(&input).unwrap()[0];
+            let b = model_b.predict_logits(&input).unwrap()[0];
+            if a != b {
+                probe = Some((row, a, b));
+                break;
+            }
+        }
+        let (row, label_a, label_b) = probe.expect("differently-seeded models must disagree");
+        assert_eq!(handle.predict(&row).unwrap().label, label_a);
+        let via_b = handle.submit_to(2, &row, None).unwrap().wait().unwrap();
+        assert_eq!(via_b.label, label_b);
+        assert_eq!(
+            handle.submit_to(9, &row, None).unwrap_err(),
+            ServeError::UnknownModel { id: 9 }
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.models.len(), 2);
+        assert_eq!(stats.models[0].requests, 1);
+        assert_eq!(stats.models[1].requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_model_batches_never_share_a_gemm() {
+        // One worker, generous wait: waves to both models interleave in one
+        // queue, yet each reply's batch_size only counts same-model rows.
+        let server = Server::start(
+            model_seeded(5),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 64,
+                    max_wait: Duration::from_millis(5),
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        handle
+            .registry()
+            .register(1, "b", model_seeded(77))
+            .unwrap();
+        let mut pending = Vec::new();
+        for i in 0..12 {
+            let row = [i as f32 * 0.1; 8];
+            pending.push((0u16, handle.submit_to(0, &row, None).unwrap()));
+            pending.push((1u16, handle.submit_to(1, &row, None).unwrap()));
+        }
+        for (_, reply) in pending {
+            let prediction = reply.wait().unwrap();
+            assert!(prediction.batch_size <= 12, "groups must not mix models");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 24);
+        assert_eq!(stats.models[0].requests, 12);
+        assert_eq!(stats.models[1].requests, 12);
         server.shutdown();
     }
 
@@ -731,6 +940,9 @@ mod tests {
         let stats = handle.stats();
         assert_eq!(stats.shed_expired, 1);
         assert_eq!(stats.requests, 1, "shed requests are not 'served'");
+        // The shed is attributed to the addressed model as well.
+        assert_eq!(stats.models[0].shed_expired, 1);
+        assert_eq!(stats.models[0].requests, 1);
         // Front-end rejection counters flow into the same snapshot.
         let counters = handle.shed_counters();
         counters.rejected_overload.add(3);

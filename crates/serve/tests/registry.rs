@@ -1,0 +1,241 @@
+//! Registry reload chaos: hot-swapping from a rotating `FF8C` checkpoint
+//! must be all-or-nothing. Truncated, byte-flipped, wrong-magic and
+//! wrong-version artifacts fail with **typed errors** (never a panic), and
+//! a failed reload never evicts or corrupts the model currently serving —
+//! its version, stats and bit-exact answers are untouched. A flip that
+//! still parses into a complete checkpoint may legitimately swap in, but
+//! then the served answers must be bit-identical to a direct
+//! [`FrozenModel::from_checkpoint`] of that same artifact.
+
+use ff_core::checkpoint::{load_bytes, save_bytes};
+use ff_core::{Algorithm, TrainOptions, TrainSession};
+use ff_data::{synthetic_mnist, SyntheticConfig};
+use ff_models::small_mlp;
+use ff_serve::{
+    FrozenModel, ModelRegistry, ServeConfig, ServeError, ServeMode, Server, DEFAULT_MODEL_ID,
+};
+use ff_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLASSES: usize = 10;
+
+fn template_net(seed: u64) -> ff_nn::Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    small_mlp(784, &[4], CLASSES, &mut rng)
+}
+
+/// A few training steps on a tiny run, serialized to `FF8C` bytes.
+fn checkpoint_bytes() -> Vec<u8> {
+    let (train_set, test_set) = synthetic_mnist(&SyntheticConfig {
+        train_size: 64,
+        test_size: 32,
+        noise_std: 0.2,
+        max_shift: 0,
+        seed: 21,
+    });
+    let mut net = template_net(1);
+    let mut session = TrainSession::new(
+        &mut net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: true },
+        &TrainOptions::fast_test(),
+    )
+    .unwrap();
+    session.step().unwrap();
+    save_bytes(&session.checkpoint())
+}
+
+fn probe_inputs() -> Tensor {
+    let mut rng = StdRng::seed_from_u64(33);
+    ff_tensor::init::uniform(&[8, 784], -1.0, 1.0, &mut rng)
+}
+
+/// The served labels for `x` through the registry's default model.
+fn served_labels(handle: &ff_serve::ServeHandle, x: &Tensor) -> Vec<usize> {
+    let rows: Vec<&[f32]> = (0..x.rows()).map(|i| x.row(i)).collect();
+    handle
+        .predict_many_to(DEFAULT_MODEL_ID, rows.iter().copied())
+        .unwrap()
+        .into_iter()
+        .map(|p| p.label)
+        .collect()
+}
+
+#[test]
+fn corrupt_reloads_are_typed_and_never_evict_the_serving_model() {
+    let bytes = checkpoint_bytes();
+    let x = probe_inputs();
+
+    // The serving baseline: the checkpoint itself, swapped in cleanly.
+    let registry = ModelRegistry::new({
+        let mut rng = StdRng::seed_from_u64(77);
+        FrozenModel::freeze(&small_mlp(784, &[4], CLASSES, &mut rng), CLASSES).unwrap()
+    });
+    let server = Server::start_registry(
+        registry.clone(),
+        ServeConfig {
+            workers: 1,
+            mode: ServeMode::Logits,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    let clean = load_bytes(&bytes).unwrap();
+    let direct = FrozenModel::from_checkpoint(&clean, &mut template_net(50), CLASSES)
+        .unwrap()
+        .predict_logits(&x)
+        .unwrap();
+    let version = registry
+        .swap_from_checkpoint(DEFAULT_MODEL_ID, &clean, &mut template_net(51), CLASSES)
+        .unwrap();
+    assert_eq!(version, 2, "clean swap bumps the entry version");
+    assert_eq!(
+        served_labels(&handle, &x),
+        direct,
+        "clean swap is bit-exact"
+    );
+
+    // Truncations: the header region at every offset, the payload strided.
+    let mut offsets: Vec<usize> = (0..bytes.len().min(256)).collect();
+    offsets.extend((256..bytes.len()).step_by(97));
+    for &cut in &offsets {
+        assert!(
+            load_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must be a typed load error"
+        );
+    }
+
+    // Byte flips: most corrupt the structure (typed load error); a flip
+    // that still parses yields a *complete* checkpoint, so the swap — when
+    // its shape still matches — must land bit-exactly, and the registry
+    // must never serve anything in between.
+    let mut rejected = 0usize;
+    let mut swapped = 0usize;
+    for &offset in &offsets {
+        let mut flipped = bytes.clone();
+        flipped[offset] ^= 0xA5;
+        let before = served_labels(&handle, &x);
+        let attempted = load_bytes(&flipped).ok().and_then(|checkpoint| {
+            let expected =
+                FrozenModel::from_checkpoint(&checkpoint, &mut template_net(60), CLASSES)
+                    .ok()?
+                    .predict_logits(&x)
+                    .ok()?;
+            registry
+                .swap_from_checkpoint(
+                    DEFAULT_MODEL_ID,
+                    &checkpoint,
+                    &mut template_net(61),
+                    CLASSES,
+                )
+                .ok()?;
+            Some(expected)
+        });
+        match attempted {
+            Some(expected) => {
+                assert_eq!(
+                    served_labels(&handle, &x),
+                    expected,
+                    "offset {offset}: swapped model must serve its own answers"
+                );
+                // Restore the baseline for the next iteration.
+                registry
+                    .swap_from_checkpoint(DEFAULT_MODEL_ID, &clean, &mut template_net(62), CLASSES)
+                    .unwrap();
+                swapped += 1;
+            }
+            None => {
+                assert_eq!(
+                    served_labels(&handle, &x),
+                    before,
+                    "offset {offset}: failed reload must leave serving intact"
+                );
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "flip sweep never hit a structural byte");
+    assert_eq!(rejected + swapped, offsets.len());
+
+    // After the whole sweep the entry still serves the clean checkpoint.
+    assert_eq!(served_labels(&handle, &x), direct);
+
+    // Wrong magic and a from-the-future version are typed load errors.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(load_bytes(&bad_magic).is_err());
+    let mut future = bytes.clone();
+    future[4] = 0xFF;
+    future[5] = 0xFF;
+    assert!(load_bytes(&future).is_err());
+
+    server.shutdown();
+}
+
+#[test]
+fn shape_mismatched_checkpoints_are_rejected_without_eviction() {
+    let bytes = checkpoint_bytes();
+    let checkpoint = load_bytes(&bytes).unwrap();
+    let x = probe_inputs();
+
+    // The serving model scores a *different* class count than the
+    // artifact, so even a checkpoint that restores cleanly must be refused
+    // at the swap boundary — a hot-swap may not change the serving
+    // contract out from under clients.
+    const SERVING_CLASSES: usize = 5;
+    let mut rng = StdRng::seed_from_u64(8);
+    let serving = FrozenModel::freeze(
+        &small_mlp(784, &[6], SERVING_CLASSES, &mut rng),
+        SERVING_CLASSES,
+    )
+    .unwrap();
+    let baseline = serving.predict_logits(&x).unwrap();
+    let registry = ModelRegistry::new(serving);
+    let server = Server::start_registry(
+        registry.clone(),
+        ServeConfig {
+            workers: 1,
+            mode: ServeMode::Logits,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    // Restoring into a mismatched scratch net fails in `from_checkpoint`…
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut wrong_scratch = small_mlp(784, &[16], CLASSES, &mut rng);
+    assert!(matches!(
+        registry.swap_from_checkpoint(DEFAULT_MODEL_ID, &checkpoint, &mut wrong_scratch, CLASSES),
+        Err(ServeError::InvalidModel { .. })
+    ));
+    // …and a cleanly-restored model with the wrong class count fails the
+    // swap's own shape guard.
+    assert!(matches!(
+        registry.swap_from_checkpoint(
+            DEFAULT_MODEL_ID,
+            &checkpoint,
+            &mut template_net(10),
+            CLASSES
+        ),
+        Err(ServeError::InvalidModel { .. })
+    ));
+
+    let entry = registry.entry(DEFAULT_MODEL_ID).unwrap();
+    assert_eq!(
+        entry.version(),
+        1,
+        "failed reloads must not bump the version"
+    );
+    assert_eq!(entry.stats().swaps, 0);
+    assert_eq!(
+        served_labels(&handle, &x),
+        baseline,
+        "serving model evicted"
+    );
+    server.shutdown();
+}

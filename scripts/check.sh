@@ -64,6 +64,15 @@ if [[ "$fast" -eq 0 ]]; then
     # (crates/net/tests/chaos.rs).
     echo "==> chaos smoke gate (release)"
     cargo test -q --release -p ff-net --test chaos
+
+    # Multi-model smoke gate: train two models → serve both from one port
+    # behind the registry → per-model bit-exact parity vs direct calls →
+    # hot-swap one entry from a rotated FF8C checkpoint during live
+    # traffic → auth failures (missing/wrong/out-of-scope token) return
+    # typed Unauthorized, unknown ids return UnknownModel
+    # (crates/net/tests/multimodel.rs).
+    echo "==> multi-model smoke gate (release)"
+    cargo test -q --release -p ff-net --test multimodel
 fi
 
 echo "All checks passed."
