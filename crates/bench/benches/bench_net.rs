@@ -45,7 +45,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ff_metrics::LatencyHistogram;
 use ff_models::small_mlp;
 use ff_net::{AdmissionConfig, Client, ErrorCode, NetConfig, NetError, NetServer};
-use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode};
+use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode, TraceSettings};
 use ff_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +83,7 @@ fn net_config() -> NetConfig {
                 max_wait: Duration::from_millis(1),
             },
             gemm_threads: 1,
+            trace: TraceSettings::default(),
         },
         ..NetConfig::default()
     }
@@ -271,6 +272,7 @@ fn bench_net_overload(c: &mut Criterion) {
                 max_wait: Duration::from_millis(1),
             },
             gemm_threads: 1,
+            trace: TraceSettings::default(),
         },
         ..NetConfig::default()
     };
@@ -449,6 +451,7 @@ fn bench_net_open_loop(c: &mut Criterion) {
                 max_wait: Duration::from_millis(1),
             },
             gemm_threads: 1,
+            trace: TraceSettings::default(),
         },
         ..NetConfig::default()
     };

@@ -24,11 +24,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ff_models::small_mlp;
-use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode, Server};
+use ff_serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode, Server, TraceSettings};
 use ff_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Concurrent client threads driving the closed loop.
 const CLIENTS: usize = 8;
@@ -56,6 +56,7 @@ fn config(workers: usize, max_batch: usize, mode: ServeMode) -> ServeConfig {
             max_wait: Duration::from_millis(1),
         },
         gemm_threads: 1,
+        trace: TraceSettings::default(),
     }
 }
 
@@ -173,5 +174,69 @@ fn bench_serve_goodness(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput, bench_serve_goodness);
+/// Instrumentation-overhead gate (ISSUE 8): batched throughput with the
+/// observability layer fully disabled vs enabled with sampling off — the
+/// production configuration, where every request still feeds the stage
+/// histograms and metric counters but no per-request trace is allocated.
+/// The gate is `trace_overhead ≤ 3%`, recorded into `BENCH_serve.json`.
+///
+/// Each configuration is timed as the **best of `waves`** closed-loop waves
+/// (minimum is the noise-robust estimator for a fixed workload: every wave
+/// answers the same 256 requests, so the fastest wave is the one least
+/// disturbed by the container's scheduler).
+fn bench_serve_trace_overhead(c: &mut Criterion) {
+    let waves: usize = if c.measuring() { 24 } else { 2 };
+    let pool = request_pool(REQUESTS_PER_ITER);
+    let best_wave_secs = |trace: TraceSettings| -> f64 {
+        let server = Server::start(
+            paper_mlp(),
+            ServeConfig {
+                trace,
+                ..config(1, 32, ServeMode::Logits)
+            },
+        )
+        .expect("server");
+        let clients = ClientPool::start(&server, &pool);
+        for _ in 0..2 {
+            clients.run_wave(); // warm caches and packed panels
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..waves {
+            let start = Instant::now();
+            clients.run_wave();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        clients.stop();
+        server.shutdown();
+        best
+    };
+    let disabled = best_wave_secs(TraceSettings::disabled());
+    let instrumented = best_wave_secs(TraceSettings {
+        sample_per_sec: 0,
+        slow_threshold: None,
+        ..TraceSettings::default()
+    });
+    let overhead = instrumented / disabled - 1.0;
+    println!(
+        "    serve_trace: disabled {:.3}ms instrumented {:.3}ms overhead {:+.2}%",
+        disabled * 1e3,
+        instrumented * 1e3,
+        overhead * 100.0
+    );
+    if c.measuring() {
+        c.record_metric("serve_trace/trace_overhead", overhead.max(0.0));
+        assert!(
+            overhead <= 0.03,
+            "observability instrumentation costs {:.1}% of batched throughput (gate: 3%)",
+            overhead * 100.0
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_serve_throughput,
+    bench_serve_goodness,
+    bench_serve_trace_overhead
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use crate::config::{Algorithm, TrainOptions};
 use crate::optimizer::AnyOptimizer;
-use crate::session::{StepStats, TrainSession, TrainerCore, TrainerState};
+use crate::session::{elapsed_ns, StepSpans, StepStats, TrainSession, TrainerCore, TrainerState};
 use crate::Result;
 use ff_data::{Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
@@ -16,6 +16,7 @@ use ff_quant::{QuantConfig, QuantTensor, Rounding};
 use ff_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// How weight gradients are treated before the optimizer step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,7 +265,10 @@ impl TrainerCore for BpTrainer {
         _num_classes: usize,
         _lambda: f32,
     ) -> Result<StepStats> {
+        let prep_start = Instant::now();
         let input = input_for_net(&batch.images, net)?;
+        let quantize_ns = elapsed_ns(prep_start);
+        let forward_start = Instant::now();
         let logits = net.forward(&input, ForwardMode::Fp32)?;
         let out = softmax_cross_entropy(&logits, &batch.labels)?;
         let correct = out
@@ -275,6 +279,8 @@ impl TrainerCore for BpTrainer {
             .count();
         net.zero_grad();
         net.backward(&out.grad)?;
+        let forward_ns = elapsed_ns(forward_start);
+        let update_start = Instant::now();
         let mut params = net.params_mut();
         let lr_scale = self.policy.apply(&mut params, &mut self.rng);
         self.optimizer
@@ -290,6 +296,11 @@ impl TrainerCore for BpTrainer {
             loss: out.loss,
             correct,
             seen: batch.labels.len(),
+            spans: StepSpans {
+                quantize_ns,
+                forward_ns,
+                update_ns: elapsed_ns(update_start),
+            },
         })
     }
 

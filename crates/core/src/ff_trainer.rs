@@ -3,7 +3,7 @@
 use crate::config::{Algorithm, Precision, TrainOptions};
 use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind, GoodnessSweep};
 use crate::optimizer::AnyOptimizer;
-use crate::session::{StepStats, TrainSession, TrainerCore, TrainerState};
+use crate::session::{elapsed_ns, StepSpans, StepStats, TrainSession, TrainerCore, TrainerState};
 use crate::Result;
 use ff_data::{positive_negative_sets, Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
@@ -12,6 +12,7 @@ use ff_quant::Rounding;
 use ff_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Trains a [`Sequential`] network with the Forward-Forward algorithm.
 ///
@@ -123,7 +124,7 @@ impl FfTrainer {
     }
 
     /// Runs one mini-batch (positive pass + negative pass + optimizer step)
-    /// and returns the summed FF loss.
+    /// and returns the summed FF loss plus where the step's time went.
     fn train_batch(
         &mut self,
         net: &mut Sequential,
@@ -131,17 +132,28 @@ impl FfTrainer {
         labels: &[usize],
         num_classes: usize,
         lambda: f32,
-    ) -> Result<f32> {
+    ) -> Result<(f32, StepSpans)> {
+        let prep_start = Instant::now();
         let flat = images.reshape(&[images.rows(), images.cols()])?;
         let (pos, neg) = positive_negative_sets(&flat, labels, num_classes, &mut self.rng)?;
         let pos = reshape_for_net(&pos, images, net)?;
         let neg = reshape_for_net(&neg, images, net)?;
+        let quantize_ns = elapsed_ns(prep_start);
 
+        let forward_start = Instant::now();
         net.zero_grad();
         let loss_pos = self.accumulate_pass(net, &pos, FfLossKind::Positive, lambda)?;
         let loss_neg = self.accumulate_pass(net, &neg, FfLossKind::Negative, lambda)?;
+        let forward_ns = elapsed_ns(forward_start);
+
+        let update_start = Instant::now();
         self.step(net);
-        Ok(loss_pos + loss_neg)
+        let spans = StepSpans {
+            quantize_ns,
+            forward_ns,
+            update_ns: elapsed_ns(update_start),
+        };
+        Ok((loss_pos + loss_neg, spans))
     }
 
     /// One forward pass plus per-unit gradient accumulation for one side
@@ -368,11 +380,13 @@ impl TrainerCore for FfTrainer {
         num_classes: usize,
         lambda: f32,
     ) -> Result<StepStats> {
-        let loss = self.train_batch(net, &batch.images, &batch.labels, num_classes, lambda)?;
+        let (loss, spans) =
+            self.train_batch(net, &batch.images, &batch.labels, num_classes, lambda)?;
         Ok(StepStats {
             loss,
             correct: 0,
             seen: 0,
+            spans,
         })
     }
 

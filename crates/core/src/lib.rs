@@ -69,8 +69,8 @@ pub use ff_trainer::FfTrainer;
 pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind, GoodnessSweep};
 pub use optimizer::OptimizerSlot;
 pub use session::{
-    AutoCheckpoint, EvalSplit, SessionControl, SessionStatus, StepStats, TrainEvent, TrainSession,
-    TrainerCore, TrainerState,
+    AutoCheckpoint, EvalSplit, SessionControl, SessionStatus, StepSpans, StepStats, TrainEvent,
+    TrainSession, TrainerCore, TrainerState,
 };
 
 /// Convenience result alias used throughout the crate.

@@ -70,6 +70,37 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use std::time::Instant;
 
+/// Where one training step's wall-clock time went, in nanoseconds — the
+/// training-side analogue of the serving path's stage histograms. Carried
+/// by [`StepStats`] and [`TrainEvent::StepEnd`] so observers can feed a
+/// metrics registry without re-timing anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepSpans {
+    /// Input preparation: building the positive/negative overlay sets and
+    /// reshaping them for the network (FF), or overlaying/flattening the
+    /// input batch (backpropagation).
+    pub quantize_ns: u64,
+    /// Forward passes plus loss and gradient accumulation.
+    pub forward_ns: u64,
+    /// The optimizer step (and its packed-plan invalidation).
+    pub update_ns: u64,
+}
+
+impl StepSpans {
+    /// Sum of all three spans.
+    pub fn total_ns(&self) -> u64 {
+        self.quantize_ns
+            .saturating_add(self.forward_ns)
+            .saturating_add(self.update_ns)
+    }
+}
+
+/// Saturating nanosecond reading of `start.elapsed()`, shared by the
+/// trainers' span timing.
+pub(crate) fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// Statistics returned by one [`TrainerCore::step_batch`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepStats {
@@ -82,6 +113,8 @@ pub struct StepStats {
     pub correct: usize,
     /// Samples scored into `correct` (zero when accuracy is not tracked).
     pub seen: usize,
+    /// Per-phase timing of the step.
+    pub spans: StepSpans,
 }
 
 /// A snapshot of a trainer's mutable state, captured into (and restored
@@ -242,6 +275,8 @@ pub enum TrainEvent {
         global_step: u64,
         /// The batch's training loss.
         loss: f32,
+        /// Where the step's time went (quantize / forward / update).
+        spans: StepSpans,
     },
     /// An evaluation pass finished.
     Eval {
@@ -678,6 +713,7 @@ impl<'a> TrainSession<'a> {
             step_in_epoch,
             global_step,
             loss: stats.loss,
+            spans: stats.spans,
         });
         let status = if epoch_done {
             self.finish_epoch()?;

@@ -44,6 +44,13 @@ impl Gauge {
         self.0.fetch_add(1, Ordering::AcqRel) + 1
     }
 
+    /// Raises the gauge to `value` if it is larger than the current value —
+    /// an atomic high-water mark (the largest batch a server has executed,
+    /// the deepest queue observed). Concurrent calls never lose the maximum.
+    pub fn max_of(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::AcqRel);
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Acquire)
@@ -62,6 +69,25 @@ mod tests {
         assert_eq!(gauge.get(), 7);
         assert_eq!(gauge.bump(), 8);
         assert_eq!(clone.get(), 8);
+    }
+
+    #[test]
+    fn max_of_is_a_high_water_mark() {
+        let gauge = Gauge::new();
+        gauge.max_of(5);
+        gauge.max_of(3);
+        assert_eq!(gauge.get(), 5);
+        std::thread::scope(|scope| {
+            for offset in 0..4u64 {
+                let g = gauge.clone();
+                scope.spawn(move || {
+                    for v in 0..100 {
+                        g.max_of(v * 4 + offset);
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge.get(), 99 * 4 + 3);
     }
 
     #[test]

@@ -371,8 +371,46 @@ impl Client {
         self.retry_loop(deadline, |client, _| {
             let id = client.fresh_id();
             match client.call(Frame::Stats { id })? {
-                Frame::StatsReply { stats, .. } => Ok(stats),
+                Frame::StatsReply { stats, .. } => Ok(*stats),
                 other => Err(unexpected_reply("a stats reply", &other)),
+            }
+        })
+    }
+
+    /// Dumps up to `max` recent per-request traces from the server's
+    /// flight recorder (0 = everything currently retained), together with
+    /// the count of traces the recorder dropped under contention. Traces
+    /// arrive oldest-first.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::predict`].
+    pub fn trace_dump(&mut self, max: u32) -> Result<(u64, Vec<ff_serve::RequestTrace>)> {
+        let deadline = self.request_deadline();
+        self.retry_loop(deadline, |client, _| {
+            let id = client.fresh_id();
+            match client.call(Frame::TraceDump { id, max })? {
+                Frame::TraceDumpReply {
+                    dropped, traces, ..
+                } => Ok((dropped, traces)),
+                other => Err(unexpected_reply("a trace dump reply", &other)),
+            }
+        })
+    }
+
+    /// Reads the server's full metrics registry in its text exposition
+    /// format — one `name kind value...` line per metric, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::predict`].
+    pub fn metrics_dump(&mut self) -> Result<String> {
+        let deadline = self.request_deadline();
+        self.retry_loop(deadline, |client, _| {
+            let id = client.fresh_id();
+            match client.call(Frame::MetricsDump { id })? {
+                Frame::MetricsDumpReply { text, .. } => Ok(text),
+                other => Err(unexpected_reply("a metrics dump reply", &other)),
             }
         })
     }

@@ -37,6 +37,8 @@
 //! 3 Stats         id u64
 //! 4 Health        id u64
 //! 5 Shutdown      id u64
+//! 6 TraceDump     id u64, max u32 (0 = everything in the ring)
+//! 7 MetricsDump   id u64
 //! ```
 //!
 //! Replies (server → client) echo the request's `id`:
@@ -52,13 +54,23 @@
 //!                  name string (≤ 64 bytes), version u64, swaps u64,
 //!                  requests u64, shed_expired u64, rejected_overload u64,
 //!                  rejected_deadline u64, latency count u64 +
-//!                  mean/p50/p95/p99/max as u64 nanoseconds
+//!                  mean/p50/p95/p99/max as u64 nanoseconds,
+//!                  v3: 4 stage blocks (queue, assembly, gemm, write),
+//!                  each count u64 + mean/p50/p95/p99/max as u64
+//!                  nanoseconds
 //! 131 HealthReply  id u64, input_features u32, num_classes u32, mode u8,
 //!                  v2: state u8 (0 = ok, 1 = draining),
 //!                  v3: model_version u64
 //! 132 ShutdownAck  id u64
 //! 133 Error        id u64, code u8, v2: retry_after_millis u32,
 //!                  message string (u32 length + UTF-8)
+//! 134 TraceDumpReply   id u64, dropped u64, count u32, then per trace:
+//!                      seq u64, model_id u32, flags u8 (bit0 sampled,
+//!                      bit1 slow, bit2 completed), deadline_micros i64
+//!                      (i64::MIN = none), end_to_end_ns u64, 6 stage
+//!                      stamps as u64 ns since recv (u64::MAX = missing)
+//! 135 MetricsDumpReply id u64, text string (u32 length + UTF-8,
+//!                      ≤ 64 KiB — the stable metrics exposition format)
 //! ```
 //!
 //! # Version negotiation
@@ -93,6 +105,7 @@
 use crate::{ErrorCode, NetError, Result};
 use ff_codec::{Reader, Writer};
 use ff_metrics::LatencySummary;
+use ff_serve::{RequestTrace, StageSummaries};
 use std::io::Read;
 use std::time::Duration;
 
@@ -114,14 +127,34 @@ const KIND_PREDICT_BATCH: u8 = 2;
 const KIND_STATS: u8 = 3;
 const KIND_HEALTH: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
+const KIND_TRACE_DUMP: u8 = 6;
+const KIND_METRICS_DUMP: u8 = 7;
 const KIND_LABELS: u8 = 129;
 const KIND_STATS_REPLY: u8 = 130;
 const KIND_HEALTH_REPLY: u8 = 131;
 const KIND_SHUTDOWN_ACK: u8 = 132;
 const KIND_ERROR: u8 = 133;
+const KIND_TRACE_DUMP_REPLY: u8 = 134;
+const KIND_METRICS_DUMP_REPLY: u8 = 135;
 
 /// Bound on the length of an error reply's message string.
 const MAX_ERROR_MESSAGE_LEN: usize = 4096;
+
+/// Bound on the length of a metrics-dump reply's exposition text (64 KiB
+/// covers thousands of metric lines; encoders truncate on a line feed if a
+/// registry somehow exceeds it).
+const MAX_METRICS_TEXT_LEN: usize = 64 * 1024;
+
+/// Fixed wire size of one trace entry in a [`Frame::TraceDumpReply`]:
+/// seq(8) + model_id(4) + flags(1) + deadline(8) + end_to_end(8) + 6
+/// stamps(48).
+const TRACE_ENTRY_BYTES: usize = 77;
+
+/// Sentinel meaning "stage never reached" in a trace entry's stamp slots.
+const TRACE_STAMP_MISSING: u64 = u64::MAX;
+
+/// Sentinel meaning "no deadline" in a trace entry's deadline slot.
+const TRACE_NO_DEADLINE: i64 = i64::MIN;
 
 /// Bound on the byte length of a version-3 auth token (generous for any
 /// reasonable shared secret, small enough that the fixed header cost stays
@@ -288,6 +321,9 @@ pub struct WireStats {
     /// Per-model statistics, ascending by id (version 3; empty from older
     /// peers).
     pub models: Vec<WireModelStats>,
+    /// Always-on per-stage latency summaries — queue wait, batch assembly,
+    /// GEMM, reply write (version 3; zeroed from older peers).
+    pub stages: StageSummaries,
 }
 
 impl From<ff_serve::ServerStats> for WireStats {
@@ -302,6 +338,7 @@ impl From<ff_serve::ServerStats> for WireStats {
             rejected_overload: stats.rejected_overload,
             rejected_deadline: stats.rejected_deadline,
             models: stats.models.into_iter().map(WireModelStats::from).collect(),
+            stages: stats.stages,
         }
     }
 }
@@ -347,6 +384,21 @@ pub enum Frame {
         /// Caller-chosen id echoed by the reply.
         id: u64,
     },
+    /// Read the server's recent per-request traces from the flight
+    /// recorder. Open like [`Frame::Stats`] — traces carry timings, never
+    /// payloads or secrets.
+    TraceDump {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+        /// Most recent traces to return; 0 means everything in the ring.
+        max: u32,
+    },
+    /// Read the server's full metrics registry in the stable text
+    /// exposition format. Open like [`Frame::Stats`].
+    MetricsDump {
+        /// Caller-chosen id echoed by the reply.
+        id: u64,
+    },
     /// Reply to [`Frame::Predict`] / [`Frame::PredictBatch`]: one label per
     /// input row, in input order.
     Labels {
@@ -359,8 +411,10 @@ pub enum Frame {
     StatsReply {
         /// The request's id.
         id: u64,
-        /// The statistics snapshot.
-        stats: WireStats,
+        /// The statistics snapshot (boxed: the stage and per-model blocks
+        /// make this by far the widest variant, and replies are moved
+        /// through channels).
+        stats: Box<WireStats>,
     },
     /// Reply to [`Frame::Health`].
     HealthReply {
@@ -397,6 +451,23 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Reply to [`Frame::TraceDump`].
+    TraceDumpReply {
+        /// The request's id.
+        id: u64,
+        /// Trace commits the recorder lost to ring contention.
+        dropped: u64,
+        /// Recent committed traces, oldest first.
+        traces: Vec<RequestTrace>,
+    },
+    /// Reply to [`Frame::MetricsDump`].
+    MetricsDumpReply {
+        /// The request's id.
+        id: u64,
+        /// The registry snapshot in the stable exposition format (one
+        /// metric per line, sorted by name).
+        text: String,
+    },
 }
 
 impl Frame {
@@ -408,11 +479,15 @@ impl Frame {
             | Frame::Stats { id }
             | Frame::Health { id }
             | Frame::Shutdown { id }
+            | Frame::TraceDump { id, .. }
+            | Frame::MetricsDump { id }
             | Frame::Labels { id, .. }
             | Frame::StatsReply { id, .. }
             | Frame::HealthReply { id, .. }
             | Frame::ShutdownAck { id }
-            | Frame::Error { id, .. } => *id,
+            | Frame::Error { id, .. }
+            | Frame::TraceDumpReply { id, .. }
+            | Frame::MetricsDumpReply { id, .. } => *id,
         }
     }
 
@@ -425,6 +500,8 @@ impl Frame {
                 | Frame::Stats { .. }
                 | Frame::Health { .. }
                 | Frame::Shutdown { .. }
+                | Frame::TraceDump { .. }
+                | Frame::MetricsDump { .. }
         )
     }
 }
@@ -446,6 +523,54 @@ fn bounded_str(s: &str, bound: usize) -> &str {
 /// [`bounded_str`] at the error-message bound [`decode_frame`] enforces.
 fn bounded_error_message(message: &str) -> &str {
     bounded_str(message, MAX_ERROR_MESSAGE_LEN)
+}
+
+/// Truncates oversized metrics exposition text at the last complete line
+/// within the decode bound, so a peer never receives a torn metric line.
+fn bounded_metrics_text(text: &str) -> &str {
+    if text.len() <= MAX_METRICS_TEXT_LEN {
+        return text;
+    }
+    let head = bounded_str(text, MAX_METRICS_TEXT_LEN);
+    match head.rfind('\n') {
+        Some(end) => &head[..=end],
+        None => head,
+    }
+}
+
+/// Encodes a latency summary as count + five u64 nanosecond fields — the
+/// layout every stats/stage block shares.
+fn put_latency_summary(r: &mut ff_codec::RecordWriter, summary: &LatencySummary) {
+    r.put_u64(summary.count);
+    for duration in [
+        summary.mean,
+        summary.p50,
+        summary.p95,
+        summary.p99,
+        summary.max,
+    ] {
+        r.put_u64(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+/// Decodes the layout written by [`put_latency_summary`].
+fn get_latency_summary(
+    body: &mut ff_codec::Reader<'_>,
+    context: &'static str,
+) -> Result<LatencySummary> {
+    let count = body.get_u64(context)?;
+    let mut nanos = [0u64; 5];
+    for slot in &mut nanos {
+        *slot = body.get_u64(context)?;
+    }
+    Ok(LatencySummary {
+        count,
+        mean: Duration::from_nanos(nanos[0]),
+        p50: Duration::from_nanos(nanos[1]),
+        p95: Duration::from_nanos(nanos[2]),
+        p99: Duration::from_nanos(nanos[3]),
+        max: Duration::from_nanos(nanos[4]),
+    })
 }
 
 /// Serializes a frame into its `FF8P` bytes at the newest protocol version
@@ -510,7 +635,9 @@ pub fn encode_frame_meta(frame: &Frame, version: u16, meta: &FrameMeta) -> Vec<u
         Frame::PredictBatch { data, .. } => 24 + 4 * data.len(),
         Frame::Labels { labels, .. } => 16 + 4 * labels.len(),
         Frame::Error { message, .. } => 24 + message.len(),
-        Frame::StatsReply { stats, .. } => 128 + 160 * stats.models.len(),
+        Frame::StatsReply { stats, .. } => 392 + 160 * stats.models.len(),
+        Frame::TraceDumpReply { traces, .. } => 32 + TRACE_ENTRY_BYTES * traces.len(),
+        Frame::MetricsDumpReply { text, .. } => 24 + text.len(),
         _ => 104,
     };
     let flags = if v3 { meta.model_id } else { 0 };
@@ -577,6 +704,15 @@ pub fn encode_frame_meta(frame: &Frame, version: u16, meta: &FrameMeta) -> Vec<u
                 r.put_u32(label);
             }
         }
+        Frame::TraceDump { id, max } => {
+            r.put_u8(KIND_TRACE_DUMP);
+            r.put_u64(*id);
+            r.put_u32(*max);
+        }
+        Frame::MetricsDump { id } => {
+            r.put_u8(KIND_METRICS_DUMP);
+            r.put_u64(*id);
+        }
         Frame::StatsReply { id, stats } => {
             r.put_u8(KIND_STATS_REPLY);
             r.put_u64(*id);
@@ -584,16 +720,7 @@ pub fn encode_frame_meta(frame: &Frame, version: u16, meta: &FrameMeta) -> Vec<u
             r.put_u64(stats.batches);
             r.put_u64(stats.max_batch);
             r.put_f64(stats.mean_batch);
-            r.put_u64(stats.latency.count);
-            for duration in [
-                stats.latency.mean,
-                stats.latency.p50,
-                stats.latency.p95,
-                stats.latency.p99,
-                stats.latency.max,
-            ] {
-                r.put_u64(duration.as_nanos().min(u64::MAX as u128) as u64);
-            }
+            put_latency_summary(r, &stats.latency);
             if v2 {
                 r.put_u64(stats.shed_expired);
                 r.put_u64(stats.rejected_overload);
@@ -610,16 +737,10 @@ pub fn encode_frame_meta(frame: &Frame, version: u16, meta: &FrameMeta) -> Vec<u
                     r.put_u64(model.shed_expired);
                     r.put_u64(model.rejected_overload);
                     r.put_u64(model.rejected_deadline);
-                    r.put_u64(model.latency.count);
-                    for duration in [
-                        model.latency.mean,
-                        model.latency.p50,
-                        model.latency.p95,
-                        model.latency.p99,
-                        model.latency.max,
-                    ] {
-                        r.put_u64(duration.as_nanos().min(u64::MAX as u128) as u64);
-                    }
+                    put_latency_summary(r, &model.latency);
+                }
+                for (_, stage) in stats.stages.named() {
+                    put_latency_summary(r, &stage);
                 }
             }
         }
@@ -660,6 +781,42 @@ pub fn encode_frame_meta(frame: &Frame, version: u16, meta: &FrameMeta) -> Vec<u
                 r.put_u32(*retry_after_millis);
             }
             r.put_string(bounded_error_message(message));
+        }
+        Frame::TraceDumpReply {
+            id,
+            dropped,
+            traces,
+        } => {
+            r.put_u8(KIND_TRACE_DUMP_REPLY);
+            r.put_u64(*id);
+            r.put_u64(*dropped);
+            r.put_u32(traces.len() as u32);
+            for trace in traces {
+                r.put_u64(trace.seq);
+                r.put_u32(u32::from(trace.model_id));
+                let mut trace_flags = 0u8;
+                if trace.sampled {
+                    trace_flags |= 0b001;
+                }
+                if trace.slow {
+                    trace_flags |= 0b010;
+                }
+                if trace.completed {
+                    trace_flags |= 0b100;
+                }
+                r.put_u8(trace_flags);
+                let deadline = trace.deadline_remaining_micros.unwrap_or(TRACE_NO_DEADLINE);
+                r.put_u64(deadline as u64);
+                r.put_u64(trace.end_to_end_ns);
+                for stamp in &trace.stamps {
+                    r.put_u64(stamp.unwrap_or(TRACE_STAMP_MISSING));
+                }
+            }
+        }
+        Frame::MetricsDumpReply { id, text } => {
+            r.put_u8(KIND_METRICS_DUMP_REPLY);
+            r.put_u64(*id);
+            r.put_string(bounded_metrics_text(text));
         }
     });
     writer.into_vec()
@@ -785,11 +942,7 @@ pub fn decode_frame_meta(bytes: &[u8]) -> Result<(Frame, u16, FrameMeta)> {
             let batches = body.get_u64("stats batches")?;
             let max_batch = body.get_u64("stats max batch")?;
             let mean_batch = body.get_f64("stats mean batch")?;
-            let count = body.get_u64("latency count")?;
-            let mut nanos = [0u64; 5];
-            for slot in &mut nanos {
-                *slot = body.get_u64("latency quantile")?;
-            }
+            let latency = get_latency_summary(&mut body, "latency quantile")?;
             let (shed_expired, rejected_overload, rejected_deadline) = if v2 {
                 (
                     body.get_u64("stats shed expired")?,
@@ -817,11 +970,7 @@ pub fn decode_frame_meta(bytes: &[u8]) -> Result<(Frame, u16, FrameMeta)> {
                     let model_shed = body.get_u64("model stats shed expired")?;
                     let model_overload = body.get_u64("model stats rejected overload")?;
                     let model_deadline = body.get_u64("model stats rejected deadline")?;
-                    let latency_count = body.get_u64("model latency count")?;
-                    let mut model_nanos = [0u64; 5];
-                    for slot in &mut model_nanos {
-                        *slot = body.get_u64("model latency quantile")?;
-                    }
+                    let latency = get_latency_summary(&mut body, "model latency quantile")?;
                     models.push(WireModelStats {
                         id: model_id,
                         name,
@@ -831,40 +980,37 @@ pub fn decode_frame_meta(bytes: &[u8]) -> Result<(Frame, u16, FrameMeta)> {
                         shed_expired: model_shed,
                         rejected_overload: model_overload,
                         rejected_deadline: model_deadline,
-                        latency: LatencySummary {
-                            count: latency_count,
-                            mean: Duration::from_nanos(model_nanos[0]),
-                            p50: Duration::from_nanos(model_nanos[1]),
-                            p95: Duration::from_nanos(model_nanos[2]),
-                            p99: Duration::from_nanos(model_nanos[3]),
-                            max: Duration::from_nanos(model_nanos[4]),
-                        },
+                        latency,
                     });
                 }
                 models
             } else {
                 Vec::new()
             };
+            let stages = if v3 {
+                StageSummaries {
+                    queue: get_latency_summary(&mut body, "stage queue")?,
+                    assembly: get_latency_summary(&mut body, "stage assembly")?,
+                    gemm: get_latency_summary(&mut body, "stage gemm")?,
+                    write: get_latency_summary(&mut body, "stage write")?,
+                }
+            } else {
+                StageSummaries::default()
+            };
             Frame::StatsReply {
                 id,
-                stats: WireStats {
+                stats: Box::new(WireStats {
                     requests,
                     batches,
                     max_batch,
                     mean_batch,
-                    latency: LatencySummary {
-                        count,
-                        mean: Duration::from_nanos(nanos[0]),
-                        p50: Duration::from_nanos(nanos[1]),
-                        p95: Duration::from_nanos(nanos[2]),
-                        p99: Duration::from_nanos(nanos[3]),
-                        max: Duration::from_nanos(nanos[4]),
-                    },
+                    latency,
                     shed_expired,
                     rejected_overload,
                     rejected_deadline,
                     models,
-                },
+                    stages,
+                }),
             }
         }
         KIND_HEALTH_REPLY => Frame::HealthReply {
@@ -882,6 +1028,53 @@ pub fn decode_frame_meta(bytes: &[u8]) -> Result<(Frame, u16, FrameMeta)> {
             } else {
                 0
             },
+        },
+        KIND_TRACE_DUMP => Frame::TraceDump {
+            id,
+            max: body.get_u32("trace dump max")?,
+        },
+        KIND_METRICS_DUMP => Frame::MetricsDump { id },
+        KIND_TRACE_DUMP_REPLY => {
+            let dropped = body.get_u64("trace dump dropped")?;
+            let count = body.get_u32("trace count")? as usize;
+            body.ensure_fits(count, TRACE_ENTRY_BYTES, "traces")?;
+            let mut traces = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seq = body.get_u64("trace seq")?;
+                let wire_id = body.get_u32("trace model id")?;
+                let model_id = u16::try_from(wire_id).map_err(|_| NetError::Frame {
+                    message: format!("trace model id {wire_id} exceeds u16"),
+                })?;
+                let trace_flags = body.get_u8("trace flags")?;
+                let deadline = body.get_u64("trace deadline")? as i64;
+                let end_to_end_ns = body.get_u64("trace end-to-end")?;
+                let mut stamps = [None; ff_serve::STAGE_COUNT];
+                for stamp in &mut stamps {
+                    let ns = body.get_u64("trace stamp")?;
+                    if ns != TRACE_STAMP_MISSING {
+                        *stamp = Some(ns);
+                    }
+                }
+                traces.push(RequestTrace {
+                    seq,
+                    model_id,
+                    sampled: trace_flags & 0b001 != 0,
+                    slow: trace_flags & 0b010 != 0,
+                    completed: trace_flags & 0b100 != 0,
+                    end_to_end_ns,
+                    deadline_remaining_micros: (deadline != TRACE_NO_DEADLINE).then_some(deadline),
+                    stamps,
+                });
+            }
+            Frame::TraceDumpReply {
+                id,
+                dropped,
+                traces,
+            }
+        }
+        KIND_METRICS_DUMP_REPLY => Frame::MetricsDumpReply {
+            id,
+            text: body.get_string(MAX_METRICS_TEXT_LEN, "metrics text")?,
         },
         KIND_SHUTDOWN_ACK => Frame::ShutdownAck { id },
         KIND_ERROR => {
@@ -1062,13 +1255,15 @@ pub fn sample_frames() -> Vec<Frame> {
         Frame::Stats { id: 3 },
         Frame::Health { id: 4 },
         Frame::Shutdown { id: 5 },
+        Frame::TraceDump { id: 6, max: 16 },
+        Frame::MetricsDump { id: 7 },
         Frame::Labels {
-            id: 6,
+            id: 8,
             labels: vec![7, 0, 9],
         },
         Frame::StatsReply {
-            id: 7,
-            stats: WireStats {
+            id: 9,
+            stats: Box::new(WireStats {
                 requests: 100,
                 batches: 10,
                 max_batch: 32,
@@ -1122,22 +1317,93 @@ pub fn sample_frames() -> Vec<Frame> {
                         },
                     },
                 ],
-            },
+                stages: StageSummaries {
+                    queue: LatencySummary {
+                        count: 100,
+                        mean: Duration::from_micros(40),
+                        p50: Duration::from_micros(30),
+                        p95: Duration::from_micros(120),
+                        p99: Duration::from_micros(300),
+                        max: Duration::from_micros(600),
+                    },
+                    assembly: LatencySummary {
+                        count: 100,
+                        mean: Duration::from_micros(5),
+                        p50: Duration::from_micros(4),
+                        p95: Duration::from_micros(12),
+                        p99: Duration::from_micros(20),
+                        max: Duration::from_micros(45),
+                    },
+                    gemm: LatencySummary {
+                        count: 100,
+                        mean: Duration::from_micros(80),
+                        p50: Duration::from_micros(70),
+                        p95: Duration::from_micros(200),
+                        p99: Duration::from_micros(400),
+                        max: Duration::from_millis(1),
+                    },
+                    write: LatencySummary {
+                        count: 100,
+                        mean: Duration::from_micros(15),
+                        p50: Duration::from_micros(12),
+                        p95: Duration::from_micros(40),
+                        p99: Duration::from_micros(90),
+                        max: Duration::from_micros(250),
+                    },
+                },
+            }),
         },
         Frame::HealthReply {
-            id: 8,
+            id: 10,
             input_features: 784,
             num_classes: 10,
             mode: WireMode::Goodness,
             state: WireHealthState::Draining,
             model_version: 4,
         },
-        Frame::ShutdownAck { id: 9 },
+        Frame::ShutdownAck { id: 11 },
         Frame::Error {
-            id: 10,
+            id: 12,
             code: ErrorCode::Overloaded,
             retry_after_millis: 25,
             message: "admission queue full".to_string(),
+        },
+        Frame::TraceDumpReply {
+            id: 13,
+            dropped: 2,
+            traces: vec![
+                RequestTrace {
+                    seq: 41,
+                    model_id: 0,
+                    sampled: true,
+                    slow: false,
+                    completed: true,
+                    end_to_end_ns: 910_000,
+                    deadline_remaining_micros: Some(4_200),
+                    stamps: [
+                        Some(0),
+                        Some(12_000),
+                        Some(18_000),
+                        Some(250_000),
+                        Some(700_000),
+                        Some(900_000),
+                    ],
+                },
+                RequestTrace {
+                    seq: 42,
+                    model_id: 7,
+                    sampled: false,
+                    slow: true,
+                    completed: false,
+                    end_to_end_ns: 12_400_000,
+                    deadline_remaining_micros: None,
+                    stamps: [Some(0), Some(9_000), Some(15_000), None, None, None],
+                },
+            ],
+        },
+        Frame::MetricsDumpReply {
+            id: 14,
+            text: "serve.batches counter 10\nserve.requests counter 100\n".to_string(),
         },
     ]
 }
@@ -1163,7 +1429,10 @@ mod tests {
         let mut frame = frame.clone();
         if version < 3 {
             match &mut frame {
-                Frame::StatsReply { stats, .. } => stats.models.clear(),
+                Frame::StatsReply { stats, .. } => {
+                    stats.models.clear();
+                    stats.stages = StageSummaries::default();
+                }
                 Frame::HealthReply { model_version, .. } => *model_version = 0,
                 _ => {}
             }
@@ -1291,7 +1560,7 @@ mod tests {
     fn frame_ids_and_request_classification() {
         for (index, frame) in sample_frames().into_iter().enumerate() {
             assert_eq!(frame.id(), index as u64 + 1);
-            assert_eq!(frame.is_request(), index < 5, "{frame:?}");
+            assert_eq!(frame.is_request(), index < 7, "{frame:?}");
         }
     }
 

@@ -79,7 +79,7 @@ use crate::protocol::{
 use crate::{ErrorCode, NetError, Result};
 use ff_serve::{
     FrozenModel, ModelRegistry, ServeConfig, ServeError, ServeHandle, ServeMode, Server,
-    ShedCounters,
+    SharedHistogram, ShedCounters, Stage, TraceHandle,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -145,6 +145,10 @@ struct NetShared {
     local_addr: SocketAddr,
     gate: AdmissionGate,
     counters: ShedCounters,
+    /// The engine's `serve.stage.write_ns` histogram: the reply writers
+    /// record socket-write time here so wire clients see all four stages in
+    /// one `StatsReply`.
+    write_stage: SharedHistogram,
 }
 
 impl NetShared {
@@ -252,6 +256,7 @@ impl NetServer {
         let shared = Arc::new(NetShared {
             handle: engine.handle(),
             counters: engine.handle().shed_counters(),
+            write_stage: engine.handle().stage_histograms().write,
             config,
             phase: AtomicU8::new(PHASE_RUNNING),
             local_addr,
@@ -422,6 +427,10 @@ enum Outgoing {
         meta: FrameMeta,
         pendings: Vec<ff_serve::PendingPrediction>,
         permit: crate::admission::Permit,
+        /// The request's trace, when sampled: the writer stamps
+        /// [`Stage::ReplyWritten`] once the reply bytes hit the socket, and
+        /// the last handle drop commits the trace to the flight recorder.
+        trace: Option<TraceHandle>,
     },
 }
 
@@ -449,7 +458,10 @@ fn serve_connection(shared: &NetShared, stream: TcpStream) -> Result<()> {
         let alive = Arc::clone(&writer_alive);
         std::thread::Builder::new()
             .name("ff-net-reply".to_string())
-            .spawn(move || reply_writer_loop(writer, out_rx, max, &alive))
+            .spawn({
+                let write_stage = shared.write_stage.clone();
+                move || reply_writer_loop(writer, out_rx, max, &alive, &write_stage)
+            })
             .expect("spawning the reply writer cannot fail")
     };
     let outcome = connection_reader_loop(shared, &mut reader, &out_tx, &writer_alive);
@@ -637,20 +649,22 @@ fn reply_writer_loop(
     out_rx: mpsc::Receiver<Outgoing>,
     max_frame_bytes: usize,
     alive: &AtomicBool,
+    write_stage: &SharedHistogram,
 ) {
     for outgoing in out_rx {
-        let (frame, version, meta, permit) = match outgoing {
+        let (frame, version, meta, permit, trace) = match outgoing {
             Outgoing::Ready {
                 frame,
                 version,
                 meta,
-            } => (frame, version, meta, None),
+            } => (frame, version, meta, None, None),
             Outgoing::Deferred {
                 id,
                 version,
                 meta,
                 pendings,
                 permit,
+                trace,
             } => {
                 let mut labels = Vec::with_capacity(pendings.len());
                 let mut first_error = None;
@@ -666,10 +680,19 @@ fn reply_writer_loop(
                     None => Frame::Labels { id, labels },
                     Some(error) => error_reply(id, &error),
                 };
-                (frame, version, meta, Some(permit))
+                (frame, version, meta, Some(permit), Some(trace))
             }
         };
+        // The write stage clock starts once the reply is ready to encode —
+        // it measures serialization plus the socket write, per reply.
+        let write_start = trace.is_some().then(Instant::now);
         let outcome = write_frame_meta(&mut writer, &frame, version, &meta, max_frame_bytes);
+        if let (Some(start), Ok(())) = (write_start, &outcome) {
+            write_stage.record(start.elapsed());
+            if let Some(trace) = trace.flatten() {
+                trace.stamp(Stage::ReplyWritten);
+            }
+        }
         // The admission slot is held until the reply hit the socket (or the
         // peer proved unreachable); dropping the channel on early exit
         // releases the permits of any still-queued replies.
@@ -724,7 +747,7 @@ fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u
         Frame::Stats { id } => Outgoing::Ready {
             frame: Frame::StatsReply {
                 id,
-                stats: shared.handle.stats().into(),
+                stats: Box::new(shared.handle.stats().into()),
             },
             version,
             meta: reply_meta,
@@ -760,6 +783,28 @@ fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u
                 meta: reply_meta,
             }
         }
+        // Like Stats/Health, the observability dumps stay open: traces and
+        // metrics carry operational timings, not tenant payloads.
+        Frame::TraceDump { id, max } => {
+            let recorder = shared.handle.flight_recorder();
+            Outgoing::Ready {
+                frame: Frame::TraceDumpReply {
+                    id,
+                    dropped: recorder.dropped(),
+                    traces: recorder.recent(max as usize),
+                },
+                version,
+                meta: reply_meta,
+            }
+        }
+        Frame::MetricsDump { id } => Outgoing::Ready {
+            frame: Frame::MetricsDumpReply {
+                id,
+                text: shared.handle.metrics().expose(),
+            },
+            version,
+            meta: reply_meta,
+        },
         Frame::Shutdown { id } => {
             if !shared.config.auth.authenticate(meta.token.as_deref()) {
                 return unauthorized_reply(id, version, reply_meta);
@@ -817,6 +862,10 @@ fn submit_prediction(
     rows: usize,
 ) -> Outgoing {
     let reply_meta = FrameMeta::for_model(meta.model_id);
+    // The trace starts at the top of request handling — refused requests
+    // drop it unstamped past Recv, committing (flagged incomplete) only if
+    // they were sampled or slow.
+    let trace = shared.handle.begin_trace(meta.model_id);
     // Auth precedes existence: an unauthorized peer probing ids learns
     // nothing about which models are registered.
     if !shared
@@ -884,10 +933,23 @@ fn submit_prediction(
             };
         }
     };
+    if let Some(trace) = &trace {
+        trace.stamp(Stage::Admit);
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            match deadline.checked_duration_since(now) {
+                Some(remaining) => trace.set_deadline_remaining(remaining, false),
+                None => trace.set_deadline_remaining(now.duration_since(deadline), true),
+            }
+        }
+    }
     let cols = features.len() / rows;
     let mut pendings = Vec::with_capacity(rows);
     for row in features.chunks_exact(cols) {
-        match shared.handle.submit_snapshot(&snapshot, row, deadline) {
+        match shared
+            .handle
+            .submit_snapshot_traced(&snapshot, row, deadline, trace.clone())
+        {
             Ok(pending) => pendings.push(pending),
             // The permit drops here, releasing the partial admission.
             Err(error) => {
@@ -905,6 +967,7 @@ fn submit_prediction(
         meta: reply_meta,
         pendings,
         permit,
+        trace,
     }
 }
 

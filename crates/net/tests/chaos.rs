@@ -11,13 +11,13 @@ use ff_models::small_mlp;
 use ff_net::fault::{FaultPlan, FaultyStream};
 use ff_net::protocol::{encode_frame, read_frame, write_frame, Frame};
 use ff_net::{Client, ErrorCode, NetConfig, NetError, NetServer, DEFAULT_MAX_FRAME_BYTES};
-use ff_serve::{FrozenModel, ServeConfig};
+use ff_serve::{FrozenModel, ServeConfig, TraceSettings};
 use ff_tensor::init;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const FEATURES: usize = 16;
 const CLASSES: usize = 4;
@@ -37,9 +37,38 @@ fn chaos_config() -> NetConfig {
         drain_budget: Duration::from_secs(2),
         serve: ServeConfig {
             workers: 2,
+            // Trace every request: the suite asserts that killed, stalled
+            // and corrupted connections never leak a live (uncommitted)
+            // trace, which only bites if every request carries one.
+            trace: TraceSettings {
+                sample_per_sec: u32::MAX,
+                ..TraceSettings::default()
+            },
             ..ServeConfig::default()
         },
         ..NetConfig::default()
+    }
+}
+
+/// Asserts that every begun trace was committed (no half-stamped trace is
+/// still live) once in-flight replies finish, and that everything the
+/// flight recorder retained has monotonic stamps.
+fn assert_no_trace_leaks(server: &NetServer) {
+    let recorder = server.handle().flight_recorder();
+    // Commits happen when the last handle drops — reply writers may still
+    // be finishing; give them a bounded moment.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while recorder.live() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        recorder.live(),
+        0,
+        "chaos leaked live traces: a faulty connection dropped neither its \
+         handles nor its permit"
+    );
+    for trace in recorder.recent(0) {
+        assert!(trace.is_monotonic(), "torn trace committed: {trace:?}");
     }
 }
 
@@ -232,6 +261,7 @@ fn seeded_chaos_never_hangs_leaks_slots_or_corrupts_answers() {
         });
     });
 
+    assert_no_trace_leaks(&server);
     server.shutdown();
 }
 
@@ -277,6 +307,7 @@ fn half_frames_then_death_free_their_slot() {
         drop(wedged);
     });
 
+    assert_no_trace_leaks(&server);
     server.shutdown();
 }
 
@@ -337,5 +368,6 @@ fn corrupted_requests_get_typed_errors_not_crashes() {
         client.close();
     });
 
+    assert_no_trace_leaks(&server);
     server.shutdown();
 }

@@ -85,6 +85,13 @@ pub use server::{
     BatchPolicy, PendingPrediction, Prediction, ServeConfig, ServeHandle, ServeMode, Server,
     ServerStats, ShedCounters,
 };
+// The observability vocabulary the serve API speaks (`ServeConfig::trace`,
+// `ServerStats::stages`, `ServeHandle::begin_trace`), re-exported so
+// callers need not depend on `ff-trace` directly.
+pub use ff_trace::{
+    FlightRecorder, MetricsRegistry, RequestTrace, SharedHistogram, Stage, StageHistograms,
+    StageSummaries, TraceHandle, TraceSettings, STAGE_COUNT,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -39,10 +39,11 @@
 //! never evict or corrupt live traffic.
 
 use crate::{FrozenModel, Result, ServeError, ShedCounters};
-use ff_metrics::{Counter, Gauge, LatencyHistogram, LatencySummary};
+use ff_metrics::{Counter, Gauge, LatencySummary};
+use ff_trace::{MetricsRegistry, SharedHistogram};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The model id requests address when they do not say otherwise —
 /// version-1/-2 `FF8P` peers (whose header has no model id) land here.
@@ -63,7 +64,11 @@ pub struct ModelEntry {
     swaps: Counter,
     requests: Counter,
     shed: ShedCounters,
-    latency: Mutex<LatencyHistogram>,
+    latency: SharedHistogram,
+    /// Wall-clock duration of each [`ModelEntry::swap_model`] (lock +
+    /// shape check + pointer store) — the hot-swap cost the observability
+    /// story promises is bounded.
+    swap_latency: SharedHistogram,
 }
 
 impl ModelEntry {
@@ -78,8 +83,33 @@ impl ModelEntry {
             swaps: Counter::new(),
             requests: Counter::new(),
             shed: ShedCounters::default(),
-            latency: Mutex::new(LatencyHistogram::new()),
+            latency: SharedHistogram::new(),
+            swap_latency: SharedHistogram::new(),
         }
+    }
+
+    /// Publishes this entry's existing metric handles into `metrics` under
+    /// stable `serve.model.<id>.*` names — the call sites keep bumping the
+    /// handles they already hold; the registry just sees the same cells.
+    fn bind_metrics(&self, metrics: &MetricsRegistry) {
+        let prefix = format!("serve.model.{}", self.id);
+        metrics.register_gauge(&format!("{prefix}.version"), self.version.clone());
+        metrics.register_counter(&format!("{prefix}.swaps"), self.swaps.clone());
+        metrics.register_counter(&format!("{prefix}.requests"), self.requests.clone());
+        metrics.register_counter(
+            &format!("{prefix}.shed_expired"),
+            self.shed.shed_expired.clone(),
+        );
+        metrics.register_counter(
+            &format!("{prefix}.rejected_overload"),
+            self.shed.rejected_overload.clone(),
+        );
+        metrics.register_counter(
+            &format!("{prefix}.rejected_deadline"),
+            self.shed.rejected_deadline.clone(),
+        );
+        metrics.register_histogram(&format!("{prefix}.latency_ns"), self.latency.clone());
+        metrics.register_histogram(&format!("{prefix}.swap_ns"), self.swap_latency.clone());
     }
 
     /// The entry's model id.
@@ -112,10 +142,7 @@ impl ModelEntry {
     /// Records one served request's queue-to-reply latency.
     pub(crate) fn record_served(&self, latency: Duration) {
         self.requests.inc();
-        self.latency
-            .lock()
-            .expect("model latency lock poisoned")
-            .record(latency);
+        self.latency.record(latency);
     }
 
     /// A consistent snapshot of this entry's serving statistics.
@@ -129,16 +156,13 @@ impl ModelEntry {
             shed_expired: self.shed.shed_expired.get(),
             rejected_overload: self.shed.rejected_overload.get(),
             rejected_deadline: self.shed.rejected_deadline.get(),
-            latency: self
-                .latency
-                .lock()
-                .expect("model latency lock poisoned")
-                .summary(),
+            latency: self.latency.summary(),
         }
     }
 
     /// Replaces the entry's model, enforcing shape compatibility.
     fn swap_model(&self, model: FrozenModel) -> Result<u64> {
+        let swap_started = Instant::now();
         let replacement = Arc::new(model);
         let mut current = self.current.write().expect("model epoch lock poisoned");
         if replacement.input_features() != current.input_features()
@@ -158,7 +182,9 @@ impl ModelEntry {
         }
         *current = replacement;
         self.swaps.inc();
-        Ok(self.version.bump())
+        let version = self.version.bump();
+        self.swap_latency.record(swap_started.elapsed());
+        Ok(version)
     }
 }
 
@@ -219,6 +245,9 @@ impl ModelSnapshot {
 struct RegistryInner {
     entries: RwLock<BTreeMap<u16, Arc<ModelEntry>>>,
     default_id: u16,
+    /// Set by [`ModelRegistry::bind_metrics`]; entries registered after the
+    /// bind publish their metrics here immediately.
+    metrics: Mutex<Option<MetricsRegistry>>,
 }
 
 /// Many named, versioned frozen models behind one id space — the module
@@ -268,8 +297,25 @@ impl ModelRegistry {
             inner: Arc::new(RegistryInner {
                 entries: RwLock::new(entries),
                 default_id: DEFAULT_MODEL_ID,
+                metrics: Mutex::new(None),
             }),
         }
+    }
+
+    /// Publishes every entry's metric handles (version, swaps, requests,
+    /// shed counts, serve latency, swap latency) into `metrics` under
+    /// `serve.model.<id>.*` names, and remembers the registry so models
+    /// registered later are published the moment they appear.
+    /// [`crate::Server::start_registry`] calls this automatically.
+    pub fn bind_metrics(&self, metrics: &MetricsRegistry) {
+        for entry in self.read_entries().values() {
+            entry.bind_metrics(metrics);
+        }
+        *self
+            .inner
+            .metrics
+            .lock()
+            .expect("registry metrics lock poisoned") = Some(metrics.clone());
     }
 
     /// Registers a new entry under `id`.
@@ -286,7 +332,17 @@ impl ModelRegistry {
                 message: format!("model id {id} is already registered (use swap to replace)"),
             });
         }
-        entries.insert(id, Arc::new(ModelEntry::new(id, name.to_string(), model)));
+        let entry = Arc::new(ModelEntry::new(id, name.to_string(), model));
+        if let Some(metrics) = self
+            .inner
+            .metrics
+            .lock()
+            .expect("registry metrics lock poisoned")
+            .as_ref()
+        {
+            entry.bind_metrics(metrics);
+        }
+        entries.insert(id, entry);
         Ok(())
     }
 

@@ -45,8 +45,12 @@
 //! (default 1), so the canonical scaling axis is the worker count.
 
 use crate::{FrozenModel, ModelRegistry, ModelSnapshot, ModelStats, Result, ServeError};
-use ff_metrics::{Counter, LatencyHistogram, LatencySummary};
+use ff_metrics::{Counter, Gauge, LatencySummary};
 use ff_tensor::Tensor;
+use ff_trace::{
+    FlightRecorder, MetricsRegistry, SharedHistogram, Stage, StageHistograms, StageSummaries,
+    TraceHandle, TraceSettings,
+};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -103,6 +107,10 @@ pub struct ServeConfig {
     /// GEMM threads **per worker** (keep at 1 and scale `workers` instead;
     /// raising both oversubscribes the machine).
     pub gemm_threads: usize,
+    /// Per-request tracing and flight-recorder settings (see
+    /// [`TraceSettings`]). The always-on stage histograms are unaffected
+    /// by this knob; it governs only sampled per-request traces.
+    pub trace: TraceSettings,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +120,7 @@ impl Default for ServeConfig {
             mode: ServeMode::Logits,
             policy: BatchPolicy::default(),
             gemm_threads: 1,
+            trace: TraceSettings::default(),
         }
     }
 }
@@ -137,6 +146,10 @@ struct Request {
     /// the request (typed [`ServeError::DeadlineExceeded`]) instead of
     /// spending a GEMM row on it.
     deadline: Option<Instant>,
+    /// Per-request trace handle, if the flight recorder sampled this
+    /// request. Dropped (committing the trace) when the request is
+    /// answered, shed, or abandoned.
+    trace: Option<TraceHandle>,
     reply: Sender<Result<Prediction>>,
 }
 
@@ -168,6 +181,9 @@ pub struct ServerStats {
     pub rejected_deadline: u64,
     /// Queue-to-reply latency distribution (served requests only).
     pub latency: LatencySummary,
+    /// Always-on per-stage latency summaries (queue wait, batch assembly,
+    /// GEMM, reply write) — where end-to-end time actually went.
+    pub stages: StageSummaries,
     /// Per-model statistics for every registry entry, ascending by id.
     pub models: Vec<ModelStats>,
 }
@@ -190,12 +206,57 @@ pub struct ShedCounters {
     pub rejected_deadline: Counter,
 }
 
-#[derive(Default)]
-struct StatsInner {
-    requests: u64,
-    batches: u64,
-    max_batch: usize,
-    latency: LatencyHistogram,
+/// The server's observability bundle: every serve-side counter and
+/// histogram, pre-registered under stable names in one [`MetricsRegistry`],
+/// plus the flight recorder behind sampled per-request traces. Built once
+/// at startup; the hot path only touches the (lock-free or short-mutex)
+/// handles, never the registry itself.
+struct Telemetry {
+    metrics: MetricsRegistry,
+    recorder: FlightRecorder,
+    stages: StageHistograms,
+    requests: Counter,
+    batches: Counter,
+    max_batch: Gauge,
+    latency: SharedHistogram,
+}
+
+impl Telemetry {
+    fn new(settings: TraceSettings, counters: &ShedCounters, registry: &ModelRegistry) -> Self {
+        let metrics = MetricsRegistry::new();
+        let recorder = FlightRecorder::new(settings);
+        let stages = StageHistograms::new();
+        let requests = metrics.counter("serve.requests");
+        let batches = metrics.counter("serve.batches");
+        let max_batch = metrics.gauge("serve.max_batch");
+        let latency = metrics.histogram("serve.latency_ns");
+        // The shed counters pre-date the registry; publish the existing
+        // handles so front-ends keep bumping the cells they already hold.
+        metrics.register_counter("serve.shed_expired", counters.shed_expired.clone());
+        metrics.register_counter(
+            "serve.rejected_overload",
+            counters.rejected_overload.clone(),
+        );
+        metrics.register_counter(
+            "serve.rejected_deadline",
+            counters.rejected_deadline.clone(),
+        );
+        metrics.register_histogram("serve.stage.queue_ns", stages.queue.clone());
+        metrics.register_histogram("serve.stage.assembly_ns", stages.assembly.clone());
+        metrics.register_histogram("serve.stage.gemm_ns", stages.gemm.clone());
+        metrics.register_histogram("serve.stage.write_ns", stages.write.clone());
+        metrics.register_counter("trace.dropped", recorder.dropped_counter());
+        registry.bind_metrics(&metrics);
+        Telemetry {
+            metrics,
+            recorder,
+            stages,
+            requests,
+            batches,
+            max_batch,
+            latency,
+        }
+    }
 }
 
 struct Shared {
@@ -205,7 +266,7 @@ struct Shared {
     /// which closes the channel: late sends fail and any still-queued
     /// request's reply channel drops, so no client can hang.
     queue: Mutex<Option<Receiver<Job>>>,
-    stats: Mutex<StatsInner>,
+    telemetry: Telemetry,
     counters: ShedCounters,
 }
 
@@ -229,6 +290,10 @@ pub struct ServeHandle {
 #[derive(Debug)]
 pub struct PendingPrediction {
     rx: Receiver<Result<Prediction>>,
+    /// Present only on the in-process convenience path (where delivery to
+    /// the caller *is* the reply-written stage); the network path keeps its
+    /// own handle and stamps after the socket write instead.
+    trace: Option<TraceHandle>,
 }
 
 impl PendingPrediction {
@@ -240,7 +305,13 @@ impl PendingPrediction {
     /// not match the model's input width, and [`ServeError::ServerClosed`]
     /// when the server shut down before answering.
     pub fn wait(self) -> Result<Prediction> {
-        self.rx.recv().map_err(|_| ServeError::ServerClosed)?
+        let result = self.rx.recv().map_err(|_| ServeError::ServerClosed)?;
+        if result.is_ok() {
+            if let Some(trace) = &self.trace {
+                trace.stamp(Stage::ReplyWritten);
+            }
+        }
+        result
     }
 }
 
@@ -311,18 +382,55 @@ impl ServeHandle {
         features: &[f32],
         deadline: Option<Instant>,
     ) -> Result<PendingPrediction> {
+        let trace = self.begin_trace(snapshot.model_id());
+        if let Some(trace) = &trace {
+            // In-process submission has no auth/admission step: the admit
+            // stage coincides with receive.
+            trace.stamp(Stage::Admit);
+        }
+        let mut pending =
+            self.submit_snapshot_traced(snapshot, features, deadline, trace.clone())?;
+        // Delivery to the caller is this path's "reply written" stage.
+        pending.trace = trace;
+        Ok(pending)
+    }
+
+    /// [`ServeHandle::submit_snapshot`] with a caller-begun [`TraceHandle`]
+    /// — the network front-end begins the trace at frame receive (so the
+    /// recv→admit span covers auth and admission) and threads the handle
+    /// through here, keeping a clone to stamp [`Stage::ReplyWritten`] after
+    /// the socket write. Stamps [`Stage::Enqueue`] as the request enters
+    /// the batch queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ServerClosed`] when the server has shut down.
+    pub fn submit_snapshot_traced(
+        &self,
+        snapshot: &ModelSnapshot,
+        features: &[f32],
+        deadline: Option<Instant>,
+        trace: Option<TraceHandle>,
+    ) -> Result<PendingPrediction> {
+        if let Some(trace) = &trace {
+            trace.stamp(Stage::Enqueue);
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         let request = Request {
             snapshot: snapshot.clone(),
             features: features.to_vec(),
             enqueued: Instant::now(),
             deadline,
+            trace,
             reply: reply_tx,
         };
         self.tx
             .send(Job::Run(request))
             .map_err(|_| ServeError::ServerClosed)?;
-        Ok(PendingPrediction { rx: reply_rx })
+        Ok(PendingPrediction {
+            rx: reply_rx,
+            trace: None,
+        })
     }
 
     /// Resolves a model id to a pinned (entry, epoch) snapshot — resolve
@@ -411,22 +519,53 @@ impl ServeHandle {
     /// reference to the owning [`Server`].
     pub fn stats(&self) -> ServerStats {
         let models = self.shared.registry.model_stats();
-        let stats = self.shared.stats.lock().expect("stats lock");
+        let telemetry = &self.shared.telemetry;
+        let requests = telemetry.requests.get();
+        let batches = telemetry.batches.get();
         ServerStats {
-            requests: stats.requests,
-            batches: stats.batches,
-            mean_batch: if stats.batches == 0 {
+            requests,
+            batches,
+            mean_batch: if batches == 0 {
                 0.0
             } else {
-                stats.requests as f64 / stats.batches as f64
+                requests as f64 / batches as f64
             },
-            max_batch: stats.max_batch,
+            max_batch: telemetry.max_batch.get() as usize,
             shed_expired: self.shared.counters.shed_expired.get(),
             rejected_overload: self.shared.counters.rejected_overload.get(),
             rejected_deadline: self.shared.counters.rejected_deadline.get(),
-            latency: stats.latency.summary(),
+            latency: telemetry.latency.summary(),
+            stages: telemetry.stages.summaries(),
             models,
         }
+    }
+
+    /// The unified metrics registry behind this server: every serve-side
+    /// counter, gauge and histogram (including per-model entries and the
+    /// stage histograms), snapshot-able in one call and renderable in the
+    /// stable exposition format.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared.telemetry.metrics.clone()
+    }
+
+    /// The flight recorder holding recently committed per-request traces.
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        self.shared.telemetry.recorder.clone()
+    }
+
+    /// The always-on per-stage histograms. A network front-end clones
+    /// `write` into its reply writer so socket-write time lands in the same
+    /// snapshot as the in-engine stages.
+    pub fn stage_histograms(&self) -> StageHistograms {
+        self.shared.telemetry.stages.clone()
+    }
+
+    /// Begins a per-request trace against `model_id`, stamping
+    /// [`Stage::Recv`] now. `None` (at the cost of one atomic increment)
+    /// when tracing is disabled or the request was not sampled — callers
+    /// thread the `Option` through untouched.
+    pub fn begin_trace(&self, model_id: u16) -> Option<TraceHandle> {
+        self.shared.telemetry.recorder.begin(model_id)
     }
 
     /// Cloneable handles onto the load-shedding counters reported by
@@ -511,12 +650,14 @@ impl Server {
             });
         }
         let (tx, rx) = mpsc::channel();
+        let counters = ShedCounters::default();
+        let telemetry = Telemetry::new(config.trace, &counters, &registry);
         let shared = Arc::new(Shared {
             registry,
             config,
             queue: Mutex::new(Some(rx)),
-            stats: Mutex::new(StatsInner::default()),
-            counters: ShedCounters::default(),
+            telemetry,
+            counters,
         });
         let workers = (0..config.workers)
             .map(|index| {
@@ -667,10 +808,15 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
     // deadline expired while queued — both before any GEMM work; the rest
     // still batch. The deadline check runs *after* batch assembly (which
     // may have waited `max_wait`), so queue time counts against the budget.
-    let now = Instant::now();
+    // This instant also closes the queue-wait stage for every request in
+    // the batch: enqueue → here is time spent waiting for a worker.
+    let assembled = Instant::now();
     let mut groups: Vec<(Arc<FrozenModel>, Vec<Request>)> = Vec::new();
     for request in batch {
-        if request.deadline.is_some_and(|deadline| now > deadline) {
+        if request
+            .deadline
+            .is_some_and(|deadline| assembled > deadline)
+        {
             shared.counters.shed_expired.inc();
             request.snapshot.entry().shed_counters().shed_expired.inc();
             let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
@@ -697,12 +843,14 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
         }
     }
     for (model, group) in groups {
-        run_group(shared, &model, group);
+        run_group(shared, &model, group, assembled);
     }
 }
 
-/// Executes and answers one same-epoch group.
-fn run_group(shared: &Shared, model: &FrozenModel, group: Vec<Request>) {
+/// Executes and answers one same-epoch group. `assembled` is the instant
+/// batch assembly completed (queue wait ends there; validation, grouping
+/// and input flattening between it and the GEMM are the assembly stage).
+fn run_group(shared: &Shared, model: &FrozenModel, group: Vec<Request>, assembled: Instant) {
     let features = model.input_features();
     let rows = group.len();
     let mut data = Vec::with_capacity(rows * features);
@@ -710,6 +858,12 @@ fn run_group(shared: &Shared, model: &FrozenModel, group: Vec<Request>) {
         data.extend_from_slice(&request.features);
     }
     let gemm_threads = Some(shared.config.gemm_threads.max(1));
+    let wave_start = Instant::now();
+    for request in &group {
+        if let Some(trace) = &request.trace {
+            trace.stamp_at(Stage::WaveStart, wave_start);
+        }
+    }
     let outcome = Tensor::from_vec(&[rows, features], data)
         .map_err(ServeError::from)
         .and_then(|input| match shared.config.mode {
@@ -718,20 +872,36 @@ fn run_group(shared: &Shared, model: &FrozenModel, group: Vec<Request>) {
         });
     match outcome {
         Ok(labels) => {
+            let gemm_done = Instant::now();
             let latencies: Vec<Duration> = group.iter().map(|r| r.enqueued.elapsed()).collect();
             // Record stats *before* replying: once the last reply of a wave
             // is delivered, `Server::stats` must already reflect it (tests
             // and the smoke gate assert exact request counts).
-            {
-                let mut stats = shared.stats.lock().expect("stats lock");
-                stats.batches += 1;
-                stats.max_batch = stats.max_batch.max(rows);
-                stats.requests += rows as u64;
-                for latency in &latencies {
-                    stats.latency.record(*latency);
-                }
-            }
+            let telemetry = &shared.telemetry;
+            telemetry.batches.inc();
+            telemetry.requests.add(rows as u64);
+            telemetry.max_batch.max_of(rows as u64);
+            telemetry.latency.record_all(latencies.iter().copied());
+            // One lock acquisition per stage histogram for the whole wave.
+            telemetry.stages.queue.record_all(
+                group
+                    .iter()
+                    .map(|r| assembled.saturating_duration_since(r.enqueued)),
+            );
+            let assembly = wave_start.saturating_duration_since(assembled);
+            telemetry
+                .stages
+                .assembly
+                .record_all(std::iter::repeat_n(assembly, rows));
+            let gemm = gemm_done.saturating_duration_since(wave_start);
+            telemetry
+                .stages
+                .gemm
+                .record_all(std::iter::repeat_n(gemm, rows));
             for ((request, label), latency) in group.into_iter().zip(labels).zip(latencies) {
+                if let Some(trace) = &request.trace {
+                    trace.stamp_at(Stage::GemmDone, gemm_done);
+                }
                 request.snapshot.entry().record_served(latency);
                 let _ = request.reply.send(Ok(Prediction {
                     label,
@@ -740,6 +910,9 @@ fn run_group(shared: &Shared, model: &FrozenModel, group: Vec<Request>) {
             }
         }
         Err(error) => {
+            // Failed requests drop their trace handles unstamped past
+            // wave-start: the committed trace stays incomplete, which is
+            // exactly what the dump should show for an errored request.
             for request in group {
                 let _ = request.reply.send(Err(error.clone()));
             }

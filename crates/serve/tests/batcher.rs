@@ -73,6 +73,7 @@ fn concurrent_goodness_predictions_match_single_threaded_eval() {
                     max_wait: Duration::from_micros(max_wait_us),
                 },
                 gemm_threads: 1,
+                trace: ff_serve::TraceSettings::default(),
             },
             8,
         );
@@ -91,6 +92,7 @@ fn concurrent_logits_predictions_match_single_threaded_eval() {
                     max_wait: Duration::from_micros(300),
                 },
                 gemm_threads: 1,
+                trace: ff_serve::TraceSettings::default(),
             },
             6,
         );
@@ -114,6 +116,7 @@ fn coalescing_actually_batches_under_load() {
                 max_wait: Duration::from_millis(5),
             },
             gemm_threads: 1,
+            trace: ff_serve::TraceSettings::default(),
         },
     )
     .unwrap();
@@ -152,6 +155,7 @@ fn mixed_valid_and_invalid_requests_do_not_poison_batches() {
                 max_wait: Duration::from_millis(2),
             },
             gemm_threads: 1,
+            trace: ff_serve::TraceSettings::default(),
         },
     )
     .unwrap();

@@ -84,6 +84,7 @@ fn concurrent_swaps_never_tear_or_drop_replies() {
                 max_wait: Duration::from_micros(200),
             },
             gemm_threads: 1,
+            trace: ff_serve::TraceSettings::default(),
         },
     )
     .unwrap();

@@ -63,6 +63,7 @@ fn serve_smoke_gate() {
                 max_wait: Duration::from_micros(500),
             },
             gemm_threads: 1,
+            trace: ff_serve::TraceSettings::default(),
         },
     )
     .expect("server start");

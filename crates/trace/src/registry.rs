@@ -1,0 +1,365 @@
+//! The unified metrics registry: named [`Counter`] / [`Gauge`] /
+//! histogram handles, atomic snapshots, and the stable text exposition
+//! format the `FF8P` `MetricsDump` endpoint serves.
+//!
+//! Subsystems either mint a handle through the registry
+//! ([`MetricsRegistry::counter`] is get-or-register, so two callers naming
+//! the same metric share one cell) or register a handle they already own
+//! ([`MetricsRegistry::register_counter`]) — which is how the serving
+//! stack's pre-existing ad-hoc counters (shed counts, per-model swap and
+//! request counts, registry version gauges) fold into one snapshot without
+//! moving their hot-path call sites.
+
+use ff_metrics::{Counter, Gauge, LatencyHistogram, LatencySummary};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A cloneable, thread-safe latency histogram handle — the shared-ownership
+/// form of [`ff_metrics::LatencyHistogram`], recordable from any thread.
+///
+/// Clones share one histogram. Recording takes a short mutex (the histogram
+/// update itself is a few adds); readers take the same mutex momentarily
+/// for a [`SharedHistogram::summary`].
+///
+/// # Examples
+///
+/// ```
+/// use ff_trace::SharedHistogram;
+/// use std::time::Duration;
+///
+/// let hist = SharedHistogram::new();
+/// let writer = hist.clone();
+/// writer.record(Duration::from_micros(250));
+/// assert_eq!(hist.summary().count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistogram(Arc<Mutex<LatencyHistogram>>);
+
+impl SharedHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, latency: Duration) {
+        self.lock().record(latency);
+    }
+
+    /// Records one latency given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.lock().record_ns(ns);
+    }
+
+    /// Records many durations under one lock acquisition — what the batch
+    /// reply path uses so a 32-row wave costs one lock, not 32.
+    pub fn record_all<I: IntoIterator<Item = Duration>>(&self, latencies: I) {
+        let mut hist = self.lock();
+        for latency in latencies {
+            hist.record(latency);
+        }
+    }
+
+    /// A copyable snapshot of the headline statistics.
+    pub fn summary(&self) -> LatencySummary {
+        self.lock().summary()
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.lock().count()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LatencyHistogram> {
+        self.0.lock().expect("shared histogram lock poisoned")
+    }
+}
+
+/// One registered metric: a shared handle of one of the three kinds.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(SharedHistogram),
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic event count.
+    Counter(u64),
+    /// A last-value (or high-water-mark) gauge.
+    Gauge(u64),
+    /// Headline latency statistics.
+    Histogram(LatencySummary),
+}
+
+/// A consistent-order snapshot of every registered metric, sorted by name.
+///
+/// "Atomic" per metric (each value is read once from its shared cell);
+/// metrics are not synchronized with *each other*, exactly like reading
+/// the underlying counters directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The value registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Renders the snapshot in the stable text exposition format: one
+    /// metric per line, sorted by name —
+    ///
+    /// ```text
+    /// <name> counter <value>
+    /// <name> gauge <value>
+    /// <name> histogram count <n> mean_ns <ns> p50_ns <ns> p95_ns <ns> p99_ns <ns> max_ns <ns>
+    /// ```
+    ///
+    /// The format is part of the wire contract (the `FF8P` `MetricsDump`
+    /// reply carries exactly this text): fields are only ever *appended*,
+    /// and every value is a base-10 integer, so line-oriented scrapers
+    /// stay compatible across releases.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(self.entries.len() * 48);
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => writeln!(out, "{name} counter {v}"),
+                MetricValue::Gauge(v) => writeln!(out, "{name} gauge {v}"),
+                MetricValue::Histogram(s) => writeln!(
+                    out,
+                    "{name} histogram count {} mean_ns {} p50_ns {} p95_ns {} p99_ns {} max_ns {}",
+                    s.count,
+                    s.mean.as_nanos(),
+                    s.p50.as_nanos(),
+                    s.p95.as_nanos(),
+                    s.p99.as_nanos(),
+                    s.max.as_nanos()
+                ),
+            }
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+/// A registry of named metric handles. Cheap to clone; clones share one
+/// registry. Registration takes a short mutex; the handles themselves are
+/// lock-free (counters, gauges) or short-mutex (histograms), so the hot
+/// path never touches the registry after startup.
+///
+/// # Examples
+///
+/// ```
+/// use ff_trace::{MetricValue, MetricsRegistry};
+///
+/// let metrics = MetricsRegistry::new();
+/// let requests = metrics.counter("serve.requests");
+/// requests.inc();
+/// // A second caller naming the same metric shares the same cell.
+/// metrics.counter("serve.requests").inc();
+/// assert_eq!(
+///     metrics.snapshot().get("serve.requests"),
+///     Some(&MetricValue::Counter(2))
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, registering a fresh one on
+    /// first use. If `name` is registered as a different kind, the existing
+    /// registration wins and a *detached* counter is returned — callers
+    /// that can race on kind should pick distinct names.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(counter) => counter.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// The gauge registered under `name` (get-or-register; see
+    /// [`MetricsRegistry::counter`] for the kind-mismatch contract).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(gauge) => gauge.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// The histogram registered under `name` (get-or-register; see
+    /// [`MetricsRegistry::counter`] for the kind-mismatch contract).
+    pub fn histogram(&self, name: &str) -> SharedHistogram {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(SharedHistogram::new()))
+        {
+            Metric::Histogram(hist) => hist.clone(),
+            _ => SharedHistogram::new(),
+        }
+    }
+
+    /// Registers an **existing** counter handle under `name`, replacing any
+    /// previous registration — how a subsystem that already owns its
+    /// counters (the admission gate's shed counts, a model entry's request
+    /// count) publishes them without moving its call sites.
+    pub fn register_counter(&self, name: &str, counter: Counter) {
+        self.lock()
+            .insert(name.to_string(), Metric::Counter(counter));
+    }
+
+    /// Registers an existing gauge handle under `name` (see
+    /// [`MetricsRegistry::register_counter`]).
+    pub fn register_gauge(&self, name: &str, gauge: Gauge) {
+        self.lock().insert(name.to_string(), Metric::Gauge(gauge));
+    }
+
+    /// Registers an existing histogram handle under `name` (see
+    /// [`MetricsRegistry::register_counter`]).
+    pub fn register_histogram(&self, name: &str, histogram: SharedHistogram) {
+        self.lock()
+            .insert(name.to_string(), Metric::Histogram(histogram));
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A consistent-order snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.lock();
+        MetricsSnapshot {
+            entries: metrics
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+
+    /// [`MetricsRegistry::snapshot`] rendered in the stable text exposition
+    /// format ([`MetricsSnapshot::render`]).
+    pub fn expose(&self) -> String {
+        self.snapshot().render()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().expect("metrics registry lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_shares_one_cell() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("a.requests").add(2);
+        metrics.counter("a.requests").inc();
+        metrics.gauge("a.depth").set(7);
+        metrics.histogram("a.latency_ns").record_ns(1000);
+        assert_eq!(metrics.len(), 3);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.get("a.requests"), Some(&MetricValue::Counter(3)));
+        assert_eq!(snapshot.get("a.depth"), Some(&MetricValue::Gauge(7)));
+        assert!(matches!(
+            snapshot.get("a.latency_ns"),
+            Some(MetricValue::Histogram(s)) if s.count == 1
+        ));
+        assert_eq!(snapshot.get("missing"), None);
+    }
+
+    #[test]
+    fn registering_existing_handles_publishes_them() {
+        let metrics = MetricsRegistry::new();
+        let owned = Counter::new();
+        owned.add(5);
+        metrics.register_counter("sub.events", owned.clone());
+        owned.inc(); // the original call site keeps bumping its own handle
+        assert_eq!(
+            metrics.snapshot().get("sub.events"),
+            Some(&MetricValue::Counter(6))
+        );
+        let gauge = Gauge::new();
+        gauge.set(3);
+        metrics.register_gauge("sub.version", gauge);
+        let hist = SharedHistogram::new();
+        hist.record(Duration::from_micros(10));
+        metrics.register_histogram("sub.latency_ns", hist);
+        assert_eq!(metrics.len(), 3);
+    }
+
+    #[test]
+    fn kind_mismatch_preserves_the_existing_registration() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("x").add(4);
+        // Asking for the same name as a gauge yields a detached handle and
+        // leaves the counter in place.
+        let detached = metrics.gauge("x");
+        detached.set(99);
+        assert_eq!(metrics.snapshot().get("x"), Some(&MetricValue::Counter(4)));
+    }
+
+    #[test]
+    fn exposition_format_is_stable_and_sorted() {
+        let metrics = MetricsRegistry::new();
+        metrics.gauge("b.gauge").set(2);
+        metrics.counter("a.counter").inc();
+        metrics.histogram("c.hist_ns").record_ns(500);
+        let text = metrics.expose();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a.counter counter 1");
+        assert_eq!(lines[1], "b.gauge gauge 2");
+        assert!(lines[2].starts_with("c.hist_ns histogram count 1 mean_ns 500"));
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let metrics = MetricsRegistry::new();
+        let clone = metrics.clone();
+        clone.counter("shared").inc();
+        assert_eq!(
+            metrics.snapshot().get("shared"),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+}

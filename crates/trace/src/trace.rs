@@ -1,0 +1,383 @@
+//! Per-request stage traces: the live, concurrently stamped cell
+//! ([`TraceHandle`]) and the immutable committed record
+//! ([`RequestTrace`]).
+//!
+//! A trace is born at receive time, cloned along the request's journey
+//! (net handler → batcher queue → GEMM worker → reply writer), stamped at
+//! each [`Stage`], and commits to the [`crate::FlightRecorder`]'s ring
+//! when the **last** handle drops — so a request abandoned anywhere on the
+//! path (connection killed, reply channel dropped, worker panic unwound)
+//! still commits an incomplete, inspectable record instead of leaking.
+
+use crate::recorder::RecorderInner;
+use crate::{Stage, STAGE_COUNT};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sentinel in a stamp slot meaning "not stamped".
+pub(crate) const UNSTAMPED: u64 = u64::MAX;
+
+/// Sentinel in the deadline slot meaning "no deadline".
+pub(crate) const NO_DEADLINE: i64 = i64::MIN;
+
+/// Configuration for the [`crate::FlightRecorder`] and its sampler.
+/// `Copy`, so it embeds directly in serve/net config structs.
+///
+/// Defaults: tracing enabled, a 256-entry ring, 32 sampled requests per
+/// second, stride 1, seed 0, no slow threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSettings {
+    /// Master switch. `false` makes `begin` return `None` unconditionally:
+    /// zero per-request allocation, zero stamping.
+    pub enabled: bool,
+    /// Ring capacity in committed traces; the memory bound. Oldest entries
+    /// are evicted first. Zero keeps the ring empty (commits are dropped).
+    pub capacity: usize,
+    /// Sampling budget per wall-clock second. `0` disables sampling
+    /// entirely (only slow-threshold capture remains, if armed);
+    /// `u32::MAX` bypasses the per-second token bucket so the stride
+    /// decision alone — fully deterministic — picks samples.
+    pub sample_per_sec: u32,
+    /// Deterministic pre-filter: of the requests the bucket would admit,
+    /// sample those whose seeded hash of the sequence number falls in
+    /// `1/stride` of the space. `0` is treated as `1` (every request
+    /// eligible).
+    pub sample_stride: u64,
+    /// Seed for the deterministic stride hash — same seed and sequence
+    /// numbers, same sampling decisions.
+    pub seed: u64,
+    /// Requests whose end-to-end latency reaches this threshold are
+    /// retained and flagged `slow` even when not sampled — the
+    /// slow-request log.
+    pub slow_threshold: Option<Duration>,
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        TraceSettings {
+            enabled: true,
+            capacity: 256,
+            sample_per_sec: 32,
+            sample_stride: 1,
+            seed: 0,
+            slow_threshold: None,
+        }
+    }
+}
+
+impl TraceSettings {
+    /// Settings with tracing fully off — what latency-critical benchmarks
+    /// use to measure the zero-instrumentation baseline.
+    pub fn disabled() -> Self {
+        TraceSettings {
+            enabled: false,
+            ..TraceSettings::default()
+        }
+    }
+}
+
+/// The live, shared trace cell. Stamps are `u64` nanoseconds since the
+/// trace began, written with a first-wins compare-exchange: re-stamping a
+/// stage (a request spanning several waves, a retried write) keeps the
+/// *first* timestamp, so committed stamps are monotonic by construction.
+pub(crate) struct TraceCell {
+    pub(crate) seq: u64,
+    pub(crate) model_id: u16,
+    pub(crate) sampled: bool,
+    pub(crate) start: Instant,
+    pub(crate) stamps: [AtomicU64; STAGE_COUNT],
+    pub(crate) deadline_remaining_micros: AtomicI64,
+    pub(crate) recorder: Arc<RecorderInner>,
+}
+
+impl TraceCell {
+    pub(crate) fn new(
+        seq: u64,
+        model_id: u16,
+        sampled: bool,
+        recorder: Arc<RecorderInner>,
+    ) -> Self {
+        TraceCell {
+            seq,
+            model_id,
+            sampled,
+            start: Instant::now(),
+            stamps: [(); STAGE_COUNT].map(|()| AtomicU64::new(UNSTAMPED)),
+            deadline_remaining_micros: AtomicI64::new(NO_DEADLINE),
+            recorder,
+        }
+    }
+
+    fn snapshot(&self, end_to_end: Duration, slow: bool) -> RequestTrace {
+        let stamps = self.stamps.each_ref().map(|slot| {
+            let ns = slot.load(Ordering::Acquire);
+            (ns != UNSTAMPED).then_some(ns)
+        });
+        let deadline = self.deadline_remaining_micros.load(Ordering::Acquire);
+        RequestTrace {
+            seq: self.seq,
+            model_id: self.model_id,
+            sampled: self.sampled,
+            slow,
+            completed: stamps.iter().all(Option::is_some),
+            end_to_end_ns: end_to_end.as_nanos().min(u64::MAX as u128) as u64,
+            deadline_remaining_micros: (deadline != NO_DEADLINE).then_some(deadline),
+            stamps,
+        }
+    }
+}
+
+impl Drop for TraceCell {
+    fn drop(&mut self) {
+        let end_to_end = self.start.elapsed();
+        let slow = self
+            .recorder
+            .settings
+            .slow_threshold
+            .is_some_and(|t| end_to_end >= t);
+        if self.sampled || slow {
+            let trace = self.snapshot(end_to_end, slow);
+            self.recorder.commit(trace);
+        }
+        self.recorder.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A cloneable handle to one in-flight request's trace.
+///
+/// Clones share the cell; any holder may stamp any stage from any thread.
+/// The trace commits to the flight recorder when the last handle drops.
+#[derive(Clone)]
+pub struct TraceHandle {
+    pub(crate) cell: Arc<TraceCell>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("seq", &self.cell.seq)
+            .field("model_id", &self.cell.model_id)
+            .field("sampled", &self.cell.sampled)
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// Stamps `stage` with "now". First write wins; re-stamping is a no-op.
+    pub fn stamp(&self, stage: Stage) {
+        self.stamp_at(stage, Instant::now());
+    }
+
+    /// Stamps `stage` with a caller-captured instant — what the batch
+    /// engine uses to stamp a whole wave with one clock read. Instants
+    /// before the trace began clamp to zero.
+    pub fn stamp_at(&self, stage: Stage, instant: Instant) {
+        let ns = instant
+            .saturating_duration_since(self.cell.start)
+            .as_nanos()
+            .min(u64::MAX as u128 - 1) as u64;
+        // First-wins: keeps the earliest observation so stamps stay
+        // monotonic even if a stage is revisited.
+        let _ = self.cell.stamps[stage.index()].compare_exchange(
+            UNSTAMPED,
+            ns,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records the time remaining to the request's deadline at admission
+    /// (negative means already past due). First write wins is *not* needed
+    /// here — admission happens once — so this is a plain store.
+    pub fn set_deadline_remaining(&self, remaining: Duration, past_due: bool) {
+        let micros = remaining.as_micros().min(i64::MAX as u128) as i64;
+        let signed = if past_due { -micros } else { micros };
+        self.cell
+            .deadline_remaining_micros
+            .store(signed.max(NO_DEADLINE + 1), Ordering::Release);
+    }
+
+    /// The sequence number the recorder assigned this request.
+    pub fn seq(&self) -> u64 {
+        self.cell.seq
+    }
+
+    /// The model the request targets.
+    pub fn model_id(&self) -> u16 {
+        self.cell.model_id
+    }
+
+    /// Whether the deterministic sampler selected this request (slow-only
+    /// captures return `false`).
+    pub fn sampled(&self) -> bool {
+        self.cell.sampled
+    }
+}
+
+/// One committed trace: an immutable record of where a request's time
+/// went, read back via [`crate::FlightRecorder::recent`] or the FF8P
+/// `TraceDump` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Recorder-assigned sequence number (monotonic per recorder).
+    pub seq: u64,
+    /// Model the request targeted.
+    pub model_id: u16,
+    /// Selected by the deterministic sampler.
+    pub sampled: bool,
+    /// End-to-end latency reached the configured slow threshold.
+    pub slow: bool,
+    /// All six stages were stamped — `false` means the request was
+    /// abandoned mid-path (shed, failed, connection killed).
+    pub completed: bool,
+    /// Total lifetime of the trace in nanoseconds (begin → last handle
+    /// dropped).
+    pub end_to_end_ns: u64,
+    /// Time remaining to the deadline at admission, in microseconds;
+    /// negative means admitted past due; `None` means no deadline (or the
+    /// request never reached admission).
+    pub deadline_remaining_micros: Option<i64>,
+    /// Nanoseconds since [`Stage::Recv`]'s clock start for each stage, in
+    /// [`Stage::ALL`] order; `None` means the stage was never reached.
+    pub stamps: [Option<u64>; STAGE_COUNT],
+}
+
+impl RequestTrace {
+    /// The stamp for `stage`, if present.
+    pub fn stamp(&self, stage: Stage) -> Option<u64> {
+        self.stamps[stage.index()]
+    }
+
+    /// `true` when the stamps that *are* present never decrease in path
+    /// order. Committed traces always satisfy this (first-wins stamping),
+    /// so the wire test suite asserts it on every dumped trace.
+    pub fn is_monotonic(&self) -> bool {
+        let mut last = 0u64;
+        for stamp in self.stamps.iter().flatten() {
+            if *stamp < last {
+                return false;
+            }
+            last = *stamp;
+        }
+        true
+    }
+
+    /// Nanoseconds from receive to reply written, when both ends were
+    /// stamped — the stage-attributed end-to-end time, which differs from
+    /// [`RequestTrace::end_to_end_ns`] only by handle-drop scheduling
+    /// noise.
+    pub fn reply_latency_ns(&self) -> Option<u64> {
+        match (self.stamp(Stage::Recv), self.stamp(Stage::ReplyWritten)) {
+            (Some(recv), Some(written)) => Some(written.saturating_sub(recv)),
+            _ => None,
+        }
+    }
+
+    /// The duration between two stamped stages, `None` if either is
+    /// missing.
+    pub fn span_ns(&self, from: Stage, to: Stage) -> Option<u64> {
+        match (self.stamp(from), self.stamp(to)) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlightRecorder;
+
+    fn every_request() -> TraceSettings {
+        TraceSettings {
+            sample_per_sec: u32::MAX,
+            ..TraceSettings::default()
+        }
+    }
+
+    #[test]
+    fn first_wins_stamping_keeps_the_earliest_timestamp() {
+        let recorder = FlightRecorder::new(every_request());
+        let trace = recorder.begin(3).expect("sampled");
+        let early = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        trace.stamp_at(Stage::Admit, early);
+        trace.stamp(Stage::Admit); // later; must lose
+        for stage in [
+            Stage::Enqueue,
+            Stage::WaveStart,
+            Stage::GemmDone,
+            Stage::ReplyWritten,
+        ] {
+            trace.stamp(stage);
+        }
+        drop(trace);
+        let committed = &recorder.recent(0)[0];
+        assert!(committed.completed);
+        assert!(committed.is_monotonic());
+        assert_eq!(committed.model_id, 3);
+        let admit = committed.stamp(Stage::Admit).unwrap();
+        let enqueue = committed.stamp(Stage::Enqueue).unwrap();
+        assert!(
+            admit < enqueue,
+            "early stamp must win: {admit} vs {enqueue}"
+        );
+    }
+
+    #[test]
+    fn abandoned_traces_commit_incomplete() {
+        let recorder = FlightRecorder::new(every_request());
+        let trace = recorder.begin(1).expect("sampled");
+        trace.stamp(Stage::Admit);
+        let clone = trace.clone();
+        drop(trace);
+        assert_eq!(recorder.len(), 0, "commit waits for the last handle");
+        drop(clone);
+        let committed = &recorder.recent(0)[0];
+        assert!(!committed.completed);
+        assert!(committed.is_monotonic());
+        assert_eq!(committed.stamp(Stage::Recv), Some(0));
+        assert_eq!(committed.stamp(Stage::Enqueue), None);
+        assert_eq!(recorder.live(), 0);
+    }
+
+    #[test]
+    fn deadline_remaining_survives_commit() {
+        let recorder = FlightRecorder::new(every_request());
+        let trace = recorder.begin(0).expect("sampled");
+        trace.set_deadline_remaining(Duration::from_micros(1500), false);
+        drop(trace);
+        let committed = &recorder.recent(0)[0];
+        assert_eq!(committed.deadline_remaining_micros, Some(1500));
+
+        let trace = recorder.begin(0).expect("sampled");
+        trace.set_deadline_remaining(Duration::from_micros(40), true);
+        drop(trace);
+        let committed = &recorder.recent(0)[1];
+        assert_eq!(committed.deadline_remaining_micros, Some(-40));
+    }
+
+    #[test]
+    fn span_helpers_handle_missing_stamps() {
+        let trace = RequestTrace {
+            seq: 0,
+            model_id: 0,
+            sampled: true,
+            slow: false,
+            completed: false,
+            end_to_end_ns: 500,
+            deadline_remaining_micros: None,
+            stamps: [Some(0), Some(100), None, None, None, Some(400)],
+        };
+        assert!(trace.is_monotonic());
+        assert_eq!(trace.reply_latency_ns(), Some(400));
+        assert_eq!(trace.span_ns(Stage::Recv, Stage::Admit), Some(100));
+        assert_eq!(trace.span_ns(Stage::Admit, Stage::WaveStart), None);
+        let broken = RequestTrace {
+            stamps: [Some(0), Some(200), Some(100), None, None, None],
+            ..trace
+        };
+        assert!(!broken.is_monotonic());
+    }
+}

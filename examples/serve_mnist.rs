@@ -69,6 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_wait: Duration::from_micros(500),
             },
             gemm_threads: 1,
+            trace: ff_int8::serve::TraceSettings::default(),
         },
     )?;
     let subset = test_set.take(200)?;

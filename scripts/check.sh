@@ -73,6 +73,14 @@ if [[ "$fast" -eq 0 ]]; then
     # (crates/net/tests/multimodel.rs).
     echo "==> multi-model smoke gate (release)"
     cargo test -q --release -p ff-net --test multimodel
+
+    # Trace smoke gate: serve under concurrent load → TraceDump/MetricsDump
+    # over the wire → every sampled trace is complete with monotonic stage
+    # stamps whose reply-written offset lands at the end-to-end latency, and
+    # the per-stage histograms in StatsReply account for every request
+    # (crates/net/tests/trace.rs).
+    echo "==> trace smoke gate (release)"
+    cargo test -q --release -p ff-net --test trace
 fi
 
 echo "All checks passed."

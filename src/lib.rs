@@ -30,3 +30,4 @@ pub use ff_nn as nn;
 pub use ff_quant as quant;
 pub use ff_serve as serve;
 pub use ff_tensor as tensor;
+pub use ff_trace as trace;
