@@ -1,0 +1,233 @@
+//! Training-throughput benchmark: the paper's 3-layer MLP (784 → 2000 →
+//! 2000 → 10) trained one epoch sequentially, layer-pipelined
+//! across three stage threads, and data-parallel over a 2-worker loopback
+//! `FF8D` cluster.
+//!
+//! All three configurations produce **bit-identical weights** (asserted
+//! every run, smoke and measure alike — this bench doubles as a parity
+//! check on the paper-scale net), so the only question is wall-clock.
+//!
+//! The acceptance gate (ISSUE 9 / `BENCH_train.json`) is **pipeline ≥
+//! 1.3× sequential epoch throughput** with one stage per layer. The gate
+//! needs real parallel hardware: with fewer than 3 cores the stage
+//! threads time-slice one another and the channel overhead is pure loss,
+//! so the gate is enforced only when `std::thread::available_parallelism`
+//! reports ≥ 3 cores; otherwise the speedup is still measured and
+//! recorded, with `train/pipeline_gate_skipped = 1` in the baseline
+//! saying *honestly* that the gate did not run (rather than a green
+//! checkmark earned on a box where the claim is untestable).
+//!
+//! Running with `--bench` (what `cargo bench` passes) writes a
+//! `BENCH_train.json` baseline into `crates/bench/`.
+
+use criterion::Criterion;
+use ff_core::{Algorithm, Precision, TrainOptions, TrainSession, TrainerCore};
+use ff_data::{synthetic_mnist, Dataset, SyntheticConfig};
+use ff_dist::{Coordinator, CoordinatorConfig, PipelineSession, Worker};
+use ff_models::small_mlp;
+use ff_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// The paper's MNIST architecture: two 2000-wide hidden layers plus the
+/// class head — three FF layers, one pipeline stage each.
+const HIDDEN: [usize; 2] = [2000, 2000];
+
+fn paper_net() -> Sequential {
+    let mut rng = StdRng::seed_from_u64(42);
+    small_mlp(784, &HIDDEN, 10, &mut rng)
+}
+
+fn train_options(grad_shards: usize) -> TrainOptions {
+    TrainOptions {
+        epochs: 1,
+        batch_size: 32,
+        max_eval_samples: 32,
+        seed: 11,
+        grad_shards,
+        ..TrainOptions::fast_test()
+    }
+}
+
+/// Sizes the dataset so one measured iteration is a few batches of real
+/// GEMM work, not minutes of it.
+fn dataset(measuring: bool) -> (Dataset, Dataset) {
+    synthetic_mnist(&SyntheticConfig {
+        train_size: if measuring { 96 } else { 32 },
+        test_size: 32,
+        noise_std: 0.3,
+        max_shift: 0,
+        seed: 7,
+    })
+}
+
+fn weight_bits(net: &mut Sequential) -> Vec<Vec<u32>> {
+    net.params_mut()
+        .iter()
+        .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let measuring = c.measuring();
+    let (train_set, test_set) = dataset(measuring);
+    let options = train_options(1);
+
+    // Reference run once, outside measurement: every benched configuration
+    // must land on exactly these bits.
+    let mut reference_net = paper_net();
+    TrainSession::new(
+        &mut reference_net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: false },
+        &options,
+    )
+    .expect("session")
+    .run()
+    .expect("reference run");
+    let reference = weight_bits(&mut reference_net);
+
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut net = paper_net();
+            TrainSession::new(
+                &mut net,
+                &train_set,
+                &test_set,
+                Algorithm::FfInt8 { lookahead: false },
+                &options,
+            )
+            .expect("session")
+            .run()
+            .expect("sequential epoch");
+            assert_eq!(weight_bits(&mut net), reference, "sequential diverged");
+        });
+    });
+    group.bench_function("pipeline_3_stages", |b| {
+        b.iter(|| {
+            let mut net = paper_net();
+            let mut session = PipelineSession::new(
+                &mut net,
+                &train_set,
+                &test_set,
+                Precision::Int8,
+                &options,
+                &[1, 1, 1],
+            )
+            .expect("pipeline session");
+            session.run().expect("pipelined epoch");
+            drop(session);
+            assert_eq!(weight_bits(&mut net), reference, "pipeline diverged");
+        });
+    });
+    group.finish();
+
+    let mean_ns = |id: &str| {
+        c.results()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.mean_ns)
+            .unwrap_or(f64::NAN)
+    };
+    if measuring {
+        let sequential = mean_ns("train/sequential");
+        let pipeline = mean_ns("train/pipeline_3_stages");
+        let speedup = sequential / pipeline;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        c.record_metric("train/pipeline_speedup_x", speedup);
+        c.record_metric("train/available_cores", cores as f64);
+        // One stage thread per layer: the 1.3x claim presumes the three
+        // stages actually run concurrently.
+        if cores >= 3 {
+            c.record_metric("train/pipeline_gate_skipped", 0.0);
+            assert!(
+                speedup >= 1.3,
+                "pipeline gate: expected >= 1.3x over sequential on {cores} cores, got {speedup:.2}x"
+            );
+            println!("    pipeline gate PASSED: {speedup:.2}x >= 1.3x on {cores} cores");
+        } else {
+            c.record_metric("train/pipeline_gate_skipped", 1.0);
+            println!(
+                "    pipeline gate SKIPPED: only {cores} core(s) available, stages would \
+                 time-slice; measured {speedup:.2}x recorded, 1.3x threshold not enforced"
+            );
+        }
+    }
+}
+
+fn bench_train_cluster(c: &mut Criterion) {
+    let measuring = c.measuring();
+    let (train_set, test_set) = dataset(measuring);
+    let options = train_options(2);
+
+    let mut reference_net = paper_net();
+    TrainSession::new(
+        &mut reference_net,
+        &train_set,
+        &test_set,
+        Algorithm::FfInt8 { lookahead: false },
+        &options,
+    )
+    .expect("session")
+    .run()
+    .expect("reference run");
+    let reference = weight_bits(&mut reference_net);
+
+    // One persistent cluster across iterations — workers join once, every
+    // measured epoch reuses them (rebuilding TCP workers per sample would
+    // measure connection setup, not training).
+    let mut coordinator =
+        Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).expect("bind");
+    let addr = coordinator.addr();
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(9000 + i);
+                let mut replica = small_mlp(784, &HIDDEN, 10, &mut rng);
+                Worker::connect(addr, "", &mut replica)
+            })
+        })
+        .collect();
+    while coordinator.worker_count() < 2 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // A coordinator hands out exactly one trainer, so the trainer lives
+    // across iterations and is rewound to its pristine state (RNG +
+    // optimizer slots) before each measured epoch — the reset is what
+    // makes every iteration bit-identical to the reference.
+    let mut trainer = coordinator
+        .trainer(Precision::Int8, false, options.clone())
+        .expect("dist trainer");
+    let pristine = trainer.export_state();
+
+    let mut group = c.benchmark_group("train_cluster");
+    group.sample_size(10);
+    group.bench_function("data_parallel_2_workers", |b| {
+        b.iter(|| {
+            let mut net = paper_net();
+            trainer
+                .import_state(&pristine, &mut net)
+                .expect("rewind trainer");
+            TrainSession::with_trainer(&mut net, &train_set, &test_set, &mut trainer)
+                .expect("session")
+                .run()
+                .expect("cluster epoch");
+            assert_eq!(weight_bits(&mut net), reference, "cluster diverged");
+        });
+    });
+    group.finish();
+    coordinator.shutdown();
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+}
+
+criterion::criterion_group!(benches, bench_train, bench_train_cluster);
+criterion::criterion_main!(benches);

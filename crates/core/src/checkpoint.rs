@@ -16,19 +16,22 @@
 //! - the [`TrainingHistory`] recorded so far (including per-epoch
 //!   wall-clock seconds).
 //!
-//! # Byte layout (version 2, all integers little-endian)
+//! # Byte layout (version 3, all integers little-endian)
 //!
 //! Built on [`ff_codec`]'s length-prefixed record machinery (shared with
 //! the `FF8S` serving format and the `FF8P` wire protocol). Version 2
 //! extends version 1 with the optimizer-family byte in the options record
 //! and a per-slot optimizer-kind byte (version-1 artifacts implicitly held
 //! SGD state only, so there is no in-place upgrade path — retrain or
-//! re-checkpoint).
+//! re-checkpoint). Version 3 appends the `grad_shards` word to the options
+//! record; version-2 artifacts still load (their runs were by definition
+//! unsharded, so `grad_shards` defaults to 1) — the same minor-version-bump
+//! evolution the `FF8P` deadline fields used.
 //!
 //! ```text
 //! header:
 //!   magic            4 × u8   = "FF8C"
-//!   format_version   u16      = 2
+//!   format_version   u16      = 3 (2 still readable)
 //!   flags            u16      = 0 (reserved)
 //! record "meta":
 //!   algorithm_kind   u8       — 0..=3 BP policies, 4 FF-INT8, 5 FF-FP32
@@ -42,6 +45,7 @@
 //!   lambda_init, lambda_step, lambda_max  f32
 //!   eval_every, max_eval_samples, seed    u64
 //!   optimizer        u8       — 0 = SGD, 1 = Adam
+//!   grad_shards      u64      — version ≥ 3 only (v2 implies 1)
 //! record "history":
 //!   name             string   — u32 length + UTF-8
 //!   count            u32
@@ -83,8 +87,12 @@ use std::path::{Path, PathBuf};
 /// The four magic bytes every training checkpoint starts with.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FF8C";
 
-/// The checkpoint format version this build writes and reads.
-pub const CHECKPOINT_VERSION: u16 = 2;
+/// The checkpoint format version this build writes.
+pub const CHECKPOINT_VERSION: u16 = 3;
+
+/// The oldest checkpoint format version this build still reads
+/// (version 2 predates the `grad_shards` option, which defaults to 1).
+pub const CHECKPOINT_MIN_VERSION: u16 = 2;
 
 /// Wire code of [`OptimizerKind::Sgd`] in the options and optimizers
 /// records.
@@ -427,6 +435,7 @@ pub fn save_bytes(checkpoint: &Checkpoint) -> Vec<u8> {
             OptimizerKind::Sgd => OPTIMIZER_SGD,
             OptimizerKind::Adam => OPTIMIZER_ADAM,
         });
+        r.put_u64(o.grad_shards as u64);
     });
     writer.record(|r| {
         r.put_string(&checkpoint.history.name);
@@ -503,8 +512,12 @@ pub fn save_bytes(checkpoint: &Checkpoint) -> Vec<u8> {
 /// dataset) is checked here or at [`crate::TrainSession::resume`] time.
 pub fn load_bytes(bytes: &[u8]) -> Result<Checkpoint> {
     let map_header = |e: CodecError| CoreError::Checkpoint(e);
-    let mut reader =
-        Reader::new(bytes, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION).map_err(map_header)?;
+    let (mut reader, version) = Reader::with_versions(
+        bytes,
+        &CHECKPOINT_MAGIC,
+        CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION,
+    )
+    .map_err(map_header)?;
 
     let mut meta = reader.record("meta record")?;
     let kind = meta.get_u8("algorithm kind")?;
@@ -522,7 +535,7 @@ pub fn load_bytes(bytes: &[u8]) -> Result<Checkpoint> {
     meta.finish("meta record")?;
 
     let mut opt = reader.record("options record")?;
-    let options = TrainOptions {
+    let mut options = TrainOptions {
         epochs: opt.get_u64("epochs")? as usize,
         batch_size: opt.get_u64("batch_size")? as usize,
         learning_rate: opt.get_f32("learning_rate")?,
@@ -539,7 +552,11 @@ pub fn load_bytes(bytes: &[u8]) -> Result<Checkpoint> {
             OPTIMIZER_ADAM => OptimizerKind::Adam,
             other => return Err(corrupt(format!("unknown optimizer kind {other}"))),
         },
+        grad_shards: 1,
     };
+    if version >= 3 {
+        options.grad_shards = opt.get_u64("grad_shards")? as usize;
+    }
     opt.finish("options record")?;
     options
         .validate()
@@ -695,6 +712,134 @@ mod tests {
                 elapsed_seconds: 0.125,
             }),
         }
+    }
+
+    /// Serializes `checkpoint` in the historic version-2 layout (no
+    /// `grad_shards` word) — the artifacts every pre-sharding build wrote.
+    fn save_bytes_v2(checkpoint: &Checkpoint) -> Vec<u8> {
+        let mut writer = Writer::new(&CHECKPOINT_MAGIC, 2);
+        let (kind, lookahead) = algorithm_code(checkpoint.algorithm);
+        writer.record(|r| {
+            r.put_u8(kind);
+            r.put_u8(lookahead);
+            r.put_u64(checkpoint.epoch);
+            r.put_u64(checkpoint.global_step);
+            for word in checkpoint.trainer.rng {
+                r.put_u64(word);
+            }
+        });
+        let o = &checkpoint.options;
+        writer.record(|r| {
+            r.put_u64(o.epochs as u64);
+            r.put_u64(o.batch_size as u64);
+            r.put_f32(o.learning_rate);
+            r.put_f32(o.momentum);
+            r.put_f32(o.theta);
+            r.put_f32(o.lambda_init);
+            r.put_f32(o.lambda_step);
+            r.put_f32(o.lambda_max);
+            r.put_u64(o.eval_every as u64);
+            r.put_u64(o.max_eval_samples as u64);
+            r.put_u64(o.seed);
+            r.put_u8(match o.optimizer {
+                OptimizerKind::Sgd => OPTIMIZER_SGD,
+                OptimizerKind::Adam => OPTIMIZER_ADAM,
+            });
+        });
+        writer.record(|r| {
+            r.put_string(&checkpoint.history.name);
+            r.put_u32(checkpoint.history.len() as u32);
+            for record in checkpoint.history.records() {
+                r.put_u64(record.epoch as u64);
+                r.put_f32(record.train_loss);
+                r.put_f32(record.train_accuracy);
+                r.put_u8(u8::from(record.test_accuracy.is_some()));
+                r.put_f32(record.test_accuracy.unwrap_or(0.0));
+                r.put_f64(record.seconds);
+            }
+        });
+        writer.record(|r| {
+            r.put_u32(checkpoint.params.len() as u32);
+            for tensor in &checkpoint.params {
+                write_tensor(r, tensor);
+            }
+        });
+        writer.record(|r| {
+            r.put_u32(checkpoint.trainer.slots.len() as u32);
+            for slot in &checkpoint.trainer.slots {
+                match slot {
+                    OptimizerSlot::Sgd { velocity } => {
+                        r.put_u8(OPTIMIZER_SGD);
+                        r.put_u32(velocity.len() as u32);
+                        for tensor in velocity {
+                            write_tensor(r, tensor);
+                        }
+                    }
+                    OptimizerSlot::Adam { m, v, step_count } => {
+                        r.put_u8(OPTIMIZER_ADAM);
+                        r.put_u64(*step_count);
+                        r.put_u32(m.len() as u32);
+                        for tensor in m {
+                            write_tensor(r, tensor);
+                        }
+                        for tensor in v {
+                            write_tensor(r, tensor);
+                        }
+                    }
+                }
+            }
+        });
+        writer.record(|r| match &checkpoint.progress {
+            None => r.put_u8(0),
+            Some(progress) => {
+                r.put_u8(1);
+                r.put_u32(progress.order.len() as u32);
+                for &index in &progress.order {
+                    r.put_u32(index as u32);
+                }
+                r.put_u64(progress.next as u64);
+                r.put_f32(progress.loss_sum);
+                r.put_u64(progress.batch_count);
+                r.put_u64(progress.correct);
+                r.put_u64(progress.seen);
+                r.put_f64(progress.elapsed_seconds);
+            }
+        });
+        writer.into_vec()
+    }
+
+    #[test]
+    fn version_2_artifacts_load_with_default_grad_shards() {
+        // Pre-sharding builds wrote version 2 without the grad_shards word;
+        // their runs were by definition unsharded, so loading one must give
+        // grad_shards = 1 and everything else verbatim.
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.options.grad_shards = 1;
+        let v2_bytes = save_bytes_v2(&checkpoint);
+        let restored = load_bytes(&v2_bytes).unwrap();
+        assert_eq!(restored, checkpoint);
+        assert_eq!(restored.options.grad_shards, 1);
+        // Version 1 (and future versions) stay rejected.
+        let mut too_old = v2_bytes.clone();
+        too_old[4] = 1;
+        assert!(matches!(
+            load_bytes(&too_old),
+            Err(CoreError::Checkpoint(CodecError::UnsupportedVersion { .. }))
+        ));
+        let mut too_new = v2_bytes;
+        too_new[4] = (CHECKPOINT_VERSION + 1) as u8;
+        assert!(load_bytes(&too_new).is_err());
+    }
+
+    #[test]
+    fn sharded_options_roundtrip_in_version_3() {
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.options.grad_shards = 4;
+        let bytes = save_bytes(&checkpoint);
+        let restored = load_bytes(&bytes).unwrap();
+        assert_eq!(restored.options.grad_shards, 4);
+        assert_eq!(restored, checkpoint);
+        assert_eq!(save_bytes(&restored), bytes);
     }
 
     #[test]

@@ -213,6 +213,22 @@ pub struct TrainOptions {
     /// Optimizer family stepping the parameters (default
     /// [`OptimizerKind::Sgd`], the paper's configuration).
     pub optimizer: OptimizerKind,
+    /// Number of contiguous row shards each mini-batch's gradient is
+    /// computed in (default 1: classic whole-batch math, bit-identical to
+    /// every run recorded before this option existed).
+    ///
+    /// Sharding is a property of the *math*, not of the execution: with
+    /// `grad_shards = W`, each batch is split into `W` contiguous row
+    /// ranges, every shard's forward/backward runs as if it were its own
+    /// pass (per-shard INT8 quantization scales, per-shard rounding streams
+    /// derived as `pass_seed → layer (shard · layer_count + i)`), and the
+    /// shard gradients are reduced in ascending shard order before one
+    /// optimizer step. A data-parallel cluster evaluating those shards on
+    /// remote workers therefore reproduces the single-process run
+    /// **bit-exactly** — the distributed trainer and the local
+    /// [`crate::FfTrainer`] execute the same canonical decomposition (see
+    /// [`crate::shard`]).
+    pub grad_shards: usize,
 }
 
 impl Default for TrainOptions {
@@ -230,6 +246,7 @@ impl Default for TrainOptions {
             max_eval_samples: 512,
             seed: 42,
             optimizer: OptimizerKind::Sgd,
+            grad_shards: 1,
         }
     }
 }
@@ -311,6 +328,13 @@ impl TrainOptions {
         self
     }
 
+    /// Overrides the per-batch gradient shard count (see
+    /// [`TrainOptions::grad_shards`]).
+    pub fn with_grad_shards(mut self, grad_shards: usize) -> Self {
+        self.grad_shards = grad_shards;
+        self
+    }
+
     /// Checks every field for values that would make a training run
     /// meaningless or fail deep inside the loop.
     ///
@@ -377,6 +401,9 @@ impl TrainOptions {
         }
         if self.eval_every == 0 {
             return fail("eval_every must be at least 1".to_string());
+        }
+        if self.grad_shards == 0 {
+            return fail("grad_shards must be at least 1".to_string());
         }
         Ok(())
     }

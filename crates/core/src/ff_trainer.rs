@@ -1,17 +1,21 @@
 //! The Forward-Forward trainer (FP32 and INT8) with the look-ahead scheme.
 
 use crate::config::{Algorithm, Precision, TrainOptions};
-use crate::goodness::{ff_loss, goodness, goodness_gradient, FfLossKind, GoodnessSweep};
+use crate::goodness::{goodness, FfLossKind, GoodnessSweep};
 use crate::optimizer::AnyOptimizer;
 use crate::session::{elapsed_ns, StepSpans, StepStats, TrainSession, TrainerCore, TrainerState};
-use crate::Result;
+use crate::shard::{
+    accumulate_ff_pass, compute_shard, normalize_activations, reduce_shard_grads,
+    reshape_for_input, shard_tasks, step_layers, PassMode, PreparedBatch, ShardGrads,
+};
+use crate::{CoreError, Result};
 use ff_data::{positive_negative_sets, Batch, Dataset};
 use ff_metrics::{accuracy, TrainingHistory};
 use ff_nn::{ForwardMode, Sequential};
 use ff_quant::Rounding;
 use ff_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// Trains a [`Sequential`] network with the Forward-Forward algorithm.
@@ -90,17 +94,17 @@ impl FfTrainer {
     /// factory for this pass: layer `i` gets a decorrelated seeded rounding
     /// stream derived from `(pass_seed, i)`. FP32 passes draw nothing.
     fn pass_mode(&mut self) -> PassMode {
-        match self.precision {
-            Precision::Fp32 => PassMode::Fp32,
-            Precision::Int8 => PassMode::Int8 {
-                base: Rounding::StochasticSeeded(self.rng.gen::<u64>()),
-            },
-        }
+        PassMode::draw(self.precision, &mut self.rng).1
     }
 
     /// `true` when the look-ahead scheme is enabled.
     pub fn has_lookahead(&self) -> bool {
         self.lookahead
+    }
+
+    /// The numeric precision this trainer runs at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Trains `net` for the configured number of epochs and returns the
@@ -123,8 +127,50 @@ impl FfTrainer {
         TrainSession::with_trainer(net, train_set, test_set, &mut *self)?.run()
     }
 
+    /// Label-embeds one mini-batch and draws its positive/negative pass
+    /// seeds — everything a step consumes from the trainer RNG, drawn in
+    /// the exact historic order (negative-label draws, then the positive
+    /// pass seed, then the negative pass seed), so the prepared batch is a
+    /// pure function of the RNG state and a 1-shard run stays bit-identical
+    /// to every run recorded before sharding existed.
+    ///
+    /// Distributed trainers call this on the coordinator, then cut the
+    /// result into [`crate::shard::ShardTask`]s; `first_is_dense` is
+    /// [`first_layer_is_dense`] of the target network, passed as a flag so
+    /// the network can be borrowed elsewhere (pipeline stages) while
+    /// batches are prepared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset and tensor errors.
+    pub fn prepare_batch(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        num_classes: usize,
+        first_is_dense: bool,
+    ) -> Result<PreparedBatch> {
+        let flat = images.reshape(&[images.rows(), images.cols()])?;
+        let (pos, neg) = positive_negative_sets(&flat, labels, num_classes, &mut self.rng)?;
+        let pos = reshape_for_input(&pos, images.shape(), first_is_dense)?;
+        let neg = reshape_for_input(&neg, images.shape(), first_is_dense)?;
+        let (pos_seed, _) = PassMode::draw(self.precision, &mut self.rng);
+        let (neg_seed, _) = PassMode::draw(self.precision, &mut self.rng);
+        Ok(PreparedBatch {
+            pos,
+            neg,
+            pos_seed,
+            neg_seed,
+        })
+    }
+
     /// Runs one mini-batch (positive pass + negative pass + optimizer step)
     /// and returns the summed FF loss plus where the step's time went.
+    ///
+    /// With `grad_shards = 1` (the default) the batch runs as one pass pair,
+    /// bit-identical to the historic trainer; with more shards it runs the
+    /// canonical sharded decomposition (see [`crate::shard`]) — compute each
+    /// shard in order, reduce gradients in shard order, step once.
     fn train_batch(
         &mut self,
         net: &mut Sequential,
@@ -134,113 +180,143 @@ impl FfTrainer {
         lambda: f32,
     ) -> Result<(f32, StepSpans)> {
         let prep_start = Instant::now();
-        let flat = images.reshape(&[images.rows(), images.cols()])?;
-        let (pos, neg) = positive_negative_sets(&flat, labels, num_classes, &mut self.rng)?;
-        let pos = reshape_for_net(&pos, images, net)?;
-        let neg = reshape_for_net(&neg, images, net)?;
+        let first_is_dense = first_layer_is_dense(net);
+        let prepared = self.prepare_batch(images, labels, num_classes, first_is_dense)?;
         let quantize_ns = elapsed_ns(prep_start);
+        let theta = self.options.theta;
+
+        if self.options.grad_shards <= 1 {
+            let forward_start = Instant::now();
+            net.zero_grad();
+            let rows = prepared.pos.rows();
+            let pos_pass = PassMode::from_seed(self.precision, prepared.pos_seed);
+            let neg_pass = PassMode::from_seed(self.precision, prepared.neg_seed);
+            let loss_pos = accumulate_ff_pass(
+                net,
+                &prepared.pos,
+                FfLossKind::Positive,
+                theta,
+                lambda,
+                pos_pass,
+                0,
+                rows,
+            )?;
+            let loss_neg = accumulate_ff_pass(
+                net,
+                &prepared.neg,
+                FfLossKind::Negative,
+                theta,
+                lambda,
+                neg_pass,
+                0,
+                rows,
+            )?;
+            let forward_ns = elapsed_ns(forward_start);
+
+            let update_start = Instant::now();
+            self.step(net);
+            let spans = StepSpans {
+                quantize_ns,
+                forward_ns,
+                update_ns: elapsed_ns(update_start),
+            };
+            return Ok((loss_pos + loss_neg, spans));
+        }
 
         let forward_start = Instant::now();
-        net.zero_grad();
-        let loss_pos = self.accumulate_pass(net, &pos, FfLossKind::Positive, lambda)?;
-        let loss_neg = self.accumulate_pass(net, &neg, FfLossKind::Negative, lambda)?;
+        let tasks = shard_tasks(
+            &prepared,
+            self.options.grad_shards,
+            net.len(),
+            theta,
+            lambda,
+            self.precision,
+        )?;
+        let mut reduced: Option<ShardGrads> = None;
+        for task in &tasks {
+            let out = compute_shard(net, task)?;
+            reduce_shard_grads(&mut reduced, &out)?;
+        }
         let forward_ns = elapsed_ns(forward_start);
 
         let update_start = Instant::now();
-        self.step(net);
+        let loss = match reduced {
+            Some(r) => {
+                self.apply_reduced_grads(net, &r.grads)?;
+                r.loss_pos + r.loss_neg
+            }
+            None => 0.0,
+        };
         let spans = StepSpans {
             quantize_ns,
             forward_ns,
             update_ns: elapsed_ns(update_start),
         };
-        Ok((loss_pos + loss_neg, spans))
+        Ok((loss, spans))
     }
 
-    /// One forward pass plus per-unit gradient accumulation for one side
-    /// (positive or negative) of the FF objective.
-    fn accumulate_pass(
-        &mut self,
-        net: &mut Sequential,
-        input: &Tensor,
-        kind: FfLossKind,
-        lambda: f32,
-    ) -> Result<f32> {
-        let pass = self.pass_mode();
-        let layer_count = net.len();
-        // Forward pass, collecting the raw output of every layer. The input
-        // of the next layer is the row-normalised output of the previous
-        // trainable layer (Hinton's layer normalisation) so goodness cannot
-        // be trivially copied forward.
-        let mut outputs: Vec<Tensor> = Vec::with_capacity(layer_count);
-        let mut x = input.clone();
+    /// Writes already-reduced shard gradients into the network and applies
+    /// one optimizer step — the coordinator half of the sharded step, used
+    /// by data-parallel trainers after collecting [`crate::shard::ShardGrads`]
+    /// from workers.
+    ///
+    /// Gradients **overwrite** the accumulators (they are the full reduced
+    /// gradient, not a contribution), so the call is insensitive to
+    /// whatever the accumulators held before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the tensor count or a
+    /// shape disagrees with the network's parameters.
+    pub fn apply_reduced_grads(&mut self, net: &mut Sequential, grads: &[Tensor]) -> Result<()> {
         {
-            let layers = net.layers_mut();
-            for (i, layer) in layers.iter_mut().enumerate() {
-                let y = layer.forward(&x, pass.for_layer(i))?;
-                x = if layer.param_count() > 0 {
-                    normalize_activations(&y)?
-                } else {
-                    y.clone()
-                };
-                outputs.push(y);
+            let mut params = net.params_mut();
+            if params.len() != grads.len() {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                        "reduced gradients hold {} tensors but the network has {} parameters",
+                        grads.len(),
+                        params.len()
+                    ),
+                });
+            }
+            for (p, g) in params.iter_mut().zip(grads) {
+                if p.grad.shape() != g.shape() {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!(
+                            "reduced gradient shape {:?} does not match parameter shape {:?}",
+                            g.shape(),
+                            p.grad.shape()
+                        ),
+                    });
+                }
+                *p.grad = g.clone();
             }
         }
-        // Per-unit FF losses and gradients w.r.t. each unit's own output.
-        let mut total_loss = 0.0f32;
-        let mut own_grads: Vec<Option<Tensor>> = Vec::with_capacity(layer_count);
-        {
-            let layers = net.layers_mut();
-            for (layer, output) in layers.iter_mut().zip(&outputs) {
-                if layer.param_count() == 0 {
-                    own_grads.push(None);
-                    continue;
-                }
-                let rows = output.rows();
-                let flat = output.reshape(&[rows, output.cols()])?;
-                let g = goodness(&flat);
-                let (loss, dg) = ff_loss(&g, self.options.theta, kind);
-                total_loss += loss;
-                let grad_flat = goodness_gradient(&flat, &dg);
-                own_grads.push(Some(grad_flat.reshape(output.shape())?));
-            }
+        self.step(net);
+        Ok(())
+    }
+
+    /// Grows the per-layer optimizer list to `layer_count` entries (the
+    /// lazy construction [`FfTrainer`] itself performs on the first step),
+    /// so callers that split the optimizers across pipeline stages see a
+    /// fully materialised list.
+    pub fn ensure_optimizers(&mut self, layer_count: usize) {
+        let lr = self.options.learning_rate;
+        let momentum = self.options.momentum;
+        while self.optimizers.len() < layer_count {
+            self.optimizers
+                .push(AnyOptimizer::new(self.options.optimizer, lr, momentum));
         }
-        // Backward sweep from the last unit to the first. `relay` carries
-        // λ-weighted gradients of *later* units' losses w.r.t. the current
-        // layer's output (Eq. 4); it is empty in vanilla FF mode (λ = 0).
-        let mut relay: Option<Tensor> = None;
-        let layers = net.layers_mut();
-        for i in (0..layer_count).rev() {
-            let own = own_grads[i].take();
-            let incoming_relay = relay.take();
-            match (own, incoming_relay) {
-                (Some(own_grad), maybe_relay) => {
-                    let d_own = layers[i].backward(&own_grad)?;
-                    let d_relay = match maybe_relay {
-                        Some(r) => Some(layers[i].backward(&r)?),
-                        None => None,
-                    };
-                    relay = if lambda > 0.0 && i > 0 {
-                        let mut r = d_own.scale(lambda);
-                        if let Some(dr) = d_relay {
-                            r.add_assign(&dr)?;
-                        }
-                        Some(r)
-                    } else {
-                        None
-                    };
-                }
-                (None, Some(r)) => {
-                    // Parameter-free layer: relay the gradient through its
-                    // backward pass unchanged.
-                    let d = layers[i].backward(&r)?;
-                    relay = if i > 0 { Some(d) } else { None };
-                }
-                (None, None) => {
-                    relay = None;
-                }
-            }
-        }
-        Ok(total_loss)
+    }
+
+    /// Mutable access to the per-layer optimizers (index `i` steps layer
+    /// `i`). Pipeline trainers temporarily take this list, split it across
+    /// stage threads in lockstep with the layer slices, and restore it —
+    /// checkpoint export reads optimizer state from here, so the list must
+    /// be back in place before [`TrainerCore::export_state`].
+    pub fn optimizers_mut(&mut self) -> &mut Vec<AnyOptimizer> {
+        &mut self.optimizers
     }
 
     /// Applies one optimizer step per layer and clears the gradients.
@@ -252,27 +328,8 @@ impl FfTrainer {
     /// many forwards in between (evaluation runs one per candidate label)
     /// all reuse the same packed panels.
     fn step(&mut self, net: &mut Sequential) {
-        let lr = self.options.learning_rate;
-        let momentum = self.options.momentum;
-        let layer_count = net.len();
-        while self.optimizers.len() < layer_count {
-            self.optimizers
-                .push(AnyOptimizer::new(self.options.optimizer, lr, momentum));
-        }
-        for (layer, optimizer) in net.layers_mut().iter_mut().zip(&mut self.optimizers) {
-            let mut params = layer.params_mut();
-            if !params.is_empty() {
-                optimizer.step(&mut params);
-                // Safety net: an Optimizer impl that forgets mark_updated
-                // would otherwise leave layers serving stale packed weight
-                // plans. An extra bump is free (plans rebuild at most once
-                // per step, on the next INT8 forward).
-                for p in &mut params {
-                    p.mark_updated();
-                }
-            }
-            layer.zero_grad();
-        }
+        self.ensure_optimizers(net.len());
+        step_layers(net.layers_mut(), &mut self.optimizers);
     }
 
     /// Goodness-based classification accuracy on (a capped prefix of) a
@@ -310,6 +367,7 @@ impl FfTrainer {
         let rows = images.rows();
         let flat = images.reshape(&[rows, images.cols()])?;
         let mut sweep = GoodnessSweep::new(rows, num_classes);
+        let first_is_dense = first_layer_is_dense(net);
         let trainable: Vec<bool> = net
             .layers_mut()
             .iter_mut()
@@ -319,7 +377,7 @@ impl FfTrainer {
         for candidate in 0..num_classes {
             let labels = vec![candidate; rows];
             let embedded = ff_data::embed_label(&flat, &labels, num_classes)?;
-            let shaped = reshape_for_net(&embedded, images, net)?;
+            let shaped = reshape_for_input(&embedded, images.shape(), first_is_dense)?;
             let mut x = shaped;
             let layers = net.layers_mut();
             for (i, layer) in layers.iter_mut().enumerate() {
@@ -336,24 +394,6 @@ impl FfTrainer {
             }
         }
         Ok(sweep.predictions())
-    }
-}
-
-/// The numeric modes of one forward (or forward+backward) pass: FP32, or
-/// INT8 with a per-layer family of seeded stochastic-rounding streams all
-/// derived from one pass seed.
-#[derive(Debug, Clone, Copy)]
-enum PassMode {
-    Fp32,
-    Int8 { base: Rounding },
-}
-
-impl PassMode {
-    fn for_layer(self, index: usize) -> ForwardMode {
-        match self {
-            PassMode::Fp32 => ForwardMode::Fp32,
-            PassMode::Int8 { base } => ForwardMode::Int8(base.derive(index as u64)),
-        }
     }
 }
 
@@ -441,28 +481,14 @@ impl TrainerCore for FfTrainer {
     }
 }
 
-/// Row-normalises activations (flattened per sample) before they feed the
-/// next FF unit.
-fn normalize_activations(output: &Tensor) -> Result<Tensor> {
-    let rows = output.rows();
-    let flat = output.reshape(&[rows, output.cols()])?;
-    Ok(flat.normalize_rows(1e-6).reshape(output.shape())?)
-}
-
-/// Reshapes a flattened (label-embedded) batch back to the input shape the
-/// network expects: flat `[batch, features]` when the first layer is dense,
-/// the original image shape otherwise.
-fn reshape_for_net(flat: &Tensor, original: &Tensor, net: &mut Sequential) -> Result<Tensor> {
-    let first_is_dense = net
-        .layers()
+/// `true` when the network's first layer is dense — i.e. the network takes
+/// flat `[batch, features]` inputs and label-embedded batches need no
+/// reshape (see [`crate::FfTrainer::prepare_batch`]).
+pub fn first_layer_is_dense(net: &Sequential) -> bool {
+    net.layers()
         .first()
         .map(|l| l.name() == "dense")
-        .unwrap_or(true);
-    if first_is_dense {
-        Ok(flat.clone())
-    } else {
-        Ok(flat.reshape(original.shape())?)
-    }
+        .unwrap_or(true)
 }
 
 #[cfg(test)]
@@ -559,17 +585,35 @@ mod tests {
             .unwrap();
         let options = TrainOptions::default();
         let mut trainer = FfTrainer::new(Precision::Fp32, true, options);
+        let theta = trainer.options.theta;
         let (pos, _) = positive_negative_sets(&flat, &batch.labels, 10, &mut trainer.rng).unwrap();
+        let rows = pos.rows();
 
         net.zero_grad();
-        trainer
-            .accumulate_pass(&mut net, &pos, FfLossKind::Positive, 0.0)
-            .unwrap();
+        accumulate_ff_pass(
+            &mut net,
+            &pos,
+            FfLossKind::Positive,
+            theta,
+            0.0,
+            PassMode::Fp32,
+            0,
+            rows,
+        )
+        .unwrap();
         let grad_no_lambda = net.params_mut()[0].grad.clone();
         net.zero_grad();
-        trainer
-            .accumulate_pass(&mut net, &pos, FfLossKind::Positive, 0.5)
-            .unwrap();
+        accumulate_ff_pass(
+            &mut net,
+            &pos,
+            FfLossKind::Positive,
+            theta,
+            0.5,
+            PassMode::Fp32,
+            0,
+            rows,
+        )
+        .unwrap();
         let grad_with_lambda = net.params_mut()[0].grad.clone();
         let diff = grad_no_lambda.sub(&grad_with_lambda).unwrap().max_abs();
         assert!(diff > 0.0, "look-ahead must change first-layer gradients");

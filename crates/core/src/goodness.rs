@@ -85,7 +85,26 @@ fn sigmoid(x: f32) -> f32 {
 /// The loss is averaged over the batch and the per-sample gradients are
 /// already divided by the batch size.
 pub fn ff_loss(goodness_values: &[f32], theta: f32, kind: FfLossKind) -> (f32, Vec<f32>) {
-    let n = goodness_values.len().max(1) as f32;
+    ff_loss_scaled(goodness_values, theta, kind, goodness_values.len())
+}
+
+/// [`ff_loss`] with an explicit normalisation divisor.
+///
+/// This is the sharded form of the FF loss: when a batch of `divisor`
+/// samples is processed as several contiguous row shards (see
+/// [`crate::TrainOptions::grad_shards`] and [`crate::shard`]), each shard
+/// passes its *own* goodness values but the *full batch's* row count as
+/// `divisor`, so summing the per-shard losses and gradients over all shards
+/// reproduces the whole-batch mean objective — the per-shard quantities are
+/// partial sums of the batch mean, not means of the shard. With
+/// `divisor == goodness_values.len()` this is exactly [`ff_loss`].
+pub fn ff_loss_scaled(
+    goodness_values: &[f32],
+    theta: f32,
+    kind: FfLossKind,
+    divisor: usize,
+) -> (f32, Vec<f32>) {
+    let n = divisor.max(1) as f32;
     let mut loss = 0.0f32;
     let mut grad = Vec::with_capacity(goodness_values.len());
     for &g in goodness_values {

@@ -59,15 +59,20 @@ mod ff_trainer;
 mod goodness;
 pub mod optimizer;
 pub mod session;
+pub mod shard;
 
 pub use api::{train, TrainingReport};
 pub use baselines::{BpTrainer, GradientPolicy};
-pub use checkpoint::{Checkpoint, EpochProgress, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    Checkpoint, EpochProgress, CHECKPOINT_MAGIC, CHECKPOINT_MIN_VERSION, CHECKPOINT_VERSION,
+};
 pub use config::{Algorithm, OptimizerKind, Precision, TrainOptions};
 pub use error::CoreError;
-pub use ff_trainer::FfTrainer;
-pub use goodness::{ff_loss, goodness, goodness_gradient, goodness_sum, FfLossKind, GoodnessSweep};
-pub use optimizer::OptimizerSlot;
+pub use ff_trainer::{first_layer_is_dense, FfTrainer};
+pub use goodness::{
+    ff_loss, ff_loss_scaled, goodness, goodness_gradient, goodness_sum, FfLossKind, GoodnessSweep,
+};
+pub use optimizer::{AnyOptimizer, OptimizerSlot};
 pub use session::{
     AutoCheckpoint, EvalSplit, SessionControl, SessionStatus, StepSpans, StepStats, TrainEvent,
     TrainSession, TrainerCore, TrainerState,

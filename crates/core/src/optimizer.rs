@@ -2,8 +2,9 @@
 //!
 //! The trainers pick their optimizer family from
 //! [`TrainOptions::optimizer`](crate::TrainOptions) and step parameters
-//! through `AnyOptimizer`, a crate-private closed enum over the `ff-nn`
-//! optimizers. Each
+//! through [`AnyOptimizer`], a closed enum over the `ff-nn`
+//! optimizers (public so distributed trainers can step pipeline stages
+//! with exactly the trainer's dispatch). Each
 //! optimizer's mutable state has a matching serializable form,
 //! [`OptimizerSlot`], which `FF8C` checkpoints persist:
 //!
@@ -136,17 +137,21 @@ pub(crate) fn check_buffer_shapes(
 /// The closed set of optimizers the trainers dispatch over.
 ///
 /// A thin enum (instead of `Box<dyn Optimizer>`) so state can be exported
-/// and imported without downcasting.
+/// and imported without downcasting. Public so distributed trainers
+/// (pipeline stage workers, data-parallel coordinators) can step layers
+/// with the exact same dispatch the sequential [`crate::FfTrainer`] uses.
 #[derive(Debug, Clone)]
-pub(crate) enum AnyOptimizer {
+pub enum AnyOptimizer {
+    /// Plain SGD with momentum.
     Sgd(Sgd),
+    /// Adam with bias correction.
     Adam(Adam),
 }
 
 impl AnyOptimizer {
     /// Builds a fresh optimizer of `kind` from the trainer's
     /// hyperparameters.
-    pub(crate) fn new(kind: OptimizerKind, learning_rate: f32, momentum: f32) -> Self {
+    pub fn new(kind: OptimizerKind, learning_rate: f32, momentum: f32) -> Self {
         match kind {
             OptimizerKind::Sgd => AnyOptimizer::Sgd(Sgd::new(learning_rate, momentum)),
             OptimizerKind::Adam => AnyOptimizer::Adam(Adam::new(learning_rate)),
@@ -154,7 +159,7 @@ impl AnyOptimizer {
     }
 
     /// Applies one update step (see [`Optimizer::step`]).
-    pub(crate) fn step(&mut self, params: &mut [ParamRefMut<'_>]) {
+    pub fn step(&mut self, params: &mut [ParamRefMut<'_>]) {
         match self {
             AnyOptimizer::Sgd(o) => o.step(params),
             AnyOptimizer::Adam(o) => o.step(params),
@@ -162,7 +167,7 @@ impl AnyOptimizer {
     }
 
     /// Overrides the learning rate (UI8's deviation-counteractive scaling).
-    pub(crate) fn set_learning_rate(&mut self, lr: f32) {
+    pub fn set_learning_rate(&mut self, lr: f32) {
         match self {
             AnyOptimizer::Sgd(o) => o.set_learning_rate(lr),
             AnyOptimizer::Adam(o) => o.set_learning_rate(lr),
@@ -170,7 +175,7 @@ impl AnyOptimizer {
     }
 
     /// Captures this optimizer's mutable state for a checkpoint.
-    pub(crate) fn export(&self) -> OptimizerSlot {
+    pub fn export(&self) -> OptimizerSlot {
         match self {
             AnyOptimizer::Sgd(o) => OptimizerSlot::Sgd {
                 velocity: o.velocity().to_vec(),
@@ -192,7 +197,7 @@ impl AnyOptimizer {
     /// by a different optimizer family (e.g. an Adam checkpoint resumed
     /// into an SGD-configured trainer) or a buffer shape disagrees with its
     /// parameter.
-    pub(crate) fn import(
+    pub fn import(
         kind: OptimizerKind,
         learning_rate: f32,
         momentum: f32,

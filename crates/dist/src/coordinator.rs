@@ -1,0 +1,617 @@
+//! The data-parallel training coordinator and its [`DistTrainer`].
+//!
+//! The [`Coordinator`] owns a TCP listener whose accept thread classifies
+//! each connection by its first frame: `Join` makes it a worker (a reader
+//! thread pumps its `ShardResult`s into the trainer's pulse channel),
+//! `Subscribe` makes it a training-event observer, `PullCheckpoint` serves
+//! the latest published `FF8C` artifact and hangs up.
+//!
+//! [`DistTrainer`] is a [`TrainerCore`]: drop it into
+//! [`ff_core::TrainSession`] and the session logic (shuffling, epochs,
+//! checkpoints, events) is untouched. Each step it prepares the batch with
+//! the wrapped sequential [`FfTrainer`] (so the RNG stream is the
+//! sequential stream), cuts it into the canonical shard tasks, farms the
+//! tasks round-robin over live workers, and reduces gradients **in
+//! ascending shard order** regardless of arrival order. Any shard a worker
+//! fails to return — death, hang, or never having been dispatched because
+//! no workers are connected — is recomputed locally with the same pure
+//! [`compute_shard`], so the resulting weights are bit-identical to the
+//! sequential `grad_shards = W` run no matter how the cluster behaves.
+
+use crate::protocol::{read_msg, write_msg, TrainMsg};
+use crate::{DistError, Result};
+use ff_core::shard::{compute_shard, reduce_shard_grads, shard_tasks, ShardGrads};
+use ff_core::{
+    first_layer_is_dense, Algorithm, FfTrainer, Precision, StepSpans, StepStats, TrainEvent,
+    TrainOptions, TrainerCore, TrainerState,
+};
+use ff_data::{Batch, Dataset};
+use ff_nn::Sequential;
+use ff_tensor::Tensor;
+use ff_trace::MetricsRegistry;
+use rand::rngs::StdRng;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the accept thread waits for a connection's classifying first
+/// frame before giving up on it.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Shared-secret token workers must present in `Join`; `None` accepts
+    /// any token.
+    pub token: Option<String>,
+    /// How long one step waits for outstanding remote shards before
+    /// recomputing them locally. Purely a latency/throughput trade-off —
+    /// the weights are identical either way.
+    pub shard_timeout: Duration,
+    /// Metrics registry for coordinator counters (`dist.coord.*`).
+    pub metrics: Option<MetricsRegistry>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            token: None,
+            shard_timeout: Duration::from_secs(5),
+            metrics: None,
+        }
+    }
+}
+
+/// One joined worker: its id, the write half (shared between the trainer's
+/// dispatch and shutdown), and a liveness flag flipped by whichever side
+/// sees the connection fail first.
+#[derive(Debug)]
+struct WorkerLink {
+    id: u64,
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+/// What worker reader threads report to the trainer.
+enum Pulse {
+    /// A worker returned one shard's gradients.
+    Result {
+        step: u64,
+        shard_index: usize,
+        grads: ShardGrads,
+    },
+    /// A worker's connection ended (its unreturned shards need local
+    /// recompute).
+    Down { worker_id: u64 },
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: CoordinatorConfig,
+    workers: Mutex<Vec<Arc<WorkerLink>>>,
+    subscribers: Mutex<Vec<TcpStream>>,
+    checkpoint: Mutex<Option<Vec<u8>>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn count(&self, name: &str, delta: u64) {
+        if let Some(metrics) = &self.config.metrics {
+            metrics.counter(name).add(delta);
+        }
+    }
+}
+
+/// The serving half of the data-parallel tier. See the module docs.
+#[derive(Debug)]
+pub struct Coordinator {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    pulses: Option<mpsc::Receiver<Pulse>>,
+}
+
+impl Coordinator {
+    /// Binds the cluster listener and starts the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs, config: CoordinatorConfig) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            workers: Mutex::new(Vec::new()),
+            subscribers: Mutex::new(Vec::new()),
+            checkpoint: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let (pulse_tx, pulse_rx) = mpsc::channel();
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ff-dist-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, pulse_tx))
+            .map_err(|e| DistError::Io {
+                message: format!("spawning the accept thread failed: {e}"),
+            })?;
+        Ok(Coordinator {
+            addr,
+            shared,
+            accept: Some(accept),
+            pulses: Some(pulse_rx),
+        })
+    }
+
+    /// The bound listener address (use for workers when binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many workers are currently joined and believed alive.
+    pub fn worker_count(&self) -> usize {
+        self.shared
+            .workers
+            .lock()
+            .map(|w| w.iter().filter(|l| l.alive.load(Ordering::SeqCst)).count())
+            .unwrap_or(0)
+    }
+
+    /// Publishes a checkpoint artifact; subsequent `PullCheckpoint`
+    /// requests receive these bytes.
+    pub fn publish_checkpoint(&self, bytes: Vec<u8>) {
+        if let Ok(mut slot) = self.shared.checkpoint.lock() {
+            *slot = Some(bytes);
+        }
+        self.shared.count("dist.coord.checkpoints_published", 1);
+    }
+
+    /// Streams one typed training event to every subscriber, dropping
+    /// subscribers whose connection has gone away.
+    pub fn broadcast_event(&self, event: &TrainEvent) {
+        let msg = TrainMsg::Event {
+            event: event.clone(),
+        };
+        if let Ok(mut subs) = self.shared.subscribers.lock() {
+            subs.retain_mut(|stream| write_msg(stream, &msg).is_ok());
+        }
+        self.shared.count("dist.coord.events_broadcast", 1);
+    }
+
+    /// Builds the cluster's trainer. Callable once — the trainer owns the
+    /// result channel the worker readers feed.
+    ///
+    /// With zero workers connected the trainer degrades to the sequential
+    /// sharded step (every shard computed locally) — same weights, no
+    /// cluster required.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Core`] on invalid options; [`DistError::Protocol`] on a
+    /// second call.
+    pub fn trainer(
+        &mut self,
+        precision: Precision,
+        lookahead: bool,
+        options: TrainOptions,
+    ) -> Result<DistTrainer> {
+        options.validate()?;
+        let pulses = self.pulses.take().ok_or_else(|| DistError::Protocol {
+            message: "this coordinator's trainer was already taken".to_string(),
+        })?;
+        Ok(DistTrainer {
+            inner: FfTrainer::new(precision, lookahead, options),
+            shared: Arc::clone(&self.shared),
+            pulses,
+            next_step: 0,
+        })
+    }
+
+    /// Stops the cluster: tells every worker to shut down, closes
+    /// subscriber connections, and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(mut workers) = self.shared.workers.lock() {
+            for link in workers.drain(..) {
+                link.alive.store(false, Ordering::SeqCst);
+                if let Ok(mut stream) = link.stream.lock() {
+                    let _ = write_msg(&mut *stream, &TrainMsg::Shutdown);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        if let Ok(mut subs) = self.shared.subscribers.lock() {
+            subs.clear();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pulse_tx: mpsc::Sender<Pulse>) {
+    let next_worker_id = AtomicU64::new(0);
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        handle_hello(stream, &shared, &pulse_tx, &next_worker_id);
+    }
+}
+
+/// Classifies a fresh connection by its first frame.
+fn handle_hello(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    pulse_tx: &mpsc::Sender<Pulse>,
+    next_worker_id: &AtomicU64,
+) {
+    let _ = stream.set_read_timeout(Some(HELLO_TIMEOUT));
+    let Ok(hello) = read_msg(&mut stream) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(None);
+    match hello {
+        TrainMsg::Join { token } => {
+            if let Some(expected) = &shared.config.token {
+                if &token != expected {
+                    let _ = write_msg(
+                        &mut stream,
+                        &TrainMsg::Error {
+                            message: "join rejected: bad cluster token".to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+            let id = next_worker_id.fetch_add(1, Ordering::Relaxed);
+            if write_msg(&mut stream, &TrainMsg::JoinAck { worker_id: id }).is_err() {
+                return;
+            }
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let link = Arc::new(WorkerLink {
+                id,
+                stream: Mutex::new(stream),
+                alive: AtomicBool::new(true),
+            });
+            if let Ok(mut workers) = shared.workers.lock() {
+                workers.push(Arc::clone(&link));
+            }
+            shared.count("dist.coord.workers_joined", 1);
+            let reader_shared = Arc::clone(shared);
+            let tx = pulse_tx.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("ff-dist-worker-{id}"))
+                .spawn(move || worker_reader(read_half, link, reader_shared, tx));
+            if spawned.is_err() {
+                // Could not watch the worker; forget it rather than hand it
+                // work whose results nobody would collect.
+                if let Ok(mut workers) = shared.workers.lock() {
+                    workers.retain(|w| w.id != id);
+                }
+            }
+        }
+        TrainMsg::Subscribe => {
+            if let Ok(mut subs) = shared.subscribers.lock() {
+                subs.push(stream);
+            }
+            shared.count("dist.coord.subscribers_joined", 1);
+        }
+        TrainMsg::PullCheckpoint => {
+            let reply = match shared.checkpoint.lock().ok().and_then(|slot| slot.clone()) {
+                Some(bytes) => TrainMsg::CheckpointReply { bytes },
+                None => TrainMsg::Error {
+                    message: "no checkpoint published yet".to_string(),
+                },
+            };
+            let _ = write_msg(&mut stream, &reply);
+            shared.count("dist.coord.checkpoints_pulled", 1);
+        }
+        _ => {
+            let _ = write_msg(
+                &mut stream,
+                &TrainMsg::Error {
+                    message: "expected Join, Subscribe or PullCheckpoint".to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Pumps one worker's results into the pulse channel until its connection
+/// ends, then reports it down.
+fn worker_reader(
+    mut stream: TcpStream,
+    link: Arc<WorkerLink>,
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<Pulse>,
+) {
+    loop {
+        match read_msg(&mut stream) {
+            Ok(TrainMsg::ShardResult {
+                step,
+                shard_index,
+                grads,
+            }) => {
+                let _ = tx.send(Pulse::Result {
+                    step,
+                    shard_index: shard_index as usize,
+                    grads,
+                });
+            }
+            Ok(TrainMsg::Leave) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+    link.alive.store(false, Ordering::SeqCst);
+    if let Ok(mut workers) = shared.workers.lock() {
+        workers.retain(|w| w.id != link.id);
+    }
+    shared.count("dist.coord.workers_lost", 1);
+    let _ = tx.send(Pulse::Down { worker_id: link.id });
+}
+
+/// A [`TrainerCore`] that runs the canonical sharded FF step across the
+/// cluster. See the module docs for the determinism argument.
+pub struct DistTrainer {
+    inner: FfTrainer,
+    shared: Arc<Shared>,
+    pulses: mpsc::Receiver<Pulse>,
+    next_step: u64,
+}
+
+impl std::fmt::Debug for DistTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistTrainer")
+            .field("next_step", &self.next_step)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistTrainer {
+    /// The wrapped sequential trainer (for evaluation helpers).
+    pub fn inner_mut(&mut self) -> &mut FfTrainer {
+        &mut self.inner
+    }
+
+    /// Dispatches tasks round-robin over live workers. Returns, per shard,
+    /// the id of the worker that accepted it (`None` = compute locally).
+    fn dispatch(
+        &mut self,
+        net: &mut Sequential,
+        step: u64,
+        tasks: &[ff_core::shard::ShardTask],
+    ) -> Vec<Option<u64>> {
+        let mut assignment: Vec<Option<u64>> = vec![None; tasks.len()];
+        let live: Vec<Arc<WorkerLink>> = self
+            .shared
+            .workers
+            .lock()
+            .map(|w| {
+                w.iter()
+                    .filter(|l| l.alive.load(Ordering::SeqCst))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        if live.is_empty() || tasks.is_empty() {
+            return assignment;
+        }
+        let params: Vec<Tensor> = net.params_mut().iter().map(|p| p.value.clone()).collect();
+        let sync = TrainMsg::ParamSync {
+            version: step,
+            params,
+        };
+        let mut synced: Vec<Arc<WorkerLink>> = Vec::new();
+        for link in live {
+            let ok = link
+                .stream
+                .lock()
+                .map(|mut s| write_msg(&mut *s, &sync).is_ok())
+                .unwrap_or(false);
+            if ok {
+                synced.push(link);
+            } else {
+                link.alive.store(false, Ordering::SeqCst);
+            }
+        }
+        if synced.is_empty() {
+            return assignment;
+        }
+        for (index, task) in tasks.iter().enumerate() {
+            let link = &synced[index % synced.len()];
+            if !link.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let msg = TrainMsg::SubmitBatch {
+                step,
+                task: task.clone(),
+            };
+            let ok = link
+                .stream
+                .lock()
+                .map(|mut s| write_msg(&mut *s, &msg).is_ok())
+                .unwrap_or(false);
+            if ok {
+                assignment[index] = Some(link.id);
+            } else {
+                link.alive.store(false, Ordering::SeqCst);
+            }
+        }
+        assignment
+    }
+
+    /// Collects dispatched shard results until all arrive, their workers
+    /// die, or the shard timeout elapses. Stale results from earlier steps
+    /// are discarded by the step tag.
+    fn collect(
+        &mut self,
+        step: u64,
+        assignment: &mut [Option<u64>],
+        slots: &mut [Option<ShardGrads>],
+    ) {
+        let deadline = Instant::now() + self.shared.config.shard_timeout;
+        loop {
+            let pending = assignment
+                .iter()
+                .zip(slots.iter())
+                .any(|(owner, slot)| owner.is_some() && slot.is_none());
+            if !pending {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.pulses.recv_timeout(deadline - now) {
+                Ok(Pulse::Result {
+                    step: result_step,
+                    shard_index,
+                    grads,
+                }) => {
+                    if result_step == step
+                        && shard_index < slots.len()
+                        && assignment[shard_index].is_some()
+                        && slots[shard_index].is_none()
+                    {
+                        slots[shard_index] = Some(grads);
+                    }
+                }
+                Ok(Pulse::Down { worker_id }) => {
+                    for (owner, slot) in assignment.iter_mut().zip(slots.iter()) {
+                        if *owner == Some(worker_id) && slot.is_none() {
+                            *owner = None;
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl TrainerCore for DistTrainer {
+    fn algorithm(&self) -> Algorithm {
+        self.inner.algorithm()
+    }
+
+    fn options(&self) -> &TrainOptions {
+        self.inner.options()
+    }
+
+    fn step_batch(
+        &mut self,
+        net: &mut Sequential,
+        batch: &Batch,
+        num_classes: usize,
+        lambda: f32,
+    ) -> ff_core::Result<StepStats> {
+        let prep_start = Instant::now();
+        let first_is_dense = first_layer_is_dense(net);
+        let prepared =
+            self.inner
+                .prepare_batch(&batch.images, &batch.labels, num_classes, first_is_dense)?;
+        let quantize_ns = saturating_elapsed_ns(prep_start);
+        let shards = self.inner.options().grad_shards.max(1);
+        let theta = self.inner.options().theta;
+        let tasks = shard_tasks(
+            &prepared,
+            shards,
+            net.len(),
+            theta,
+            lambda,
+            self.inner.precision(),
+        )?;
+        let step = self.next_step;
+        self.next_step += 1;
+
+        let forward_start = Instant::now();
+        let mut assignment = self.dispatch(net, step, &tasks);
+        let mut slots: Vec<Option<ShardGrads>> = (0..tasks.len()).map(|_| None).collect();
+        self.collect(step, &mut assignment, &mut slots);
+
+        // Order-fixed reduction with local recompute of anything missing.
+        // `compute_shard` is a pure function of (parameters, task), and the
+        // parameters a live worker saw are exactly the parameters this net
+        // holds right now (the step has not been applied yet), so a locally
+        // recomputed shard is bit-identical to the remote one it replaces.
+        let mut remote = 0u64;
+        let mut local = 0u64;
+        let mut reduced: Option<ShardGrads> = None;
+        for (index, task) in tasks.iter().enumerate() {
+            let grads = match slots[index].take() {
+                Some(grads) => {
+                    remote += 1;
+                    grads
+                }
+                None => {
+                    local += 1;
+                    compute_shard(net, task)?
+                }
+            };
+            reduce_shard_grads(&mut reduced, &grads)?;
+        }
+        let forward_ns = saturating_elapsed_ns(forward_start);
+
+        let update_start = Instant::now();
+        let loss = match reduced {
+            Some(result) => {
+                self.inner.apply_reduced_grads(net, &result.grads)?;
+                result.loss_pos + result.loss_neg
+            }
+            None => 0.0,
+        };
+        self.shared.count("dist.coord.steps", 1);
+        self.shared.count("dist.coord.shards_remote", remote);
+        self.shared.count("dist.coord.shards_local", local);
+        Ok(StepStats {
+            loss,
+            correct: 0,
+            seen: 0,
+            spans: StepSpans {
+                quantize_ns,
+                forward_ns,
+                update_ns: saturating_elapsed_ns(update_start),
+            },
+        })
+    }
+
+    fn evaluate(&mut self, net: &mut Sequential, dataset: &Dataset) -> ff_core::Result<f32> {
+        self.inner.evaluate(net, dataset)
+    }
+
+    fn tracks_running_accuracy(&self) -> bool {
+        false
+    }
+
+    fn rng_mut(&mut self) -> &mut StdRng {
+        self.inner.rng_mut()
+    }
+
+    fn export_state(&self) -> TrainerState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> ff_core::Result<()> {
+        self.inner.import_state(state, net)
+    }
+}
+
+fn saturating_elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}

@@ -1,0 +1,41 @@
+//! # ff-dist
+//!
+//! Distributed Forward-Forward training over the workspace's determinism
+//! contract: every distributed execution is **bit-identical** to the
+//! sequential [`ff_core::FfTrainer`] run from the same seed and options.
+//!
+//! Two tiers, both built on the canonical step decomposition in
+//! [`ff_core::shard`]:
+//!
+//! - **Layer-pipeline parallelism** ([`PipelineSession`]): each contiguous
+//!   stage of FF layers trains on its own thread, activations flow through
+//!   bounded channels, and — because Forward-Forward without look-ahead has
+//!   *no backward pass across layers* — the pipelined run reproduces the
+//!   sequential λ = 0 run bit-for-bit, including `FF8C` checkpoint/resume
+//!   interchangeable with [`ff_core::TrainSession`].
+//! - **A data-parallel training service** (the `FF8D` protocol in
+//!   [`protocol`], the [`coordinator`] and the [`worker`]): a coordinator
+//!   cuts each prepared batch into row shards, farms them to TCP workers,
+//!   reduces gradients in **fixed shard order**, and recomputes the shards
+//!   of a crashed worker locally — so worker death changes wall-clock time,
+//!   never the resulting weights.
+//!
+//! See `ARCHITECTURE.md` ("Distributed training") for why Forward-Forward
+//! makes both tiers exact rather than approximate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+mod error;
+pub mod pipeline;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, DistTrainer};
+pub use error::DistError;
+pub use pipeline::PipelineSession;
+pub use worker::Worker;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DistError>;

@@ -1,0 +1,745 @@
+//! In-process layer-pipeline parallelism for Forward-Forward training.
+//!
+//! # Why FF pipelines *exactly*
+//!
+//! Backpropagation pipelines are approximate or stall-prone because the
+//! backward pass crosses every stage boundary. Forward-Forward without
+//! look-ahead has no such coupling: each layer's update depends only on its
+//! own forward activations and its own goodness loss. Cut the network into
+//! contiguous stages and the only inter-stage traffic is the *forward*
+//! activation stream — so stage `k` can train batch `b+1` while stage `k+1`
+//! is still training batch `b`, and **no value in the computation changes**:
+//!
+//! - per layer, the operation sequence (positive forward, positive
+//!   backward, negative forward, negative backward, optimizer step) and
+//!   every operand are exactly the sequential trainer's
+//!   ([`ff_core::shard::ff_stage_pass`]);
+//! - each layer's rounding stream is derived from its *global* layer index,
+//!   identical to the sequential derivation;
+//! - each stage steps its own layers after each batch, so the parameters a
+//!   batch sees at stage `k` are exactly the post-previous-batch parameters
+//!   the sequential run produces;
+//! - stage loss partials are folded in ascending stage order, reproducing
+//!   the sequential left-to-right loss fold bit-for-bit.
+//!
+//! The result: [`PipelineSession`] is **bit-identical** to the sequential
+//! [`FfTrainer`] driven by [`ff_core::TrainSession`] from the same seed —
+//! a property the `ff-dist` test suite asserts on weights, histories and
+//! checkpoint round-trips.
+//!
+//! # Examples
+//!
+//! ```
+//! use ff_core::{Precision, TrainOptions};
+//! use ff_data::{synthetic_mnist, SyntheticConfig};
+//! use ff_dist::PipelineSession;
+//! use ff_models::small_mlp;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ff_dist::DistError> {
+//! let (train_set, test_set) = synthetic_mnist(&SyntheticConfig::small());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = small_mlp(784, &[32, 32], 10, &mut rng);
+//! let options = TrainOptions::fast_test();
+//! let mut session = PipelineSession::new(
+//!     &mut net,
+//!     &train_set,
+//!     &test_set,
+//!     Precision::Int8,
+//!     &options,
+//!     &[1, 2], // layer 0 | layers 1-2 (two hiddens + the class head = 3)
+//! )?;
+//! let history = session.run()?;
+//! assert_eq!(history.len(), options.epochs);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{DistError, Result};
+use ff_core::checkpoint::{Checkpoint, EpochProgress};
+use ff_core::shard::{ff_stage_pass, step_layers, PassMode};
+use ff_core::{
+    first_layer_is_dense, Algorithm, CoreError, FfLossKind, FfTrainer, Precision, TrainOptions,
+    TrainerCore,
+};
+use ff_data::Dataset;
+use ff_metrics::TrainingHistory;
+use ff_nn::{Layer, Sequential};
+use ff_tensor::Tensor;
+use ff_trace::MetricsRegistry;
+use rand::seq::SliceRandom;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// How many batches may queue between adjacent stages. Small and fixed:
+/// enough to keep stages busy, bounded so a slow stage exerts backpressure
+/// instead of ballooning activation memory.
+const STAGE_QUEUE_DEPTH: usize = 2;
+
+/// One batch's traffic between stages: the positive/negative activations
+/// entering the next stage plus the pass context every stage shares.
+struct StageItem {
+    /// Position of the batch within this `run_batches` call.
+    batch: usize,
+    pos: Tensor,
+    neg: Tensor,
+    pos_pass: PassMode,
+    neg_pass: PassMode,
+    /// Full-batch row count (the loss divisor).
+    divisor: usize,
+}
+
+/// Progress bookkeeping of the epoch currently being trained — mirrors the
+/// sequential session's accumulator exactly so checkpoints interchange.
+struct EpochState {
+    order: Vec<usize>,
+    next: usize,
+    loss_sum: f32,
+    batch_count: usize,
+    correct: usize,
+    seen: usize,
+    elapsed_before: f64,
+    started: Instant,
+}
+
+/// A pipeline-parallel Forward-Forward training session.
+///
+/// Drop-in alternative to [`ff_core::TrainSession`] for FF **without
+/// look-ahead** (the λ relay crosses stage boundaries, so the constructor
+/// rejects `grad_shards != 1`; look-ahead is unavailable by construction).
+/// Checkpoints produced by [`PipelineSession::checkpoint`] are ordinary
+/// `FF8C` artifacts: a sequential session can resume them and vice versa,
+/// bit-exactly.
+///
+/// See the [module docs](self) for the exactness argument.
+pub struct PipelineSession<'a> {
+    net: &'a mut Sequential,
+    train_set: &'a Dataset,
+    test_set: &'a Dataset,
+    options: TrainOptions,
+    trainer: FfTrainer,
+    /// Layer count of each stage, in network order.
+    stage_sizes: Vec<usize>,
+    history: TrainingHistory,
+    /// Index of the epoch the next batch belongs to.
+    epoch: usize,
+    global_step: u64,
+    current: Option<EpochState>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl std::fmt::Debug for PipelineSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSession")
+            .field("stage_sizes", &self.stage_sizes)
+            .field("epoch", &self.epoch)
+            .field("global_step", &self.global_step)
+            .finish()
+    }
+}
+
+impl<'a> PipelineSession<'a> {
+    /// Creates a pipeline session cutting `net` into contiguous stages of
+    /// `stage_sizes` layers (in order; sizes must be positive and sum to
+    /// the layer count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] (wrapped) when the options fail
+    /// validation, request `grad_shards != 1`, the training set is empty,
+    /// or the stage split does not tile the network.
+    pub fn new(
+        net: &'a mut Sequential,
+        train_set: &'a Dataset,
+        test_set: &'a Dataset,
+        precision: Precision,
+        options: &TrainOptions,
+        stage_sizes: &[usize],
+    ) -> Result<Self> {
+        options.validate().map_err(DistError::Core)?;
+        if options.grad_shards != 1 {
+            return Err(invalid(format!(
+                "pipeline parallelism requires grad_shards = 1 (got {}); \
+                 row sharding belongs to the data-parallel coordinator",
+                options.grad_shards
+            )));
+        }
+        if train_set.is_empty() {
+            return Err(invalid("training set is empty".to_string()));
+        }
+        if stage_sizes.is_empty() {
+            return Err(invalid(
+                "stage split must name at least one stage".to_string(),
+            ));
+        }
+        if stage_sizes.contains(&0) {
+            return Err(invalid(
+                "every pipeline stage needs at least one layer".to_string(),
+            ));
+        }
+        let total: usize = stage_sizes.iter().sum();
+        if total != net.len() {
+            return Err(invalid(format!(
+                "stage split covers {total} layers but the network has {}",
+                net.len()
+            )));
+        }
+        // Look-ahead is structurally unavailable: the trainer is built
+        // without it, so λ is 0 for every epoch.
+        let trainer = FfTrainer::new(precision, false, options.clone());
+        let history = TrainingHistory::new(trainer.algorithm().label());
+        Ok(PipelineSession {
+            net,
+            train_set,
+            test_set,
+            options: options.clone(),
+            trainer,
+            stage_sizes: stage_sizes.to_vec(),
+            history,
+            epoch: 0,
+            global_step: 0,
+            current: None,
+            metrics: None,
+        })
+    }
+
+    /// Publishes per-stage utilisation into `registry`:
+    /// `dist.pipeline.batches` (batches trained) and
+    /// `dist.pipeline.stage<k>.busy_ns` (per-stage compute time).
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        self.metrics = Some(registry);
+    }
+
+    /// The session's hyperparameters.
+    pub fn options(&self) -> &TrainOptions {
+        &self.options
+    }
+
+    /// Layer count of each pipeline stage, in network order.
+    pub fn stage_sizes(&self) -> &[usize] {
+        &self.stage_sizes
+    }
+
+    /// Index of the epoch the next batch belongs to.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Mini-batches trained so far across the whole run.
+    pub fn global_step(&self) -> u64 {
+        self.global_step
+    }
+
+    /// The per-epoch history recorded so far.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// `true` once every configured epoch has trained.
+    pub fn is_finished(&self) -> bool {
+        self.epoch >= self.options.epochs
+    }
+
+    /// Evaluates test-set accuracy with the trainer's evaluator (advances
+    /// the RNG stream in INT8 mode, exactly like the sequential session).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn eval(&mut self) -> Result<f32> {
+        self.trainer
+            .evaluate(self.net, self.test_set)
+            .map_err(DistError::Core)
+    }
+
+    /// Starts the next epoch: shuffles the sample order through the trainer
+    /// RNG — the same single stochastic stream the sequential session uses.
+    fn begin_epoch(&mut self) {
+        let mut order: Vec<usize> = (0..self.train_set.len()).collect();
+        order.shuffle(self.trainer.rng_mut());
+        self.current = Some(EpochState {
+            order,
+            next: 0,
+            loss_sum: 0.0,
+            batch_count: 0,
+            correct: 0,
+            seen: 0,
+            elapsed_before: 0.0,
+            started: Instant::now(),
+        });
+    }
+
+    /// Trains up to `max_batches` mini-batches through the pipeline and
+    /// returns how many ran. Stops early at epoch boundaries (finalising
+    /// the epoch) and at the end of the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/tensor errors. After an error the session's state
+    /// is indeterminate (some stages may have stepped); do not checkpoint.
+    pub fn run_steps(&mut self, max_batches: usize) -> Result<usize> {
+        let mut done = 0;
+        while done < max_batches && !self.is_finished() {
+            if self.current.is_none() {
+                self.begin_epoch();
+            }
+            let (remaining, batch) = {
+                let state = self.current.as_ref().expect("epoch state just ensured");
+                let left = state.order.len().saturating_sub(state.next);
+                (left.div_ceil(self.options.batch_size.max(1)), left)
+            };
+            if remaining == 0 || batch == 0 {
+                self.finish_epoch()?;
+                continue;
+            }
+            let count = remaining.min(max_batches - done);
+            self.run_batches(count)?;
+            done += count;
+            let epoch_done = {
+                let state = self.current.as_ref().expect("epoch state exists");
+                state.next >= state.order.len()
+            };
+            if epoch_done {
+                self.finish_epoch()?;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Steps until the current epoch finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error.
+    pub fn run_epoch(&mut self) -> Result<()> {
+        if self.is_finished() {
+            return Ok(());
+        }
+        if self.current.is_none() {
+            self.begin_epoch();
+        }
+        let remaining = {
+            let state = self.current.as_ref().expect("epoch state just ensured");
+            let left = state.order.len().saturating_sub(state.next);
+            left.div_ceil(self.options.batch_size.max(1))
+        };
+        if remaining > 0 {
+            self.run_batches(remaining)?;
+        }
+        self.finish_epoch()
+    }
+
+    /// Trains every remaining epoch and returns the recorded history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error.
+    pub fn run(&mut self) -> Result<&TrainingHistory> {
+        while !self.is_finished() {
+            self.run_epoch()?;
+        }
+        Ok(&self.history)
+    }
+
+    /// Pushes `count` batches through the stage pipeline. The driver (this
+    /// thread) prepares batches in strict order — so every RNG draw happens
+    /// in the sequential order — while stage threads train layer slices
+    /// concurrently.
+    fn run_batches(&mut self, count: usize) -> Result<()> {
+        let stage_count = self.stage_sizes.len();
+        let layer_count: usize = self.stage_sizes.iter().sum();
+        self.trainer.ensure_optimizers(layer_count);
+        // Stage threads need the optimizers split in lockstep with the layer
+        // slices; take the list out and restore it after the scope so
+        // checkpoint export always sees the full list.
+        let mut optimizers = std::mem::take(self.trainer.optimizers_mut());
+        // Gradients are already zero (construction, step_layers, resume all
+        // leave them zero); zeroing again is an idempotent safety net.
+        self.net.zero_grad();
+        let first_is_dense = first_layer_is_dense(self.net);
+        let theta = self.options.theta;
+        let precision = self.trainer.precision();
+        let num_classes = self.train_set.num_classes();
+        let batch_size = self.options.batch_size.max(1);
+        let stage_sizes = self.stage_sizes.clone();
+        let train_set = self.train_set;
+        let trainer = &mut self.trainer;
+        let state = self.current.as_ref().expect("run_batches without epoch");
+        let order = &state.order;
+        let start0 = state.next;
+
+        let layers = self.net.layers_mut();
+        type ScopeOut = (Vec<u64>, usize, Vec<f32>, usize);
+        let scope_result: std::result::Result<ScopeOut, CoreError> = std::thread::scope(|scope| {
+            // Channels: driver -> stage 0 -> stage 1 -> ... plus one
+            // unbounded results channel back to the driver.
+            let mut item_txs = Vec::with_capacity(stage_count);
+            let mut item_rxs = Vec::with_capacity(stage_count);
+            for _ in 0..stage_count {
+                let (tx, rx) = mpsc::sync_channel::<StageItem>(STAGE_QUEUE_DEPTH);
+                item_txs.push(tx);
+                item_rxs.push(rx);
+            }
+            let driver_tx = item_txs.remove(0);
+            let (result_tx, result_rx) = mpsc::channel::<(usize, usize, f32, f32)>();
+
+            let mut handles = Vec::with_capacity(stage_count);
+            let mut rx_iter = item_rxs.into_iter();
+            let mut fwd_iter = item_txs.into_iter();
+            let mut remaining_layers = layers;
+            let mut remaining_opts = optimizers.as_mut_slice();
+            let mut first_layer_index = 0usize;
+            for (stage_idx, &size) in stage_sizes.iter().enumerate() {
+                let (stage_layers, rest) = remaining_layers.split_at_mut(size);
+                remaining_layers = rest;
+                let (stage_opts, rest) = remaining_opts.split_at_mut(size);
+                remaining_opts = rest;
+                let rx = rx_iter.next().expect("one receiver per stage");
+                let forward = if stage_idx + 1 < stage_count {
+                    Some(fwd_iter.next().expect("one forward sender per link"))
+                } else {
+                    None
+                };
+                let results = result_tx.clone();
+                let first = first_layer_index;
+                first_layer_index += size;
+                handles.push(scope.spawn(move || {
+                    stage_loop(
+                        stage_layers,
+                        stage_opts,
+                        first,
+                        stage_idx,
+                        theta,
+                        rx,
+                        forward,
+                        results,
+                    )
+                }));
+            }
+            drop(result_tx);
+
+            // Driver: prepare and feed batches in strict order.
+            let mut sent = 0usize;
+            let mut cursor = start0;
+            let mut driver_error: Option<CoreError> = None;
+            for b in 0..count {
+                if cursor >= order.len() {
+                    break;
+                }
+                let end = (cursor + batch_size).min(order.len());
+                let chunk = &order[cursor..end];
+                let item = (|| -> std::result::Result<StageItem, CoreError> {
+                    let images = train_set.images().select_rows(chunk)?;
+                    let labels: Vec<usize> = chunk.iter().map(|&i| train_set.labels()[i]).collect();
+                    let prepared =
+                        trainer.prepare_batch(&images, &labels, num_classes, first_is_dense)?;
+                    let divisor = prepared.pos.rows();
+                    Ok(StageItem {
+                        batch: b,
+                        pos: prepared.pos,
+                        neg: prepared.neg,
+                        pos_pass: PassMode::from_seed(precision, prepared.pos_seed),
+                        neg_pass: PassMode::from_seed(precision, prepared.neg_seed),
+                        divisor,
+                    })
+                })();
+                let item = match item {
+                    Ok(item) => item,
+                    Err(e) => {
+                        driver_error = Some(e);
+                        break;
+                    }
+                };
+                if driver_tx.send(item).is_err() {
+                    // A stage died; its error surfaces at join below.
+                    break;
+                }
+                sent += 1;
+                cursor = end;
+            }
+            drop(driver_tx);
+
+            // Collect per-(batch, stage) loss partials until every stage
+            // thread has exited and dropped its sender.
+            let mut pos_parts = vec![vec![0.0f32; stage_count]; sent];
+            let mut neg_parts = vec![vec![0.0f32; stage_count]; sent];
+            let mut got = vec![0usize; sent];
+            for (batch, stage, lp, ln) in result_rx.iter() {
+                if batch < sent {
+                    pos_parts[batch][stage] = lp;
+                    neg_parts[batch][stage] = ln;
+                    got[batch] += 1;
+                }
+            }
+            let mut busy = Vec::with_capacity(stage_count);
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(ns)) => busy.push(ns),
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => {
+                        return Err(CoreError::InvalidConfig {
+                            message: "a pipeline stage thread panicked".to_string(),
+                        })
+                    }
+                }
+            }
+            if let Some(e) = driver_error {
+                return Err(e);
+            }
+            if got.iter().any(|&g| g != stage_count) {
+                return Err(CoreError::InvalidConfig {
+                    message: "pipeline lost a batch result (internal error)".to_string(),
+                });
+            }
+            // Fold stage partials in ascending stage order: positive
+            // partials first, then negative — exactly the sequential
+            // trainer's `loss_pos + loss_neg` with its left-to-right
+            // per-layer accumulation.
+            let mut losses = Vec::with_capacity(sent);
+            for b in 0..sent {
+                let mut pos = 0.0f32;
+                let mut neg = 0.0f32;
+                for s in 0..stage_count {
+                    pos += pos_parts[b][s];
+                    neg += neg_parts[b][s];
+                }
+                losses.push(pos + neg);
+            }
+            Ok((busy, sent, losses, cursor))
+        });
+
+        *self.trainer.optimizers_mut() = optimizers;
+        let (busy, sent, losses, cursor) = scope_result.map_err(DistError::Core)?;
+
+        let state = self.current.as_mut().expect("epoch state exists");
+        state.next = cursor;
+        state.batch_count += sent;
+        for loss in losses {
+            state.loss_sum += loss;
+        }
+        self.global_step += sent as u64;
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("dist.pipeline.batches").add(sent as u64);
+            for (stage, ns) in busy.iter().enumerate() {
+                metrics
+                    .counter(&format!("dist.pipeline.stage{stage}.busy_ns"))
+                    .add(*ns);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the current epoch — evaluation cadence, history record —
+    /// mirroring the sequential session field for field.
+    fn finish_epoch(&mut self) -> Result<()> {
+        let state = self.current.take().expect("finish_epoch without epoch");
+        let epoch = self.epoch;
+        let mean_loss = state.loss_sum / state.batch_count.max(1) as f32;
+        let evaluate_now = epoch.is_multiple_of(self.options.eval_every.max(1))
+            || epoch + 1 == self.options.epochs;
+        let (train_accuracy, test_accuracy) = if evaluate_now {
+            let train_accuracy = self
+                .trainer
+                .evaluate(self.net, self.train_set)
+                .map_err(DistError::Core)?;
+            let test_accuracy = self
+                .trainer
+                .evaluate(self.net, self.test_set)
+                .map_err(DistError::Core)?;
+            (train_accuracy, Some(test_accuracy))
+        } else {
+            (0.0, None)
+        };
+        let seconds = state.elapsed_before + state.started.elapsed().as_secs_f64();
+        self.history
+            .record_timed(epoch, mean_loss, train_accuracy, test_accuracy, seconds);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Captures the complete training state into a standard `FF8C`
+    /// [`Checkpoint`] — interchangeable with the sequential session's: a
+    /// [`ff_core::TrainSession`] can resume it (and continue bit-exactly
+    /// on one thread), and [`PipelineSession::resume`] accepts sequential
+    /// checkpoints.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let progress = self.current.as_ref().map(|state| EpochProgress {
+            order: state.order.clone(),
+            next: state.next,
+            loss_sum: state.loss_sum,
+            batch_count: state.batch_count as u64,
+            correct: state.correct as u64,
+            seen: state.seen as u64,
+            elapsed_seconds: state.elapsed_before + state.started.elapsed().as_secs_f64(),
+        });
+        let params = self
+            .net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
+        Checkpoint {
+            algorithm: self.trainer.algorithm(),
+            options: self.options.clone(),
+            epoch: self.epoch as u64,
+            global_step: self.global_step,
+            trainer: self.trainer.export_state(),
+            history: self.history.clone(),
+            params,
+            progress,
+        }
+    }
+
+    /// Rebuilds a pipeline session from a [`Checkpoint`] (taken by either a
+    /// pipeline or a sequential session) and continues bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects checkpoints of algorithms the pipeline cannot train
+    /// (look-ahead, backpropagation, `grad_shards != 1`) and propagates the
+    /// usual shape/geometry mismatches.
+    pub fn resume(
+        net: &'a mut Sequential,
+        train_set: &'a Dataset,
+        test_set: &'a Dataset,
+        checkpoint: &Checkpoint,
+        stage_sizes: &[usize],
+    ) -> Result<Self> {
+        let precision = match checkpoint.algorithm {
+            Algorithm::FfInt8 { lookahead: false } => Precision::Int8,
+            Algorithm::FfFp32 { lookahead: false } => Precision::Fp32,
+            other => {
+                return Err(invalid(format!(
+                    "pipeline training supports FF without look-ahead only \
+                     (checkpoint algorithm is {})",
+                    other.label()
+                )))
+            }
+        };
+        let mut session = Self::new(
+            net,
+            train_set,
+            test_set,
+            precision,
+            &checkpoint.options,
+            stage_sizes,
+        )?;
+        session
+            .trainer
+            .import_state(&checkpoint.trainer, session.net)
+            .map_err(DistError::Core)?;
+        checkpoint
+            .restore_params(session.net)
+            .map_err(DistError::Core)?;
+        session.history = checkpoint.history.clone();
+        session.epoch = checkpoint.epoch as usize;
+        session.global_step = checkpoint.global_step;
+        if let Some(progress) = &checkpoint.progress {
+            session.current = Some(session.restore_progress(progress)?);
+        }
+        Ok(session)
+    }
+
+    /// Validates and rehydrates a mid-epoch [`EpochProgress`] — the same
+    /// permutation/cursor checks the sequential session applies.
+    fn restore_progress(&self, progress: &EpochProgress) -> Result<EpochState> {
+        let n = self.train_set.len();
+        if progress.order.len() != n {
+            return Err(mismatch(format!(
+                "checkpoint epoch order covers {} samples but the training set has {n}",
+                progress.order.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &index in &progress.order {
+            if index >= n || seen[index] {
+                return Err(mismatch(format!(
+                    "checkpoint epoch order is not a permutation of 0..{n} \
+                     (offending index {index})"
+                )));
+            }
+            seen[index] = true;
+        }
+        if progress.next > n {
+            return Err(mismatch(format!(
+                "checkpoint epoch cursor {} is past the training set length {n}",
+                progress.next
+            )));
+        }
+        Ok(EpochState {
+            order: progress.order.clone(),
+            next: progress.next,
+            loss_sum: progress.loss_sum,
+            batch_count: progress.batch_count as usize,
+            correct: progress.correct as usize,
+            seen: progress.seen as usize,
+            elapsed_before: progress.elapsed_seconds,
+            started: Instant::now(),
+        })
+    }
+}
+
+/// One stage thread's life: drain the inbound channel, train this stage's
+/// layer slice on each batch (positive pass, negative pass, step), report
+/// the loss partials and forward the outgoing activations. Returns the
+/// stage's total compute time in nanoseconds.
+#[allow(clippy::too_many_arguments)]
+fn stage_loop(
+    layers: &mut [Box<dyn Layer>],
+    optimizers: &mut [ff_core::AnyOptimizer],
+    first_layer_index: usize,
+    stage_idx: usize,
+    theta: f32,
+    rx: mpsc::Receiver<StageItem>,
+    forward: Option<mpsc::SyncSender<StageItem>>,
+    results: mpsc::Sender<(usize, usize, f32, f32)>,
+) -> std::result::Result<u64, CoreError> {
+    let mut busy_ns = 0u64;
+    for item in rx {
+        let started = Instant::now();
+        let (loss_pos, pos_out) = ff_stage_pass(
+            layers,
+            first_layer_index,
+            &item.pos,
+            FfLossKind::Positive,
+            theta,
+            item.pos_pass,
+            item.divisor,
+        )?;
+        let (loss_neg, neg_out) = ff_stage_pass(
+            layers,
+            first_layer_index,
+            &item.neg,
+            FfLossKind::Negative,
+            theta,
+            item.neg_pass,
+            item.divisor,
+        )?;
+        step_layers(layers, optimizers);
+        busy_ns = busy_ns.saturating_add(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let _ = results.send((item.batch, stage_idx, loss_pos, loss_neg));
+        if let Some(tx) = &forward {
+            let onward = StageItem {
+                batch: item.batch,
+                pos: pos_out,
+                neg: neg_out,
+                pos_pass: item.pos_pass,
+                neg_pass: item.neg_pass,
+                divisor: item.divisor,
+            };
+            if tx.send(onward).is_err() {
+                // Downstream died; stop consuming so backpressure unwinds.
+                break;
+            }
+        }
+    }
+    Ok(busy_ns)
+}
+
+fn invalid(message: String) -> DistError {
+    DistError::Core(CoreError::InvalidConfig { message })
+}
+
+fn mismatch(message: String) -> DistError {
+    DistError::Core(CoreError::CheckpointMismatch { message })
+}

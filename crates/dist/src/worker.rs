@@ -1,0 +1,160 @@
+//! The data-parallel training worker.
+//!
+//! A worker joins a [`crate::Coordinator`], then serves a loop of
+//! `ParamSync` (overwrite the local parameter replica) and `SubmitBatch`
+//! (evaluate [`compute_shard`] — a pure function of the synced parameters
+//! and the task) answered with `ShardResult` frames. Because every shard's
+//! rounding streams are derived from seeds carried *in the task*, a shard
+//! computed here is bit-identical to the same shard computed on the
+//! coordinator or on any other worker — which is what lets the coordinator
+//! treat worker death as a scheduling event rather than a correctness
+//! event.
+
+use crate::protocol::{read_msg, write_msg, TrainMsg};
+use crate::{DistError, Result};
+use ff_core::shard::compute_shard;
+use ff_nn::Sequential;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a worker did before its connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerReport {
+    /// The id the coordinator assigned at join.
+    pub worker_id: u64,
+    /// How many shard tasks this worker computed and returned.
+    pub shards_computed: u64,
+    /// How many full parameter syncs it applied.
+    pub params_synced: u64,
+}
+
+/// A data-parallel training worker (stateless; the model replica is the
+/// caller's).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Worker;
+
+impl Worker {
+    /// Connects to a coordinator and serves shard tasks until the
+    /// coordinator shuts the cluster down (or the connection drops).
+    ///
+    /// `net` must have the same architecture as the coordinator's model;
+    /// its parameter *values* are irrelevant — the first `ParamSync`
+    /// overwrites them.
+    ///
+    /// # Errors
+    ///
+    /// Connection setup errors as [`DistError::Io`]; join rejection and
+    /// malformed frames as [`DistError::Protocol`]; shard math errors as
+    /// [`DistError::Core`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        token: &str,
+        net: &mut Sequential,
+    ) -> Result<WorkerReport> {
+        let mut stream = TcpStream::connect(addr)?;
+        Self::run(&mut stream, token, net)
+    }
+
+    /// Runs the worker loop over an already-established stream.
+    ///
+    /// Generic over `Read + Write` so tests can interpose
+    /// `ff_net::FaultyStream` (or any in-memory transport) between worker
+    /// and coordinator. A connection loss mid-service returns `Ok` with the
+    /// report so far — the coordinator recomputes whatever this worker
+    /// still owed, and "my socket died" is not a worker-side failure.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Worker::connect`], minus connection setup.
+    pub fn run<S: Read + Write>(
+        stream: &mut S,
+        token: &str,
+        net: &mut Sequential,
+    ) -> Result<WorkerReport> {
+        write_msg(
+            stream,
+            &TrainMsg::Join {
+                token: token.to_string(),
+            },
+        )?;
+        let worker_id = match read_msg(stream)? {
+            TrainMsg::JoinAck { worker_id } => worker_id,
+            TrainMsg::Error { message } => {
+                return Err(DistError::Protocol {
+                    message: format!("coordinator rejected join: {message}"),
+                })
+            }
+            other => {
+                return Err(DistError::Protocol {
+                    message: format!("expected JoinAck, got {other:?}"),
+                })
+            }
+        };
+        let mut report = WorkerReport {
+            worker_id,
+            ..WorkerReport::default()
+        };
+        loop {
+            match read_msg(stream) {
+                Ok(TrainMsg::ParamSync { params, .. }) => {
+                    apply_param_sync(net, &params)?;
+                    report.params_synced += 1;
+                }
+                Ok(TrainMsg::SubmitBatch { step, task }) => {
+                    let shard_index = task.shard_index as u64;
+                    let grads = compute_shard(net, &task)?;
+                    if write_msg(
+                        stream,
+                        &TrainMsg::ShardResult {
+                            step,
+                            shard_index,
+                            grads,
+                        },
+                    )
+                    .is_err()
+                    {
+                        return Ok(report);
+                    }
+                    report.shards_computed += 1;
+                }
+                Ok(TrainMsg::Shutdown) | Ok(TrainMsg::Leave) => return Ok(report),
+                // Unknown-but-well-formed traffic is ignored so protocol
+                // growth does not strand old workers.
+                Ok(_) => continue,
+                // A dropped socket ends service; the coordinator's reader
+                // thread notices the same break and reassigns.
+                Err(DistError::Io { .. }) => return Ok(report),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Overwrites `net`'s parameters with a synced replica, bumping each
+/// parameter's version so cached packed INT8 weight plans requantize.
+fn apply_param_sync(net: &mut Sequential, params: &[ff_tensor::Tensor]) -> Result<()> {
+    let mut targets = net.params_mut();
+    if targets.len() != params.len() {
+        return Err(DistError::Protocol {
+            message: format!(
+                "parameter sync carries {} tensors but the local replica has {}",
+                params.len(),
+                targets.len()
+            ),
+        });
+    }
+    for (target, incoming) in targets.iter_mut().zip(params) {
+        if target.value.shape() != incoming.shape() {
+            return Err(DistError::Protocol {
+                message: format!(
+                    "parameter sync shape {:?} does not match local shape {:?}",
+                    incoming.shape(),
+                    target.value.shape()
+                ),
+            });
+        }
+        *target.value = incoming.clone();
+        target.mark_updated();
+    }
+    Ok(())
+}

@@ -84,7 +84,7 @@ use ff_serve::{
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -141,6 +141,11 @@ const PHASE_STOPPED: u8 = 2;
 struct NetShared {
     handle: ServeHandle,
     config: NetConfig,
+    /// The live auth policy. Seeded from `config.auth`, replaced atomically
+    /// by [`NetServer::set_auth`]; each connection snapshots it once at
+    /// accept time, so in-flight connections finish under the policy they
+    /// started with while every new connection sees the rotated tokens.
+    auth: RwLock<Arc<AuthPolicy>>,
     phase: AtomicU8,
     local_addr: SocketAddr,
     gate: AdmissionGate,
@@ -152,6 +157,14 @@ struct NetShared {
 }
 
 impl NetShared {
+    /// The auth policy for a connection starting now.
+    fn auth_snapshot(&self) -> Arc<AuthPolicy> {
+        match self.auth.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
     fn phase(&self) -> u8 {
         self.phase.load(Ordering::Acquire)
     }
@@ -257,6 +270,7 @@ impl NetServer {
             handle: engine.handle(),
             counters: engine.handle().shed_counters(),
             write_stage: engine.handle().stage_histograms().write,
+            auth: RwLock::new(Arc::new(config.auth.clone())),
             config,
             phase: AtomicU8::new(PHASE_RUNNING),
             local_addr,
@@ -300,6 +314,22 @@ impl NetServer {
     /// network answers against.
     pub fn handle(&self) -> ServeHandle {
         self.shared.handle.clone()
+    }
+
+    /// Replaces the auth policy without restarting the server — token
+    /// rotation for a live fleet.
+    ///
+    /// The swap is atomic at connection granularity: connections accepted
+    /// after this call authenticate every frame against `policy`, while
+    /// connections already in flight finish under the policy they were
+    /// accepted with (a rotation never cuts off a request stream
+    /// mid-conversation). To *revoke* instantly as well, rotate and then
+    /// drain: existing connections expire at the idle timeout.
+    pub fn set_auth(&self, policy: AuthPolicy) {
+        match self.shared.auth.write() {
+            Ok(mut slot) => *slot = Arc::new(policy),
+            Err(poisoned) => *poisoned.into_inner() = Arc::new(policy),
+        }
     }
 
     /// `true` once a shutdown (local or via a `Shutdown` frame) has been
@@ -446,6 +476,9 @@ enum Outgoing {
 /// GEMM batches instead of being served one blocking call at a time.
 fn serve_connection(shared: &NetShared, stream: TcpStream) -> Result<()> {
     let max = shared.config.max_frame_bytes;
+    // One policy per connection lifetime: a concurrent `set_auth` affects
+    // connections accepted after it, never a request stream mid-flight.
+    let auth = shared.auth_snapshot();
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(shared.config.read_timeout))?;
     stream.set_write_timeout(Some(shared.config.write_timeout))?;
@@ -464,7 +497,7 @@ fn serve_connection(shared: &NetShared, stream: TcpStream) -> Result<()> {
             })
             .expect("spawning the reply writer cannot fail")
     };
-    let outcome = connection_reader_loop(shared, &mut reader, &out_tx, &writer_alive);
+    let outcome = connection_reader_loop(shared, &auth, &mut reader, &out_tx, &writer_alive);
     drop(out_tx); // writer drains queued replies, then exits
     if let Err(panic) = writer_thread.join() {
         std::panic::resume_unwind(panic);
@@ -546,6 +579,7 @@ fn fill_frame_bytes(
 /// The reader half of [`serve_connection`].
 fn connection_reader_loop(
     shared: &NetShared,
+    auth: &AuthPolicy,
     reader: &mut impl std::io::Read,
     out_tx: &mpsc::Sender<Outgoing>,
     writer_alive: &AtomicBool,
@@ -614,10 +648,12 @@ fn connection_reader_loop(
                 return Ok(());
             }
         };
-        let outgoing = handle_request(shared, frame, &meta, peer_version);
+        let outgoing = handle_request(shared, auth, frame, &meta, peer_version);
         // Only an *acknowledged* shutdown drains the server — an
         // unauthenticated Shutdown frame is answered `Unauthorized` and
-        // changes nothing.
+        // changes nothing. The drain flag flips BEFORE the ack is handed
+        // to the writer: the moment a client reads the ack,
+        // `is_shutting_down()` is already true.
         let shutdown_after = matches!(
             &outgoing,
             Outgoing::Ready {
@@ -625,11 +661,13 @@ fn connection_reader_loop(
                 ..
             }
         );
+        if shutdown_after {
+            request_drain(shared);
+        }
         if out_tx.send(outgoing).is_err() {
             return Ok(()); // writer gone (write failure): close
         }
         if shutdown_after {
-            request_drain(shared);
             return Ok(());
         }
         if shared.phase() == PHASE_STOPPED {
@@ -724,7 +762,13 @@ fn retry_hint_millis(hint: Duration) -> u32 {
 /// Predictions pass the admission gate first; refusals are answered with
 /// machine-readable `Overloaded` / `DeadlineExceeded` / `Draining` codes so
 /// clients can distinguish "retry later" from "give up".
-fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u16) -> Outgoing {
+fn handle_request(
+    shared: &NetShared,
+    auth: &AuthPolicy,
+    frame: Frame,
+    meta: &FrameMeta,
+    version: u16,
+) -> Outgoing {
     let id = frame.id();
     let reply_meta = FrameMeta::for_model(meta.model_id);
     match frame {
@@ -732,7 +776,18 @@ fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u
             id,
             deadline_micros,
             features,
-        } => submit_prediction(shared, id, version, meta, deadline_micros, &features, 1),
+        } => submit_prediction(
+            shared,
+            auth,
+            id,
+            version,
+            meta,
+            deadline_micros,
+            Payload {
+                features: &features,
+                rows: 1,
+            },
+        ),
         Frame::PredictBatch {
             id,
             deadline_micros,
@@ -740,7 +795,18 @@ fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u
             data,
         } => {
             let rows = data.len() / cols as usize;
-            submit_prediction(shared, id, version, meta, deadline_micros, &data, rows)
+            submit_prediction(
+                shared,
+                auth,
+                id,
+                version,
+                meta,
+                deadline_micros,
+                Payload {
+                    features: &data,
+                    rows,
+                },
+            )
         }
         // Stats and Health stay open (see `crate::auth`): they carry no
         // tenant data and are what dashboards and load balancers poll.
@@ -806,7 +872,7 @@ fn handle_request(shared: &NetShared, frame: Frame, meta: &FrameMeta, version: u
             meta: reply_meta,
         },
         Frame::Shutdown { id } => {
-            if !shared.config.auth.authenticate(meta.token.as_deref()) {
+            if !auth.authenticate(meta.token.as_deref()) {
                 return unauthorized_reply(id, version, reply_meta);
             }
             Outgoing::Ready {
@@ -852,15 +918,22 @@ fn unauthorized_reply(id: u64, version: u16, meta: FrameMeta) -> Outgoing {
 /// it, so one request's rows are all answered by the same model epoch even
 /// if the entry is hot-swapped mid-request. Rejections bump both the global
 /// shed counters and the addressed model's.
+/// The feature rows of one `Predict`/`PredictBatch` request.
+struct Payload<'a> {
+    features: &'a [f32],
+    rows: usize,
+}
+
 fn submit_prediction(
     shared: &NetShared,
+    auth: &AuthPolicy,
     id: u64,
     version: u16,
     meta: &FrameMeta,
     deadline_micros: u32,
-    features: &[f32],
-    rows: usize,
+    payload: Payload<'_>,
 ) -> Outgoing {
+    let Payload { features, rows } = payload;
     let reply_meta = FrameMeta::for_model(meta.model_id);
     // The trace starts at the top of request handling — refused requests
     // drop it unstamped past Recv, committing (flagged incomplete) only if
@@ -868,11 +941,7 @@ fn submit_prediction(
     let trace = shared.handle.begin_trace(meta.model_id);
     // Auth precedes existence: an unauthorized peer probing ids learns
     // nothing about which models are registered.
-    if !shared
-        .config
-        .auth
-        .authorize(meta.token.as_deref(), meta.model_id)
-    {
+    if !auth.authorize(meta.token.as_deref(), meta.model_id) {
         return unauthorized_reply(id, version, reply_meta);
     }
     let deadline = (deadline_micros > 0)

@@ -278,3 +278,60 @@ fn two_models_one_port_with_hot_swap_and_auth() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn auth_rotation_applies_to_new_connections_without_restart() {
+    let model = trained_model(4, 5, 2);
+    let x = probe_rows(2);
+    let server = NetServer::bind_registry(
+        ModelRegistry::new(model),
+        "127.0.0.1:0",
+        NetConfig {
+            auth: AuthPolicy::with_tokens(vec![AuthToken::new("old-key")]),
+            conn_threads: 4,
+            serve: ServeConfig {
+                workers: 1,
+                mode: ServeMode::Logits,
+                ..ServeConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A connection established before the rotation...
+    let mut veteran = client_for(addr, DEFAULT_MODEL_ID, "old-key");
+    veteran.predict(x.row(0)).unwrap();
+
+    // ...rotate the fleet's tokens in place, no restart...
+    server.set_auth(AuthPolicy::with_tokens(vec![AuthToken::new("new-key")]));
+
+    // ...the in-flight connection finishes under the policy it started
+    // with (a rotation never cuts a conversation mid-stream)...
+    veteran.predict(x.row(1)).unwrap();
+
+    // ...while new connections see only the rotated policy: the old token
+    // is dead, the new one works.
+    let mut stale = client_for(addr, DEFAULT_MODEL_ID, "old-key");
+    assert_eq!(
+        remote_code(stale.predict(x.row(0)).unwrap_err()),
+        ErrorCode::Unauthorized,
+        "the retired token must be refused on new connections"
+    );
+    let mut fresh = client_for(addr, DEFAULT_MODEL_ID, "new-key");
+    fresh.predict(x.row(0)).unwrap();
+
+    // Rotating back to open restores anonymous access for new connections.
+    server.set_auth(AuthPolicy::open());
+    let mut anonymous = Client::connect_with(
+        addr,
+        ClientConfig {
+            model: DEFAULT_MODEL_ID,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    anonymous.predict(x.row(0)).unwrap();
+    server.shutdown();
+}

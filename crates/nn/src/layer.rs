@@ -101,7 +101,7 @@ impl LayerSnapshot {
 /// parameter gradients (`+=`) and returns the gradient w.r.t. the layer
 /// input. Accumulation (rather than overwrite) is what lets the look-ahead
 /// scheme add `λ · ∂L_j/∂W_i` contributions from several later layers.
-pub trait Layer {
+pub trait Layer: Send {
     /// Short human-readable layer name (used in error messages and reports).
     fn name(&self) -> &'static str;
 

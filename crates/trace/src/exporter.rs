@@ -1,0 +1,169 @@
+//! A plaintext TCP exposition endpoint for a [`MetricsRegistry`].
+//!
+//! The `FF8P` stats frame answers *clients of the model* — but fleet
+//! scrapers and shell operators want the whole registry without speaking
+//! the binary protocol. [`MetricsExporter::bind`] opens a second, trivially
+//! scrapeable port: every accepted connection receives one fresh
+//! [`MetricsRegistry::expose`] rendering and is closed. No request parsing,
+//! no framing — `nc host port` (or any HTTP-less poller) gets the current
+//! snapshot in the stable text format.
+//!
+//! The exporter owns one accept thread and serves connections inline on
+//! it; exposition is a read-render-write of a few kilobytes, so a serial
+//! accept loop is deliberate — it cannot amplify load on a saturated
+//! server the way a per-connection thread spawn could.
+
+use crate::MetricsRegistry;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Serves [`MetricsRegistry::expose`] snapshots over plaintext TCP.
+///
+/// Bind it next to the model server and point any line-oriented poller at
+/// the port; shutting down (or dropping) the exporter stops the accept
+/// thread. Connections established concurrently with shutdown still get a
+/// complete snapshot — the write finishes before the loop re-checks the
+/// flag.
+///
+/// # Examples
+///
+/// ```
+/// use ff_trace::{MetricsExporter, MetricsRegistry};
+/// use std::io::Read;
+///
+/// let metrics = MetricsRegistry::new();
+/// metrics.counter("serve.requests").add(41);
+/// let mut exporter = MetricsExporter::bind("127.0.0.1:0", metrics.clone()).unwrap();
+///
+/// metrics.counter("serve.requests").inc(); // snapshots are live
+/// let mut scrape = String::new();
+/// std::net::TcpStream::connect(exporter.addr())
+///     .unwrap()
+///     .read_to_string(&mut scrape)
+///     .unwrap();
+/// assert!(scrape.contains("serve.requests counter 42"));
+/// exporter.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds `addr` and starts serving `registry` snapshots.
+    ///
+    /// Pass port 0 to bind an ephemeral port and read the real one back
+    /// from [`MetricsExporter::addr`]. The registry handle is shared —
+    /// metrics recorded after the bind appear in later scrapes.
+    pub fn bind(addr: impl ToSocketAddrs, registry: MetricsRegistry) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept = std::thread::Builder::new()
+            .name("ff-metrics-export".into())
+            .spawn(move || accept_loop(&listener, &registry, &flag))?;
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and releases the port. Idempotent; also
+    /// invoked on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is parked in `accept()`; a throwaway self-connect
+        // wakes it so it can observe the flag and exit.
+        drop(TcpStream::connect(self.addr));
+        if let Some(handle) = self.accept.take() {
+            drop(handle.join());
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let Ok((stream, _peer)) = listener.accept() else {
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        serve_scrape(stream, registry);
+    }
+}
+
+/// One connection = one snapshot: render, write, half-close, done. Errors
+/// are the peer's problem (it hung up mid-scrape); the exporter never dies.
+fn serve_scrape(mut stream: TcpStream, registry: &MetricsRegistry) {
+    let body = registry.expose();
+    if stream.write_all(body.as_bytes()).is_ok() {
+        drop(stream.flush());
+    }
+    drop(stream.shutdown(Shutdown::Write));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut text = String::new();
+        TcpStream::connect(addr)
+            .unwrap()
+            .read_to_string(&mut text)
+            .unwrap();
+        text
+    }
+
+    #[test]
+    fn each_connection_gets_a_fresh_snapshot() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("requests").add(5);
+        metrics.gauge("depth").set(2);
+        let mut exporter = MetricsExporter::bind("127.0.0.1:0", metrics.clone()).unwrap();
+
+        let first = scrape(exporter.addr());
+        assert!(first.contains("requests counter 5"), "got: {first}");
+        assert!(first.contains("depth gauge 2"), "got: {first}");
+
+        metrics.counter("requests").add(3);
+        let second = scrape(exporter.addr());
+        assert!(
+            second.contains("requests counter 8"),
+            "scrapes must be live, not cached: {second}"
+        );
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_releases_the_port() {
+        let mut exporter = MetricsExporter::bind("127.0.0.1:0", MetricsRegistry::new()).unwrap();
+        let addr = exporter.addr();
+        exporter.shutdown();
+        exporter.shutdown();
+        // The port is free again once the accept thread has exited.
+        drop(TcpListener::bind(addr).unwrap());
+    }
+}

@@ -55,11 +55,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exporter;
 mod recorder;
 mod registry;
 mod stage;
 mod trace;
 
+pub use exporter::MetricsExporter;
 pub use recorder::{FlightRecorder, Sampler};
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SharedHistogram};
 pub use stage::{Stage, StageHistograms, StageSummaries, STAGE_COUNT};

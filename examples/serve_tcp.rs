@@ -15,8 +15,10 @@ use ff_int8::metrics::accuracy;
 use ff_int8::models::small_mlp;
 use ff_int8::net::{AdmissionConfig, Client, ClientConfig, NetConfig, NetServer, RetryPolicy};
 use ff_int8::serve::{BatchPolicy, FrozenModel, ServeConfig, ServeMode};
+use ff_int8::trace::MetricsExporter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::Read;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -81,6 +83,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.local_addr();
     println!("== serving FF8P on {addr} ==");
 
+    // Alongside the binary protocol, expose the server's whole metrics
+    // registry on a second plaintext port — `nc host port` (or any poller)
+    // gets one live snapshot per connection, no FF8P client required.
+    let mut exporter = MetricsExporter::bind("127.0.0.1:0", server.handle().metrics())?;
+    println!("== metrics exposition on {} ==", exporter.addr());
+
     // 3. A client probes the server, then four concurrent clients classify
     //    the test set over the wire.
     // The probe opts into resilience: a 250 ms budget per request (carried
@@ -143,7 +151,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("served accuracy over TCP: {:.1}%", served_accuracy * 100.0);
 
-    // 4. Shut the server down over the wire.
+    // 4. Scrape the plaintext metrics port the way a fleet poller would.
+    let mut scrape = String::new();
+    std::net::TcpStream::connect(exporter.addr())?.read_to_string(&mut scrape)?;
+    println!(
+        "metrics scrape: {} lines, e.g. {}",
+        scrape.lines().count(),
+        scrape
+            .lines()
+            .find(|l| l.starts_with("serve.requests"))
+            .unwrap_or("<serve.requests missing>")
+    );
+    exporter.shutdown();
+
+    // 5. Shut the server down over the wire.
     probe.shutdown_server()?;
     server.shutdown();
     println!("server drained and shut down");

@@ -74,6 +74,16 @@ if [[ "$fast" -eq 0 ]]; then
     echo "==> multi-model smoke gate (release)"
     cargo test -q --release -p ff-net --test multimodel
 
+    # Distributed-training smoke gate: a 2-worker loopback FF8D cluster
+    # trains, checkpoints mid-epoch, survives a worker death (deterministic
+    # fault injection), resumes — and every run's weights are asserted
+    # bit-identical to the single-process sequential trainer; pipeline
+    # parallelism likewise, across stage splits and precisions, with FF8C
+    # checkpoints interchangeable in both directions
+    # (crates/dist/tests/parity.rs).
+    echo "==> distributed-training smoke gate (release)"
+    cargo test -q --release -p ff-dist --test parity
+
     # Trace smoke gate: serve under concurrent load → TraceDump/MetricsDump
     # over the wire → every sampled trace is complete with monotonic stage
     # stamps whose reply-written offset lands at the end-to-end latency, and

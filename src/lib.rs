@@ -22,6 +22,7 @@
 pub use ff_codec as codec;
 pub use ff_core as core;
 pub use ff_data as data;
+pub use ff_dist as dist;
 pub use ff_edge as edge;
 pub use ff_metrics as metrics;
 pub use ff_models as models;
