@@ -18,7 +18,10 @@
 //! [`compute_shard`], so the resulting weights are bit-identical to the
 //! sequential `grad_shards = W` run no matter how the cluster behaves.
 
-use crate::protocol::{read_msg, write_msg, TrainMsg};
+use crate::protocol::{
+    decode_msg_versioned, encode_msg_at, read_msg, read_msg_bytes, write_msg, write_msg_at,
+    write_msg_bytes, ErrorCode, ShardStamps, TrainMsg, KIND_COUNT, TRAIN_PROTOCOL_VERSION,
+};
 use crate::{DistError, Result};
 use ff_core::shard::{compute_shard, reduce_shard_grads, shard_tasks, ShardGrads};
 use ff_core::{
@@ -26,9 +29,10 @@ use ff_core::{
     TrainOptions, TrainerCore, TrainerState,
 };
 use ff_data::{Batch, Dataset};
+use ff_metrics::Counter;
 use ff_nn::Sequential;
 use ff_tensor::Tensor;
-use ff_trace::MetricsRegistry;
+use ff_trace::{ClusterFlightRecorder, ClusterSpan, MetricsRegistry, ShardSpan, TraceSettings};
 use rand::rngs::StdRng;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,8 +54,12 @@ pub struct CoordinatorConfig {
     /// recomputing them locally. Purely a latency/throughput trade-off —
     /// the weights are identical either way.
     pub shard_timeout: Duration,
-    /// Metrics registry for coordinator counters (`dist.coord.*`).
+    /// Metrics registry for coordinator counters (`dist.coord.*`) and
+    /// per-kind wire accounting (`dist.wire.*`).
     pub metrics: Option<MetricsRegistry>,
+    /// Cluster-trace sampling and ring capacity. Disabled by default —
+    /// when off, `trace_id` is always 0 and steps carry no span at all.
+    pub trace: TraceSettings,
 }
 
 impl Default for CoordinatorConfig {
@@ -60,6 +68,7 @@ impl Default for CoordinatorConfig {
             token: None,
             shard_timeout: Duration::from_secs(5),
             metrics: None,
+            trace: TraceSettings::disabled(),
         }
     }
 }
@@ -72,6 +81,10 @@ struct WorkerLink {
     id: u64,
     stream: Mutex<TcpStream>,
     alive: AtomicBool,
+    /// The FF8D version every frame to/from this worker is encoded at:
+    /// `min(worker's Join version, TRAIN_PROTOCOL_VERSION)`. A v1 worker
+    /// trains bit-identically — it just carries no trace fields.
+    version: u16,
 }
 
 /// What worker reader threads report to the trainer.
@@ -81,25 +94,90 @@ enum Pulse {
         step: u64,
         shard_index: usize,
         grads: ShardGrads,
+        stamps: ShardStamps,
     },
     /// A worker's connection ended (its unreturned shards need local
     /// recompute).
     Down { worker_id: u64 },
 }
 
+/// Pre-minted per-kind frame/byte counters for the FF8D transport.
+///
+/// Indexed by [`TrainMsg::kind_index`], so a hot-path account is two
+/// atomic adds with no registry lock or name formatting. Counters exist
+/// (and stay coherent) even with no registry configured; registration
+/// under `dist.wire.<kind>.{frames,bytes}` happens only when one is.
+#[derive(Debug)]
+struct WireCounters {
+    frames: Vec<Counter>,
+    bytes: Vec<Counter>,
+}
+
+impl WireCounters {
+    fn new(metrics: Option<&MetricsRegistry>) -> Self {
+        let mut frames = Vec::with_capacity(KIND_COUNT);
+        let mut bytes = Vec::with_capacity(KIND_COUNT);
+        for name in TrainMsg::kind_names() {
+            let f = Counter::new();
+            let b = Counter::new();
+            if let Some(metrics) = metrics {
+                metrics.register_counter(&format!("dist.wire.{name}.frames"), f.clone());
+                metrics.register_counter(&format!("dist.wire.{name}.bytes"), b.clone());
+            }
+            frames.push(f);
+            bytes.push(b);
+        }
+        WireCounters { frames, bytes }
+    }
+
+    /// Accounts one frame of `kind_index` whose full wire footprint
+    /// (length prefix included) was `wire_bytes`.
+    fn account(&self, kind_index: usize, wire_bytes: u64) {
+        self.frames[kind_index].inc();
+        self.bytes[kind_index].add(wire_bytes);
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     config: CoordinatorConfig,
     workers: Mutex<Vec<Arc<WorkerLink>>>,
-    subscribers: Mutex<Vec<TcpStream>>,
+    subscribers: Mutex<Vec<(TcpStream, u16)>>,
     checkpoint: Mutex<Option<Vec<u8>>>,
     shutdown: AtomicBool,
+    cluster: ClusterFlightRecorder,
+    wire: WireCounters,
+    /// Per-[`ErrorCode`] counters, parallel to [`ErrorCode::all`].
+    errors: Vec<Counter>,
 }
 
 impl Shared {
     fn count(&self, name: &str, delta: u64) {
         if let Some(metrics) = &self.config.metrics {
             metrics.counter(name).add(delta);
+        }
+    }
+
+    /// Writes `msg` at `version` and accounts the frame under its kind.
+    fn wire_write(&self, stream: &mut TcpStream, msg: &TrainMsg, version: u16) -> Result<()> {
+        let n = write_msg_at(stream, msg, version)?;
+        self.wire.account(msg.kind_index(), n as u64);
+        Ok(())
+    }
+
+    /// Sends a coded [`TrainMsg::Error`] reply (best effort) and bumps its
+    /// `dist.coord.errors.<code>` counter.
+    fn send_error(&self, stream: &mut TcpStream, version: u16, code: ErrorCode, message: &str) {
+        let _ = self.wire_write(
+            stream,
+            &TrainMsg::Error {
+                code,
+                message: message.to_string(),
+            },
+            version,
+        );
+        if let Some(slot) = ErrorCode::all().iter().position(|c| *c == code) {
+            self.errors[slot].inc();
         }
     }
 }
@@ -122,12 +200,33 @@ impl Coordinator {
     pub fn bind(addr: impl ToSocketAddrs, config: CoordinatorConfig) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let cluster = ClusterFlightRecorder::new(config.trace);
+        let wire = WireCounters::new(config.metrics.as_ref());
+        let errors: Vec<Counter> = ErrorCode::all()
+            .iter()
+            .map(|code| {
+                let counter = Counter::new();
+                if let Some(metrics) = &config.metrics {
+                    metrics.register_counter(
+                        &format!("dist.coord.errors.{}", code.name()),
+                        counter.clone(),
+                    );
+                }
+                counter
+            })
+            .collect();
+        if let Some(metrics) = &config.metrics {
+            metrics.register_counter("dist.coord.trace.dropped", cluster.dropped_counter());
+        }
         let shared = Arc::new(Shared {
             config,
             workers: Mutex::new(Vec::new()),
             subscribers: Mutex::new(Vec::new()),
             checkpoint: Mutex::new(None),
             shutdown: AtomicBool::new(false),
+            cluster,
+            wire,
+            errors,
         });
         let (pulse_tx, pulse_rx) = mpsc::channel();
         let accept_shared = Arc::clone(&shared);
@@ -174,10 +273,43 @@ impl Coordinator {
         let msg = TrainMsg::Event {
             event: event.clone(),
         };
+        let kind_index = msg.kind_index();
+        // Encode once per distinct subscriber version, not per subscriber.
+        let mut encoded: Vec<(u16, Vec<u8>)> = Vec::new();
         if let Ok(mut subs) = self.shared.subscribers.lock() {
-            subs.retain_mut(|stream| write_msg(stream, &msg).is_ok());
+            subs.retain_mut(|(stream, version)| {
+                if !encoded.iter().any(|(v, _)| v == version) {
+                    encoded.push((*version, encode_msg_at(&msg, *version)));
+                }
+                let bytes = &encoded
+                    .iter()
+                    .find(|(v, _)| v == version)
+                    .expect("cached")
+                    .1;
+                match write_msg_bytes(stream, bytes) {
+                    Ok(n) => {
+                        self.shared.wire.account(kind_index, n as u64);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            });
         }
         self.shared.count("dist.coord.events_broadcast", 1);
+    }
+
+    /// The most recent committed [`ClusterSpan`]s (newest last), straight
+    /// from the coordinator-side ring. `max == 0` returns everything
+    /// retained. The wire `TraceDump` request serves the same data to
+    /// remote pullers; this accessor is for in-process harnesses.
+    pub fn cluster_traces(&self, max: usize) -> Vec<ClusterSpan> {
+        self.shared.cluster.recent(max)
+    }
+
+    /// How many spans the cluster trace ring has dropped under commit
+    /// contention or zero capacity.
+    pub fn cluster_traces_dropped(&self) -> u64 {
+        self.shared.cluster.dropped()
     }
 
     /// Builds the cluster's trainer. Callable once — the trainer owns the
@@ -219,7 +351,9 @@ impl Coordinator {
             for link in workers.drain(..) {
                 link.alive.store(false, Ordering::SeqCst);
                 if let Ok(mut stream) = link.stream.lock() {
-                    let _ = write_msg(&mut *stream, &TrainMsg::Shutdown);
+                    let _ = self
+                        .shared
+                        .wire_write(&mut stream, &TrainMsg::Shutdown, link.version);
                     let _ = stream.shutdown(std::net::Shutdown::Both);
                 }
             }
@@ -253,6 +387,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pulse_tx: mpsc::Sende
 }
 
 /// Classifies a fresh connection by its first frame.
+///
+/// The first frame also fixes the connection's FF8D version: the peer's
+/// declared header version, clamped to [`TRAIN_PROTOCOL_VERSION`]. Every
+/// reply (and every later frame the trainer sends a worker) is encoded at
+/// that version, so a v1 peer never sees bytes it cannot decode.
 fn handle_hello(
     mut stream: TcpStream,
     shared: &Arc<Shared>,
@@ -260,25 +399,35 @@ fn handle_hello(
     next_worker_id: &AtomicU64,
 ) {
     let _ = stream.set_read_timeout(Some(HELLO_TIMEOUT));
-    let Ok(hello) = read_msg(&mut stream) else {
+    let Ok(bytes) = read_msg_bytes(&mut stream) else {
         return;
     };
+    let Ok((hello, peer_version)) = decode_msg_versioned(&bytes) else {
+        return;
+    };
+    shared
+        .wire
+        .account(hello.kind_index(), bytes.len() as u64 + 4);
+    let version = peer_version.min(TRAIN_PROTOCOL_VERSION);
     let _ = stream.set_read_timeout(None);
     match hello {
         TrainMsg::Join { token } => {
             if let Some(expected) = &shared.config.token {
                 if &token != expected {
-                    let _ = write_msg(
+                    shared.send_error(
                         &mut stream,
-                        &TrainMsg::Error {
-                            message: "join rejected: bad cluster token".to_string(),
-                        },
+                        version,
+                        ErrorCode::BadToken,
+                        "join rejected: bad cluster token",
                     );
                     return;
                 }
             }
             let id = next_worker_id.fetch_add(1, Ordering::Relaxed);
-            if write_msg(&mut stream, &TrainMsg::JoinAck { worker_id: id }).is_err() {
+            if shared
+                .wire_write(&mut stream, &TrainMsg::JoinAck { worker_id: id }, version)
+                .is_err()
+            {
                 return;
             }
             let Ok(read_half) = stream.try_clone() else {
@@ -288,6 +437,7 @@ fn handle_hello(
                 id,
                 stream: Mutex::new(stream),
                 alive: AtomicBool::new(true),
+                version,
             });
             if let Ok(mut workers) = shared.workers.lock() {
                 workers.push(Arc::clone(&link));
@@ -308,26 +458,44 @@ fn handle_hello(
         }
         TrainMsg::Subscribe => {
             if let Ok(mut subs) = shared.subscribers.lock() {
-                subs.push(stream);
+                subs.push((stream, version));
             }
             shared.count("dist.coord.subscribers_joined", 1);
         }
         TrainMsg::PullCheckpoint => {
-            let reply = match shared.checkpoint.lock().ok().and_then(|slot| slot.clone()) {
-                Some(bytes) => TrainMsg::CheckpointReply { bytes },
-                None => TrainMsg::Error {
-                    message: "no checkpoint published yet".to_string(),
-                },
-            };
-            let _ = write_msg(&mut stream, &reply);
+            match shared.checkpoint.lock().ok().and_then(|slot| slot.clone()) {
+                Some(bytes) => {
+                    let _ = shared.wire_write(
+                        &mut stream,
+                        &TrainMsg::CheckpointReply { bytes },
+                        version,
+                    );
+                }
+                None => shared.send_error(
+                    &mut stream,
+                    version,
+                    ErrorCode::NoCheckpoint,
+                    "no checkpoint published yet",
+                ),
+            }
             shared.count("dist.coord.checkpoints_pulled", 1);
         }
+        // Only decodable from a v2 header, so `version` is ≥ 2 here and
+        // the reply's trace kinds are always expressible.
+        TrainMsg::TraceDump { max } => {
+            let reply = TrainMsg::TraceDumpReply {
+                dropped: shared.cluster.dropped(),
+                spans: shared.cluster.recent(max as usize),
+            };
+            let _ = shared.wire_write(&mut stream, &reply, version);
+            shared.count("dist.coord.traces_pulled", 1);
+        }
         _ => {
-            let _ = write_msg(
+            shared.send_error(
                 &mut stream,
-                &TrainMsg::Error {
-                    message: "expected Join, Subscribe or PullCheckpoint".to_string(),
-                },
+                version,
+                ErrorCode::UnexpectedHello,
+                "expected Join, Subscribe, PullCheckpoint or TraceDump",
             );
         }
     }
@@ -341,21 +509,32 @@ fn worker_reader(
     shared: Arc<Shared>,
     tx: mpsc::Sender<Pulse>,
 ) {
-    loop {
-        match read_msg(&mut stream) {
-            Ok(TrainMsg::ShardResult {
+    while let Ok(bytes) = read_msg_bytes(&mut stream) {
+        let msg = match decode_msg_versioned(&bytes) {
+            Ok((msg, _version)) => {
+                shared
+                    .wire
+                    .account(msg.kind_index(), bytes.len() as u64 + 4);
+                msg
+            }
+            Err(_) => break,
+        };
+        match msg {
+            TrainMsg::ShardResult {
                 step,
                 shard_index,
                 grads,
-            }) => {
+                stamps,
+            } => {
                 let _ = tx.send(Pulse::Result {
                     step,
                     shard_index: shard_index as usize,
                     grads,
+                    stamps,
                 });
             }
-            Ok(TrainMsg::Leave) | Err(_) => break,
-            Ok(_) => continue,
+            TrainMsg::Leave => break,
+            _ => continue,
         }
     }
     link.alive.store(false, Ordering::SeqCst);
@@ -391,11 +570,18 @@ impl DistTrainer {
 
     /// Dispatches tasks round-robin over live workers. Returns, per shard,
     /// the id of the worker that accepted it (`None` = compute locally).
+    ///
+    /// When `span` is present, stamps `sync_done_ns` / `dispatch_done_ns`
+    /// and each dispatched shard's `dispatched_ns` + `worker_id`, all
+    /// relative to `step_start`.
     fn dispatch(
         &mut self,
         net: &mut Sequential,
         step: u64,
         tasks: &[ff_core::shard::ShardTask],
+        trace_id: u64,
+        span: &mut Option<ClusterSpan>,
+        step_start: Instant,
     ) -> Vec<Option<u64>> {
         let mut assignment: Vec<Option<u64>> = vec![None; tasks.len()];
         let live: Vec<Arc<WorkerLink>> = self
@@ -409,49 +595,74 @@ impl DistTrainer {
                     .collect()
             })
             .unwrap_or_default();
-        if live.is_empty() || tasks.is_empty() {
-            return assignment;
-        }
-        let params: Vec<Tensor> = net.params_mut().iter().map(|p| p.value.clone()).collect();
-        let sync = TrainMsg::ParamSync {
-            version: step,
-            params,
-        };
         let mut synced: Vec<Arc<WorkerLink>> = Vec::new();
-        for link in live {
-            let ok = link
-                .stream
-                .lock()
-                .map(|mut s| write_msg(&mut *s, &sync).is_ok())
-                .unwrap_or(false);
-            if ok {
-                synced.push(link);
-            } else {
-                link.alive.store(false, Ordering::SeqCst);
-            }
-        }
-        if synced.is_empty() {
-            return assignment;
-        }
-        for (index, task) in tasks.iter().enumerate() {
-            let link = &synced[index % synced.len()];
-            if !link.alive.load(Ordering::SeqCst) {
-                continue;
-            }
-            let msg = TrainMsg::SubmitBatch {
-                step,
-                task: task.clone(),
+        if !live.is_empty() && !tasks.is_empty() {
+            let params: Vec<Tensor> = net.params_mut().iter().map(|p| p.value.clone()).collect();
+            let sync = TrainMsg::ParamSync {
+                version: step,
+                params,
             };
-            let ok = link
-                .stream
-                .lock()
-                .map(|mut s| write_msg(&mut *s, &msg).is_ok())
-                .unwrap_or(false);
-            if ok {
-                assignment[index] = Some(link.id);
-            } else {
-                link.alive.store(false, Ordering::SeqCst);
+            let sync_kind = sync.kind_index();
+            // ParamSync dominates cluster bytes; encode it once per
+            // distinct worker version, not once per worker.
+            let mut encoded: Vec<(u16, Vec<u8>)> = Vec::new();
+            for link in live {
+                if !encoded.iter().any(|(v, _)| *v == link.version) {
+                    encoded.push((link.version, encode_msg_at(&sync, link.version)));
+                }
+                let bytes = &encoded
+                    .iter()
+                    .find(|(v, _)| *v == link.version)
+                    .expect("cached")
+                    .1;
+                let wrote = link
+                    .stream
+                    .lock()
+                    .map(|mut s| write_msg_bytes(&mut *s, bytes))
+                    .unwrap_or(Err(DistError::Protocol {
+                        message: "worker stream lock poisoned".to_string(),
+                    }));
+                match wrote {
+                    Ok(n) => {
+                        self.shared.wire.account(sync_kind, n as u64);
+                        synced.push(link);
+                    }
+                    Err(_) => link.alive.store(false, Ordering::SeqCst),
+                }
             }
+        }
+        if let Some(span) = span.as_mut() {
+            span.sync_done_ns = saturating_elapsed_ns(step_start);
+        }
+        if !synced.is_empty() {
+            for (index, task) in tasks.iter().enumerate() {
+                let link = &synced[index % synced.len()];
+                if !link.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let msg = TrainMsg::SubmitBatch {
+                    step,
+                    task: task.clone(),
+                    trace_id,
+                };
+                let ok = link
+                    .stream
+                    .lock()
+                    .map(|mut s| self.shared.wire_write(&mut s, &msg, link.version).is_ok())
+                    .unwrap_or(false);
+                if ok {
+                    assignment[index] = Some(link.id);
+                    if let Some(span) = span.as_mut() {
+                        span.shards[index].worker_id = Some(link.id);
+                        span.shards[index].dispatched_ns = saturating_elapsed_ns(step_start);
+                    }
+                } else {
+                    link.alive.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+        if let Some(span) = span.as_mut() {
+            span.dispatch_done_ns = saturating_elapsed_ns(step_start);
         }
         assignment
     }
@@ -459,11 +670,17 @@ impl DistTrainer {
     /// Collects dispatched shard results until all arrive, their workers
     /// die, or the shard timeout elapses. Stale results from earlier steps
     /// are discarded by the step tag.
+    ///
+    /// When `span` is present, each accepted result stamps its shard's
+    /// `completed_ns` (relative to `step_start`) and copies the worker's
+    /// own decode/compute/encode stamps.
     fn collect(
         &mut self,
         step: u64,
         assignment: &mut [Option<u64>],
         slots: &mut [Option<ShardGrads>],
+        span: &mut Option<ClusterSpan>,
+        step_start: Instant,
     ) {
         let deadline = Instant::now() + self.shared.config.shard_timeout;
         loop {
@@ -483,6 +700,7 @@ impl DistTrainer {
                     step: result_step,
                     shard_index,
                     grads,
+                    stamps,
                 }) => {
                     if result_step == step
                         && shard_index < slots.len()
@@ -490,13 +708,26 @@ impl DistTrainer {
                         && slots[shard_index].is_none()
                     {
                         slots[shard_index] = Some(grads);
+                        if let Some(span) = span.as_mut() {
+                            let shard = &mut span.shards[shard_index];
+                            shard.completed_ns = saturating_elapsed_ns(step_start);
+                            shard.decoded_ns = stamps.decoded_ns;
+                            shard.computed_ns = stamps.computed_ns;
+                            shard.encoded_ns = stamps.encoded_ns;
+                        }
                     }
                 }
                 Ok(Pulse::Down { worker_id }) => {
+                    let mut orphaned = 0u64;
                     for (owner, slot) in assignment.iter_mut().zip(slots.iter()) {
                         if *owner == Some(worker_id) && slot.is_none() {
                             *owner = None;
+                            orphaned += 1;
                         }
+                    }
+                    if orphaned > 0 {
+                        self.shared
+                            .count("dist.coord.recompute.worker_death", orphaned);
                     }
                 }
                 Err(_) => break,
@@ -540,10 +771,32 @@ impl TrainerCore for DistTrainer {
         let step = self.next_step;
         self.next_step += 1;
 
+        // Open the step's cluster span (if this step is sampled). All
+        // span stamps are nanoseconds since `prep_start`, so phase
+        // windows and shard intervals share one clock.
+        let trace_id = self.shared.cluster.trace_id(step);
+        let mut span = (trace_id != 0).then(|| ClusterSpan {
+            step,
+            trace_id,
+            shards: (0..tasks.len())
+                .map(|i| ShardSpan {
+                    shard_index: i as u64,
+                    ..ShardSpan::default()
+                })
+                .collect(),
+            ..ClusterSpan::default()
+        });
+        if let Some(span) = span.as_mut() {
+            span.prepare_done_ns = saturating_elapsed_ns(prep_start);
+        }
+
         let forward_start = Instant::now();
-        let mut assignment = self.dispatch(net, step, &tasks);
+        let mut assignment = self.dispatch(net, step, &tasks, trace_id, &mut span, prep_start);
         let mut slots: Vec<Option<ShardGrads>> = (0..tasks.len()).map(|_| None).collect();
-        self.collect(step, &mut assignment, &mut slots);
+        self.collect(step, &mut assignment, &mut slots, &mut span, prep_start);
+        if let Some(span) = span.as_mut() {
+            span.collect_done_ns = saturating_elapsed_ns(prep_start);
+        }
 
         // Order-fixed reduction with local recompute of anything missing.
         // `compute_shard` is a pure function of (parameters, task), and the
@@ -561,10 +814,22 @@ impl TrainerCore for DistTrainer {
                 }
                 None => {
                     local += 1;
-                    compute_shard(net, task)?
+                    let grads = compute_shard(net, task)?;
+                    if let Some(span) = span.as_mut() {
+                        // Locally recomputed: the shard is ours now, even
+                        // if it was dispatched first (dispatched_ns then
+                        // records the wasted send). Worker stamps stay 0.
+                        let shard = &mut span.shards[index];
+                        shard.worker_id = None;
+                        shard.completed_ns = saturating_elapsed_ns(prep_start);
+                    }
+                    grads
                 }
             };
             reduce_shard_grads(&mut reduced, &grads)?;
+        }
+        if let Some(span) = span.as_mut() {
+            span.reduce_done_ns = saturating_elapsed_ns(prep_start);
         }
         let forward_ns = saturating_elapsed_ns(forward_start);
 
@@ -576,6 +841,10 @@ impl TrainerCore for DistTrainer {
             }
             None => 0.0,
         };
+        if let Some(mut span) = span {
+            span.apply_done_ns = saturating_elapsed_ns(prep_start);
+            self.shared.cluster.commit(span);
+        }
         self.shared.count("dist.coord.steps", 1);
         self.shared.count("dist.coord.shards_remote", remote);
         self.shared.count("dist.coord.shards_local", local);
@@ -609,6 +878,30 @@ impl TrainerCore for DistTrainer {
 
     fn import_state(&mut self, state: &TrainerState, net: &mut Sequential) -> ff_core::Result<()> {
         self.inner.import_state(state, net)
+    }
+}
+
+/// Pulls the coordinator's recent [`ClusterSpan`]s over the wire.
+///
+/// One-shot connection, like checkpoint pulling: connect, send
+/// `TraceDump { max }` (`max == 0` asks for everything retained), read the
+/// `TraceDumpReply`, hang up. Returns `(dropped, spans)` — the ring's
+/// drop count plus the spans oldest-first.
+///
+/// # Errors
+///
+/// [`DistError::Io`] on connection failure; [`DistError::Protocol`] when
+/// the peer replies with an error or an unexpected kind (e.g. a v1
+/// coordinator that predates cluster tracing).
+pub fn pull_cluster_traces(addr: impl ToSocketAddrs, max: u32) -> Result<(u64, Vec<ClusterSpan>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_msg(&mut stream, &TrainMsg::TraceDump { max })?;
+    match read_msg(&mut stream)? {
+        TrainMsg::TraceDumpReply { dropped, spans } => Ok((dropped, spans)),
+        TrainMsg::Error { message, .. } => Err(DistError::Protocol { message }),
+        other => Err(DistError::Protocol {
+            message: format!("unexpected reply to TraceDump: {other:?}"),
+        }),
     }
 }
 

@@ -20,6 +20,14 @@
 //!   of a crashed worker locally — so worker death changes wall-clock time,
 //!   never the resulting weights.
 //!
+//! Both tiers are observable end to end: each sampled training step opens
+//! an [`ff_trace::ClusterSpan`] whose trace id rides the `FF8D` frames to
+//! workers and back (coordinator phase stamps plus worker-local
+//! decode/compute/encode stamps in one record, pullable over the wire with
+//! [`pull_cluster_traces`]), the transport counts every frame and byte per
+//! message kind (`dist.wire.*`), and pipeline stages publish
+//! compute/blocked histograms (`dist.pipeline.stage.<k>.*`).
+//!
 //! See `ARCHITECTURE.md` ("Distributed training") for why Forward-Forward
 //! makes both tiers exact rather than approximate.
 
@@ -32,7 +40,7 @@ pub mod pipeline;
 pub mod protocol;
 pub mod worker;
 
-pub use coordinator::{Coordinator, CoordinatorConfig, DistTrainer};
+pub use coordinator::{pull_cluster_traces, Coordinator, CoordinatorConfig, DistTrainer};
 pub use error::DistError;
 pub use pipeline::PipelineSession;
 pub use worker::Worker;

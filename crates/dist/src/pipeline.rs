@@ -66,7 +66,7 @@ use ff_data::Dataset;
 use ff_metrics::TrainingHistory;
 use ff_nn::{Layer, Sequential};
 use ff_tensor::Tensor;
-use ff_trace::MetricsRegistry;
+use ff_trace::{MetricsRegistry, SharedHistogram};
 use rand::seq::SliceRandom;
 use std::sync::mpsc;
 use std::time::Instant;
@@ -204,8 +204,12 @@ impl<'a> PipelineSession<'a> {
     }
 
     /// Publishes per-stage utilisation into `registry`:
-    /// `dist.pipeline.batches` (batches trained) and
-    /// `dist.pipeline.stage<k>.busy_ns` (per-stage compute time).
+    /// `dist.pipeline.batches` (batches trained),
+    /// `dist.pipeline.stage<k>.busy_ns` (per-stage compute totals), and
+    /// per-batch histograms `dist.pipeline.stage.<k>.compute_ns` /
+    /// `.send_blocked_ns` / `.recv_blocked_ns` that attribute each stage's
+    /// wall time to training versus waiting on its neighbours — the
+    /// bubble-diagnosis signal a busy-time total cannot give.
     pub fn set_metrics(&mut self, registry: MetricsRegistry) {
         self.metrics = Some(registry);
     }
@@ -362,6 +366,13 @@ impl<'a> PipelineSession<'a> {
         let num_classes = self.train_set.num_classes();
         let batch_size = self.options.batch_size.max(1);
         let stage_sizes = self.stage_sizes.clone();
+        let telemetry: Vec<Option<StageTelemetry>> = (0..stage_count)
+            .map(|stage| {
+                self.metrics
+                    .as_ref()
+                    .map(|metrics| StageTelemetry::new(metrics, stage))
+            })
+            .collect();
         let train_set = self.train_set;
         let trainer = &mut self.trainer;
         let state = self.current.as_ref().expect("run_batches without epoch");
@@ -403,6 +414,7 @@ impl<'a> PipelineSession<'a> {
                 let results = result_tx.clone();
                 let first = first_layer_index;
                 first_layer_index += size;
+                let stage_telemetry = telemetry[stage_idx].clone();
                 handles.push(scope.spawn(move || {
                     stage_loop(
                         stage_layers,
@@ -413,6 +425,7 @@ impl<'a> PipelineSession<'a> {
                         rx,
                         forward,
                         results,
+                        stage_telemetry,
                     )
                 }));
             }
@@ -679,6 +692,29 @@ impl<'a> PipelineSession<'a> {
     }
 }
 
+/// Per-stage pipeline histograms: where each stage's wall time goes, batch
+/// by batch. `compute` is the training work itself; `recv_blocked` is time
+/// starved waiting on the upstream stage (or the driver); `send_blocked`
+/// is time stalled against the bounded forward queue's backpressure.
+#[derive(Clone)]
+struct StageTelemetry {
+    compute: SharedHistogram,
+    send_blocked: SharedHistogram,
+    recv_blocked: SharedHistogram,
+}
+
+impl StageTelemetry {
+    fn new(metrics: &MetricsRegistry, stage: usize) -> Self {
+        StageTelemetry {
+            compute: metrics.histogram(&format!("dist.pipeline.stage.{stage}.compute_ns")),
+            send_blocked: metrics
+                .histogram(&format!("dist.pipeline.stage.{stage}.send_blocked_ns")),
+            recv_blocked: metrics
+                .histogram(&format!("dist.pipeline.stage.{stage}.recv_blocked_ns")),
+        }
+    }
+}
+
 /// One stage thread's life: drain the inbound channel, train this stage's
 /// layer slice on each batch (positive pass, negative pass, step), report
 /// the loss partials and forward the outgoing activations. Returns the
@@ -693,9 +729,19 @@ fn stage_loop(
     rx: mpsc::Receiver<StageItem>,
     forward: Option<mpsc::SyncSender<StageItem>>,
     results: mpsc::Sender<(usize, usize, f32, f32)>,
+    telemetry: Option<StageTelemetry>,
 ) -> std::result::Result<u64, CoreError> {
     let mut busy_ns = 0u64;
-    for item in rx {
+    loop {
+        let wait_start = Instant::now();
+        let Ok(item) = rx.recv() else {
+            // Upstream closed: the run is over; the final wait is not an
+            // upstream stall, so it goes unrecorded.
+            break;
+        };
+        if let Some(t) = &telemetry {
+            t.recv_blocked.record_ns(saturating_ns(wait_start));
+        }
         let started = Instant::now();
         let (loss_pos, pos_out) = ff_stage_pass(
             layers,
@@ -716,7 +762,11 @@ fn stage_loop(
             item.divisor,
         )?;
         step_layers(layers, optimizers);
-        busy_ns = busy_ns.saturating_add(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let compute_ns = saturating_ns(started);
+        busy_ns = busy_ns.saturating_add(compute_ns);
+        if let Some(t) = &telemetry {
+            t.compute.record_ns(compute_ns);
+        }
         let _ = results.send((item.batch, stage_idx, loss_pos, loss_neg));
         if let Some(tx) = &forward {
             let onward = StageItem {
@@ -727,13 +777,21 @@ fn stage_loop(
                 neg_pass: item.neg_pass,
                 divisor: item.divisor,
             };
+            let send_start = Instant::now();
             if tx.send(onward).is_err() {
                 // Downstream died; stop consuming so backpressure unwinds.
                 break;
             }
+            if let Some(t) = &telemetry {
+                t.send_blocked.record_ns(saturating_ns(send_start));
+            }
         }
     }
     Ok(busy_ns)
+}
+
+fn saturating_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn invalid(message: String) -> DistError {

@@ -14,20 +14,42 @@
 //!   by `Leave` (worker-initiated) or `Shutdown` (coordinator-initiated);
 //! - observers: `Subscribe`, then a stream of typed [`TrainEvent`] frames;
 //! - checkpoint pullers: `PullCheckpoint` → `CheckpointReply` carrying a
-//!   complete `FF8C` artifact (or `Error` when none is published yet).
+//!   complete `FF8C` artifact (or `Error` when none is published yet);
+//! - trace pullers: `TraceDump` → `TraceDumpReply` carrying the
+//!   coordinator's recent [`ClusterSpan`]s (protocol v2+).
+//!
+//! # Version compatibility (v1 → v2)
+//!
+//! v2 adds cluster-trace context with the same discipline the `FF8P`
+//! protocol used for its v1→v3 growth: new fields are **appended** to
+//! existing record layouts and gated on the frame's version
+//! (`SubmitBatch` gains a trailing `trace_id`; `ShardResult` gains
+//! `trace_id` + worker-side decode/compute/encode stamps; `Error` gains a
+//! machine-readable code), and brand-new kinds (`TraceDump`,
+//! `TraceDumpReply`) require v2 headers outright. The decoder accepts
+//! [`MIN_TRAIN_PROTOCOL_VERSION`]`..=`[`TRAIN_PROTOCOL_VERSION`]; v1
+//! frames decode with neutral defaults (zero trace id, zero stamps,
+//! [`ErrorCode::Unspecified`]). Encoding at a peer's declared version
+//! ([`encode_msg_at`]) drops the newer fields, so a v2 coordinator speaks
+//! byte-exact v1 to old workers — the interop tests assert training stays
+//! bit-identical either way.
 
 use crate::{DistError, Result};
 use ff_codec::{Reader, Writer};
 use ff_core::shard::{ShardGrads, ShardTask};
 use ff_core::{EvalSplit, Precision, StepSpans, TrainEvent};
 use ff_tensor::Tensor;
+use ff_trace::{ClusterSpan, ShardSpan};
 use std::io::{Read, Write};
 
 /// Magic bytes of every `FF8D` frame.
 pub const TRAIN_MAGIC: [u8; 4] = *b"FF8D";
 
 /// Current `FF8D` protocol version.
-pub const TRAIN_PROTOCOL_VERSION: u16 = 1;
+pub const TRAIN_PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest `FF8D` protocol version still accepted and emittable.
+pub const MIN_TRAIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on one frame's encoded size (64 MiB) — enough for a full
 /// parameter sync of any model this workspace trains, small enough that a
@@ -54,6 +76,90 @@ mod kind {
     pub const LEAVE: u8 = 10;
     pub const SHUTDOWN: u8 = 11;
     pub const ERROR: u8 = 12;
+    pub const TRACE_DUMP: u8 = 13;
+    pub const TRACE_DUMP_REPLY: u8 = 14;
+}
+
+/// Number of message kinds — sizes the per-kind wire counters.
+pub const KIND_COUNT: usize = 14;
+
+/// A machine-readable reason on [`TrainMsg::Error`] frames (v2+), so the
+/// coordinator can count rejections per cause instead of one aggregate.
+/// v1 frames (and unknown future tags) decode as
+/// [`ErrorCode::Unspecified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorCode {
+    /// No specific code (v1 peers, or genuinely uncategorized).
+    #[default]
+    Unspecified,
+    /// The presented cluster token did not match.
+    BadToken,
+    /// `PullCheckpoint` before any checkpoint was published.
+    NoCheckpoint,
+    /// A connection opened with a frame that is not a valid hello.
+    UnexpectedHello,
+}
+
+impl ErrorCode {
+    /// The wire tag.
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Unspecified => 0,
+            ErrorCode::BadToken => 1,
+            ErrorCode::NoCheckpoint => 2,
+            ErrorCode::UnexpectedHello => 3,
+        }
+    }
+
+    /// Decodes a wire tag; unknown tags (from a newer peer) degrade to
+    /// [`ErrorCode::Unspecified`] rather than failing the frame.
+    fn from_u8(tag: u8) -> Self {
+        match tag {
+            1 => ErrorCode::BadToken,
+            2 => ErrorCode::NoCheckpoint,
+            3 => ErrorCode::UnexpectedHello,
+            _ => ErrorCode::Unspecified,
+        }
+    }
+
+    /// Stable snake_case name — the `<code>` in the coordinator's
+    /// `dist.coord.errors.<code>` counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Unspecified => "unspecified",
+            ErrorCode::BadToken => "bad_token",
+            ErrorCode::NoCheckpoint => "no_checkpoint",
+            ErrorCode::UnexpectedHello => "unexpected_hello",
+        }
+    }
+
+    /// Every code, for pre-minting one counter per cause.
+    pub fn all() -> [ErrorCode; 4] {
+        [
+            ErrorCode::Unspecified,
+            ErrorCode::BadToken,
+            ErrorCode::NoCheckpoint,
+            ErrorCode::UnexpectedHello,
+        ]
+    }
+}
+
+/// Worker-side trace stamps riding on a v2 `ShardResult`: nanosecond
+/// offsets on the **worker's** clock, measured from the moment the task
+/// bytes were received — monotonic by construction, no clock sync needed.
+/// All-zero for v1 workers or unsampled steps ([`ShardStamps::default`]
+/// is the neutral wire value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStamps {
+    /// The step's cluster trace id, echoed from `SubmitBatch` (`0` when
+    /// the step was not sampled).
+    pub trace_id: u64,
+    /// Task frame decoded.
+    pub decoded_ns: u64,
+    /// Shard gradients computed.
+    pub computed_ns: u64,
+    /// Result frame encoded, ready to write.
+    pub encoded_ns: u64,
 }
 
 /// One `FF8D` message.
@@ -85,6 +191,9 @@ pub enum TrainMsg {
         step: u64,
         /// The canonical shard task ([`ff_core::shard::compute_shard`]).
         task: ShardTask,
+        /// The step's cluster trace id (v2+; `0` = step not sampled, and
+        /// the neutral default decoded from v1 frames).
+        trace_id: u64,
     },
     /// A worker returns one shard's gradients.
     ShardResult {
@@ -94,6 +203,8 @@ pub enum TrainMsg {
         shard_index: u64,
         /// The shard's loss partials and gradient tensors.
         grads: ShardGrads,
+        /// Worker-side trace stamps (v2+; all-zero from v1 workers).
+        stamps: ShardStamps,
     },
     /// A typed training event streamed to subscribers.
     Event {
@@ -116,9 +227,73 @@ pub enum TrainMsg {
     Shutdown,
     /// A typed error reply (bad token, no checkpoint yet, ...).
     Error {
-        /// What went wrong.
+        /// Machine-readable cause (v2+; [`ErrorCode::Unspecified`] from
+        /// v1 peers).
+        code: ErrorCode,
+        /// What went wrong, human-readable.
         message: String,
     },
+    /// Requests the coordinator's recent cluster-step spans (v2+).
+    TraceDump {
+        /// Maximum number of spans to return; `0` = everything retained.
+        max: u32,
+    },
+    /// Carries the coordinator's recent [`ClusterSpan`]s (v2+).
+    TraceDumpReply {
+        /// Spans lost to ring contention or capacity zero.
+        dropped: u64,
+        /// Most recent spans in commit (chronological) order.
+        spans: Vec<ClusterSpan>,
+    },
+}
+
+impl TrainMsg {
+    /// Zero-based kind index, aligned with [`TrainMsg::kind_names`] —
+    /// what the per-kind wire counters are indexed by.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TrainMsg::Join { .. } => 0,
+            TrainMsg::JoinAck { .. } => 1,
+            TrainMsg::ParamSync { .. } => 2,
+            TrainMsg::SubmitBatch { .. } => 3,
+            TrainMsg::ShardResult { .. } => 4,
+            TrainMsg::Event { .. } => 5,
+            TrainMsg::PullCheckpoint => 6,
+            TrainMsg::CheckpointReply { .. } => 7,
+            TrainMsg::Subscribe => 8,
+            TrainMsg::Leave => 9,
+            TrainMsg::Shutdown => 10,
+            TrainMsg::Error { .. } => 11,
+            TrainMsg::TraceDump { .. } => 12,
+            TrainMsg::TraceDumpReply { .. } => 13,
+        }
+    }
+
+    /// Stable snake_case kind name — the `<kind>` in `dist.wire.<kind>.*`
+    /// metric names.
+    pub fn kind_name(&self) -> &'static str {
+        Self::kind_names()[self.kind_index()]
+    }
+
+    /// Every kind name, indexed by [`TrainMsg::kind_index`].
+    pub fn kind_names() -> [&'static str; KIND_COUNT] {
+        [
+            "join",
+            "join_ack",
+            "param_sync",
+            "submit_batch",
+            "shard_result",
+            "event",
+            "pull_checkpoint",
+            "checkpoint_reply",
+            "subscribe",
+            "leave",
+            "shutdown",
+            "error",
+            "trace_dump",
+            "trace_dump_reply",
+        ]
+    }
 }
 
 fn put_tensor(r: &mut ff_codec::RecordWriter, t: &Tensor) {
@@ -305,10 +480,98 @@ fn get_event(r: &mut Reader<'_>) -> Result<TrainEvent> {
     }
 }
 
-/// Encodes one message into a standalone `FF8D` artifact (no length
-/// prefix; [`write_msg`] adds it).
+fn put_span(r: &mut ff_codec::RecordWriter, span: &ClusterSpan) {
+    r.put_u64(span.step);
+    r.put_u64(span.trace_id);
+    r.put_u64(span.prepare_done_ns);
+    r.put_u64(span.sync_done_ns);
+    r.put_u64(span.dispatch_done_ns);
+    r.put_u64(span.collect_done_ns);
+    r.put_u64(span.reduce_done_ns);
+    r.put_u64(span.apply_done_ns);
+    r.put_u32(span.shards.len() as u32);
+    for shard in &span.shards {
+        r.put_u64(shard.shard_index);
+        match shard.worker_id {
+            Some(id) => {
+                r.put_u8(1);
+                r.put_u64(id);
+            }
+            None => r.put_u8(0),
+        }
+        r.put_u64(shard.dispatched_ns);
+        r.put_u64(shard.completed_ns);
+        r.put_u64(shard.decoded_ns);
+        r.put_u64(shard.computed_ns);
+        r.put_u64(shard.encoded_ns);
+    }
+}
+
+fn get_span(r: &mut Reader<'_>) -> Result<ClusterSpan> {
+    let mut span = ClusterSpan {
+        step: r.get_u64("span step")?,
+        trace_id: r.get_u64("span trace id")?,
+        prepare_done_ns: r.get_u64("prepare done ns")?,
+        sync_done_ns: r.get_u64("sync done ns")?,
+        dispatch_done_ns: r.get_u64("dispatch done ns")?,
+        collect_done_ns: r.get_u64("collect done ns")?,
+        reduce_done_ns: r.get_u64("reduce done ns")?,
+        apply_done_ns: r.get_u64("apply done ns")?,
+        shards: Vec::new(),
+    };
+    let count = r.get_u32("shard span count")? as usize;
+    // 8 (index) + 1 (owner flag) + 5 × 8 (stamps) minimum per shard.
+    r.ensure_fits(count, 49, "shard spans")?;
+    span.shards.reserve(count);
+    for _ in 0..count {
+        let shard_index = r.get_u64("shard index")?;
+        let worker_id = match r.get_u8("shard owner flag")? {
+            0 => None,
+            1 => Some(r.get_u64("shard worker id")?),
+            other => {
+                return Err(DistError::Protocol {
+                    message: format!("bad shard owner flag {other}"),
+                })
+            }
+        };
+        span.shards.push(ShardSpan {
+            shard_index,
+            worker_id,
+            dispatched_ns: r.get_u64("shard dispatched ns")?,
+            completed_ns: r.get_u64("shard completed ns")?,
+            decoded_ns: r.get_u64("shard decoded ns")?,
+            computed_ns: r.get_u64("shard computed ns")?,
+            encoded_ns: r.get_u64("shard encoded ns")?,
+        });
+    }
+    Ok(span)
+}
+
+/// Encodes one message into a standalone `FF8D` artifact at the current
+/// protocol version (no length prefix; [`write_msg`] adds it).
 pub fn encode_msg(msg: &TrainMsg) -> Vec<u8> {
-    let mut w = Writer::new(&TRAIN_MAGIC, TRAIN_PROTOCOL_VERSION);
+    encode_msg_at(msg, TRAIN_PROTOCOL_VERSION)
+}
+
+/// Encodes one message at a specific protocol version — how the
+/// coordinator speaks byte-exact v1 to old workers. Version-gated fields
+/// are simply dropped when encoding at v1.
+///
+/// # Panics
+///
+/// When `version` is outside
+/// [`MIN_TRAIN_PROTOCOL_VERSION`]`..=`[`TRAIN_PROTOCOL_VERSION`], or when
+/// asked to encode a v2-only kind (`TraceDump`/`TraceDumpReply`) at v1 —
+/// both are caller bugs, not wire conditions: versions come from our own
+/// negotiation (already clamped), and trace frames are only ever sent to
+/// v2 peers.
+pub fn encode_msg_at(msg: &TrainMsg, version: u16) -> Vec<u8> {
+    assert!(
+        (MIN_TRAIN_PROTOCOL_VERSION..=TRAIN_PROTOCOL_VERSION).contains(&version),
+        "unsupported FF8D encode version {version}"
+    );
+    let v2 = version >= 2;
+    let mut w = Writer::new(&TRAIN_MAGIC, version);
     w.record(|r| match msg {
         TrainMsg::Join { token } => {
             r.put_u8(kind::JOIN);
@@ -326,7 +589,11 @@ pub fn encode_msg(msg: &TrainMsg) -> Vec<u8> {
                 put_tensor(r, t);
             }
         }
-        TrainMsg::SubmitBatch { step, task } => {
+        TrainMsg::SubmitBatch {
+            step,
+            task,
+            trace_id,
+        } => {
             r.put_u8(kind::SUBMIT_BATCH);
             r.put_u64(*step);
             put_tensor(r, &task.pos);
@@ -339,11 +606,15 @@ pub fn encode_msg(msg: &TrainMsg) -> Vec<u8> {
             r.put_f32(task.theta);
             r.put_f32(task.lambda);
             put_precision(r, task.precision);
+            if v2 {
+                r.put_u64(*trace_id);
+            }
         }
         TrainMsg::ShardResult {
             step,
             shard_index,
             grads,
+            stamps,
         } => {
             r.put_u8(kind::SHARD_RESULT);
             r.put_u64(*step);
@@ -353,6 +624,15 @@ pub fn encode_msg(msg: &TrainMsg) -> Vec<u8> {
             r.put_u32(grads.grads.len() as u32);
             for t in &grads.grads {
                 put_tensor(r, t);
+            }
+            if v2 {
+                // `encoded_ns` is deliberately the final field of the
+                // artifact so `stamp_shard_result_encoded_ns` can patch it
+                // after the encode clock stops.
+                r.put_u64(stamps.trace_id);
+                r.put_u64(stamps.decoded_ns);
+                r.put_u64(stamps.computed_ns);
+                r.put_u64(stamps.encoded_ns);
             }
         }
         TrainMsg::Event { event } => {
@@ -368,12 +648,44 @@ pub fn encode_msg(msg: &TrainMsg) -> Vec<u8> {
         TrainMsg::Subscribe => r.put_u8(kind::SUBSCRIBE),
         TrainMsg::Leave => r.put_u8(kind::LEAVE),
         TrainMsg::Shutdown => r.put_u8(kind::SHUTDOWN),
-        TrainMsg::Error { message } => {
+        TrainMsg::Error { code, message } => {
             r.put_u8(kind::ERROR);
             r.put_string(message);
+            if v2 {
+                r.put_u8(code.to_u8());
+            }
+        }
+        TrainMsg::TraceDump { max } => {
+            assert!(v2, "TraceDump requires FF8D protocol version >= 2");
+            r.put_u8(kind::TRACE_DUMP);
+            r.put_u32(*max);
+        }
+        TrainMsg::TraceDumpReply { dropped, spans } => {
+            assert!(v2, "TraceDumpReply requires FF8D protocol version >= 2");
+            r.put_u8(kind::TRACE_DUMP_REPLY);
+            r.put_u64(*dropped);
+            r.put_u32(spans.len() as u32);
+            for span in spans {
+                put_span(r, span);
+            }
         }
     });
     w.into_vec()
+}
+
+/// Overwrites the trailing `encoded_ns` stamp of an encoded **v2**
+/// `ShardResult` artifact in place.
+///
+/// The encode clock cannot include its own final read any other way: the
+/// worker encodes with a zero placeholder, stops the clock, then patches
+/// the measurement into the last 8 bytes. The `FF8D` codec carries no
+/// checksum or footer, so the patched artifact is exactly what
+/// [`encode_msg_at`] would have produced with the final value — canonical
+/// re-encoding holds, as the protocol tests assert.
+pub fn stamp_shard_result_encoded_ns(bytes: &mut [u8], encoded_ns: u64) {
+    let len = bytes.len();
+    assert!(len >= 8, "not an encoded v2 ShardResult");
+    bytes[len - 8..].copy_from_slice(&encoded_ns.to_le_bytes());
 }
 
 /// Decodes one `FF8D` artifact. Panic-free: every malformed input maps to
@@ -384,11 +696,22 @@ pub fn encode_msg(msg: &TrainMsg) -> Vec<u8> {
 /// [`DistError::Protocol`] on bad magic/version, truncation, unknown tags,
 /// out-of-range lengths or trailing bytes.
 pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
-    let (mut reader, _) = Reader::with_versions(
+    decode_msg_versioned(bytes).map(|(msg, _)| msg)
+}
+
+/// Like [`decode_msg`], but also returns the frame's protocol version —
+/// how the coordinator learns what each peer speaks from its hello frame.
+///
+/// # Errors
+///
+/// See [`decode_msg`].
+pub fn decode_msg_versioned(bytes: &[u8]) -> Result<(TrainMsg, u16)> {
+    let (mut reader, version) = Reader::with_versions(
         bytes,
         &TRAIN_MAGIC,
-        TRAIN_PROTOCOL_VERSION..=TRAIN_PROTOCOL_VERSION,
+        MIN_TRAIN_PROTOCOL_VERSION..=TRAIN_PROTOCOL_VERSION,
     )?;
+    let v2 = version >= 2;
     let mut r = reader.record("message")?;
     let msg = match r.get_u8("message kind")? {
         kind::JOIN => TrainMsg::Join {
@@ -419,6 +742,7 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
             let theta = r.get_f32("theta")?;
             let lambda = r.get_f32("lambda")?;
             let precision = get_precision(&mut r)?;
+            let trace_id = if v2 { r.get_u64("trace id")? } else { 0 };
             TrainMsg::SubmitBatch {
                 step,
                 task: ShardTask {
@@ -433,6 +757,7 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
                     lambda,
                     precision,
                 },
+                trace_id,
             }
         }
         kind::SHARD_RESULT => {
@@ -446,6 +771,16 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
             for _ in 0..count {
                 grads.push(get_tensor(&mut r)?);
             }
+            let stamps = if v2 {
+                ShardStamps {
+                    trace_id: r.get_u64("result trace id")?,
+                    decoded_ns: r.get_u64("decoded ns")?,
+                    computed_ns: r.get_u64("computed ns")?,
+                    encoded_ns: r.get_u64("encoded ns")?,
+                }
+            } else {
+                ShardStamps::default()
+            };
             TrainMsg::ShardResult {
                 step,
                 shard_index,
@@ -454,6 +789,7 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
                     loss_neg,
                     grads,
                 },
+                stamps,
             }
         }
         kind::EVENT => TrainMsg::Event {
@@ -470,18 +806,38 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
         kind::SUBSCRIBE => TrainMsg::Subscribe,
         kind::LEAVE => TrainMsg::Leave,
         kind::SHUTDOWN => TrainMsg::Shutdown,
-        kind::ERROR => TrainMsg::Error {
-            message: r.get_string(MAX_STRING, "error message")?,
+        kind::ERROR => {
+            let message = r.get_string(MAX_STRING, "error message")?;
+            let code = if v2 {
+                ErrorCode::from_u8(r.get_u8("error code")?)
+            } else {
+                ErrorCode::Unspecified
+            };
+            TrainMsg::Error { code, message }
+        }
+        kind::TRACE_DUMP if v2 => TrainMsg::TraceDump {
+            max: r.get_u32("trace dump max")?,
         },
+        kind::TRACE_DUMP_REPLY if v2 => {
+            let dropped = r.get_u64("dropped spans")?;
+            let count = r.get_u32("span count")? as usize;
+            // 8 × u64 + u32 shard count minimum per span.
+            r.ensure_fits(count, 68, "cluster spans")?;
+            let mut spans = Vec::with_capacity(count);
+            for _ in 0..count {
+                spans.push(get_span(&mut r)?);
+            }
+            TrainMsg::TraceDumpReply { dropped, spans }
+        }
         other => {
             return Err(DistError::Protocol {
-                message: format!("unknown message kind {other}"),
+                message: format!("unknown message kind {other} at protocol version {version}"),
             })
         }
     };
     r.finish("message")?;
     reader.finish("frame")?;
-    Ok(msg)
+    Ok((msg, version))
 }
 
 /// Writes one length-prefixed `FF8D` frame.
@@ -492,7 +848,33 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TrainMsg> {
 /// [`MAX_FRAME_BYTES`] (checked before anything is written, so the stream
 /// stays synchronized); socket errors as [`DistError::Io`].
 pub fn write_msg(writer: &mut impl Write, msg: &TrainMsg) -> Result<()> {
-    let bytes = encode_msg(msg);
+    write_msg_at(writer, msg, TRAIN_PROTOCOL_VERSION).map(|_| ())
+}
+
+/// Writes one length-prefixed `FF8D` frame encoded at `version`, returning
+/// the wire bytes written (payload + 4-byte prefix) — what the per-kind
+/// byte counters record.
+///
+/// # Errors
+///
+/// See [`write_msg`].
+///
+/// # Panics
+///
+/// On the [`encode_msg_at`] version-contract violations.
+pub fn write_msg_at(writer: &mut impl Write, msg: &TrainMsg, version: u16) -> Result<usize> {
+    write_msg_bytes(writer, &encode_msg_at(msg, version))
+}
+
+/// Writes pre-encoded `FF8D` artifact bytes as one length-prefixed frame,
+/// returning the wire bytes written — how a worker ships a `ShardResult`
+/// it already encoded (and stamped), and how the coordinator reuses one
+/// `ParamSync` encoding across same-version workers.
+///
+/// # Errors
+///
+/// See [`write_msg`].
+pub fn write_msg_bytes(writer: &mut impl Write, bytes: &[u8]) -> Result<usize> {
     if bytes.len() > MAX_FRAME_BYTES {
         return Err(DistError::Protocol {
             message: format!(
@@ -502,9 +884,9 @@ pub fn write_msg(writer: &mut impl Write, msg: &TrainMsg) -> Result<()> {
         });
     }
     writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
-    writer.write_all(&bytes)?;
+    writer.write_all(bytes)?;
     writer.flush()?;
-    Ok(())
+    Ok(bytes.len() + 4)
 }
 
 /// Reads one length-prefixed `FF8D` frame.
@@ -514,6 +896,27 @@ pub fn write_msg(writer: &mut impl Write, msg: &TrainMsg) -> Result<()> {
 /// [`DistError::Io`] on EOF or socket errors, [`DistError::Protocol`] on an
 /// oversized length prefix or a malformed payload.
 pub fn read_msg(reader: &mut impl Read) -> Result<TrainMsg> {
+    decode_msg(&read_msg_bytes(reader)?)
+}
+
+/// Like [`read_msg`], but also returns the frame's protocol version.
+///
+/// # Errors
+///
+/// See [`read_msg`].
+pub fn read_msg_versioned(reader: &mut impl Read) -> Result<(TrainMsg, u16)> {
+    decode_msg_versioned(&read_msg_bytes(reader)?)
+}
+
+/// Reads one length-prefixed frame's raw artifact bytes without decoding —
+/// so a caller can time the decode separately (the worker's `decoded_ns`
+/// stamp) or account wire bytes before parsing.
+///
+/// # Errors
+///
+/// [`DistError::Io`] on EOF or socket errors, [`DistError::Protocol`] on
+/// an oversized length prefix.
+pub fn read_msg_bytes(reader: &mut impl Read) -> Result<Vec<u8>> {
     let mut len_bytes = [0u8; 4];
     reader.read_exact(&mut len_bytes)?;
     let len = u32::from_le_bytes(len_bytes) as usize;
@@ -526,7 +929,7 @@ pub fn read_msg(reader: &mut impl Read) -> Result<TrainMsg> {
     }
     let mut buf = vec![0u8; len];
     reader.read_exact(&mut buf)?;
-    decode_msg(&buf)
+    Ok(buf)
 }
 
 /// Every message kind with representative payloads — shared by the unit
@@ -556,6 +959,7 @@ pub fn sample_msgs() -> Vec<TrainMsg> {
                 lambda: 0.25,
                 precision: Precision::Int8,
             },
+            trace_id: 0x00C0_FFEE,
         },
         TrainMsg::ShardResult {
             step: 42,
@@ -564,6 +968,12 @@ pub fn sample_msgs() -> Vec<TrainMsg> {
                 loss_pos: 0.5,
                 loss_neg: 0.25,
                 grads: vec![tensor],
+            },
+            stamps: ShardStamps {
+                trace_id: 0x00C0_FFEE,
+                decoded_ns: 1_200,
+                computed_ns: 940_000,
+                encoded_ns: 951_000,
             },
         },
         TrainMsg::Event {
@@ -596,7 +1006,42 @@ pub fn sample_msgs() -> Vec<TrainMsg> {
         TrainMsg::Leave,
         TrainMsg::Shutdown,
         TrainMsg::Error {
+            code: ErrorCode::NoCheckpoint,
             message: "no checkpoint published yet".to_string(),
+        },
+        TrainMsg::TraceDump { max: 16 },
+        TrainMsg::TraceDumpReply {
+            dropped: 2,
+            spans: vec![ClusterSpan {
+                step: 7,
+                trace_id: 0x00C0_FFEE,
+                prepare_done_ns: 100,
+                sync_done_ns: 300,
+                dispatch_done_ns: 450,
+                collect_done_ns: 2_000,
+                reduce_done_ns: 2_400,
+                apply_done_ns: 2_600,
+                shards: vec![
+                    ShardSpan {
+                        shard_index: 0,
+                        worker_id: Some(3),
+                        dispatched_ns: 400,
+                        completed_ns: 1_900,
+                        decoded_ns: 50,
+                        computed_ns: 1_200,
+                        encoded_ns: 1_300,
+                    },
+                    ShardSpan {
+                        shard_index: 1,
+                        worker_id: None,
+                        dispatched_ns: 0,
+                        completed_ns: 2_300,
+                        decoded_ns: 0,
+                        computed_ns: 0,
+                        encoded_ns: 0,
+                    },
+                ],
+            }],
         },
     ]
 }
@@ -652,5 +1097,117 @@ mod tests {
             read_msg(&mut &wire[..]),
             Err(DistError::Protocol { .. })
         ));
+    }
+
+    /// The kinds a v1 peer can express — everything except the trace-dump
+    /// pair.
+    fn v1_expressible(msg: &TrainMsg) -> bool {
+        !matches!(
+            msg,
+            TrainMsg::TraceDump { .. } | TrainMsg::TraceDumpReply { .. }
+        )
+    }
+
+    #[test]
+    fn v1_encoding_roundtrips_with_neutral_defaults() {
+        for msg in sample_msgs().iter().filter(|m| v1_expressible(m)) {
+            let bytes = encode_msg_at(msg, 1);
+            let (decoded, version) = decode_msg_versioned(&bytes).expect("v1 decodes");
+            assert_eq!(version, 1);
+            assert_eq!(
+                encode_msg_at(&decoded, 1),
+                bytes,
+                "v1 re-encode is canonical"
+            );
+            match decoded {
+                TrainMsg::SubmitBatch { trace_id, .. } => assert_eq!(trace_id, 0),
+                TrainMsg::ShardResult { stamps, .. } => {
+                    assert_eq!(stamps, ShardStamps::default());
+                }
+                TrainMsg::Error { code, .. } => assert_eq!(code, ErrorCode::Unspecified),
+                _ => {}
+            }
+            // Every strict v1 prefix fails, same as v2.
+            for len in 0..bytes.len() {
+                assert!(decode_msg(&bytes[..len]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn trace_kinds_require_v2_headers() {
+        for msg in sample_msgs().iter().filter(|m| !v1_expressible(m)) {
+            let mut bytes = encode_msg_at(msg, 2);
+            bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+            assert!(
+                matches!(decode_msg(&bytes), Err(DistError::Protocol { .. })),
+                "a v1-headered trace frame must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn stamped_encoded_ns_patch_is_canonical() {
+        let msg = TrainMsg::ShardResult {
+            step: 9,
+            shard_index: 0,
+            grads: ShardGrads {
+                loss_pos: 1.0,
+                loss_neg: 2.0,
+                grads: vec![Tensor::zeros(&[2, 3])],
+            },
+            stamps: ShardStamps {
+                trace_id: 77,
+                decoded_ns: 10,
+                computed_ns: 20,
+                encoded_ns: 0, // placeholder, patched below
+            },
+        };
+        let mut bytes = encode_msg(&msg);
+        stamp_shard_result_encoded_ns(&mut bytes, 123_456);
+        let decoded = decode_msg(&bytes).expect("patched frame decodes");
+        match &decoded {
+            TrainMsg::ShardResult { stamps, .. } => {
+                assert_eq!(stamps.encoded_ns, 123_456);
+                assert_eq!(stamps.trace_id, 77);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert_eq!(
+            encode_msg(&decoded),
+            bytes,
+            "the patched artifact is exactly the canonical encoding"
+        );
+    }
+
+    #[test]
+    fn kind_names_align_with_kind_indices() {
+        let msgs = sample_msgs();
+        // sample_msgs carries two Event samples; dedupe by index.
+        let mut seen = [false; KIND_COUNT];
+        for msg in &msgs {
+            let index = msg.kind_index();
+            assert_eq!(TrainMsg::kind_names()[index], msg.kind_name());
+            seen[index] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "sample_msgs covers every kind");
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_name_stably() {
+        for code in ErrorCode::all() {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()), code);
+            let msg = TrainMsg::Error {
+                code,
+                message: "x".into(),
+            };
+            match decode_msg(&encode_msg(&msg)).unwrap() {
+                TrainMsg::Error { code: decoded, .. } => assert_eq!(decoded, code),
+                other => panic!("wrong kind: {other:?}"),
+            }
+        }
+        // Unknown future tags degrade instead of failing the frame.
+        assert_eq!(ErrorCode::from_u8(200), ErrorCode::Unspecified);
+        assert_eq!(ErrorCode::BadToken.name(), "bad_token");
     }
 }

@@ -10,12 +10,16 @@
 //! treat worker death as a scheduling event rather than a correctness
 //! event.
 
-use crate::protocol::{read_msg, write_msg, TrainMsg};
+use crate::protocol::{
+    decode_msg_versioned, encode_msg_at, read_msg_bytes, stamp_shard_result_encoded_ns,
+    write_msg_bytes, ShardStamps, TrainMsg, TRAIN_PROTOCOL_VERSION,
+};
 use crate::{DistError, Result};
 use ff_core::shard::compute_shard;
 use ff_nn::Sequential;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
 
 /// What a worker did before its connection ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,8 +55,25 @@ impl Worker {
         token: &str,
         net: &mut Sequential,
     ) -> Result<WorkerReport> {
+        Self::connect_at(addr, token, net, TRAIN_PROTOCOL_VERSION)
+    }
+
+    /// Like [`Worker::connect`], but speaking a pinned FF8D `version` —
+    /// the interop escape hatch for joining from (or emulating) an older
+    /// deployment. A v1 worker trains bit-identically; it just returns
+    /// `ShardResult`s with no trace stamps.
+    ///
+    /// # Panics
+    ///
+    /// If `version` is outside the supported range (caller bug).
+    pub fn connect_at(
+        addr: impl ToSocketAddrs,
+        token: &str,
+        net: &mut Sequential,
+        version: u16,
+    ) -> Result<WorkerReport> {
         let mut stream = TcpStream::connect(addr)?;
-        Self::run(&mut stream, token, net)
+        Self::run_at(&mut stream, token, net, version)
     }
 
     /// Runs the worker loop over an already-established stream.
@@ -71,15 +92,38 @@ impl Worker {
         token: &str,
         net: &mut Sequential,
     ) -> Result<WorkerReport> {
-        write_msg(
-            stream,
-            &TrainMsg::Join {
-                token: token.to_string(),
-            },
-        )?;
-        let worker_id = match read_msg(stream)? {
+        Self::run_at(stream, token, net, TRAIN_PROTOCOL_VERSION)
+    }
+
+    /// [`Worker::run`] at a pinned FF8D `version` (see
+    /// [`Worker::connect_at`]).
+    ///
+    /// Every `ShardResult` carries the worker-local decode/compute/encode
+    /// stamps (at v2+; v1 frames simply omit them): one clock starts when
+    /// the frame's bytes are fully read, and `encoded_ns` is patched into
+    /// the already-encoded reply so the stamp covers the encode itself.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Worker::connect`], minus connection setup.
+    ///
+    /// # Panics
+    ///
+    /// If `version` is outside the supported range (caller bug).
+    pub fn run_at<S: Read + Write>(
+        stream: &mut S,
+        token: &str,
+        net: &mut Sequential,
+        version: u16,
+    ) -> Result<WorkerReport> {
+        let join = TrainMsg::Join {
+            token: token.to_string(),
+        };
+        write_msg_bytes(stream, &encode_msg_at(&join, version))?;
+        let (ack, _) = decode_msg_versioned(&read_msg_bytes(stream)?)?;
+        let worker_id = match ack {
             TrainMsg::JoinAck { worker_id } => worker_id,
-            TrainMsg::Error { message } => {
+            TrainMsg::Error { message, .. } => {
                 return Err(DistError::Protocol {
                     message: format!("coordinator rejected join: {message}"),
                 })
@@ -95,39 +139,68 @@ impl Worker {
             ..WorkerReport::default()
         };
         loop {
-            match read_msg(stream) {
-                Ok(TrainMsg::ParamSync { params, .. }) => {
-                    apply_param_sync(net, &params)?;
-                    report.params_synced += 1;
-                }
-                Ok(TrainMsg::SubmitBatch { step, task }) => {
-                    let shard_index = task.shard_index as u64;
-                    let grads = compute_shard(net, &task)?;
-                    if write_msg(
-                        stream,
-                        &TrainMsg::ShardResult {
-                            step,
-                            shard_index,
-                            grads,
-                        },
-                    )
-                    .is_err()
-                    {
-                        return Ok(report);
-                    }
-                    report.shards_computed += 1;
-                }
-                Ok(TrainMsg::Shutdown) | Ok(TrainMsg::Leave) => return Ok(report),
-                // Unknown-but-well-formed traffic is ignored so protocol
-                // growth does not strand old workers.
-                Ok(_) => continue,
+            let bytes = match read_msg_bytes(stream) {
+                Ok(bytes) => bytes,
                 // A dropped socket ends service; the coordinator's reader
                 // thread notices the same break and reassigns.
                 Err(DistError::Io { .. }) => return Ok(report),
                 Err(e) => return Err(e),
+            };
+            // One clock per frame: decoded/computed/encoded stamps are
+            // cumulative offsets from the moment the bytes were in hand.
+            let clock = Instant::now();
+            let msg = match decode_msg_versioned(&bytes) {
+                Ok((msg, _frame_version)) => msg,
+                Err(e) => return Err(e),
+            };
+            match msg {
+                TrainMsg::ParamSync { params, .. } => {
+                    apply_param_sync(net, &params)?;
+                    report.params_synced += 1;
+                }
+                TrainMsg::SubmitBatch {
+                    step,
+                    task,
+                    trace_id,
+                } => {
+                    let decoded_ns = elapsed_ns(clock);
+                    let shard_index = task.shard_index as u64;
+                    let grads = compute_shard(net, &task)?;
+                    let computed_ns = elapsed_ns(clock);
+                    let reply = TrainMsg::ShardResult {
+                        step,
+                        shard_index,
+                        grads,
+                        stamps: ShardStamps {
+                            trace_id,
+                            decoded_ns,
+                            computed_ns,
+                            encoded_ns: 0, // patched below, post-encode
+                        },
+                    };
+                    let mut out = encode_msg_at(&reply, version);
+                    if version >= 2 {
+                        stamp_shard_result_encoded_ns(&mut out, elapsed_ns(clock));
+                    }
+                    if write_msg_bytes(stream, &out).is_err() {
+                        return Ok(report);
+                    }
+                    report.shards_computed += 1;
+                }
+                TrainMsg::Shutdown | TrainMsg::Leave => return Ok(report),
+                // Unknown-but-well-formed traffic is ignored so protocol
+                // growth does not strand old workers.
+                _ => continue,
             }
         }
     }
+}
+
+/// Nanoseconds since `start`, floored at 1 so a stamped phase is always
+/// distinguishable from the neutral "never stamped" zero even on coarse
+/// clocks.
+fn elapsed_ns(start: Instant) -> u64 {
+    (start.elapsed().as_nanos().min(u64::MAX as u128) as u64).max(1)
 }
 
 /// Overwrites `net`'s parameters with a synced replica, bumping each

@@ -1,0 +1,373 @@
+//! End-to-end cluster observability: a capture-all data-parallel run must
+//! produce one wire-dumpable [`ClusterSpan`] per training step with every
+//! coordinator phase and worker stamp present and monotonic, the per-kind
+//! wire accounting must add up against the protocol's known frame counts,
+//! and none of it may perturb the determinism contract — the traced run's
+//! weights stay bit-identical to the sequential reference.
+
+use ff_core::{Algorithm, Precision, TrainOptions, TrainSession};
+use ff_data::{synthetic_mnist, Dataset, SyntheticConfig};
+use ff_dist::protocol::{read_msg, write_msg, TrainMsg};
+use ff_dist::{pull_cluster_traces, Coordinator, CoordinatorConfig, PipelineSession, Worker};
+use ff_models::small_mlp;
+use ff_nn::Sequential;
+use ff_trace::{ClusterFlightRecorder, ClusterSpan, MetricsRegistry, TraceSettings};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const STEPS: u64 = 4; // 64 samples / batch 32 = 2 batches/epoch, 2 epochs
+
+fn tiny_dataset() -> (Dataset, Dataset) {
+    synthetic_mnist(&SyntheticConfig {
+        train_size: 64,
+        test_size: 16,
+        noise_std: 0.2,
+        max_shift: 0,
+        seed: 17,
+    })
+}
+
+fn tiny_net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    small_mlp(784, &[16, 16], 10, &mut rng)
+}
+
+fn tiny_options() -> TrainOptions {
+    TrainOptions {
+        epochs: 2,
+        batch_size: 32,
+        max_eval_samples: 16,
+        grad_shards: 2,
+        ..TrainOptions::fast_test()
+    }
+}
+
+/// Waits (bounded) for `name` to reach `want`, then returns the value read.
+///
+/// The coordinator bumps its error/wire counters on its own connection
+/// thread after the reply bytes hit the socket, so a client that has just
+/// observed the reply may race the increment by a few microseconds.
+fn settled_counter(registry: &MetricsRegistry, name: &str, want: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let got = registry.counter(name).get();
+        if got >= want || Instant::now() >= deadline {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn weight_bits(net: &mut Sequential) -> Vec<Vec<u32>> {
+    net.params_mut()
+        .iter()
+        .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn sequential_bits(options: &TrainOptions, train: &Dataset, test: &Dataset) -> Vec<Vec<u32>> {
+    let mut net = tiny_net(1);
+    TrainSession::new(
+        &mut net,
+        train,
+        test,
+        Algorithm::FfInt8 { lookahead: false },
+        options,
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    weight_bits(&mut net)
+}
+
+/// Deterministic capture-all tracing: every step sampled, ids replayable.
+fn capture_all() -> TraceSettings {
+    TraceSettings {
+        capacity: 64,
+        sample_per_sec: u32::MAX,
+        seed: 0xC1A5,
+        ..TraceSettings::default()
+    }
+}
+
+/// Runs a 2-worker data-parallel training to completion and returns the
+/// trained weights plus the wire-pulled trace dump, leaving the registry
+/// populated for wire-accounting assertions.
+fn traced_cluster_run(
+    registry: &MetricsRegistry,
+    worker_versions: [u16; 2],
+) -> (Vec<Vec<u32>>, u64, Vec<ClusterSpan>) {
+    let (train_set, test_set) = tiny_dataset();
+    let options = tiny_options();
+    let mut coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordinatorConfig {
+            metrics: Some(registry.clone()),
+            trace: capture_all(),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.addr();
+    let workers: Vec<_> = worker_versions
+        .into_iter()
+        .enumerate()
+        .map(|(i, version)| {
+            std::thread::spawn(move || {
+                let mut replica = tiny_net(1000 + i as u64);
+                Worker::connect_at(addr, "", &mut replica, version)
+            })
+        })
+        .collect();
+    while coordinator.worker_count() < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let trainer = coordinator
+        .trainer(Precision::Int8, false, options)
+        .unwrap();
+    let mut net = tiny_net(1);
+    TrainSession::with_trainer(&mut net, &train_set, &test_set, trainer)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Dump over the wire while the cluster is still up, and check the
+    // local accessor agrees with what crossed the socket.
+    let (dropped, spans) = pull_cluster_traces(addr, 0).unwrap();
+    assert_eq!(spans, coordinator.cluster_traces(0));
+    assert_eq!(dropped, coordinator.cluster_traces_dropped());
+
+    coordinator.shutdown();
+    for handle in workers {
+        handle.join().unwrap().unwrap();
+    }
+    (weight_bits(&mut net), dropped, spans)
+}
+
+#[test]
+fn capture_all_run_spans_every_step_and_stays_bit_exact() {
+    let (train_set, test_set) = tiny_dataset();
+    let reference_bits = sequential_bits(&tiny_options(), &train_set, &test_set);
+
+    let registry = MetricsRegistry::new();
+    let (bits, dropped, spans) = traced_cluster_run(&registry, [2, 2]);
+    assert_eq!(
+        bits, reference_bits,
+        "tracing must not perturb the determinism contract"
+    );
+
+    // One complete, monotonic span per training step, in step order.
+    assert_eq!(dropped, 0, "uncontended run must not drop spans");
+    assert_eq!(spans.len(), STEPS as usize, "one span per step");
+    for (expected_step, span) in spans.iter().enumerate() {
+        assert_eq!(span.step, expected_step as u64);
+        assert_ne!(span.trace_id, 0);
+        assert!(span.is_complete(), "incomplete span: {span:?}");
+        assert!(span.is_monotonic(), "non-monotonic span: {span:?}");
+        assert_eq!(span.shards.len(), 2, "grad_shards = 2");
+        assert!(
+            span.has_worker_stamps(),
+            "v2 workers must stamp decode/compute/encode: {span:?}"
+        );
+        for shard in &span.shards {
+            if shard.worker_id.is_some() {
+                assert!(shard.dispatched_ns > 0, "remote shard never dispatched");
+            }
+        }
+    }
+    // Trace ids are a pure function of (seed, step): a second recorder
+    // with the same settings replays them.
+    let replay = ClusterFlightRecorder::new(capture_all());
+    for span in &spans {
+        assert_eq!(span.trace_id, replay.trace_id(span.step));
+    }
+
+    // Wire accounting adds up against the protocol's known frame counts.
+    let frames = |kind: &str| registry.counter(&format!("dist.wire.{kind}.frames")).get();
+    let bytes = |kind: &str| registry.counter(&format!("dist.wire.{kind}.bytes")).get();
+    assert_eq!(frames("join"), 2);
+    assert_eq!(frames("join_ack"), 2);
+    assert_eq!(
+        frames("param_sync"),
+        STEPS * 2,
+        "one sync per worker per step"
+    );
+    assert_eq!(frames("submit_batch"), STEPS * 2, "two shards per step");
+    assert_eq!(frames("shard_result"), STEPS * 2);
+    assert_eq!(frames("trace_dump"), 1);
+    assert_eq!(frames("trace_dump_reply"), 1);
+    assert_eq!(frames("shutdown"), 2);
+    assert_eq!(frames("error"), 0);
+
+    // The ParamSync byte share is measurable and physically plausible: each
+    // sync carries every parameter as f32, to each worker, every step.
+    let param_floats: u64 = tiny_net(1)
+        .params_mut()
+        .iter()
+        .map(|p| p.value.data().len() as u64)
+        .sum();
+    let sync_bytes = bytes("param_sync");
+    assert!(
+        sync_bytes >= STEPS * 2 * param_floats * 4,
+        "param_sync accounted {sync_bytes} bytes for {param_floats} parameters"
+    );
+    let kinds = TrainMsg::kind_names();
+    let total: u64 = kinds.iter().map(|kind| bytes(kind)).sum();
+    let share = sync_bytes as f64 / total as f64;
+    assert!(
+        (0.05..1.0).contains(&share),
+        "param_sync share {share:.3} of {total} wire bytes is implausible"
+    );
+
+    // No worker died, so nothing was recomputed and nothing was dropped.
+    assert_eq!(
+        registry.counter("dist.coord.recompute.worker_death").get(),
+        0
+    );
+    assert_eq!(registry.counter("dist.coord.trace.dropped").get(), 0);
+    assert_eq!(registry.counter("dist.coord.traces_pulled").get(), 1);
+}
+
+#[test]
+fn v1_worker_interop_is_bit_exact_and_merely_stamp_free() {
+    let (train_set, test_set) = tiny_dataset();
+    let reference_bits = sequential_bits(&tiny_options(), &train_set, &test_set);
+
+    let registry = MetricsRegistry::new();
+    let (bits, _, spans) = traced_cluster_run(&registry, [1, 2]);
+    assert_eq!(
+        bits, reference_bits,
+        "a v1 worker must train bit-identically to the v2 cluster"
+    );
+    assert_eq!(spans.len(), STEPS as usize);
+
+    // The v1 worker's shards complete and stay monotonic — they simply
+    // carry no worker-side stamps, while the v2 worker's shards carry all
+    // three. Both workers computed something across the run.
+    let mut stamped = 0;
+    let mut stampless = 0;
+    for span in &spans {
+        assert!(
+            span.is_complete() && span.is_monotonic(),
+            "bad span: {span:?}"
+        );
+        for shard in span.shards.iter().filter(|s| s.worker_id.is_some()) {
+            if shard.has_worker_stamps() {
+                stamped += 1;
+            } else {
+                assert_eq!(
+                    (shard.decoded_ns, shard.computed_ns, shard.encoded_ns),
+                    (0, 0, 0),
+                    "a pre-trace worker must leave stamps at the neutral zero"
+                );
+                stampless += 1;
+            }
+        }
+    }
+    assert!(stamped > 0, "the v2 worker never stamped a shard");
+    assert!(stampless > 0, "the v1 worker never served a shard");
+}
+
+#[test]
+fn rejected_joins_and_malformed_hellos_bump_error_counters() {
+    let registry = MetricsRegistry::new();
+    let mut coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordinatorConfig {
+            token: Some("right".to_string()),
+            metrics: Some(registry.clone()),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.addr();
+
+    let mut replica = tiny_net(3);
+    assert!(Worker::connect(addr, "wrong", &mut replica).is_err());
+    assert_eq!(
+        settled_counter(&registry, "dist.coord.errors.bad_token", 1),
+        1
+    );
+
+    // A non-hello first frame is answered with a typed UnexpectedHello.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_msg(&mut stream, &TrainMsg::Leave).unwrap();
+    match read_msg(&mut stream).unwrap() {
+        TrainMsg::Error { message, .. } => assert!(message.contains("expected Join")),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    assert_eq!(
+        settled_counter(&registry, "dist.coord.errors.unexpected_hello", 1),
+        1
+    );
+    assert_eq!(registry.counter("dist.coord.errors.bad_token").get(), 1);
+    assert_eq!(settled_counter(&registry, "dist.wire.error.frames", 2), 2);
+    coordinator.shutdown();
+}
+
+#[test]
+fn pipeline_stages_publish_compute_and_blocked_histograms() {
+    let (train_set, test_set) = tiny_dataset();
+    let options = TrainOptions {
+        grad_shards: 1, // row sharding belongs to the data-parallel tier
+        ..tiny_options()
+    };
+    let registry = MetricsRegistry::new();
+    let mut net = tiny_net(1);
+    {
+        let mut session = PipelineSession::new(
+            &mut net,
+            &train_set,
+            &test_set,
+            Precision::Int8,
+            &options,
+            &[1, 2],
+        )
+        .unwrap();
+        session.set_metrics(registry.clone());
+        session.run().unwrap();
+    }
+    let text = registry.expose();
+    for stage in 0..2 {
+        for surface in ["compute_ns", "send_blocked_ns", "recv_blocked_ns"] {
+            let name = format!("dist.pipeline.stage.{stage}.{surface}");
+            assert!(
+                text.contains(&format!("{name} histogram count ")),
+                "missing {name} in:\n{text}"
+            );
+        }
+        // Every batch's compute and upstream wait was recorded on every
+        // stage (stage 0's upstream is the driver's feed channel).
+        let count = |surface: &str| {
+            registry
+                .histogram(&format!("dist.pipeline.stage.{stage}.{surface}"))
+                .histogram()
+                .count()
+        };
+        assert_eq!(count("compute_ns"), STEPS, "stage {stage} missed a batch");
+        assert_eq!(
+            count("recv_blocked_ns"),
+            STEPS,
+            "stage {stage} missed a wait"
+        );
+    }
+    // Only stages with a downstream link record send stalls; the final
+    // stage has no forward channel, so its histogram stays empty.
+    assert_eq!(
+        registry
+            .histogram("dist.pipeline.stage.0.send_blocked_ns")
+            .histogram()
+            .count(),
+        STEPS
+    );
+    assert_eq!(
+        registry
+            .histogram("dist.pipeline.stage.1.send_blocked_ns")
+            .histogram()
+            .count(),
+        0
+    );
+}

@@ -191,6 +191,54 @@ impl LatencyHistogram {
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 
+    /// The histogram of samples recorded since `baseline`, where `baseline`
+    /// is an earlier clone of this histogram (per-bucket saturating
+    /// subtraction; count and sum are exact).
+    ///
+    /// The exact min/max of the *interval* are not recoverable from a
+    /// subtraction, so they are re-estimated as the bounds of the first and
+    /// last occupied diff buckets — the same one-sub-bucket precision the
+    /// quantiles already have. Windowed metric views use this to turn
+    /// lifetime histograms into per-window ones.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ff_metrics::LatencyHistogram;
+    /// use std::time::Duration;
+    ///
+    /// let mut hist = LatencyHistogram::new();
+    /// hist.record(Duration::from_micros(10));
+    /// let baseline = hist.clone();
+    /// hist.record(Duration::from_micros(500));
+    /// let diff = hist.diff_since(&baseline);
+    /// assert_eq!(diff.count(), 1);
+    /// assert!(diff.min() >= Duration::from_micros(450));
+    /// ```
+    pub fn diff_since(&self, baseline: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for (o, (&now, &base)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&baseline.counts))
+        {
+            *o = now.saturating_sub(base);
+        }
+        out.count = self.count.saturating_sub(baseline.count);
+        out.sum_ns = self.sum_ns.saturating_sub(baseline.sum_ns);
+        let first = out.counts.iter().position(|&c| c > 0);
+        let last = out.counts.iter().rposition(|&c| c > 0);
+        if let (Some(first), Some(last)) = (first, last) {
+            out.min_ns = if first == 0 {
+                0
+            } else {
+                bucket_upper_ns(first - 1).saturating_add(1)
+            };
+            out.max_ns = bucket_upper_ns(last);
+        }
+        out
+    }
+
     /// A copyable snapshot of the headline statistics.
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -333,6 +381,37 @@ mod tests {
         assert_eq!(summary.count, 3);
         assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
         assert!(summary.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn diff_since_isolates_the_interval() {
+        let mut hist = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            hist.record(Duration::from_micros(us));
+        }
+        let baseline = hist.clone();
+        for us in 500..=600u64 {
+            hist.record(Duration::from_micros(us));
+        }
+        let diff = hist.diff_since(&baseline);
+        assert_eq!(diff.count(), 101);
+        // Interval extremes are bucket bounds around the true 500..=600 µs.
+        assert!(
+            diff.min() >= Duration::from_micros(450),
+            "min={:?}",
+            diff.min()
+        );
+        assert!(
+            diff.max() <= Duration::from_micros(700),
+            "max={:?}",
+            diff.max()
+        );
+        let p50 = diff.p50().as_nanos() as f64;
+        assert!((p50 / 550_000.0 - 1.0).abs() < 0.1, "p50={p50}");
+        // Empty interval: everything zero.
+        let none = hist.diff_since(&hist.clone());
+        assert!(none.is_empty());
+        assert_eq!(none.max(), Duration::ZERO);
     }
 
     #[test]

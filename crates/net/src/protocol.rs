@@ -137,6 +137,9 @@ const KIND_ERROR: u8 = 133;
 const KIND_TRACE_DUMP_REPLY: u8 = 134;
 const KIND_METRICS_DUMP_REPLY: u8 = 135;
 
+/// How many distinct frame kinds [`Frame::kind_index`] enumerates.
+pub const FRAME_KIND_COUNT: usize = 14;
+
 /// Bound on the length of an error reply's message string.
 const MAX_ERROR_MESSAGE_LEN: usize = 4096;
 
@@ -503,6 +506,54 @@ impl Frame {
                 | Frame::TraceDump { .. }
                 | Frame::MetricsDump { .. }
         )
+    }
+
+    /// A dense 0-based index for this frame's kind — the row into
+    /// [`Frame::kind_names`] and any per-kind counter array (see
+    /// [`FRAME_KIND_COUNT`]). Stable across releases: new kinds append.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Frame::Predict { .. } => 0,
+            Frame::PredictBatch { .. } => 1,
+            Frame::Stats { .. } => 2,
+            Frame::Health { .. } => 3,
+            Frame::Shutdown { .. } => 4,
+            Frame::TraceDump { .. } => 5,
+            Frame::MetricsDump { .. } => 6,
+            Frame::Labels { .. } => 7,
+            Frame::StatsReply { .. } => 8,
+            Frame::HealthReply { .. } => 9,
+            Frame::ShutdownAck { .. } => 10,
+            Frame::Error { .. } => 11,
+            Frame::TraceDumpReply { .. } => 12,
+            Frame::MetricsDumpReply { .. } => 13,
+        }
+    }
+
+    /// This kind's stable snake_case name, as used in `net.wire.<kind>.*`
+    /// metric names.
+    pub fn kind_name(&self) -> &'static str {
+        Self::kind_names()[self.kind_index()]
+    }
+
+    /// Every kind's name, indexed by [`Frame::kind_index`].
+    pub fn kind_names() -> [&'static str; FRAME_KIND_COUNT] {
+        [
+            "predict",
+            "predict_batch",
+            "stats",
+            "health",
+            "shutdown",
+            "trace_dump",
+            "metrics_dump",
+            "labels",
+            "stats_reply",
+            "health_reply",
+            "shutdown_ack",
+            "error",
+            "trace_dump_reply",
+            "metrics_dump_reply",
+        ]
     }
 }
 
@@ -1107,7 +1158,9 @@ pub fn decode_frame_meta(bytes: &[u8]) -> Result<(Frame, u16, FrameMeta)> {
 }
 
 /// Writes one length-prefixed frame to `writer` at the newest protocol
-/// version. See [`write_frame_at`] for the version-negotiated form.
+/// version and returns the frame's full wire footprint in bytes (payload
+/// plus the 4-byte length prefix — what a per-kind byte counter should
+/// account). See [`write_frame_at`] for the version-negotiated form.
 ///
 /// # Errors
 ///
@@ -1118,13 +1171,14 @@ pub fn write_frame(
     writer: &mut impl std::io::Write,
     frame: &Frame,
     max_frame_bytes: usize,
-) -> Result<()> {
+) -> Result<usize> {
     write_frame_at(writer, frame, PROTOCOL_VERSION, max_frame_bytes)
 }
 
 /// Writes one length-prefixed frame to `writer`, encoded at the given
 /// protocol `version` with default [`FrameMeta`] (how the server answers a
-/// version-1 client in its own dialect).
+/// version-1 client in its own dialect). Returns the wire footprint as
+/// [`write_frame`] does.
 ///
 /// # Errors
 ///
@@ -1138,7 +1192,7 @@ pub fn write_frame_at(
     frame: &Frame,
     version: u16,
     max_frame_bytes: usize,
-) -> Result<()> {
+) -> Result<usize> {
     write_frame_meta(
         writer,
         frame,
@@ -1150,7 +1204,8 @@ pub fn write_frame_at(
 
 /// Writes one length-prefixed frame to `writer` with explicit header
 /// metadata — the model-addressed, token-carrying form a version-3 client
-/// stamps on every request.
+/// stamps on every request. Returns the wire footprint as [`write_frame`]
+/// does.
 ///
 /// # Errors
 ///
@@ -1166,7 +1221,7 @@ pub fn write_frame_meta(
     version: u16,
     meta: &FrameMeta,
     max_frame_bytes: usize,
-) -> Result<()> {
+) -> Result<usize> {
     let bytes = encode_frame_meta(frame, version, meta);
     if bytes.len() > max_frame_bytes {
         return Err(NetError::FrameTooLarge {
@@ -1177,7 +1232,7 @@ pub fn write_frame_meta(
     writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
     writer.write_all(&bytes)?;
     writer.flush()?;
-    Ok(())
+    Ok(bytes.len() + 4)
 }
 
 /// Reads one length-prefixed frame's bytes from `reader` (the part shared
@@ -1554,6 +1609,26 @@ mod tests {
     #[should_panic(expected = "cannot encode FF8P version")]
     fn unsupported_encode_version_panics() {
         encode_frame_at(&Frame::Stats { id: 1 }, PROTOCOL_VERSION + 1);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_names_are_stable() {
+        let mut seen = [false; FRAME_KIND_COUNT];
+        for frame in sample_frames() {
+            let index = frame.kind_index();
+            assert!(!seen[index], "duplicate kind index {index}");
+            seen[index] = true;
+            assert_eq!(frame.kind_name(), Frame::kind_names()[index]);
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "sample_frames must cover every kind index"
+        );
+        assert_eq!(Frame::kind_names()[0], "predict");
+        assert_eq!(
+            Frame::kind_names()[FRAME_KIND_COUNT - 1],
+            "metrics_dump_reply"
+        );
     }
 
     #[test]

@@ -74,12 +74,13 @@ use crate::admission::{AdmissionConfig, AdmissionGate, AdmitError};
 use crate::auth::AuthPolicy;
 use crate::protocol::{
     decode_frame_meta, write_frame_meta, Frame, FrameMeta, WireHealthState, WireMode,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    DEFAULT_MAX_FRAME_BYTES, FRAME_KIND_COUNT, PROTOCOL_VERSION,
 };
 use crate::{ErrorCode, NetError, Result};
+use ff_metrics::Counter;
 use ff_serve::{
-    FrozenModel, ModelRegistry, ServeConfig, ServeError, ServeHandle, ServeMode, Server,
-    SharedHistogram, ShedCounters, Stage, TraceHandle,
+    FrozenModel, MetricsRegistry, ModelRegistry, ServeConfig, ServeError, ServeHandle, ServeMode,
+    Server, SharedHistogram, ShedCounters, Stage, TraceHandle,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -154,6 +155,38 @@ struct NetShared {
     /// record socket-write time here so wire clients see all four stages in
     /// one `StatsReply`.
     write_stage: SharedHistogram,
+    /// Per-kind frame/byte accounting for everything crossing the wire,
+    /// both directions (`net.wire.<kind>.{frames,bytes}`).
+    wire: WireCounters,
+}
+
+/// Pre-minted per-kind wire counters: the hot path is two atomic adds per
+/// frame, with no registry lookup and no lock. Request kinds accumulate on
+/// the read path, reply kinds on the write path, so one dense set covers
+/// both directions without double counting.
+#[derive(Clone)]
+struct WireCounters {
+    frames: Vec<Counter>,
+    bytes: Vec<Counter>,
+}
+
+impl WireCounters {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        let mut frames = Vec::with_capacity(FRAME_KIND_COUNT);
+        let mut bytes = Vec::with_capacity(FRAME_KIND_COUNT);
+        for name in Frame::kind_names() {
+            frames.push(metrics.counter(&format!("net.wire.{name}.frames")));
+            bytes.push(metrics.counter(&format!("net.wire.{name}.bytes")));
+        }
+        WireCounters { frames, bytes }
+    }
+
+    /// Accounts one frame of `kind_index`. `wire_bytes` is the full
+    /// on-the-wire size including the 4-byte length prefix.
+    fn account(&self, kind_index: usize, wire_bytes: u64) {
+        self.frames[kind_index].inc();
+        self.bytes[kind_index].add(wire_bytes);
+    }
 }
 
 impl NetShared {
@@ -270,6 +303,7 @@ impl NetServer {
             handle: engine.handle(),
             counters: engine.handle().shed_counters(),
             write_stage: engine.handle().stage_histograms().write,
+            wire: WireCounters::new(&engine.handle().metrics()),
             auth: RwLock::new(Arc::new(config.auth.clone())),
             config,
             phase: AtomicU8::new(PHASE_RUNNING),
@@ -493,7 +527,8 @@ fn serve_connection(shared: &NetShared, stream: TcpStream) -> Result<()> {
             .name("ff-net-reply".to_string())
             .spawn({
                 let write_stage = shared.write_stage.clone();
-                move || reply_writer_loop(writer, out_rx, max, &alive, &write_stage)
+                let wire = shared.wire.clone();
+                move || reply_writer_loop(writer, out_rx, max, &alive, &write_stage, &wire)
             })
             .expect("spawning the reply writer cannot fail")
     };
@@ -632,6 +667,9 @@ fn connection_reader_loop(
         let (frame, meta) = match decode_frame_meta(&bytes) {
             Ok((frame, version, meta)) => {
                 peer_version = version;
+                shared
+                    .wire
+                    .account(frame.kind_index(), bytes.len() as u64 + 4);
                 (frame, meta)
             }
             Err(error) => {
@@ -688,6 +726,7 @@ fn reply_writer_loop(
     max_frame_bytes: usize,
     alive: &AtomicBool,
     write_stage: &SharedHistogram,
+    wire: &WireCounters,
 ) {
     for outgoing in out_rx {
         let (frame, version, meta, permit, trace) = match outgoing {
@@ -725,10 +764,13 @@ fn reply_writer_loop(
         // it measures serialization plus the socket write, per reply.
         let write_start = trace.is_some().then(Instant::now);
         let outcome = write_frame_meta(&mut writer, &frame, version, &meta, max_frame_bytes);
-        if let (Some(start), Ok(())) = (write_start, &outcome) {
-            write_stage.record(start.elapsed());
-            if let Some(trace) = trace.flatten() {
-                trace.stamp(Stage::ReplyWritten);
+        if let Ok(written) = &outcome {
+            wire.account(frame.kind_index(), *written as u64);
+            if let Some(start) = write_start {
+                write_stage.record(start.elapsed());
+                if let Some(trace) = trace.flatten() {
+                    trace.stamp(Stage::ReplyWritten);
+                }
             }
         }
         // The admission slot is held until the reply hit the socket (or the

@@ -175,6 +175,56 @@ fn slow_requests_are_always_retained_even_with_sampling_off() {
     server.shutdown();
 }
 
+/// Pulls the value of `name counter <n>` out of a metrics dump.
+fn counter_value(text: &str, name: &str) -> u64 {
+    let prefix = format!("{name} counter ");
+    text.lines()
+        .find_map(|line| line.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("metrics dump missing {name}:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn wire_counters_account_every_frame_and_byte() {
+    let server = NetServer::bind(
+        frozen(24),
+        "127.0.0.1:0",
+        traced_config(TraceSettings::disabled()),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..10 {
+        assert!(client.predict(&[0.2; FEATURES]).unwrap() < CLASSES);
+    }
+    let _ = client.stats().unwrap();
+    let text = client.metrics_dump().unwrap();
+
+    // Request kinds accumulate on the read path. The metrics_dump request
+    // itself is accounted before its reply is rendered, so it shows up too.
+    assert_eq!(counter_value(&text, "net.wire.predict.frames"), 10);
+    assert_eq!(counter_value(&text, "net.wire.stats.frames"), 1);
+    assert_eq!(counter_value(&text, "net.wire.metrics_dump.frames"), 1);
+    // Reply kinds accumulate on the write path.
+    assert_eq!(counter_value(&text, "net.wire.labels.frames"), 10);
+    assert_eq!(counter_value(&text, "net.wire.stats_reply.frames"), 1);
+    // Byte counts include the 4-byte length prefix, so every accounted
+    // frame contributes strictly more than the prefix alone.
+    let predict_bytes = counter_value(&text, "net.wire.predict.bytes");
+    assert!(
+        predict_bytes > 10 * (4 + FEATURES as u64 * 4),
+        "10 predict frames of {FEATURES} f32 features accounted only {predict_bytes} bytes"
+    );
+    let labels_bytes = counter_value(&text, "net.wire.labels.bytes");
+    assert!(labels_bytes > 10 * 4, "labels replies under-accounted");
+    // Kinds that never crossed the wire stay at zero.
+    assert_eq!(counter_value(&text, "net.wire.shutdown.frames"), 0);
+    assert_eq!(counter_value(&text, "net.wire.error.bytes"), 0);
+    client.close();
+    server.shutdown();
+}
+
 #[test]
 fn disabled_tracing_serves_and_dumps_empty() {
     let server = NetServer::bind(

@@ -13,12 +13,22 @@
 //! accept loop is deliberate — it cannot amplify load on a saturated
 //! server the way a per-connection thread spawn could.
 
-use crate::MetricsRegistry;
+use crate::{MetricsRegistry, WindowedSeries};
+use ff_metrics::{Counter, Gauge};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The process-start anchor for `proc.uptime_seconds` — initialized by the
+/// first exporter bind, shared by every exporter in the process so the
+/// gauge means one thing no matter how many registries are exported.
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
 
 /// Serves [`MetricsRegistry::expose`] snapshots over plaintext TCP.
 ///
@@ -60,14 +70,48 @@ impl MetricsExporter {
     /// Pass port 0 to bind an ephemeral port and read the real one back
     /// from [`MetricsExporter::addr`]. The registry handle is shared —
     /// metrics recorded after the bind appear in later scrapes.
+    ///
+    /// The exporter also registers two operational metrics of its own:
+    /// a `trace.exporter.scrapes` counter (connections served) and a
+    /// `proc.uptime_seconds` gauge stamped from a process-start anchor at
+    /// every scrape.
     pub fn bind(addr: impl ToSocketAddrs, registry: MetricsRegistry) -> io::Result<Self> {
+        Self::bind_inner(addr, registry, None)
+    }
+
+    /// Like [`MetricsExporter::bind`], but every scrape also advances the
+    /// given [`WindowedSeries`] ([`WindowedSeries::tick_if_due`]) and
+    /// appends its `window_*` lines after the base exposition — so a
+    /// periodic scraper sees rates and per-window percentiles without any
+    /// background thread existing to compute them.
+    ///
+    /// The series handle is cloneable; keep one to force ticks or render
+    /// independently of the exporter.
+    pub fn bind_windowed(
+        addr: impl ToSocketAddrs,
+        registry: MetricsRegistry,
+        series: WindowedSeries,
+    ) -> io::Result<Self> {
+        Self::bind_inner(addr, registry, Some(series))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        registry: MetricsRegistry,
+        series: Option<WindowedSeries>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let ops = ExporterOps {
+            scrapes: registry.counter("trace.exporter.scrapes"),
+            uptime: registry.gauge("proc.uptime_seconds"),
+            start: process_start(),
+        };
         let accept = std::thread::Builder::new()
             .name("ff-metrics-export".into())
-            .spawn(move || accept_loop(&listener, &registry, &flag))?;
+            .spawn(move || accept_loop(&listener, &registry, series.as_ref(), &ops, &flag))?;
         Ok(Self {
             addr,
             shutdown,
@@ -101,7 +145,20 @@ impl Drop for MetricsExporter {
     }
 }
 
-fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, shutdown: &AtomicBool) {
+/// The exporter's own operational metrics, stamped on every scrape.
+struct ExporterOps {
+    scrapes: Counter,
+    uptime: Gauge,
+    start: Instant,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &MetricsRegistry,
+    series: Option<&WindowedSeries>,
+    ops: &ExporterOps,
+    shutdown: &AtomicBool,
+) {
     while !shutdown.load(Ordering::SeqCst) {
         let Ok((stream, _peer)) = listener.accept() else {
             continue;
@@ -109,14 +166,24 @@ fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, shutdown: &At
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        serve_scrape(stream, registry);
+        ops.scrapes.inc();
+        ops.uptime.set(ops.start.elapsed().as_secs());
+        serve_scrape(stream, registry, series);
     }
 }
 
 /// One connection = one snapshot: render, write, half-close, done. Errors
 /// are the peer's problem (it hung up mid-scrape); the exporter never dies.
-fn serve_scrape(mut stream: TcpStream, registry: &MetricsRegistry) {
-    let body = registry.expose();
+fn serve_scrape(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    series: Option<&WindowedSeries>,
+) {
+    let mut body = registry.expose();
+    if let Some(series) = series {
+        series.tick_if_due();
+        body.push_str(&series.render());
+    }
     if stream.write_all(body.as_bytes()).is_ok() {
         drop(stream.flush());
     }
@@ -153,6 +220,43 @@ mod tests {
         assert!(
             second.contains("requests counter 8"),
             "scrapes must be live, not cached: {second}"
+        );
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn scrapes_counter_and_uptime_gauge_are_registered_and_advance() {
+        let metrics = MetricsRegistry::new();
+        let mut exporter = MetricsExporter::bind("127.0.0.1:0", metrics.clone()).unwrap();
+        let first = scrape(exporter.addr());
+        assert!(
+            first.contains("trace.exporter.scrapes counter 1"),
+            "first scrape counts itself: {first}"
+        );
+        assert!(first.contains("proc.uptime_seconds gauge"), "got: {first}");
+        let second = scrape(exporter.addr());
+        assert!(
+            second.contains("trace.exporter.scrapes counter 2"),
+            "got: {second}"
+        );
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn windowed_bind_appends_window_lines_to_scrapes() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("reqs").add(7);
+        let series = WindowedSeries::new(metrics.clone(), std::time::Duration::from_secs(3600), 4);
+        series.tick(); // baseline before any scrape
+        metrics.counter("reqs").add(3);
+        series.tick(); // one full window
+        let mut exporter =
+            MetricsExporter::bind_windowed("127.0.0.1:0", metrics.clone(), series).unwrap();
+        let body = scrape(exporter.addr());
+        assert!(body.contains("reqs counter 10"), "base lines first: {body}");
+        assert!(
+            body.contains("reqs window_counter delta 3"),
+            "window lines appended: {body}"
         );
         exporter.shutdown();
     }

@@ -27,6 +27,13 @@
 //! to the ring when its last handle drops — so a connection killed
 //! mid-request still commits its (incomplete, flagged) trace.
 //!
+//! The same substrate extends past serving into cluster-wide training
+//! observability: [`ClusterFlightRecorder`] rings per-step
+//! [`ClusterSpan`]s whose trace ids ride the `FF8D` training protocol and
+//! collect stamps from coordinator *and* workers, and [`WindowedSeries`]
+//! turns any registry's lifetime totals into per-window rates and
+//! percentiles, surfaced by [`MetricsExporter::bind_windowed`].
+//!
 //! # Examples
 //!
 //! ```
@@ -55,14 +62,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod exporter;
 mod recorder;
 mod registry;
+mod series;
 mod stage;
 mod trace;
 
+pub use cluster::{ClusterFlightRecorder, ClusterSpan, ShardSpan};
 pub use exporter::MetricsExporter;
 pub use recorder::{FlightRecorder, Sampler};
-pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SharedHistogram};
+pub use registry::{
+    DeepMetricValue, MetricValue, MetricsRegistry, MetricsSnapshot, SharedHistogram,
+};
+pub use series::WindowedSeries;
 pub use stage::{Stage, StageHistograms, StageSummaries, STAGE_COUNT};
 pub use trace::{RequestTrace, TraceHandle, TraceSettings};

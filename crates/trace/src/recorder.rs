@@ -17,8 +17,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// SplitMix64: a tiny, statistically solid mixer — one multiply-xor-shift
-/// chain per decision, no state beyond the input.
-fn splitmix64(x: u64) -> u64 {
+/// chain per decision, no state beyond the input. Shared with the cluster
+/// recorder, which derives per-step trace ids from the same mixer.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -71,6 +71,13 @@ impl SharedHistogram {
         self.lock().count()
     }
 
+    /// A full-fidelity clone of the underlying histogram — what the
+    /// windowed time-series layer diffs across snapshots
+    /// ([`ff_metrics::LatencyHistogram::diff_since`]).
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.lock().clone()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, LatencyHistogram> {
         self.0.lock().expect("shared histogram lock poisoned")
     }
@@ -93,6 +100,20 @@ pub enum MetricValue {
     Gauge(u64),
     /// Headline latency statistics.
     Histogram(LatencySummary),
+}
+
+/// The full-fidelity value of one metric at snapshot time — unlike
+/// [`MetricValue`], histograms keep their complete bucket vector so two
+/// deep snapshots can be *diffed* into a per-interval histogram. This is
+/// the substrate of [`crate::WindowedSeries`].
+#[derive(Debug, Clone)]
+pub enum DeepMetricValue {
+    /// A monotonic event count.
+    Counter(u64),
+    /// A last-value (or high-water-mark) gauge.
+    Gauge(u64),
+    /// The complete histogram (buckets, count, sum, extremes).
+    Histogram(LatencyHistogram),
 }
 
 /// A consistent-order snapshot of every registered metric, sorted by name.
@@ -278,6 +299,24 @@ impl MetricsRegistry {
     /// format ([`MetricsSnapshot::render`]).
     pub fn expose(&self) -> String {
         self.snapshot().render()
+    }
+
+    /// A full-fidelity snapshot: `(name, value)` pairs ascending by name,
+    /// with histograms cloned whole rather than summarized — so a later
+    /// snapshot can be diffed against this one per bucket.
+    pub fn deep_snapshot(&self) -> Vec<(String, DeepMetricValue)> {
+        let metrics = self.lock();
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => DeepMetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => DeepMetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => DeepMetricValue::Histogram(h.histogram()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {

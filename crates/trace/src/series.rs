@@ -1,0 +1,355 @@
+//! A windowed time-series view over a [`MetricsRegistry`].
+//!
+//! Lifetime totals answer "how much, ever" — a scraper watching a long-running
+//! trainer or server also wants "how fast, lately": request *rates*, and
+//! latency percentiles over the last few minutes rather than since process
+//! start. [`WindowedSeries`] keeps a small ring of full-fidelity registry
+//! snapshots ([`MetricsRegistry::deep_snapshot`]), one per elapsed window,
+//! and renders the **difference** between the newest and oldest retained
+//! snapshots:
+//!
+//! - counters become deltas and integer rates,
+//! - gauges become last/min/max over the retained window,
+//! - histograms are diffed per bucket
+//!   ([`ff_metrics::LatencyHistogram::diff_since`]) so p50/p95/p99 describe
+//!   only the samples recorded inside the window.
+//!
+//! Snapshots are taken lazily — [`WindowedSeries::tick_if_due`] is called
+//! from the exporter's scrape path, so an idle process does no background
+//! work and owns no threads. Rendered lines use dedicated `window_*` kinds,
+//! keeping the base exposition format untouched (append-only contract).
+
+use crate::registry::{DeepMetricValue, MetricsRegistry};
+use std::collections::VecDeque;
+use std::fmt::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type DeepSnapshot = Vec<(String, DeepMetricValue)>;
+
+struct SeriesInner {
+    registry: MetricsRegistry,
+    window: Duration,
+    windows: usize,
+    /// `(taken at, snapshot)`, oldest first; at most `windows + 1` entries
+    /// so the newest-vs-oldest diff spans exactly `windows` intervals.
+    snaps: VecDeque<(Instant, DeepSnapshot)>,
+}
+
+/// A bounded ring of per-window metric snapshots with a rate/percentile
+/// rendering. Cheap to clone; clones share one ring.
+///
+/// # Examples
+///
+/// ```
+/// use ff_trace::{MetricsRegistry, WindowedSeries};
+/// use std::time::Duration;
+///
+/// let metrics = MetricsRegistry::new();
+/// let series = WindowedSeries::new(metrics.clone(), Duration::from_secs(10), 6);
+/// metrics.counter("serve.requests").add(5);
+/// series.tick(); // baseline snapshot
+/// metrics.counter("serve.requests").add(20);
+/// series.tick(); // window boundary
+/// let lines = series.render();
+/// assert!(lines.contains("serve.requests window_counter delta 20"));
+/// ```
+#[derive(Clone)]
+pub struct WindowedSeries {
+    inner: Arc<Mutex<SeriesInner>>,
+}
+
+impl std::fmt::Debug for WindowedSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("WindowedSeries")
+            .field("window", &inner.window)
+            .field("windows", &inner.windows)
+            .field("snapshots", &inner.snaps.len())
+            .finish()
+    }
+}
+
+impl WindowedSeries {
+    /// Creates a series over `registry`: one snapshot per elapsed `window`,
+    /// diffing across at most `windows` retained intervals (clamped to at
+    /// least 1).
+    pub fn new(registry: MetricsRegistry, window: Duration, windows: usize) -> Self {
+        WindowedSeries {
+            inner: Arc::new(Mutex::new(SeriesInner {
+                registry,
+                window: window.max(Duration::from_millis(1)),
+                windows: windows.max(1),
+                snaps: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> Duration {
+        self.lock().window
+    }
+
+    /// The configured number of retained intervals.
+    pub fn windows(&self) -> usize {
+        self.lock().windows
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn snapshots(&self) -> usize {
+        self.lock().snaps.len()
+    }
+
+    /// Takes a snapshot if none exists yet or the newest one is at least
+    /// one window old; returns whether a snapshot was taken. This is the
+    /// scrape-path entry point — cost is one registry walk per elapsed
+    /// window, nothing in between.
+    pub fn tick_if_due(&self) -> bool {
+        let mut inner = self.lock();
+        let due = match inner.snaps.back() {
+            None => true,
+            Some((at, _)) => at.elapsed() >= inner.window,
+        };
+        if due {
+            push_snapshot(&mut inner);
+        }
+        due
+    }
+
+    /// Forces a window boundary now, regardless of elapsed time — how
+    /// tests (and manual probes) advance the series deterministically.
+    pub fn tick(&self) {
+        push_snapshot(&mut self.lock());
+    }
+
+    /// Renders the newest-vs-oldest diff in the stable text format, one
+    /// line per metric present in both snapshots:
+    ///
+    /// ```text
+    /// <name> window_counter delta <n> rate_milli_per_sec <n> span_ms <n> windows <n>
+    /// <name> window_gauge last <n> min <n> max <n> windows <n>
+    /// <name> window_histogram count <n> p50_ns <n> p95_ns <n> p99_ns <n> span_ms <n> windows <n>
+    /// ```
+    ///
+    /// Like the base exposition format, every value is a base-10 integer
+    /// (rates are in thousandths per second) and fields are only ever
+    /// appended. Empty until two snapshots exist; metrics registered
+    /// mid-flight join once a baseline snapshot contains them.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let (Some((oldest_at, oldest)), Some((newest_at, newest))) =
+            (inner.snaps.front(), inner.snaps.back())
+        else {
+            return String::new();
+        };
+        if inner.snaps.len() < 2 {
+            return String::new();
+        }
+        let span = newest_at.saturating_duration_since(*oldest_at);
+        let span_ms = (span.as_millis().max(1)).min(u128::from(u64::MAX)) as u64;
+        let spanned = inner.snaps.len() - 1;
+        let mut out = String::with_capacity(newest.len() * 64);
+        for (name, value) in newest {
+            let Some(base) = lookup(oldest, name) else {
+                continue;
+            };
+            match (value, base) {
+                (DeepMetricValue::Counter(now), DeepMetricValue::Counter(then)) => {
+                    let delta = now.saturating_sub(*then);
+                    let rate = u128::from(delta) * 1_000_000 / u128::from(span_ms);
+                    writeln!(
+                        out,
+                        "{name} window_counter delta {delta} rate_milli_per_sec {rate} \
+                         span_ms {span_ms} windows {spanned}"
+                    )
+                }
+                (DeepMetricValue::Gauge(now), DeepMetricValue::Gauge(_)) => {
+                    let observed =
+                        inner
+                            .snaps
+                            .iter()
+                            .filter_map(|(_, snap)| match lookup(snap, name) {
+                                Some(DeepMetricValue::Gauge(v)) => Some(*v),
+                                _ => None,
+                            });
+                    let (mut min, mut max) = (*now, *now);
+                    for v in observed {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                    writeln!(
+                        out,
+                        "{name} window_gauge last {now} min {min} max {max} windows {spanned}"
+                    )
+                }
+                (DeepMetricValue::Histogram(now), DeepMetricValue::Histogram(then)) => {
+                    let diff = now.diff_since(then);
+                    writeln!(
+                        out,
+                        "{name} window_histogram count {} p50_ns {} p95_ns {} p99_ns {} \
+                         span_ms {span_ms} windows {spanned}",
+                        diff.count(),
+                        diff.p50().as_nanos(),
+                        diff.p95().as_nanos(),
+                        diff.p99().as_nanos()
+                    )
+                }
+                _ => Ok(()), // kind changed between snapshots: skip
+            }
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SeriesInner> {
+        self.inner.lock().expect("windowed series lock poisoned")
+    }
+}
+
+fn push_snapshot(inner: &mut SeriesInner) {
+    let snapshot = inner.registry.deep_snapshot();
+    inner.snaps.push_back((Instant::now(), snapshot));
+    while inner.snaps.len() > inner.windows + 1 {
+        inner.snaps.pop_front();
+    }
+}
+
+/// Binary search over a sorted deep snapshot.
+fn lookup<'a>(snapshot: &'a DeepSnapshot, name: &str) -> Option<&'a DeepMetricValue> {
+    snapshot
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &snapshot[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_or_single_snapshot_renders_nothing() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("c").inc();
+        let series = WindowedSeries::new(metrics, Duration::from_secs(60), 4);
+        assert_eq!(series.render(), "");
+        series.tick();
+        assert_eq!(series.render(), "", "one snapshot has no interval yet");
+        assert_eq!(series.snapshots(), 1);
+    }
+
+    #[test]
+    fn counter_deltas_and_rates_cover_only_the_window() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("reqs").add(1000); // pre-window history
+        let series = WindowedSeries::new(metrics.clone(), Duration::from_secs(60), 4);
+        series.tick();
+        metrics.counter("reqs").add(30);
+        series.tick();
+        let lines = series.render();
+        assert!(
+            lines.contains("reqs window_counter delta 30 rate_milli_per_sec"),
+            "lifetime total must not leak into the delta: {lines}"
+        );
+        assert!(lines.contains("windows 1"), "{lines}");
+    }
+
+    #[test]
+    fn gauges_report_last_min_max_over_retained_snapshots() {
+        let metrics = MetricsRegistry::new();
+        let depth = metrics.gauge("depth");
+        let series = WindowedSeries::new(metrics, Duration::from_secs(60), 4);
+        for v in [5u64, 9, 2, 7] {
+            depth.set(v);
+            series.tick();
+        }
+        let lines = series.render();
+        assert!(
+            lines.contains("depth window_gauge last 7 min 2 max 9 windows 3"),
+            "{lines}"
+        );
+    }
+
+    #[test]
+    fn histograms_diff_per_window() {
+        let metrics = MetricsRegistry::new();
+        let hist = metrics.histogram("lat_ns");
+        hist.record_ns(1_000_000_000); // huge pre-window outlier
+        let series = WindowedSeries::new(metrics, Duration::from_secs(60), 4);
+        series.tick();
+        for _ in 0..100 {
+            hist.record_ns(1_000);
+        }
+        series.tick();
+        let lines = series.render();
+        let line = lines
+            .lines()
+            .find(|l| l.starts_with("lat_ns window_histogram"))
+            .expect("histogram line present");
+        assert!(line.contains("count 100"), "{line}");
+        let p99: u64 = line
+            .split_whitespace()
+            .skip_while(|w| *w != "p99_ns")
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            p99 < 10_000,
+            "window p99 must exclude the pre-window outlier: {line}"
+        );
+    }
+
+    #[test]
+    fn ring_retains_windows_plus_one_snapshots() {
+        let metrics = MetricsRegistry::new();
+        let series = WindowedSeries::new(metrics.clone(), Duration::from_secs(60), 2);
+        for i in 0..10u64 {
+            metrics.counter("c").inc();
+            metrics.gauge("g").set(i);
+            series.tick();
+        }
+        assert_eq!(series.snapshots(), 3);
+        let lines = series.render();
+        // Diff spans the 2 retained intervals: counts 8 → 10.
+        assert!(lines.contains("c window_counter delta 2"), "{lines}");
+        assert!(
+            lines.contains("g window_gauge last 9 min 7 max 9"),
+            "{lines}"
+        );
+    }
+
+    #[test]
+    fn tick_if_due_is_lazy() {
+        let metrics = MetricsRegistry::new();
+        let series = WindowedSeries::new(metrics, Duration::from_secs(3600), 4);
+        assert!(series.tick_if_due(), "first call seeds the baseline");
+        assert!(!series.tick_if_due(), "window has not elapsed");
+        assert_eq!(series.snapshots(), 1);
+
+        let fast = WindowedSeries::new(MetricsRegistry::new(), Duration::from_millis(1), 4);
+        fast.tick_if_due();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(fast.tick_if_due(), "elapsed window takes a snapshot");
+        assert_eq!(fast.snapshots(), 2);
+    }
+
+    #[test]
+    fn metric_registered_mid_flight_joins_after_a_baseline() {
+        let metrics = MetricsRegistry::new();
+        let series = WindowedSeries::new(metrics.clone(), Duration::from_secs(60), 4);
+        series.tick();
+        metrics.counter("late").add(4);
+        series.tick();
+        assert!(
+            !series.render().contains("late"),
+            "no baseline for the new metric yet"
+        );
+        series.tick();
+        // Still absent: the oldest retained snapshot predates the metric.
+        // It appears once the pre-registration snapshot ages out.
+        for _ in 0..4 {
+            series.tick();
+        }
+        assert!(series.render().contains("late window_counter"), "joined");
+    }
+}

@@ -91,6 +91,15 @@ if [[ "$fast" -eq 0 ]]; then
     # (crates/net/tests/trace.rs).
     echo "==> trace smoke gate (release)"
     cargo test -q --release -p ff-net --test trace
+
+    # Cluster-trace smoke gate: a capture-all 2-worker FF8D run must yield
+    # one wire-dumpable ClusterSpan per training step with every coordinator
+    # phase and worker stamp present and monotonic, per-kind wire accounting
+    # that adds up against the protocol's known frame counts, v1↔v2 interop
+    # that stays bit-exact, and populated pipeline stage histograms
+    # (crates/dist/tests/cluster_trace.rs).
+    echo "==> cluster-trace smoke gate (release)"
+    cargo test -q --release -p ff-dist --test cluster_trace
 fi
 
 echo "All checks passed."
